@@ -1,0 +1,48 @@
+//! EB5 — §3 semantic comparison: GPML path-returning semantics vs.
+//! SPARQL's endpoint-only property paths vs. GSQL's default ALL SHORTEST.
+//!
+//! Endpoint-only semantics exists precisely because returning (or even
+//! counting) paths can be exponentially more expensive than checking
+//! reachability (§3, [6, 32]); the three modes make that gap measurable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gpml_bench::run_query_with;
+use gpml_core::eval::{EvalOptions, MatchMode};
+use gpml_datagen::{grid, transfer_network, TransferNetworkConfig};
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("EB5/modes");
+    // Grids maximize same-length shortest paths (ALL SHORTEST blow-up).
+    for side in [3usize, 4, 5] {
+        let g = grid(side, side);
+        let query = "MATCH ALL SHORTEST p = (a)-[s:Step]->*(b)";
+        for (mode, name) in [
+            (MatchMode::Gpml, "gpml"),
+            (MatchMode::EndpointOnly, "sparql"),
+        ] {
+            let opts = EvalOptions { mode, ..EvalOptions::default() };
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("grid{side}x{side}")),
+                &query,
+                |b, q| b.iter(|| run_query_with(&g, q, &opts).len()),
+            );
+        }
+    }
+    // GSQL default on a random network (no explicit selector written).
+    let g = transfer_network(TransferNetworkConfig {
+        accounts: 25,
+        transfers: 50,
+        blocked_share: 0.1,
+        seed: 3,
+    });
+    let implicit = "MATCH (a WHERE a.owner='owner0')-[t:Transfer]->+(b)";
+    let opts = EvalOptions { mode: MatchMode::GsqlDefault, ..EvalOptions::default() };
+    group.bench_function("gsql_default/n25", |b| {
+        b.iter(|| run_query_with(&g, implicit, &opts).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! EB6 — Parser throughput on the paper's query corpus and on synthetic
+//! deeply nested patterns.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use gpml_bench::query_corpus;
+
+fn bench_parser(c: &mut Criterion) {
+    let corpus = query_corpus();
+    let bytes: usize = corpus.iter().map(|q| q.len()).sum();
+    let mut group = c.benchmark_group("EB6/parser");
+    group.throughput(Throughput::Bytes(bytes as u64));
+    group.bench_function("paper_corpus", |b| {
+        b.iter(|| {
+            corpus
+                .iter()
+                .map(|q| gpml_parser::parse(q).expect("corpus parses").paths.len())
+                .sum::<usize>()
+        })
+    });
+
+    // Deeply nested synthetic pattern: k nested quantified parens.
+    for depth in [4usize, 16, 64] {
+        let mut q = String::from("MATCH (x)");
+        for _ in 0..depth {
+            q.push_str("[->(y)]{1,2}");
+        }
+        group.bench_function(format!("nested_depth_{depth}"), |b| {
+            b.iter(|| gpml_parser::parse(&q).expect("nested parses").paths.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parser);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! EB7 — SQL/PGQ view construction and `GRAPH_TABLE` overhead vs. native
+//! graph evaluation.
+//!
+//! GPML is identical in both hosts (Figure 9); the only PGQ-specific
+//! costs are materializing the view over tables and projecting bindings
+//! back into a table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gpml_bench::run_query;
+use gpml_datagen::{transfer_network, TransferNetworkConfig};
+use sql_pgq::{graph_table, materialize_tabulation, tabulate};
+
+fn bench_pgq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("EB7/pgq");
+    for accounts in [25usize, 100, 400] {
+        let g = transfer_network(TransferNetworkConfig {
+            accounts,
+            transfers: accounts * 3,
+            blocked_share: 0.1,
+            seed: 11,
+        });
+        let db = tabulate(&g);
+        group.bench_with_input(BenchmarkId::new("tabulate", accounts), &g, |b, g| {
+            b.iter(|| tabulate(g).len())
+        });
+        group.bench_with_input(BenchmarkId::new("materialize", accounts), &db, |b, db| {
+            b.iter(|| materialize_tabulation(db).unwrap().node_count())
+        });
+        let query_native =
+            "MATCH (x:Account)-[t:Transfer]->(y:Account WHERE y.isBlocked='yes')";
+        let query_table =
+            "MATCH (x:Account)-[t:Transfer]->(y:Account WHERE y.isBlocked='yes') \
+             COLUMNS (x.owner AS sender, t.amount AS amount)";
+        group.bench_with_input(BenchmarkId::new("native_match", accounts), &g, |b, g| {
+            b.iter(|| run_query(g, query_native).len())
+        });
+        group.bench_with_input(BenchmarkId::new("graph_table", accounts), &g, |b, g| {
+            b.iter(|| graph_table(g, query_table).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pgq);
+criterion_main!(benches);

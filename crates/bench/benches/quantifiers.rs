@@ -1,0 +1,29 @@
+//! EB3 — Quantifier bound sweep `{1,k}`.
+//!
+//! Bounded quantifiers need no restrictor or selector; match count and
+//! cost grow with the bound `k` on chains (linearly many walks) and the
+//! Figure 1 graph (cyclic, so super-linear growth until dedup).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gpml_bench::run_query;
+use gpml_datagen::{chain, fig1};
+
+fn bench_quantifiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("EB3/quantifiers");
+    let chain_g = chain(64);
+    let bank = fig1();
+    for k in [2u32, 4, 8, 16] {
+        let q = format!("MATCH (a)-[t:Transfer]->{{1,{k}}}(b)");
+        group.bench_with_input(BenchmarkId::new("chain64", k), &q, |b, q| {
+            b.iter(|| run_query(&chain_g, q).len())
+        });
+        group.bench_with_input(BenchmarkId::new("fig1", k), &q, |b, q| {
+            b.iter(|| run_query(&bank, q).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quantifiers);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! EB1 — Restrictor search cost vs. graph cycle density.
+//!
+//! Restrictors prune *during* the search (§5.1); this bench shows how the
+//! three restrictors scale on random transfer networks of growing size
+//! and edge density, and that ACYCLIC/SIMPLE (node-bounded, `|N|` depth)
+//! stay cheaper than TRAIL (edge-bounded, `|E|` depth) as density rises.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gpml_bench::run_query;
+use gpml_datagen::{transfer_network, TransferNetworkConfig};
+
+fn bench_restrictors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("EB1/restrictors");
+    for (accounts, transfers) in [(10, 15), (20, 30), (40, 60)] {
+        let g = transfer_network(TransferNetworkConfig {
+            accounts,
+            transfers,
+            blocked_share: 0.1,
+            seed: 7,
+        });
+        for restrictor in ["TRAIL", "ACYCLIC", "SIMPLE"] {
+            // Single-source, open destination: the search explores every
+            // restricted walk out of owner0's account.
+            let query = format!(
+                "MATCH {restrictor} (a WHERE a.owner='owner0')-[t:Transfer]->*(b)"
+            );
+            group.bench_with_input(
+                BenchmarkId::new(restrictor, format!("n{accounts}_m{transfers}")),
+                &query,
+                |bench, q| bench.iter(|| run_query(&g, q).len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_restrictors);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! EB4 — Set union (dedup) vs. multiset alternation.
+//!
+//! §4.5 motivates `|+|` with the cost of deduplication: overlapping
+//! quantifier unions force run-time dedup of the overlap, while
+//! alternation skips it (and returns more rows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gpml_bench::run_query;
+use gpml_datagen::chain;
+
+fn bench_union(c: &mut Criterion) {
+    let mut group = c.benchmark_group("EB4/union");
+    for len in [32usize, 64, 128] {
+        let g = chain(len);
+        // Overlap {1,6} ∩ {4,9} = {4,6}: the union must deduplicate it.
+        let union = "MATCH p = ->{1,6} | ->{4,9}";
+        let alternation = "MATCH p = ->{1,6} |+| ->{4,9}";
+        let merged = "MATCH p = ->{1,9}";
+        group.bench_with_input(BenchmarkId::new("union", len), union, |b, q| {
+            b.iter(|| run_query(&g, q).len())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("alternation", len),
+            alternation,
+            |b, q| b.iter(|| run_query(&g, q).len()),
+        );
+        group.bench_with_input(BenchmarkId::new("merged", len), merged, |b, q| {
+            b.iter(|| run_query(&g, q).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_union);
+criterion_main!(benches);

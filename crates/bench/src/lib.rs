@@ -1,0 +1,79 @@
+//! Shared workload helpers for the GPML benchmark harness.
+//!
+//! The paper has no machine-timed evaluation — its artifacts are worked
+//! examples and language tables — so the Criterion benches here measure
+//! the *performance shapes* implied by the design (restrictor pruning,
+//! selector-driven search, set-vs-multiset union, spec-literal expansion
+//! vs the production matcher, SPARQL/GSQL comparison modes, parser
+//! throughput, and SQL/PGQ view overhead), while `paper-report`
+//! regenerates every figure and table verbatim.
+
+use gpml_core::eval::{evaluate, EvalOptions};
+use gpml_core::{GraphPattern, MatchSet};
+use property_graph::PropertyGraph;
+
+/// Parses and evaluates, panicking on any error — benches want the query
+/// cost, not error handling.
+pub fn run_query(graph: &PropertyGraph, query: &str) -> MatchSet {
+    let pattern = parse(query);
+    evaluate(graph, &pattern, &EvalOptions::default())
+        .unwrap_or_else(|e| panic!("{query}\n{e}"))
+}
+
+/// Parses and evaluates with explicit options.
+pub fn run_query_with(graph: &PropertyGraph, query: &str, opts: &EvalOptions) -> MatchSet {
+    let pattern = parse(query);
+    evaluate(graph, &pattern, opts).unwrap_or_else(|e| panic!("{query}\n{e}"))
+}
+
+/// Parses a query, panicking on failure.
+pub fn parse(query: &str) -> GraphPattern {
+    gpml_parser::parse(query).unwrap_or_else(|e| panic!("{query}\n{e}"))
+}
+
+/// A corpus of realistic GPML queries (all of the paper's §4–§6 queries)
+/// for parser benchmarking.
+pub fn query_corpus() -> Vec<&'static str> {
+    vec![
+        "MATCH (x:Account WHERE x.isBlocked='no')",
+        "MATCH -[e:Transfer WHERE e.amount>5M]->",
+        "MATCH (x)-[:Transfer]->()-[:isLocatedIn]->(y)",
+        "MATCH (y WHERE y.owner='Aretha')<-[e:Transfer]-(x)",
+        "MATCH (s)-[e]->(m)-[f]->(t)",
+        "MATCH (p:Phone)~[:hasPhone]~(s:Account)-[t:Transfer]->(d:Account)~[:hasPhone]~(p)",
+        "MATCH (s)-[:Transfer]->(s1)-[:Transfer]->(s2)-[:Transfer]->(s)",
+        "MATCH (a:Account)-[:Transfer]->{2,5}(b:Account)",
+        "MATCH (a:Account) [()-[t:Transfer]->() WHERE t.amount>1M]{2,5} (b:Account) \
+         WHERE SUM(t.amount)>10M",
+        "MATCH (c:City) | (c:Country)",
+        "MATCH (c:City) |+| (c:Country)",
+        "MATCH [(x)->(y)] | [(x)->(z)]",
+        "MATCH (x) [->(y)]?",
+        "MATCH TRAIL p = (a WHERE a.owner='Dave')-[t:Transfer]->*(b WHERE b.owner='Aretha')",
+        "MATCH ALL SHORTEST TRAIL p = (a WHERE a.owner='Dave')-[t:Transfer]->*\
+         (b WHERE b.owner='Aretha')-[r:Transfer]->*(c WHERE c.owner='Mike')",
+        "MATCH ALL SHORTEST (p:Account WHERE p.owner='Scott')->+\
+         (q:Account WHERE q.isBlocked='yes')->+(r:Account WHERE r.owner='Charles')",
+        "MATCH TRAIL (a WHERE a.owner='Jay') [-[b:Transfer WHERE b.amount>5M]->]+ \
+         (a) [-[:isLocatedIn]->(c:City) | -[:isLocatedIn]->(c:Country)]",
+        "MATCH ALL SHORTEST (x)-[e]->*(y) WHERE COUNT(e.*)/(COUNT(e.*)+1) > 1",
+        "MATCH (x:Account)-[:Transfer]->() \
+         WHERE EXISTS { (x)-[:Transfer]->{1,2}(b WHERE b.isBlocked='yes') }",
+        "MATCH ANY CHEAPEST(amount) TRAIL p = (x:Account)-[e]-{1,2}(y:Account)",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpml_datagen::fig1;
+
+    #[test]
+    fn corpus_parses_and_runs() {
+        let g = fig1();
+        for q in query_corpus() {
+            // Everything in the corpus is valid GPML and terminates.
+            let _ = run_query(&g, q);
+        }
+    }
+}

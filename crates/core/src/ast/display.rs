@@ -1,0 +1,219 @@
+//! Rendering patterns back to GPML concrete syntax.
+//!
+//! The printer always emits the *full* edge forms when a spec is present and
+//! the Figure 5 abbreviations when it is not, so `parse(print(ast)) == ast`
+//! holds (verified by property tests in the parser crate).
+
+use std::fmt;
+
+use super::expr::Expr;
+use super::label::LabelExpr;
+use super::pattern::{
+    Direction, EdgePattern, GraphPattern, NodePattern, PathPattern, PathPatternExpr,
+};
+
+fn spec(
+    f: &mut fmt::Formatter<'_>,
+    var: &Option<String>,
+    label: &Option<LabelExpr>,
+    predicate: &Option<Expr>,
+) -> fmt::Result {
+    if let Some(v) = var {
+        write!(f, "{v}")?;
+    }
+    if let Some(l) = label {
+        write!(f, ":{l}")?;
+    }
+    if let Some(p) = predicate {
+        write!(f, " WHERE {p}")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for NodePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        spec(f, &self.var, &self.label, &self.predicate)?;
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for EdgePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let has_spec =
+            self.var.is_some() || self.label.is_some() || self.predicate.is_some();
+        if !has_spec {
+            // Figure 5 abbreviations.
+            let s = match self.direction {
+                Direction::Left => "<-",
+                Direction::Undirected => "~",
+                Direction::Right => "->",
+                Direction::LeftOrUndirected => "<~",
+                Direction::UndirectedOrRight => "~>",
+                Direction::LeftOrRight => "<->",
+                Direction::Any => "-",
+            };
+            return write!(f, "{s}");
+        }
+        let (open, close) = match self.direction {
+            Direction::Left => ("<-[", "]-"),
+            Direction::Undirected => ("~[", "]~"),
+            Direction::Right => ("-[", "]->"),
+            Direction::LeftOrUndirected => ("<~[", "]~"),
+            Direction::UndirectedOrRight => ("~[", "]~>"),
+            Direction::LeftOrRight => ("<-[", "]->"),
+            Direction::Any => ("-[", "]-"),
+        };
+        write!(f, "{open}")?;
+        spec(f, &self.var, &self.label, &self.predicate)?;
+        write!(f, "{close}")
+    }
+}
+
+impl fmt::Display for PathPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathPattern::Node(n) => write!(f, "{n}"),
+            PathPattern::Edge(e) => write!(f, "{e}"),
+            PathPattern::Concat(parts) => {
+                for p in parts {
+                    // A union nested in a concatenation needs brackets, or
+                    // re-parsing would attach the whole tail to one branch.
+                    match p {
+                        PathPattern::Union(_) | PathPattern::Alternation(_) => {
+                            write!(f, "[{p}]")?
+                        }
+                        _ => write!(f, "{p}")?,
+                    }
+                }
+                Ok(())
+            }
+            PathPattern::Paren {
+                restrictor,
+                inner,
+                predicate,
+            } => {
+                write!(f, "[")?;
+                if let Some(r) = restrictor {
+                    write!(f, "{r} ")?;
+                }
+                write!(f, "{inner}")?;
+                if let Some(p) = predicate {
+                    write!(f, " WHERE {p}")?;
+                }
+                write!(f, "]")
+            }
+            PathPattern::Quantified { inner, quantifier } => {
+                write!(f, "{inner}{quantifier}")
+            }
+            PathPattern::Questioned(inner) => write!(f, "{inner}?"),
+            PathPattern::Union(branches) => {
+                for (i, b) in branches.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{b}")?;
+                }
+                Ok(())
+            }
+            PathPattern::Alternation(branches) => {
+                for (i, b) in branches.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " |+| ")?;
+                    }
+                    write!(f, "{b}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for PathPatternExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(s) = &self.selector {
+            write!(f, "{s} ")?;
+        }
+        if let Some(r) = &self.restrictor {
+            write!(f, "{r} ")?;
+        }
+        if let Some(v) = &self.path_var {
+            write!(f, "{v} = ")?;
+        }
+        write!(f, "{}", self.pattern)
+    }
+}
+
+impl fmt::Display for GraphPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, p) in self.paths.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::pattern::Quantifier;
+
+    #[test]
+    fn node_pattern_display() {
+        assert_eq!(NodePattern::any().to_string(), "()");
+        assert_eq!(NodePattern::var("x").to_string(), "(x)");
+        let p = NodePattern::var("x")
+            .with_label(LabelExpr::label("Account"))
+            .with_predicate(Expr::prop("x", "isBlocked").eq(Expr::lit("no")));
+        assert_eq!(p.to_string(), "(x:Account WHERE x.isBlocked='no')");
+    }
+
+    #[test]
+    fn edge_abbreviations_match_figure5() {
+        let abbrevs = [
+            (Direction::Left, "<-"),
+            (Direction::Undirected, "~"),
+            (Direction::Right, "->"),
+            (Direction::LeftOrUndirected, "<~"),
+            (Direction::UndirectedOrRight, "~>"),
+            (Direction::LeftOrRight, "<->"),
+            (Direction::Any, "-"),
+        ];
+        for (d, s) in abbrevs {
+            assert_eq!(EdgePattern::any(d).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn edge_full_forms_match_figure5() {
+        let e = |d| EdgePattern::any(d).with_var("e").to_string();
+        assert_eq!(e(Direction::Left), "<-[e]-");
+        assert_eq!(e(Direction::Undirected), "~[e]~");
+        assert_eq!(e(Direction::Right), "-[e]->");
+        assert_eq!(e(Direction::LeftOrUndirected), "<~[e]~");
+        assert_eq!(e(Direction::UndirectedOrRight), "~[e]~>");
+        assert_eq!(e(Direction::LeftOrRight), "<-[e]->");
+        assert_eq!(e(Direction::Any), "-[e]-");
+    }
+
+    #[test]
+    fn quantified_paren_path() {
+        let inner = PathPattern::concat(vec![
+            PathPattern::Node(NodePattern::any()),
+            PathPattern::Edge(
+                EdgePattern::any(Direction::Right)
+                    .with_var("t")
+                    .with_label(LabelExpr::label("Transfer")),
+            ),
+            PathPattern::Node(NodePattern::any()),
+        ]);
+        let q = inner.paren().quantified(Quantifier::range(2, Some(5)));
+        assert_eq!(q.to_string(), "[()-[t:Transfer]->()]{2,5}");
+    }
+}

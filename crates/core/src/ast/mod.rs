@@ -1,0 +1,13 @@
+//! Abstract syntax of GPML graph patterns (§4–§5 of the paper).
+
+pub mod display;
+pub mod expr;
+pub mod label;
+pub mod pattern;
+
+pub use expr::{AggArg, AggFunc, ArithOp, CmpOp, Expr};
+pub use label::LabelExpr;
+pub use pattern::{
+    Direction, EdgePattern, GraphPattern, NodePattern, PathPattern, PathPatternExpr,
+    Quantifier, Restrictor, Selector,
+};

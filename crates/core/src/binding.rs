@@ -1,0 +1,292 @@
+//! Bindings: the values GPML variables take in a match.
+//!
+//! Executing a GPML statement results in a set, or multiset, of *reduced
+//! path bindings* (§6). A path binding maps each variable to a graph
+//! element (singletons), to a list of elements (group variables, one entry
+//! per quantifier iteration), or to a whole path (path variables).
+//!
+//! The engines in this crate represent a matched path pattern as a
+//! [`PathBinding`]: the matched walk plus the reduced variable map. The
+//! paper's *reduction* step (stripping iteration superscripts and merging
+//! anonymous variables, §6.5) corresponds to [`PathBinding::reduce`]; its
+//! *deduplication* step corresponds to collecting reduced bindings into a
+//! `BTreeSet`, which both engines do before applying selectors.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use property_graph::{EdgeId, ElementId, NodeId, Path, PropertyGraph};
+
+use crate::normalize::is_anonymous;
+
+/// The value a variable is bound to in one match.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BoundValue {
+    /// A singleton node variable.
+    Node(NodeId),
+    /// A singleton edge variable.
+    Edge(EdgeId),
+    /// A group node variable: one node per iteration of the enclosing
+    /// quantifier, in iteration order.
+    NodeGroup(Vec<NodeId>),
+    /// A group edge variable: one edge per iteration, in iteration order.
+    EdgeGroup(Vec<EdgeId>),
+    /// A path variable (`p = ...`).
+    Path(Path),
+}
+
+impl BoundValue {
+    /// The element, if this is a singleton binding.
+    pub fn as_element(&self) -> Option<ElementId> {
+        match self {
+            BoundValue::Node(n) => Some(ElementId::Node(*n)),
+            BoundValue::Edge(e) => Some(ElementId::Edge(*e)),
+            _ => None,
+        }
+    }
+
+    /// The group members, if this is a group binding.
+    pub fn as_group(&self) -> Option<Vec<ElementId>> {
+        match self {
+            BoundValue::NodeGroup(ns) => Some(ns.iter().copied().map(ElementId::Node).collect()),
+            BoundValue::EdgeGroup(es) => Some(es.iter().copied().map(ElementId::Edge).collect()),
+            _ => None,
+        }
+    }
+
+    /// The bound path, if this is a path binding.
+    pub fn as_path(&self) -> Option<&Path> {
+        match self {
+            BoundValue::Path(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// True for `Node`/`Edge` singleton bindings.
+    pub fn is_singleton(&self) -> bool {
+        matches!(self, BoundValue::Node(_) | BoundValue::Edge(_))
+    }
+
+    /// Renders using external element names from `g`.
+    pub fn display<'a>(&'a self, g: &'a PropertyGraph) -> BoundValueDisplay<'a> {
+        BoundValueDisplay { value: self, graph: g }
+    }
+}
+
+/// Helper returned by [`BoundValue::display`].
+pub struct BoundValueDisplay<'a> {
+    value: &'a BoundValue,
+    graph: &'a PropertyGraph,
+}
+
+impl fmt::Display for BoundValueDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.value {
+            BoundValue::Node(n) => write!(f, "{}", self.graph.node(*n).name),
+            BoundValue::Edge(e) => write!(f, "{}", self.graph.edge(*e).name),
+            BoundValue::NodeGroup(ns) => {
+                write!(f, "[")?;
+                for (i, n) in ns.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}", self.graph.node(*n).name)?;
+                }
+                write!(f, "]")
+            }
+            BoundValue::EdgeGroup(es) => {
+                write!(f, "[")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}", self.graph.edge(*e).name)?;
+                }
+                write!(f, "]")
+            }
+            BoundValue::Path(p) => write!(f, "{}", p.display(self.graph)),
+        }
+    }
+}
+
+/// One matched path pattern: the walk plus the variable map.
+///
+/// `alt_marks` records which branch of each multiset alternation (`|+|`)
+/// the match came through; it participates in deduplication so alternation
+/// keeps multiplicities while plain union (`|`) does not (§4.5).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PathBinding {
+    /// The matched walk through the graph.
+    pub path: Path,
+    /// Variable bindings, including the path variable when declared.
+    pub bindings: BTreeMap<String, BoundValue>,
+    /// Multiset-alternation provenance marks, outermost first.
+    pub alt_marks: Vec<u32>,
+}
+
+impl PathBinding {
+    /// A binding for a zero-length walk at `start` with no variables.
+    pub fn start_at(start: NodeId) -> PathBinding {
+        PathBinding {
+            path: Path::single(start),
+            bindings: BTreeMap::new(),
+            alt_marks: Vec::new(),
+        }
+    }
+
+    /// The paper's reduction step (§6.5): drops bindings of anonymous
+    /// variables (`□i`, `−i`); the elements they matched are still present
+    /// in `path`, which is what makes deduplication element-accurate.
+    pub fn reduce(mut self) -> PathBinding {
+        self.bindings.retain(|name, _| !is_anonymous(name));
+        self
+    }
+
+    /// Looks a variable up.
+    pub fn get(&self, var: &str) -> Option<&BoundValue> {
+        self.bindings.get(var)
+    }
+
+    /// Renders the binding as a two-row table in the paper's style, e.g.
+    /// `a↦a4, b↦[t4,t5,t2,t3], c↦c2`.
+    pub fn display<'a>(&'a self, g: &'a PropertyGraph) -> PathBindingDisplay<'a> {
+        PathBindingDisplay { binding: self, graph: g }
+    }
+}
+
+/// Helper returned by [`PathBinding::display`].
+pub struct PathBindingDisplay<'a> {
+    binding: &'a PathBinding,
+    graph: &'a PropertyGraph,
+}
+
+impl fmt::Display for PathBindingDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (var, value)) in self.binding.bindings.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{var}\u{21A6}{}", value.display(self.graph))?;
+        }
+        Ok(())
+    }
+}
+
+/// One row of a final match result: bindings of all exported variables of
+/// all path patterns, after the cross-pattern join.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MatchRow {
+    pub values: BTreeMap<String, BoundValue>,
+}
+
+impl MatchRow {
+    /// An empty row (unit of the cross-pattern join).
+    pub fn empty() -> MatchRow {
+        MatchRow { values: BTreeMap::new() }
+    }
+
+    /// Looks a variable up.
+    pub fn get(&self, var: &str) -> Option<&BoundValue> {
+        self.values.get(var)
+    }
+}
+
+/// The result of evaluating a graph pattern: an ordered, deduplicated (or
+/// multiplicity-preserving, for `|+|`) collection of rows.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MatchSet {
+    pub rows: Vec<MatchRow>,
+}
+
+impl MatchSet {
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates over rows.
+    pub fn iter(&self) -> impl Iterator<Item = &MatchRow> {
+        self.rows.iter()
+    }
+
+    /// Projects one variable across all rows.
+    pub fn column(&self, var: &str) -> Vec<Option<&BoundValue>> {
+        self.rows.iter().map(|r| r.get(var)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use property_graph::{Endpoints, PropertyGraph};
+
+    fn tiny() -> (PropertyGraph, NodeId, NodeId, EdgeId) {
+        let mut g = PropertyGraph::new();
+        let a = g.add_node("a1", ["Account"], []);
+        let b = g.add_node("a2", ["Account"], []);
+        let t = g.add_edge("t1", Endpoints::directed(a, b), ["Transfer"], []);
+        (g, a, b, t)
+    }
+
+    #[test]
+    fn reduction_strips_anonymous_variables() {
+        let (_, a, b, t) = tiny();
+        let mut binding = PathBinding::start_at(a);
+        binding.path.push(t, b);
+        binding.bindings.insert("x".into(), BoundValue::Node(a));
+        binding.bindings.insert("\u{25A1}1".into(), BoundValue::Node(b));
+        binding.bindings.insert("\u{2212}1".into(), BoundValue::Edge(t));
+        let reduced = binding.reduce();
+        assert_eq!(reduced.bindings.len(), 1);
+        assert!(reduced.get("x").is_some());
+        // The path still carries the anonymous elements.
+        assert_eq!(reduced.path.len(), 1);
+    }
+
+    #[test]
+    fn alt_marks_distinguish_bindings() {
+        let (_, a, _, _) = tiny();
+        let p1 = PathBinding::start_at(a);
+        let mut p2 = PathBinding::start_at(a);
+        p2.alt_marks.push(0);
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn bound_value_accessors() {
+        let (_, a, b, t) = tiny();
+        assert_eq!(BoundValue::Node(a).as_element(), Some(ElementId::Node(a)));
+        assert_eq!(BoundValue::Edge(t).as_element(), Some(ElementId::Edge(t)));
+        assert!(BoundValue::NodeGroup(vec![a, b]).as_element().is_none());
+        assert_eq!(
+            BoundValue::EdgeGroup(vec![t]).as_group(),
+            Some(vec![ElementId::Edge(t)])
+        );
+        assert!(BoundValue::Node(a).is_singleton());
+        assert!(!BoundValue::Path(Path::single(a)).is_singleton());
+    }
+
+    #[test]
+    fn display_uses_external_names() {
+        let (g, a, b, t) = tiny();
+        assert_eq!(BoundValue::Node(a).display(&g).to_string(), "a1");
+        assert_eq!(
+            BoundValue::EdgeGroup(vec![t]).display(&g).to_string(),
+            "[t1]"
+        );
+        assert_eq!(
+            BoundValue::NodeGroup(vec![a, b]).display(&g).to_string(),
+            "[a1,a2]"
+        );
+        let p = Path::new(vec![a, b], vec![t]);
+        assert_eq!(
+            BoundValue::Path(p).display(&g).to_string(),
+            "path(a1,t1,a2)"
+        );
+    }
+}

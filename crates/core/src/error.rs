@@ -1,0 +1,104 @@
+//! Errors raised by static analysis (§4.6, §5) and evaluation.
+
+use std::fmt;
+
+/// A GPML static-analysis or evaluation error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// An unbounded quantifier (`*`, `+`, `{m,}`) is not in the scope of a
+    /// restrictor or selector, so the query might not terminate (§5).
+    UnboundedQuantifier { quantifier: String },
+    /// A prefilter aggregates a group variable that is effectively
+    /// unbounded at that point (§5.3): the enclosing quantifier has no
+    /// upper bound and no restrictor bounds it.
+    UnboundedAggregate { var: String },
+    /// An implicit equi-join on a conditional singleton, which GPML forbids
+    /// because it lacks intuitive semantics (§4.6).
+    ConditionalJoin { var: String },
+    /// `SAME` / `ALL_DIFFERENT` applied to a variable that is not an
+    /// unconditional singleton (§4.7).
+    ConditionalElementTest { var: String },
+    /// A group variable is shared between two elements that would join on
+    /// it (across path patterns or across a quantifier boundary).
+    GroupJoin { var: String },
+    /// A group variable referenced outside an aggregate in a postfilter.
+    GroupAsSingleton { var: String },
+    /// A reference to a variable no pattern declares.
+    UnknownVariable { var: String },
+    /// A path variable reused or colliding with an element variable.
+    PathVarConflict { var: String },
+    /// A variable used both as node and as edge variable.
+    KindConflict { var: String },
+    /// An evaluation resource limit was exceeded.
+    LimitExceeded { what: &'static str, limit: usize },
+    /// Feature outside the implemented GPML subset.
+    Unsupported(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnboundedQuantifier { quantifier } => write!(
+                f,
+                "unbounded quantifier {quantifier} is not within the scope of a \
+                 restrictor or selector; the match set could be infinite"
+            ),
+            Error::UnboundedAggregate { var } => write!(
+                f,
+                "prefilter aggregates group variable {var} while it is effectively \
+                 unbounded; bound the quantifier or move the predicate to the final WHERE"
+            ),
+            Error::ConditionalJoin { var } => write!(
+                f,
+                "implicit equi-join on conditional singleton {var} is not allowed"
+            ),
+            Error::ConditionalElementTest { var } => write!(
+                f,
+                "SAME/ALL_DIFFERENT requires unconditional singletons, but {var} is not one"
+            ),
+            Error::GroupJoin { var } => {
+                write!(f, "group variable {var} cannot participate in an equi-join")
+            }
+            Error::GroupAsSingleton { var } => write!(
+                f,
+                "group variable {var} must be referenced through an aggregate here"
+            ),
+            Error::UnknownVariable { var } => write!(f, "unknown variable {var}"),
+            Error::PathVarConflict { var } => {
+                write!(f, "path variable {var} conflicts with another declaration")
+            }
+            Error::KindConflict { var } => {
+                write!(f, "variable {var} is used as both a node and an edge variable")
+            }
+            Error::LimitExceeded { what, limit } => {
+                write!(f, "evaluation limit exceeded: more than {limit} {what}")
+            }
+            Error::Unsupported(s) => write!(f, "unsupported: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        let e = Error::UnboundedQuantifier {
+            quantifier: "+".into(),
+        };
+        assert!(e.to_string().contains('+'));
+        let e = Error::ConditionalJoin { var: "y".into() };
+        assert!(e.to_string().contains('y'));
+        let e = Error::LimitExceeded {
+            what: "matches",
+            limit: 10,
+        };
+        assert!(e.to_string().contains("10 matches"));
+    }
+}

@@ -1,0 +1,1458 @@
+//! The production pattern matcher.
+//!
+//! A normalized path pattern is compiled into a small NFA whose ε-moves
+//! carry *actions* (test a node pattern, open/close a parenthesized scope,
+//! enter/exit a quantifier iteration, record an alternation branch) and
+//! whose consuming moves traverse one graph edge under an edge pattern.
+//! Matching walks the product of the graph and this NFA:
+//!
+//! * **Restrictors prune during search** (§5.1): each active `TRAIL` /
+//!   `ACYCLIC` / `SIMPLE` scope carries the boundary of its sub-walk and
+//!   rejects extensions that would repeat an edge or node.
+//! * **Selectors drive the search for unbounded quantifiers**: when an
+//!   unbounded quantifier is covered only by a selector, the engine runs a
+//!   levelized breadth-first search with *dominance pruning* — a state
+//!   whose key (NFA state, current node, capped loop counters, singleton
+//!   bindings) has already been reached at `k` strictly shorter lengths is
+//!   discarded, where `k` is the number of length groups the selector can
+//!   keep. Group-variable accumulations are deliberately excluded from the
+//!   key: they never affect future matchability, only outputs, and longer
+//!   arrivals are exactly the outputs the selector throws away.
+//!
+//! The matcher returns raw [`PathBinding`]s; reduction, deduplication, and
+//! selector application happen in [`super`].
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+use property_graph::{NodeId, Path, PropertyGraph, Step};
+
+use crate::analysis::Analysis;
+use crate::ast::{
+    EdgePattern, Expr, NodePattern, PathPattern, Quantifier, Restrictor,
+};
+use crate::binding::{BoundValue, PathBinding};
+use crate::error::{Error, Result};
+use crate::eval::filter;
+use crate::eval::EvalOptions;
+use crate::normalize::is_anonymous;
+
+// ---------------------------------------------------------------------------
+// NFA representation
+// ---------------------------------------------------------------------------
+
+/// ε-transition actions.
+#[derive(Clone, Debug)]
+enum Action {
+    /// Plain ε.
+    None,
+    /// Test the current node against a node pattern; bind its variable.
+    NodeTest(usize),
+    /// Begin a parenthesized scope (restrictor bookkeeping).
+    OpenParen(usize),
+    /// End a parenthesized scope; evaluate its `WHERE` prefilter.
+    CloseParen(usize),
+    /// Enter a quantifier (push a loop counter).
+    EnterQuant(usize),
+    /// Begin one iteration (push a variable frame). Guarded by `count < max`.
+    IterStart(usize),
+    /// End one iteration (merge the frame into groups, bump the counter).
+    IterEnd(usize),
+    /// Leave the quantifier. Guarded by `count >= min`.
+    ExitQuant(usize),
+    /// Record which `|+|` branch was taken (multiset provenance, §4.5).
+    AltMark(u32),
+}
+
+#[derive(Clone, Debug)]
+struct EpsTrans {
+    to: usize,
+    action: Action,
+}
+
+#[derive(Clone, Debug, Default)]
+struct StateData {
+    eps: Vec<EpsTrans>,
+    /// Consuming transitions: `(target state, edge-pattern index)`.
+    edges: Vec<(usize, usize)>,
+}
+
+#[derive(Clone, Debug)]
+struct QuantMeta {
+    min: u32,
+    max: Option<u32>,
+    /// True for `?`: variables inside are exposed as conditional
+    /// singletons instead of group variables (§4.6).
+    expose_conditional: bool,
+    /// All named variables declared in the body (with their kinds), used
+    /// to bind empty groups when the quantifier iterates zero times.
+    body_vars: Vec<(String, bool /*is_edge*/)>,
+}
+
+#[derive(Clone, Debug)]
+struct ParenMeta {
+    restrictor: Option<Restrictor>,
+    predicate: Option<Expr>,
+}
+
+/// A compiled path pattern.
+pub(crate) struct Nfa {
+    states: Vec<StateData>,
+    start: usize,
+    accept: usize,
+    node_pats: Vec<NodePattern>,
+    edge_pats: Vec<EdgePattern>,
+    quants: Vec<QuantMeta>,
+    parens: Vec<ParenMeta>,
+    /// True when some unbounded quantifier is not inside any restrictor
+    /// scope — the case that needs selector-driven dominance pruning.
+    has_unrestricted_unbounded: bool,
+}
+
+struct Compiler {
+    nfa: Nfa,
+}
+
+impl Compiler {
+    fn new() -> Compiler {
+        Compiler {
+            nfa: Nfa {
+                states: Vec::new(),
+                start: 0,
+                accept: 0,
+                node_pats: Vec::new(),
+                edge_pats: Vec::new(),
+                quants: Vec::new(),
+                parens: Vec::new(),
+                has_unrestricted_unbounded: false,
+            },
+        }
+    }
+
+    fn state(&mut self) -> usize {
+        self.nfa.states.push(StateData::default());
+        self.nfa.states.len() - 1
+    }
+
+    fn eps(&mut self, from: usize, to: usize, action: Action) {
+        self.nfa.states[from].eps.push(EpsTrans { to, action });
+    }
+
+    /// Compiles `p`, returning the fragment's `(entry, exit)` states.
+    /// `restricted` is true while a restrictor scope encloses the fragment.
+    fn compile(&mut self, p: &PathPattern, restricted: bool) -> (usize, usize) {
+        match p {
+            PathPattern::Node(n) => {
+                let s = self.state();
+                let e = self.state();
+                self.nfa.node_pats.push(n.clone());
+                let idx = self.nfa.node_pats.len() - 1;
+                self.eps(s, e, Action::NodeTest(idx));
+                (s, e)
+            }
+            PathPattern::Edge(ep) => {
+                let s = self.state();
+                let e = self.state();
+                self.nfa.edge_pats.push(ep.clone());
+                let idx = self.nfa.edge_pats.len() - 1;
+                self.nfa.states[s].edges.push((e, idx));
+                (s, e)
+            }
+            PathPattern::Concat(parts) => {
+                let s = self.state();
+                let mut cur = s;
+                for part in parts {
+                    let (ps, pe) = self.compile(part, restricted);
+                    self.eps(cur, ps, Action::None);
+                    cur = pe;
+                }
+                (s, cur)
+            }
+            PathPattern::Paren { restrictor, inner, predicate } => {
+                self.nfa.parens.push(ParenMeta {
+                    restrictor: *restrictor,
+                    predicate: predicate.clone(),
+                });
+                let id = self.nfa.parens.len() - 1;
+                let inner_restricted = restricted || restrictor.is_some();
+                let (is, ie) = self.compile(inner, inner_restricted);
+                let s = self.state();
+                let e = self.state();
+                self.eps(s, is, Action::OpenParen(id));
+                self.eps(ie, e, Action::CloseParen(id));
+                (s, e)
+            }
+            PathPattern::Quantified { inner, quantifier } => {
+                self.compile_loop(inner, *quantifier, false, restricted)
+            }
+            PathPattern::Questioned(inner) => {
+                self.compile_loop(inner, Quantifier::range(0, Some(1)), true, restricted)
+            }
+            PathPattern::Union(branches) => {
+                let s = self.state();
+                let e = self.state();
+                for b in branches {
+                    let (bs, be) = self.compile(b, restricted);
+                    self.eps(s, bs, Action::None);
+                    self.eps(be, e, Action::None);
+                }
+                (s, e)
+            }
+            PathPattern::Alternation(branches) => {
+                let s = self.state();
+                let e = self.state();
+                for (i, b) in branches.iter().enumerate() {
+                    let (bs, be) = self.compile(b, restricted);
+                    self.eps(s, bs, Action::AltMark(i as u32));
+                    self.eps(be, e, Action::None);
+                }
+                (s, e)
+            }
+        }
+    }
+
+    fn compile_loop(
+        &mut self,
+        body: &PathPattern,
+        q: Quantifier,
+        expose_conditional: bool,
+        restricted: bool,
+    ) -> (usize, usize) {
+        let mut body_vars = Vec::new();
+        collect_vars(body, &mut body_vars);
+        self.nfa.quants.push(QuantMeta {
+            min: q.min,
+            max: q.max,
+            expose_conditional,
+            body_vars,
+        });
+        let id = self.nfa.quants.len() - 1;
+        if q.is_unbounded() && !restricted {
+            self.nfa.has_unrestricted_unbounded = true;
+        }
+
+        let s = self.state();
+        let head = self.state();
+        let e = self.state();
+        self.eps(s, head, Action::EnterQuant(id));
+        let (bs, be) = self.compile(body, restricted);
+        self.eps(head, bs, Action::IterStart(id));
+        self.eps(be, head, Action::IterEnd(id));
+        self.eps(head, e, Action::ExitQuant(id));
+        (s, e)
+    }
+}
+
+/// Collects all named (non-anonymous) variables in a pattern subtree.
+fn collect_vars(p: &PathPattern, out: &mut Vec<(String, bool)>) {
+    match p {
+        PathPattern::Node(n) => {
+            if let Some(v) = &n.var {
+                if !is_anonymous(v) && !out.iter().any(|(n2, _)| n2 == v) {
+                    out.push((v.clone(), false));
+                }
+            }
+        }
+        PathPattern::Edge(e) => {
+            if let Some(v) = &e.var {
+                if !is_anonymous(v) && !out.iter().any(|(n2, _)| n2 == v) {
+                    out.push((v.clone(), true));
+                }
+            }
+        }
+        PathPattern::Concat(parts) => parts.iter().for_each(|x| collect_vars(x, out)),
+        PathPattern::Paren { inner, .. } => collect_vars(inner, out),
+        PathPattern::Quantified { inner, .. } => collect_vars(inner, out),
+        PathPattern::Questioned(inner) => collect_vars(inner, out),
+        PathPattern::Union(bs) | PathPattern::Alternation(bs) => {
+            bs.iter().for_each(|x| collect_vars(x, out))
+        }
+    }
+}
+
+/// Compiles a normalized path pattern.
+pub(crate) fn compile(pattern: &PathPattern) -> Nfa {
+    let mut c = Compiler::new();
+    let (s, e) = c.compile(pattern, false);
+    c.nfa.start = s;
+    c.nfa.accept = e;
+    c.nfa
+}
+
+// ---------------------------------------------------------------------------
+// Runtime state
+// ---------------------------------------------------------------------------
+
+/// One iteration's variable frame.
+#[derive(Clone, Debug)]
+struct Frame {
+    qid: usize,
+    locals: BTreeMap<String, BoundValue>,
+    edges_at_start: usize,
+}
+
+/// A live restrictor scope over a suffix of the walk.
+#[derive(Clone, Debug)]
+struct Scope {
+    paren: usize,
+    restrictor: Restrictor,
+    node_start: usize,
+    edge_start: usize,
+    /// SIMPLE scope that has returned to its start node: no further steps.
+    closed: bool,
+}
+
+/// Loop bookkeeping for one active quantifier.
+#[derive(Clone, Debug)]
+struct Loop {
+    qid: usize,
+    count: u32,
+    /// The previous iteration consumed no edges; further iterations cannot
+    /// make progress (bodies are homogeneous), so only run them while the
+    /// minimum has not been met.
+    stalled: bool,
+}
+
+#[derive(Clone, Debug)]
+struct RunState {
+    at: usize,
+    path: Path,
+    globals: BTreeMap<String, BoundValue>,
+    frames: Vec<Frame>,
+    scopes: Vec<Scope>,
+    loops: Vec<Loop>,
+    alt_marks: Vec<u32>,
+    /// Prefilters whose variables were not yet bound when encountered;
+    /// re-checked when the match completes.
+    deferred: Vec<Expr>,
+    /// Completed restrictor scopes as `(restrictor, first node index,
+    /// last node index)` — only recorded under the deferred-restrictor
+    /// ablation, where they are validated at match completion instead of
+    /// pruning the search.
+    spans: Vec<(Restrictor, usize, usize)>,
+}
+
+impl RunState {
+    fn current(&self) -> NodeId {
+        self.path.end()
+    }
+
+    /// The innermost visible binding of `var`.
+    fn lookup(&self, var: &str) -> Option<&BoundValue> {
+        for f in self.frames.iter().rev() {
+            if let Some(v) = f.locals.get(var) {
+                return Some(v);
+            }
+        }
+        self.globals.get(var)
+    }
+
+    /// Binds `var` to `value`, enforcing the implicit equi-join when the
+    /// variable is already visible. Returns false if the join fails.
+    ///
+    /// A *group accumulation* visible outside the innermost frame is not a
+    /// join partner: each quantifier iteration binds the variable afresh
+    /// and the accumulation only collects the per-iteration values.
+    fn bind(&mut self, var: &str, value: BoundValue) -> bool {
+        if is_anonymous(var) {
+            return true;
+        }
+        let innermost = self.frames.len().wrapping_sub(1);
+        for (i, f) in self.frames.iter().enumerate().rev() {
+            if let Some(existing) = f.locals.get(var) {
+                if existing.is_singleton() || matches!(existing, BoundValue::Path(_)) {
+                    return *existing == value;
+                }
+                // A group in the innermost frame means the variable was
+                // already consumed by an inner quantifier this iteration —
+                // re-binding it is a (rejected) cross-scope join.
+                if i == innermost {
+                    return false;
+                }
+                break; // outer accumulation: shadow with a fresh local
+            }
+        }
+        if self.frames.is_empty() {
+            if let Some(existing) = self.globals.get(var) {
+                return *existing == value;
+            }
+        } else if let Some(existing) = self.globals.get(var) {
+            if existing.is_singleton() {
+                // An outer singleton joins with inner references... but a
+                // singleton visible from inside a quantifier is the
+                // group/singleton conflict analysis rejects; treat as join.
+                return *existing == value;
+            }
+            // Outer group accumulation: shadow below.
+        }
+        let target = match self.frames.last_mut() {
+            Some(f) => &mut f.locals,
+            None => &mut self.globals,
+        };
+        target.insert(var.to_owned(), value);
+        true
+    }
+
+    /// A stable fingerprint of everything except group accumulations and
+    /// the walk body — the dominance-pruning key (see module docs).
+    ///
+    /// Loop counters are capped: past `min` (for unbounded quantifiers) or
+    /// `max` (for bounded ones) further iterations do not change what the
+    /// state can still match, so capped counts keep the key space finite —
+    /// which is exactly what makes selector-driven search terminate.
+    fn prune_key(&self, quants: &[QuantMeta]) -> String {
+        use std::fmt::Write;
+        let mut s = String::with_capacity(64);
+        let _ = write!(s, "{}@{:?}|{:?}", self.at, self.path.start(), self.current());
+        for l in &self.loops {
+            let q = &quants[l.qid];
+            let cap = q.max.unwrap_or(q.min);
+            let _ = write!(s, ";L{}={}/{}", l.qid, l.count.min(cap), l.stalled as u8);
+        }
+        for (k, v) in &self.globals {
+            if !matches!(v, BoundValue::NodeGroup(_) | BoundValue::EdgeGroup(_)) {
+                let _ = write!(s, ";g{k}={v:?}");
+            }
+        }
+        for f in &self.frames {
+            let _ = write!(s, ";f{}", f.qid);
+            for (k, v) in &f.locals {
+                let _ = write!(s, ",{k}={v:?}");
+            }
+        }
+        let _ = write!(s, "|a{:?}|d{}", self.alt_marks, self.deferred.len());
+        s
+    }
+}
+
+struct StateEnv<'a>(&'a RunState);
+
+impl filter::Env for StateEnv<'_> {
+    fn lookup(&self, var: &str) -> Option<BoundValue> {
+        self.0.lookup(var).cloned()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The matcher
+// ---------------------------------------------------------------------------
+
+/// How aggressively dominated states may be pruned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PruneMode {
+    /// Keep everything (restrictors and bounds already make the search
+    /// finite).
+    Exhaustive,
+    /// Keep states reachable within the first `k` distinct arrival
+    /// lengths per key (selector-driven search).
+    ShortestGroups(usize),
+}
+
+pub(crate) struct Matcher<'g> {
+    graph: &'g PropertyGraph,
+    nfa: Nfa,
+    opts: &'g EvalOptions,
+    path_restrictor: Option<Restrictor>,
+    prune: PruneMode,
+    max_edges: usize,
+    /// Ablation: restrictors validated at completion instead of pruning
+    /// in-search (see `EvalOptions::defer_restrictors`).
+    defer: bool,
+}
+
+impl<'g> Matcher<'g> {
+    /// Builds a matcher for one (normalized) path pattern.
+    pub(crate) fn new(
+        graph: &'g PropertyGraph,
+        pattern: &PathPattern,
+        path_restrictor: Option<Restrictor>,
+        selector_groups: Option<usize>,
+        _analysis: &Analysis,
+        opts: &'g EvalOptions,
+    ) -> Result<Matcher<'g>> {
+        let nfa = compile(pattern);
+        let needs_pruning = nfa.has_unrestricted_unbounded && path_restrictor.is_none();
+        let prune = if needs_pruning {
+            match selector_groups {
+                Some(k) => PruneMode::ShortestGroups(k),
+                None => {
+                    return Err(Error::UnboundedQuantifier {
+                        quantifier: "*".to_owned(),
+                    })
+                }
+            }
+        } else {
+            PruneMode::Exhaustive
+        };
+        let static_cap = static_edge_bound(pattern, graph, path_restrictor);
+        let max_edges = static_cap.min(opts.max_path_length);
+        let defer = opts.defer_restrictors;
+        Ok(Matcher { graph, nfa, opts, path_restrictor, prune, max_edges, defer })
+    }
+
+    /// Runs the search from every node of the graph, returning all raw
+    /// matches (not yet reduced/deduplicated/selected).
+    pub(crate) fn run(&self) -> Result<Vec<PathBinding>> {
+        let mut results: Vec<PathBinding> = Vec::new();
+        let mut queue: VecDeque<RunState> = VecDeque::new();
+        // Dominance bookkeeping: key → distinct arrival lengths seen.
+        let mut seen: HashMap<String, BTreeSet<usize>> = HashMap::new();
+
+        for n in self.graph.nodes() {
+            let mut init = RunState {
+                at: self.nfa.start,
+                path: Path::single(n),
+                globals: BTreeMap::new(),
+                frames: Vec::new(),
+                scopes: Vec::new(),
+                loops: Vec::new(),
+                alt_marks: Vec::new(),
+                deferred: Vec::new(),
+                spans: Vec::new(),
+            };
+            if let Some(r) = self.path_restrictor {
+                init.scopes.push(Scope {
+                    paren: usize::MAX,
+                    restrictor: r,
+                    node_start: 0,
+                    edge_start: 0,
+                    closed: false,
+                });
+            }
+            self.advance_eps(init, &mut queue, &mut results, &mut seen)?;
+        }
+
+        while let Some(state) = queue.pop_front() {
+            if state.path.len() >= self.max_edges {
+                continue;
+            }
+            let consuming = self.nfa.states[state.at].edges.clone();
+            for (target, ep_idx) in consuming {
+                let ep = &self.nfa.edge_pats[ep_idx];
+                let cur = state.current();
+                for step in self.graph.steps(cur) {
+                    if let Some(next) = self.try_step(&state, target, ep, *step) {
+                        self.advance_eps(next, &mut queue, &mut results, &mut seen)?;
+                    }
+                }
+            }
+            if results.len() > self.opts.max_matches {
+                return Err(Error::LimitExceeded {
+                    what: "matches",
+                    limit: self.opts.max_matches,
+                });
+            }
+        }
+        Ok(results)
+    }
+
+    /// Attempts one graph step under an edge pattern, returning the
+    /// successor state if direction, labels, restrictors, bindings, and
+    /// prefilters all admit it.
+    fn try_step(
+        &self,
+        state: &RunState,
+        target: usize,
+        ep: &EdgePattern,
+        step: Step,
+    ) -> Option<RunState> {
+        if !ep.direction.permits(step.traversal) {
+            return None;
+        }
+        let edata = self.graph.edge(step.edge);
+        if let Some(l) = &ep.label {
+            if !l.matches(&edata.labels) {
+                return None;
+            }
+        }
+        // Restrictor scopes prune during the search (§5.1) — unless the
+        // deferred-restrictor ablation postpones the checks to finalize.
+        if !self.defer {
+            for scope in &state.scopes {
+                if scope.closed {
+                    return None;
+                }
+                match scope.restrictor {
+                    Restrictor::Trail => {
+                        if state.path.edges()[scope.edge_start..].contains(&step.edge) {
+                            return None;
+                        }
+                    }
+                    Restrictor::Acyclic => {
+                        if state.path.nodes()[scope.node_start..].contains(&step.to) {
+                            return None;
+                        }
+                    }
+                    Restrictor::Simple => {
+                        let nodes = &state.path.nodes()[scope.node_start..];
+                        if nodes.contains(&step.to) && step.to != nodes[0] {
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut next = state.clone();
+        next.at = target;
+        next.path.push(step.edge, step.to);
+        // Close SIMPLE scopes that returned to their start node.
+        if !self.defer {
+            for scope in &mut next.scopes {
+                if scope.restrictor == Restrictor::Simple
+                    && step.to == state.path.nodes()[scope.node_start]
+                {
+                    scope.closed = true;
+                }
+            }
+        }
+        if let Some(v) = &ep.var {
+            if !next.bind(v, BoundValue::Edge(step.edge)) {
+                return None;
+            }
+        }
+        if let Some(pred) = &ep.predicate {
+            if !self.check_prefilter(&mut next, pred) {
+                return None;
+            }
+        }
+        Some(next)
+    }
+
+    /// Evaluates a prefilter, deferring it when it references variables
+    /// that are not bound yet.
+    fn check_prefilter(&self, state: &mut RunState, pred: &Expr) -> bool {
+        let mut unbound = false;
+        pred.visit_vars(&mut |v, _| {
+            if !is_anonymous(v) && state.lookup(v).is_none() {
+                unbound = true;
+            }
+        });
+        if unbound {
+            state.deferred.push(pred.clone());
+            return true;
+        }
+        filter::truth(self.graph, &StateEnv(state), pred) == Some(true)
+    }
+
+    /// ε-closure with actions: explores all ε-reachable configurations,
+    /// queueing those with consuming transitions and recording accepts.
+    fn advance_eps(
+        &self,
+        from: RunState,
+        queue: &mut VecDeque<RunState>,
+        results: &mut Vec<PathBinding>,
+        seen: &mut HashMap<String, BTreeSet<usize>>,
+    ) -> Result<()> {
+        let mut stack = vec![from];
+        let mut visited: HashSet<String> = HashSet::new();
+        while let Some(state) = stack.pop() {
+            // ε-closure cycle protection must distinguish *complete*
+            // configurations (including group accumulations), unlike the
+            // dominance key.
+            let vkey = format!(
+                "{}#{:?}#{:?}#{:?}#{:?}#{:?}#{}#{}",
+                state.at,
+                state.loops,
+                state.frames,
+                state.globals,
+                state.scopes.len(),
+                state.alt_marks,
+                state.deferred.len(),
+                state.spans.len()
+            );
+            if !visited.insert(vkey) {
+                continue;
+            }
+            if state.at == self.nfa.accept {
+                if let Some(b) = self.finalize(&state) {
+                    results.push(b);
+                }
+            }
+            if !self.nfa.states[state.at].edges.is_empty() {
+                self.enqueue(state.clone(), queue, seen)?;
+            }
+            let eps = self.nfa.states[state.at].eps.clone();
+            for t in eps {
+                if let Some(next) = self.apply_action(&state, &t) {
+                    stack.push(next);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn enqueue(
+        &self,
+        state: RunState,
+        queue: &mut VecDeque<RunState>,
+        seen: &mut HashMap<String, BTreeSet<usize>>,
+    ) -> Result<()> {
+        if let PruneMode::ShortestGroups(k) = self.prune {
+            // Pruning is only sound for states without live restrictor
+            // scopes (scope memory affects future matchability).
+            if state.scopes.is_empty() {
+                let key = state.prune_key(&self.nfa.quants);
+                let lengths = seen.entry(key).or_default();
+                let len = state.path.len();
+                let shorter = lengths.range(..len).count();
+                if shorter >= k {
+                    return Ok(());
+                }
+                lengths.insert(len);
+            }
+        }
+        if queue.len() >= self.opts.max_frontier {
+            return Err(Error::LimitExceeded {
+                what: "frontier states",
+                limit: self.opts.max_frontier,
+            });
+        }
+        queue.push_back(state);
+        Ok(())
+    }
+
+    fn apply_action(&self, state: &RunState, t: &EpsTrans) -> Option<RunState> {
+        let mut next = state.clone();
+        next.at = t.to;
+        match &t.action {
+            Action::None => Some(next),
+            Action::AltMark(i) => {
+                next.alt_marks.push(*i);
+                Some(next)
+            }
+            Action::NodeTest(idx) => {
+                let np = &self.nfa.node_pats[*idx];
+                let n = next.current();
+                if let Some(l) = &np.label {
+                    if !l.matches(&self.graph.node(n).labels) {
+                        return None;
+                    }
+                }
+                if let Some(v) = &np.var {
+                    if !next.bind(v, BoundValue::Node(n)) {
+                        return None;
+                    }
+                }
+                if let Some(pred) = &np.predicate {
+                    if !self.check_prefilter(&mut next, pred) {
+                        return None;
+                    }
+                }
+                Some(next)
+            }
+            Action::OpenParen(id) => {
+                if let Some(r) = self.nfa.parens[*id].restrictor {
+                    next.scopes.push(Scope {
+                        paren: *id,
+                        restrictor: r,
+                        node_start: next.path.nodes().len() - 1,
+                        edge_start: next.path.edges().len(),
+                        closed: false,
+                    });
+                }
+                Some(next)
+            }
+            Action::CloseParen(id) => {
+                if let Some(pred) = &self.nfa.parens[*id].predicate {
+                    if !self.check_prefilter(&mut next, pred) {
+                        return None;
+                    }
+                }
+                if next
+                    .scopes
+                    .last()
+                    .is_some_and(|s| s.paren == *id)
+                {
+                    let scope = next.scopes.pop().expect("just checked");
+                    if self.defer {
+                        next.spans.push((
+                            scope.restrictor,
+                            scope.node_start,
+                            next.path.nodes().len() - 1,
+                        ));
+                    }
+                }
+                Some(next)
+            }
+            Action::EnterQuant(id) => {
+                next.loops.push(Loop { qid: *id, count: 0, stalled: false });
+                Some(next)
+            }
+            Action::IterStart(id) => {
+                let q = &self.nfa.quants[*id];
+                let l = next.loops.last()?;
+                debug_assert_eq!(l.qid, *id);
+                if let Some(max) = q.max {
+                    if l.count >= max {
+                        return None;
+                    }
+                }
+                if l.stalled && l.count >= q.min {
+                    return None;
+                }
+                next.frames.push(Frame {
+                    qid: *id,
+                    locals: BTreeMap::new(),
+                    edges_at_start: next.path.len(),
+                });
+                Some(next)
+            }
+            Action::IterEnd(id) => {
+                let q = &self.nfa.quants[*id];
+                let frame = next.frames.pop()?;
+                debug_assert_eq!(frame.qid, *id);
+                let progressed = next.path.len() > frame.edges_at_start;
+                // Merge iteration locals outward: group accumulation (or
+                // conditional-singleton exposure for `?`).
+                for (var, val) in frame.locals {
+                    if !merge_binding(&mut next, &var, val, q.expose_conditional) {
+                        return None;
+                    }
+                }
+                let l = next.loops.last_mut()?;
+                l.count += 1;
+                if !progressed {
+                    l.stalled = true;
+                }
+                Some(next)
+            }
+            Action::ExitQuant(id) => {
+                let q = &self.nfa.quants[*id];
+                let l = next.loops.pop()?;
+                debug_assert_eq!(l.qid, *id);
+                if l.count < q.min {
+                    return None;
+                }
+                // Variables of bodies that iterated zero times bind to the
+                // empty group (COUNT(e.*) = 0 in §5.3). `?` leaves its
+                // conditional singletons unbound instead.
+                if !q.expose_conditional {
+                    for (var, is_edge) in &q.body_vars {
+                        if next.lookup(var).is_none() {
+                            let empty = if *is_edge {
+                                BoundValue::EdgeGroup(Vec::new())
+                            } else {
+                                BoundValue::NodeGroup(Vec::new())
+                            };
+                            if !next.bind(var, empty) {
+                                return None;
+                            }
+                        }
+                    }
+                }
+                Some(next)
+            }
+        }
+    }
+
+    /// Turns an accepting state into a path binding, re-checking deferred
+    /// prefilters against the complete variable map (and, under the
+    /// deferred-restrictor ablation, the restrictor scopes).
+    fn finalize(&self, state: &RunState) -> Option<PathBinding> {
+        debug_assert!(state.frames.is_empty());
+        if self.defer {
+            let whole_end = state.path.nodes().len() - 1;
+            let spans = state
+                .spans
+                .iter()
+                .copied()
+                .chain(state.scopes.iter().map(|s| (s.restrictor, s.node_start, whole_end)));
+            for (r, s, e) in spans {
+                let sub = Path::new(
+                    state.path.nodes()[s..=e].to_vec(),
+                    state.path.edges()[s..e].to_vec(),
+                );
+                let ok = match r {
+                    Restrictor::Trail => sub.is_trail(),
+                    Restrictor::Acyclic => sub.is_acyclic(),
+                    Restrictor::Simple => sub.is_simple(),
+                };
+                if !ok {
+                    return None;
+                }
+            }
+        }
+        for pred in &state.deferred {
+            if filter::truth(self.graph, &StateEnv(state), pred) != Some(true) {
+                return None;
+            }
+        }
+        Some(PathBinding {
+            path: state.path.clone(),
+            bindings: state.globals.clone(),
+            alt_marks: state.alt_marks.clone(),
+        })
+    }
+}
+
+/// Merges one iteration-local binding outward at `IterEnd`.
+fn merge_binding(
+    state: &mut RunState,
+    var: &str,
+    val: BoundValue,
+    expose_conditional: bool,
+) -> bool {
+    let target = match state.frames.last_mut() {
+        Some(f) => &mut f.locals,
+        None => &mut state.globals,
+    };
+    if expose_conditional {
+        // `?` exposes singletons as conditional singletons (§4.6).
+        return match target.get(var) {
+            Some(existing) => *existing == val,
+            None => {
+                target.insert(var.to_owned(), val);
+                true
+            }
+        };
+    }
+    let entry = target.entry(var.to_owned()).or_insert_with(|| match val {
+        BoundValue::Node(_) | BoundValue::NodeGroup(_) => BoundValue::NodeGroup(Vec::new()),
+        BoundValue::Edge(_) | BoundValue::EdgeGroup(_) => BoundValue::EdgeGroup(Vec::new()),
+        BoundValue::Path(_) => BoundValue::NodeGroup(Vec::new()),
+    });
+    match (entry, val) {
+        (BoundValue::NodeGroup(g), BoundValue::Node(n)) => g.push(n),
+        (BoundValue::NodeGroup(g), BoundValue::NodeGroup(ns)) => g.extend(ns),
+        (BoundValue::EdgeGroup(g), BoundValue::Edge(e)) => g.push(e),
+        (BoundValue::EdgeGroup(g), BoundValue::EdgeGroup(es)) => g.extend(es),
+        _ => return false,
+    }
+    true
+}
+
+/// A conservative static bound on the number of edges any match can use;
+/// `usize::MAX / 4` stands for "unbounded" (then selector pruning bounds
+/// the search instead).
+fn static_edge_bound(
+    pattern: &PathPattern,
+    graph: &PropertyGraph,
+    path_restrictor: Option<Restrictor>,
+) -> usize {
+    const INF: usize = usize::MAX / 4;
+    fn walk(p: &PathPattern, graph: &PropertyGraph) -> usize {
+        match p {
+            PathPattern::Node(_) => 0,
+            PathPattern::Edge(_) => 1,
+            PathPattern::Concat(parts) => parts
+                .iter()
+                .map(|x| walk(x, graph))
+                .fold(0usize, |a, b| a.saturating_add(b)),
+            PathPattern::Paren { restrictor, inner, .. } => {
+                let inner = walk(inner, graph);
+                match restrictor {
+                    Some(r) => inner.min(restrictor_bound(*r, graph)),
+                    None => inner,
+                }
+            }
+            PathPattern::Quantified { inner, quantifier } => {
+                let body = walk(inner, graph);
+                match quantifier.max {
+                    Some(m) => body.saturating_mul(m as usize),
+                    None => INF,
+                }
+            }
+            PathPattern::Questioned(inner) => walk(inner, graph),
+            PathPattern::Union(bs) | PathPattern::Alternation(bs) => {
+                bs.iter().map(|x| walk(x, graph)).max().unwrap_or(0)
+            }
+        }
+    }
+    let raw = walk(pattern, graph);
+    match path_restrictor {
+        Some(r) => raw.min(restrictor_bound(r, graph)),
+        None => raw,
+    }
+}
+
+fn restrictor_bound(r: Restrictor, graph: &PropertyGraph) -> usize {
+    match r {
+        // A trail uses each edge at most once.
+        Restrictor::Trail => graph.edge_count(),
+        // An acyclic path visits each node at most once.
+        Restrictor::Acyclic => graph.node_count().saturating_sub(1).max(1),
+        // A simple path may additionally close back to its start.
+        Restrictor::Simple => graph.node_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::ast::{Direction, GraphPattern, LabelExpr};
+    use crate::normalize::normalize;
+    use property_graph::{EdgeId, Endpoints, Value};
+
+    fn opts() -> EvalOptions {
+        EvalOptions::default()
+    }
+
+    fn run(
+        graph: &PropertyGraph,
+        pattern: PathPattern,
+        restrictor: Option<Restrictor>,
+        selector_groups: Option<usize>,
+    ) -> Vec<PathBinding> {
+        let gp = GraphPattern {
+            paths: vec![crate::ast::PathPatternExpr {
+                // A selector stands in for the termination cover when the
+                // test drives dominance pruning directly.
+                selector: selector_groups.map(|_| crate::ast::Selector::AnyShortest),
+                restrictor,
+                path_var: None,
+                pattern,
+            }],
+            where_clause: None,
+        };
+        let normalized = normalize(&gp);
+        let analysis = analyze(&normalized).unwrap();
+        let o = opts();
+        let m = Matcher::new(
+            graph,
+            &normalized.paths[0].pattern,
+            restrictor,
+            selector_groups,
+            &analysis,
+            &o,
+        )
+        .unwrap();
+        m.run().unwrap()
+    }
+
+    fn node(v: &str) -> PathPattern {
+        PathPattern::Node(NodePattern::var(v))
+    }
+
+    fn labeled(v: &str, l: &str) -> PathPattern {
+        PathPattern::Node(NodePattern::var(v).with_label(LabelExpr::label(l)))
+    }
+
+    fn edge_r(v: &str) -> PathPattern {
+        PathPattern::Edge(EdgePattern::any(Direction::Right).with_var(v))
+    }
+
+    fn chain3() -> (PropertyGraph, [NodeId; 3], [EdgeId; 2]) {
+        let mut g = PropertyGraph::new();
+        let a = g.add_node("a", ["N"], [("x", Value::Int(1))]);
+        let b = g.add_node("b", ["N"], [("x", Value::Int(2))]);
+        let c = g.add_node("c", ["M"], [("x", Value::Int(3))]);
+        let e1 = g.add_edge("e1", Endpoints::directed(a, b), ["T"], []);
+        let e2 = g.add_edge("e2", Endpoints::directed(b, c), ["T"], []);
+        (g, [a, b, c], [e1, e2])
+    }
+
+    #[test]
+    fn single_node_pattern_matches_every_node() {
+        let (g, ..) = chain3();
+        let ms = run(&g, node("x"), None, None);
+        assert_eq!(ms.len(), 3);
+        assert!(ms.iter().all(|m| m.path.is_empty()));
+    }
+
+    #[test]
+    fn label_filters_nodes() {
+        let (g, [_, _, c], _) = chain3();
+        let ms = run(&g, labeled("x", "M"), None, None);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].get("x"), Some(&BoundValue::Node(c)));
+    }
+
+    #[test]
+    fn edge_pattern_binds_endpoints() {
+        let (g, [a, b, _], [e1, _]) = chain3();
+        let p = PathPattern::concat(vec![node("s"), edge_r("e"), node("t")]);
+        let ms = run(&g, p, None, None);
+        assert_eq!(ms.len(), 2);
+        let first = ms
+            .iter()
+            .find(|m| m.get("e") == Some(&BoundValue::Edge(e1)))
+            .unwrap();
+        assert_eq!(first.get("s"), Some(&BoundValue::Node(a)));
+        assert_eq!(first.get("t"), Some(&BoundValue::Node(b)));
+    }
+
+    #[test]
+    fn undirected_pattern_traverses_both_ways() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_node("a", ["N"], []);
+        let b = g.add_node("b", ["N"], []);
+        g.add_edge("u", Endpoints::undirected(a, b), ["U"], []);
+        let p = PathPattern::concat(vec![
+            node("s"),
+            PathPattern::Edge(EdgePattern::any(Direction::Undirected).with_var("e")),
+            node("t"),
+        ]);
+        let ms = run(&g, p, None, None);
+        // Once from each endpoint.
+        assert_eq!(ms.len(), 2);
+    }
+
+    #[test]
+    fn any_direction_matches_directed_twice() {
+        // (x)-[e]-(y): each directed edge returns twice, once per
+        // traversal direction (§4.2).
+        let mut g = PropertyGraph::new();
+        let a = g.add_node("a", ["N"], []);
+        let b = g.add_node("b", ["N"], []);
+        g.add_edge("d", Endpoints::directed(a, b), ["T"], []);
+        let p = PathPattern::concat(vec![
+            node("x"),
+            PathPattern::Edge(EdgePattern::any(Direction::Any).with_var("e")),
+            node("y"),
+        ]);
+        let ms = run(&g, p, None, None);
+        assert_eq!(ms.len(), 2);
+    }
+
+    #[test]
+    fn repeated_variable_is_equi_join() {
+        // (s)-[e1]->(m)-[e2]->(s): no triangle in a chain.
+        let (g, ..) = chain3();
+        let p = PathPattern::concat(vec![
+            node("s"),
+            edge_r("e1"),
+            node("m"),
+            edge_r("e2"),
+            node("s"),
+        ]);
+        assert!(run(&g, p, None, None).is_empty());
+
+        // Add the closing edge: the triangle appears.
+        let mut g = g;
+        let (a, c) = (g.node_by_name("a").unwrap(), g.node_by_name("c").unwrap());
+        g.add_edge("e3", Endpoints::directed(c, a), ["T"], []);
+        let p = PathPattern::concat(vec![
+            node("s"),
+            edge_r("e1"),
+            node("m"),
+            edge_r("e2"),
+            node("n"),
+            edge_r("e3"),
+            node("s"),
+        ]);
+        let ms = run(&g, p, None, None);
+        assert_eq!(ms.len(), 3); // one per rotation
+    }
+
+    #[test]
+    fn bounded_quantifier_lengths() {
+        let (g, [a, _, c], _) = chain3();
+        // (s)[()-[t]->()]{1,2}(d): paths of length 1 or 2.
+        let body = PathPattern::concat(vec![
+            PathPattern::Node(NodePattern::any()),
+            edge_r("t"),
+            PathPattern::Node(NodePattern::any()),
+        ])
+        .paren();
+        let p = PathPattern::concat(vec![
+            node("s"),
+            body.quantified(Quantifier::range(1, Some(2))),
+            node("d"),
+        ]);
+        let ms = run(&g, p, None, None);
+        // length 1: a→b, b→c; length 2: a→b→c.
+        assert_eq!(ms.len(), 3);
+        let two = ms.iter().find(|m| m.path.len() == 2).unwrap();
+        assert_eq!(two.get("s"), Some(&BoundValue::Node(a)));
+        assert_eq!(two.get("d"), Some(&BoundValue::Node(c)));
+        assert_eq!(
+            two.get("t"),
+            Some(&BoundValue::EdgeGroup(vec![EdgeId(0), EdgeId(1)]))
+        );
+    }
+
+    #[test]
+    fn zero_iterations_bind_empty_groups() {
+        let (g, ..) = chain3();
+        let body = PathPattern::concat(vec![
+            PathPattern::Node(NodePattern::any()),
+            edge_r("t"),
+            PathPattern::Node(NodePattern::any()),
+        ])
+        .paren();
+        let p = PathPattern::concat(vec![
+            node("s"),
+            body.quantified(Quantifier::range(0, Some(1))),
+        ]);
+        let ms = run(&g, p, None, None);
+        // 3 zero-iteration matches + 2 one-iteration matches.
+        assert_eq!(ms.len(), 5);
+        let zero = ms.iter().filter(|m| m.path.is_empty()).count();
+        assert_eq!(zero, 3);
+        for m in ms.iter().filter(|m| m.path.is_empty()) {
+            assert_eq!(m.get("t"), Some(&BoundValue::EdgeGroup(vec![])));
+        }
+    }
+
+    #[test]
+    fn trail_restrictor_prunes_repeated_edges() {
+        // Two-node cycle: a→b→a→b... TRAIL caps at 2 edges.
+        let mut g = PropertyGraph::new();
+        let a = g.add_node("a", ["N"], []);
+        let b = g.add_node("b", ["N"], []);
+        g.add_edge("ab", Endpoints::directed(a, b), ["T"], []);
+        g.add_edge("ba", Endpoints::directed(b, a), ["T"], []);
+        let body = PathPattern::concat(vec![
+            PathPattern::Node(NodePattern::any()),
+            edge_r("t"),
+            PathPattern::Node(NodePattern::any()),
+        ])
+        .paren();
+        let p = PathPattern::concat(vec![
+            node("s"),
+            body.quantified(Quantifier::plus()),
+            node("d"),
+        ]);
+        let ms = run(&g, p, Some(Restrictor::Trail), None);
+        // From a: a→b, a→b→a; from b: b→a, b→a→b. All trails.
+        assert_eq!(ms.len(), 4);
+        assert!(ms.iter().all(|m| m.path.is_trail()));
+    }
+
+    #[test]
+    fn acyclic_restrictor_prunes_repeated_nodes() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_node("a", ["N"], []);
+        let b = g.add_node("b", ["N"], []);
+        g.add_edge("ab", Endpoints::directed(a, b), ["T"], []);
+        g.add_edge("ba", Endpoints::directed(b, a), ["T"], []);
+        let body = PathPattern::concat(vec![
+            PathPattern::Node(NodePattern::any()),
+            edge_r("t"),
+            PathPattern::Node(NodePattern::any()),
+        ])
+        .paren();
+        let p = PathPattern::concat(vec![
+            node("s"),
+            body.quantified(Quantifier::plus()),
+            node("d"),
+        ]);
+        let ms = run(&g, p, Some(Restrictor::Acyclic), None);
+        // Only the two single-edge paths are acyclic.
+        assert_eq!(ms.len(), 2);
+    }
+
+    #[test]
+    fn simple_restrictor_allows_closing_cycle() {
+        // Triangle: SIMPLE admits the full cycle, ACYCLIC does not.
+        let mut g = PropertyGraph::new();
+        let a = g.add_node("a", ["N"], []);
+        let b = g.add_node("b", ["N"], []);
+        let c = g.add_node("c", ["N"], []);
+        g.add_edge("ab", Endpoints::directed(a, b), ["T"], []);
+        g.add_edge("bc", Endpoints::directed(b, c), ["T"], []);
+        g.add_edge("ca", Endpoints::directed(c, a), ["T"], []);
+        let body = PathPattern::concat(vec![
+            PathPattern::Node(NodePattern::any()),
+            edge_r("t"),
+            PathPattern::Node(NodePattern::any()),
+        ])
+        .paren();
+        let p = PathPattern::concat(vec![
+            node("s"),
+            body.clone().quantified(Quantifier::range(3, Some(3))),
+            node("s"),
+        ]);
+        let simple = run(&g, p.clone(), Some(Restrictor::Simple), None);
+        assert_eq!(simple.len(), 3); // one rotation per start
+        let acyclic = run(&g, p, Some(Restrictor::Acyclic), None);
+        assert!(acyclic.is_empty());
+    }
+
+    #[test]
+    fn selector_pruning_terminates_on_cycles() {
+        // a→b→a cycle with an unbounded star and no restrictor: selector
+        // pruning must terminate and find the shortest paths.
+        let mut g = PropertyGraph::new();
+        let a = g.add_node("a", ["N"], []);
+        let b = g.add_node("b", ["N"], []);
+        g.add_edge("ab", Endpoints::directed(a, b), ["T"], []);
+        g.add_edge("ba", Endpoints::directed(b, a), ["T"], []);
+        let body = PathPattern::concat(vec![
+            PathPattern::Node(NodePattern::any()),
+            edge_r("t"),
+            PathPattern::Node(NodePattern::any()),
+        ])
+        .paren();
+        let p = PathPattern::concat(vec![
+            node("s"),
+            body.quantified(Quantifier::star()),
+            node("d"),
+        ]);
+        let ms = run(&g, p, None, Some(1));
+        // Shortest per partition: (a,a) len 0, (b,b) len 0, (a,b) len 1,
+        // (b,a) len 1. Dominance pruning may keep a few extras; at minimum
+        // the shortest ones exist and the search terminated.
+        assert!(ms.iter().any(|m| m.path.is_empty()));
+        assert!(ms
+            .iter()
+            .any(|m| m.path.len() == 1 && m.path.start() == a && m.path.end() == b));
+        assert!(ms
+            .iter()
+            .any(|m| m.path.len() == 1 && m.path.start() == b && m.path.end() == a));
+        // Nothing longer than |N| per partition survives pruning at k=1.
+        assert!(ms.iter().all(|m| m.path.len() <= 2));
+    }
+
+    #[test]
+    fn question_mark_exposes_conditional_singletons() {
+        let (g, [_, b, c], [_, e2]) = chain3();
+        // (x) [-[e]->(y)]?
+        let opt = PathPattern::Questioned(Box::new(
+            PathPattern::concat(vec![edge_r("e"), node("y")]).paren(),
+        ));
+        let p = PathPattern::concat(vec![labeled("x", "N"), opt]);
+        let ms = run(&g, p, None, None);
+        // x∈{a,b} each with: no match, plus one extension. a→b, b→c.
+        assert_eq!(ms.len(), 4);
+        let with_edge: Vec<_> = ms.iter().filter(|m| m.path.len() == 1).collect();
+        assert_eq!(with_edge.len(), 2);
+        // Bound as singletons, not groups.
+        let m = with_edge
+            .iter()
+            .find(|m| m.get("x") == Some(&BoundValue::Node(b)))
+            .unwrap();
+        assert_eq!(m.get("e"), Some(&BoundValue::Edge(e2)));
+        assert_eq!(m.get("y"), Some(&BoundValue::Node(c)));
+        // Unmatched option leaves variables unbound.
+        let without: Vec<_> = ms.iter().filter(|m| m.path.is_empty()).collect();
+        assert!(without.iter().all(|m| m.get("e").is_none()));
+    }
+
+    #[test]
+    fn union_and_alternation_marks() {
+        let (g, ..) = chain3();
+        // (x:N) | (x:N): same matches; marks only differ for |+|.
+        let u = PathPattern::Union(vec![labeled("x", "N"), labeled("x", "N")]);
+        let ms = run(&g, u, None, None);
+        assert!(ms.iter().all(|m| m.alt_marks.is_empty()));
+
+        let alt = PathPattern::Alternation(vec![labeled("x", "N"), labeled("x", "N")]);
+        let ms = run(&g, alt, None, None);
+        assert_eq!(ms.len(), 4); // 2 nodes × 2 branches
+        assert!(ms.iter().all(|m| m.alt_marks.len() == 1));
+    }
+
+    #[test]
+    fn per_iteration_predicate() {
+        // [()-[t]->() WHERE t.w>1]{1,2} — only heavy edges.
+        let mut g = PropertyGraph::new();
+        let a = g.add_node("a", ["N"], []);
+        let b = g.add_node("b", ["N"], []);
+        let c = g.add_node("c", ["N"], []);
+        g.add_edge("ab", Endpoints::directed(a, b), ["T"], [("w", Value::Int(5))]);
+        g.add_edge("bc", Endpoints::directed(b, c), ["T"], [("w", Value::Int(0))]);
+        let body = PathPattern::Paren {
+            restrictor: None,
+            inner: Box::new(PathPattern::concat(vec![
+                PathPattern::Node(NodePattern::any()),
+                edge_r("t"),
+                PathPattern::Node(NodePattern::any()),
+            ])),
+            predicate: Some(Expr::cmp(
+                crate::ast::CmpOp::Gt,
+                Expr::prop("t", "w"),
+                Expr::lit(1),
+            )),
+        };
+        let p = PathPattern::concat(vec![
+            node("s"),
+            PathPattern::Quantified {
+                inner: Box::new(body),
+                quantifier: Quantifier::range(1, Some(2)),
+            },
+            node("d"),
+        ]);
+        let ms = run(&g, p, None, None);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].path.len(), 1);
+        assert_eq!(ms[0].get("s"), Some(&BoundValue::Node(a)));
+    }
+
+    #[test]
+    fn question_mark_nested_in_quantifier_groups_outward() {
+        // (s) [ (□)-[e]->(□) [~[u]~(p)]? ]{1,2} : the `?` exposes u/p as
+        // singletons within each iteration, and the enclosing quantifier
+        // then collects them into groups.
+        let mut g = PropertyGraph::new();
+        let a = g.add_node("a", ["N"], []);
+        let b = g.add_node("b", ["N"], []);
+        let c = g.add_node("c", ["N"], []);
+        let p1 = g.add_node("p1", ["P"], []);
+        g.add_edge("ab", Endpoints::directed(a, b), ["T"], []);
+        g.add_edge("bc", Endpoints::directed(b, c), ["T"], []);
+        g.add_edge("u1", Endpoints::undirected(b, p1), ["U"], []);
+        let opt = PathPattern::Questioned(Box::new(
+            PathPattern::concat(vec![
+                PathPattern::Edge(
+                    EdgePattern::any(Direction::Undirected).with_var("u"),
+                ),
+                PathPattern::Node(NodePattern::var("p").with_label(LabelExpr::label("P"))),
+            ])
+            .paren(),
+        ));
+        let body = PathPattern::concat(vec![
+            PathPattern::Node(NodePattern::any()),
+            PathPattern::Edge(
+                EdgePattern::any(Direction::Right)
+                    .with_var("e")
+                    .with_label(LabelExpr::label("T")),
+            ),
+            PathPattern::Node(NodePattern::any()),
+            opt,
+        ])
+        .paren();
+        let pattern = PathPattern::concat(vec![
+            node("s"),
+            PathPattern::Quantified {
+                inner: Box::new(body),
+                quantifier: Quantifier::range(1, Some(2)),
+            },
+        ]);
+        let ms = run(&g, pattern, None, None);
+        // Walks from a: a→b (±u1 detour), a→b~p1; a→b→c combinations; from
+        // b: b→c (no detour possible at c). Check the group classification:
+        // u and p become groups at the top level.
+        assert!(!ms.is_empty());
+        for m in &ms {
+            if let Some(v) = m.get("u") {
+                assert!(
+                    matches!(v, BoundValue::EdgeGroup(_)),
+                    "u must be grouped outward, got {v:?}"
+                );
+            }
+            if let Some(v) = m.get("p") {
+                assert!(matches!(v, BoundValue::NodeGroup(_)), "{v:?}");
+            }
+        }
+        // At least one match took the optional detour.
+        assert!(ms.iter().any(|m| matches!(
+            m.get("u"),
+            Some(BoundValue::EdgeGroup(es)) if !es.is_empty()
+        )));
+    }
+
+    #[test]
+    fn deferred_prefilter_on_later_variable() {
+        // (a WHERE a.x = d.x) -[e]-> (d): the prefilter mentions d before
+        // it is bound and must be re-checked at completion.
+        let mut g = PropertyGraph::new();
+        let a = g.add_node("a", ["N"], [("x", Value::Int(7))]);
+        let b = g.add_node("b", ["N"], [("x", Value::Int(7))]);
+        let c = g.add_node("c", ["N"], [("x", Value::Int(9))]);
+        g.add_edge("ab", Endpoints::directed(a, b), ["T"], []);
+        g.add_edge("ac", Endpoints::directed(a, c), ["T"], []);
+        let p = PathPattern::concat(vec![
+            PathPattern::Node(
+                NodePattern::var("a")
+                    .with_predicate(Expr::prop("a", "x").eq(Expr::prop("d", "x"))),
+            ),
+            edge_r("e"),
+            node("d"),
+        ]);
+        let ms = run(&g, p, None, None);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].get("d"), Some(&BoundValue::Node(b)));
+    }
+}

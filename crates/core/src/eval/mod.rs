@@ -1,0 +1,542 @@
+//! The production evaluation engine.
+//!
+//! [`evaluate`] runs a full graph pattern against a property graph,
+//! following the §6 execution model: each comma-separated path pattern is
+//! matched independently (normalization happened up front; expansion is
+//! implicit in the matcher's quantifier loops), its raw matches are
+//! *reduced* and *deduplicated* (§6.5), selectors are applied per endpoint
+//! partition (§5.1), and the per-pattern result sets are joined on shared
+//! unconditional singleton variables and filtered by the final `WHERE`
+//! postfilter.
+//!
+//! Three match modes reproduce the §3 semantic comparison:
+//!
+//! * [`MatchMode::Gpml`] — the paper's semantics (default);
+//! * [`MatchMode::EndpointOnly`] — SPARQL-style property-path semantics:
+//!   only path endpoints are observable, so results collapse to distinct
+//!   endpoint bindings (one cannot count or reconstruct paths);
+//! * [`MatchMode::GsqlDefault`] — GSQL's default `ALL SHORTEST`: an
+//!   unbounded quantifier with no explicit selector or restrictor
+//!   implicitly receives `ALL SHORTEST` instead of being rejected.
+
+pub(crate) mod filter;
+mod matcher;
+pub(crate) mod selector;
+
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
+
+use property_graph::PropertyGraph;
+
+pub use filter::{eval as eval_expr, truth as expr_truth, Env};
+
+use crate::analysis::analyze;
+use crate::ast::{GraphPattern, PathPattern, PathPatternExpr, Selector};
+use crate::binding::{BoundValue, MatchRow, MatchSet, PathBinding};
+use crate::error::Result;
+use crate::normalize::normalize;
+
+/// Semantics variant (§3 comparison modes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MatchMode {
+    /// The GPML semantics of the paper.
+    #[default]
+    Gpml,
+    /// SPARQL property-path semantics: endpoint existence only.
+    EndpointOnly,
+    /// GSQL semantics: unbounded quantifiers default to `ALL SHORTEST`.
+    GsqlDefault,
+}
+
+/// Match-isomorphism modes — the §7.1 language opportunity
+/// ("constraining a graph pattern through the introduction of isomorphic
+/// match modes").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MatchIso {
+    /// The GPML default: different pattern positions may match the same
+    /// graph element (homomorphic matching).
+    #[default]
+    Homomorphism,
+    /// All edges matched across all constituent path patterns of the
+    /// graph pattern must differ from each other.
+    EdgeIsomorphic,
+}
+
+/// Evaluation knobs and resource limits.
+#[derive(Clone, Debug)]
+pub struct EvalOptions {
+    /// Which of the §3 semantics to apply.
+    pub mode: MatchMode,
+    /// Optional §7.1 isomorphic match mode.
+    pub isomorphism: MatchIso,
+    /// Ablation knob: check restrictors only when a match completes
+    /// instead of pruning during the search. Semantics are unchanged
+    /// (static caps keep the search finite); cost is not — this is what
+    /// the EB8 ablation bench measures. Not meaningful together with
+    /// selector-covered unbounded quantifiers.
+    pub defer_restrictors: bool,
+    /// Abort after this many raw matches for a single path pattern.
+    pub max_matches: usize,
+    /// Hard cap on the number of edges in any matched walk.
+    pub max_path_length: usize,
+    /// Abort when the search frontier exceeds this many states.
+    pub max_frontier: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> EvalOptions {
+        EvalOptions {
+            mode: MatchMode::Gpml,
+            isomorphism: MatchIso::Homomorphism,
+            defer_restrictors: false,
+            max_matches: 1_000_000,
+            max_path_length: 10_000,
+            max_frontier: 1_000_000,
+        }
+    }
+}
+
+/// Evaluates `MATCH pattern` against `graph`.
+///
+/// Runs static analysis first (rejecting ill-formed patterns per §4.6 and
+/// §5), then matches, reduces, deduplicates, selects, joins, and applies
+/// the final `WHERE` postfilter.
+pub fn evaluate(
+    graph: &PropertyGraph,
+    pattern: &GraphPattern,
+    opts: &EvalOptions,
+) -> Result<MatchSet> {
+    let mut pattern = pattern.clone();
+    if opts.mode == MatchMode::GsqlDefault {
+        apply_gsql_default(&mut pattern);
+    }
+    let normalized = normalize(&pattern);
+    let analysis = analyze(&normalized)?;
+
+    let mut per_path: Vec<Vec<PathBinding>> = Vec::with_capacity(normalized.paths.len());
+    for expr in &normalized.paths {
+        let bindings = match_one(graph, expr, &analysis, opts)?;
+        per_path.push(bindings);
+    }
+
+    Ok(join_and_filter(graph, &normalized, &per_path, opts))
+}
+
+/// Cross product of the per-pattern match sets, joined on shared variables
+/// and filtered by the final `WHERE` (§6.5 "Multiple patterns"). Shared by
+/// the production engine and the §6 baseline.
+pub(crate) fn join_and_filter(
+    graph: &PropertyGraph,
+    normalized: &GraphPattern,
+    per_path: &[Vec<PathBinding>],
+    opts: &EvalOptions,
+) -> MatchSet {
+    let iso = opts.isomorphism;
+    // Rows carry the edges their constituent walks used so the
+    // edge-isomorphic mode (§7.1) can reject overlaps across patterns.
+    let mut rows: Vec<(MatchRow, Vec<property_graph::EdgeId>)> =
+        vec![(MatchRow::empty(), Vec::new())];
+    for (expr, bindings) in normalized.paths.iter().zip(per_path) {
+        let mut next = Vec::new();
+        for (row, used) in &rows {
+            'binding: for pb in bindings {
+                if iso == MatchIso::EdgeIsomorphic {
+                    // The walk itself must not repeat an edge, nor reuse
+                    // one matched by an earlier path pattern.
+                    if !pb.path.is_trail()
+                        || pb.path.edges().iter().any(|e| used.contains(e))
+                    {
+                        continue 'binding;
+                    }
+                }
+                let mut merged = row.clone();
+                for (var, val) in &pb.bindings {
+                    match merged.values.get(var) {
+                        Some(existing) if existing != val => continue 'binding,
+                        Some(_) => {}
+                        None => {
+                            merged.values.insert(var.clone(), val.clone());
+                        }
+                    }
+                }
+                if let Some(pv) = &expr.path_var {
+                    merged
+                        .values
+                        .insert(pv.clone(), BoundValue::Path(pb.path.clone()));
+                }
+                let mut used = used.clone();
+                used.extend_from_slice(pb.path.edges());
+                next.push((merged, used));
+            }
+        }
+        rows = next;
+    }
+
+    let mut rows: Vec<MatchRow> = rows.into_iter().map(|(r, _)| r).collect();
+    if let Some(post) = &normalized.where_clause {
+        // EXISTS subqueries are evaluated once per distinct subpattern
+        // and joined against each row on shared variable names.
+        let cache: RefCell<HashMap<GraphPattern, Option<MatchSet>>> = RefCell::new(HashMap::new());
+        rows.retain(|row| {
+            let env = RowEnv { graph, row, opts, cache: &cache };
+            filter::truth(graph, &env, post) == Some(true)
+        });
+    }
+
+    MatchSet { rows }
+}
+
+/// Postfilter environment: row lookups plus `EXISTS` subquery support
+/// with per-subpattern memoization.
+struct RowEnv<'a> {
+    graph: &'a PropertyGraph,
+    row: &'a MatchRow,
+    opts: &'a EvalOptions,
+    cache: &'a RefCell<HashMap<GraphPattern, Option<MatchSet>>>,
+}
+
+impl filter::Env for RowEnv<'_> {
+    fn lookup(&self, var: &str) -> Option<BoundValue> {
+        self.row.get(var).cloned()
+    }
+
+    fn exists(&self, pattern: &GraphPattern) -> Option<bool> {
+        let mut cache = self.cache.borrow_mut();
+        let sub = cache
+            .entry(pattern.clone())
+            .or_insert_with(|| evaluate(self.graph, pattern, self.opts).ok());
+        let sub = sub.as_ref()?;
+        // Correlation: a subquery match must agree with the enclosing row
+        // on every variable the two share.
+        Some(sub.rows.iter().any(|subrow| {
+            subrow
+                .values
+                .iter()
+                .all(|(var, val)| match self.row.get(var) {
+                    Some(outer) => outer == val,
+                    None => true,
+                })
+        }))
+    }
+}
+
+/// Matches one path pattern: raw search → reduce → dedup → selector. The
+/// SPARQL endpoint-only mode additionally collapses results to distinct
+/// endpoint bindings.
+fn match_one(
+    graph: &PropertyGraph,
+    expr: &PathPatternExpr,
+    analysis: &crate::analysis::Analysis,
+    opts: &EvalOptions,
+) -> Result<Vec<PathBinding>> {
+    let selector_groups = expr
+        .selector
+        .as_ref()
+        .and_then(selector::length_groups);
+    let m = matcher::Matcher::new(
+        graph,
+        &expr.pattern,
+        expr.restrictor,
+        selector_groups,
+        analysis,
+        opts,
+    )?;
+    let raw = m.run()?;
+
+    // Reduction and deduplication (§6.5).
+    let deduped: BTreeSet<PathBinding> = raw.into_iter().map(PathBinding::reduce).collect();
+    let mut bindings: Vec<PathBinding> = deduped.into_iter().collect();
+
+    if let Some(sel) = &expr.selector {
+        bindings = selector::apply(graph, sel, bindings);
+    }
+
+    if opts.mode == MatchMode::EndpointOnly {
+        // SPARQL property paths: only check path existence between
+        // endpoints; group bindings and path identity are unobservable.
+        let mut seen = BTreeSet::new();
+        bindings.retain(|b| {
+            let key = (b.path.start(), b.path.end(), b.alt_marks.clone());
+            seen.insert(key)
+        });
+        // Group bindings and path identity are unobservable; a canonical
+        // representative walk is kept so hosts can still expose endpoints.
+        for b in &mut bindings {
+            b.bindings.retain(|_, v| v.is_singleton());
+        }
+    }
+    Ok(bindings)
+}
+
+/// GSQL default semantics: an unbounded quantifier that has neither a
+/// selector nor a restrictor implicitly becomes `ALL SHORTEST` (§3).
+fn apply_gsql_default(pattern: &mut GraphPattern) {
+    for p in &mut pattern.paths {
+        if p.selector.is_none() && p.restrictor.is_none() && has_unbounded(&p.pattern) {
+            p.selector = Some(Selector::AllShortest);
+        }
+    }
+}
+
+fn has_unbounded(p: &PathPattern) -> bool {
+    match p {
+        PathPattern::Node(_) | PathPattern::Edge(_) => false,
+        PathPattern::Concat(parts) => parts.iter().any(has_unbounded),
+        PathPattern::Paren { restrictor, inner, .. } => {
+            // A restrictor inside the paren already bounds its subtree.
+            restrictor.is_none() && has_unbounded(inner)
+        }
+        PathPattern::Quantified { inner, quantifier } => {
+            quantifier.is_unbounded() || has_unbounded(inner)
+        }
+        PathPattern::Questioned(inner) => has_unbounded(inner),
+        PathPattern::Union(bs) | PathPattern::Alternation(bs) => bs.iter().any(has_unbounded),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+    use property_graph::{Endpoints, NodeId, Value};
+
+    fn node(v: &str) -> PathPattern {
+        PathPattern::Node(NodePattern::var(v))
+    }
+
+    fn edge_r(v: &str) -> PathPattern {
+        PathPattern::Edge(EdgePattern::any(Direction::Right).with_var(v))
+    }
+
+    /// A 4-cycle a→b→c→d→a with amounts.
+    fn cycle4() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let ids: Vec<NodeId> = (0..4)
+            .map(|i| {
+                g.add_node(
+                    &format!("n{i}"),
+                    ["Account"],
+                    [("owner", Value::str(format!("o{i}")))],
+                )
+            })
+            .collect();
+        for i in 0..4 {
+            let (s, d) = (ids[i], ids[(i + 1) % 4]);
+            g.add_edge(
+                &format!("t{i}"),
+                Endpoints::directed(s, d),
+                ["Transfer"],
+                [("amount", Value::Int(1 + i as i64))],
+            );
+        }
+        g
+    }
+
+    #[test]
+    fn cross_pattern_join_on_singleton() {
+        let g = cycle4();
+        // MATCH (s)-[e1]->(m), (m)-[e2]->(t): join on m.
+        let gp = GraphPattern {
+            paths: vec![
+                PathPatternExpr::plain(PathPattern::concat(vec![
+                    node("s"),
+                    edge_r("e1"),
+                    node("m"),
+                ])),
+                PathPatternExpr::plain(PathPattern::concat(vec![
+                    node("m"),
+                    edge_r("e2"),
+                    node("t"),
+                ])),
+            ],
+            where_clause: None,
+        };
+        let rs = evaluate(&g, &gp, &EvalOptions::default()).unwrap();
+        // Each of the 4 edges joins with exactly one follower.
+        assert_eq!(rs.len(), 4);
+        for row in rs.iter() {
+            assert_ne!(row.get("e1"), row.get("e2"));
+        }
+    }
+
+    #[test]
+    fn postfilter_with_group_aggregate() {
+        let g = cycle4();
+        // MATCH (a) [()-[t:Transfer]->()]{2,2} (b) WHERE SUM(t.amount) > 5
+        let body = PathPattern::concat(vec![
+            PathPattern::Node(NodePattern::any()),
+            PathPattern::Edge(
+                EdgePattern::any(Direction::Right)
+                    .with_var("t")
+                    .with_label(LabelExpr::label("Transfer")),
+            ),
+            PathPattern::Node(NodePattern::any()),
+        ])
+        .paren();
+        let gp = GraphPattern {
+            paths: vec![PathPatternExpr::plain(PathPattern::concat(vec![
+                node("a"),
+                body.quantified(Quantifier::range(2, Some(2))),
+                node("b"),
+            ]))],
+            where_clause: Some(Expr::cmp(
+                CmpOp::Gt,
+                Expr::Aggregate {
+                    func: AggFunc::Sum,
+                    arg: AggArg::Property("t".into(), "amount".into()),
+                    distinct: false,
+                },
+                Expr::lit(5),
+            )),
+        };
+        let rs = evaluate(&g, &gp, &EvalOptions::default()).unwrap();
+        // Chains of 2: sums 1+2=3, 2+3=5, 3+4=7, 4+1=5 → only 7 survives.
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn union_deduplicates_alternation_does_not() {
+        let g = cycle4();
+        let branch = || {
+            PathPattern::Node(NodePattern::var("c").with_label(LabelExpr::label("Account")))
+        };
+        // (c:Account) | (c:Account) → 4 rows (set).
+        let gp = GraphPattern::single(PathPattern::Union(vec![branch(), branch()]));
+        let rs = evaluate(&g, &gp, &EvalOptions::default()).unwrap();
+        assert_eq!(rs.len(), 4);
+        // (c:Account) |+| (c:Account) → 8 rows (multiset).
+        let gp = GraphPattern::single(PathPattern::Alternation(vec![branch(), branch()]));
+        let rs = evaluate(&g, &gp, &EvalOptions::default()).unwrap();
+        assert_eq!(rs.len(), 8);
+    }
+
+    #[test]
+    fn overlapping_quantifiers_union_equals_merged_range() {
+        // ->{1,2} | ->{2,3} over a directed chain ≡ ->{1,3} (§4.5).
+        let mut g = PropertyGraph::new();
+        let ns: Vec<NodeId> = (0..5).map(|i| g.add_node(&format!("n{i}"), ["N"], [])).collect();
+        for i in 0..4 {
+            g.add_edge(&format!("e{i}"), Endpoints::directed(ns[i], ns[i + 1]), ["T"], []);
+        }
+        let quant = |m, n| {
+            PathPattern::Edge(EdgePattern::any(Direction::Right))
+                .quantified(Quantifier::range(m, Some(n)))
+        };
+        let union = GraphPattern::single(PathPattern::Union(vec![quant(1, 2), quant(2, 3)]));
+        let merged = GraphPattern::single(quant(1, 3));
+        let a = evaluate(&g, &union, &EvalOptions::default()).unwrap();
+        let b = evaluate(&g, &merged, &EvalOptions::default()).unwrap();
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn selector_applies_after_dedup() {
+        let g = cycle4();
+        // ANY SHORTEST (a)[()-[t]->()]*(b): one path per reachable pair.
+        let body = PathPattern::concat(vec![
+            PathPattern::Node(NodePattern::any()),
+            edge_r("t"),
+            PathPattern::Node(NodePattern::any()),
+        ])
+        .paren();
+        let gp = GraphPattern {
+            paths: vec![PathPatternExpr {
+                selector: Some(Selector::AnyShortest),
+                restrictor: None,
+                path_var: Some("p".into()),
+                pattern: PathPattern::concat(vec![
+                    node("a"),
+                    body.quantified(Quantifier::star()),
+                    node("b"),
+                ]),
+            }],
+            where_clause: None,
+        };
+        let rs = evaluate(&g, &gp, &EvalOptions::default()).unwrap();
+        // 4×4 ordered pairs, all reachable on a cycle.
+        assert_eq!(rs.len(), 16);
+        for row in rs.iter() {
+            let p = row.get("p").unwrap().as_path().unwrap();
+            assert!(p.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn endpoint_only_mode_collapses_paths() {
+        let g = cycle4();
+        let body = PathPattern::concat(vec![
+            PathPattern::Node(NodePattern::any()),
+            edge_r("t"),
+            PathPattern::Node(NodePattern::any()),
+        ])
+        .paren();
+        let pattern = PathPattern::concat(vec![
+            node("a"),
+            body.quantified(Quantifier::range(1, Some(3))),
+            node("b"),
+        ]);
+        let gpml = evaluate(
+            &g,
+            &GraphPattern::single(pattern.clone()),
+            &EvalOptions::default(),
+        )
+        .unwrap();
+        let sparql = evaluate(
+            &g,
+            &GraphPattern::single(pattern),
+            &EvalOptions { mode: MatchMode::EndpointOnly, ..EvalOptions::default() },
+        )
+        .unwrap();
+        // GPML sees each path; SPARQL sees each endpoint pair once.
+        assert_eq!(gpml.len(), 12); // lengths 1,2,3 from each of 4 starts
+        assert_eq!(sparql.len(), 4 * 3); // distinct (start,end) pairs
+        assert!(sparql.len() <= gpml.len());
+    }
+
+    #[test]
+    fn gsql_default_mode_injects_all_shortest() {
+        let g = cycle4();
+        let body = PathPattern::concat(vec![
+            PathPattern::Node(NodePattern::any()),
+            edge_r("t"),
+            PathPattern::Node(NodePattern::any()),
+        ])
+        .paren();
+        let pattern = PathPattern::concat(vec![
+            node("a"),
+            body.quantified(Quantifier::plus()),
+            node("b"),
+        ]);
+        // Plain GPML rejects the uncovered `+`.
+        assert!(evaluate(
+            &g,
+            &GraphPattern::single(pattern.clone()),
+            &EvalOptions::default()
+        )
+        .is_err());
+        // GSQL mode evaluates it with implicit ALL SHORTEST.
+        let rs = evaluate(
+            &g,
+            &GraphPattern::single(pattern),
+            &EvalOptions { mode: MatchMode::GsqlDefault, ..EvalOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 16); // all ordered pairs incl. self via cycle
+    }
+
+    #[test]
+    fn empty_result_when_join_fails() {
+        let g = cycle4();
+        let gp = GraphPattern {
+            paths: vec![PathPatternExpr::plain(PathPattern::concat(vec![
+                node("s"),
+                edge_r("e"),
+                node("s"),
+            ]))],
+            where_clause: None,
+        };
+        // No self loops in a 4-cycle.
+        let rs = evaluate(&g, &gp, &EvalOptions::default()).unwrap();
+        assert!(rs.is_empty());
+    }
+}

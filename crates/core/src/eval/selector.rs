@@ -1,0 +1,252 @@
+//! Selector application (§5.1–§5.2, Figure 8).
+//!
+//! A selector conceptually partitions the solution space on the path's
+//! endpoints and keeps a finite subset of each partition. Selectors apply
+//! *after* restrictors and after reduction/deduplication (§5.1, §6.5).
+//!
+//! The paper classifies `ANY`, `ANY k`, `ANY SHORTEST`, and `SHORTEST k`
+//! as non-deterministic: an implementation may pick any admissible paths.
+//! This implementation picks canonically — shortest first, then the
+//! structurally smallest binding — so results are reproducible and the two
+//! engines agree exactly.
+
+use std::collections::BTreeMap;
+
+use property_graph::{NodeId, PropertyGraph};
+
+use crate::ast::Selector;
+use crate::binding::PathBinding;
+
+/// The cost of a walk under a weight property: the sum of the property
+/// over its edges, counting 1 for edges that lack it or hold a
+/// non-numeric value (§7.1 cheapest-path language opportunity).
+pub(crate) fn path_cost(graph: &PropertyGraph, b: &PathBinding, weight: &str) -> f64 {
+    b.path
+        .edges()
+        .iter()
+        .map(|e| graph.edge(*e).property(weight).as_f64().unwrap_or(1.0))
+        .sum()
+}
+
+/// Applies `selector` to a deduplicated match set.
+pub(crate) fn apply(
+    graph: &PropertyGraph,
+    selector: &Selector,
+    bindings: Vec<PathBinding>,
+) -> Vec<PathBinding> {
+    // Partition on endpoints.
+    let mut partitions: BTreeMap<(NodeId, NodeId), Vec<PathBinding>> = BTreeMap::new();
+    for b in bindings {
+        partitions
+            .entry((b.path.start(), b.path.end()))
+            .or_default()
+            .push(b);
+    }
+    let mut out = Vec::new();
+    for (_, mut part) in partitions {
+        // Canonical order: by length (or cost), then structurally.
+        match selector {
+            Selector::AnyCheapest { weight } | Selector::CheapestK { weight, .. } => {
+                part.sort_by(|a, b| {
+                    path_cost(graph, a, weight)
+                        .total_cmp(&path_cost(graph, b, weight))
+                        .then_with(|| a.path.len().cmp(&b.path.len()))
+                        .then_with(|| a.cmp(b))
+                });
+            }
+            _ => part.sort_by(|a, b| {
+                a.path.len().cmp(&b.path.len()).then_with(|| a.cmp(b))
+            }),
+        }
+        match selector {
+            Selector::Any | Selector::AnyShortest | Selector::AnyCheapest { .. } => {
+                out.extend(part.into_iter().next());
+            }
+            Selector::AnyK(k) => {
+                out.extend(part.into_iter().take(*k as usize));
+            }
+            Selector::AllShortest => {
+                let min = part.first().map(|b| b.path.len());
+                out.extend(
+                    part.into_iter()
+                        .take_while(|b| Some(b.path.len()) == min),
+                );
+            }
+            Selector::ShortestK(k) | Selector::CheapestK { k, .. } => {
+                out.extend(part.into_iter().take(*k as usize));
+            }
+            Selector::ShortestKGroup(k) => {
+                let mut lengths = Vec::new();
+                for b in part {
+                    if !lengths.contains(&b.path.len()) {
+                        if lengths.len() == *k as usize {
+                            break;
+                        }
+                        lengths.push(b.path.len());
+                    }
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// How many distinct length groups per partition the selector can keep —
+/// the dominance-pruning budget the matcher uses for unbounded
+/// quantifiers covered only by a selector. Cost-based selectors provide
+/// no length budget (see [`Selector::covers_termination`]).
+pub(crate) fn length_groups(selector: &Selector) -> Option<usize> {
+    match selector {
+        Selector::Any | Selector::AnyShortest | Selector::AllShortest => Some(1),
+        Selector::AnyK(k) | Selector::ShortestK(k) | Selector::ShortestKGroup(k) => {
+            Some((*k as usize).max(1))
+        }
+        Selector::AnyCheapest { .. } | Selector::CheapestK { .. } => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use property_graph::{EdgeId, Endpoints, Path, Value};
+
+    /// A dense dummy graph so any (nodes, edges) used by `pb` exist;
+    /// edge `e{i}` has weight i.
+    fn dummy() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let ns: Vec<_> = (0..8).map(|i| g.add_node(&format!("n{i}"), ["N"], [])).collect();
+        for i in 0..8u32 {
+            g.add_edge(
+                &format!("e{i}"),
+                Endpoints::directed(ns[(i % 8) as usize], ns[((i + 1) % 8) as usize]),
+                ["T"],
+                [("w", Value::Int(i as i64))],
+            );
+        }
+        g
+    }
+
+    /// Builds a binding for a synthetic path `n0 -e..-> nk` described by
+    /// node indices.
+    fn pb(nodes: &[u32], edges: &[u32]) -> PathBinding {
+        PathBinding {
+            path: Path::new(
+                nodes.iter().map(|n| NodeId(*n)).collect(),
+                edges.iter().map(|e| EdgeId(*e)).collect(),
+            ),
+            bindings: BTreeMap::new(),
+            alt_marks: Vec::new(),
+        }
+    }
+
+    fn sample() -> Vec<PathBinding> {
+        vec![
+            // Partition (0, 2): lengths 1, 2, 2, 3.
+            pb(&[0, 2], &[0]),
+            pb(&[0, 1, 2], &[1, 2]),
+            pb(&[0, 3, 2], &[3, 4]),
+            pb(&[0, 1, 3, 2], &[1, 5, 4]),
+            // Partition (5, 5): length 2.
+            pb(&[5, 6, 5], &[6, 7]),
+        ]
+    }
+
+    #[test]
+    fn any_shortest_keeps_one_per_partition() {
+        let out = apply(&dummy(), &Selector::AnyShortest, sample());
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].path.len(), 1);
+        assert_eq!(out[1].path.len(), 2);
+    }
+
+    #[test]
+    fn all_shortest_keeps_ties_only_at_minimum() {
+        let mut input = sample();
+        input.remove(0); // drop the unique length-1 path
+        let out = apply(&dummy(), &Selector::AllShortest, input);
+        // Partition (0,2): both length-2 paths; partition (5,5): one.
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|b| b.path.len() == 2));
+    }
+
+    #[test]
+    fn any_k_and_shortest_k_take_k() {
+        let out = apply(&dummy(), &Selector::AnyK(2), sample());
+        assert_eq!(out.len(), 3); // 2 from (0,2), 1 from (5,5)
+        let out = apply(&dummy(), &Selector::ShortestK(3), sample());
+        assert_eq!(out.len(), 4);
+        // Shortest-first within the partition.
+        assert_eq!(out[0].path.len(), 1);
+        assert_eq!(out[1].path.len(), 2);
+        assert_eq!(out[2].path.len(), 2);
+    }
+
+    #[test]
+    fn shortest_k_group_keeps_whole_length_groups() {
+        let out = apply(&dummy(), &Selector::ShortestKGroup(2), sample());
+        // (0,2): lengths {1, 2} → 3 paths; excludes length 3. (5,5): 1.
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|b| b.path.len() <= 2));
+
+        let out = apply(&dummy(), &Selector::ShortestKGroup(1), sample());
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn fewer_than_k_keeps_all() {
+        let out = apply(&dummy(), &Selector::ShortestK(10), sample());
+        assert_eq!(out.len(), 5);
+        let out = apply(&dummy(), &Selector::AnyK(10), sample());
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn partitions_are_independent() {
+        // Shortest lengths can differ per partition (§5.1).
+        let input = vec![pb(&[0, 2], &[0]), pb(&[5, 6, 5], &[6, 7])];
+        let out = apply(&dummy(), &Selector::AllShortest, input);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].path.len(), 1);
+        assert_eq!(out[1].path.len(), 2);
+    }
+
+    #[test]
+    fn length_group_budgets() {
+        assert_eq!(length_groups(&Selector::AnyShortest), Some(1));
+        assert_eq!(length_groups(&Selector::AllShortest), Some(1));
+        assert_eq!(length_groups(&Selector::Any), Some(1));
+        assert_eq!(length_groups(&Selector::AnyK(4)), Some(4));
+        assert_eq!(length_groups(&Selector::ShortestK(2)), Some(2));
+        assert_eq!(length_groups(&Selector::ShortestKGroup(3)), Some(3));
+        assert_eq!(
+            length_groups(&Selector::AnyCheapest { weight: "w".into() }),
+            None
+        );
+    }
+
+    #[test]
+    fn cheapest_prefers_low_cost_over_short_length() {
+        let g = dummy();
+        // Partition (0,2): direct edge e7 would not connect 0→2 in the
+        // dummy; use costs instead — e0 (w=0) + e1 (w=1) beats e3+e4
+        // (w=7) and the length-1 path using e… here we rely on `pb`
+        // indices: pb([0,2],[7]) costs 7; pb([0,1,2],[0,1]) costs 1.
+        let input = vec![pb(&[0, 2], &[7]), pb(&[0, 1, 2], &[0, 1])];
+        let out = apply(&g, &Selector::AnyCheapest { weight: "w".into() }, input.clone());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].path.len(), 2, "the longer-but-cheaper path wins");
+        // Missing weights count as 1.
+        let out = apply(&g, &Selector::AnyCheapest { weight: "ghost".into() }, input);
+        assert_eq!(out[0].path.len(), 1);
+        // CHEAPEST k keeps the k cheapest.
+        let input = vec![
+            pb(&[0, 2], &[7]),
+            pb(&[0, 1, 2], &[0, 1]),
+            pb(&[0, 3, 2], &[2, 3]),
+        ];
+        let out = apply(&g, &Selector::CheapestK { k: 2, weight: "w".into() }, input);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|b| b.path.len() == 2));
+    }
+}

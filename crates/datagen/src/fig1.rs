@@ -1,0 +1,267 @@
+//! Exact reconstruction of the paper's Figure 1 property graph.
+//!
+//! The graph holds information on bank accounts, their location, their
+//! phones and IP addresses, and financial transactions between them. Every
+//! element identifier, label, and property value is taken from the figure
+//! and cross-checked against the worked examples:
+//!
+//! * the tabular representation in Figure 2 fixes `t1: a1→a3 (8M)`,
+//!   `t2: a3→a2`, `t3: a2→a4`, and `sip1: a1→ip1`, `sip2: a5→ip2`;
+//! * the §6.4 part tables fix `t4: a4→a6`, `t5: a6→a3`, `t6: a6→a5`,
+//!   `t7: a3→a5`, `t8: a5→a1` and all six `isLocatedIn` edges
+//!   (`a1,a3,a5 → c1` and `a2,a4,a6 → c2`);
+//! * the §2 example walk `path(c1,li1,a1,t1,a3,hp3,p2)` fixes `li1` at
+//!   `a1` and `hp3` between `a3` and `p2`;
+//! * the §4.2 same-phone example (`p↦p1, s↦a5, t↦t8, d↦a1` and
+//!   `p↦p2, s↦a3, t↦t2, d↦a2`) fixes phone sharing: `p1 ~ {a1, a5}` and
+//!   `p2 ~ {a2, a3}`;
+//! * `t6` must fail `amount > 5M` (§6.4), which matches its `4M` label.
+
+use property_graph::{Endpoints, PropertyGraph, Value};
+
+/// Builds the Figure 1 graph: 14 nodes (6 accounts, 2 places, 4 phones,
+/// 2 IPs) and 22 edges (8 transfers, 6 locations, 6 phone links, 2 sign-ins).
+pub fn fig1() -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+
+    // -- Accounts (owners from the figure; only Jay is blocked). ------------
+    let owners = ["Scott", "Aretha", "Mike", "Jay", "Charles", "Dave"];
+    let accounts: Vec<_> = owners
+        .iter()
+        .enumerate()
+        .map(|(i, owner)| {
+            let blocked = if *owner == "Jay" { "yes" } else { "no" };
+            g.add_node(
+                &format!("a{}", i + 1),
+                ["Account"],
+                [
+                    ("owner", Value::str(*owner)),
+                    ("isBlocked", Value::str(blocked)),
+                ],
+            )
+        })
+        .collect();
+    let [a1, a2, a3, a4, a5, a6] = accounts.try_into().expect("six accounts");
+
+    // -- Places. -------------------------------------------------------------
+    let c1 = g.add_node("c1", ["Country"], [("name", Value::str("Zembla"))]);
+    let c2 = g.add_node(
+        "c2",
+        ["City", "Country"],
+        [("name", Value::str("Ankh-Morpork"))],
+    );
+
+    // -- Phones (none blocked in the figure). --------------------------------
+    let phones: Vec<_> = (1..=4)
+        .map(|i| {
+            g.add_node(
+                &format!("p{i}"),
+                ["Phone"],
+                [
+                    ("number", Value::Int(i * 111)),
+                    ("isBlocked", Value::str("no")),
+                ],
+            )
+        })
+        .collect();
+    let [p1, p2, p3, p4] = phones.try_into().expect("four phones");
+
+    // -- IP addresses. --------------------------------------------------------
+    let ip1 = g.add_node(
+        "ip1",
+        ["IP"],
+        [("number", Value::str("123.111")), ("isBlocked", Value::str("no"))],
+    );
+    let ip2 = g.add_node(
+        "ip2",
+        ["IP"],
+        [("number", Value::str("123.222")), ("isBlocked", Value::str("no"))],
+    );
+
+    // -- Transfers (directed). -------------------------------------------------
+    let transfers = [
+        ("t1", a1, a3, "1/1/2020", 8),
+        ("t2", a3, a2, "2/1/2020", 10),
+        ("t3", a2, a4, "3/1/2020", 10),
+        ("t4", a4, a6, "4/1/2020", 10),
+        ("t5", a6, a3, "6/1/2020", 10),
+        ("t6", a6, a5, "7/1/2020", 4),
+        ("t7", a3, a5, "8/1/2020", 6),
+        ("t8", a5, a1, "9/1/2020", 9),
+    ];
+    for (name, src, dst, date, millions) in transfers {
+        g.add_edge(
+            name,
+            Endpoints::directed(src, dst),
+            ["Transfer"],
+            [
+                ("date", Value::str(date)),
+                ("amount", Value::Int(millions * 1_000_000)),
+            ],
+        );
+    }
+
+    // -- isLocatedIn (directed, account → place). --------------------------------
+    let locations = [
+        ("li1", a1, c1),
+        ("li2", a2, c2),
+        ("li3", a3, c1),
+        ("li4", a4, c2),
+        ("li5", a5, c1),
+        ("li6", a6, c2),
+    ];
+    for (name, account, place) in locations {
+        g.add_edge(name, Endpoints::directed(account, place), ["isLocatedIn"], []);
+    }
+
+    // -- hasPhone (undirected). -----------------------------------------------
+    let phone_links = [
+        ("hp1", a1, p1),
+        ("hp2", a2, p2),
+        ("hp3", a3, p2),
+        ("hp4", a4, p3),
+        ("hp5", a5, p1),
+        ("hp6", a6, p4),
+    ];
+    for (name, account, phone) in phone_links {
+        g.add_edge(name, Endpoints::undirected(account, phone), ["hasPhone"], []);
+    }
+
+    // -- signInWithIP (directed, account → IP; Figure 2 tabular form). -----------
+    g.add_edge("sip1", Endpoints::directed(a1, ip1), ["signInWithIP"], []);
+    g.add_edge("sip2", Endpoints::directed(a5, ip2), ["signInWithIP"], []);
+
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use property_graph::Path;
+
+    #[test]
+    fn element_census_matches_figure1() {
+        let g = fig1();
+        assert_eq!(g.node_count(), 14);
+        assert_eq!(g.edge_count(), 22);
+        let count_label = |l: &str| {
+            g.nodes()
+                .filter(|n| g.node(*n).has_label(l))
+                .count()
+        };
+        assert_eq!(count_label("Account"), 6);
+        assert_eq!(count_label("Country"), 2);
+        assert_eq!(count_label("City"), 1);
+        assert_eq!(count_label("Phone"), 4);
+        assert_eq!(count_label("IP"), 2);
+        let count_edge_label = |l: &str| {
+            g.edges()
+                .filter(|e| g.edge(*e).has_label(l))
+                .count()
+        };
+        assert_eq!(count_edge_label("Transfer"), 8);
+        assert_eq!(count_edge_label("isLocatedIn"), 6);
+        assert_eq!(count_edge_label("hasPhone"), 6);
+        assert_eq!(count_edge_label("signInWithIP"), 2);
+    }
+
+    #[test]
+    fn only_jay_is_blocked() {
+        let g = fig1();
+        let blocked: Vec<_> = g
+            .nodes()
+            .filter(|n| {
+                g.node(*n).has_label("Account")
+                    && g.node(*n).property("isBlocked") == &Value::str("yes")
+            })
+            .map(|n| g.node(n).property("owner").clone())
+            .collect();
+        assert_eq!(blocked, vec![Value::str("Jay")]);
+    }
+
+    #[test]
+    fn section2_example_walk_is_valid() {
+        // path(c1, li1, a1, t1, a3, hp3, p2): li1 in reverse, t1 forward,
+        // hp3 undirected (§2).
+        let g = fig1();
+        let n = |s: &str| g.node_by_name(s).unwrap();
+        let e = |s: &str| g.edge_by_name(s).unwrap();
+        let p = Path::new(
+            vec![n("c1"), n("a1"), n("a3"), n("p2")],
+            vec![e("li1"), e("t1"), e("hp3")],
+        );
+        assert!(p.is_valid_in(&g));
+        assert_eq!(p.display(&g).to_string(), "path(c1,li1,a1,t1,a3,hp3,p2)");
+    }
+
+    #[test]
+    fn transfer_endpoints_match_figure2_and_section6() {
+        let g = fig1();
+        let check = |edge: &str, src: &str, dst: &str| {
+            let e = g.edge_by_name(edge).unwrap();
+            let (s, d) = g.edge(e).endpoints.pair();
+            assert!(g.edge(e).endpoints.is_directed(), "{edge} directed");
+            assert_eq!(g.node(s).name, src, "{edge} source");
+            assert_eq!(g.node(d).name, dst, "{edge} target");
+        };
+        check("t1", "a1", "a3");
+        check("t2", "a3", "a2");
+        check("t3", "a2", "a4");
+        check("t4", "a4", "a6");
+        check("t5", "a6", "a3");
+        check("t6", "a6", "a5");
+        check("t7", "a3", "a5");
+        check("t8", "a5", "a1");
+    }
+
+    #[test]
+    fn only_t6_fails_the_5m_prefilter() {
+        // §6.4: "the edge (a6,t6,a5) does not appear ... as it fails the
+        // WHERE condition" amount > 5M.
+        let g = fig1();
+        let small: Vec<_> = g
+            .edges()
+            .filter(|e| {
+                g.edge(*e).has_label("Transfer")
+                    && (g.edge(*e)
+                        .property("amount")
+                        .sql_compare(&Value::Int(5_000_000)) != Some(std::cmp::Ordering::Greater))
+            })
+            .map(|e| g.edge(e).name.clone())
+            .collect();
+        assert_eq!(small, vec!["t6".to_owned()]);
+    }
+
+    #[test]
+    fn ankh_morpork_hosts_a2_a4_a6() {
+        let g = fig1();
+        let c2 = g.node_by_name("c2").unwrap();
+        let mut residents: Vec<_> = g
+            .steps(c2)
+            .iter()
+            .filter(|s| g.edge(s.edge).has_label("isLocatedIn"))
+            .map(|s| g.node(s.to).name.clone())
+            .collect();
+        residents.sort();
+        assert_eq!(residents, vec!["a2", "a4", "a6"]);
+    }
+
+    #[test]
+    fn phone_sharing_matches_section42() {
+        // p1 ~ {a1, a5}, p2 ~ {a2, a3}; hasPhone is undirected.
+        let g = fig1();
+        let accounts_of = |phone: &str| {
+            let p = g.node_by_name(phone).unwrap();
+            let mut v: Vec<_> = g.steps(p).iter().map(|s| g.node(s.to).name.clone()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(accounts_of("p1"), vec!["a1", "a5"]);
+        assert_eq!(accounts_of("p2"), vec!["a2", "a3"]);
+        assert_eq!(accounts_of("p3"), vec!["a4"]);
+        assert_eq!(accounts_of("p4"), vec!["a6"]);
+        let hp3 = g.edge_by_name("hp3").unwrap();
+        assert!(!g.edge(hp3).endpoints.is_directed());
+    }
+}

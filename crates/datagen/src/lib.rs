@@ -1,0 +1,14 @@
+//! Workload generators for the GPML reproduction.
+//!
+//! [`fig1()`](fig1::fig1) reconstructs the paper's Figure 1 bank graph exactly (every
+//! worked example in the paper is validated against it); [`synthetic`]
+//! provides seeded chains, cycles, grids, and random transfer networks for
+//! benchmarks and property tests.
+
+pub mod fig1;
+pub mod synthetic;
+
+pub use fig1::fig1;
+pub use synthetic::{
+    chain, cycle, grid, small_mixed, transfer_network, TransferNetworkConfig,
+};

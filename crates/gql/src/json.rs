@@ -1,0 +1,256 @@
+//! JSON export of query results, bindings, and graph elements — the §7.1
+//! language opportunity "exporting a graph element or path binding to
+//! JSON".
+//!
+//! The writer is deliberately tiny and dependency-free: GQL values are
+//! scalars, element references, groups, and paths, all of which map to
+//! JSON scalars, strings, arrays, and objects.
+
+use std::fmt::Write;
+
+use gpml_core::binding::{BoundValue, MatchRow};
+use property_graph::{ElementId, PropertyGraph, Value};
+
+use crate::{GqlValue, QueryResult};
+
+/// Escapes a string for JSON.
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A scalar [`Value`] as JSON.
+pub fn value_to_json(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(v, &mut out);
+    out
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Float(f) if f.is_finite() => {
+            let _ = write!(out, "{f}");
+        }
+        Value::Float(_) => out.push_str("null"), // NaN/∞ have no JSON form
+        Value::Str(s) => escape(s, out),
+    }
+}
+
+/// A graph element as a JSON object: kind, name, labels, properties, and
+/// (for edges) endpoints and directedness.
+pub fn element_to_json(g: &PropertyGraph, el: ElementId) -> String {
+    let mut out = String::new();
+    write_element(g, el, &mut out);
+    out
+}
+
+fn write_element(g: &PropertyGraph, el: ElementId, out: &mut String) {
+    out.push('{');
+    let (kind, labels, props) = match el {
+        ElementId::Node(n) => ("node", &g.node(n).labels, &g.node(n).properties),
+        ElementId::Edge(e) => ("edge", &g.edge(e).labels, &g.edge(e).properties),
+    };
+    let _ = write!(out, "\"kind\":\"{kind}\",\"name\":");
+    escape(g.name(el), out);
+    out.push_str(",\"labels\":[");
+    for (i, l) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape(l, out);
+    }
+    out.push_str("],\"properties\":{");
+    for (i, (k, v)) in props.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape(k, out);
+        out.push(':');
+        write_value(v, out);
+    }
+    out.push('}');
+    if let ElementId::Edge(e) = el {
+        let ep = g.edge(e).endpoints;
+        let (s, d) = ep.pair();
+        out.push_str(",\"source\":");
+        escape(&g.node(s).name, out);
+        out.push_str(",\"target\":");
+        escape(&g.node(d).name, out);
+        let _ = write!(out, ",\"directed\":{}", ep.is_directed());
+    }
+    out.push('}');
+}
+
+/// A path binding as JSON: the alternating element-name sequence plus the
+/// variable map.
+pub fn binding_to_json(g: &PropertyGraph, row: &MatchRow) -> String {
+    let mut out = String::from("{");
+    for (i, (var, value)) in row.values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape(var, &mut out);
+        out.push(':');
+        write_bound(g, value, &mut out);
+    }
+    out.push('}');
+    out
+}
+
+fn write_bound(g: &PropertyGraph, b: &BoundValue, out: &mut String) {
+    match b {
+        BoundValue::Node(n) => write_element(g, ElementId::Node(*n), out),
+        BoundValue::Edge(e) => write_element(g, ElementId::Edge(*e), out),
+        BoundValue::NodeGroup(ns) => {
+            out.push('[');
+            for (i, n) in ns.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape(&g.node(*n).name, out);
+            }
+            out.push(']');
+        }
+        BoundValue::EdgeGroup(es) => {
+            out.push('[');
+            for (i, e) in es.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape(&g.edge(*e).name, out);
+            }
+            out.push(']');
+        }
+        BoundValue::Path(p) => {
+            out.push_str("{\"path\":[");
+            for (i, n) in p.nodes().iter().enumerate() {
+                if i > 0 {
+                    escape(&g.edge(p.edges()[i - 1]).name, out);
+                    out.push(',');
+                }
+                escape(&g.node(*n).name, out);
+                if i + 1 < p.nodes().len() {
+                    out.push(',');
+                }
+            }
+            let _ = write!(out, "],\"length\":{}}}", p.len());
+        }
+    }
+}
+
+impl QueryResult {
+    /// The result as a JSON array of objects keyed by column name.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            for (j, (col, cell)) in self.columns.iter().zip(row).enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                escape(col, &mut out);
+                out.push(':');
+                match cell {
+                    GqlValue::Scalar(v) => write_value(v, &mut out),
+                    GqlValue::Element(n) | GqlValue::Path(n) => escape(n, &mut out),
+                    GqlValue::Group(ns) => {
+                        out.push('[');
+                        for (k, n) in ns.iter().enumerate() {
+                            if k > 0 {
+                                out.push(',');
+                            }
+                            escape(n, &mut out);
+                        }
+                        out.push(']');
+                    }
+                }
+            }
+            out.push('}');
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Session;
+    use gpml_datagen::fig1;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(value_to_json(&Value::Null), "null");
+        assert_eq!(value_to_json(&Value::Bool(true)), "true");
+        assert_eq!(value_to_json(&Value::Int(-3)), "-3");
+        assert_eq!(value_to_json(&Value::Float(1.5)), "1.5");
+        assert_eq!(value_to_json(&Value::Float(f64::NAN)), "null");
+        assert_eq!(value_to_json(&Value::str("a\"b\\c\nd")), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn elements() {
+        let g = fig1();
+        let a4 = g.node_by_name("a4").unwrap();
+        let json = element_to_json(&g, a4.into());
+        assert!(json.contains("\"kind\":\"node\""));
+        assert!(json.contains("\"name\":\"a4\""));
+        assert!(json.contains("\"labels\":[\"Account\"]"));
+        assert!(json.contains("\"owner\":\"Jay\""));
+        let t1 = g.edge_by_name("t1").unwrap();
+        let json = element_to_json(&g, t1.into());
+        assert!(json.contains("\"source\":\"a1\""));
+        assert!(json.contains("\"target\":\"a3\""));
+        assert!(json.contains("\"directed\":true"));
+        assert!(json.contains("\"amount\":8000000"));
+    }
+
+    #[test]
+    fn bindings_and_results() {
+        let mut s = Session::new();
+        s.register("bank", fig1());
+        let rows = s
+            .match_bindings(
+                "bank",
+                "MATCH ANY p = (a WHERE a.owner='Dave')-[e:Transfer]->+\
+                 (b WHERE b.owner='Aretha')",
+            )
+            .unwrap();
+        let g = s.graph("bank").unwrap();
+        let json = binding_to_json(g, &rows[0]);
+        assert!(json.contains("\"e\":[\"t5\",\"t2\"]"));
+        assert!(json.contains("\"p\":{\"path\":[\"a6\",\"t5\",\"a3\",\"t2\",\"a2\"],\"length\":2}"));
+
+        let result = s
+            .execute(
+                "bank",
+                "MATCH (x:Account WHERE x.isBlocked='yes') \
+                 RETURN x, x.owner AS owner",
+            )
+            .unwrap();
+        assert_eq!(result.to_json(), "[{\"x\":\"a4\",\"owner\":\"Jay\"}]");
+    }
+}

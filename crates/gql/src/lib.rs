@@ -1,0 +1,559 @@
+//! GQL host language (§6.6, Figure 9).
+//!
+//! GQL embeds the GPML pattern matching language in a full query language.
+//! This crate provides the host features the paper describes:
+//!
+//! * a [`Session`] with a catalog of named property graphs;
+//! * `MATCH ... [WHERE ...] RETURN [DISTINCT] item [AS alias], ...
+//!   [ORDER BY expr [ASC|DESC], ...] [SKIP n] [LIMIT n]` queries, where
+//!   return items may be scalars, element references, group references,
+//!   or whole paths (GQL, unlike SQL/PGQ, can return paths as values);
+//! * **graph projection** (§6.6): each path binding defines a subgraph of
+//!   the input graph, and [`Session::project_graph`] materializes it as a
+//!   new property graph — the output form the paper anticipates for
+//!   future GQL versions.
+//!
+//! ```
+//! use gql::Session;
+//! use gpml_datagen::fig1;
+//!
+//! let mut session = Session::new();
+//! session.register("bank", fig1());
+//! let result = session
+//!     .execute(
+//!         "bank",
+//!         "MATCH (a:Account)-[t:Transfer]->(b:Account) \
+//!          WHERE t.amount >= 10M \
+//!          RETURN a.owner AS sender, b.owner AS receiver ORDER BY sender",
+//!     )
+//!     .unwrap();
+//! assert_eq!(result.columns, vec!["sender", "receiver"]);
+//! assert_eq!(result.rows.len(), 4);
+//! ```
+
+pub mod json;
+
+use std::collections::BTreeMap;
+
+use gpml_core::binding::{BoundValue, MatchRow};
+use gpml_core::eval::{self, EvalOptions};
+use gpml_core::Expr;
+use gpml_parser::Parser;
+use property_graph::{ElementId, PropertyGraph, Value};
+
+/// A value in a GQL result row: scalars, element references, groups, and
+/// paths are all first-class.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum GqlValue {
+    /// A scalar (possibly `Null`).
+    Scalar(Value),
+    /// A node or edge reference, by external name.
+    Element(String),
+    /// A group binding: element names in iteration order.
+    Group(Vec<String>),
+    /// A path value, rendered in the paper's `path(...)` notation.
+    Path(String),
+}
+
+impl std::fmt::Display for GqlValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GqlValue::Scalar(v) => write!(f, "{v}"),
+            GqlValue::Element(n) => write!(f, "{n}"),
+            GqlValue::Group(ns) => write!(f, "[{}]", ns.join(",")),
+            GqlValue::Path(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// The table-shaped result of a GQL query.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueryResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<GqlValue>>,
+}
+
+impl QueryResult {
+    /// The value at `(row, column-name)`.
+    pub fn get(&self, row: usize, column: &str) -> Option<&GqlValue> {
+        let c = self.columns.iter().position(|c| c == column)?;
+        self.rows.get(row)?.get(c)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// A GQL error: parse, static-analysis/evaluation, or host-level.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GqlError {
+    Parse(gpml_parser::ParseError),
+    Eval(gpml_core::Error),
+    Host(String),
+}
+
+impl std::fmt::Display for GqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GqlError::Parse(e) => write!(f, "{e}"),
+            GqlError::Eval(e) => write!(f, "{e}"),
+            GqlError::Host(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl std::error::Error for GqlError {}
+
+impl From<gpml_parser::ParseError> for GqlError {
+    fn from(e: gpml_parser::ParseError) -> Self {
+        GqlError::Parse(e)
+    }
+}
+
+impl From<gpml_core::Error> for GqlError {
+    fn from(e: gpml_core::Error) -> Self {
+        GqlError::Eval(e)
+    }
+}
+
+/// One `RETURN` item.
+#[derive(Clone, Debug)]
+struct ReturnItem {
+    expr: Expr,
+    alias: String,
+}
+
+/// Ordering key direction.
+#[derive(Clone, Debug)]
+struct OrderKey {
+    expr: Expr,
+    ascending: bool,
+}
+
+/// A GQL session: a catalog of graphs plus evaluation options.
+#[derive(Default)]
+pub struct Session {
+    catalog: BTreeMap<String, PropertyGraph>,
+    options: EvalOptions,
+}
+
+impl Session {
+    /// A session with default evaluation options.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// A session with explicit evaluation options (match modes, limits).
+    pub fn with_options(options: EvalOptions) -> Session {
+        Session { catalog: BTreeMap::new(), options }
+    }
+
+    /// Registers a graph under `name` (GQL's catalog).
+    pub fn register(&mut self, name: impl Into<String>, graph: PropertyGraph) {
+        self.catalog.insert(name.into(), graph);
+    }
+
+    /// The graph registered under `name`.
+    pub fn graph(&self, name: &str) -> Option<&PropertyGraph> {
+        self.catalog.get(name)
+    }
+
+    /// Runs `MATCH ... RETURN ...` against the named graph.
+    pub fn execute(&self, graph: &str, query: &str) -> Result<QueryResult, GqlError> {
+        let g = self
+            .catalog
+            .get(graph)
+            .ok_or_else(|| GqlError::Host(format!("unknown graph {graph}")))?;
+
+        let mut p = Parser::new(query);
+        p.expect_kw("MATCH")?;
+        let pattern = p.parse_graph_pattern()?;
+        p.expect_kw("RETURN")?;
+        let distinct = p.eat_kw("DISTINCT");
+        let mut items = vec![parse_return_item(&mut p)?];
+        while p.eat(",") {
+            items.push(parse_return_item(&mut p)?);
+        }
+        let mut order: Vec<OrderKey> = Vec::new();
+        if p.eat_kw("ORDER") {
+            p.expect_kw("BY")?;
+            loop {
+                let expr = resolve_alias(p.parse_expr()?, &items);
+                let ascending = if p.eat_kw("DESC") {
+                    false
+                } else {
+                    p.eat_kw("ASC");
+                    true
+                };
+                order.push(OrderKey { expr, ascending });
+                if !p.eat(",") {
+                    break;
+                }
+            }
+        }
+        let skip = if p.eat_kw("SKIP") { Some(parse_count(&mut p)?) } else { None };
+        let limit = if p.eat_kw("LIMIT") { Some(parse_count(&mut p)?) } else { None };
+        p.expect_eof()?;
+
+        let matches = eval::evaluate(g, &pattern, &self.options)?;
+
+        // Project.
+        let mut rows: Vec<(Vec<GqlValue>, &MatchRow)> = matches
+            .rows
+            .iter()
+            .map(|row| {
+                let cells = items.iter().map(|it| project(g, row, &it.expr)).collect();
+                (cells, row)
+            })
+            .collect();
+
+        // ORDER BY (stable; keys evaluated on the underlying binding so
+        // non-projected expressions work too).
+        if !order.is_empty() {
+            rows.sort_by(|(_, ra), (_, rb)| {
+                for key in &order {
+                    let va = order_value(g, ra, &key.expr);
+                    let vb = order_value(g, rb, &key.expr);
+                    let ord = va.cmp(&vb);
+                    let ord = if key.ascending { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+
+        let mut cells: Vec<Vec<GqlValue>> = rows.into_iter().map(|(c, _)| c).collect();
+        if distinct {
+            let mut seen = std::collections::BTreeSet::new();
+            cells.retain(|row| seen.insert(row.clone()));
+        }
+        if let Some(n) = skip {
+            cells.drain(..n.min(cells.len()));
+        }
+        if let Some(n) = limit {
+            cells.truncate(n);
+        }
+
+        Ok(QueryResult {
+            columns: items.into_iter().map(|it| it.alias).collect(),
+            rows: cells,
+        })
+    }
+
+    /// §6.6 graph projection: the subgraph of `graph` induced by all
+    /// elements a match row binds (nodes, edges, groups, and paths), as a
+    /// new property graph. Edge endpoints are included even when only the
+    /// edge was bound.
+    pub fn project_graph(
+        &self,
+        graph: &str,
+        row: &MatchRow,
+    ) -> Result<PropertyGraph, GqlError> {
+        let g = self
+            .catalog
+            .get(graph)
+            .ok_or_else(|| GqlError::Host(format!("unknown graph {graph}")))?;
+        let mut nodes: Vec<property_graph::NodeId> = Vec::new();
+        let mut edges: Vec<property_graph::EdgeId> = Vec::new();
+        let add_el = |el: ElementId, nodes: &mut Vec<_>, edges: &mut Vec<_>| match el {
+            ElementId::Node(n) => {
+                if !nodes.contains(&n) {
+                    nodes.push(n);
+                }
+            }
+            ElementId::Edge(e) => {
+                if !edges.contains(&e) {
+                    edges.push(e);
+                }
+            }
+        };
+        for value in row.values.values() {
+            match value {
+                BoundValue::Node(_) | BoundValue::Edge(_) => {
+                    add_el(value.as_element().expect("singleton"), &mut nodes, &mut edges);
+                }
+                BoundValue::NodeGroup(_) | BoundValue::EdgeGroup(_) => {
+                    for el in value.as_group().expect("group") {
+                        add_el(el, &mut nodes, &mut edges);
+                    }
+                }
+                BoundValue::Path(p) => {
+                    for n in p.nodes() {
+                        add_el(ElementId::Node(*n), &mut nodes, &mut edges);
+                    }
+                    for e in p.edges() {
+                        add_el(ElementId::Edge(*e), &mut nodes, &mut edges);
+                    }
+                }
+            }
+        }
+        // Close over edge endpoints.
+        for &e in &edges {
+            let (s, d) = g.edge(e).endpoints.pair();
+            if !nodes.contains(&s) {
+                nodes.push(s);
+            }
+            if !nodes.contains(&d) {
+                nodes.push(d);
+            }
+        }
+        nodes.sort();
+        edges.sort();
+
+        let mut out = PropertyGraph::new();
+        let mut map = BTreeMap::new();
+        for n in nodes {
+            let data = g.node(n);
+            let id = out.add_node(
+                &data.name,
+                data.labels.iter().cloned(),
+                data.properties
+                    .iter()
+                    .map(|(k, v)| (leak(k), v.clone()))
+                    .collect::<Vec<_>>(),
+            );
+            map.insert(n, id);
+        }
+        for e in edges {
+            let data = g.edge(e);
+            let (s, d) = data.endpoints.pair();
+            let endpoints = if data.endpoints.is_directed() {
+                property_graph::Endpoints::directed(map[&s], map[&d])
+            } else {
+                property_graph::Endpoints::undirected(map[&s], map[&d])
+            };
+            out.add_edge(
+                &data.name,
+                endpoints,
+                data.labels.iter().cloned(),
+                data.properties
+                    .iter()
+                    .map(|(k, v)| (leak(k), v.clone()))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        Ok(out)
+    }
+
+    /// Convenience: run a `MATCH` (no `RETURN`) and get the raw binding
+    /// rows, e.g. to feed [`Session::project_graph`].
+    pub fn match_bindings(
+        &self,
+        graph: &str,
+        query: &str,
+    ) -> Result<Vec<MatchRow>, GqlError> {
+        let g = self
+            .catalog
+            .get(graph)
+            .ok_or_else(|| GqlError::Host(format!("unknown graph {graph}")))?;
+        let mut p = Parser::new(query);
+        p.expect_kw("MATCH")?;
+        let pattern = p.parse_graph_pattern()?;
+        p.expect_eof()?;
+        Ok(eval::evaluate(g, &pattern, &self.options)?.rows)
+    }
+}
+
+fn parse_return_item(p: &mut Parser<'_>) -> Result<ReturnItem, GqlError> {
+    let expr = p.parse_expr()?;
+    let alias = if p.eat_kw("AS") { p.ident()? } else { expr.to_string() };
+    Ok(ReturnItem { expr, alias })
+}
+
+fn parse_count(p: &mut Parser<'_>) -> Result<usize, GqlError> {
+    // Counts are plain integer literals.
+    match p.parse_expr()? {
+        Expr::Literal(Value::Int(n)) if n >= 0 => Ok(n as usize),
+        other => Err(GqlError::Host(format!("expected a count, got {other}"))),
+    }
+}
+
+/// `ORDER BY alias` refers to the projected item; resolve aliases to their
+/// expressions.
+fn resolve_alias(e: Expr, items: &[ReturnItem]) -> Expr {
+    if let Expr::Var(name) = &e {
+        if let Some(item) = items.iter().find(|it| &it.alias == name) {
+            return item.expr.clone();
+        }
+    }
+    e
+}
+
+fn project(g: &PropertyGraph, row: &MatchRow, expr: &Expr) -> GqlValue {
+    if let Expr::Var(v) = expr {
+        return match row.get(v) {
+            Some(b @ (BoundValue::Node(_) | BoundValue::Edge(_))) => {
+                GqlValue::Element(b.display(g).to_string())
+            }
+            Some(BoundValue::NodeGroup(ns)) => {
+                GqlValue::Group(ns.iter().map(|n| g.node(*n).name.clone()).collect())
+            }
+            Some(BoundValue::EdgeGroup(es)) => {
+                GqlValue::Group(es.iter().map(|e| g.edge(*e).name.clone()).collect())
+            }
+            Some(BoundValue::Path(p)) => GqlValue::Path(p.display(g).to_string()),
+            None => GqlValue::Scalar(Value::Null),
+        };
+    }
+    let env = |var: &str| row.get(var).cloned();
+    GqlValue::Scalar(eval::eval_expr(g, &env, expr))
+}
+
+fn order_value(g: &PropertyGraph, row: &MatchRow, expr: &Expr) -> GqlValue {
+    project(g, row, expr)
+}
+
+/// Dynamic property keys for projected graphs (bounded by the source
+/// graph's property vocabulary).
+fn leak(s: &str) -> &'static str {
+    Box::leak(s.to_owned().into_boxed_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpml_datagen::fig1;
+
+    fn session() -> Session {
+        let mut s = Session::new();
+        s.register("bank", fig1());
+        s
+    }
+
+    #[test]
+    fn figure4_query_in_gql() {
+        // The running example: fraudulent accounts in Ankh-Morpork (§3/§4).
+        let s = session();
+        let r = s
+            .execute(
+                "bank",
+                "MATCH (x:Account)-[:isLocatedIn]->(g:City)<-[:isLocatedIn]-(y:Account), \
+                 ANY (x)-[e:Transfer]->+(y) \
+                 WHERE x.isBlocked='no' AND y.isBlocked='yes' AND g.name='Ankh-Morpork' \
+                 RETURN x.owner AS A, y.owner AS B ORDER BY A",
+            )
+            .unwrap();
+        assert_eq!(r.columns, vec!["A", "B"]);
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![
+                    GqlValue::Scalar(Value::str("Aretha")),
+                    GqlValue::Scalar(Value::str("Jay"))
+                ],
+                vec![
+                    GqlValue::Scalar(Value::str("Dave")),
+                    GqlValue::Scalar(Value::str("Jay"))
+                ],
+            ]
+        );
+    }
+
+    #[test]
+    fn returns_paths_as_values() {
+        let s = session();
+        let r = s
+            .execute(
+                "bank",
+                "MATCH ANY SHORTEST p = (a WHERE a.owner='Dave')-[t:Transfer]->* \
+                 (b WHERE b.owner='Aretha') RETURN p",
+            )
+            .unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(
+            r.rows[0][0],
+            GqlValue::Path("path(a6,t5,a3,t2,a2)".into())
+        );
+    }
+
+    #[test]
+    fn returns_elements_and_groups() {
+        let s = session();
+        let r = s
+            .execute(
+                "bank",
+                "MATCH ANY (a WHERE a.owner='Dave')-[e:Transfer]->+(b WHERE b.owner='Aretha') \
+                 RETURN a, e, COUNT(e) AS hops",
+            )
+            .unwrap();
+        assert_eq!(r.get(0, "a"), Some(&GqlValue::Element("a6".into())));
+        assert_eq!(
+            r.get(0, "e"),
+            Some(&GqlValue::Group(vec!["t5".into(), "t2".into()]))
+        );
+        assert_eq!(r.get(0, "hops"), Some(&GqlValue::Scalar(Value::Int(2))));
+    }
+
+    #[test]
+    fn distinct_order_skip_limit() {
+        let s = session();
+        let r = s
+            .execute(
+                "bank",
+                "MATCH (x:Account)-[t:Transfer]->() \
+                 RETURN DISTINCT x.owner AS o ORDER BY o",
+            )
+            .unwrap();
+        // Senders: a1,a2,a3(×2),a4,a5,a6(×2) → 6 distinct.
+        assert_eq!(r.len(), 6);
+        assert_eq!(r.get(0, "o"), Some(&GqlValue::Scalar(Value::str("Aretha"))));
+
+        let r = s
+            .execute(
+                "bank",
+                "MATCH (x:Account)-[t:Transfer]->() \
+                 RETURN DISTINCT x.owner AS o ORDER BY o DESC SKIP 1 LIMIT 2",
+            )
+            .unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(0, "o"), Some(&GqlValue::Scalar(Value::str("Mike"))));
+        assert_eq!(r.get(1, "o"), Some(&GqlValue::Scalar(Value::str("Jay"))));
+    }
+
+    #[test]
+    fn graph_projection_builds_subgraph() {
+        let s = session();
+        let rows = s
+            .match_bindings(
+                "bank",
+                "MATCH p = (a WHERE a.owner='Dave')-[t:Transfer]->(b)-[u:Transfer]->(c)",
+            )
+            .unwrap();
+        assert!(!rows.is_empty());
+        let sub = s.project_graph("bank", &rows[0]).unwrap();
+        // Three nodes, two edges, names preserved.
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2);
+        assert!(sub.node_by_name("a6").is_some());
+        assert!(sub.validate().is_ok());
+        // Properties survive the projection.
+        let a6 = sub.node_by_name("a6").unwrap();
+        assert_eq!(sub.node(a6).property("owner"), &Value::str("Dave"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let s = session();
+        assert!(matches!(
+            s.execute("nope", "MATCH (x) RETURN x"),
+            Err(GqlError::Host(_))
+        ));
+        assert!(matches!(
+            s.execute("bank", "MATCH (x RETURN x"),
+            Err(GqlError::Parse(_))
+        ));
+        assert!(matches!(
+            s.execute("bank", "MATCH (x)-[e]->*(y) RETURN x"),
+            Err(GqlError::Eval(_))
+        ));
+    }
+}

@@ -1,0 +1,462 @@
+//! The [`PropertyGraph`] container and its adjacency structure.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::ids::{EdgeId, ElementId, NodeId};
+use crate::value::Value;
+
+/// Endpoint specification of an edge: `ρ(e)` in Definition 2.1.
+///
+/// Directed edges are *ordered* pairs `(src, dst)`; undirected edges are
+/// *unordered* pairs, which this type normalizes so that structural equality
+/// matches the mathematical definition (`{u, v} = {v, u}`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Endpoints {
+    Directed { src: NodeId, dst: NodeId },
+    Undirected(NodeId, NodeId),
+}
+
+impl Endpoints {
+    /// An ordered pair: the edge points from `src` to `dst`.
+    pub fn directed(src: NodeId, dst: NodeId) -> Endpoints {
+        Endpoints::Directed { src, dst }
+    }
+
+    /// An unordered pair, normalized so `{u,v}` and `{v,u}` compare equal.
+    pub fn undirected(u: NodeId, v: NodeId) -> Endpoints {
+        if u <= v {
+            Endpoints::Undirected(u, v)
+        } else {
+            Endpoints::Undirected(v, u)
+        }
+    }
+
+    /// True for ordered pairs.
+    pub fn is_directed(&self) -> bool {
+        matches!(self, Endpoints::Directed { .. })
+    }
+
+    /// The two endpoints, in storage order.
+    pub fn pair(&self) -> (NodeId, NodeId) {
+        match *self {
+            Endpoints::Directed { src, dst } => (src, dst),
+            Endpoints::Undirected(u, v) => (u, v),
+        }
+    }
+
+    /// True if the edge connects `u` (at either end).
+    pub fn touches(&self, n: NodeId) -> bool {
+        let (a, b) = self.pair();
+        a == n || b == n
+    }
+
+    /// Given one endpoint, the node at the opposite end (for self loops,
+    /// the same node).
+    pub fn other(&self, n: NodeId) -> Option<NodeId> {
+        let (a, b) = self.pair();
+        if a == n {
+            Some(b)
+        } else if b == n {
+            Some(a)
+        } else {
+            None
+        }
+    }
+}
+
+/// How an incident edge is traversed when leaving a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Traversal {
+    /// A directed edge followed source → target.
+    Forward,
+    /// A directed edge followed target → source (i.e. in reverse).
+    Backward,
+    /// An undirected edge (no inherent orientation).
+    Undirected,
+}
+
+/// One entry of a node's adjacency list: take `edge` to reach `to`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Step {
+    pub edge: EdgeId,
+    pub to: NodeId,
+    pub traversal: Traversal,
+}
+
+/// Stored record for one node: its external name (e.g. `a1`), `λ` labels,
+/// and `π` properties.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeData {
+    pub name: String,
+    pub labels: BTreeSet<String>,
+    pub properties: BTreeMap<String, Value>,
+}
+
+/// Stored record for one edge: endpoints (`ρ`), labels (`λ`), properties (`π`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeData {
+    pub name: String,
+    pub endpoints: Endpoints,
+    pub labels: BTreeSet<String>,
+    pub properties: BTreeMap<String, Value>,
+}
+
+impl NodeData {
+    /// `π(self, key)`, or `Null` when the property is absent (partiality of π).
+    pub fn property(&self, key: &str) -> &Value {
+        self.properties.get(key).unwrap_or(&Value::Null)
+    }
+
+    /// True if `label ∈ λ(self)`.
+    pub fn has_label(&self, label: &str) -> bool {
+        self.labels.contains(label)
+    }
+}
+
+impl EdgeData {
+    /// `π(self, key)`, or `Null` when the property is absent.
+    pub fn property(&self, key: &str) -> &Value {
+        self.properties.get(key).unwrap_or(&Value::Null)
+    }
+
+    /// True if `label ∈ λ(self)`.
+    pub fn has_label(&self, label: &str) -> bool {
+        self.labels.contains(label)
+    }
+}
+
+/// An in-memory property graph.
+///
+/// Elements have dense ids and unique external names; adjacency lists are
+/// kept per node for O(degree) neighbourhood scans in the matcher.
+#[derive(Clone, Debug, Default)]
+pub struct PropertyGraph {
+    nodes: Vec<NodeData>,
+    edges: Vec<EdgeData>,
+    /// Outgoing steps per node: every incident edge appears once per
+    /// traversable direction (directed edges appear Forward at their source
+    /// and Backward at their target; undirected edges appear at both ends —
+    /// and only once for undirected self loops).
+    adjacency: Vec<Vec<Step>>,
+    names: HashMap<String, ElementId>,
+}
+
+impl PropertyGraph {
+    /// An empty graph.
+    pub fn new() -> PropertyGraph {
+        PropertyGraph::default()
+    }
+
+    /// Number of nodes `|N|`.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges `|E|`.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a node with a unique external `name`.
+    ///
+    /// # Panics
+    /// Panics if the name is already used by another element — external
+    /// names play the role of the paper's identifiers, which are unique.
+    pub fn add_node<L, P>(&mut self, name: &str, labels: L, properties: P) -> NodeId
+    where
+        L: IntoIterator,
+        L::Item: Into<String>,
+        P: IntoIterator<Item = (&'static str, Value)>,
+    {
+        let id = NodeId(self.nodes.len() as u32);
+        let prev = self.names.insert(name.to_owned(), id.into());
+        assert!(prev.is_none(), "duplicate element name {name:?}");
+        self.nodes.push(NodeData {
+            name: name.to_owned(),
+            labels: labels.into_iter().map(Into::into).collect(),
+            properties: properties
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        });
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds an edge with a unique external `name`.
+    ///
+    /// # Panics
+    /// Panics if the name is duplicated or an endpoint id is out of range.
+    pub fn add_edge<L, P>(
+        &mut self,
+        name: &str,
+        endpoints: Endpoints,
+        labels: L,
+        properties: P,
+    ) -> EdgeId
+    where
+        L: IntoIterator,
+        L::Item: Into<String>,
+        P: IntoIterator<Item = (&'static str, Value)>,
+    {
+        let (a, b) = endpoints.pair();
+        assert!(a.index() < self.nodes.len(), "endpoint {a:?} out of range");
+        assert!(b.index() < self.nodes.len(), "endpoint {b:?} out of range");
+        let id = EdgeId(self.edges.len() as u32);
+        let prev = self.names.insert(name.to_owned(), id.into());
+        assert!(prev.is_none(), "duplicate element name {name:?}");
+        self.edges.push(EdgeData {
+            name: name.to_owned(),
+            endpoints,
+            labels: labels.into_iter().map(Into::into).collect(),
+            properties: properties
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        });
+        match endpoints {
+            Endpoints::Directed { src, dst } => {
+                self.adjacency[src.index()].push(Step {
+                    edge: id,
+                    to: dst,
+                    traversal: Traversal::Forward,
+                });
+                self.adjacency[dst.index()].push(Step {
+                    edge: id,
+                    to: src,
+                    traversal: Traversal::Backward,
+                });
+            }
+            Endpoints::Undirected(u, v) => {
+                self.adjacency[u.index()].push(Step {
+                    edge: id,
+                    to: v,
+                    traversal: Traversal::Undirected,
+                });
+                if u != v {
+                    self.adjacency[v.index()].push(Step {
+                        edge: id,
+                        to: u,
+                        traversal: Traversal::Undirected,
+                    });
+                }
+            }
+        }
+        id
+    }
+
+    /// The record of node `n`.
+    pub fn node(&self, n: NodeId) -> &NodeData {
+        &self.nodes[n.index()]
+    }
+
+    /// The record of edge `e`.
+    pub fn edge(&self, e: EdgeId) -> &EdgeData {
+        &self.edges[e.index()]
+    }
+
+    /// Labels of either kind of element.
+    pub fn labels(&self, el: ElementId) -> &BTreeSet<String> {
+        match el {
+            ElementId::Node(n) => &self.node(n).labels,
+            ElementId::Edge(e) => &self.edge(e).labels,
+        }
+    }
+
+    /// `π(el, key)` with `Null` for absent properties.
+    pub fn property(&self, el: ElementId, key: &str) -> &Value {
+        match el {
+            ElementId::Node(n) => self.node(n).property(key),
+            ElementId::Edge(e) => self.edge(e).property(key),
+        }
+    }
+
+    /// External name of an element (`a1`, `t4`, ...).
+    pub fn name(&self, el: ElementId) -> &str {
+        match el {
+            ElementId::Node(n) => &self.node(n).name,
+            ElementId::Edge(e) => &self.edge(e).name,
+        }
+    }
+
+    /// Looks an element up by external name.
+    pub fn by_name(&self, name: &str) -> Option<ElementId> {
+        self.names.get(name).copied()
+    }
+
+    /// Looks a node up by external name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.by_name(name).and_then(ElementId::as_node)
+    }
+
+    /// Looks an edge up by external name.
+    pub fn edge_by_name(&self, name: &str) -> Option<EdgeId> {
+        self.by_name(name).and_then(ElementId::as_edge)
+    }
+
+    /// All node ids in insertion order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// All edge ids in insertion order.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Every traversable step out of `n` (directed out-edges forward,
+    /// directed in-edges backward, undirected edges once per distinct end).
+    pub fn steps(&self, n: NodeId) -> &[Step] {
+        &self.adjacency[n.index()]
+    }
+
+    /// Number of directed edges whose source is `n`.
+    pub fn out_degree(&self, n: NodeId) -> usize {
+        self.adjacency[n.index()]
+            .iter()
+            .filter(|s| s.traversal == Traversal::Forward)
+            .count()
+    }
+
+    /// Total number of incident traversal directions at `n`.
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adjacency[n.index()].len()
+    }
+
+    /// Checks internal consistency: adjacency mirrors `ρ`, names are unique
+    /// and resolvable. Used by tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        for e in self.edges() {
+            let ep = self.edge(e).endpoints;
+            let (a, b) = ep.pair();
+            if a.index() >= self.nodes.len() || b.index() >= self.nodes.len() {
+                return Err(format!("edge {e:?} has dangling endpoint"));
+            }
+        }
+        for n in self.nodes() {
+            for s in self.steps(n) {
+                let ep = self.edge(s.edge).endpoints;
+                if !ep.touches(n) || ep.other(n) != Some(s.to) {
+                    return Err(format!("adjacency of {n:?} disagrees with ρ"));
+                }
+                match (s.traversal, ep) {
+                    (Traversal::Forward, Endpoints::Directed { src, .. }) if src == n => {}
+                    (Traversal::Backward, Endpoints::Directed { dst, .. }) if dst == n => {}
+                    (Traversal::Undirected, Endpoints::Undirected(..)) => {}
+                    _ => return Err(format!("bad traversal kind at {n:?}")),
+                }
+            }
+        }
+        if self.names.len() != self.nodes.len() + self.edges.len() {
+            return Err("name index size mismatch".to_owned());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (PropertyGraph, [NodeId; 3], [EdgeId; 4]) {
+        let mut g = PropertyGraph::new();
+        let a = g.add_node("a", ["L"], [("x", Value::Int(1))]);
+        let b = g.add_node("b", ["L", "M"], []);
+        let c = g.add_node("c", Vec::<String>::new(), []);
+        let e1 = g.add_edge("e1", Endpoints::directed(a, b), ["T"], []);
+        let e2 = g.add_edge("e2", Endpoints::directed(a, b), ["T"], []);
+        let e3 = g.add_edge("e3", Endpoints::undirected(b, c), ["U"], []);
+        let e4 = g.add_edge("e4", Endpoints::directed(c, c), ["T"], []);
+        (g, [a, b, c], [e1, e2, e3, e4])
+    }
+
+    #[test]
+    fn multigraph_and_self_loops_are_allowed() {
+        let (g, [a, b, c], [e1, e2, _, e4]) = diamond();
+        assert_eq!(g.edge(e1).endpoints, g.edge(e2).endpoints);
+        assert_ne!(e1, e2);
+        assert_eq!(g.edge(e4).endpoints, Endpoints::directed(c, c));
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.degree(b), 3); // two backward + one undirected
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn undirected_endpoints_are_unordered() {
+        assert_eq!(
+            Endpoints::undirected(NodeId(5), NodeId(2)),
+            Endpoints::undirected(NodeId(2), NodeId(5))
+        );
+        assert_ne!(
+            Endpoints::directed(NodeId(5), NodeId(2)),
+            Endpoints::directed(NodeId(2), NodeId(5))
+        );
+    }
+
+    #[test]
+    fn adjacency_directions() {
+        let (g, [a, b, c], [_, _, e3, e4]) = diamond();
+        let back_at_b: Vec<_> = g
+            .steps(b)
+            .iter()
+            .filter(|s| s.traversal == Traversal::Backward)
+            .collect();
+        assert_eq!(back_at_b.len(), 2);
+        assert!(back_at_b.iter().all(|s| s.to == a));
+        let undirected_at_c: Vec<_> = g
+            .steps(c)
+            .iter()
+            .filter(|s| s.edge == e3)
+            .collect();
+        assert_eq!(undirected_at_c.len(), 1);
+        assert_eq!(undirected_at_c[0].to, b);
+        // A directed self loop is traversable both ways from its node.
+        let loops: Vec<_> = g.steps(c).iter().filter(|s| s.edge == e4).collect();
+        assert_eq!(loops.len(), 2);
+    }
+
+    #[test]
+    fn undirected_self_loop_listed_once() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_node("a", ["L"], []);
+        let e = g.add_edge("e", Endpoints::undirected(a, a), ["U"], []);
+        let entries: Vec<_> = g.steps(a).iter().filter(|s| s.edge == e).collect();
+        assert_eq!(entries.len(), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn properties_default_to_null() {
+        let (g, [a, ..], _) = diamond();
+        assert_eq!(g.node(a).property("x"), &Value::Int(1));
+        assert_eq!(g.node(a).property("missing"), &Value::Null);
+        assert_eq!(g.property(a.into(), "missing"), &Value::Null);
+    }
+
+    #[test]
+    fn name_lookup() {
+        let (g, [a, ..], [e1, ..]) = diamond();
+        assert_eq!(g.node_by_name("a"), Some(a));
+        assert_eq!(g.edge_by_name("e1"), Some(e1));
+        assert_eq!(g.node_by_name("e1"), None);
+        assert_eq!(g.by_name("zzz"), None);
+        assert_eq!(g.name(a.into()), "a");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate element name")]
+    fn duplicate_names_rejected() {
+        let mut g = PropertyGraph::new();
+        g.add_node("a", ["L"], []);
+        g.add_node("a", ["L"], []);
+    }
+
+    #[test]
+    fn labels_of_elements() {
+        let (g, [_, b, _], [e1, ..]) = diamond();
+        assert!(g.node(b).has_label("M"));
+        assert!(!g.node(b).has_label("T"));
+        assert!(g.edge(e1).has_label("T"));
+        assert_eq!(g.labels(b.into()).len(), 2);
+    }
+}

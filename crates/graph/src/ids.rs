@@ -1,0 +1,128 @@
+//! Identifiers for graph elements.
+//!
+//! Nodes and edges are referred to by dense `u32` indices into the owning
+//! [`PropertyGraph`](crate::PropertyGraph). The paper's external identifiers
+//! (`a1`, `t4`, ...) are stored as element *names* on the data records; the
+//! numeric ids are an implementation detail that keeps bindings compact.
+
+use std::fmt;
+
+/// Identifier of a node within one [`PropertyGraph`](crate::PropertyGraph).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an edge within one [`PropertyGraph`](crate::PropertyGraph).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub u32);
+
+/// Either a node or an edge identifier.
+///
+/// Definition 2.1 requires `N ∩ E = ∅`; the enum discriminant provides that
+/// disjointness even though both sides use dense indices.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ElementId {
+    Node(NodeId),
+    Edge(EdgeId),
+}
+
+impl NodeId {
+    /// The dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The dense index of this edge.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ElementId {
+    /// Returns the node id if this element is a node.
+    pub fn as_node(self) -> Option<NodeId> {
+        match self {
+            ElementId::Node(n) => Some(n),
+            ElementId::Edge(_) => None,
+        }
+    }
+
+    /// Returns the edge id if this element is an edge.
+    pub fn as_edge(self) -> Option<EdgeId> {
+        match self {
+            ElementId::Edge(e) => Some(e),
+            ElementId::Node(_) => None,
+        }
+    }
+
+    /// True if this element is a node.
+    pub fn is_node(self) -> bool {
+        matches!(self, ElementId::Node(_))
+    }
+}
+
+impl From<NodeId> for ElementId {
+    fn from(n: NodeId) -> Self {
+        ElementId::Node(n)
+    }
+}
+
+impl From<EdgeId> for ElementId {
+    fn from(e: EdgeId) -> Self {
+        ElementId::Edge(e)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Debug for ElementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElementId::Node(n) => n.fmt(f),
+            ElementId::Edge(e) => e.fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_and_edge_ids_are_disjoint_elements() {
+        let n: ElementId = NodeId(3).into();
+        let e: ElementId = EdgeId(3).into();
+        assert_ne!(n, e);
+        assert_eq!(n.as_node(), Some(NodeId(3)));
+        assert_eq!(n.as_edge(), None);
+        assert_eq!(e.as_edge(), Some(EdgeId(3)));
+        assert!(n.is_node());
+        assert!(!e.is_node());
+    }
+
+    #[test]
+    fn debug_formats_are_compact() {
+        assert_eq!(format!("{:?}", NodeId(7)), "n7");
+        assert_eq!(format!("{:?}", EdgeId(1)), "e1");
+        assert_eq!(format!("{:?}", ElementId::Node(NodeId(0))), "n0");
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(EdgeId(0) < EdgeId(10));
+    }
+}

@@ -1,0 +1,292 @@
+//! Property values.
+//!
+//! The paper assumes a countably infinite set `Val` of property values. This
+//! implementation provides the scalar types every query in the paper needs:
+//! null, booleans, 64-bit integers, floats and strings.
+//!
+//! Two notions of comparison coexist:
+//!
+//! * **Structural equality / total order** ([`PartialEq`]/[`Ord`]): used for
+//!   binding deduplication and deterministic output ordering. `Null == Null`
+//!   and floats compare by [`f64::total_cmp`], so `Value` can be a map key.
+//! * **Query comparison** ([`Value::sql_compare`] / [`Value::sql_eq`]):
+//!   SQL-style three-valued semantics in `WHERE` clauses. Comparing with
+//!   `Null`, or comparing values of incompatible types, yields *unknown*
+//!   (`None`), which a filter treats as not-satisfied.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A property value (an element of the paper's `Val`).
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// Absent value: the result of accessing a property an element lacks.
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// True if this value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The type rank used by the structural total order.
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Str(_) => 4,
+        }
+    }
+
+    /// Numeric view of the value, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Truth value under three-valued logic: `None` means *unknown*.
+    pub fn truth(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            Value::Null => None,
+            _ => None,
+        }
+    }
+
+    /// SQL-style comparison: `None` when either side is `Null` or the types
+    /// are incomparable (e.g. a string against an integer).
+    pub fn sql_compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+            _ => None,
+        }
+    }
+
+    /// SQL-style equality: `None` (unknown) when either side is `Null`.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.sql_compare(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// Numeric addition for aggregation; integer addition stays exact.
+    pub fn add(&self, other: &Value) -> Option<Value> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(Value::Int(a.checked_add(*b)?)),
+            _ => Some(Value::Float(self.as_f64()? + other.as_f64()?)),
+        }
+    }
+
+    /// Numeric division used by `AVG` and arithmetic expressions.
+    pub fn divide(&self, other: &Value) -> Option<Value> {
+        let d = other.as_f64()?;
+        if d == 0.0 {
+            return None;
+        }
+        Some(Value::Float(self.as_f64()? / d))
+    }
+
+    /// Numeric multiplication.
+    pub fn multiply(&self, other: &Value) -> Option<Value> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(Value::Int(a.checked_mul(*b)?)),
+            _ => Some(Value::Float(self.as_f64()? * other.as_f64()?)),
+        }
+    }
+
+    /// Numeric subtraction.
+    pub fn subtract(&self, other: &Value) -> Option<Value> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(Value::Int(a.checked_sub(*b)?)),
+            _ => Some(Value::Float(self.as_f64()? - other.as_f64()?)),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Structural total order: by type rank, then by value; floats use
+    /// [`f64::total_cmp`]. Deterministic, suitable for sorting result rows.
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.rank().hash(state);
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Int(i) => i.hash(state),
+            Value::Float(f) => f.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_comparison_is_unknown_for_null() {
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+        assert_eq!(Value::Null.sql_compare(&Value::Null), None);
+    }
+
+    #[test]
+    fn sql_comparison_mixes_int_and_float() {
+        assert_eq!(Value::Int(2).sql_eq(&Value::Float(2.0)), Some(true));
+        assert_eq!(
+            Value::Float(1.5).sql_compare(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn sql_comparison_is_unknown_across_incompatible_types() {
+        assert_eq!(Value::str("1").sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Bool(true).sql_compare(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn structural_order_is_total_and_null_safe() {
+        let mut vs = vec![
+            Value::str("b"),
+            Value::Null,
+            Value::Float(0.5),
+            Value::Int(3),
+            Value::Bool(false),
+            Value::str("a"),
+        ];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![
+                Value::Null,
+                Value::Bool(false),
+                Value::Int(3),
+                Value::Float(0.5),
+                Value::str("a"),
+                Value::str("b"),
+            ]
+        );
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn nan_is_orderable_structurally() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)), Some(Value::Int(5)));
+        assert_eq!(
+            Value::Int(2).add(&Value::Float(0.5)),
+            Some(Value::Float(2.5))
+        );
+        assert_eq!(Value::Int(7).divide(&Value::Int(2)), Some(Value::Float(3.5)));
+        assert_eq!(Value::Int(7).divide(&Value::Int(0)), None);
+        assert_eq!(Value::Int(4).multiply(&Value::Int(3)), Some(Value::Int(12)));
+        assert_eq!(Value::Int(4).subtract(&Value::Int(9)), Some(Value::Int(-5)));
+        assert_eq!(Value::str("x").add(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn truth_values() {
+        assert_eq!(Value::Bool(true).truth(), Some(true));
+        assert_eq!(Value::Null.truth(), None);
+        assert_eq!(Value::Int(1).truth(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(10_000_000).to_string(), "10000000");
+        assert_eq!(Value::str("Ankh-Morpork").to_string(), "Ankh-Morpork");
+    }
+}

@@ -1,0 +1,286 @@
+//! CSV import/export for tables, so the SQL/PGQ substrate can be loaded
+//! from plain files (and the CLI can query user data).
+//!
+//! The dialect is deliberately small: comma-separated, first line is the
+//! header, double quotes for fields containing commas/quotes/newlines,
+//! `""` as the escaped quote. Values are inferred per cell: empty →
+//! `Null`, `true`/`false` → `Bool`, integers → `Int`, decimals → `Float`,
+//! everything else → `Str`.
+
+use property_graph::Value;
+
+use crate::table::Table;
+
+/// A CSV parse failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsvError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "csv error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Splits one logical CSV record starting at `chars[start..]`, returning
+/// the fields and the index after the record's newline.
+fn parse_record(chars: &[char], start: usize, line: usize) -> Result<(Vec<String>, usize), CsvError> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut i = start;
+    let mut in_quotes = false;
+    loop {
+        match chars.get(i) {
+            None => {
+                fields.push(std::mem::take(&mut field));
+                return if in_quotes {
+                    Err(CsvError { line, message: "unterminated quoted field".into() })
+                } else {
+                    Ok((fields, i))
+                };
+            }
+            Some('"') if in_quotes && chars.get(i + 1) == Some(&'"') => {
+                field.push('"');
+                i += 2;
+            }
+            Some('"') => {
+                in_quotes = !in_quotes;
+                i += 1;
+            }
+            Some(',') if !in_quotes => {
+                fields.push(std::mem::take(&mut field));
+                i += 1;
+            }
+            Some('\n') if !in_quotes => {
+                fields.push(std::mem::take(&mut field));
+                return Ok((fields, i + 1));
+            }
+            Some('\r') if !in_quotes && chars.get(i + 1) == Some(&'\n') => {
+                fields.push(std::mem::take(&mut field));
+                return Ok((fields, i + 2));
+            }
+            Some(c) => {
+                field.push(*c);
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Infers a [`Value`] from one CSV cell.
+fn infer(cell: &str) -> Value {
+    if cell.is_empty() {
+        return Value::Null;
+    }
+    if cell.eq_ignore_ascii_case("true") {
+        return Value::Bool(true);
+    }
+    if cell.eq_ignore_ascii_case("false") {
+        return Value::Bool(false);
+    }
+    if let Ok(i) = cell.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = cell.parse::<f64>() {
+        if f.is_finite() {
+            return Value::Float(f);
+        }
+    }
+    Value::str(cell)
+}
+
+impl Table {
+    /// Parses a CSV document (header line + data lines) into a table.
+    pub fn from_csv(name: impl Into<String>, csv: &str) -> Result<Table, CsvError> {
+        let chars: Vec<char> = csv.chars().collect();
+        let mut pos = 0;
+        let mut line = 1;
+        let (header, next) = parse_record(&chars, pos, line)?;
+        if header.iter().all(String::is_empty) {
+            return Err(CsvError { line, message: "missing header".into() });
+        }
+        pos = next;
+        let mut table = Table::new(name, header);
+        while pos < chars.len() {
+            line += 1;
+            let (fields, next) = parse_record(&chars, pos, line)?;
+            pos = next;
+            if fields.len() == 1 && fields[0].is_empty() {
+                continue; // blank line
+            }
+            if fields.len() != table.columns.len() {
+                return Err(CsvError {
+                    line,
+                    message: format!(
+                        "expected {} fields, found {}",
+                        table.columns.len(),
+                        fields.len()
+                    ),
+                });
+            }
+            table.push(fields.iter().map(|c| infer(c)));
+        }
+        Ok(table)
+    }
+
+    /// Renders the table as CSV (header + rows), quoting where needed.
+    pub fn to_csv(&self) -> String {
+        fn cell(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|c| cell(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            let rendered: Vec<String> = row
+                .iter()
+                .map(|v| match v {
+                    Value::Null => String::new(),
+                    other => cell(&other.to_string()),
+                })
+                .collect();
+            out.push_str(&rendered.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_csv_with_type_inference() {
+        let t = Table::from_csv(
+            "Account",
+            "ID,owner,isBlocked,balance,score\n\
+             a1,Scott,false,8000000,0.5\n\
+             a2,Jay,true,,\n",
+        )
+        .unwrap();
+        assert_eq!(t.columns, vec!["ID", "owner", "isBlocked", "balance", "score"]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(0, "owner"), Some(&Value::str("Scott")));
+        assert_eq!(t.get(0, "isBlocked"), Some(&Value::Bool(false)));
+        assert_eq!(t.get(0, "balance"), Some(&Value::Int(8_000_000)));
+        assert_eq!(t.get(0, "score"), Some(&Value::Float(0.5)));
+        assert_eq!(t.get(1, "balance"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn quoting_commas_quotes_and_newlines() {
+        let t = Table::from_csv(
+            "T",
+            "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n\"multi\nline\",plain\n",
+        )
+        .unwrap();
+        assert_eq!(t.get(0, "a"), Some(&Value::str("x,y")));
+        assert_eq!(t.get(0, "b"), Some(&Value::str("he said \"hi\"")));
+        assert_eq!(t.get(1, "a"), Some(&Value::str("multi\nline")));
+    }
+
+    #[test]
+    fn errors_report_lines() {
+        let err = Table::from_csv("T", "a,b\n1,2,3\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("expected 2"));
+        let err = Table::from_csv("T", "a,b\n\"open,2\n").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn roundtrip_through_csv() {
+        let t = Table::from_csv(
+            "Account",
+            "ID,owner,amount\na1,\"Last, First\",10\na2,Plain,,\n".replace(",,\n", ",\n").as_str(),
+        )
+        .unwrap();
+        let csv = t.to_csv();
+        let back = Table::from_csv("Account", &csv).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn csv_tables_feed_the_view_machinery() {
+        use crate::view::{EdgeTable, GraphView, VertexTable};
+        use crate::Database;
+        let mut db = Database::new();
+        db.insert(
+            Table::from_csv("Account", "ID,owner\na1,Scott\na2,Jay\n").unwrap(),
+        );
+        db.insert(
+            Table::from_csv("Transfer", "ID,SRC,DST,amount\nt1,a1,a2,8000000\n").unwrap(),
+        );
+        let g = GraphView::new("bank")
+            .vertex(VertexTable::new("Account", "ID").properties(["owner"]))
+            .edge(EdgeTable::new("Transfer", "ID", "SRC", "DST").properties(["amount"]))
+            .materialize(&db)
+            .unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        let t = crate::graph_table(
+            &g,
+            "MATCH (x)-[t:Transfer]->(y) COLUMNS (x.owner AS o, t.amount AS a)",
+        )
+        .unwrap();
+        assert_eq!(t.get(0, "o"), Some(&Value::str("Scott")));
+        assert_eq!(t.get(0, "a"), Some(&Value::Int(8_000_000)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn value_strategy() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            Just(Value::Null),
+            proptest::bool::ANY.prop_map(Value::Bool),
+            proptest::num::i64::ANY.prop_map(Value::Int),
+            // Strings that cannot be mistaken for numbers/booleans/null.
+            "[ -~]{0,12}".prop_map(Value::str).prop_filter("unambiguous", |v| {
+                let Value::Str(s) = v else { return true };
+                infer(s) == Value::str(s.clone())
+            }),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// to_csv ∘ from_csv is the identity on tables with inferable
+        /// cell types (including commas, quotes, and newlines in strings).
+        #[test]
+        fn csv_roundtrip_is_identity(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(value_strategy(), 3),
+                0..8,
+            )
+        ) {
+            let mut t = Table::new("T", ["c0", "c1", "c2"]);
+            for r in rows {
+                t.push(r);
+            }
+            let csv = t.to_csv();
+            let back = Table::from_csv("T", &csv).unwrap();
+            prop_assert_eq!(t, back);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Tour of the implemented §7.1 language opportunities and §3 devices:
+//! EXISTS subqueries, cheapest-path selectors, edge-isomorphic matching,
+//! and JSON export.
+//!
+//! ```sh
+//! cargo run --example extensions_tour
+//! ```
+
+use gpml_suite::core::eval::{evaluate, EvalOptions, MatchIso};
+use gpml_suite::datagen::fig1;
+use gpml_suite::gql::Session;
+use gpml_suite::parser::parse;
+
+fn main() {
+    let mut session = Session::new();
+    session.register("bank", fig1());
+
+    // -- EXISTS: absence of a pattern relative to a matched element. -----
+    // Accounts that sent money but have no two-hop route into a blocked
+    // account (the complement of the §3 fraud suspects).
+    let clean = session
+        .execute(
+            "bank",
+            "MATCH (x:Account)-[:Transfer]->() \
+             WHERE NOT EXISTS { (x)-[:Transfer]->{1,2}(b WHERE b.isBlocked='yes') } \
+             RETURN DISTINCT x.owner AS owner ORDER BY owner",
+        )
+        .expect("EXISTS query");
+    println!("senders with no 2-hop route to a blocked account:");
+    for row in &clean.rows {
+        println!("  {}", row[0]);
+    }
+
+    // -- Cheapest paths: minimize transferred value, not hop count. -------
+    let cheapest = session
+        .execute(
+            "bank",
+            "MATCH ANY CHEAPEST(amount) TRAIL p = \
+             (a WHERE a.owner='Dave')-[t:Transfer]->*(b WHERE b.owner='Aretha') \
+             RETURN p, SUM(t.amount) AS cost",
+        )
+        .expect("cheapest query");
+    println!("\ncheapest (by amount) transfer route Dave → Aretha:");
+    println!("  {} costing {}", cheapest.rows[0][0], cheapest.rows[0][1]);
+    let shortest = session
+        .execute(
+            "bank",
+            "MATCH ANY SHORTEST p = \
+             (a WHERE a.owner='Dave')-[t:Transfer]->*(b WHERE b.owner='Aretha') \
+             RETURN p, SUM(t.amount) AS cost",
+        )
+        .expect("shortest query");
+    println!("  (shortest route: {} costing {})", shortest.rows[0][0], shortest.rows[0][1]);
+
+    // -- Edge-isomorphic matching across path patterns. --------------------
+    // Two independent path patterns may bind the same edge under the
+    // default homomorphic semantics; edge-isomorphic mode forbids it.
+    let query = parse(
+        "MATCH (a WHERE a.owner='Scott')-[e:Transfer]->(m),          (c)-[f:Transfer]->(d WHERE d.owner='Mike')",
+    )
+    .unwrap();
+    let g = session.graph("bank").unwrap();
+    let hom = evaluate(g, &query, &EvalOptions::default()).unwrap();
+    let iso = evaluate(
+        g,
+        &query,
+        &EvalOptions { isomorphism: MatchIso::EdgeIsomorphic, ..EvalOptions::default() },
+    )
+    .unwrap();
+    println!(
+        "\ntwo-pattern transfer chains: {} homomorphic, {} edge-isomorphic",
+        hom.len(),
+        iso.len()
+    );
+
+    // -- JSON export. --------------------------------------------------------
+    let result = session
+        .execute(
+            "bank",
+            "MATCH ANY p = (a WHERE a.owner='Jay')-[e:Transfer]->+(b WHERE b.owner='Dave') \
+             RETURN a, e, p",
+        )
+        .expect("json query");
+    println!("\nas JSON: {}", result.to_json());
+    let rows = session
+        .match_bindings("bank", "MATCH (x:Account WHERE x.isBlocked='yes')")
+        .unwrap();
+    println!(
+        "binding as JSON: {}",
+        gpml_suite::gql::json::binding_to_json(g, &rows[0])
+    );
+}

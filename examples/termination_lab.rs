@@ -1,0 +1,104 @@
+//! Termination lab — §5 interactively: what happens to an unbounded
+//! quantifier under no cover, a restrictor, a selector, and both.
+//!
+//! ```sh
+//! cargo run --example termination_lab
+//! ```
+
+use gpml_suite::core::eval::{evaluate, EvalOptions};
+use gpml_suite::datagen::{cycle, fig1};
+use gpml_suite::parser::parse;
+use property_graph::PropertyGraph;
+
+fn try_query(g: &PropertyGraph, query: &str) {
+    println!("\n> {query}");
+    let pattern = match parse(query) {
+        Ok(p) => p,
+        Err(e) => {
+            println!("  parse error: {e}");
+            return;
+        }
+    };
+    match evaluate(g, &pattern, &EvalOptions::default()) {
+        Ok(rs) => println!("  ok: {} match(es)", rs.len()),
+        Err(e) => println!("  rejected: {e}"),
+    }
+}
+
+fn main() {
+    let bank = fig1();
+
+    println!("=== The §5 problem: cyclic graphs make * infinite ===");
+    // Figure 1 contains the transfer loop a3→a5→a1→a3, so this match set
+    // would be infinite. GPML rejects it statically.
+    try_query(
+        &bank,
+        "MATCH p = (a WHERE a.owner='Dave')-[t:Transfer]->*(b WHERE b.owner='Aretha')",
+    );
+
+    println!("\n=== Restrictors: prune during the search (Figure 7) ===");
+    for r in ["TRAIL", "ACYCLIC", "SIMPLE"] {
+        try_query(
+            &bank,
+            &format!(
+                "MATCH {r} p = (a WHERE a.owner='Dave')-[t:Transfer]->*\
+                 (b WHERE b.owner='Aretha')"
+            ),
+        );
+    }
+
+    println!("\n=== Selectors: keep finitely many per endpoint pair (Figure 8) ===");
+    for s in [
+        "ANY SHORTEST",
+        "ALL SHORTEST",
+        "ANY",
+        "ANY 2",
+        "SHORTEST 2",
+        "SHORTEST 2 GROUP",
+    ] {
+        try_query(
+            &bank,
+            &format!(
+                "MATCH {s} p = (a WHERE a.owner='Dave')-[t:Transfer]->*\
+                 (b WHERE b.owner='Aretha')"
+            ),
+        );
+    }
+
+    println!("\n=== Combined: selectors apply after restrictors (§5.1) ===");
+    try_query(
+        &bank,
+        "MATCH ALL SHORTEST TRAIL p = (a WHERE a.owner='Dave')-[t:Transfer]->*\
+         (b WHERE b.owner='Aretha')-[r:Transfer]->*(c WHERE c.owner='Mike')",
+    );
+
+    println!("\n=== §5.3: aggregates of unbounded group variables ===");
+    // Prefilter: rejected (the selector has not yet bounded e).
+    try_query(
+        &bank,
+        "MATCH ALL SHORTEST [ (x)-[e]->*(y) WHERE COUNT(e.*)/(COUNT(e.*)+1)>1 ]",
+    );
+    // Postfilter: legal, runs, and is empty (the quotient never exceeds 1).
+    try_query(
+        &bank,
+        "MATCH ALL SHORTEST (x)-[e]->*(y) WHERE COUNT(e.*)/(COUNT(e.*)+1) > 1",
+    );
+    // Restrictor inside the parenthesis: legal and empty.
+    try_query(
+        &bank,
+        "MATCH ALL SHORTEST [ TRAIL (x)-[e]->*(y) WHERE COUNT(e.*)/(COUNT(e.*)+1) > 1 ]",
+    );
+
+    println!("\n=== Scaling: a pure cycle is the worst case for TRAIL ===");
+    for n in [4usize, 6, 8] {
+        let g = cycle(n);
+        let pattern = parse("MATCH TRAIL (a)-[t:Transfer]->+(b)").unwrap();
+        let start = std::time::Instant::now();
+        let rs = evaluate(&g, &pattern, &EvalOptions::default()).unwrap();
+        println!(
+            "  cycle({n}): {} trails in {:?} (every edge usable once per start)",
+            rs.len(),
+            start.elapsed()
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! `gpml` — a small command-line front end to the GPML engine.
+//!
+//! ```sh
+//! # One-shot query against a built-in graph:
+//! cargo run --bin gpml -- --graph fig1 \
+//!     "MATCH (x:Account WHERE x.isBlocked='yes') RETURN x.owner AS owner"
+//!
+//! # JSON output, SPARQL endpoint-only semantics, synthetic graph:
+//! cargo run --bin gpml -- --graph network:40,100,7 --mode sparql --json \
+//!     "MATCH ALL SHORTEST (a)-[t:Transfer]->*(b) RETURN a, b LIMIT 5"
+//!
+//! # No query argument: read one query per line from stdin (a mini REPL).
+//! cargo run --bin gpml -- --graph fig1
+//! ```
+//!
+//! Graphs: `fig1` (the paper's Figure 1), `chain:N`, `cycle:N`,
+//! `grid:WxH`, `network:ACCOUNTS,TRANSFERS,SEED`, or `csv:DIR` — a
+//! directory of `<Table>.csv` files plus a `schema.ddl` holding one
+//! `CREATE PROPERTY GRAPH` statement over them.
+//! Modes: `gpml` (default), `sparql` (endpoint-only), `gsql` (implicit
+//! `ALL SHORTEST`).
+
+use std::io::BufRead;
+
+use gpml_suite::core::eval::{EvalOptions, MatchMode};
+use gpml_suite::datagen::{chain, cycle, fig1, grid, transfer_network, TransferNetworkConfig};
+use gpml_suite::gql::Session;
+use property_graph::PropertyGraph;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gpml [--graph fig1|chain:N|cycle:N|grid:WxH|network:N,M,SEED|csv:DIR] \
+         [--mode gpml|sparql|gsql] [--json] [QUERY]\n\
+         With no QUERY, reads one query per line from stdin."
+    );
+    std::process::exit(2)
+}
+
+fn build_graph(spec: &str) -> Result<PropertyGraph, String> {
+    if spec == "fig1" {
+        return Ok(fig1());
+    }
+    if let Some(n) = spec.strip_prefix("chain:") {
+        return n.parse().map(chain).map_err(|e| format!("chain:{n}: {e}"));
+    }
+    if let Some(n) = spec.strip_prefix("cycle:") {
+        return n.parse().map(cycle).map_err(|e| format!("cycle:{n}: {e}"));
+    }
+    if let Some(dims) = spec.strip_prefix("grid:") {
+        let (w, h) = dims.split_once('x').ok_or("grid wants WxH")?;
+        let w: usize = w.parse().map_err(|e| format!("grid width: {e}"))?;
+        let h: usize = h.parse().map_err(|e| format!("grid height: {e}"))?;
+        return Ok(grid(w, h));
+    }
+    if let Some(dir) = spec.strip_prefix("csv:") {
+        return load_csv_dir(dir);
+    }
+    if let Some(params) = spec.strip_prefix("network:") {
+        let parts: Vec<&str> = params.split(',').collect();
+        if parts.len() != 3 {
+            return Err("network wants ACCOUNTS,TRANSFERS,SEED".to_owned());
+        }
+        let cfg = TransferNetworkConfig {
+            accounts: parts[0].parse().map_err(|e| format!("accounts: {e}"))?,
+            transfers: parts[1].parse().map_err(|e| format!("transfers: {e}"))?,
+            blocked_share: 0.1,
+            seed: parts[2].parse().map_err(|e| format!("seed: {e}"))?,
+        };
+        return Ok(transfer_network(cfg));
+    }
+    Err(format!("unknown graph spec {spec}"))
+}
+
+/// Loads `<dir>/*.csv` as tables and materializes `<dir>/schema.ddl`.
+fn load_csv_dir(dir: &str) -> Result<PropertyGraph, String> {
+    use gpml_suite::pgq::{Catalog, Database, Table};
+    let mut db = Database::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{dir}: {e}"))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("csv") {
+            continue;
+        }
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or("bad file name")?
+            .to_owned();
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("{path:?}: {e}"))?;
+        db.insert(Table::from_csv(&name, &text).map_err(|e| format!("{path:?}: {e}"))?);
+    }
+    let ddl_path = std::path::Path::new(dir).join("schema.ddl");
+    let ddl = std::fs::read_to_string(&ddl_path).map_err(|e| format!("{ddl_path:?}: {e}"))?;
+    let mut catalog = Catalog::new(db);
+    catalog.execute_ddl(&ddl).map_err(|e| e.to_string())?;
+    let name = catalog
+        .graph_names()
+        .next()
+        .ok_or("schema.ddl defined no graph")?
+        .to_owned();
+    Ok(catalog.graph(&name).expect("just created").clone())
+}
+
+fn run_one(session: &Session, query: &str, json: bool) {
+    // Queries without RETURN are bare matches: print binding tables.
+    let has_return = query.to_ascii_uppercase().contains("RETURN");
+    if has_return {
+        match session.execute("g", query) {
+            Ok(result) => {
+                if json {
+                    println!("{}", result.to_json());
+                } else {
+                    println!("{}", result.columns.join(" | "));
+                    for row in &result.rows {
+                        let cells: Vec<String> = row.iter().map(|c| c.to_string()).collect();
+                        println!("{}", cells.join(" | "));
+                    }
+                    println!("({} rows)", result.rows.len());
+                }
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+        return;
+    }
+    match session.match_bindings("g", query) {
+        Ok(rows) => {
+            let g = session.graph("g").expect("registered");
+            if json {
+                let items: Vec<String> = rows
+                    .iter()
+                    .map(|r| gpml_suite::gql::json::binding_to_json(g, r))
+                    .collect();
+                println!("[{}]", items.join(","));
+            } else {
+                for row in &rows {
+                    let cells: Vec<String> = row
+                        .values
+                        .iter()
+                        .map(|(k, v)| format!("{k}={}", v.display(g)))
+                        .collect();
+                    println!("{}", cells.join(", "));
+                }
+                println!("({} bindings)", rows.len());
+            }
+        }
+        Err(e) => eprintln!("error: {e}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut graph_spec = "fig1".to_owned();
+    let mut mode = MatchMode::Gpml;
+    let mut json = false;
+    let mut query: Option<String> = None;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--graph" => graph_spec = it.next().unwrap_or_else(|| usage()),
+            "--mode" => {
+                mode = match it.next().as_deref() {
+                    Some("gpml") => MatchMode::Gpml,
+                    Some("sparql") => MatchMode::EndpointOnly,
+                    Some("gsql") => MatchMode::GsqlDefault,
+                    _ => usage(),
+                }
+            }
+            "--json" => json = true,
+            "--help" | "-h" => usage(),
+            q if query.is_none() && !q.starts_with("--") => query = Some(q.to_owned()),
+            _ => usage(),
+        }
+    }
+
+    let graph = match build_graph(&graph_spec) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "graph {graph_spec}: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
+
+    let mut session =
+        Session::with_options(EvalOptions { mode, ..EvalOptions::default() });
+    session.register("g", graph);
+
+    match query {
+        Some(q) => run_one(&session, &q, json),
+        None => {
+            eprintln!("reading queries from stdin (one per line; Ctrl-D to quit)");
+            for line in std::io::stdin().lock().lines() {
+                let Ok(line) = line else { break };
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                run_one(&session, line, json);
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! `gpml-suite`: reference implementation of GPML — the graph pattern
+//! matching language shared by ISO GQL and SQL/PGQ — from *Graph Pattern
+//! Matching in GQL and SQL/PGQ* (Deutsch et al., SIGMOD 2022).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`graph`] — the property-graph data model (Definition 2.1);
+//! * [`core`] — the GPML AST, static analysis, and both evaluation
+//!   engines (production matcher + §6 spec-literal baseline);
+//! * [`parser`] — the concrete §4 syntax;
+//! * [`pgq`] — SQL/PGQ: tables, `CREATE PROPERTY GRAPH` views,
+//!   `GRAPH_TABLE`;
+//! * [`gql`] — the GQL host: sessions, `MATCH ... RETURN`, graph
+//!   projection;
+//! * [`datagen`] — the Figure 1 bank graph and synthetic workloads.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gpml_suite::gql::Session;
+//! use gpml_suite::datagen::fig1;
+//!
+//! let mut session = Session::new();
+//! session.register("bank", fig1());
+//! let blocked = session
+//!     .execute("bank", "MATCH (x:Account WHERE x.isBlocked='yes') RETURN x.owner AS o")
+//!     .unwrap();
+//! assert_eq!(blocked.rows.len(), 1); // only Jay
+//! ```
+
+pub use gpml_core as core;
+pub use gpml_datagen as datagen;
+pub use gpml_parser as parser;
+pub use gql;
+pub use property_graph as graph;
+pub use sql_pgq as pgq;

@@ -1,0 +1,252 @@
+//! Property tests: the production engine and the §6 spec-literal baseline
+//! compute the same reduced, deduplicated, selected binding sets on random
+//! graphs and random patterns.
+
+use proptest::prelude::*;
+
+use gpml_suite::core::ast::*;
+use gpml_suite::core::binding::MatchRow;
+use gpml_suite::core::eval::{evaluate, EvalOptions};
+use gpml_suite::core::{baseline, GraphPattern};
+use gpml_suite::datagen::small_mixed;
+use property_graph::PropertyGraph;
+
+fn opts() -> EvalOptions {
+    EvalOptions {
+        max_matches: 200_000,
+        ..EvalOptions::default()
+    }
+}
+
+fn sorted(ms: gpml_suite::core::MatchSet) -> Vec<MatchRow> {
+    let mut rows = ms.rows;
+    rows.sort();
+    rows
+}
+
+fn check_agreement(g: &PropertyGraph, pattern: &GraphPattern) {
+    let a = evaluate(g, pattern, &opts());
+    let b = baseline::evaluate(g, pattern, &opts());
+    match (a, b) {
+        (Ok(x), Ok(y)) => {
+            assert_eq!(
+                sorted(x),
+                sorted(y),
+                "engines disagree on {pattern} over {} nodes/{} edges",
+                g.node_count(),
+                g.edge_count()
+            );
+        }
+        // Static rejections must agree; resource limits may differ.
+        (Err(ea), Err(_eb)) => {
+            let _ = ea;
+        }
+        (Ok(_), Err(e)) | (Err(e), Ok(_)) => {
+            // The baseline may exhaust its rigid-pattern budget where the
+            // engine succeeds; that is the one tolerated asymmetry.
+            assert!(
+                matches!(e, gpml_suite::core::Error::LimitExceeded { .. }),
+                "one-sided failure on {pattern}: {e}"
+            );
+        }
+    }
+}
+
+// -- Strategies --------------------------------------------------------------
+
+fn var() -> impl Strategy<Value = Option<String>> {
+    proptest::option::of(proptest::sample::select(vec![
+        "x".to_owned(),
+        "y".to_owned(),
+        "z".to_owned(),
+        "e".to_owned(),
+        "f".to_owned(),
+    ]))
+}
+
+fn label() -> impl Strategy<Value = Option<LabelExpr>> {
+    proptest::option::of(prop_oneof![
+        Just(LabelExpr::label("A")),
+        Just(LabelExpr::label("B")),
+        Just(LabelExpr::label("T")),
+        Just(LabelExpr::label("U")),
+        Just(LabelExpr::label("A").or(LabelExpr::label("B"))),
+    ])
+}
+
+fn node_pat(node_vars: bool) -> impl Strategy<Value = NodePattern> {
+    (if node_vars { var().boxed() } else { Just(None).boxed() }, label()).prop_map(
+        |(var, label)| {
+            let var = var.filter(|v| !v.starts_with('e') && !v.starts_with('f'));
+            NodePattern { var, label, predicate: None }
+        },
+    )
+}
+
+fn edge_pat() -> impl Strategy<Value = EdgePattern> {
+    (
+        proptest::option::of(proptest::sample::select(vec!["e".to_owned(), "f".to_owned()])),
+        label(),
+        proptest::sample::select(Direction::ALL.to_vec()),
+        proptest::option::of(0i64..4),
+    )
+        .prop_map(|(var, label, direction, weight)| {
+            // Per-edge weight prefilter exercises predicate paths; it
+            // references only the edge's own variable.
+            let predicate = match (&var, weight) {
+                (Some(v), Some(w)) => Some(Expr::cmp(
+                    CmpOp::Ge,
+                    Expr::prop(v.clone(), "w"),
+                    Expr::lit(w),
+                )),
+                _ => None,
+            };
+            EdgePattern { var, label, predicate, direction }
+        })
+}
+
+/// A step: edge or edge+node.
+fn step() -> impl Strategy<Value = Vec<PathPattern>> {
+    (edge_pat(), node_pat(true)).prop_map(|(e, n)| {
+        vec![PathPattern::Edge(e), PathPattern::Node(n)]
+    })
+}
+
+/// A linear chain pattern `(n) (step)*`.
+fn chain_pattern() -> impl Strategy<Value = PathPattern> {
+    (node_pat(true), proptest::collection::vec(step(), 0..3)).prop_map(|(first, steps)| {
+        let mut parts = vec![PathPattern::Node(first)];
+        for s in steps {
+            parts.extend(s);
+        }
+        PathPattern::concat(parts)
+    })
+}
+
+/// A pattern with one (bounded or restrictor-covered unbounded)
+/// quantifier in the middle.
+fn quantified_pattern() -> impl Strategy<Value = (Option<Restrictor>, Option<Selector>, PathPattern)>
+{
+    let body = (edge_pat(), node_pat(false)).prop_map(|(e, n)| {
+        PathPattern::concat(vec![
+            PathPattern::Node(NodePattern::any()),
+            PathPattern::Edge(e),
+            PathPattern::Node(n),
+        ])
+        .paren()
+    });
+    (
+        node_pat(true),
+        body,
+        prop_oneof![
+            // Bounded quantifiers need no cover.
+            (0u32..2, 1u32..3).prop_map(|(m, s)| (Quantifier::range(m, Some(m + s)), false)),
+            // Unbounded ones get one from the caller.
+            Just((Quantifier::plus(), true)),
+            Just((Quantifier::star(), true)),
+        ],
+        node_pat(true),
+        proptest::sample::select(vec![
+            Some(Restrictor::Trail),
+            Some(Restrictor::Acyclic),
+            Some(Restrictor::Simple),
+        ]),
+        proptest::option::of(proptest::sample::select(vec![
+            Selector::AnyShortest,
+            Selector::AllShortest,
+            Selector::ShortestK(2),
+            Selector::ShortestKGroup(2),
+            Selector::AnyK(2),
+            Selector::Any,
+        ])),
+    )
+        .prop_map(|(first, body, (q, unbounded), last, restrictor, selector)| {
+            let pattern = PathPattern::concat(vec![
+                PathPattern::Node(first),
+                body.quantified(q),
+                PathPattern::Node(last),
+            ]);
+            let restrictor = if unbounded { restrictor } else { None };
+            (restrictor, selector, pattern)
+        })
+}
+
+fn union_pattern() -> impl Strategy<Value = PathPattern> {
+    (
+        proptest::collection::vec(chain_pattern(), 2..4),
+        proptest::bool::ANY,
+    )
+        .prop_map(|(branches, multiset)| {
+            if multiset {
+                PathPattern::Alternation(branches)
+            } else {
+                PathPattern::Union(branches)
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn chains_agree(seed in 0u64..500, p in chain_pattern()) {
+        let g = small_mixed(seed, 5, 8);
+        check_agreement(&g, &GraphPattern::single(p));
+    }
+
+    #[test]
+    fn quantified_patterns_agree(
+        seed in 0u64..500,
+        (restrictor, selector, pattern) in quantified_pattern(),
+    ) {
+        let g = small_mixed(seed, 4, 6);
+        let gp = GraphPattern {
+            paths: vec![PathPatternExpr { selector, restrictor, path_var: None, pattern }],
+            where_clause: None,
+        };
+        check_agreement(&g, &gp);
+    }
+
+    #[test]
+    fn unions_agree(seed in 0u64..500, p in union_pattern()) {
+        let g = small_mixed(seed, 5, 7);
+        check_agreement(&g, &GraphPattern::single(p));
+    }
+
+    #[test]
+    fn multi_pattern_joins_agree(
+        seed in 0u64..500,
+        p1 in chain_pattern(),
+        p2 in chain_pattern(),
+    ) {
+        let g = small_mixed(seed, 4, 6);
+        let gp = GraphPattern {
+            paths: vec![
+                PathPatternExpr::plain(p1),
+                PathPatternExpr::plain(p2),
+            ],
+            where_clause: None,
+        };
+        check_agreement(&g, &gp);
+    }
+
+    #[test]
+    fn question_mark_agrees(seed in 0u64..500, n in 0usize..5) {
+        let g = small_mixed(seed, 5, 8);
+        // (x) [-[e]->(y)]? with varying start labels.
+        let labels = ["A", "B", "T", "U", "A"];
+        let pattern = PathPattern::concat(vec![
+            PathPattern::Node(
+                NodePattern::var("x").with_label(LabelExpr::label(labels[n])),
+            ),
+            PathPattern::Questioned(Box::new(
+                PathPattern::concat(vec![
+                    PathPattern::Edge(EdgePattern::any(Direction::Right).with_var("e")),
+                    PathPattern::Node(NodePattern::var("y")),
+                ])
+                .paren(),
+            )),
+        ]);
+        check_agreement(&g, &GraphPattern::single(pattern));
+    }
+}

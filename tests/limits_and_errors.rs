@@ -1,0 +1,164 @@
+//! Resource limits and error-surface tests: the engine must fail loudly
+//! and precisely, never hang or return partial results silently.
+
+use gpml_suite::core::eval::{evaluate, EvalOptions};
+use gpml_suite::core::{baseline, Error};
+use gpml_suite::datagen::{cycle, fig1, transfer_network, TransferNetworkConfig};
+use gpml_suite::parser::parse;
+
+#[test]
+fn max_matches_limit_is_enforced() {
+    let g = transfer_network(TransferNetworkConfig {
+        accounts: 20,
+        transfers: 60,
+        blocked_share: 0.0,
+        seed: 1,
+    });
+    let pattern = parse("MATCH TRAIL (a)-[t:Transfer]->+(b)").unwrap();
+    let opts = EvalOptions { max_matches: 50, ..EvalOptions::default() };
+    let err = evaluate(&g, &pattern, &opts).unwrap_err();
+    assert!(
+        matches!(err, Error::LimitExceeded { what: "matches", .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn max_frontier_limit_is_enforced() {
+    let g = cycle(12);
+    let pattern = parse("MATCH TRAIL (a)-[t:Transfer]->+(b)").unwrap();
+    let opts = EvalOptions { max_frontier: 4, ..EvalOptions::default() };
+    let err = evaluate(&g, &pattern, &opts).unwrap_err();
+    assert!(
+        matches!(err, Error::LimitExceeded { what: "frontier states", .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn max_path_length_truncates_depth_not_correctness() {
+    // A cap larger than any admissible trail changes nothing.
+    let g = fig1();
+    let q = "MATCH TRAIL p = (a WHERE a.owner='Dave')-[t:Transfer]->*\
+             (b WHERE b.owner='Aretha')";
+    let pattern = parse(q).unwrap();
+    let unlimited = evaluate(&g, &pattern, &EvalOptions::default()).unwrap();
+    let capped = evaluate(
+        &g,
+        &pattern,
+        &EvalOptions { max_path_length: 100, ..EvalOptions::default() },
+    )
+    .unwrap();
+    assert_eq!(unlimited.len(), capped.len());
+}
+
+#[test]
+fn baseline_budget_limit_is_reported() {
+    // The spec-literal engine expands rigid patterns; a tiny budget makes
+    // it fail with the limit error rather than looping.
+    let g = cycle(8);
+    let pattern = parse("MATCH TRAIL (a)-[t:Transfer]->+(b)").unwrap();
+    let opts = EvalOptions { max_matches: 3, ..EvalOptions::default() };
+    let err = baseline::evaluate(&g, &pattern, &opts).unwrap_err();
+    assert!(matches!(err, Error::LimitExceeded { .. }), "{err}");
+}
+
+#[test]
+fn static_errors_take_priority_over_search() {
+    // Analysis failures must surface before any matching happens, even
+    // with absurdly small limits.
+    let g = fig1();
+    let opts = EvalOptions { max_matches: 0, max_frontier: 0, ..EvalOptions::default() };
+    let pattern = parse("MATCH (x)-[e]->*(y)").unwrap();
+    let err = evaluate(&g, &pattern, &opts).unwrap_err();
+    assert!(matches!(err, Error::UnboundedQuantifier { .. }), "{err}");
+}
+
+#[test]
+fn error_messages_are_actionable() {
+    let g = fig1();
+    let cases: Vec<(&str, &str)> = vec![
+        ("MATCH (x)-[e]->*(y)", "restrictor or selector"),
+        (
+            "MATCH ALL SHORTEST [ (x)-[e]->*(y) WHERE COUNT(e.*) > 1 ]",
+            "final WHERE",
+        ),
+        ("MATCH [(x)->(y)] | [(x)->(z)], (y)->(w)", "conditional singleton"),
+        ("MATCH (x)-[x]->(y)", "both a node and an edge"),
+    ];
+    for (q, needle) in cases {
+        let pattern = parse(q).unwrap();
+        let err = evaluate(&g, &pattern, &EvalOptions::default()).unwrap_err();
+        assert!(
+            err.to_string().contains(needle),
+            "{q}: {err} should mention {needle:?}"
+        );
+    }
+}
+
+#[test]
+fn parse_error_positions_point_at_the_problem() {
+    let cases = [
+        ("MATCH (x:Account WHERE )", "WHERE "),
+        ("MATCH (a)-[e:]->(b)", "[e:"),
+        ("MATCH (a)->{5,2}(b)", "{5,"), // syntactically fine; max<min below
+    ];
+    for (q, _) in &cases[..2] {
+        let err = parse(q).unwrap_err();
+        assert!(err.pos > 6, "{q}: {err:?}");
+        assert!(err.pos <= q.len(), "{q}: {err:?}");
+    }
+}
+
+#[test]
+fn inverted_quantifier_bounds_match_nothing() {
+    // {5,2} is structurally valid but unsatisfiable: min > max means no
+    // iteration count qualifies.
+    let g = fig1();
+    let pattern = parse("MATCH (a)-[t:Transfer]->{5,2}(b)").unwrap();
+    let rs = evaluate(&g, &pattern, &EvalOptions::default()).unwrap();
+    assert!(rs.is_empty());
+}
+
+#[test]
+fn empty_graph_queries_are_fine() {
+    let g = property_graph::PropertyGraph::new();
+    for q in [
+        "MATCH (x)",
+        "MATCH (x)-[e]->(y)",
+        "MATCH TRAIL p = (a)-[t]->*(b)",
+        "MATCH ANY SHORTEST (a)-[t]->*(b)",
+    ] {
+        let pattern = parse(q).unwrap();
+        let rs = evaluate(&g, &pattern, &EvalOptions::default()).unwrap();
+        assert!(rs.is_empty(), "{q}");
+    }
+}
+
+#[test]
+fn self_loops_interact_correctly_with_restrictors() {
+    let mut g = property_graph::PropertyGraph::new();
+    let a = g.add_node("a", ["N"], []);
+    g.add_edge("loop", property_graph::Endpoints::directed(a, a), ["T"], []);
+
+    // A directed self loop is one edge: TRAIL admits exactly one
+    // traversal, ACYCLIC none, SIMPLE one (start == end).
+    let run = |q: &str| {
+        evaluate(&g, &parse(q).unwrap(), &EvalOptions::default())
+            .unwrap()
+            .len()
+    };
+    assert_eq!(run("MATCH TRAIL (x)-[t:T]->+(y)"), 1);
+    assert_eq!(run("MATCH ACYCLIC (x)-[t:T]->+(y)"), 0);
+    assert_eq!(run("MATCH SIMPLE (x)-[t:T]->+(y)"), 1);
+    // Undirected self loop behaves the same.
+    let mut g2 = property_graph::PropertyGraph::new();
+    let b = g2.add_node("b", ["N"], []);
+    g2.add_edge("u", property_graph::Endpoints::undirected(b, b), ["T"], []);
+    let run2 = |q: &str| {
+        evaluate(&g2, &parse(q).unwrap(), &EvalOptions::default())
+            .unwrap()
+            .len()
+    };
+    assert_eq!(run2("MATCH TRAIL (x)~[t:T]~+(y)"), 1);
+}

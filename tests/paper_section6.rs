@@ -1,0 +1,208 @@
+//! §6 (Execution Model by Example): the running Jay query, step by step
+//! and end to end, on both engines.
+
+use gpml_suite::core::binding::BoundValue;
+use gpml_suite::core::eval::{evaluate, EvalOptions};
+use gpml_suite::core::{baseline, MatchSet};
+use gpml_suite::datagen::fig1;
+use gpml_suite::parser::parse;
+use property_graph::PropertyGraph;
+
+const RUNNING_QUERY: &str =
+    "MATCH TRAIL (a WHERE a.owner='Jay') [-[b:Transfer WHERE b.amount>5M]->]+ \
+     (a) [-[:isLocatedIn]->(c:City) | -[:isLocatedIn]->(c:Country)]";
+
+fn run(g: &PropertyGraph, query: &str) -> MatchSet {
+    let pattern = parse(query).unwrap_or_else(|e| panic!("{query}\n{e}"));
+    evaluate(g, &pattern, &EvalOptions::default()).unwrap_or_else(|e| panic!("{query}\n{e}"))
+}
+
+fn run_baseline(g: &PropertyGraph, query: &str) -> MatchSet {
+    let pattern = parse(query).unwrap_or_else(|e| panic!("{query}\n{e}"));
+    baseline::evaluate(g, &pattern, &EvalOptions::default())
+        .unwrap_or_else(|e| panic!("{query}\n{e}"))
+}
+
+fn sorted_rows(ms: &MatchSet) -> Vec<gpml_suite::core::binding::MatchRow> {
+    let mut rows = ms.rows.clone();
+    rows.sort();
+    rows
+}
+
+fn group_names(g: &PropertyGraph, b: &BoundValue) -> Vec<String> {
+    match b {
+        BoundValue::EdgeGroup(es) => es.iter().map(|e| g.edge(*e).name.clone()).collect(),
+        other => panic!("expected edge group, got {other:?}"),
+    }
+}
+
+#[test]
+fn final_result_has_exactly_two_reduced_bindings() {
+    let g = fig1();
+    // §6.5: "the final result has only two distinct reduced path
+    // bindings" — the 4-transfer loop and the 7-transfer loop, each ending
+    // with li4 to c2.
+    let rs = run(&g, RUNNING_QUERY);
+    assert_eq!(rs.len(), 2);
+    let mut rows = rs.rows.clone();
+    rows.sort_by_key(|r| match r.get("b") {
+        Some(BoundValue::EdgeGroup(es)) => es.len(),
+        _ => 0,
+    });
+    // Both bind a↦a4 and c↦c2.
+    for r in &rows {
+        assert_eq!(r.get("a").unwrap().display(&g).to_string(), "a4");
+        assert_eq!(r.get("c").unwrap().display(&g).to_string(), "c2");
+    }
+    // π4: b ↦ (t4, t5, t2, t3).
+    assert_eq!(
+        group_names(&g, rows[0].get("b").unwrap()),
+        vec!["t4", "t5", "t2", "t3"]
+    );
+    // π7: b ↦ (t4, t5, t7, t8, t1, t2, t3).
+    assert_eq!(
+        group_names(&g, rows[1].get("b").unwrap()),
+        vec!["t4", "t5", "t7", "t8", "t1", "t2", "t3"]
+    );
+}
+
+#[test]
+fn union_form_equals_label_disjunction_form() {
+    let g = fig1();
+    // §6.5: "our running query is equivalent to ... (c:City|Country)".
+    let rewritten =
+        "MATCH TRAIL (a WHERE a.owner='Jay') [-[b:Transfer WHERE b.amount>5M]->]+ \
+         (a)-[:isLocatedIn]->(c:City|Country)";
+    assert_eq!(
+        sorted_rows(&run(&g, RUNNING_QUERY)),
+        sorted_rows(&run(&g, rewritten))
+    );
+}
+
+#[test]
+fn multiset_alternation_keeps_four_bindings() {
+    let g = fig1();
+    // §6.5: "To avoid deduplication and to maintain four reduced path
+    // bindings in the output, one could use multiset alternation".
+    let alt =
+        "MATCH TRAIL (a WHERE a.owner='Jay') [-[b:Transfer WHERE b.amount>5M]->]+ \
+         (a) [-[:isLocatedIn]->(c:City) |+| -[:isLocatedIn]->(c:Country)]";
+    assert_eq!(run(&g, alt).len(), 4);
+}
+
+#[test]
+fn all_shortest_variant_keeps_one_binding() {
+    let g = fig1();
+    // §6.5 "Using selectors": ALL SHORTEST keeps only the 4-transfer
+    // binding per endpoint pair.
+    let sel =
+        "MATCH ALL SHORTEST (a WHERE a.owner='Jay') [-[b:Transfer WHERE b.amount>5M]->]+ \
+         (a) [-[:isLocatedIn]->(c:City) | -[:isLocatedIn]->(c:Country)]";
+    let rs = run(&g, sel);
+    assert_eq!(rs.len(), 1);
+    assert_eq!(
+        group_names(&g, rs.rows[0].get("b").unwrap()),
+        vec!["t4", "t5", "t2", "t3"]
+    );
+}
+
+#[test]
+fn acyclic_would_reject_both_seven_transfer_bindings() {
+    let g = fig1();
+    // §6.4: the 7-transfer bindings repeat node a3, so ACYCLIC leaves
+    // only the 4-transfer one.
+    let acyclic =
+        "MATCH ACYCLIC (a WHERE a.owner='Jay') [-[b:Transfer WHERE b.amount>5M]->]+ \
+         (a) [-[:isLocatedIn]->(c:City) | -[:isLocatedIn]->(c:Country)]";
+    let rs = run(&g, acyclic);
+    // NB: under ACYCLIC the loop a4→...→a4 repeats its endpoint — the
+    // paper's SIMPLE would allow it, ACYCLIC does not.
+    assert!(rs.is_empty());
+    let simple =
+        "MATCH SIMPLE (a WHERE a.owner='Jay') [-[b:Transfer WHERE b.amount>5M]->]+ \
+         (a) [-[:isLocatedIn]->(c:City) | -[:isLocatedIn]->(c:Country)]";
+    // SIMPLE allows first = last... but the trailing isLocatedIn hop
+    // leaves the loop, so the walk revisits a4 mid-path: also empty.
+    let rs = run(&g, simple);
+    assert!(rs.is_empty());
+    // Restricting SIMPLE to just the loop (bracketed) admits the
+    // 4-transfer binding.
+    let scoped =
+        "MATCH (a WHERE a.owner='Jay') [SIMPLE (a) [-[b:Transfer WHERE b.amount>5M]->]+ (a)] \
+         -[:isLocatedIn]->(c:City|Country)";
+    let rs = run(&g, scoped);
+    assert_eq!(rs.len(), 1);
+}
+
+#[test]
+fn baseline_engine_agrees_on_the_running_query() {
+    let g = fig1();
+    assert_eq!(
+        sorted_rows(&run(&g, RUNNING_QUERY)),
+        sorted_rows(&run_baseline(&g, RUNNING_QUERY))
+    );
+    let alt =
+        "MATCH TRAIL (a WHERE a.owner='Jay') [-[b:Transfer WHERE b.amount>5M]->]+ \
+         (a) [-[:isLocatedIn]->(c:City) |+| -[:isLocatedIn]->(c:Country)]";
+    assert_eq!(sorted_rows(&run(&g, alt)), sorted_rows(&run_baseline(&g, alt)));
+}
+
+#[test]
+fn paths_of_the_two_bindings() {
+    let g = fig1();
+    let q = "MATCH TRAIL p = (a WHERE a.owner='Jay') \
+             [-[b:Transfer WHERE b.amount>5M]->]+ \
+             (a)-[:isLocatedIn]->(c:City|Country)";
+    let rs = run(&g, q);
+    let mut paths: Vec<String> = rs
+        .iter()
+        .map(|r| {
+            r.get("p")
+                .unwrap()
+                .as_path()
+                .unwrap()
+                .display(&g)
+                .to_string()
+        })
+        .collect();
+    paths.sort_by_key(|s| s.len());
+    assert_eq!(
+        paths,
+        vec![
+            "path(a4,t4,a6,t5,a3,t2,a2,t3,a4,li4,c2)",
+            "path(a4,t4,a6,t5,a3,t7,a5,t8,a1,t1,a3,t2,a2,t3,a4,li4,c2)",
+        ]
+    );
+}
+
+#[test]
+fn first_transfer_part_matches_only_t4() {
+    let g = fig1();
+    // §6.4: "(a WHERE a.owner='Jay')-[b1:...]->(□) ... it matches only
+    // one path binding": a4, t4, a6.
+    let rs = run(
+        &g,
+        "MATCH (a WHERE a.owner='Jay')-[b:Transfer WHERE b.amount>5M]->(x)",
+    );
+    assert_eq!(rs.len(), 1);
+    let r = &rs.rows[0];
+    assert_eq!(r.get("a").unwrap().display(&g).to_string(), "a4");
+    assert_eq!(r.get("b").unwrap().display(&g).to_string(), "t4");
+    assert_eq!(r.get("x").unwrap().display(&g).to_string(), "a4".replace("a4", "a6"));
+}
+
+#[test]
+fn middle_transfer_part_matches_seven_rows() {
+    let g = fig1();
+    // §6.4's middle part table lists 7 rows (all >5M transfers).
+    let rs = run(&g, "MATCH (x)-[b:Transfer WHERE b.amount>5M]->(y)");
+    assert_eq!(rs.len(), 7);
+}
+
+#[test]
+fn located_in_part_matches_six_rows() {
+    let g = fig1();
+    // §6.4's last column: six isLocatedIn rows.
+    let rs = run(&g, "MATCH (x)-[li:isLocatedIn]->(c)");
+    assert_eq!(rs.len(), 6);
+}
