@@ -20,7 +20,10 @@ fn bench_ablation(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(8));
     let pruned = EvalOptions::default();
-    let deferred = EvalOptions { defer_restrictors: true, ..EvalOptions::default() };
+    let deferred = EvalOptions {
+        defer_restrictors: true,
+        ..EvalOptions::default()
+    };
     let query = "MATCH TRAIL (a)-[t:Transfer]->+(b)";
 
     for n in [4usize, 5, 6] {

@@ -21,7 +21,10 @@ fn bench_modes(c: &mut Criterion) {
             (MatchMode::Gpml, "gpml"),
             (MatchMode::EndpointOnly, "sparql"),
         ] {
-            let opts = EvalOptions { mode, ..EvalOptions::default() };
+            let opts = EvalOptions {
+                mode,
+                ..EvalOptions::default()
+            };
             group.bench_with_input(
                 BenchmarkId::new(name, format!("grid{side}x{side}")),
                 &query,
@@ -37,7 +40,10 @@ fn bench_modes(c: &mut Criterion) {
         seed: 3,
     });
     let implicit = "MATCH (a WHERE a.owner='owner0')-[t:Transfer]->+(b)";
-    let opts = EvalOptions { mode: MatchMode::GsqlDefault, ..EvalOptions::default() };
+    let opts = EvalOptions {
+        mode: MatchMode::GsqlDefault,
+        ..EvalOptions::default()
+    };
     group.bench_function("gsql_default/n25", |b| {
         b.iter(|| run_query_with(&g, implicit, &opts).len())
     });

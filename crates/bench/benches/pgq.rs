@@ -27,10 +27,8 @@ fn bench_pgq(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("materialize", accounts), &db, |b, db| {
             b.iter(|| materialize_tabulation(db).unwrap().node_count())
         });
-        let query_native =
-            "MATCH (x:Account)-[t:Transfer]->(y:Account WHERE y.isBlocked='yes')";
-        let query_table =
-            "MATCH (x:Account)-[t:Transfer]->(y:Account WHERE y.isBlocked='yes') \
+        let query_native = "MATCH (x:Account)-[t:Transfer]->(y:Account WHERE y.isBlocked='yes')";
+        let query_table = "MATCH (x:Account)-[t:Transfer]->(y:Account WHERE y.isBlocked='yes') \
              COLUMNS (x.owner AS sender, t.amount AS amount)";
         group.bench_with_input(BenchmarkId::new("native_match", accounts), &g, |b, g| {
             b.iter(|| run_query(g, query_native).len())

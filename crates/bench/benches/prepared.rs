@@ -1,0 +1,103 @@
+//! EB9 — Cold `evaluate` vs. warm `PreparedQuery::execute`.
+//!
+//! The prepare/execute split exists so repeated traffic pays the per-query
+//! work (parse, mode rewrite, normalize, analyze, NFA compile, join-graph
+//! and EXISTS subplanning) once. `cold` re-runs the whole pipeline each
+//! iteration, the way a naive server would; `warm` holds the
+//! `PreparedQuery` and only executes. The gap between the two is the
+//! amortizable cost — widest for queries whose pattern is large relative
+//! to the data touched.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gpml_bench::parse;
+use gpml_core::eval::{evaluate, EvalOptions};
+use gpml_core::plan::prepare;
+use gpml_datagen::{chain, fig1, transfer_network, TransferNetworkConfig};
+
+const QUERIES: &[(&str, &str)] = &[
+    (
+        "two_hop_join",
+        "MATCH (s)-[e:Transfer]->(m), (m)-[f:Transfer]->(t)",
+    ),
+    (
+        "figure4",
+        "MATCH (x:Account)-[:isLocatedIn]->(g:City)<-[:isLocatedIn]-(y:Account), \
+         ANY (x)-[e:Transfer]->+(y) \
+         WHERE x.isBlocked='no' AND y.isBlocked='yes'",
+    ),
+    (
+        "exists_filter",
+        "MATCH (x:Account)-[t:Transfer]->(y:Account) \
+         WHERE EXISTS { (y)-[u:Transfer]->(z WHERE z.isBlocked='yes') }",
+    ),
+    (
+        "all_shortest",
+        "MATCH ALL SHORTEST (a:Account)-[t:Transfer]->*(b:Account)",
+    ),
+];
+
+fn bench_prepared(c: &mut Criterion) {
+    let graphs = [
+        ("fig1", fig1()),
+        (
+            "network30",
+            transfer_network(TransferNetworkConfig {
+                accounts: 30,
+                transfers: 60,
+                blocked_share: 0.2,
+                seed: 7,
+            }),
+        ),
+    ];
+    let opts = EvalOptions::default();
+    for (gname, g) in &graphs {
+        let mut group = c.benchmark_group(format!("EB9/prepared/{gname}"));
+        for (qname, text) in QUERIES {
+            // Sanity: warm and cold agree before we time anything.
+            let pattern = parse(text);
+            let prepared = prepare(&pattern, &opts).expect("prepare");
+            assert_eq!(
+                evaluate(g, &pattern, &opts).expect("cold").len(),
+                prepared.execute(g).expect("warm").len(),
+                "cold and warm disagree on {qname}/{gname}"
+            );
+
+            group.bench_with_input(BenchmarkId::new("cold", qname), text, |b, text| {
+                b.iter(|| {
+                    // The full per-request pipeline: parse → prepare → execute.
+                    let pattern = parse(text);
+                    evaluate(g, &pattern, &opts).expect("cold").len()
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("warm", qname), &prepared, |b, p| {
+                b.iter(|| p.execute(g).expect("warm").len())
+            });
+        }
+        group.finish();
+    }
+
+    // The amortization extreme: a deep pattern over a tiny graph, where
+    // per-query compilation dominates and plan reuse pays off outright.
+    let tiny = chain(3);
+    let mut deep = String::from("MATCH (x)");
+    for _ in 0..40 {
+        deep.push_str("[->()]{1,2}");
+    }
+    let mut group = c.benchmark_group("EB9/prepared/deep_pattern_chain3");
+    let pattern = parse(&deep);
+    let prepared = prepare(&pattern, &opts).expect("prepare deep");
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let pattern = parse(&deep);
+            evaluate(&tiny, &pattern, &opts).expect("cold").len()
+        })
+    });
+    group.bench_function("warm", |b| {
+        b.iter(|| prepared.execute(&tiny).expect("warm").len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prepared);
+criterion_main!(benches);

@@ -22,9 +22,7 @@ fn bench_restrictors(c: &mut Criterion) {
         for restrictor in ["TRAIL", "ACYCLIC", "SIMPLE"] {
             // Single-source, open destination: the search explores every
             // restricted walk out of owner0's account.
-            let query = format!(
-                "MATCH {restrictor} (a WHERE a.owner='owner0')-[t:Transfer]->*(b)"
-            );
+            let query = format!("MATCH {restrictor} (a WHERE a.owner='owner0')-[t:Transfer]->*(b)");
             group.bench_with_input(
                 BenchmarkId::new(restrictor, format!("n{accounts}_m{transfers}")),
                 &query,

@@ -20,11 +20,9 @@ fn bench_union(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("union", len), union, |b, q| {
             b.iter(|| run_query(&g, q).len())
         });
-        group.bench_with_input(
-            BenchmarkId::new("alternation", len),
-            alternation,
-            |b, q| b.iter(|| run_query(&g, q).len()),
-        );
+        group.bench_with_input(BenchmarkId::new("alternation", len), alternation, |b, q| {
+            b.iter(|| run_query(&g, q).len())
+        });
         group.bench_with_input(BenchmarkId::new("merged", len), merged, |b, q| {
             b.iter(|| run_query(&g, q).len())
         });

@@ -97,7 +97,11 @@ fn main() {
         "MATCH TRAIL (x:Account WHERE x.isBlocked='no')-[:Transfer]->+\
          (y:Account WHERE y.isBlocked='yes')",
     );
-    check("(c) :Transfer+ into blocked (trails, >0)", "true", !c.is_empty());
+    check(
+        "(c) :Transfer+ into blocked (trails, >0)",
+        "true",
+        !c.is_empty(),
+    );
 
     // -- EF4: Figure 4 Ankh-Morpork fraud pattern ---------------------------
     heading("EF4", "Figure 4 fraud pattern (§3 renderings agree)");
@@ -129,7 +133,10 @@ fn main() {
         "MATCH (x:Account)-[:isLocatedIn]->(ct:City)<-[:isLocatedIn]-(y:Account), \
          ALL SHORTEST (x)-[e:Transfer]->+(y) \
          WHERE x.isBlocked='no' AND y.isBlocked='yes' AND ct.name='Ankh-Morpork'",
-        &EvalOptions { mode: MatchMode::EndpointOnly, ..EvalOptions::default() },
+        &EvalOptions {
+            mode: MatchMode::EndpointOnly,
+            ..EvalOptions::default()
+        },
     );
     check("SPARQL-mode pair count", 2, sparql.len());
     // GSQL default ALL SHORTEST semantics.
@@ -138,7 +145,10 @@ fn main() {
         "MATCH (x:Account)-[:isLocatedIn]->(ct:City)<-[:isLocatedIn]-(y:Account), \
          (x)-[e:Transfer]->+(y) \
          WHERE x.isBlocked='no' AND y.isBlocked='yes' AND ct.name='Ankh-Morpork'",
-        &EvalOptions { mode: MatchMode::GsqlDefault, ..EvalOptions::default() },
+        &EvalOptions {
+            mode: MatchMode::GsqlDefault,
+            ..EvalOptions::default()
+        },
     );
     check("GSQL-mode rows (shortest per pair)", 2, gsql.len());
 
@@ -162,9 +172,18 @@ fn main() {
     heading("EF6", "Figure 6 quantifiers");
     for (pattern, note) in [
         ("MATCH (a:Account)-[:Transfer]->{2,5}(b:Account)", "{2,5}"),
-        ("MATCH TRAIL (a:Account)-[:Transfer]->{2,}(b:Account)", "{2,} under TRAIL"),
-        ("MATCH TRAIL (a:Account)-[:Transfer]->*(b:Account)", "* under TRAIL"),
-        ("MATCH TRAIL (a:Account)-[:Transfer]->+(b:Account)", "+ under TRAIL"),
+        (
+            "MATCH TRAIL (a:Account)-[:Transfer]->{2,}(b:Account)",
+            "{2,} under TRAIL",
+        ),
+        (
+            "MATCH TRAIL (a:Account)-[:Transfer]->*(b:Account)",
+            "* under TRAIL",
+        ),
+        (
+            "MATCH TRAIL (a:Account)-[:Transfer]->+(b:Account)",
+            "+ under TRAIL",
+        ),
     ] {
         let n = run_query(&g, pattern).len();
         println!("  {note}: {n} matches");
@@ -240,7 +259,11 @@ fn main() {
         println!(
             "  {sel}: {} paths ({})",
             rs.len(),
-            if det { "deterministic" } else { "non-deterministic" }
+            if det {
+                "deterministic"
+            } else {
+                "non-deterministic"
+            }
         );
     }
 
@@ -252,7 +275,10 @@ fn main() {
          COLUMNS (x.owner AS sender, t.amount AS amount)",
     )
     .expect("graph_table");
-    println!("  SQL/PGQ GRAPH_TABLE output:\n{}", indent(&table.to_string()));
+    println!(
+        "  SQL/PGQ GRAPH_TABLE output:\n{}",
+        indent(&table.to_string())
+    );
     let mut session = gql::Session::new();
     session.register("bank", fig1());
     let result = session
@@ -264,7 +290,10 @@ fn main() {
         .expect("gql");
     println!("  GQL result (paths are first-class): {:?}", result.rows);
     let rows = session
-        .match_bindings("bank", "MATCH p = (a WHERE a.owner='Jay')-[t:Transfer]->(b)")
+        .match_bindings(
+            "bank",
+            "MATCH p = (a WHERE a.owner='Jay')-[t:Transfer]->(b)",
+        )
         .expect("bindings");
     let sub = session.project_graph("bank", &rows[0]).expect("projection");
     check("GQL graph projection nodes", 2, sub.node_count());
@@ -311,9 +340,13 @@ fn main() {
         "MATCH (x:Account)-[:Transfer]->(y:Account) [~[:hasPhone]~(p)]? \
          WHERE y.isBlocked='yes' OR p.isBlocked='yes'",
     );
-    check("?-variant finds x=a2", "true", rs.iter().all(|r| {
-        r.get("x").map(|b| b.display(&g).to_string()) == Some("a2".into())
-    }) && !rs.is_empty());
+    check(
+        "?-variant finds x=a2",
+        "true",
+        rs.iter()
+            .all(|r| r.get("x").map(|b| b.display(&g).to_string()) == Some("a2".into()))
+            && !rs.is_empty(),
+    );
 
     heading("EX4", "§5.3 unbounded aggregates");
     let rejected = gpml_parser::parse(
@@ -323,7 +356,10 @@ fn main() {
     check(
         "prefilter variant statically rejected",
         "true",
-        matches!(rejected, Ok(Err(gpml_core::Error::UnboundedAggregate { .. }))),
+        matches!(
+            rejected,
+            Ok(Err(gpml_core::Error::UnboundedAggregate { .. }))
+        ),
     );
     let post = run_query(
         &g,
@@ -338,17 +374,18 @@ fn main() {
 
     // -- EX5: §6 running example ----------------------------------------------
     heading("EX5", "§6 running example (Jay)");
-    let running =
-        "MATCH TRAIL (a WHERE a.owner='Jay') [-[b:Transfer WHERE b.amount>5M]->]+ \
+    let running = "MATCH TRAIL (a WHERE a.owner='Jay') [-[b:Transfer WHERE b.amount>5M]->]+ \
          (a) [-[:isLocatedIn]->(c:City) | -[:isLocatedIn]->(c:Country)]";
     let rs = run_query(&g, running);
     check("reduced path bindings", 2, rs.len());
     for r in rs.iter() {
         let b = r.get("b").expect("group b");
-        println!("    a={}, b={}, c={}",
+        println!(
+            "    a={}, b={}, c={}",
             r.get("a").unwrap().display(&g),
             b.display(&g),
-            r.get("c").unwrap().display(&g));
+            r.get("c").unwrap().display(&g)
+        );
     }
     let alt = run_query(
         &g,

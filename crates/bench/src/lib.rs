@@ -16,8 +16,7 @@ use property_graph::PropertyGraph;
 /// cost, not error handling.
 pub fn run_query(graph: &PropertyGraph, query: &str) -> MatchSet {
     let pattern = parse(query);
-    evaluate(graph, &pattern, &EvalOptions::default())
-        .unwrap_or_else(|e| panic!("{query}\n{e}"))
+    evaluate(graph, &pattern, &EvalOptions::default()).unwrap_or_else(|e| panic!("{query}\n{e}"))
 }
 
 /// Parses and evaluates with explicit options.

@@ -79,7 +79,10 @@ impl Analysis {
     pub fn is_group(&self, name: &str) -> bool {
         matches!(
             self.var(name),
-            Some(VarInfo { class: VarClass::Group, .. })
+            Some(VarInfo {
+                class: VarClass::Group,
+                ..
+            })
         )
     }
 }
@@ -177,7 +180,11 @@ impl Collector {
                     self.walk(part, ctx);
                 }
             }
-            PathPattern::Paren { restrictor, inner, predicate } => {
+            PathPattern::Paren {
+                restrictor,
+                inner,
+                predicate,
+            } => {
                 let mut inner_ctx = ctx.clone();
                 if restrictor.is_some() {
                     inner_ctx.covered = true;
@@ -280,7 +287,12 @@ pub fn analyze(pattern: &GraphPattern) -> Result<Analysis> {
     let mut path_vars: Vec<(usize, String)> = Vec::new();
 
     for (idx, expr) in pattern.paths.iter().enumerate() {
-        let PathPatternExpr { selector, restrictor, path_var, pattern: p } = expr;
+        let PathPatternExpr {
+            selector,
+            restrictor,
+            path_var,
+            pattern: p,
+        } = expr;
         let ctx = Ctx {
             path_idx: idx,
             quant_stack: Vec::new(),
@@ -316,7 +328,9 @@ pub fn analyze(pattern: &GraphPattern) -> Result<Analysis> {
         // Kind consistency.
         let kind = sites[0].kind;
         if sites.iter().any(|s| s.kind != kind) {
-            return Err(Error::KindConflict { var: (*name).to_owned() });
+            return Err(Error::KindConflict {
+                var: (*name).to_owned(),
+            });
         }
 
         let any_group = sites.iter().any(|s| s.quant.is_some());
@@ -327,7 +341,9 @@ pub fn analyze(pattern: &GraphPattern) -> Result<Analysis> {
             if sites.iter().any(|s| s.quant != q0)
                 || sites.iter().any(|s| s.path_idx != sites[0].path_idx)
             {
-                return Err(Error::GroupJoin { var: (*name).to_owned() });
+                return Err(Error::GroupJoin {
+                    var: (*name).to_owned(),
+                });
             }
             VarClass::Group
         } else {
@@ -343,10 +359,11 @@ pub fn analyze(pattern: &GraphPattern) -> Result<Analysis> {
                 // conditional construct of one path pattern.
                 let spans_paths = sites.iter().any(|s| s.path_idx != sites[0].path_idx);
                 let c0 = sites[0].cond;
-                let same_construct =
-                    c0.is_some() && sites.iter().all(|s| s.cond == c0);
+                let same_construct = c0.is_some() && sites.iter().all(|s| s.cond == c0);
                 if sites.len() > 1 && (spans_paths || !same_construct) {
-                    return Err(Error::ConditionalJoin { var: (*name).to_owned() });
+                    return Err(Error::ConditionalJoin {
+                        var: (*name).to_owned(),
+                    });
                 }
                 VarClass::ConditionalSingleton
             } else {
@@ -364,7 +381,13 @@ pub fn analyze(pattern: &GraphPattern) -> Result<Analysis> {
         }
     }
     for (_, v) in &path_vars {
-        vars.insert(v.clone(), VarInfo { kind: VarKind::Path, class: VarClass::Singleton });
+        vars.insert(
+            v.clone(),
+            VarInfo {
+                kind: VarKind::Path,
+                class: VarClass::Singleton,
+            },
+        );
     }
 
     // -- Predicate reference checks. ----------------------------------------
@@ -389,8 +412,7 @@ pub fn analyze(pattern: &GraphPattern) -> Result<Analysis> {
             }
             let decl = site_of(v).expect("declared var has a site");
             // Does this reference cross the variable's quantifier?
-            let crosses = decl.quant.is_some()
-                && !site.quant_stack.contains(&decl.quant.unwrap());
+            let crosses = decl.quant.is_some() && !site.quant_stack.contains(&decl.quant.unwrap());
             if !in_agg {
                 if crosses {
                     err = Some(Error::GroupAsSingleton { var: v.to_owned() });
@@ -420,10 +442,11 @@ pub fn analyze(pattern: &GraphPattern) -> Result<Analysis> {
         collect_element_tests(&site.expr, &mut element_tests);
         for v in element_tests {
             match vars.get(v) {
-                Some(VarInfo { class: VarClass::Singleton, .. }) => {}
-                Some(_) => {
-                    return Err(Error::ConditionalElementTest { var: v.to_owned() })
-                }
+                Some(VarInfo {
+                    class: VarClass::Singleton,
+                    ..
+                }) => {}
+                Some(_) => return Err(Error::ConditionalElementTest { var: v.to_owned() }),
                 None => return Err(Error::UnknownVariable { var: v.to_owned() }),
             }
         }
@@ -460,7 +483,7 @@ pub fn analyze(pattern: &GraphPattern) -> Result<Analysis> {
 }
 
 /// Collects all `EXISTS` subqueries in `e`.
-fn collect_exists<'a>(e: &'a Expr, out: &mut Vec<&'a GraphPattern>) {
+pub(crate) fn collect_exists<'a>(e: &'a Expr, out: &mut Vec<&'a GraphPattern>) {
     match e {
         Expr::Exists(gp) => out.push(gp),
         Expr::Not(i) | Expr::IsNull(i, _) => collect_exists(i, out),
@@ -514,7 +537,10 @@ mod tests {
         let a = analyze(&g).unwrap();
         assert_eq!(
             a.var("x"),
-            Some(VarInfo { kind: VarKind::Node, class: VarClass::Singleton })
+            Some(VarInfo {
+                kind: VarKind::Node,
+                class: VarClass::Singleton
+            })
         );
         assert_eq!(a.var("e").unwrap().kind, VarKind::Edge);
         assert!(a.var("zzz").is_none());
@@ -581,16 +607,17 @@ mod tests {
             ],
             where_clause: None,
         };
-        assert_eq!(
-            analyze(&g),
-            Err(Error::ConditionalJoin { var: "y".into() })
-        );
+        assert_eq!(analyze(&g), Err(Error::ConditionalJoin { var: "y".into() }));
     }
 
     #[test]
     fn unbounded_quantifier_requires_restrictor_or_selector() {
         let body = seq(vec![node("i"), edge("t"), node("j")]).paren();
-        let star = seq(vec![node("a"), body.quantified(Quantifier::star()), node("b")]);
+        let star = seq(vec![
+            node("a"),
+            body.quantified(Quantifier::star()),
+            node("b"),
+        ]);
 
         // Bare: rejected.
         assert!(matches!(
@@ -758,7 +785,9 @@ mod tests {
         };
         assert_eq!(
             analyze(&g),
-            Err(Error::UnknownVariable { var: "ghost".into() })
+            Err(Error::UnknownVariable {
+                var: "ghost".into()
+            })
         );
     }
 

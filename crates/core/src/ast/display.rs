@@ -40,8 +40,7 @@ impl fmt::Display for NodePattern {
 
 impl fmt::Display for EdgePattern {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let has_spec =
-            self.var.is_some() || self.label.is_some() || self.predicate.is_some();
+        let has_spec = self.var.is_some() || self.label.is_some() || self.predicate.is_some();
         if !has_spec {
             // Figure 5 abbreviations.
             let s = match self.direction {
@@ -80,9 +79,7 @@ impl fmt::Display for PathPattern {
                     // A union nested in a concatenation needs brackets, or
                     // re-parsing would attach the whole tail to one branch.
                     match p {
-                        PathPattern::Union(_) | PathPattern::Alternation(_) => {
-                            write!(f, "[{p}]")?
-                        }
+                        PathPattern::Union(_) | PathPattern::Alternation(_) => write!(f, "[{p}]")?,
                         _ => write!(f, "{p}")?,
                     }
                 }

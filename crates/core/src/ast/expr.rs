@@ -224,10 +224,7 @@ impl Expr {
         match self {
             Expr::Aggregate { func, arg, .. } => out.push((func, arg)),
             Expr::Not(e) | Expr::IsNull(e, _) => e.collect_aggregates(out),
-            Expr::And(a, b)
-            | Expr::Or(a, b)
-            | Expr::Cmp(_, a, b)
-            | Expr::Arith(_, a, b) => {
+            Expr::And(a, b) | Expr::Or(a, b) | Expr::Cmp(_, a, b) | Expr::Arith(_, a, b) => {
                 a.collect_aggregates(out);
                 b.collect_aggregates(out);
             }

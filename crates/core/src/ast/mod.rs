@@ -8,6 +8,6 @@ pub mod pattern;
 pub use expr::{AggArg, AggFunc, ArithOp, CmpOp, Expr};
 pub use label::LabelExpr;
 pub use pattern::{
-    Direction, EdgePattern, GraphPattern, NodePattern, PathPattern, PathPatternExpr,
-    Quantifier, Restrictor, Selector,
+    Direction, EdgePattern, GraphPattern, NodePattern, PathPattern, PathPatternExpr, Quantifier,
+    Restrictor, Selector,
 };

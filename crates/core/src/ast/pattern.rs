@@ -449,10 +449,7 @@ mod tests {
     #[test]
     fn concat_flattens() {
         let n = || PathPattern::Node(NodePattern::any());
-        let c = PathPattern::concat(vec![
-            PathPattern::concat(vec![n(), n()]),
-            n(),
-        ]);
+        let c = PathPattern::concat(vec![PathPattern::concat(vec![n(), n()]), n()]);
         match c {
             PathPattern::Concat(parts) => assert_eq!(parts.len(), 3),
             other => panic!("expected concat, got {other:?}"),

@@ -92,8 +92,12 @@ impl Frag {
         let shift = self.items.len();
         self.items.append(&mut other.items);
         self.preds.append(&mut other.preds);
-        self.scopes
-            .extend(other.scopes.into_iter().map(|(r, s, e)| (r, s + shift, e + shift)));
+        self.scopes.extend(
+            other
+                .scopes
+                .into_iter()
+                .map(|(r, s, e)| (r, s + shift, e + shift)),
+        );
         self.alt_marks.append(&mut other.alt_marks);
         self.instances.append(&mut other.instances);
         self.zero_groups.append(&mut other.zero_groups);
@@ -192,9 +196,7 @@ fn edge_positions(p: &PathPattern) -> usize {
         PathPattern::Node(_) => 0,
         PathPattern::Edge(_) => 1,
         PathPattern::Concat(ps) => ps.iter().map(edge_positions).sum(),
-        PathPattern::Paren { inner, .. } | PathPattern::Questioned(inner) => {
-            edge_positions(inner)
-        }
+        PathPattern::Paren { inner, .. } | PathPattern::Questioned(inner) => edge_positions(inner),
         PathPattern::Quantified { inner, quantifier } => {
             edge_positions(inner) * quantifier.max.unwrap_or(1) as usize
         }
@@ -232,11 +234,7 @@ impl Expander<'_> {
         (edge_budget / per_iter) as u32
     }
 
-    fn expand(
-        &self,
-        p: &PathPattern,
-        restricted: Option<Restrictor>,
-    ) -> Result<Vec<Frag>> {
+    fn expand(&self, p: &PathPattern, restricted: Option<Restrictor>) -> Result<Vec<Frag>> {
         let frags = match p {
             PathPattern::Node(n) => {
                 let mut frag = Frag::default();
@@ -276,7 +274,11 @@ impl Expander<'_> {
                 }
                 acc
             }
-            PathPattern::Paren { restrictor, inner, predicate } => {
+            PathPattern::Paren {
+                restrictor,
+                inner,
+                predicate,
+            } => {
                 let inner_restricted = restrictor.or(restricted);
                 let mut out = Vec::new();
                 for mut frag in self.expand(inner, inner_restricted)? {
@@ -449,7 +451,11 @@ struct Partial {
 
 /// Matches one rigid pattern (§6.4): each node-edge-node part is computed
 /// independently, then parts are concatenated by an equi-join.
-fn match_rigid(graph: &PropertyGraph, rigid: &Rigid, opts: &EvalOptions) -> Result<Vec<PathBinding>> {
+fn match_rigid(
+    graph: &PropertyGraph,
+    rigid: &Rigid,
+    opts: &EvalOptions,
+) -> Result<Vec<PathBinding>> {
     // -- Per-part independent computation. ---------------------------------
     // Part i connects node positions i and i+1 via edge i.
     let node_ok = |pos: usize, n: NodeId| -> bool {
@@ -470,17 +476,16 @@ fn match_rigid(graph: &PropertyGraph, rigid: &Rigid, opts: &EvalOptions) -> Resu
                 }
             }
             let (u, v) = data.endpoints.pair();
-            let candidates: &[(NodeId, NodeId, property_graph::Traversal)] =
-                &match data.endpoints {
-                    property_graph::Endpoints::Directed { src, dst } => [
-                        (src, dst, property_graph::Traversal::Forward),
-                        (dst, src, property_graph::Traversal::Backward),
-                    ],
-                    property_graph::Endpoints::Undirected(..) => [
-                        (u, v, property_graph::Traversal::Undirected),
-                        (v, u, property_graph::Traversal::Undirected),
-                    ],
-                };
+            let candidates: &[(NodeId, NodeId, property_graph::Traversal)] = &match data.endpoints {
+                property_graph::Endpoints::Directed { src, dst } => [
+                    (src, dst, property_graph::Traversal::Forward),
+                    (dst, src, property_graph::Traversal::Backward),
+                ],
+                property_graph::Endpoints::Undirected(..) => [
+                    (u, v, property_graph::Traversal::Undirected),
+                    (v, u, property_graph::Traversal::Undirected),
+                ],
+            };
             let mut seen_pairs: Vec<(NodeId, NodeId)> = Vec::new();
             for &(from, to, t) in candidates {
                 if !ep.direction.permits(t) {
@@ -643,7 +648,10 @@ fn match_rigid(graph: &PropertyGraph, rigid: &Rigid, opts: &EvalOptions) -> Resu
             });
         }
 
-        let env = RigidEnv { binding: &p.binding, groups: &groups };
+        let env = RigidEnv {
+            binding: &p.binding,
+            groups: &groups,
+        };
         if !rigid
             .preds
             .iter()
@@ -685,7 +693,13 @@ pub fn evaluate(
     for expr in &normalized.paths {
         per_path.push(match_one_path(graph, expr, opts)?);
     }
-    Ok(join_and_filter(graph, &normalized, &per_path, opts))
+    Ok(join_and_filter(
+        graph,
+        &normalized,
+        &per_path,
+        opts,
+        &crate::plan::ExistsPlans::default(),
+    ))
 }
 
 fn match_one_path(
@@ -741,9 +755,16 @@ mod tests {
 
     fn chain(n: usize) -> PropertyGraph {
         let mut g = PropertyGraph::new();
-        let ids: Vec<NodeId> = (0..n).map(|i| g.add_node(&format!("n{i}"), ["N"], [])).collect();
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| g.add_node(&format!("n{i}"), ["N"], []))
+            .collect();
         for i in 0..n - 1 {
-            g.add_edge(&format!("e{i}"), Endpoints::directed(ids[i], ids[i + 1]), ["T"], []);
+            g.add_edge(
+                &format!("e{i}"),
+                Endpoints::directed(ids[i], ids[i + 1]),
+                ["T"],
+                [],
+            );
         }
         g
     }
@@ -858,9 +879,8 @@ mod tests {
     #[test]
     fn union_dedup_matches_engine() {
         let g = chain(3);
-        let branch = |l: &str| {
-            PathPattern::Node(NodePattern::var("c").with_label(LabelExpr::label(l)))
-        };
+        let branch =
+            |l: &str| PathPattern::Node(NodePattern::var("c").with_label(LabelExpr::label(l)));
         let gp = GraphPattern::single(PathPattern::Union(vec![branch("N"), branch("N")]));
         let opts = EvalOptions::default();
         let x = evaluate(&g, &gp, &opts).unwrap();

@@ -69,7 +69,10 @@ impl BoundValue {
 
     /// Renders using external element names from `g`.
     pub fn display<'a>(&'a self, g: &'a PropertyGraph) -> BoundValueDisplay<'a> {
-        BoundValueDisplay { value: self, graph: g }
+        BoundValueDisplay {
+            value: self,
+            graph: g,
+        }
     }
 }
 
@@ -150,7 +153,10 @@ impl PathBinding {
     /// Renders the binding as a two-row table in the paper's style, e.g.
     /// `a↦a4, b↦[t4,t5,t2,t3], c↦c2`.
     pub fn display<'a>(&'a self, g: &'a PropertyGraph) -> PathBindingDisplay<'a> {
-        PathBindingDisplay { binding: self, graph: g }
+        PathBindingDisplay {
+            binding: self,
+            graph: g,
+        }
     }
 }
 
@@ -182,7 +188,9 @@ pub struct MatchRow {
 impl MatchRow {
     /// An empty row (unit of the cross-pattern join).
     pub fn empty() -> MatchRow {
-        MatchRow { values: BTreeMap::new() }
+        MatchRow {
+            values: BTreeMap::new(),
+        }
     }
 
     /// Looks a variable up.
@@ -239,8 +247,12 @@ mod tests {
         let mut binding = PathBinding::start_at(a);
         binding.path.push(t, b);
         binding.bindings.insert("x".into(), BoundValue::Node(a));
-        binding.bindings.insert("\u{25A1}1".into(), BoundValue::Node(b));
-        binding.bindings.insert("\u{2212}1".into(), BoundValue::Edge(t));
+        binding
+            .bindings
+            .insert("\u{25A1}1".into(), BoundValue::Node(b));
+        binding
+            .bindings
+            .insert("\u{2212}1".into(), BoundValue::Edge(t));
         let reduced = binding.reduce();
         assert_eq!(reduced.bindings.len(), 1);
         assert!(reduced.get("x").is_some());

@@ -68,7 +68,10 @@ impl fmt::Display for Error {
                 write!(f, "path variable {var} conflicts with another declaration")
             }
             Error::KindConflict { var } => {
-                write!(f, "variable {var} is used as both a node and an edge variable")
+                write!(
+                    f,
+                    "variable {var} is used as both a node and an edge variable"
+                )
             }
             Error::LimitExceeded { what, limit } => {
                 write!(f, "evaluation limit exceeded: more than {limit} {what}")

@@ -101,7 +101,11 @@ pub fn eval(graph: &PropertyGraph, env: &dyn Env, expr: &Expr) -> Value {
             };
             r.unwrap_or(Value::Null)
         }
-        Expr::Aggregate { func, arg, distinct } => aggregate(graph, env, *func, arg, *distinct),
+        Expr::Aggregate {
+            func,
+            arg,
+            distinct,
+        } => aggregate(graph, env, *func, arg, *distinct),
         // Predicates used in value position yield their truth value.
         other => match truth(graph, env, other) {
             Some(b) => Value::Bool(b),
@@ -139,13 +143,7 @@ fn endpoint_test(
     }
 }
 
-fn cmp(
-    graph: &PropertyGraph,
-    env: &dyn Env,
-    op: CmpOp,
-    a: &Expr,
-    b: &Expr,
-) -> Option<bool> {
+fn cmp(graph: &PropertyGraph, env: &dyn Env, op: CmpOp, a: &Expr, b: &Expr) -> Option<bool> {
     // GQL permits equality tests on element references (`p = q`, §4.7).
     if let (Expr::Var(va), Expr::Var(vb)) = (a, b) {
         let (ea, eb) = (element(env, va)?, element(env, vb)?);
@@ -252,7 +250,10 @@ mod tests {
         let a = g.add_node(
             "a1",
             ["Account"],
-            [("owner", Value::str("Scott")), ("isBlocked", Value::str("no"))],
+            [
+                ("owner", Value::str("Scott")),
+                ("isBlocked", Value::str("no")),
+            ],
         );
         let b = g.add_node("a2", ["Account"], [("owner", Value::str("Aretha"))]);
         let t1 = g.add_edge(
@@ -303,7 +304,10 @@ mod tests {
         let unknown = Expr::prop("y", "isBlocked").eq(Expr::lit("no"));
         let t = Expr::lit(true);
         let f = Expr::lit(false);
-        assert_eq!(truth(&g, &env, &unknown.clone().and(f.clone())), Some(false));
+        assert_eq!(
+            truth(&g, &env, &unknown.clone().and(f.clone())),
+            Some(false)
+        );
         assert_eq!(truth(&g, &env, &unknown.clone().and(t.clone())), None);
         assert_eq!(truth(&g, &env, &unknown.clone().or(t)), Some(true));
         assert_eq!(truth(&g, &env, &unknown.clone().or(f)), None);
@@ -326,12 +330,21 @@ mod tests {
         let (g, env) = setup();
         assert_eq!(truth(&g, &env, &Expr::IsDirected("e".into())), Some(true));
         assert_eq!(truth(&g, &env, &Expr::IsDirected("u".into())), Some(false));
-        let src = Expr::IsSourceOf { node: "x".into(), edge: "e".into() };
+        let src = Expr::IsSourceOf {
+            node: "x".into(),
+            edge: "e".into(),
+        };
         assert_eq!(truth(&g, &env, &src), Some(true));
-        let dst = Expr::IsDestinationOf { node: "x".into(), edge: "e".into() };
+        let dst = Expr::IsDestinationOf {
+            node: "x".into(),
+            edge: "e".into(),
+        };
         assert_eq!(truth(&g, &env, &dst), Some(false));
         // Undirected edges have neither source nor destination.
-        let u = Expr::IsSourceOf { node: "x".into(), edge: "u".into() };
+        let u = Expr::IsSourceOf {
+            node: "x".into(),
+            edge: "u".into(),
+        };
         assert_eq!(truth(&g, &env, &u), Some(false));
     }
 
@@ -457,7 +470,11 @@ mod tests {
         let quotient = Expr::Arith(
             ArithOp::Div,
             Box::new(count()),
-            Box::new(Expr::Arith(ArithOp::Add, Box::new(count()), Box::new(Expr::lit(1)))),
+            Box::new(Expr::Arith(
+                ArithOp::Add,
+                Box::new(count()),
+                Box::new(Expr::lit(1)),
+            )),
         );
         let e = Expr::cmp(CmpOp::Gt, quotient, Expr::lit(1));
         assert_eq!(truth(&g, &env, &e), Some(false));

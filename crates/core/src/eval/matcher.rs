@@ -26,10 +26,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 use property_graph::{NodeId, Path, PropertyGraph, Step};
 
-use crate::analysis::Analysis;
-use crate::ast::{
-    EdgePattern, Expr, NodePattern, PathPattern, Quantifier, Restrictor,
-};
+use crate::ast::{EdgePattern, Expr, NodePattern, PathPattern, Quantifier, Restrictor};
 use crate::binding::{BoundValue, PathBinding};
 use crate::error::{Error, Result};
 use crate::eval::filter;
@@ -95,6 +92,7 @@ struct ParenMeta {
 }
 
 /// A compiled path pattern.
+#[derive(Clone, Debug)]
 pub(crate) struct Nfa {
     states: Vec<StateData>,
     start: usize,
@@ -106,6 +104,28 @@ pub(crate) struct Nfa {
     /// True when some unbounded quantifier is not inside any restrictor
     /// scope — the case that needs selector-driven dominance pruning.
     has_unrestricted_unbounded: bool,
+}
+
+impl Nfa {
+    /// Number of NFA states (for plan introspection).
+    pub(crate) fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of distinct node tests.
+    pub(crate) fn node_test_count(&self) -> usize {
+        self.node_pats.len()
+    }
+
+    /// Number of distinct consuming (edge) tests.
+    pub(crate) fn edge_test_count(&self) -> usize {
+        self.edge_pats.len()
+    }
+
+    /// Number of quantifier loops.
+    pub(crate) fn quantifier_count(&self) -> usize {
+        self.quants.len()
+    }
 }
 
 struct Compiler {
@@ -167,7 +187,11 @@ impl Compiler {
                 }
                 (s, cur)
             }
-            PathPattern::Paren { restrictor, inner, predicate } => {
+            PathPattern::Paren {
+                restrictor,
+                inner,
+                predicate,
+            } => {
                 self.nfa.parens.push(ParenMeta {
                     restrictor: *restrictor,
                     predicate: predicate.clone(),
@@ -243,7 +267,7 @@ impl Compiler {
 }
 
 /// Collects all named (non-anonymous) variables in a pattern subtree.
-fn collect_vars(p: &PathPattern, out: &mut Vec<(String, bool)>) {
+pub(crate) fn collect_vars(p: &PathPattern, out: &mut Vec<(String, bool)>) {
     match p {
         PathPattern::Node(n) => {
             if let Some(v) = &n.var {
@@ -402,7 +426,13 @@ impl RunState {
     fn prune_key(&self, quants: &[QuantMeta]) -> String {
         use std::fmt::Write;
         let mut s = String::with_capacity(64);
-        let _ = write!(s, "{}@{:?}|{:?}", self.at, self.path.start(), self.current());
+        let _ = write!(
+            s,
+            "{}@{:?}|{:?}",
+            self.at,
+            self.path.start(),
+            self.current()
+        );
         for l in &self.loops {
             let q = &quants[l.qid];
             let cap = q.max.unwrap_or(q.min);
@@ -438,7 +468,7 @@ impl filter::Env for StateEnv<'_> {
 
 /// How aggressively dominated states may be pruned.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum PruneMode {
+pub(crate) enum PruneMode {
     /// Keep everything (restrictors and bounds already make the search
     /// finite).
     Exhaustive,
@@ -447,10 +477,30 @@ enum PruneMode {
     ShortestGroups(usize),
 }
 
-pub(crate) struct Matcher<'g> {
-    graph: &'g PropertyGraph,
-    nfa: Nfa,
-    opts: &'g EvalOptions,
+/// Decides — graph-independently, so it can run at prepare time — how the
+/// search over `nfa` must prune, rejecting patterns whose unbounded
+/// quantifiers are covered by neither a restrictor nor a selector (§5).
+pub(crate) fn resolve_prune(
+    nfa: &Nfa,
+    path_restrictor: Option<Restrictor>,
+    selector_groups: Option<usize>,
+) -> Result<PruneMode> {
+    if nfa.has_unrestricted_unbounded && path_restrictor.is_none() {
+        match selector_groups {
+            Some(k) => Ok(PruneMode::ShortestGroups(k)),
+            None => Err(Error::UnboundedQuantifier {
+                quantifier: "*".to_owned(),
+            }),
+        }
+    } else {
+        Ok(PruneMode::Exhaustive)
+    }
+}
+
+pub(crate) struct Matcher<'a> {
+    graph: &'a PropertyGraph,
+    nfa: &'a Nfa,
+    opts: &'a EvalOptions,
     path_restrictor: Option<Restrictor>,
     prune: PruneMode,
     max_edges: usize,
@@ -459,34 +509,30 @@ pub(crate) struct Matcher<'g> {
     defer: bool,
 }
 
-impl<'g> Matcher<'g> {
-    /// Builds a matcher for one (normalized) path pattern.
-    pub(crate) fn new(
-        graph: &'g PropertyGraph,
+impl<'a> Matcher<'a> {
+    /// Builds a matcher over a pre-compiled NFA. `pattern` must be the
+    /// (normalized) pattern `nfa` was compiled from; it is only consulted
+    /// for the graph-dependent static edge bound.
+    pub(crate) fn over(
+        graph: &'a PropertyGraph,
+        nfa: &'a Nfa,
         pattern: &PathPattern,
         path_restrictor: Option<Restrictor>,
-        selector_groups: Option<usize>,
-        _analysis: &Analysis,
-        opts: &'g EvalOptions,
-    ) -> Result<Matcher<'g>> {
-        let nfa = compile(pattern);
-        let needs_pruning = nfa.has_unrestricted_unbounded && path_restrictor.is_none();
-        let prune = if needs_pruning {
-            match selector_groups {
-                Some(k) => PruneMode::ShortestGroups(k),
-                None => {
-                    return Err(Error::UnboundedQuantifier {
-                        quantifier: "*".to_owned(),
-                    })
-                }
-            }
-        } else {
-            PruneMode::Exhaustive
-        };
+        prune: PruneMode,
+        opts: &'a EvalOptions,
+    ) -> Matcher<'a> {
         let static_cap = static_edge_bound(pattern, graph, path_restrictor);
         let max_edges = static_cap.min(opts.max_path_length);
         let defer = opts.defer_restrictors;
-        Ok(Matcher { graph, nfa, opts, path_restrictor, prune, max_edges, defer })
+        Matcher {
+            graph,
+            nfa,
+            opts,
+            path_restrictor,
+            prune,
+            max_edges,
+            defer,
+        }
     }
 
     /// Runs the search from every node of the graph, returning all raw
@@ -758,11 +804,7 @@ impl<'g> Matcher<'g> {
                         return None;
                     }
                 }
-                if next
-                    .scopes
-                    .last()
-                    .is_some_and(|s| s.paren == *id)
-                {
+                if next.scopes.last().is_some_and(|s| s.paren == *id) {
                     let scope = next.scopes.pop().expect("just checked");
                     if self.defer {
                         next.spans.push((
@@ -775,7 +817,11 @@ impl<'g> Matcher<'g> {
                 Some(next)
             }
             Action::EnterQuant(id) => {
-                next.loops.push(Loop { qid: *id, count: 0, stalled: false });
+                next.loops.push(Loop {
+                    qid: *id,
+                    count: 0,
+                    stalled: false,
+                });
                 Some(next)
             }
             Action::IterStart(id) => {
@@ -852,11 +898,12 @@ impl<'g> Matcher<'g> {
         debug_assert!(state.frames.is_empty());
         if self.defer {
             let whole_end = state.path.nodes().len() - 1;
-            let spans = state
-                .spans
-                .iter()
-                .copied()
-                .chain(state.scopes.iter().map(|s| (s.restrictor, s.node_start, whole_end)));
+            let spans = state.spans.iter().copied().chain(
+                state
+                    .scopes
+                    .iter()
+                    .map(|s| (s.restrictor, s.node_start, whole_end)),
+            );
             for (r, s, e) in spans {
                 let sub = Path::new(
                     state.path.nodes()[s..=e].to_vec(),
@@ -938,7 +985,9 @@ fn static_edge_bound(
                 .iter()
                 .map(|x| walk(x, graph))
                 .fold(0usize, |a, b| a.saturating_add(b)),
-            PathPattern::Paren { restrictor, inner, .. } => {
+            PathPattern::Paren {
+                restrictor, inner, ..
+            } => {
                 let inner = walk(inner, graph);
                 match restrictor {
                     Some(r) => inner.min(restrictor_bound(*r, graph)),
@@ -1006,17 +1055,12 @@ mod tests {
             where_clause: None,
         };
         let normalized = normalize(&gp);
-        let analysis = analyze(&normalized).unwrap();
+        analyze(&normalized).unwrap();
         let o = opts();
-        let m = Matcher::new(
-            graph,
-            &normalized.paths[0].pattern,
-            restrictor,
-            selector_groups,
-            &analysis,
-            &o,
-        )
-        .unwrap();
+        let pattern = &normalized.paths[0].pattern;
+        let nfa = compile(pattern);
+        let prune = resolve_prune(&nfa, restrictor, selector_groups).unwrap();
+        let m = Matcher::over(graph, &nfa, pattern, restrictor, prune, &o);
         m.run().unwrap()
     }
 
@@ -1341,8 +1385,18 @@ mod tests {
         let a = g.add_node("a", ["N"], []);
         let b = g.add_node("b", ["N"], []);
         let c = g.add_node("c", ["N"], []);
-        g.add_edge("ab", Endpoints::directed(a, b), ["T"], [("w", Value::Int(5))]);
-        g.add_edge("bc", Endpoints::directed(b, c), ["T"], [("w", Value::Int(0))]);
+        g.add_edge(
+            "ab",
+            Endpoints::directed(a, b),
+            ["T"],
+            [("w", Value::Int(5))],
+        );
+        g.add_edge(
+            "bc",
+            Endpoints::directed(b, c),
+            ["T"],
+            [("w", Value::Int(0))],
+        );
         let body = PathPattern::Paren {
             restrictor: None,
             inner: Box::new(PathPattern::concat(vec![
@@ -1385,9 +1439,7 @@ mod tests {
         g.add_edge("u1", Endpoints::undirected(b, p1), ["U"], []);
         let opt = PathPattern::Questioned(Box::new(
             PathPattern::concat(vec![
-                PathPattern::Edge(
-                    EdgePattern::any(Direction::Undirected).with_var("u"),
-                ),
+                PathPattern::Edge(EdgePattern::any(Direction::Undirected).with_var("u")),
                 PathPattern::Node(NodePattern::var("p").with_label(LabelExpr::label("P"))),
             ])
             .paren(),
@@ -1445,8 +1497,7 @@ mod tests {
         g.add_edge("ac", Endpoints::directed(a, c), ["T"], []);
         let p = PathPattern::concat(vec![
             PathPattern::Node(
-                NodePattern::var("a")
-                    .with_predicate(Expr::prop("a", "x").eq(Expr::prop("d", "x"))),
+                NodePattern::var("a").with_predicate(Expr::prop("a", "x").eq(Expr::prop("d", "x"))),
             ),
             edge_r("e"),
             node("d"),

@@ -20,21 +20,20 @@
 //!   implicitly receives `ALL SHORTEST` instead of being rejected.
 
 pub(crate) mod filter;
-mod matcher;
+pub(crate) mod matcher;
 pub(crate) mod selector;
 
 use std::cell::RefCell;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 
 use property_graph::PropertyGraph;
 
 pub use filter::{eval as eval_expr, truth as expr_truth, Env};
 
-use crate::analysis::analyze;
-use crate::ast::{GraphPattern, PathPattern, PathPatternExpr, Selector};
+use crate::ast::GraphPattern;
 use crate::binding::{BoundValue, MatchRow, MatchSet, PathBinding};
 use crate::error::Result;
-use crate::normalize::normalize;
+use crate::plan::{prepare, ExistsPlans};
 
 /// Semantics variant (§3 comparison modes).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -98,38 +97,31 @@ impl Default for EvalOptions {
 
 /// Evaluates `MATCH pattern` against `graph`.
 ///
-/// Runs static analysis first (rejecting ill-formed patterns per §4.6 and
-/// §5), then matches, reduces, deduplicates, selects, joins, and applies
-/// the final `WHERE` postfilter.
+/// This is the one-shot entry point: a thin wrapper that lowers the
+/// pattern through the [`crate::plan`] layer (mode rewrite → normalize →
+/// analyze → compile → join/select/filter stages) and executes the plan
+/// once. Callers that run the same pattern repeatedly should call
+/// [`crate::plan::prepare`] themselves and hold on to the
+/// [`crate::plan::PreparedQuery`].
 pub fn evaluate(
     graph: &PropertyGraph,
     pattern: &GraphPattern,
     opts: &EvalOptions,
 ) -> Result<MatchSet> {
-    let mut pattern = pattern.clone();
-    if opts.mode == MatchMode::GsqlDefault {
-        apply_gsql_default(&mut pattern);
-    }
-    let normalized = normalize(&pattern);
-    let analysis = analyze(&normalized)?;
-
-    let mut per_path: Vec<Vec<PathBinding>> = Vec::with_capacity(normalized.paths.len());
-    for expr in &normalized.paths {
-        let bindings = match_one(graph, expr, &analysis, opts)?;
-        per_path.push(bindings);
-    }
-
-    Ok(join_and_filter(graph, &normalized, &per_path, opts))
+    prepare(pattern, opts)?.execute(graph)
 }
 
 /// Cross product of the per-pattern match sets, joined on shared variables
 /// and filtered by the final `WHERE` (§6.5 "Multiple patterns"). Shared by
-/// the production engine and the §6 baseline.
+/// the plan executor and the §6 baseline. `exists` carries any subplans
+/// prepared for the postfilter's `EXISTS` subqueries; patterns without a
+/// prepared subplan are prepared on the fly (the baseline's path).
 pub(crate) fn join_and_filter(
     graph: &PropertyGraph,
     normalized: &GraphPattern,
     per_path: &[Vec<PathBinding>],
     opts: &EvalOptions,
+    exists: &ExistsPlans,
 ) -> MatchSet {
     let iso = opts.isomorphism;
     // Rows carry the edges their constituent walks used so the
@@ -143,9 +135,7 @@ pub(crate) fn join_and_filter(
                 if iso == MatchIso::EdgeIsomorphic {
                     // The walk itself must not repeat an edge, nor reuse
                     // one matched by an earlier path pattern.
-                    if !pb.path.is_trail()
-                        || pb.path.edges().iter().any(|e| used.contains(e))
-                    {
+                    if !pb.path.is_trail() || pb.path.edges().iter().any(|e| used.contains(e)) {
                         continue 'binding;
                     }
                 }
@@ -178,7 +168,13 @@ pub(crate) fn join_and_filter(
         // and joined against each row on shared variable names.
         let cache: RefCell<HashMap<GraphPattern, Option<MatchSet>>> = RefCell::new(HashMap::new());
         rows.retain(|row| {
-            let env = RowEnv { graph, row, opts, cache: &cache };
+            let env = RowEnv {
+                graph,
+                row,
+                opts,
+                exists,
+                cache: &cache,
+            };
             filter::truth(graph, &env, post) == Some(true)
         });
     }
@@ -192,6 +188,7 @@ struct RowEnv<'a> {
     graph: &'a PropertyGraph,
     row: &'a MatchRow,
     opts: &'a EvalOptions,
+    exists: &'a ExistsPlans,
     cache: &'a RefCell<HashMap<GraphPattern, Option<MatchSet>>>,
 }
 
@@ -202,9 +199,14 @@ impl filter::Env for RowEnv<'_> {
 
     fn exists(&self, pattern: &GraphPattern) -> Option<bool> {
         let mut cache = self.cache.borrow_mut();
-        let sub = cache
-            .entry(pattern.clone())
-            .or_insert_with(|| evaluate(self.graph, pattern, self.opts).ok());
+        let sub = cache.entry(pattern.clone()).or_insert_with(|| {
+            // Prefer the subplan prepared at prepare time; fall back to a
+            // one-shot prepare for callers (the baseline) without one.
+            match self.exists.get(pattern) {
+                Some(subplan) => subplan.execute(self.graph).ok(),
+                None => evaluate(self.graph, pattern, self.opts).ok(),
+            }
+        });
         let sub = sub.as_ref()?;
         // Correlation: a subquery match must agree with the enclosing row
         // on every variable the two share.
@@ -217,80 +219,6 @@ impl filter::Env for RowEnv<'_> {
                     None => true,
                 })
         }))
-    }
-}
-
-/// Matches one path pattern: raw search → reduce → dedup → selector. The
-/// SPARQL endpoint-only mode additionally collapses results to distinct
-/// endpoint bindings.
-fn match_one(
-    graph: &PropertyGraph,
-    expr: &PathPatternExpr,
-    analysis: &crate::analysis::Analysis,
-    opts: &EvalOptions,
-) -> Result<Vec<PathBinding>> {
-    let selector_groups = expr
-        .selector
-        .as_ref()
-        .and_then(selector::length_groups);
-    let m = matcher::Matcher::new(
-        graph,
-        &expr.pattern,
-        expr.restrictor,
-        selector_groups,
-        analysis,
-        opts,
-    )?;
-    let raw = m.run()?;
-
-    // Reduction and deduplication (§6.5).
-    let deduped: BTreeSet<PathBinding> = raw.into_iter().map(PathBinding::reduce).collect();
-    let mut bindings: Vec<PathBinding> = deduped.into_iter().collect();
-
-    if let Some(sel) = &expr.selector {
-        bindings = selector::apply(graph, sel, bindings);
-    }
-
-    if opts.mode == MatchMode::EndpointOnly {
-        // SPARQL property paths: only check path existence between
-        // endpoints; group bindings and path identity are unobservable.
-        let mut seen = BTreeSet::new();
-        bindings.retain(|b| {
-            let key = (b.path.start(), b.path.end(), b.alt_marks.clone());
-            seen.insert(key)
-        });
-        // Group bindings and path identity are unobservable; a canonical
-        // representative walk is kept so hosts can still expose endpoints.
-        for b in &mut bindings {
-            b.bindings.retain(|_, v| v.is_singleton());
-        }
-    }
-    Ok(bindings)
-}
-
-/// GSQL default semantics: an unbounded quantifier that has neither a
-/// selector nor a restrictor implicitly becomes `ALL SHORTEST` (§3).
-fn apply_gsql_default(pattern: &mut GraphPattern) {
-    for p in &mut pattern.paths {
-        if p.selector.is_none() && p.restrictor.is_none() && has_unbounded(&p.pattern) {
-            p.selector = Some(Selector::AllShortest);
-        }
-    }
-}
-
-fn has_unbounded(p: &PathPattern) -> bool {
-    match p {
-        PathPattern::Node(_) | PathPattern::Edge(_) => false,
-        PathPattern::Concat(parts) => parts.iter().any(has_unbounded),
-        PathPattern::Paren { restrictor, inner, .. } => {
-            // A restrictor inside the paren already bounds its subtree.
-            restrictor.is_none() && has_unbounded(inner)
-        }
-        PathPattern::Quantified { inner, quantifier } => {
-            quantifier.is_unbounded() || has_unbounded(inner)
-        }
-        PathPattern::Questioned(inner) => has_unbounded(inner),
-        PathPattern::Union(bs) | PathPattern::Alternation(bs) => bs.iter().any(has_unbounded),
     }
 }
 
@@ -397,9 +325,8 @@ mod tests {
     #[test]
     fn union_deduplicates_alternation_does_not() {
         let g = cycle4();
-        let branch = || {
-            PathPattern::Node(NodePattern::var("c").with_label(LabelExpr::label("Account")))
-        };
+        let branch =
+            || PathPattern::Node(NodePattern::var("c").with_label(LabelExpr::label("Account")));
         // (c:Account) | (c:Account) → 4 rows (set).
         let gp = GraphPattern::single(PathPattern::Union(vec![branch(), branch()]));
         let rs = evaluate(&g, &gp, &EvalOptions::default()).unwrap();
@@ -414,9 +341,16 @@ mod tests {
     fn overlapping_quantifiers_union_equals_merged_range() {
         // ->{1,2} | ->{2,3} over a directed chain ≡ ->{1,3} (§4.5).
         let mut g = PropertyGraph::new();
-        let ns: Vec<NodeId> = (0..5).map(|i| g.add_node(&format!("n{i}"), ["N"], [])).collect();
+        let ns: Vec<NodeId> = (0..5)
+            .map(|i| g.add_node(&format!("n{i}"), ["N"], []))
+            .collect();
         for i in 0..4 {
-            g.add_edge(&format!("e{i}"), Endpoints::directed(ns[i], ns[i + 1]), ["T"], []);
+            g.add_edge(
+                &format!("e{i}"),
+                Endpoints::directed(ns[i], ns[i + 1]),
+                ["T"],
+                [],
+            );
         }
         let quant = |m, n| {
             PathPattern::Edge(EdgePattern::any(Direction::Right))
@@ -484,7 +418,10 @@ mod tests {
         let sparql = evaluate(
             &g,
             &GraphPattern::single(pattern),
-            &EvalOptions { mode: MatchMode::EndpointOnly, ..EvalOptions::default() },
+            &EvalOptions {
+                mode: MatchMode::EndpointOnly,
+                ..EvalOptions::default()
+            },
         )
         .unwrap();
         // GPML sees each path; SPARQL sees each endpoint pair once.
@@ -518,7 +455,10 @@ mod tests {
         let rs = evaluate(
             &g,
             &GraphPattern::single(pattern),
-            &EvalOptions { mode: MatchMode::GsqlDefault, ..EvalOptions::default() },
+            &EvalOptions {
+                mode: MatchMode::GsqlDefault,
+                ..EvalOptions::default()
+            },
         )
         .unwrap();
         assert_eq!(rs.len(), 16); // all ordered pairs incl. self via cycle

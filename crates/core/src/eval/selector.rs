@@ -54,9 +54,7 @@ pub(crate) fn apply(
                         .then_with(|| a.cmp(b))
                 });
             }
-            _ => part.sort_by(|a, b| {
-                a.path.len().cmp(&b.path.len()).then_with(|| a.cmp(b))
-            }),
+            _ => part.sort_by(|a, b| a.path.len().cmp(&b.path.len()).then_with(|| a.cmp(b))),
         }
         match selector {
             Selector::Any | Selector::AnyShortest | Selector::AnyCheapest { .. } => {
@@ -67,10 +65,7 @@ pub(crate) fn apply(
             }
             Selector::AllShortest => {
                 let min = part.first().map(|b| b.path.len());
-                out.extend(
-                    part.into_iter()
-                        .take_while(|b| Some(b.path.len()) == min),
-                );
+                out.extend(part.into_iter().take_while(|b| Some(b.path.len()) == min));
             }
             Selector::ShortestK(k) | Selector::CheapestK { k, .. } => {
                 out.extend(part.into_iter().take(*k as usize));
@@ -115,7 +110,9 @@ mod tests {
     /// edge `e{i}` has weight i.
     fn dummy() -> PropertyGraph {
         let mut g = PropertyGraph::new();
-        let ns: Vec<_> = (0..8).map(|i| g.add_node(&format!("n{i}"), ["N"], [])).collect();
+        let ns: Vec<_> = (0..8)
+            .map(|i| g.add_node(&format!("n{i}"), ["N"], []))
+            .collect();
         for i in 0..8u32 {
             g.add_edge(
                 &format!("e{i}"),
@@ -233,11 +230,21 @@ mod tests {
         // (w=7) and the length-1 path using e… here we rely on `pb`
         // indices: pb([0,2],[7]) costs 7; pb([0,1,2],[0,1]) costs 1.
         let input = vec![pb(&[0, 2], &[7]), pb(&[0, 1, 2], &[0, 1])];
-        let out = apply(&g, &Selector::AnyCheapest { weight: "w".into() }, input.clone());
+        let out = apply(
+            &g,
+            &Selector::AnyCheapest { weight: "w".into() },
+            input.clone(),
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].path.len(), 2, "the longer-but-cheaper path wins");
         // Missing weights count as 1.
-        let out = apply(&g, &Selector::AnyCheapest { weight: "ghost".into() }, input);
+        let out = apply(
+            &g,
+            &Selector::AnyCheapest {
+                weight: "ghost".into(),
+            },
+            input,
+        );
         assert_eq!(out[0].path.len(), 1);
         // CHEAPEST k keeps the k cheapest.
         let input = vec![
@@ -245,7 +252,14 @@ mod tests {
             pb(&[0, 1, 2], &[0, 1]),
             pb(&[0, 3, 2], &[2, 3]),
         ];
-        let out = apply(&g, &Selector::CheapestK { k: 2, weight: "w".into() }, input);
+        let out = apply(
+            &g,
+            &Selector::CheapestK {
+                k: 2,
+                weight: "w".into(),
+            },
+            input,
+        );
         assert_eq!(out.len(), 2);
         assert!(out.iter().all(|b| b.path.len() == 2));
     }

@@ -4,12 +4,18 @@
 //!
 //! This crate is the paper's primary contribution: the pattern language
 //! (AST + concrete-syntax printer), the static analysis that guarantees
-//! termination (§5) and enforces the variable discipline (§4.4, §4.6), and
-//! two interchangeable evaluation engines:
+//! termination (§5) and enforces the variable discipline (§4.4, §4.6), a
+//! compiled query-plan layer, and two interchangeable evaluation engines:
 //!
+//! * [`plan`] — the prepare-once/execute-many layer: [`plan::prepare`]
+//!   lowers a pattern (normalize → analyze → compile NFAs → join/select/
+//!   filter stages) into a graph-independent [`plan::PreparedQuery`] that
+//!   serves any number of executions;
 //! * [`eval`] — the production engine: a single-pass matcher with
 //!   restrictor pruning carried on the search frontier and selector-driven
-//!   breadth-first search with dominance pruning for unbounded quantifiers;
+//!   breadth-first search with dominance pruning for unbounded
+//!   quantifiers. [`eval::evaluate`] is a thin one-shot wrapper over the
+//!   plan layer;
 //! * [`baseline`] — the literal §6 execution model (normalization →
 //!   expansion into rigid patterns → per-part matching → equi-join →
 //!   reduction and deduplication), used as a test oracle and benchmark
@@ -57,6 +63,7 @@ pub mod binding;
 pub mod error;
 pub mod eval;
 pub mod normalize;
+pub mod plan;
 
 pub use analysis::{analyze, Analysis, VarClass, VarKind};
 pub use ast::{
@@ -66,3 +73,4 @@ pub use ast::{
 pub use binding::{BoundValue, MatchRow, MatchSet, PathBinding};
 pub use error::{Error, Result};
 pub use eval::{evaluate, EvalOptions, MatchMode};
+pub use plan::{prepare, ExecutablePlan, PreparedQuery};

@@ -1,0 +1,571 @@
+//! Compiled query plans — the prepare-once / execute-many split.
+//!
+//! [`prepare`] lowers a [`GraphPattern`] into a flat, inspectable
+//! [`ExecutablePlan`] wrapped in a [`PreparedQuery`] that can be executed
+//! against any number of graphs without repeating the per-query work. The
+//! lowering pipeline mirrors the §6 execution model, but runs it once:
+//!
+//! 1. **Mode rewrite** — under [`MatchMode::GsqlDefault`], unbounded
+//!    quantifiers with neither selector nor restrictor implicitly receive
+//!    `ALL SHORTEST` (§3);
+//! 2. **Normalize** (§6.2) — concatenations are made consistent and every
+//!    anonymous element pattern receives a fresh variable;
+//! 3. **Analyze** (§4.4, §4.6, §5) — variables are classified, the join
+//!    discipline is enforced, and non-terminating patterns are rejected;
+//! 4. **Compile** — each path pattern is compiled into its NFA (one
+//!    [`PathStage`] per comma-separated path pattern) and its pruning mode
+//!    (exhaustive vs. selector-driven dominance-pruned search) is resolved
+//!    graph-independently;
+//! 5. **Join / select / filter stages** — the explicit join graph over
+//!    shared unconditional singleton variables is recorded, selectors are
+//!    attached per stage, and every `EXISTS` subquery of the final `WHERE`
+//!    postfilter is recursively prepared into its own subplan.
+//!
+//! Executing the plan then only performs the graph-dependent work: the
+//! product-automaton search per stage, §6.5 reduction/deduplication, §5.1
+//! selector application, the cross-stage join, and the postfilter.
+//!
+//! [`eval::evaluate`](crate::eval::evaluate) is a thin wrapper over
+//! `prepare(..)?.execute(..)`; front-ends that see the same query text
+//! repeatedly (the GQL session, SQL/PGQ `GRAPH_TABLE`, the CLI REPL)
+//! retain the [`PreparedQuery`] and skip straight to execution.
+//!
+//! The plan structure is deliberately flat and inspectable (see the
+//! [`ExecutablePlan`] `Display` impl, surfaced as `--explain` in the CLI):
+//! it is the substrate later work hangs off — plan caching, statistics-
+//! driven join reordering, and parallel per-stage matching.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use property_graph::PropertyGraph;
+
+use crate::analysis::{analyze, collect_exists, Analysis, VarClass};
+use crate::ast::{GraphPattern, PathPattern, PathPatternExpr, Selector};
+use crate::binding::{MatchSet, PathBinding};
+use crate::error::Result;
+use crate::eval::matcher::{self, Matcher, Nfa, PruneMode};
+use crate::eval::{selector, EvalOptions, MatchMode};
+use crate::normalize::normalize;
+
+/// Lowers `pattern` into an executable plan under `opts`.
+///
+/// All per-query work — mode rewriting, normalization, static analysis,
+/// NFA compilation, join-graph construction, and `EXISTS` subplanning —
+/// happens here, exactly once. The result is graph-independent: one
+/// [`PreparedQuery`] may be executed against any number of graphs, in any
+/// order, with independent results.
+pub fn prepare(pattern: &GraphPattern, opts: &EvalOptions) -> Result<PreparedQuery> {
+    let mut pattern = pattern.clone();
+    if opts.mode == MatchMode::GsqlDefault {
+        apply_gsql_default(&mut pattern);
+    }
+    let normalized = normalize(&pattern);
+    let analysis = analyze(&normalized)?;
+
+    let mut stages = Vec::with_capacity(normalized.paths.len());
+    for expr in &normalized.paths {
+        stages.push(PathStage::lower(expr)?);
+    }
+
+    // The explicit join graph: shared *unconditional singleton* variables
+    // between stage pairs are the only implicit equi-join keys the
+    // analysis admits across path patterns (§4.6).
+    let mut joins = Vec::new();
+    for i in 0..stages.len() {
+        for j in i + 1..stages.len() {
+            let on: Vec<String> = stages[i]
+                .vars
+                .intersection(&stages[j].vars)
+                .filter(|v| {
+                    analysis
+                        .var(v)
+                        .is_some_and(|info| info.class == VarClass::Singleton)
+                })
+                .cloned()
+                .collect();
+            if !on.is_empty() {
+                joins.push(JoinEdge {
+                    left: i,
+                    right: j,
+                    on,
+                });
+            }
+        }
+    }
+
+    // Prepare every EXISTS subquery of the postfilter as its own subplan,
+    // so repeated executions skip the subquery's analysis and compilation
+    // too. Deliberately eager: a one-shot query whose match is empty pays
+    // for subplans it never runs, but execute latency stays flat — no
+    // first-row compilation jitter. (Analysis already guaranteed the
+    // subpatterns are well-formed.)
+    let mut exists = ExistsPlans::default();
+    if let Some(post) = &normalized.where_clause {
+        let mut subs = Vec::new();
+        collect_exists(post, &mut subs);
+        for sub in subs {
+            if !exists.plans.contains_key(sub) {
+                exists.plans.insert(sub.clone(), prepare(sub, opts)?);
+            }
+        }
+    }
+
+    Ok(PreparedQuery {
+        opts: opts.clone(),
+        plan: ExecutablePlan {
+            normalized,
+            analysis,
+            stages,
+            joins,
+            exists,
+        },
+    })
+}
+
+/// A compiled query: an [`ExecutablePlan`] plus the options it was
+/// prepared under. Execute it against any number of graphs.
+#[derive(Clone)]
+pub struct PreparedQuery {
+    opts: EvalOptions,
+    plan: ExecutablePlan,
+}
+
+impl PreparedQuery {
+    /// Runs the plan against `graph`.
+    ///
+    /// Only graph-dependent work happens here; the compiled stages are
+    /// reused unchanged, and executions against different graphs are
+    /// fully independent.
+    pub fn execute(&self, graph: &PropertyGraph) -> Result<MatchSet> {
+        let mut per_path: Vec<Vec<PathBinding>> = Vec::with_capacity(self.plan.stages.len());
+        for stage in &self.plan.stages {
+            per_path.push(stage.execute(graph, &self.opts)?);
+        }
+        Ok(crate::eval::join_and_filter(
+            graph,
+            &self.plan.normalized,
+            &per_path,
+            &self.opts,
+            &self.plan.exists,
+        ))
+    }
+
+    /// The lowered plan (inspect or `Display` it for an EXPLAIN view).
+    pub fn plan(&self) -> &ExecutablePlan {
+        &self.plan
+    }
+
+    /// The options the query was prepared under.
+    pub fn options(&self) -> &EvalOptions {
+        &self.opts
+    }
+
+    /// The EXPLAIN rendering of the plan (same as `format!("{}", q.plan())`).
+    pub fn explain(&self) -> String {
+        self.plan.to_string()
+    }
+}
+
+/// The flat, inspectable result of lowering a graph pattern: one compiled
+/// NFA stage per path pattern, the explicit join graph over shared
+/// singleton variables, and the selector/postfilter stages.
+#[derive(Clone)]
+pub struct ExecutablePlan {
+    /// The normalized pattern the stages were compiled from.
+    pub(crate) normalized: GraphPattern,
+    /// Variable classification (kinds, singleton/conditional/group).
+    pub(crate) analysis: Analysis,
+    /// One compiled stage per path pattern, in declaration order.
+    pub(crate) stages: Vec<PathStage>,
+    /// Cross-stage equi-join keys (shared unconditional singletons).
+    ///
+    /// Introspective today: the executor still merges rows on binding-name
+    /// agreement inside `join_and_filter` (which subsumes these keys); this
+    /// field is what EXPLAIN shows and what statistics-driven join
+    /// reordering will consume (see ROADMAP).
+    pub(crate) joins: Vec<JoinEdge>,
+    /// Prepared subplans for the postfilter's `EXISTS` subqueries.
+    pub(crate) exists: ExistsPlans,
+}
+
+impl ExecutablePlan {
+    /// Number of compiled path stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The variable analysis computed at prepare time.
+    pub fn analysis(&self) -> &Analysis {
+        &self.analysis
+    }
+
+    /// Cross-stage join keys as `(left stage, right stage, variables)`.
+    pub fn join_edges(&self) -> impl Iterator<Item = (usize, usize, &[String])> {
+        self.joins
+            .iter()
+            .map(|j| (j.left, j.right, j.on.as_slice()))
+    }
+}
+
+/// One compiled path pattern: its NFA, resolved search mode, and the
+/// per-stage reduce/dedup/select pipeline inputs.
+#[derive(Clone)]
+pub(crate) struct PathStage {
+    /// The normalized pattern (kept for the graph-dependent edge bound
+    /// and for EXPLAIN rendering).
+    pub(crate) expr: PathPatternExpr,
+    /// The compiled NFA.
+    pub(crate) nfa: Nfa,
+    /// Search mode, resolved graph-independently at prepare time.
+    pub(crate) prune: PruneMode,
+    /// Named (non-anonymous) variables this stage binds.
+    pub(crate) vars: BTreeSet<String>,
+}
+
+impl PathStage {
+    /// Compiles one normalized path pattern into a stage.
+    fn lower(expr: &PathPatternExpr) -> Result<PathStage> {
+        let nfa = matcher::compile(&expr.pattern);
+        let selector_groups = expr.selector.as_ref().and_then(selector::length_groups);
+        let prune = matcher::resolve_prune(&nfa, expr.restrictor, selector_groups)?;
+        let mut var_list = Vec::new();
+        matcher::collect_vars(&expr.pattern, &mut var_list);
+        let mut vars: BTreeSet<String> = var_list.into_iter().map(|(v, _)| v).collect();
+        if let Some(pv) = &expr.path_var {
+            vars.insert(pv.clone());
+        }
+        Ok(PathStage {
+            expr: expr.clone(),
+            nfa,
+            prune,
+            vars,
+        })
+    }
+
+    /// Matches this stage against `graph`: raw product-automaton search →
+    /// §6.5 reduce → dedup → §5.1 selector. The SPARQL endpoint-only mode
+    /// additionally collapses results to distinct endpoint bindings.
+    pub(crate) fn execute(
+        &self,
+        graph: &PropertyGraph,
+        opts: &EvalOptions,
+    ) -> Result<Vec<PathBinding>> {
+        let m = Matcher::over(
+            graph,
+            &self.nfa,
+            &self.expr.pattern,
+            self.expr.restrictor,
+            self.prune,
+            opts,
+        );
+        let raw = m.run()?;
+
+        // Reduction and deduplication (§6.5).
+        let deduped: BTreeSet<PathBinding> = raw.into_iter().map(PathBinding::reduce).collect();
+        let mut bindings: Vec<PathBinding> = deduped.into_iter().collect();
+
+        if let Some(sel) = &self.expr.selector {
+            bindings = selector::apply(graph, sel, bindings);
+        }
+
+        if opts.mode == MatchMode::EndpointOnly {
+            // SPARQL property paths: only check path existence between
+            // endpoints; group bindings and path identity are unobservable.
+            let mut seen = BTreeSet::new();
+            bindings.retain(|b| {
+                let key = (b.path.start(), b.path.end(), b.alt_marks.clone());
+                seen.insert(key)
+            });
+            // A canonical representative walk is kept so hosts can still
+            // expose endpoints.
+            for b in &mut bindings {
+                b.bindings.retain(|_, v| v.is_singleton());
+            }
+        }
+        Ok(bindings)
+    }
+}
+
+/// One edge of the explicit join graph: stages `left` and `right` must
+/// agree on the variables in `on`.
+#[derive(Clone, Debug)]
+pub(crate) struct JoinEdge {
+    pub(crate) left: usize,
+    pub(crate) right: usize,
+    pub(crate) on: Vec<String>,
+}
+
+/// Prepared subplans for `EXISTS` subqueries, keyed by their subpattern.
+#[derive(Clone, Default)]
+pub(crate) struct ExistsPlans {
+    plans: HashMap<GraphPattern, PreparedQuery>,
+}
+
+impl ExistsPlans {
+    /// The prepared subplan for `pattern`, if one was prepared.
+    pub(crate) fn get(&self, pattern: &GraphPattern) -> Option<&PreparedQuery> {
+        self.plans.get(pattern)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.plans.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GSQL mode rewrite (hoisted from the evaluator)
+// ---------------------------------------------------------------------------
+
+/// GSQL default semantics: an unbounded quantifier that has neither a
+/// selector nor a restrictor implicitly becomes `ALL SHORTEST` (§3).
+fn apply_gsql_default(pattern: &mut GraphPattern) {
+    for p in &mut pattern.paths {
+        if p.selector.is_none() && p.restrictor.is_none() && has_unbounded(&p.pattern) {
+            p.selector = Some(Selector::AllShortest);
+        }
+    }
+}
+
+fn has_unbounded(p: &PathPattern) -> bool {
+    match p {
+        PathPattern::Node(_) | PathPattern::Edge(_) => false,
+        PathPattern::Concat(parts) => parts.iter().any(has_unbounded),
+        PathPattern::Paren {
+            restrictor, inner, ..
+        } => {
+            // A restrictor inside the paren already bounds its subtree.
+            restrictor.is_none() && has_unbounded(inner)
+        }
+        PathPattern::Quantified { inner, quantifier } => {
+            quantifier.is_unbounded() || has_unbounded(inner)
+        }
+        PathPattern::Questioned(inner) => has_unbounded(inner),
+        PathPattern::Union(bs) | PathPattern::Alternation(bs) => bs.iter().any(has_unbounded),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN rendering
+// ---------------------------------------------------------------------------
+
+impl fmt::Display for ExecutablePlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "ExecutablePlan ({} stages)", self.stages.len())?;
+        for (i, stage) in self.stages.iter().enumerate() {
+            writeln!(f, "  stage {i}: MATCH {}", stage.expr)?;
+            let (nodes, edges, quants) = (
+                stage.nfa.node_test_count(),
+                stage.nfa.edge_test_count(),
+                stage.nfa.quantifier_count(),
+            );
+            writeln!(
+                f,
+                "    nfa: {} states, {nodes} node test{}, {edges} edge test{}, {quants} quantifier{}",
+                stage.nfa.state_count(),
+                plural(nodes),
+                plural(edges),
+                plural(quants),
+            )?;
+            let search = match stage.prune {
+                PruneMode::Exhaustive => "exhaustive (statically bounded)".to_owned(),
+                PruneMode::ShortestGroups(k) => {
+                    format!("dominance-pruned BFS ({k} length group{})", plural(k))
+                }
+            };
+            writeln!(f, "    search: {search}")?;
+            if !stage.vars.is_empty() {
+                let vars: Vec<&str> = stage.vars.iter().map(String::as_str).collect();
+                writeln!(f, "    binds: {}", vars.join(", "))?;
+            }
+        }
+        if self.joins.is_empty() {
+            if self.stages.len() > 1 {
+                writeln!(f, "  join: cartesian (no shared singleton variables)")?;
+            }
+        } else {
+            for j in &self.joins {
+                writeln!(
+                    f,
+                    "  join: stage {} \u{2A1D} stage {} on {{{}}}",
+                    j.left,
+                    j.right,
+                    j.on.join(", ")
+                )?;
+            }
+        }
+        if let Some(post) = &self.normalized.where_clause {
+            write!(f, "  postfilter: WHERE {post}")?;
+            if self.exists.len() > 0 {
+                write!(
+                    f,
+                    " [{} prepared EXISTS subplan{}]",
+                    self.exists.len(),
+                    plural(self.exists.len())
+                )?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "  pipeline: match \u{2192} reduce \u{2192} dedup \u{2192} select \u{2192} join \u{2192} filter")
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+    use property_graph::{Endpoints, NodeId, Value};
+
+    fn node(v: &str) -> PathPattern {
+        PathPattern::Node(NodePattern::var(v))
+    }
+
+    fn edge_r(v: &str) -> PathPattern {
+        PathPattern::Edge(EdgePattern::any(Direction::Right).with_var(v))
+    }
+
+    fn chain(n: usize) -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| g.add_node(&format!("n{i}"), ["N"], [("x", Value::Int(i as i64))]))
+            .collect();
+        for i in 0..n - 1 {
+            g.add_edge(
+                &format!("e{i}"),
+                Endpoints::directed(ids[i], ids[i + 1]),
+                ["T"],
+                [],
+            );
+        }
+        g
+    }
+
+    fn two_stage_pattern() -> GraphPattern {
+        GraphPattern {
+            paths: vec![
+                PathPatternExpr::plain(PathPattern::concat(vec![
+                    node("s"),
+                    edge_r("e1"),
+                    node("m"),
+                ])),
+                PathPatternExpr::plain(PathPattern::concat(vec![
+                    node("m"),
+                    edge_r("e2"),
+                    node("t"),
+                ])),
+            ],
+            where_clause: None,
+        }
+    }
+
+    #[test]
+    fn prepare_records_stages_and_join_graph() {
+        let q = prepare(&two_stage_pattern(), &EvalOptions::default()).unwrap();
+        let plan = q.plan();
+        assert_eq!(plan.stage_count(), 2);
+        let joins: Vec<_> = plan.join_edges().collect();
+        assert_eq!(joins.len(), 1);
+        assert_eq!(joins[0].0, 0);
+        assert_eq!(joins[0].1, 1);
+        assert_eq!(joins[0].2, ["m".to_owned()]);
+    }
+
+    #[test]
+    fn execute_many_times_is_stable() {
+        let q = prepare(&two_stage_pattern(), &EvalOptions::default()).unwrap();
+        let g = chain(5);
+        let first = q.execute(&g).unwrap();
+        for _ in 0..3 {
+            assert_eq!(q.execute(&g).unwrap(), first);
+        }
+        // 3 two-hop chains in a 5-chain.
+        assert_eq!(first.len(), 3);
+    }
+
+    #[test]
+    fn one_plan_two_graphs_independent_results() {
+        let q = prepare(&two_stage_pattern(), &EvalOptions::default()).unwrap();
+        let small = chain(3);
+        let big = chain(8);
+        let a = q.execute(&small).unwrap();
+        let b = q.execute(&big).unwrap();
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 6);
+        // Re-executing against the first graph is unaffected by the second.
+        assert_eq!(q.execute(&small).unwrap(), a);
+    }
+
+    #[test]
+    fn prepare_rejects_uncovered_unbounded_quantifier() {
+        let body = PathPattern::concat(vec![
+            PathPattern::Node(NodePattern::any()),
+            edge_r("t"),
+            PathPattern::Node(NodePattern::any()),
+        ])
+        .paren();
+        let gp = GraphPattern::single(PathPattern::concat(vec![
+            node("a"),
+            body.quantified(Quantifier::star()),
+            node("b"),
+        ]));
+        assert!(prepare(&gp, &EvalOptions::default()).is_err());
+    }
+
+    #[test]
+    fn gsql_mode_rewrite_happens_at_prepare() {
+        let body = PathPattern::concat(vec![
+            PathPattern::Node(NodePattern::any()),
+            edge_r("t"),
+            PathPattern::Node(NodePattern::any()),
+        ])
+        .paren();
+        let gp = GraphPattern::single(PathPattern::concat(vec![
+            node("a"),
+            body.quantified(Quantifier::plus()),
+            node("b"),
+        ]));
+        let opts = EvalOptions {
+            mode: MatchMode::GsqlDefault,
+            ..EvalOptions::default()
+        };
+        let q = prepare(&gp, &opts).unwrap();
+        // The implicit ALL SHORTEST is visible in the lowered plan.
+        assert!(q.plan().stages[0].expr.selector.is_some());
+        let g = chain(4);
+        assert!(!q.execute(&g).unwrap().is_empty());
+    }
+
+    #[test]
+    fn exists_subqueries_are_preplanned() {
+        // MATCH (x) WHERE EXISTS { (x)-[e]->(y) }
+        let sub =
+            GraphPattern::single(PathPattern::concat(vec![node("x"), edge_r("e"), node("y")]));
+        let gp = GraphPattern {
+            paths: vec![PathPatternExpr::plain(node("x"))],
+            where_clause: Some(Expr::Exists(Box::new(sub))),
+        };
+        let q = prepare(&gp, &EvalOptions::default()).unwrap();
+        assert_eq!(q.plan().exists.len(), 1);
+        let g = chain(3);
+        // n0 and n1 have outgoing edges; n2 does not.
+        assert_eq!(q.execute(&g).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn explain_rendering_mentions_stages_and_joins() {
+        let q = prepare(&two_stage_pattern(), &EvalOptions::default()).unwrap();
+        let text = q.explain();
+        assert!(text.contains("ExecutablePlan (2 stages)"), "{text}");
+        assert!(text.contains("stage 0"), "{text}");
+        assert!(text.contains("on {m}"), "{text}");
+        assert!(text.contains("pipeline"), "{text}");
+    }
+}

@@ -70,12 +70,18 @@ pub fn fig1() -> PropertyGraph {
     let ip1 = g.add_node(
         "ip1",
         ["IP"],
-        [("number", Value::str("123.111")), ("isBlocked", Value::str("no"))],
+        [
+            ("number", Value::str("123.111")),
+            ("isBlocked", Value::str("no")),
+        ],
     );
     let ip2 = g.add_node(
         "ip2",
         ["IP"],
-        [("number", Value::str("123.222")), ("isBlocked", Value::str("no"))],
+        [
+            ("number", Value::str("123.222")),
+            ("isBlocked", Value::str("no")),
+        ],
     );
 
     // -- Transfers (directed). -------------------------------------------------
@@ -111,7 +117,12 @@ pub fn fig1() -> PropertyGraph {
         ("li6", a6, c2),
     ];
     for (name, account, place) in locations {
-        g.add_edge(name, Endpoints::directed(account, place), ["isLocatedIn"], []);
+        g.add_edge(
+            name,
+            Endpoints::directed(account, place),
+            ["isLocatedIn"],
+            [],
+        );
     }
 
     // -- hasPhone (undirected). -----------------------------------------------
@@ -124,7 +135,12 @@ pub fn fig1() -> PropertyGraph {
         ("hp6", a6, p4),
     ];
     for (name, account, phone) in phone_links {
-        g.add_edge(name, Endpoints::undirected(account, phone), ["hasPhone"], []);
+        g.add_edge(
+            name,
+            Endpoints::undirected(account, phone),
+            ["hasPhone"],
+            [],
+        );
     }
 
     // -- signInWithIP (directed, account → IP; Figure 2 tabular form). -----------
@@ -145,21 +161,13 @@ mod tests {
         let g = fig1();
         assert_eq!(g.node_count(), 14);
         assert_eq!(g.edge_count(), 22);
-        let count_label = |l: &str| {
-            g.nodes()
-                .filter(|n| g.node(*n).has_label(l))
-                .count()
-        };
+        let count_label = |l: &str| g.nodes().filter(|n| g.node(*n).has_label(l)).count();
         assert_eq!(count_label("Account"), 6);
         assert_eq!(count_label("Country"), 2);
         assert_eq!(count_label("City"), 1);
         assert_eq!(count_label("Phone"), 4);
         assert_eq!(count_label("IP"), 2);
-        let count_edge_label = |l: &str| {
-            g.edges()
-                .filter(|e| g.edge(*e).has_label(l))
-                .count()
-        };
+        let count_edge_label = |l: &str| g.edges().filter(|e| g.edge(*e).has_label(l)).count();
         assert_eq!(count_edge_label("Transfer"), 8);
         assert_eq!(count_edge_label("isLocatedIn"), 6);
         assert_eq!(count_edge_label("hasPhone"), 6);
@@ -224,9 +232,11 @@ mod tests {
             .edges()
             .filter(|e| {
                 g.edge(*e).has_label("Transfer")
-                    && (g.edge(*e)
+                    && (g
+                        .edge(*e)
                         .property("amount")
-                        .sql_compare(&Value::Int(5_000_000)) != Some(std::cmp::Ordering::Greater))
+                        .sql_compare(&Value::Int(5_000_000))
+                        != Some(std::cmp::Ordering::Greater))
             })
             .map(|e| g.edge(e).name.clone())
             .collect();
@@ -253,7 +263,11 @@ mod tests {
         let g = fig1();
         let accounts_of = |phone: &str| {
             let p = g.node_by_name(phone).unwrap();
-            let mut v: Vec<_> = g.steps(p).iter().map(|s| g.node(s.to).name.clone()).collect();
+            let mut v: Vec<_> = g
+                .steps(p)
+                .iter()
+                .map(|s| g.node(s.to).name.clone())
+                .collect();
             v.sort();
             v
         };

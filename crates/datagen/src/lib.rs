@@ -9,6 +9,4 @@ pub mod fig1;
 pub mod synthetic;
 
 pub use fig1::fig1;
-pub use synthetic::{
-    chain, cycle, grid, small_mixed, transfer_network, TransferNetworkConfig,
-};
+pub use synthetic::{chain, cycle, grid, small_mixed, transfer_network, TransferNetworkConfig};

@@ -148,18 +148,27 @@ pub fn transfer_network(cfg: TransferNetworkConfig) -> PropertyGraph {
         .iter()
         .enumerate()
         .map(|(i, name)| {
-            g.add_node(&format!("c{i}"), ["City", "Country"], [("name", Value::str(*name))])
+            g.add_node(
+                &format!("c{i}"),
+                ["City", "Country"],
+                [("name", Value::str(*name))],
+            )
         })
         .collect();
     for (i, &a) in accounts.iter().enumerate() {
         let c = places[rng.gen_range(0..places.len())];
-        g.add_edge(&format!("li{i}"), Endpoints::directed(a, c), ["isLocatedIn"], []);
+        g.add_edge(
+            &format!("li{i}"),
+            Endpoints::directed(a, c),
+            ["isLocatedIn"],
+            [],
+        );
     }
 
     for i in 0..cfg.transfers {
         let s = accounts[rng.gen_range(0..accounts.len())];
         let d = accounts[rng.gen_range(0..accounts.len())];
-        let amount = rng.gen_range(1..=20) * 1_000_000;
+        let amount = rng.gen_range(1..=20i64) * 1_000_000;
         g.add_edge(
             &format!("t{i}"),
             Endpoints::directed(s, d),
@@ -179,7 +188,10 @@ pub fn transfer_network(cfg: TransferNetworkConfig) -> PropertyGraph {
             ["Phone"],
             [
                 ("number", Value::Int(p as i64)),
-                ("isBlocked", Value::str(if rng.gen_bool(0.05) { "yes" } else { "no" })),
+                (
+                    "isBlocked",
+                    Value::str(if rng.gen_bool(0.05) { "yes" } else { "no" }),
+                ),
             ],
         );
         for (j, &a) in accounts.iter().enumerate().filter(|(j, _)| j % phones == p) {
@@ -203,7 +215,11 @@ pub fn small_mixed(seed: u64, nodes: usize, edges: usize) -> PropertyGraph {
     let ids: Vec<NodeId> = (0..nodes.max(1))
         .map(|i| {
             let label = if rng.gen_bool(0.5) { "A" } else { "B" };
-            g.add_node(&format!("n{i}"), [label], [("w", Value::Int(rng.gen_range(0..5)))])
+            g.add_node(
+                &format!("n{i}"),
+                [label],
+                [("w", Value::Int(rng.gen_range(0..5)))],
+            )
         })
         .collect();
     for i in 0..edges {
@@ -262,7 +278,11 @@ mod tests {
 
     #[test]
     fn transfer_network_is_seed_deterministic() {
-        let cfg = TransferNetworkConfig { accounts: 20, transfers: 40, ..Default::default() };
+        let cfg = TransferNetworkConfig {
+            accounts: 20,
+            transfers: 40,
+            ..Default::default()
+        };
         let g1 = transfer_network(cfg);
         let g2 = transfer_network(cfg);
         assert_eq!(g1.node_count(), g2.node_count());
@@ -287,9 +307,15 @@ mod tests {
             seed: 7,
         };
         let g = transfer_network(cfg);
-        let accounts = g.nodes().filter(|n| g.node(*n).has_label("Account")).count();
+        let accounts = g
+            .nodes()
+            .filter(|n| g.node(*n).has_label("Account"))
+            .count();
         assert_eq!(accounts, 30);
-        let transfers = g.edges().filter(|e| g.edge(*e).has_label("Transfer")).count();
+        let transfers = g
+            .edges()
+            .filter(|e| g.edge(*e).has_label("Transfer"))
+            .count();
         assert_eq!(transfers, 50);
         let blocked = g
             .nodes()

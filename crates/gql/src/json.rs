@@ -208,7 +208,10 @@ mod tests {
         assert_eq!(value_to_json(&Value::Int(-3)), "-3");
         assert_eq!(value_to_json(&Value::Float(1.5)), "1.5");
         assert_eq!(value_to_json(&Value::Float(f64::NAN)), "null");
-        assert_eq!(value_to_json(&Value::str("a\"b\\c\nd")), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(
+            value_to_json(&Value::str("a\"b\\c\nd")),
+            "\"a\\\"b\\\\c\\nd\""
+        );
     }
 
     #[test]

@@ -37,6 +37,7 @@ use std::collections::BTreeMap;
 
 use gpml_core::binding::{BoundValue, MatchRow};
 use gpml_core::eval::{self, EvalOptions};
+use gpml_core::plan::{self, ExecutablePlan, PreparedQuery};
 use gpml_core::Expr;
 use gpml_parser::Parser;
 use property_graph::{ElementId, PropertyGraph, Value};
@@ -137,6 +138,37 @@ struct OrderKey {
     ascending: bool,
 }
 
+/// The parsed `RETURN ... [ORDER BY ...] [SKIP n] [LIMIT n]` tail.
+#[derive(Clone, Debug)]
+struct Projection {
+    distinct: bool,
+    items: Vec<ReturnItem>,
+    order: Vec<OrderKey>,
+    skip: Option<usize>,
+    limit: Option<usize>,
+}
+
+/// A compiled GQL statement: parsed once, lowered once through the
+/// [`gpml_core::plan`] layer, executable any number of times against any
+/// registered graph (plans are graph-independent).
+#[derive(Clone)]
+pub struct PreparedGqlQuery {
+    query: PreparedQuery,
+    projection: Option<Projection>,
+}
+
+impl PreparedGqlQuery {
+    /// The lowered pattern plan (EXPLAIN it via its `Display`).
+    pub fn plan(&self) -> &ExecutablePlan {
+        self.query.plan()
+    }
+
+    /// True when the statement has a `RETURN` clause (vs. a bare `MATCH`).
+    pub fn has_return(&self) -> bool {
+        self.projection.is_some()
+    }
+}
+
 /// A GQL session: a catalog of graphs plus evaluation options.
 #[derive(Default)]
 pub struct Session {
@@ -152,7 +184,10 @@ impl Session {
 
     /// A session with explicit evaluation options (match modes, limits).
     pub fn with_options(options: EvalOptions) -> Session {
-        Session { catalog: BTreeMap::new(), options }
+        Session {
+            catalog: BTreeMap::new(),
+            options,
+        }
     }
 
     /// Registers a graph under `name` (GQL's catalog).
@@ -165,44 +200,99 @@ impl Session {
         self.catalog.get(name)
     }
 
-    /// Runs `MATCH ... RETURN ...` against the named graph.
-    pub fn execute(&self, graph: &str, query: &str) -> Result<QueryResult, GqlError> {
+    /// Parses and lowers a statement — `MATCH ... RETURN ...` or a bare
+    /// `MATCH ...` — into a reusable [`PreparedGqlQuery`]. Preparation is
+    /// graph-independent: prepare once, then execute against any graph in
+    /// the catalog, any number of times.
+    pub fn prepare(&self, query: &str) -> Result<PreparedGqlQuery, GqlError> {
+        self.parse_statement(query, false)
+    }
+
+    /// Single-parse statement compiler behind [`Session::prepare`] and
+    /// [`Session::execute`]. With `require_return`, a missing `RETURN`
+    /// clause is the parse error `execute` has always raised.
+    fn parse_statement(
+        &self,
+        query: &str,
+        require_return: bool,
+    ) -> Result<PreparedGqlQuery, GqlError> {
+        let mut p = Parser::new(query);
+        p.expect_kw("MATCH")?;
+        let pattern = p.parse_graph_pattern()?;
+        if require_return && !p.eat_kw("RETURN") {
+            p.expect_kw("RETURN")?; // fails here, at the right position
+        }
+        let projection = if require_return || p.eat_kw("RETURN") {
+            let distinct = p.eat_kw("DISTINCT");
+            let mut items = vec![parse_return_item(&mut p)?];
+            while p.eat(",") {
+                items.push(parse_return_item(&mut p)?);
+            }
+            let mut order: Vec<OrderKey> = Vec::new();
+            if p.eat_kw("ORDER") {
+                p.expect_kw("BY")?;
+                loop {
+                    let expr = resolve_alias(p.parse_expr()?, &items);
+                    let ascending = if p.eat_kw("DESC") {
+                        false
+                    } else {
+                        p.eat_kw("ASC");
+                        true
+                    };
+                    order.push(OrderKey { expr, ascending });
+                    if !p.eat(",") {
+                        break;
+                    }
+                }
+            }
+            let skip = if p.eat_kw("SKIP") {
+                Some(parse_count(&mut p)?)
+            } else {
+                None
+            };
+            let limit = if p.eat_kw("LIMIT") {
+                Some(parse_count(&mut p)?)
+            } else {
+                None
+            };
+            Some(Projection {
+                distinct,
+                items,
+                order,
+                skip,
+                limit,
+            })
+        } else {
+            None
+        };
+        p.expect_eof()?;
+
+        let query = plan::prepare(&pattern, &self.options)?;
+        Ok(PreparedGqlQuery { query, projection })
+    }
+
+    /// Runs a prepared `MATCH ... RETURN ...` against the named graph.
+    pub fn execute_prepared(
+        &self,
+        graph: &str,
+        prepared: &PreparedGqlQuery,
+    ) -> Result<QueryResult, GqlError> {
         let g = self
             .catalog
             .get(graph)
             .ok_or_else(|| GqlError::Host(format!("unknown graph {graph}")))?;
+        let Some(projection) = &prepared.projection else {
+            return Err(GqlError::Host("statement has no RETURN clause".to_owned()));
+        };
+        let Projection {
+            distinct,
+            items,
+            order,
+            skip,
+            limit,
+        } = projection;
 
-        let mut p = Parser::new(query);
-        p.expect_kw("MATCH")?;
-        let pattern = p.parse_graph_pattern()?;
-        p.expect_kw("RETURN")?;
-        let distinct = p.eat_kw("DISTINCT");
-        let mut items = vec![parse_return_item(&mut p)?];
-        while p.eat(",") {
-            items.push(parse_return_item(&mut p)?);
-        }
-        let mut order: Vec<OrderKey> = Vec::new();
-        if p.eat_kw("ORDER") {
-            p.expect_kw("BY")?;
-            loop {
-                let expr = resolve_alias(p.parse_expr()?, &items);
-                let ascending = if p.eat_kw("DESC") {
-                    false
-                } else {
-                    p.eat_kw("ASC");
-                    true
-                };
-                order.push(OrderKey { expr, ascending });
-                if !p.eat(",") {
-                    break;
-                }
-            }
-        }
-        let skip = if p.eat_kw("SKIP") { Some(parse_count(&mut p)?) } else { None };
-        let limit = if p.eat_kw("LIMIT") { Some(parse_count(&mut p)?) } else { None };
-        p.expect_eof()?;
-
-        let matches = eval::evaluate(g, &pattern, &self.options)?;
+        let matches = prepared.query.execute(g)?;
 
         // Project.
         let mut rows: Vec<(Vec<GqlValue>, &MatchRow)> = matches
@@ -218,7 +308,7 @@ impl Session {
         // non-projected expressions work too).
         if !order.is_empty() {
             rows.sort_by(|(_, ra), (_, rb)| {
-                for key in &order {
+                for key in order {
                     let va = order_value(g, ra, &key.expr);
                     let vb = order_value(g, rb, &key.expr);
                     let ord = va.cmp(&vb);
@@ -232,32 +322,49 @@ impl Session {
         }
 
         let mut cells: Vec<Vec<GqlValue>> = rows.into_iter().map(|(c, _)| c).collect();
-        if distinct {
+        if *distinct {
             let mut seen = std::collections::BTreeSet::new();
             cells.retain(|row| seen.insert(row.clone()));
         }
         if let Some(n) = skip {
-            cells.drain(..n.min(cells.len()));
+            cells.drain(..(*n).min(cells.len()));
         }
         if let Some(n) = limit {
-            cells.truncate(n);
+            cells.truncate(*n);
         }
 
         Ok(QueryResult {
-            columns: items.into_iter().map(|it| it.alias).collect(),
+            columns: items.iter().map(|it| it.alias.clone()).collect(),
             rows: cells,
         })
+    }
+
+    /// Runs a prepared statement and returns the raw binding rows,
+    /// ignoring any `RETURN` projection.
+    pub fn match_prepared(
+        &self,
+        graph: &str,
+        prepared: &PreparedGqlQuery,
+    ) -> Result<Vec<MatchRow>, GqlError> {
+        let g = self
+            .catalog
+            .get(graph)
+            .ok_or_else(|| GqlError::Host(format!("unknown graph {graph}")))?;
+        Ok(prepared.query.execute(g)?.rows)
+    }
+
+    /// Runs `MATCH ... RETURN ...` against the named graph (one-shot:
+    /// [`Session::prepare`] + [`Session::execute_prepared`]).
+    pub fn execute(&self, graph: &str, query: &str) -> Result<QueryResult, GqlError> {
+        let prepared = self.parse_statement(query, true)?;
+        self.execute_prepared(graph, &prepared)
     }
 
     /// §6.6 graph projection: the subgraph of `graph` induced by all
     /// elements a match row binds (nodes, edges, groups, and paths), as a
     /// new property graph. Edge endpoints are included even when only the
     /// edge was bound.
-    pub fn project_graph(
-        &self,
-        graph: &str,
-        row: &MatchRow,
-    ) -> Result<PropertyGraph, GqlError> {
+    pub fn project_graph(&self, graph: &str, row: &MatchRow) -> Result<PropertyGraph, GqlError> {
         let g = self
             .catalog
             .get(graph)
@@ -279,7 +386,11 @@ impl Session {
         for value in row.values.values() {
             match value {
                 BoundValue::Node(_) | BoundValue::Edge(_) => {
-                    add_el(value.as_element().expect("singleton"), &mut nodes, &mut edges);
+                    add_el(
+                        value.as_element().expect("singleton"),
+                        &mut nodes,
+                        &mut edges,
+                    );
                 }
                 BoundValue::NodeGroup(_) | BoundValue::EdgeGroup(_) => {
                     for el in value.as_group().expect("group") {
@@ -346,26 +457,24 @@ impl Session {
 
     /// Convenience: run a `MATCH` (no `RETURN`) and get the raw binding
     /// rows, e.g. to feed [`Session::project_graph`].
-    pub fn match_bindings(
-        &self,
-        graph: &str,
-        query: &str,
-    ) -> Result<Vec<MatchRow>, GqlError> {
-        let g = self
-            .catalog
-            .get(graph)
-            .ok_or_else(|| GqlError::Host(format!("unknown graph {graph}")))?;
-        let mut p = Parser::new(query);
-        p.expect_kw("MATCH")?;
-        let pattern = p.parse_graph_pattern()?;
-        p.expect_eof()?;
-        Ok(eval::evaluate(g, &pattern, &self.options)?.rows)
+    pub fn match_bindings(&self, graph: &str, query: &str) -> Result<Vec<MatchRow>, GqlError> {
+        let prepared = self.parse_statement(query, false)?;
+        if prepared.has_return() {
+            return Err(GqlError::Host(
+                "match_bindings takes a bare MATCH; use execute for RETURN statements".to_owned(),
+            ));
+        }
+        self.match_prepared(graph, &prepared)
     }
 }
 
 fn parse_return_item(p: &mut Parser<'_>) -> Result<ReturnItem, GqlError> {
     let expr = p.parse_expr()?;
-    let alias = if p.eat_kw("AS") { p.ident()? } else { expr.to_string() };
+    let alias = if p.eat_kw("AS") {
+        p.ident()?
+    } else {
+        expr.to_string()
+    };
     Ok(ReturnItem { expr, alias })
 }
 
@@ -469,10 +578,7 @@ mod tests {
             )
             .unwrap();
         assert_eq!(r.len(), 1);
-        assert_eq!(
-            r.rows[0][0],
-            GqlValue::Path("path(a6,t5,a3,t2,a2)".into())
-        );
+        assert_eq!(r.rows[0][0], GqlValue::Path("path(a6,t5,a3,t2,a2)".into()));
     }
 
     #[test]

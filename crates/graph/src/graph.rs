@@ -403,11 +403,7 @@ mod tests {
             .collect();
         assert_eq!(back_at_b.len(), 2);
         assert!(back_at_b.iter().all(|s| s.to == a));
-        let undirected_at_c: Vec<_> = g
-            .steps(c)
-            .iter()
-            .filter(|s| s.edge == e3)
-            .collect();
+        let undirected_at_c: Vec<_> = g.steps(c).iter().filter(|s| s.edge == e3).collect();
         assert_eq!(undirected_at_c.len(), 1);
         assert_eq!(undirected_at_c[0].to, b);
         // A directed self loop is traversable both ways from its node.

@@ -123,7 +123,9 @@ impl Path {
             return false;
         }
         let mut seen = std::collections::HashSet::with_capacity(self.nodes.len());
-        self.nodes[..self.nodes.len() - 1].iter().all(|n| seen.insert(*n))
+        self.nodes[..self.nodes.len() - 1]
+            .iter()
+            .all(|n| seen.insert(*n))
     }
 
     /// Checks that every edge of the walk actually connects its neighbouring
@@ -141,7 +143,10 @@ impl Path {
     /// Renders as the paper writes paths: `path(a6,t5,a3,t2,a2)`, using the
     /// external element names in `g`.
     pub fn display<'a>(&'a self, g: &'a PropertyGraph) -> PathDisplay<'a> {
-        PathDisplay { path: self, graph: g }
+        PathDisplay {
+            path: self,
+            graph: g,
+        }
     }
 }
 

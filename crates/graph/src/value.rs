@@ -269,7 +269,10 @@ mod tests {
             Value::Int(2).add(&Value::Float(0.5)),
             Some(Value::Float(2.5))
         );
-        assert_eq!(Value::Int(7).divide(&Value::Int(2)), Some(Value::Float(3.5)));
+        assert_eq!(
+            Value::Int(7).divide(&Value::Int(2)),
+            Some(Value::Float(3.5))
+        );
         assert_eq!(Value::Int(7).divide(&Value::Int(0)), None);
         assert_eq!(Value::Int(4).multiply(&Value::Int(3)), Some(Value::Int(12)));
         assert_eq!(Value::Int(4).subtract(&Value::Int(9)), Some(Value::Int(-5)));

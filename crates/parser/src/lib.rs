@@ -91,7 +91,11 @@ pub struct Parser<'a> {
 impl<'a> Parser<'a> {
     /// A parser over `input`, positioned at the start.
     pub fn new(input: &'a str) -> Parser<'a> {
-        Parser { src: input, bytes: input.as_bytes(), pos: 0 }
+        Parser {
+            src: input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
     }
 
     /// Current byte offset.
@@ -105,7 +109,10 @@ impl<'a> Parser<'a> {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T> {
-        Err(ParseError { pos: self.pos, message: message.into() })
+        Err(ParseError {
+            pos: self.pos,
+            message: message.into(),
+        })
     }
 
     // -- Character-level helpers -------------------------------------------
@@ -205,10 +212,41 @@ impl<'a> Parser<'a> {
         // keywords — they are only recognized after IS, so they stay
         // usable as identifiers/aliases.
         const RESERVED: &[&str] = &[
-            "MATCH", "WHERE", "AND", "OR", "NOT", "IS", "NULL", "TRUE", "FALSE", "TRAIL",
-            "ACYCLIC", "SIMPLE", "ANY", "ALL", "SHORTEST", "GROUP", "SAME", "ALL_DIFFERENT",
-            "COUNT", "SUM", "AVG", "MIN", "MAX", "DISTINCT", "RETURN", "COLUMNS", "AS",
-            "ORDER", "BY", "LIMIT", "SKIP", "ASC", "DESC", "CHEAPEST", "EXISTS",
+            "MATCH",
+            "WHERE",
+            "AND",
+            "OR",
+            "NOT",
+            "IS",
+            "NULL",
+            "TRUE",
+            "FALSE",
+            "TRAIL",
+            "ACYCLIC",
+            "SIMPLE",
+            "ANY",
+            "ALL",
+            "SHORTEST",
+            "GROUP",
+            "SAME",
+            "ALL_DIFFERENT",
+            "COUNT",
+            "SUM",
+            "AVG",
+            "MIN",
+            "MAX",
+            "DISTINCT",
+            "RETURN",
+            "COLUMNS",
+            "AS",
+            "ORDER",
+            "BY",
+            "LIMIT",
+            "SKIP",
+            "ASC",
+            "DESC",
+            "CHEAPEST",
+            "EXISTS",
         ];
         RESERVED.iter().any(|r| word.eq_ignore_ascii_case(r))
     }
@@ -234,9 +272,10 @@ impl<'a> Parser<'a> {
         if self.pos == start {
             return self.err("expected number");
         }
-        self.src[start..self.pos]
-            .parse()
-            .map_err(|_| ParseError { pos: start, message: "number too large".into() })
+        self.src[start..self.pos].parse().map_err(|_| ParseError {
+            pos: start,
+            message: "number too large".into(),
+        })
     }
 
     // -- Graph patterns -------------------------------------------------------
@@ -252,7 +291,10 @@ impl<'a> Parser<'a> {
         } else {
             None
         };
-        Ok(GraphPattern { paths, where_clause })
+        Ok(GraphPattern {
+            paths,
+            where_clause,
+        })
     }
 
     /// `selector? restrictor? (ident '=')? pattern`
@@ -271,7 +313,12 @@ impl<'a> Parser<'a> {
             }
         };
         let pattern = self.parse_union()?;
-        Ok(PathPatternExpr { selector, restrictor, path_var, pattern })
+        Ok(PathPatternExpr {
+            selector,
+            restrictor,
+            path_var,
+            pattern,
+        })
     }
 
     /// Figure 8's selectors: `ANY SHORTEST`, `ALL SHORTEST`, `ANY`,
@@ -373,7 +420,10 @@ impl<'a> Parser<'a> {
 
     fn factor_ahead(&mut self) -> bool {
         self.skip_ws();
-        matches!(self.peek(), Some(b'(') | Some(b'[') | Some(b'<') | Some(b'~') | Some(b'-'))
+        matches!(
+            self.peek(),
+            Some(b'(') | Some(b'[') | Some(b'<') | Some(b'~') | Some(b'-')
+        )
     }
 
     /// `(node | edge | paren) postfix*` where postfix is a quantifier or `?`.
@@ -439,14 +489,16 @@ impl<'a> Parser<'a> {
             return self.err("property maps `{k: v}` are Cypher syntax; use WHERE");
         }
         self.expect(")")?;
-        Ok(PathPattern::Node(NodePattern { var, label, predicate }))
+        Ok(PathPattern::Node(NodePattern {
+            var,
+            label,
+            predicate,
+        }))
     }
 
     /// The shared `var? (':' labelExpr)? (WHERE expr)?` body of node and
     /// edge patterns.
-    fn parse_element_spec(
-        &mut self,
-    ) -> Result<(Option<String>, Option<LabelExpr>, Option<Expr>)> {
+    fn parse_element_spec(&mut self) -> Result<(Option<String>, Option<LabelExpr>, Option<Expr>)> {
         self.skip_ws();
         let var = if self.peek_word().is_some_and(|w| !Self::is_reserved(w)) {
             Some(self.ident()?)
@@ -517,7 +569,12 @@ impl<'a> Parser<'a> {
             } else {
                 return self.err("expected `]-` or `]->`");
             };
-            return Ok(Some(PathPattern::Edge(EdgePattern { var, label, predicate, direction })));
+            return Ok(Some(PathPattern::Edge(EdgePattern {
+                var,
+                label,
+                predicate,
+                direction,
+            })));
         }
         if self.starts_with("<~[") {
             self.pos += 3;
@@ -542,7 +599,12 @@ impl<'a> Parser<'a> {
             } else {
                 return self.err("expected `]~` or `]~>`");
             };
-            return Ok(Some(PathPattern::Edge(EdgePattern { var, label, predicate, direction })));
+            return Ok(Some(PathPattern::Edge(EdgePattern {
+                var,
+                label,
+                predicate,
+                direction,
+            })));
         }
         if self.starts_with("-[") {
             self.pos += 2;
@@ -555,7 +617,12 @@ impl<'a> Parser<'a> {
             } else {
                 return self.err("expected `]-` or `]->`");
             };
-            return Ok(Some(PathPattern::Edge(EdgePattern { var, label, predicate, direction })));
+            return Ok(Some(PathPattern::Edge(EdgePattern {
+                var,
+                label,
+                predicate,
+                direction,
+            })));
         }
         Ok(None)
     }
@@ -725,13 +792,21 @@ impl<'a> Parser<'a> {
         loop {
             self.skip_ws();
             if self.eat("+") {
-                e = Expr::Arith(ArithOp::Add, Box::new(e), Box::new(self.parse_multiplicative()?));
+                e = Expr::Arith(
+                    ArithOp::Add,
+                    Box::new(e),
+                    Box::new(self.parse_multiplicative()?),
+                );
             } else if self.peek() == Some(b'-')
                 && self.peek_at(1) != Some(b'[')
                 && self.peek_at(1) != Some(b'>')
             {
                 self.pos += 1;
-                e = Expr::Arith(ArithOp::Sub, Box::new(e), Box::new(self.parse_multiplicative()?));
+                e = Expr::Arith(
+                    ArithOp::Sub,
+                    Box::new(e),
+                    Box::new(self.parse_multiplicative()?),
+                );
             } else {
                 break;
             }
@@ -832,7 +907,11 @@ impl<'a> Parser<'a> {
                     AggArg::Var(var)
                 };
                 self.expect(")")?;
-                Ok(Expr::Aggregate { func, arg, distinct })
+                Ok(Expr::Aggregate {
+                    func,
+                    arg,
+                    distinct,
+                })
             }
             _ => {
                 let var = self.ident()?;
@@ -903,9 +982,10 @@ impl<'a> Parser<'a> {
             _ => 1,
         };
         if is_float {
-            let v: f64 = text
-                .parse()
-                .map_err(|_| ParseError { pos: start, message: "bad number".into() })?;
+            let v: f64 = text.parse().map_err(|_| ParseError {
+                pos: start,
+                message: "bad number".into(),
+            })?;
             let scaled = v * multiplier as f64;
             // `1.5M` is a whole number of units; keep integers exact.
             if scaled.fract() == 0.0 && scaled.abs() < i64::MAX as f64 {
@@ -914,9 +994,10 @@ impl<'a> Parser<'a> {
                 Ok(Expr::lit(scaled))
             }
         } else {
-            let v: i64 = text
-                .parse()
-                .map_err(|_| ParseError { pos: start, message: "number too large".into() })?;
+            let v: i64 = text.parse().map_err(|_| ParseError {
+                pos: start,
+                message: "number too large".into(),
+            })?;
             Ok(Expr::lit(v * multiplier))
         }
     }

@@ -27,8 +27,12 @@ fn figure5_full_forms() {
     ];
     for (input, direction) in cases {
         let p = parse_one(input);
-        let PathPattern::Concat(parts) = p else { panic!("{input}") };
-        let PathPattern::Edge(e) = &parts[1] else { panic!("{input}") };
+        let PathPattern::Concat(parts) = p else {
+            panic!("{input}")
+        };
+        let PathPattern::Edge(e) = &parts[1] else {
+            panic!("{input}")
+        };
         assert_eq!(e.direction, direction, "{input}");
         assert_eq!(e.var.as_deref(), Some("e"), "{input}");
     }
@@ -47,8 +51,12 @@ fn figure5_abbreviations() {
     ];
     for (input, direction) in cases {
         let p = parse_one(input);
-        let PathPattern::Concat(parts) = p else { panic!("{input}") };
-        let PathPattern::Edge(e) = &parts[1] else { panic!("{input}") };
+        let PathPattern::Concat(parts) = p else {
+            panic!("{input}")
+        };
+        let PathPattern::Edge(e) = &parts[1] else {
+            panic!("{input}")
+        };
         assert_eq!(e.direction, direction, "{input}");
         assert!(e.var.is_none(), "{input}");
     }
@@ -129,7 +137,9 @@ fn cypher_property_maps_get_a_helpful_error() {
 fn quantifier_forms() {
     let q = |input: &str| {
         let p = parse_one(input);
-        let PathPattern::Concat(parts) = p else { panic!("{input}") };
+        let PathPattern::Concat(parts) = p else {
+            panic!("{input}")
+        };
         let PathPattern::Quantified { quantifier, .. } = &parts[1] else {
             panic!("{input}")
         };
@@ -145,14 +155,23 @@ fn quantifier_forms() {
 #[test]
 fn question_mark_is_not_a_quantifier() {
     let p = parse_one("(x)[->(y)]?");
-    let PathPattern::Concat(parts) = p else { panic!() };
+    let PathPattern::Concat(parts) = p else {
+        panic!()
+    };
     assert!(matches!(parts[1], PathPattern::Questioned(_)));
 }
 
 #[test]
 fn parenthesized_pattern_with_restrictor_and_where() {
     let p = parse_one("[TRAIL (x)-[e]->*(y) WHERE COUNT(e.*)>1]");
-    let PathPattern::Paren { restrictor, predicate, .. } = p else { panic!() };
+    let PathPattern::Paren {
+        restrictor,
+        predicate,
+        ..
+    } = p
+    else {
+        panic!()
+    };
     assert_eq!(restrictor, Some(Restrictor::Trail));
     assert!(predicate.is_some());
 }
@@ -163,9 +182,7 @@ fn parenthesized_pattern_with_restrictor_and_where() {
 
 #[test]
 fn selector_forms() {
-    let sel = |input: &str| {
-        parse_pattern(input).unwrap().paths[0].selector.clone()
-    };
+    let sel = |input: &str| parse_pattern(input).unwrap().paths[0].selector.clone();
     assert_eq!(sel("ANY SHORTEST (a)->*(b)"), Some(Selector::AnyShortest));
     assert_eq!(sel("ALL SHORTEST (a)->*(b)"), Some(Selector::AllShortest));
     assert_eq!(sel("ANY (a)->*(b)"), Some(Selector::Any));
@@ -204,7 +221,9 @@ fn union_and_alternation() {
 #[test]
 fn overlapping_quantifier_union_from_section45() {
     let p = parse_one("->{1,5} | ->{3,7}");
-    let PathPattern::Union(branches) = p else { panic!() };
+    let PathPattern::Union(branches) = p else {
+        panic!()
+    };
     assert_eq!(branches.len(), 2);
 }
 
@@ -237,7 +256,9 @@ fn boolean_precedence() {
     // NOT binds tighter than AND, AND tighter than OR.
     let e = parse_expr("NOT a.x=1 AND b.y=2 OR c.z=3").unwrap();
     let Expr::Or(lhs, _) = e else { panic!() };
-    let Expr::And(not_part, _) = *lhs else { panic!() };
+    let Expr::And(not_part, _) = *lhs else {
+        panic!()
+    };
     assert!(matches!(*not_part, Expr::Not(_)));
 }
 
@@ -265,11 +286,17 @@ fn is_predicates() {
     );
     assert_eq!(
         parse_expr("s IS SOURCE OF e").unwrap(),
-        Expr::IsSourceOf { node: "s".into(), edge: "e".into() }
+        Expr::IsSourceOf {
+            node: "s".into(),
+            edge: "e".into()
+        }
     );
     assert_eq!(
         parse_expr("d IS DESTINATION OF e").unwrap(),
-        Expr::IsDestinationOf { node: "d".into(), edge: "e".into() }
+        Expr::IsDestinationOf {
+            node: "d".into(),
+            edge: "e".into()
+        }
     );
     assert_eq!(
         parse_expr("a.x IS NULL").unwrap(),
@@ -324,7 +351,9 @@ fn element_tests_and_aggregates() {
 fn arithmetic_in_predicates() {
     // §5.3: COUNT(e.*)/(COUNT(e.*)+1) > 1
     let e = parse_expr("COUNT(e.*)/(COUNT(e.*)+1) > 1").unwrap();
-    let Expr::Cmp(CmpOp::Gt, lhs, _) = e else { panic!() };
+    let Expr::Cmp(CmpOp::Gt, lhs, _) = e else {
+        panic!()
+    };
     assert!(matches!(*lhs, Expr::Arith(ArithOp::Div, ..)));
 }
 
@@ -452,9 +481,7 @@ fn host_can_continue_after_pattern() {
 /// Identifier strategy: short, lower-case, never reserved. Reserved-ness
 /// is checked by asking the parser itself.
 fn ident_strategy() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9]{0,3}".prop_filter("reserved", |s| {
-        matches!(parse_expr(s), Ok(Expr::Var(_)))
-    })
+    "[a-z][a-z0-9]{0,3}".prop_filter("reserved", |s| matches!(parse_expr(s), Ok(Expr::Var(_))))
 }
 
 fn label_strategy() -> impl Strategy<Value = LabelExpr> {
@@ -487,8 +514,7 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::cmp(CmpOp::Eq, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::cmp(CmpOp::Eq, a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
             inner.clone().prop_map(|e| e.not()),
@@ -503,7 +529,11 @@ fn node_strategy() -> impl Strategy<Value = NodePattern> {
         proptest::option::of(label_strategy()),
         proptest::option::of(expr_strategy()),
     )
-        .prop_map(|(var, label, predicate)| NodePattern { var, label, predicate })
+        .prop_map(|(var, label, predicate)| NodePattern {
+            var,
+            label,
+            predicate,
+        })
 }
 
 fn edge_strategy() -> impl Strategy<Value = EdgePattern> {
@@ -552,8 +582,7 @@ fn path_strategy() -> impl Strategy<Value = PathPattern> {
         edge_strategy().prop_map(PathPattern::Edge),
     ];
     atom.prop_recursive(3, 24, 4, |inner| {
-        let seq = proptest::collection::vec(inner.clone(), 1..4)
-            .prop_map(PathPattern::concat);
+        let seq = proptest::collection::vec(inner.clone(), 1..4).prop_map(PathPattern::concat);
         prop_oneof![
             seq.clone(),
             (

@@ -28,7 +28,11 @@ impl std::error::Error for CsvError {}
 
 /// Splits one logical CSV record starting at `chars[start..]`, returning
 /// the fields and the index after the record's newline.
-fn parse_record(chars: &[char], start: usize, line: usize) -> Result<(Vec<String>, usize), CsvError> {
+fn parse_record(
+    chars: &[char],
+    start: usize,
+    line: usize,
+) -> Result<(Vec<String>, usize), CsvError> {
     let mut fields = Vec::new();
     let mut field = String::new();
     let mut i = start;
@@ -38,7 +42,10 @@ fn parse_record(chars: &[char], start: usize, line: usize) -> Result<(Vec<String
             None => {
                 fields.push(std::mem::take(&mut field));
                 return if in_quotes {
-                    Err(CsvError { line, message: "unterminated quoted field".into() })
+                    Err(CsvError {
+                        line,
+                        message: "unterminated quoted field".into(),
+                    })
                 } else {
                     Ok((fields, i))
                 };
@@ -101,7 +108,10 @@ impl Table {
         let mut line = 1;
         let (header, next) = parse_record(&chars, pos, line)?;
         if header.iter().all(String::is_empty) {
-            return Err(CsvError { line, message: "missing header".into() });
+            return Err(CsvError {
+                line,
+                message: "missing header".into(),
+            });
         }
         pos = next;
         let mut table = Table::new(name, header);
@@ -174,7 +184,10 @@ mod tests {
              a2,Jay,true,,\n",
         )
         .unwrap();
-        assert_eq!(t.columns, vec!["ID", "owner", "isBlocked", "balance", "score"]);
+        assert_eq!(
+            t.columns,
+            vec!["ID", "owner", "isBlocked", "balance", "score"]
+        );
         assert_eq!(t.len(), 2);
         assert_eq!(t.get(0, "owner"), Some(&Value::str("Scott")));
         assert_eq!(t.get(0, "isBlocked"), Some(&Value::Bool(false)));
@@ -208,7 +221,9 @@ mod tests {
     fn roundtrip_through_csv() {
         let t = Table::from_csv(
             "Account",
-            "ID,owner,amount\na1,\"Last, First\",10\na2,Plain,,\n".replace(",,\n", ",\n").as_str(),
+            "ID,owner,amount\na1,\"Last, First\",10\na2,Plain,,\n"
+                .replace(",,\n", ",\n")
+                .as_str(),
         )
         .unwrap();
         let csv = t.to_csv();
@@ -221,12 +236,8 @@ mod tests {
         use crate::view::{EdgeTable, GraphView, VertexTable};
         use crate::Database;
         let mut db = Database::new();
-        db.insert(
-            Table::from_csv("Account", "ID,owner\na1,Scott\na2,Jay\n").unwrap(),
-        );
-        db.insert(
-            Table::from_csv("Transfer", "ID,SRC,DST,amount\nt1,a1,a2,8000000\n").unwrap(),
-        );
+        db.insert(Table::from_csv("Account", "ID,owner\na1,Scott\na2,Jay\n").unwrap());
+        db.insert(Table::from_csv("Transfer", "ID,SRC,DST,amount\nt1,a1,a2,8000000\n").unwrap());
         let g = GraphView::new("bank")
             .vertex(VertexTable::new("Account", "ID").properties(["owner"]))
             .edge(EdgeTable::new("Transfer", "ID", "SRC", "DST").properties(["amount"]))
@@ -255,10 +266,12 @@ mod proptests {
             proptest::bool::ANY.prop_map(Value::Bool),
             proptest::num::i64::ANY.prop_map(Value::Int),
             // Strings that cannot be mistaken for numbers/booleans/null.
-            "[ -~]{0,12}".prop_map(Value::str).prop_filter("unambiguous", |v| {
-                let Value::Str(s) = v else { return true };
-                infer(s) == Value::str(s.clone())
-            }),
+            "[ -~]{0,12}"
+                .prop_map(Value::str)
+                .prop_filter("unambiguous", |v| {
+                    let Value::Str(s) = v else { return true };
+                    infer(s) == Value::str(s.clone())
+                }),
         ]
     }
 

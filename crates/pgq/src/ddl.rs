@@ -158,7 +158,10 @@ fn expect(p: &mut Parser<'_>, s: &str) -> Result<(), PgqError> {
     if p.eat(s) {
         Ok(())
     } else {
-        Err(PgqError::Syntax(format!("expected `{s}` at byte {}", p.pos())))
+        Err(PgqError::Syntax(format!(
+            "expected `{s}` at byte {}",
+            p.pos()
+        )))
     }
 }
 
@@ -166,7 +169,10 @@ fn expect_kw(p: &mut Parser<'_>, kw: &str) -> Result<(), PgqError> {
     if eat_kw(p, kw) {
         Ok(())
     } else {
-        Err(PgqError::Syntax(format!("expected {kw} at byte {}", p.pos())))
+        Err(PgqError::Syntax(format!(
+            "expected {kw} at byte {}",
+            p.pos()
+        )))
     }
 }
 

@@ -18,6 +18,7 @@
 
 use gpml_core::binding::{BoundValue, MatchRow};
 use gpml_core::eval::{self, EvalOptions};
+use gpml_core::plan::{self, ExecutablePlan, PreparedQuery};
 use gpml_core::Expr;
 use gpml_parser::Parser;
 use property_graph::{PropertyGraph, Value};
@@ -63,34 +64,58 @@ pub struct Column {
     pub alias: String,
 }
 
-/// Parses the `MATCH ... [WHERE ...] COLUMNS (...)` body and evaluates it
-/// over `graph`.
-pub fn graph_table(graph: &PropertyGraph, body: &str) -> Result<Table, PgqError> {
-    graph_table_with(graph, body, &EvalOptions::default())
+/// A compiled `GRAPH_TABLE` body: parsed once, lowered once through the
+/// [`gpml_core::plan`] layer, executable against any number of graphs.
+#[derive(Clone)]
+pub struct PreparedGraphTable {
+    query: PreparedQuery,
+    columns: Vec<Column>,
 }
 
-/// [`graph_table`] with explicit evaluation options.
-pub fn graph_table_with(
-    graph: &PropertyGraph,
-    body: &str,
-    opts: &EvalOptions,
-) -> Result<Table, PgqError> {
+impl PreparedGraphTable {
+    /// The lowered pattern plan (EXPLAIN it via its `Display`).
+    pub fn plan(&self) -> &ExecutablePlan {
+        self.query.plan()
+    }
+
+    /// Runs the prepared body over `graph`, producing the projected table.
+    pub fn execute(&self, graph: &PropertyGraph) -> Result<Table, PgqError> {
+        let rows = self.query.execute(graph)?;
+        let mut table = Table::new("GRAPH_TABLE", self.columns.iter().map(|c| c.alias.clone()));
+        for row in rows.iter() {
+            table.push(self.columns.iter().map(|c| project(graph, row, &c.expr)));
+        }
+        Ok(table)
+    }
+}
+
+/// Parses and lowers a `MATCH ... [WHERE ...] COLUMNS (...)` body into a
+/// reusable [`PreparedGraphTable`].
+pub fn prepare_graph_table(body: &str, opts: &EvalOptions) -> Result<PreparedGraphTable, PgqError> {
     let mut p = Parser::new(body);
     p.expect_kw("MATCH")?;
     let pattern = p.parse_graph_pattern()?;
     p.expect_kw("COLUMNS")?;
     let columns = parse_columns(&mut p)?;
     p.expect_eof()?;
+    let query = plan::prepare(&pattern, opts)?;
+    Ok(PreparedGraphTable { query, columns })
+}
 
-    let rows = eval::evaluate(graph, &pattern, opts)?;
-    let mut table = Table::new(
-        "GRAPH_TABLE",
-        columns.iter().map(|c| c.alias.clone()),
-    );
-    for row in rows.iter() {
-        table.push(columns.iter().map(|c| project(graph, row, &c.expr)));
-    }
-    Ok(table)
+/// Parses the `MATCH ... [WHERE ...] COLUMNS (...)` body and evaluates it
+/// over `graph`.
+pub fn graph_table(graph: &PropertyGraph, body: &str) -> Result<Table, PgqError> {
+    graph_table_with(graph, body, &EvalOptions::default())
+}
+
+/// [`graph_table`] with explicit evaluation options (one-shot:
+/// [`prepare_graph_table`] + [`PreparedGraphTable::execute`]).
+pub fn graph_table_with(
+    graph: &PropertyGraph,
+    body: &str,
+    opts: &EvalOptions,
+) -> Result<Table, PgqError> {
+    prepare_graph_table(body, opts)?.execute(graph)
 }
 
 /// `( expr (AS alias)? (, expr (AS alias)?)* )`
@@ -155,10 +180,7 @@ mod tests {
         assert_eq!(t.columns, vec!["sender", "receiver", "amount"]);
         // Four 10M transfers: t2, t3, t4, t5.
         assert_eq!(t.len(), 4);
-        assert!(t
-            .rows
-            .iter()
-            .all(|r| r[2] == Value::Int(10_000_000)));
+        assert!(t.rows.iter().all(|r| r[2] == Value::Int(10_000_000)));
     }
 
     #[test]
@@ -209,6 +231,31 @@ mod tests {
         assert!(matches!(err, PgqError::Parse(_)), "{err}");
         let err = graph_table(&g, "MATCH (x) COLUMNS x").unwrap_err();
         assert!(matches!(err, PgqError::Syntax(_)), "{err}");
+    }
+
+    #[test]
+    fn prepared_graph_table_reuses_across_graphs() {
+        let body = "MATCH (x:Account)-[t:Transfer]->(y:Account) \
+                    COLUMNS (x.owner AS sender, y.owner AS receiver)";
+        let prepared = prepare_graph_table(body, &EvalOptions::default()).unwrap();
+        let g1 = fig1();
+        let first = prepared.execute(&g1).unwrap();
+        assert_eq!(first.len(), 8); // all transfers in Figure 1
+                                    // Same prepared body over a different graph: independent result.
+        let mut g2 = property_graph::PropertyGraph::new();
+        let a = g2.add_node("a", ["Account"], [("owner", Value::str("A"))]);
+        let b = g2.add_node("b", ["Account"], [("owner", Value::str("B"))]);
+        g2.add_edge(
+            "t",
+            property_graph::Endpoints::directed(a, b),
+            ["Transfer"],
+            [],
+        );
+        let second = prepared.execute(&g2).unwrap();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second.get(0, "sender"), Some(&Value::str("A")));
+        // And re-executing over the first graph is unchanged.
+        assert_eq!(prepared.execute(&g1).unwrap(), first);
     }
 
     #[test]

@@ -24,11 +24,11 @@ pub mod view;
 
 pub use csv::CsvError;
 pub use ddl::parse_ddl;
-pub use graph_table::{graph_table, graph_table_with, PgqError};
-pub use table::{Database, Table};
-pub use view::{
-    materialize_tabulation, tabulate, EdgeTable, GraphView, VertexTable, ViewError,
+pub use graph_table::{
+    graph_table, graph_table_with, prepare_graph_table, PgqError, PreparedGraphTable,
 };
+pub use table::{Database, Table};
+pub use view::{materialize_tabulation, tabulate, EdgeTable, GraphView, VertexTable, ViewError};
 
 use std::collections::BTreeMap;
 
@@ -45,7 +45,10 @@ pub struct Catalog {
 impl Catalog {
     /// A catalog over `db`.
     pub fn new(db: Database) -> Catalog {
-        Catalog { db, ..Default::default() }
+        Catalog {
+            db,
+            ..Default::default()
+        }
     }
 
     /// The underlying database.

@@ -15,11 +15,14 @@ pub struct Table {
 
 impl Table {
     /// An empty table with the given columns.
-    pub fn new(name: impl Into<String>, columns: impl IntoIterator<Item = impl Into<String>>) -> Table {
+    pub fn new(
+        name: impl Into<String>,
+        columns: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Table {
         Table {
             name: name.into(),
             columns: columns.into_iter().map(Into::into).collect(),
-        rows: Vec::new(),
+            rows: Vec::new(),
         }
     }
 
@@ -70,7 +73,9 @@ impl Table {
 
     /// Sorts rows by the given column, ascending (a tiny ORDER BY).
     pub fn order_by(&mut self, column: &str, ascending: bool) {
-        let Some(c) = self.column_index(column) else { return };
+        let Some(c) = self.column_index(column) else {
+            return;
+        };
         self.rows.sort_by(|a, b| {
             let ord = a[c].cmp(&b[c]);
             if ascending {
@@ -103,13 +108,29 @@ impl fmt::Display for Table {
             }
         }
         for (i, c) in self.columns.iter().enumerate() {
-            write!(f, "{}{:width$}", if i > 0 { " | " } else { "" }, c, width = widths[i])?;
+            write!(
+                f,
+                "{}{:width$}",
+                if i > 0 { " | " } else { "" },
+                c,
+                width = widths[i]
+            )?;
         }
         writeln!(f)?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 3 * (widths.len().saturating_sub(1))))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 3 * (widths.len().saturating_sub(1)))
+        )?;
         for row in &rendered {
             for (i, cell) in row.iter().enumerate() {
-                write!(f, "{}{:width$}", if i > 0 { " | " } else { "" }, cell, width = widths[i])?;
+                write!(
+                    f,
+                    "{}{:width$}",
+                    if i > 0 { " | " } else { "" },
+                    cell,
+                    width = widths[i]
+                )?;
             }
             writeln!(f)?;
         }

@@ -142,7 +142,10 @@ pub struct GraphView {
 impl GraphView {
     /// An empty view named `name`.
     pub fn new(name: impl Into<String>) -> GraphView {
-        GraphView { name: name.into(), ..Default::default() }
+        GraphView {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Adds a vertex table.
@@ -167,10 +170,12 @@ impl GraphView {
             let table = db
                 .table(&v.table)
                 .ok_or_else(|| ViewError::MissingTable(v.table.clone()))?;
-            let key_col = table.column_index(&v.key).ok_or_else(|| ViewError::MissingColumn {
-                table: v.table.clone(),
-                column: v.key.clone(),
-            })?;
+            let key_col = table
+                .column_index(&v.key)
+                .ok_or_else(|| ViewError::MissingColumn {
+                    table: v.table.clone(),
+                    column: v.key.clone(),
+                })?;
             let prop_cols: Vec<(String, usize)> = v
                 .properties
                 .iter()
@@ -187,7 +192,10 @@ impl GraphView {
             for row in &table.rows {
                 let key = row[key_col].to_string();
                 if keys.contains_key(&key) {
-                    return Err(ViewError::DuplicateKey { table: v.table.clone(), key });
+                    return Err(ViewError::DuplicateKey {
+                        table: v.table.clone(),
+                        key,
+                    });
                 }
                 let props: Vec<(&str, Value)> = prop_cols
                     .iter()
@@ -204,10 +212,12 @@ impl GraphView {
                 .table(&e.table)
                 .ok_or_else(|| ViewError::MissingTable(e.table.clone()))?;
             let col = |name: &str| {
-                table.column_index(name).ok_or_else(|| ViewError::MissingColumn {
-                    table: e.table.clone(),
-                    column: name.to_owned(),
-                })
+                table
+                    .column_index(name)
+                    .ok_or_else(|| ViewError::MissingColumn {
+                        table: e.table.clone(),
+                        column: name.to_owned(),
+                    })
             };
             let key_col = col(&e.key)?;
             let src_col = col(&e.source_column)?;
@@ -219,18 +229,20 @@ impl GraphView {
                 .collect::<Result<_, _>>()?;
             for row in &table.rows {
                 let key = row[key_col].to_string();
-                let src = keys.get(&row[src_col].to_string()).copied().ok_or_else(|| {
-                    ViewError::DanglingReference {
+                let src = keys
+                    .get(&row[src_col].to_string())
+                    .copied()
+                    .ok_or_else(|| ViewError::DanglingReference {
                         table: e.table.clone(),
                         key: row[src_col].to_string(),
-                    }
-                })?;
-                let dst = keys.get(&row[dst_col].to_string()).copied().ok_or_else(|| {
-                    ViewError::DanglingReference {
+                    })?;
+                let dst = keys
+                    .get(&row[dst_col].to_string())
+                    .copied()
+                    .ok_or_else(|| ViewError::DanglingReference {
                         table: e.table.clone(),
                         key: row[dst_col].to_string(),
-                    }
-                })?;
+                    })?;
                 let endpoints = if e.directed {
                     Endpoints::directed(src, dst)
                 } else {
@@ -272,7 +284,11 @@ pub fn tabulate(g: &PropertyGraph) -> Database {
         node_groups.entry(combo.join("")).or_default().push(n);
     }
     for (combo, nodes) in node_groups {
-        let name = if combo.is_empty() { "Unlabeled".to_owned() } else { combo };
+        let name = if combo.is_empty() {
+            "Unlabeled".to_owned()
+        } else {
+            combo
+        };
         let mut props: Vec<String> = Vec::new();
         for &n in &nodes {
             for key in g.node(n).properties.keys() {
@@ -302,7 +318,11 @@ pub fn tabulate(g: &PropertyGraph) -> Database {
         edge_groups.entry(combo.join("")).or_default().push(e);
     }
     for (combo, edges) in edge_groups {
-        let name = if combo.is_empty() { "UnlabeledEdge".to_owned() } else { combo };
+        let name = if combo.is_empty() {
+            "UnlabeledEdge".to_owned()
+        } else {
+            combo
+        };
         let mut props: Vec<String> = Vec::new();
         for &e in &edges {
             for key in g.edge(e).properties.keys() {
@@ -352,12 +372,7 @@ pub fn view_of_tabulation(db: &Database) -> GraphView {
             // the caller uses `materialize_tabulation`.
             continue;
         }
-        let props: Vec<String> = t
-            .columns
-            .iter()
-            .filter(|c| *c != "ID")
-            .cloned()
-            .collect();
+        let props: Vec<String> = t.columns.iter().filter(|c| *c != "ID").cloned().collect();
         view = view.vertex(
             VertexTable::new(&t.name, "ID")
                 .labels(split_labels(&t.name))
@@ -412,14 +427,18 @@ pub fn materialize_tabulation(db: &Database) -> Result<PropertyGraph, ViewError>
             let src_key = t.get(r, "SRC").expect("SRC").to_string();
             let dst_key = t.get(r, "DST").expect("DST").to_string();
             let directed = t.get(r, "DIRECTED") == Some(&Value::Bool(true));
-            let src = *keys.get(&src_key).ok_or_else(|| ViewError::DanglingReference {
-                table: t.name.clone(),
-                key: src_key,
-            })?;
-            let dst = *keys.get(&dst_key).ok_or_else(|| ViewError::DanglingReference {
-                table: t.name.clone(),
-                key: dst_key,
-            })?;
+            let src = *keys
+                .get(&src_key)
+                .ok_or_else(|| ViewError::DanglingReference {
+                    table: t.name.clone(),
+                    key: src_key,
+                })?;
+            let dst = *keys
+                .get(&dst_key)
+                .ok_or_else(|| ViewError::DanglingReference {
+                    table: t.name.clone(),
+                    key: dst_key,
+                })?;
             let endpoints = if directed {
                 Endpoints::directed(src, dst)
             } else {
@@ -465,13 +484,8 @@ mod tests {
 
     fn mini_view() -> GraphView {
         GraphView::new("bank")
-            .vertex(
-                VertexTable::new("Account", "ID").properties(["owner", "isBlocked"]),
-            )
-            .edge(
-                EdgeTable::new("Transfer", "ID", "A_ID1", "A_ID2")
-                    .properties(["date", "amount"]),
-            )
+            .vertex(VertexTable::new("Account", "ID").properties(["owner", "isBlocked"]))
+            .edge(EdgeTable::new("Transfer", "ID", "A_ID1", "A_ID2").properties(["date", "amount"]))
     }
 
     #[test]
@@ -497,8 +511,8 @@ mod tests {
             bad.materialize(&db).err(),
             Some(ViewError::MissingTable("Ghost".into()))
         );
-        let bad = GraphView::new("x")
-            .vertex(VertexTable::new("Account", "ID").properties(["ghost"]));
+        let bad =
+            GraphView::new("x").vertex(VertexTable::new("Account", "ID").properties(["ghost"]));
         assert!(matches!(
             bad.materialize(&db),
             Err(ViewError::MissingColumn { .. })
@@ -551,7 +565,11 @@ mod tests {
     #[test]
     fn view_of_tabulation_recovers_vertex_tables() {
         let mut g = PropertyGraph::new();
-        let a = g.add_node("c2", ["City", "Country"], [("name", Value::str("Ankh-Morpork"))]);
+        let a = g.add_node(
+            "c2",
+            ["City", "Country"],
+            [("name", Value::str("Ankh-Morpork"))],
+        );
         let b = g.add_node("a1", ["Account"], [("owner", Value::str("Scott"))]);
         g.add_edge("li1", Endpoints::directed(b, a), ["isLocatedIn"], []);
         let db = tabulate(&g);
@@ -577,8 +595,8 @@ mod tests {
         let mut t = Table::new("Account", ["ID", "owner"]);
         t.push([Value::str("a1"), Value::Null]);
         db.insert(t);
-        let view = GraphView::new("g")
-            .vertex(VertexTable::new("Account", "ID").properties(["owner"]));
+        let view =
+            GraphView::new("g").vertex(VertexTable::new("Account", "ID").properties(["owner"]));
         let g = view.materialize(&db).unwrap();
         let a1 = g.node_by_name("a1").unwrap();
         // Partial π: absent property reads back as Null.

@@ -50,7 +50,10 @@ fn main() {
              RETURN p, SUM(t.amount) AS cost",
         )
         .expect("shortest query");
-    println!("  (shortest route: {} costing {})", shortest.rows[0][0], shortest.rows[0][1]);
+    println!(
+        "  (shortest route: {} costing {})",
+        shortest.rows[0][0], shortest.rows[0][1]
+    );
 
     // -- Edge-isomorphic matching across path patterns. --------------------
     // Two independent path patterns may bind the same edge under the
@@ -64,7 +67,10 @@ fn main() {
     let iso = evaluate(
         g,
         &query,
-        &EvalOptions { isomorphism: MatchIso::EdgeIsomorphic, ..EvalOptions::default() },
+        &EvalOptions {
+            isomorphism: MatchIso::EdgeIsomorphic,
+            ..EvalOptions::default()
+        },
     )
     .unwrap();
     println!(

@@ -16,12 +16,18 @@ fn main() {
     let alice = g.add_node(
         "alice",
         ["Account"],
-        [("owner", Value::str("Alice")), ("isBlocked", Value::str("no"))],
+        [
+            ("owner", Value::str("Alice")),
+            ("isBlocked", Value::str("no")),
+        ],
     );
     let bob = g.add_node(
         "bob",
         ["Account"],
-        [("owner", Value::str("Bob")), ("isBlocked", Value::str("yes"))],
+        [
+            ("owner", Value::str("Bob")),
+            ("isBlocked", Value::str("yes")),
+        ],
     );
     g.add_edge(
         "t1",
@@ -31,10 +37,9 @@ fn main() {
     );
 
     // -- 2. Parse and evaluate a pattern directly. ---------------------------
-    let pattern = parse(
-        "MATCH (x:Account WHERE x.isBlocked='no')-[t:Transfer WHERE t.amount>5M]->(y)",
-    )
-    .expect("valid GPML");
+    let pattern =
+        parse("MATCH (x:Account WHERE x.isBlocked='no')-[t:Transfer WHERE t.amount>5M]->(y)")
+            .expect("valid GPML");
     let result = evaluate(&g, &pattern, &EvalOptions::default()).expect("terminating query");
     println!("direct evaluation: {} match(es)", result.len());
     for row in result.iter() {

@@ -7,8 +7,7 @@
 
 use gpml_suite::datagen::fig1;
 use gpml_suite::pgq::{
-    materialize_tabulation, tabulate, Catalog, Database, EdgeTable, GraphView, Table,
-    VertexTable,
+    materialize_tabulation, tabulate, Catalog, Database, EdgeTable, GraphView, Table, VertexTable,
 };
 use property_graph::Value;
 

@@ -20,18 +20,21 @@
 //! Modes: `gpml` (default), `sparql` (endpoint-only), `gsql` (implicit
 //! `ALL SHORTEST`).
 
+use std::collections::HashMap;
 use std::io::BufRead;
 
 use gpml_suite::core::eval::{EvalOptions, MatchMode};
 use gpml_suite::datagen::{chain, cycle, fig1, grid, transfer_network, TransferNetworkConfig};
-use gpml_suite::gql::Session;
+use gpml_suite::gql::{PreparedGqlQuery, Session};
 use property_graph::PropertyGraph;
 
 fn usage() -> ! {
     eprintln!(
         "usage: gpml [--graph fig1|chain:N|cycle:N|grid:WxH|network:N,M,SEED|csv:DIR] \
-         [--mode gpml|sparql|gsql] [--json] [QUERY]\n\
-         With no QUERY, reads one query per line from stdin."
+         [--mode gpml|sparql|gsql] [--json] [--explain] [QUERY]\n\
+         With no QUERY, reads one query per line from stdin; repeated\n\
+         queries reuse their compiled plan. --explain prints each query's\n\
+         lowered plan before the results."
     );
     std::process::exit(2)
 }
@@ -101,11 +104,35 @@ fn load_csv_dir(dir: &str) -> Result<PropertyGraph, String> {
     Ok(catalog.graph(&name).expect("just created").clone())
 }
 
-fn run_one(session: &Session, query: &str, json: bool) {
-    // Queries without RETURN are bare matches: print binding tables.
-    let has_return = query.to_ascii_uppercase().contains("RETURN");
-    if has_return {
-        match session.execute("g", query) {
+/// Compiled plans, keyed by query text: a REPL that replays a query skips
+/// parse, analysis, and compilation and goes straight to execution.
+type PlanCache = HashMap<String, PreparedGqlQuery>;
+
+/// Bound on distinct cached plans; past it the cache resets, so a piped
+/// stream of unique queries cannot grow memory without limit.
+const PLAN_CACHE_CAP: usize = 256;
+
+fn run_one(session: &Session, cache: &mut PlanCache, query: &str, json: bool, explain: bool) {
+    if !cache.contains_key(query) {
+        match session.prepare(query) {
+            Ok(p) => {
+                if cache.len() >= PLAN_CACHE_CAP {
+                    cache.clear();
+                }
+                cache.insert(query.to_owned(), p);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return;
+            }
+        }
+    }
+    let prepared = &cache[query];
+    if explain {
+        eprintln!("{}", prepared.plan());
+    }
+    if prepared.has_return() {
+        match session.execute_prepared("g", prepared) {
             Ok(result) => {
                 if json {
                     println!("{}", result.to_json());
@@ -122,7 +149,7 @@ fn run_one(session: &Session, query: &str, json: bool) {
         }
         return;
     }
-    match session.match_bindings("g", query) {
+    match session.match_prepared("g", prepared) {
         Ok(rows) => {
             let g = session.graph("g").expect("registered");
             if json {
@@ -152,6 +179,7 @@ fn main() {
     let mut graph_spec = "fig1".to_owned();
     let mut mode = MatchMode::Gpml;
     let mut json = false;
+    let mut explain = false;
     let mut query: Option<String> = None;
 
     let mut it = args.into_iter();
@@ -167,6 +195,7 @@ fn main() {
                 }
             }
             "--json" => json = true,
+            "--explain" => explain = true,
             "--help" | "-h" => usage(),
             q if query.is_none() && !q.starts_with("--") => query = Some(q.to_owned()),
             _ => usage(),
@@ -186,12 +215,15 @@ fn main() {
         graph.edge_count()
     );
 
-    let mut session =
-        Session::with_options(EvalOptions { mode, ..EvalOptions::default() });
+    let mut session = Session::with_options(EvalOptions {
+        mode,
+        ..EvalOptions::default()
+    });
     session.register("g", graph);
 
+    let mut cache = PlanCache::new();
     match query {
-        Some(q) => run_one(&session, &q, json),
+        Some(q) => run_one(&session, &mut cache, &q, json, explain),
         None => {
             eprintln!("reading queries from stdin (one per line; Ctrl-D to quit)");
             for line in std::io::stdin().lock().lines() {
@@ -200,7 +232,7 @@ fn main() {
                 if line.is_empty() {
                     continue;
                 }
-                run_one(&session, line, json);
+                run_one(&session, &mut cache, line, json, explain);
             }
         }
     }

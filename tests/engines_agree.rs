@@ -1,12 +1,14 @@
-//! Property tests: the production engine and the §6 spec-literal baseline
-//! compute the same reduced, deduplicated, selected binding sets on random
-//! graphs and random patterns.
+//! Property tests: the §6 spec-literal baseline, the one-shot production
+//! entry point (`evaluate`), and a *reused* `PreparedQuery` all compute
+//! the same reduced, deduplicated, selected binding sets on random graphs
+//! and random patterns.
 
 use proptest::prelude::*;
 
 use gpml_suite::core::ast::*;
 use gpml_suite::core::binding::MatchRow;
 use gpml_suite::core::eval::{evaluate, EvalOptions};
+use gpml_suite::core::plan::prepare;
 use gpml_suite::core::{baseline, GraphPattern};
 use gpml_suite::datagen::small_mixed;
 use property_graph::PropertyGraph;
@@ -27,6 +29,40 @@ fn sorted(ms: gpml_suite::core::MatchSet) -> Vec<MatchRow> {
 fn check_agreement(g: &PropertyGraph, pattern: &GraphPattern) {
     let a = evaluate(g, pattern, &opts());
     let b = baseline::evaluate(g, pattern, &opts());
+
+    // Three-way: a PreparedQuery executed twice must (a) reject exactly
+    // when one-shot evaluation rejects statically, (b) agree with the
+    // one-shot result, and (c) be unaffected by its own reuse.
+    match prepare(pattern, &opts()) {
+        Ok(prepared) => {
+            let first = prepared.execute(g);
+            let second = prepared.execute(g);
+            match (&first, &second) {
+                (Ok(x), Ok(y)) => {
+                    assert_eq!(
+                        x, y,
+                        "re-executing a PreparedQuery changed its result on {pattern}"
+                    )
+                }
+                (Err(_), Err(_)) => {}
+                _ => panic!("PreparedQuery reuse changed success on {pattern}"),
+            }
+            match (&a, &first) {
+                (Ok(x), Ok(y)) => assert_eq!(
+                    sorted(x.clone()),
+                    sorted(y.clone()),
+                    "one-shot evaluate and PreparedQuery disagree on {pattern}"
+                ),
+                (Err(_), Err(_)) => {}
+                _ => panic!("one-shot evaluate and PreparedQuery split on {pattern}"),
+            }
+        }
+        Err(_) => assert!(
+            a.is_err(),
+            "prepare rejected what evaluate accepted: {pattern}"
+        ),
+    }
+
     match (a, b) {
         (Ok(x), Ok(y)) => {
             assert_eq!(
@@ -75,17 +111,30 @@ fn label() -> impl Strategy<Value = Option<LabelExpr>> {
 }
 
 fn node_pat(node_vars: bool) -> impl Strategy<Value = NodePattern> {
-    (if node_vars { var().boxed() } else { Just(None).boxed() }, label()).prop_map(
-        |(var, label)| {
-            let var = var.filter(|v| !v.starts_with('e') && !v.starts_with('f'));
-            NodePattern { var, label, predicate: None }
+    (
+        if node_vars {
+            var().boxed()
+        } else {
+            Just(None).boxed()
         },
+        label(),
     )
+        .prop_map(|(var, label)| {
+            let var = var.filter(|v| !v.starts_with('e') && !v.starts_with('f'));
+            NodePattern {
+                var,
+                label,
+                predicate: None,
+            }
+        })
 }
 
 fn edge_pat() -> impl Strategy<Value = EdgePattern> {
     (
-        proptest::option::of(proptest::sample::select(vec!["e".to_owned(), "f".to_owned()])),
+        proptest::option::of(proptest::sample::select(vec![
+            "e".to_owned(),
+            "f".to_owned(),
+        ])),
         label(),
         proptest::sample::select(Direction::ALL.to_vec()),
         proptest::option::of(0i64..4),
@@ -101,15 +150,18 @@ fn edge_pat() -> impl Strategy<Value = EdgePattern> {
                 )),
                 _ => None,
             };
-            EdgePattern { var, label, predicate, direction }
+            EdgePattern {
+                var,
+                label,
+                predicate,
+                direction,
+            }
         })
 }
 
 /// A step: edge or edge+node.
 fn step() -> impl Strategy<Value = Vec<PathPattern>> {
-    (edge_pat(), node_pat(true)).prop_map(|(e, n)| {
-        vec![PathPattern::Edge(e), PathPattern::Node(n)]
-    })
+    (edge_pat(), node_pat(true)).prop_map(|(e, n)| vec![PathPattern::Edge(e), PathPattern::Node(n)])
 }
 
 /// A linear chain pattern `(n) (step)*`.
@@ -160,15 +212,17 @@ fn quantified_pattern() -> impl Strategy<Value = (Option<Restrictor>, Option<Sel
             Selector::Any,
         ])),
     )
-        .prop_map(|(first, body, (q, unbounded), last, restrictor, selector)| {
-            let pattern = PathPattern::concat(vec![
-                PathPattern::Node(first),
-                body.quantified(q),
-                PathPattern::Node(last),
-            ]);
-            let restrictor = if unbounded { restrictor } else { None };
-            (restrictor, selector, pattern)
-        })
+        .prop_map(
+            |(first, body, (q, unbounded), last, restrictor, selector)| {
+                let pattern = PathPattern::concat(vec![
+                    PathPattern::Node(first),
+                    body.quantified(q),
+                    PathPattern::Node(last),
+                ]);
+                let restrictor = if unbounded { restrictor } else { None };
+                (restrictor, selector, pattern)
+            },
+        )
 }
 
 fn union_pattern() -> impl Strategy<Value = PathPattern> {
@@ -183,6 +237,61 @@ fn union_pattern() -> impl Strategy<Value = PathPattern> {
                 PathPattern::Union(branches)
             }
         })
+}
+
+/// One `PreparedQuery`, many graphs: executions must be independent (no
+/// state leaks between graphs) and each must match a fresh evaluation.
+#[test]
+fn prepared_query_is_independent_across_graphs() {
+    // (s)-[e]->(m)-[f]->(t): sensitive to topology, joins included.
+    let pattern = GraphPattern {
+        paths: vec![
+            PathPatternExpr::plain(PathPattern::concat(vec![
+                PathPattern::Node(NodePattern::var("s")),
+                PathPattern::Edge(EdgePattern::any(Direction::Right).with_var("e")),
+                PathPattern::Node(NodePattern::var("m")),
+            ])),
+            PathPatternExpr::plain(PathPattern::concat(vec![
+                PathPattern::Node(NodePattern::var("m")),
+                PathPattern::Edge(EdgePattern::any(Direction::Right).with_var("f")),
+                PathPattern::Node(NodePattern::var("t")),
+            ])),
+        ],
+        where_clause: None,
+    };
+    let prepared = prepare(&pattern, &opts()).unwrap();
+    let graphs: Vec<PropertyGraph> = (0..6).map(|s| small_mixed(s, 5, 8)).collect();
+
+    // Interleave executions across all graphs, twice over, and check each
+    // against a fresh one-shot evaluation of the same pattern.
+    let expected: Vec<_> = graphs
+        .iter()
+        .map(|g| sorted(evaluate(g, &pattern, &opts()).unwrap()))
+        .collect();
+    for round in 0..2 {
+        for (g, want) in graphs.iter().zip(&expected) {
+            let got = sorted(prepared.execute(g).unwrap());
+            assert_eq!(&got, want, "round {round}: prepared execution diverged");
+        }
+    }
+}
+
+/// The GQL host's prepared statements reuse one plan across catalogs.
+#[test]
+fn gql_prepared_statement_reuses_across_graphs() {
+    use gpml_suite::gql::Session;
+    let mut session = Session::new();
+    session.register("small", gpml_suite::datagen::chain(2));
+    session.register("big", gpml_suite::datagen::chain(6));
+    let q = session
+        .prepare("MATCH (a:Account)-[t:Transfer]->(b) RETURN a.owner AS o ORDER BY o")
+        .unwrap();
+    let small = session.execute_prepared("small", &q).unwrap();
+    let big = session.execute_prepared("big", &q).unwrap();
+    assert_eq!(small.len(), 2);
+    assert_eq!(big.len(), 6);
+    // Replaying against the first graph after the second: unchanged.
+    assert_eq!(session.execute_prepared("small", &q).unwrap(), small);
 }
 
 proptest! {

@@ -28,9 +28,24 @@ fn toll_roads() -> PropertyGraph {
     let a = g.add_node("a", ["City"], []);
     let b = g.add_node("b", ["City"], []);
     let c = g.add_node("c", ["City"], []);
-    g.add_edge("direct", Endpoints::directed(a, b), ["Road"], [("toll", Value::Int(10))]);
-    g.add_edge("leg1", Endpoints::directed(a, c), ["Road"], [("toll", Value::Int(1))]);
-    g.add_edge("leg2", Endpoints::directed(c, b), ["Road"], [("toll", Value::Int(2))]);
+    g.add_edge(
+        "direct",
+        Endpoints::directed(a, b),
+        ["Road"],
+        [("toll", Value::Int(10))],
+    );
+    g.add_edge(
+        "leg1",
+        Endpoints::directed(a, c),
+        ["Road"],
+        [("toll", Value::Int(1))],
+    );
+    g.add_edge(
+        "leg2",
+        Endpoints::directed(c, b),
+        ["Road"],
+        [("toll", Value::Int(2))],
+    );
     g
 }
 
@@ -46,10 +61,7 @@ fn any_cheapest_prefers_cheap_detour_over_short_direct() {
         &g,
         "MATCH ANY SHORTEST TRAIL p = (a WHERE a.owner IS NULL)-[r:Road]->*(b)",
     );
-    let cheapest = run(
-        &g,
-        "MATCH ANY CHEAPEST(toll) TRAIL p = (x)-[r:Road]->*(y)",
-    );
+    let cheapest = run(&g, "MATCH ANY CHEAPEST(toll) TRAIL p = (x)-[r:Road]->*(y)");
     // Partition (a, b): shortest is the direct hop, cheapest the detour.
     let path_for = |rs: &MatchSet, len: usize| {
         rs.iter()
@@ -120,14 +132,18 @@ fn edge_isomorphic_forbids_sharing_edges_across_patterns() {
                  (c)-[f:Transfer]->(d WHERE d.owner='Mike')";
     // Homomorphic: e and f may both match t1 (a1→a3).
     let hom = run(&g, query);
-    assert!(hom
-        .iter()
-        .any(|r| r.get("e") == r.get("f")), "homomorphic match may share");
+    assert!(
+        hom.iter().any(|r| r.get("e") == r.get("f")),
+        "homomorphic match may share"
+    );
     // Edge-isomorphic: they must differ.
     let iso = run_with(
         &g,
         query,
-        &EvalOptions { isomorphism: MatchIso::EdgeIsomorphic, ..EvalOptions::default() },
+        &EvalOptions {
+            isomorphism: MatchIso::EdgeIsomorphic,
+            ..EvalOptions::default()
+        },
     );
     assert!(!iso.is_empty());
     assert!(iso.iter().all(|r| r.get("e") != r.get("f")));
@@ -149,7 +165,10 @@ fn edge_isomorphic_requires_trails_within_one_pattern() {
     let iso = run_with(
         &g,
         query,
-        &EvalOptions { isomorphism: MatchIso::EdgeIsomorphic, ..EvalOptions::default() },
+        &EvalOptions {
+            isomorphism: MatchIso::EdgeIsomorphic,
+            ..EvalOptions::default()
+        },
     );
     assert!(iso.is_empty());
 }
@@ -160,7 +179,10 @@ fn edge_isomorphic_requires_trails_within_one_pattern() {
 
 #[test]
 fn deferred_restrictors_agree_with_pruned_search() {
-    let deferred = EvalOptions { defer_restrictors: true, ..EvalOptions::default() };
+    let deferred = EvalOptions {
+        defer_restrictors: true,
+        ..EvalOptions::default()
+    };
     for seed in 0..30u64 {
         let g = small_mixed(seed, 5, 8);
         for query in [
@@ -184,7 +206,10 @@ fn deferred_restrictors_agree_with_pruned_search() {
 #[test]
 fn deferred_restrictors_on_paper_examples() {
     let g = fig1();
-    let deferred = EvalOptions { defer_restrictors: true, ..EvalOptions::default() };
+    let deferred = EvalOptions {
+        defer_restrictors: true,
+        ..EvalOptions::default()
+    };
     let rs = run_with(
         &g,
         "MATCH TRAIL p = (a WHERE a.owner='Dave')-[t:Transfer]->*\
@@ -214,7 +239,9 @@ fn cheapest_selectors_roundtrip() {
             .unwrap()
             .paths[0]
             .selector,
-        Some(Selector::AnyCheapest { weight: "toll".into() })
+        Some(Selector::AnyCheapest {
+            weight: "toll".into()
+        })
     );
 }
 
@@ -277,10 +304,8 @@ fn exists_correlates_on_shared_variables_only() {
 #[test]
 fn exists_in_prefilter_is_rejected() {
     let g = pets();
-    let pattern = parse(
-        "MATCH (a:Person WHERE EXISTS { (a)-[:owns]->(:Dog) })-[:owns]->(:Cat)",
-    )
-    .unwrap();
+    let pattern =
+        parse("MATCH (a:Person WHERE EXISTS { (a)-[:owns]->(:Dog) })-[:owns]->(:Cat)").unwrap();
     let err = evaluate(&g, &pattern, &EvalOptions::default()).unwrap_err();
     assert!(matches!(err, Error::Unsupported(_)), "{err}");
 }
@@ -288,10 +313,7 @@ fn exists_in_prefilter_is_rejected() {
 #[test]
 fn exists_subquery_must_itself_terminate() {
     let g = pets();
-    let pattern = parse(
-        "MATCH (a:Person) WHERE EXISTS { (a)-[e]->*(b) }",
-    )
-    .unwrap();
+    let pattern = parse("MATCH (a:Person) WHERE EXISTS { (a)-[e]->*(b) }").unwrap();
     let err = evaluate(&g, &pattern, &EvalOptions::default()).unwrap_err();
     assert!(matches!(err, Error::UnboundedQuantifier { .. }), "{err}");
 }

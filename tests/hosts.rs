@@ -5,7 +5,7 @@
 use gpml_suite::core::eval::{EvalOptions, MatchMode};
 use gpml_suite::datagen::{fig1, transfer_network, TransferNetworkConfig};
 use gpml_suite::gql::{GqlValue, Session};
-use gpml_suite::pgq::{graph_table, tabulate, materialize_tabulation};
+use gpml_suite::pgq::{graph_table, materialize_tabulation, tabulate};
 use property_graph::Value;
 
 fn session() -> Session {
@@ -31,7 +31,10 @@ fn order_by_unprojected_expression() {
     assert_eq!(r.len(), 3);
     let owners: Vec<String> = r.rows.iter().map(|row| row[0].to_string()).collect();
     for o in &owners {
-        assert!(["Mike", "Aretha", "Jay", "Dave"].contains(&o.as_str()), "{o}");
+        assert!(
+            ["Mike", "Aretha", "Jay", "Dave"].contains(&o.as_str()),
+            "{o}"
+        );
     }
 }
 
@@ -42,7 +45,10 @@ fn skip_and_limit_paginate() {
         .execute("bank", "MATCH (x:Account) RETURN x.owner AS o ORDER BY o")
         .unwrap();
     let page1 = s
-        .execute("bank", "MATCH (x:Account) RETURN x.owner AS o ORDER BY o LIMIT 2")
+        .execute(
+            "bank",
+            "MATCH (x:Account) RETURN x.owner AS o ORDER BY o LIMIT 2",
+        )
         .unwrap();
     let page2 = s
         .execute(
@@ -101,8 +107,14 @@ fn aggregates_in_return_items() {
         r.get(0, "total"),
         Some(&GqlValue::Scalar(Value::Int(20_000_000)))
     );
-    assert_eq!(r.get(0, "lo"), Some(&GqlValue::Scalar(Value::Int(10_000_000))));
-    assert_eq!(r.get(0, "hi"), Some(&GqlValue::Scalar(Value::Int(10_000_000))));
+    assert_eq!(
+        r.get(0, "lo"),
+        Some(&GqlValue::Scalar(Value::Int(10_000_000)))
+    );
+    assert_eq!(
+        r.get(0, "hi"),
+        Some(&GqlValue::Scalar(Value::Int(10_000_000)))
+    );
     assert_eq!(
         r.get(0, "mean"),
         Some(&GqlValue::Scalar(Value::Float(10_000_000.0)))

@@ -15,10 +15,19 @@ fn max_matches_limit_is_enforced() {
         seed: 1,
     });
     let pattern = parse("MATCH TRAIL (a)-[t:Transfer]->+(b)").unwrap();
-    let opts = EvalOptions { max_matches: 50, ..EvalOptions::default() };
+    let opts = EvalOptions {
+        max_matches: 50,
+        ..EvalOptions::default()
+    };
     let err = evaluate(&g, &pattern, &opts).unwrap_err();
     assert!(
-        matches!(err, Error::LimitExceeded { what: "matches", .. }),
+        matches!(
+            err,
+            Error::LimitExceeded {
+                what: "matches",
+                ..
+            }
+        ),
         "{err}"
     );
 }
@@ -27,10 +36,19 @@ fn max_matches_limit_is_enforced() {
 fn max_frontier_limit_is_enforced() {
     let g = cycle(12);
     let pattern = parse("MATCH TRAIL (a)-[t:Transfer]->+(b)").unwrap();
-    let opts = EvalOptions { max_frontier: 4, ..EvalOptions::default() };
+    let opts = EvalOptions {
+        max_frontier: 4,
+        ..EvalOptions::default()
+    };
     let err = evaluate(&g, &pattern, &opts).unwrap_err();
     assert!(
-        matches!(err, Error::LimitExceeded { what: "frontier states", .. }),
+        matches!(
+            err,
+            Error::LimitExceeded {
+                what: "frontier states",
+                ..
+            }
+        ),
         "{err}"
     );
 }
@@ -46,7 +64,10 @@ fn max_path_length_truncates_depth_not_correctness() {
     let capped = evaluate(
         &g,
         &pattern,
-        &EvalOptions { max_path_length: 100, ..EvalOptions::default() },
+        &EvalOptions {
+            max_path_length: 100,
+            ..EvalOptions::default()
+        },
     )
     .unwrap();
     assert_eq!(unlimited.len(), capped.len());
@@ -58,7 +79,10 @@ fn baseline_budget_limit_is_reported() {
     // it fail with the limit error rather than looping.
     let g = cycle(8);
     let pattern = parse("MATCH TRAIL (a)-[t:Transfer]->+(b)").unwrap();
-    let opts = EvalOptions { max_matches: 3, ..EvalOptions::default() };
+    let opts = EvalOptions {
+        max_matches: 3,
+        ..EvalOptions::default()
+    };
     let err = baseline::evaluate(&g, &pattern, &opts).unwrap_err();
     assert!(matches!(err, Error::LimitExceeded { .. }), "{err}");
 }
@@ -68,7 +92,11 @@ fn static_errors_take_priority_over_search() {
     // Analysis failures must surface before any matching happens, even
     // with absurdly small limits.
     let g = fig1();
-    let opts = EvalOptions { max_matches: 0, max_frontier: 0, ..EvalOptions::default() };
+    let opts = EvalOptions {
+        max_matches: 0,
+        max_frontier: 0,
+        ..EvalOptions::default()
+    };
     let pattern = parse("MATCH (x)-[e]->*(y)").unwrap();
     let err = evaluate(&g, &pattern, &opts).unwrap_err();
     assert!(matches!(err, Error::UnboundedQuantifier { .. }), "{err}");
@@ -83,7 +111,10 @@ fn error_messages_are_actionable() {
             "MATCH ALL SHORTEST [ (x)-[e]->*(y) WHERE COUNT(e.*) > 1 ]",
             "final WHERE",
         ),
-        ("MATCH [(x)->(y)] | [(x)->(z)], (y)->(w)", "conditional singleton"),
+        (
+            "MATCH [(x)->(y)] | [(x)->(z)], (y)->(w)",
+            "conditional singleton",
+        ),
         ("MATCH (x)-[x]->(y)", "both a node and an edge"),
     ];
     for (q, needle) in cases {

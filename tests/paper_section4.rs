@@ -130,10 +130,9 @@ fn two_hop_paths_include_the_paper_sample() {
     let g = fig1();
     let rs = run(&g, "MATCH (s)-[e]->(m)-[f]->(t)");
     // The §4.2 sample binding s↦a1, e↦t1, m↦a3, f↦t2, t↦a2.
-    let found = rs.iter().any(|r| {
-        names(&g, r, &["s", "e", "m", "f", "t"])
-            == ["a1", "t1", "a3", "t2", "a2"]
-    });
+    let found = rs
+        .iter()
+        .any(|r| names(&g, r, &["s", "e", "m", "f", "t"]) == ["a1", "t1", "a3", "t2", "a2"]);
     assert!(found, "sample binding missing");
 }
 
@@ -175,10 +174,7 @@ fn same_phone_transfers_match_the_paper_exactly() {
     rows.sort();
     assert_eq!(
         rows,
-        vec![
-            vec!["p1", "a5", "t8", "a1"],
-            vec!["p2", "a3", "t2", "a2"],
-        ]
+        vec![vec!["p1", "a5", "t8", "a1"], vec!["p2", "a3", "t2", "a2"],]
     );
 }
 
@@ -293,7 +289,9 @@ fn group_variable_aggregation_sum_over_10m() {
     assert!(filtered.len() < all.len());
     // Each surviving row really sums above 10M.
     for r in filtered.iter() {
-        let Some(BoundValue::EdgeGroup(es)) = r.get("t") else { panic!() };
+        let Some(BoundValue::EdgeGroup(es)) = r.get("t") else {
+            panic!()
+        };
         let sum: i64 = es
             .iter()
             .map(|e| match g.edge(*e).property("amount") {
@@ -429,9 +427,6 @@ fn same_and_all_different() {
     );
     assert_eq!(rs.len(), 3);
     // SAME(s, s1) never holds (no transfer self-loop).
-    let rs = run(
-        &g,
-        "MATCH (s)-[:Transfer]->(s1) WHERE SAME(s, s1)",
-    );
+    let rs = run(&g, "MATCH (s)-[:Transfer]->(s1) WHERE SAME(s, s1)");
     assert!(rs.is_empty());
 }

@@ -78,10 +78,7 @@ fn acyclic_forbids_the_third_trail() {
     );
     assert_eq!(
         paths_of(&g, &rs, "p"),
-        vec![
-            "path(a6,t5,a3,t2,a2)",
-            "path(a6,t6,a5,t8,a1,t1,a3,t2,a2)",
-        ]
+        vec!["path(a6,t5,a3,t2,a2)", "path(a6,t6,a5,t8,a1,t1,a3,t2,a2)",]
     );
 }
 

@@ -70,8 +70,7 @@ fn final_result_has_exactly_two_reduced_bindings() {
 fn union_form_equals_label_disjunction_form() {
     let g = fig1();
     // §6.5: "our running query is equivalent to ... (c:City|Country)".
-    let rewritten =
-        "MATCH TRAIL (a WHERE a.owner='Jay') [-[b:Transfer WHERE b.amount>5M]->]+ \
+    let rewritten = "MATCH TRAIL (a WHERE a.owner='Jay') [-[b:Transfer WHERE b.amount>5M]->]+ \
          (a)-[:isLocatedIn]->(c:City|Country)";
     assert_eq!(
         sorted_rows(&run(&g, RUNNING_QUERY)),
@@ -84,8 +83,7 @@ fn multiset_alternation_keeps_four_bindings() {
     let g = fig1();
     // §6.5: "To avoid deduplication and to maintain four reduced path
     // bindings in the output, one could use multiset alternation".
-    let alt =
-        "MATCH TRAIL (a WHERE a.owner='Jay') [-[b:Transfer WHERE b.amount>5M]->]+ \
+    let alt = "MATCH TRAIL (a WHERE a.owner='Jay') [-[b:Transfer WHERE b.amount>5M]->]+ \
          (a) [-[:isLocatedIn]->(c:City) |+| -[:isLocatedIn]->(c:Country)]";
     assert_eq!(run(&g, alt).len(), 4);
 }
@@ -95,8 +93,7 @@ fn all_shortest_variant_keeps_one_binding() {
     let g = fig1();
     // §6.5 "Using selectors": ALL SHORTEST keeps only the 4-transfer
     // binding per endpoint pair.
-    let sel =
-        "MATCH ALL SHORTEST (a WHERE a.owner='Jay') [-[b:Transfer WHERE b.amount>5M]->]+ \
+    let sel = "MATCH ALL SHORTEST (a WHERE a.owner='Jay') [-[b:Transfer WHERE b.amount>5M]->]+ \
          (a) [-[:isLocatedIn]->(c:City) | -[:isLocatedIn]->(c:Country)]";
     let rs = run(&g, sel);
     assert_eq!(rs.len(), 1);
@@ -111,15 +108,13 @@ fn acyclic_would_reject_both_seven_transfer_bindings() {
     let g = fig1();
     // §6.4: the 7-transfer bindings repeat node a3, so ACYCLIC leaves
     // only the 4-transfer one.
-    let acyclic =
-        "MATCH ACYCLIC (a WHERE a.owner='Jay') [-[b:Transfer WHERE b.amount>5M]->]+ \
+    let acyclic = "MATCH ACYCLIC (a WHERE a.owner='Jay') [-[b:Transfer WHERE b.amount>5M]->]+ \
          (a) [-[:isLocatedIn]->(c:City) | -[:isLocatedIn]->(c:Country)]";
     let rs = run(&g, acyclic);
     // NB: under ACYCLIC the loop a4→...→a4 repeats its endpoint — the
     // paper's SIMPLE would allow it, ACYCLIC does not.
     assert!(rs.is_empty());
-    let simple =
-        "MATCH SIMPLE (a WHERE a.owner='Jay') [-[b:Transfer WHERE b.amount>5M]->]+ \
+    let simple = "MATCH SIMPLE (a WHERE a.owner='Jay') [-[b:Transfer WHERE b.amount>5M]->]+ \
          (a) [-[:isLocatedIn]->(c:City) | -[:isLocatedIn]->(c:Country)]";
     // SIMPLE allows first = last... but the trailing isLocatedIn hop
     // leaves the loop, so the walk revisits a4 mid-path: also empty.
@@ -141,10 +136,12 @@ fn baseline_engine_agrees_on_the_running_query() {
         sorted_rows(&run(&g, RUNNING_QUERY)),
         sorted_rows(&run_baseline(&g, RUNNING_QUERY))
     );
-    let alt =
-        "MATCH TRAIL (a WHERE a.owner='Jay') [-[b:Transfer WHERE b.amount>5M]->]+ \
+    let alt = "MATCH TRAIL (a WHERE a.owner='Jay') [-[b:Transfer WHERE b.amount>5M]->]+ \
          (a) [-[:isLocatedIn]->(c:City) |+| -[:isLocatedIn]->(c:Country)]";
-    assert_eq!(sorted_rows(&run(&g, alt)), sorted_rows(&run_baseline(&g, alt)));
+    assert_eq!(
+        sorted_rows(&run(&g, alt)),
+        sorted_rows(&run_baseline(&g, alt))
+    );
 }
 
 #[test]
@@ -188,7 +185,10 @@ fn first_transfer_part_matches_only_t4() {
     let r = &rs.rows[0];
     assert_eq!(r.get("a").unwrap().display(&g).to_string(), "a4");
     assert_eq!(r.get("b").unwrap().display(&g).to_string(), "t4");
-    assert_eq!(r.get("x").unwrap().display(&g).to_string(), "a4".replace("a4", "a6"));
+    assert_eq!(
+        r.get("x").unwrap().display(&g).to_string(),
+        "a4".replace("a4", "a6")
+    );
 }
 
 #[test]

@@ -16,13 +16,17 @@ fn assert_graphs_equal(a: &PropertyGraph, b: &PropertyGraph) {
     assert_eq!(a.edge_count(), b.edge_count());
     for n in a.nodes() {
         let name = &a.node(n).name;
-        let m = b.node_by_name(name).unwrap_or_else(|| panic!("missing node {name}"));
+        let m = b
+            .node_by_name(name)
+            .unwrap_or_else(|| panic!("missing node {name}"));
         assert_eq!(a.node(n).labels, b.node(m).labels, "{name}");
         assert_eq!(a.node(n).properties, b.node(m).properties, "{name}");
     }
     for e in a.edges() {
         let name = &a.edge(e).name;
-        let f = b.edge_by_name(name).unwrap_or_else(|| panic!("missing edge {name}"));
+        let f = b
+            .edge_by_name(name)
+            .unwrap_or_else(|| panic!("missing edge {name}"));
         assert_eq!(a.edge(e).labels, b.edge(f).labels, "{name}");
         assert_eq!(a.edge(e).properties, b.edge(f).properties, "{name}");
         let (s1, d1) = a.edge(e).endpoints.pair();
@@ -151,8 +155,7 @@ fn create_property_graph_over_hand_written_tables() {
         GraphView::new("bank")
             .vertex(VertexTable::new("Account", "ID").properties(["owner", "isBlocked"]))
             .edge(
-                EdgeTable::new("Transfer", "ID", "A_ID1", "A_ID2")
-                    .properties(["date", "amount"]),
+                EdgeTable::new("Transfer", "ID", "A_ID1", "A_ID2").properties(["date", "amount"]),
             ),
     )
     .unwrap();

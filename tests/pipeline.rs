@@ -18,7 +18,10 @@ fn var() -> impl Strategy<Value = Option<String>> {
 }
 
 fn edge_var() -> impl Strategy<Value = Option<String>> {
-    proptest::option::of(proptest::sample::select(vec!["e".to_owned(), "f".to_owned()]))
+    proptest::option::of(proptest::sample::select(vec![
+        "e".to_owned(),
+        "f".to_owned(),
+    ]))
 }
 
 fn label() -> impl Strategy<Value = Option<LabelExpr>> {
@@ -51,7 +54,12 @@ fn node_pat() -> impl Strategy<Value = NodePattern> {
                     predicate,
                 })
                 .boxed(),
-            None => Just(NodePattern { var, label, predicate: None }).boxed(),
+            None => Just(NodePattern {
+                var,
+                label,
+                predicate: None,
+            })
+            .boxed(),
         }
     })
 }
@@ -71,9 +79,13 @@ fn edge_pat() -> impl Strategy<Value = EdgePattern> {
                     direction,
                 })
                 .boxed(),
-            None => {
-                Just(EdgePattern { var, label, predicate: None, direction }).boxed()
-            }
+            None => Just(EdgePattern {
+                var,
+                label,
+                predicate: None,
+                direction,
+            })
+            .boxed(),
         })
 }
 
@@ -93,7 +105,11 @@ fn pattern() -> impl Strategy<Value = PathPattern> {
                 // Strip the variable: a quantified edge var becomes a
                 // group, which is fine, but keep the generator simple and
                 // collision-free with the chain's singleton edge vars.
-                let e = EdgePattern { var: None, predicate: None, ..e };
+                let e = EdgePattern {
+                    var: None,
+                    predicate: None,
+                    ..e
+                };
                 parts.push(
                     PathPattern::Edge(e).quantified(Quantifier::range(min, Some(min + span))),
                 );

@@ -54,7 +54,10 @@ fn sparql_rendering_endpoint_semantics() {
     let rs = run_with(
         &g,
         &fig4("ALL SHORTEST"),
-        &EvalOptions { mode: MatchMode::EndpointOnly, ..EvalOptions::default() },
+        &EvalOptions {
+            mode: MatchMode::EndpointOnly,
+            ..EvalOptions::default()
+        },
     );
     assert_eq!(
         owner_pairs(&g, &rs),
@@ -164,7 +167,10 @@ fn gsql_rendering_default_all_shortest() {
     let implicit = run_with(
         &g,
         &fig4(""),
-        &EvalOptions { mode: MatchMode::GsqlDefault, ..EvalOptions::default() },
+        &EvalOptions {
+            mode: MatchMode::GsqlDefault,
+            ..EvalOptions::default()
+        },
     );
     let explicit = run(&g, &fig4("ALL SHORTEST"));
     assert_eq!(owner_pairs(&g, &implicit), owner_pairs(&g, &explicit));
@@ -179,12 +185,18 @@ fn all_three_modes_agree_on_reachability() {
     let sparql = run_with(
         &g,
         &fig4("ALL SHORTEST"),
-        &EvalOptions { mode: MatchMode::EndpointOnly, ..EvalOptions::default() },
+        &EvalOptions {
+            mode: MatchMode::EndpointOnly,
+            ..EvalOptions::default()
+        },
     );
     let gsql = run_with(
         &g,
         &fig4(""),
-        &EvalOptions { mode: MatchMode::GsqlDefault, ..EvalOptions::default() },
+        &EvalOptions {
+            mode: MatchMode::GsqlDefault,
+            ..EvalOptions::default()
+        },
     );
     let expected = vec![
         ("Aretha".to_owned(), "Jay".to_owned()),

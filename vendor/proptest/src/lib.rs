@@ -1,0 +1,715 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements the API subset the workspace's property tests use:
+//! [`Strategy`] with `prop_map` / `prop_filter` / `prop_flat_map` /
+//! `prop_recursive` / `boxed`, [`Just`], tuple and integer-range
+//! strategies, regex-ish `&str` string strategies, the
+//! `proptest::{option, sample, collection, bool, num, char}` helper
+//! modules, and the `proptest!` / `prop_oneof!` / `prop_assert!` /
+//! `prop_assert_eq!` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the assertion message;
+//!   the per-test RNG is seeded deterministically from the test name, so
+//!   failures reproduce run-to-run.
+//! * **Uniform-ish generation.** Recursive strategies decay geometrically
+//!   with depth instead of upstream's size-budget machinery.
+//! * `&str` strategies support the character-class subset the workspace
+//!   uses (`[a-z]`, `[ -~]`, literals, `{m,n}` / `{n}` / `?` / `*` / `+`),
+//!   not full regex.
+
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic generator handed to strategies (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn seed_from(name: &str) -> TestRng {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            state: h ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and combinators
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing `pred` (bounded retries).
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            pred,
+            reason: reason.into(),
+        }
+    }
+
+    /// Generates a value, then generates from the strategy it selects.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+    }
+
+    /// Builds recursive structures: `self` is the leaf case and `recurse`
+    /// wraps an inner strategy into the recursive cases. The probability
+    /// of recursing decays with remaining `depth`.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        let leaf = Rc::new(self.boxed());
+        let recurse = Rc::new(recurse);
+        recursive_levels(leaf, recurse, depth)
+    }
+}
+
+fn recursive_levels<T, R, F>(
+    leaf: Rc<BoxedStrategy<T>>,
+    recurse: Rc<F>,
+    depth: u32,
+) -> BoxedStrategy<T>
+where
+    T: 'static,
+    R: Strategy<Value = T> + 'static,
+    F: Fn(BoxedStrategy<T>) -> R + 'static,
+{
+    BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+        if depth == 0 || rng.unit() < 0.4 {
+            leaf.generate(rng)
+        } else {
+            let inner = recursive_levels(leaf.clone(), recurse.clone(), depth - 1);
+            recurse(inner).generate(rng)
+        }
+    }))
+}
+
+/// Type-erased, clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always yields a clone of its value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    reason: String,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter({}) rejected 10000 candidates", self.reason);
+    }
+}
+
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice between erased alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+// -- Tuples -----------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
+
+// -- Integer ranges ---------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )+};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// -- Regex-ish string strategies --------------------------------------------
+
+/// `&str` strategies: the pattern is a sequence of literal characters and
+/// character classes, each optionally quantified.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (set, min, max) in &atoms {
+            let n = *min + rng.below(*max - *min + 1);
+            for _ in 0..n {
+                out.push(set[rng.below(set.len())]);
+            }
+        }
+        out
+    }
+}
+
+type Atom = (Vec<char>, usize, usize);
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unterminated class in {pat}"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        set.extend((lo..=hi).filter_map(char::from_u32));
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                vec![chars[i - 1]]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .unwrap_or_else(|| panic!("unterminated quantifier in {pat}"))
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("quantifier min"),
+                            hi.trim().parse().expect("quantifier max"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("quantifier count");
+                            (n, n)
+                        }
+                    }
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(!set.is_empty(), "empty character class in {pat}");
+        atoms.push((set, min, max));
+    }
+    atoms
+}
+
+// ---------------------------------------------------------------------------
+// Helper modules
+// ---------------------------------------------------------------------------
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    #[derive(Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.unit() < 0.25 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// `Some(inner)` with probability ¾, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    #[derive(Clone)]
+    pub struct Select<T>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len())].clone()
+        }
+    }
+
+    /// Uniform choice from a non-empty vector.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "sample::select needs options");
+        Select(options)
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Lengths a generated collection may take.
+    #[derive(Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.max - self.size.min + 1;
+            let n = self.size.min + rng.below(span);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    pub struct Any;
+
+    impl Strategy for Any {
+        type Value = ::core::primitive::bool;
+        fn generate(&self, rng: &mut TestRng) -> ::core::primitive::bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub const ANY: Any = Any;
+}
+
+pub mod num {
+    pub mod i64 {
+        use crate::{Strategy, TestRng};
+
+        pub struct Any;
+
+        impl Strategy for Any {
+            type Value = ::core::primitive::i64;
+            fn generate(&self, rng: &mut TestRng) -> ::core::primitive::i64 {
+                rng.next_u64() as ::core::primitive::i64
+            }
+        }
+
+        pub const ANY: Any = Any;
+    }
+}
+
+pub mod char {
+    use super::{Strategy, TestRng};
+
+    pub struct CharAny;
+
+    impl Strategy for CharAny {
+        type Value = ::core::primitive::char;
+        fn generate(&self, rng: &mut TestRng) -> ::core::primitive::char {
+            // Mostly printable ASCII, sometimes an arbitrary scalar value,
+            // mirroring upstream's bias toward "interesting" characters.
+            if rng.unit() < 0.8 {
+                ::core::primitive::char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap()
+            } else {
+                loop {
+                    if let Some(c) = ::core::primitive::char::from_u32(rng.below(0x11_0000) as u32)
+                    {
+                        return c;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Any `char`, biased toward printable ASCII.
+    pub fn any() -> CharAny {
+        CharAny
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config and macros
+// ---------------------------------------------------------------------------
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Uniform choice between strategy expressions of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Property assertion (no shrinking: behaves like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property equality assertion (no shrinking: behaves like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each function runs `config.cases` times with
+/// freshly generated inputs. The RNG is seeded from the test's name, so
+/// runs are deterministic and failures reproduce.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config $cfg; $($rest)*);
+    };
+    (@with_config $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::seed_from(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let _ = case;
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                $body
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// What `use proptest::prelude::*` brings in.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::TestRng::seed_from("x");
+        let mut b = crate::TestRng::seed_from("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut rng = crate::TestRng::seed_from("strings");
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9]{0,3}".generate(&mut rng);
+            assert!((1..=4).contains(&s.len()), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            let t = "[ -~]{0,12}".generate(&mut rng);
+            assert!(t.len() <= 12);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = crate::TestRng::seed_from("combos");
+        let strat = prop_oneof![Just(1usize), (2usize..5).prop_map(|n| n * 10),]
+            .prop_filter("nonzero", |n| *n != 0);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!(v == 1 || (20..50).contains(&v));
+        }
+        let vecs = crate::collection::vec(0u32..3, 2..5);
+        for _ in 0..50 {
+            let v = vecs.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_smoke(a in 0i64..10, (b, c) in (0u32..3, crate::sample::select(vec![7u8, 9]))) {
+            prop_assert!((0..10).contains(&a));
+            prop_assert!(b < 3);
+            prop_assert!(c == 7 || c == 9);
+        }
+    }
+}
