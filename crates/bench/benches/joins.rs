@@ -1,0 +1,55 @@
+//! EB10 — cost-based cross-stage execution vs the declaration-order
+//! nested loop.
+//!
+//! Every workload (see `gpml_bench::joins`) runs twice over the same
+//! prepared plans: once with the engine defaults (statistics-driven stage
+//! reordering + hash joins) and once with both knobs off (declaration
+//! order, all-pairs merge). Stage matching cost is identical on both
+//! sides, so the gap is purely the cross-stage join strategy:
+//!
+//! * `chain` isolates the hash join (reordering is neutral);
+//! * `star` isolates the reorderer (start from the needle stage);
+//! * `clique` stresses a two-key hash join over three large stages;
+//! * `cross` shows the reorderer refusing a cartesian intermediate that
+//!   declaration order is forced through.
+//!
+//! `GPML_JOINS=cost` or `GPML_JOINS=baseline` restricts the run to one
+//! side.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gpml_bench::joins::{cost_based_opts, declaration_order_opts, sides_from_env, workloads};
+use gpml_bench::parse;
+use gpml_core::plan::prepare;
+
+fn bench_joins(c: &mut Criterion) {
+    let (run_cost, run_baseline) = sides_from_env();
+    for w in workloads() {
+        let pattern = parse(w.query);
+        let cost = prepare(&pattern, &cost_based_opts()).expect("prepare cost-based");
+        let base = prepare(&pattern, &declaration_order_opts()).expect("prepare baseline");
+
+        // Sanity before timing: both strategies produce the same row set.
+        let mut want = base.execute(&w.graph).expect("baseline").rows;
+        let mut got = cost.execute(&w.graph).expect("cost-based").rows;
+        want.sort();
+        got.sort();
+        assert_eq!(want, got, "join strategies disagree on {}", w.name);
+
+        let mut group = c.benchmark_group(format!("EB10/joins/{}", w.name));
+        if run_cost {
+            group.bench_function("cost_based", |b| {
+                b.iter(|| cost.execute(&w.graph).expect("cost-based"))
+            });
+        }
+        if run_baseline {
+            group.bench_function("declaration_nested", |b| {
+                b.iter(|| base.execute(&w.graph).expect("baseline"))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_joins);
+criterion_main!(benches);

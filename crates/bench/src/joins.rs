@@ -1,0 +1,201 @@
+//! Multi-path join workloads for the cost-based execution bench (EB10)
+//! and the `paper-report` section that cites it.
+//!
+//! Each workload is a `(graph, query)` pair whose `MATCH` has several
+//! comma-separated path patterns, so the cross-stage join — not the
+//! per-stage matching — dominates. The three shapes stress the three
+//! optimizer decisions:
+//!
+//! * **chain** — a layered 1:1 chain join declared in order: stage
+//!   reordering is a no-op, the hash join alone removes the all-pairs
+//!   row merge;
+//! * **star** — many spokes plus one needle stage declared last: the
+//!   reorderer starts from the needle so the accumulation stays small;
+//! * **clique** — a triangle query over a dense-ish graph: every stage is
+//!   large, and the final stage joins on *two* keys at once;
+//! * **cross** — a chain join declared out of order, so declaration-order
+//!   execution is forced through a cartesian intermediate the reorderer
+//!   never builds.
+
+use gpml_core::eval::EvalOptions;
+use property_graph::{Endpoints, PropertyGraph};
+
+/// One join workload: a graph and a multi-path query over it.
+pub struct JoinWorkload {
+    pub name: &'static str,
+    pub graph: PropertyGraph,
+    pub query: &'static str,
+}
+
+/// The optimized configuration: statistics-driven stage reordering plus
+/// hash joins (the engine default).
+pub fn cost_based_opts() -> EvalOptions {
+    EvalOptions::default()
+}
+
+/// The baseline configuration: declaration-order stages merged through
+/// the all-pairs nested loop.
+pub fn declaration_order_opts() -> EvalOptions {
+    EvalOptions {
+        reorder_stages: false,
+        hash_join: false,
+        ..EvalOptions::default()
+    }
+}
+
+/// Which sides of the comparison to run, from the `GPML_JOINS` environment
+/// variable: `cost`, `baseline`, or anything else (both).
+pub fn sides_from_env() -> (bool, bool) {
+    match std::env::var("GPML_JOINS").as_deref() {
+        Ok("cost") => (true, false),
+        Ok("baseline") => (false, true),
+        _ => (true, true),
+    }
+}
+
+/// `layers` layers of `width` nodes with a 1:1 `:S` edge between
+/// consecutive layers; node `i` of layer `l` is labeled `L{l}`.
+fn layered(width: usize, layers: usize) -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    let mut ids = Vec::new();
+    for l in 0..layers {
+        let layer: Vec<_> = (0..width)
+            .map(|i| g.add_node(&format!("n{l}_{i}"), [format!("L{l}")], []))
+            .collect();
+        ids.push(layer);
+    }
+    for l in 0..layers - 1 {
+        for (i, &from) in ids[l].iter().enumerate() {
+            g.add_edge(
+                &format!("s{l}_{i}"),
+                Endpoints::directed(from, ids[l + 1][i]),
+                ["S"],
+                [],
+            );
+        }
+    }
+    g
+}
+
+/// Chain join, declared in order: reordering is neutral, hashing is not.
+pub fn chain(width: usize) -> JoinWorkload {
+    JoinWorkload {
+        name: "chain",
+        graph: layered(width, 4),
+        query: "MATCH (a:L0)-[:S]->(b:L1), (b:L1)-[:S]->(c:L2), (c:L2)-[:S]->(d:L3)",
+    }
+}
+
+/// The same chain join with the middle stage declared last: declaration
+/// order joins two disconnected stages first — a `width²` cartesian
+/// intermediate — where the connected greedy order never leaves `width`.
+pub fn cross(width: usize) -> JoinWorkload {
+    JoinWorkload {
+        name: "cross",
+        graph: layered(width, 4),
+        query: "MATCH (a:L0)-[:S]->(b:L1), (c:L2)-[:S]->(d:L3), (b:L1)-[:S]->(c:L2)",
+    }
+}
+
+/// `hubs` hub nodes with `spokes` `:In` spokes each; exactly one hub has
+/// an `:Out` edge to the one `Rare` node. The needle stage is declared
+/// last, so declaration order drags every spoke row to the final join.
+pub fn star(hubs: usize, spokes: usize) -> JoinWorkload {
+    let mut g = PropertyGraph::new();
+    for h in 0..hubs {
+        let hub = g.add_node(&format!("h{h}"), ["Hub"], []);
+        for s in 0..spokes {
+            let spoke = g.add_node(&format!("b{h}_{s}"), ["Big"], []);
+            g.add_edge(
+                &format!("in{h}_{s}"),
+                Endpoints::directed(spoke, hub),
+                ["In"],
+                [],
+            );
+        }
+        if h == 0 {
+            let rare = g.add_node("rare", ["Rare"], []);
+            g.add_edge("out0", Endpoints::directed(hub, rare), ["Out"], []);
+        }
+    }
+    JoinWorkload {
+        name: "star",
+        graph: g,
+        query: "MATCH (x:Big)-[:In]->(h:Hub), (h:Hub)-[:Out]->(y:Rare)",
+    }
+}
+
+/// A deterministic pseudo-random directed graph (`n` nodes of degree
+/// `degree`) under a triangle query: all three stages are large, and the
+/// closing stage equi-joins on both endpoints at once.
+pub fn clique(n: usize, degree: usize) -> JoinWorkload {
+    let mut g = PropertyGraph::new();
+    let ids: Vec<_> = (0..n)
+        .map(|i| g.add_node(&format!("n{i}"), ["N"], []))
+        .collect();
+    for i in 0..n {
+        for j in 1..=degree {
+            let to = (i * 7 + j * 13 + 1) % n;
+            g.add_edge(
+                &format!("e{i}_{j}"),
+                Endpoints::directed(ids[i], ids[to]),
+                ["E"],
+                [],
+            );
+        }
+    }
+    JoinWorkload {
+        name: "clique",
+        graph: g,
+        query: "MATCH (a:N)-[:E]->(b:N), (b:N)-[:E]->(c:N), (c:N)-[:E]->(a:N)",
+    }
+}
+
+/// The bench's standard workload set, sized so the join dominates but one
+/// measurement stays well under a second.
+pub fn workloads() -> Vec<JoinWorkload> {
+    vec![chain(150), star(40, 40), clique(60, 3), cross(60)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use gpml_core::plan::prepare;
+
+    #[test]
+    fn both_configurations_agree_on_every_workload() {
+        for w in workloads() {
+            let pattern = parse(w.query);
+            let cost = prepare(&pattern, &cost_based_opts())
+                .unwrap()
+                .execute(&w.graph)
+                .unwrap();
+            let base = prepare(&pattern, &declaration_order_opts())
+                .unwrap()
+                .execute(&w.graph)
+                .unwrap();
+            let mut a = cost.rows;
+            let mut b = base.rows;
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "workload {} disagrees", w.name);
+            assert!(!a.is_empty(), "workload {} matched nothing", w.name);
+        }
+    }
+
+    #[test]
+    fn cross_workload_is_reordered_off_the_cartesian() {
+        let w = cross(10);
+        let q = prepare(&parse(w.query), &cost_based_opts()).unwrap();
+        let report = q.cost_report(&w.graph);
+        // Declaration order 0,1,2 would join the disconnected stages 0
+        // and 1 first; the greedy order must keep the chain connected.
+        let order = report.order();
+        assert_ne!(order, vec![0, 1, 2], "greedy order left the cartesian");
+        assert!(
+            report.steps.iter().skip(1).all(|s| !s.keys.is_empty()),
+            "all joins keyed: {report}"
+        );
+    }
+}

@@ -8,6 +8,8 @@
 //! throughput, and SQL/PGQ view overhead), while `paper-report`
 //! regenerates every figure and table verbatim.
 
+pub mod joins;
+
 use gpml_core::eval::{evaluate, EvalOptions};
 use gpml_core::{GraphPattern, MatchSet};
 use property_graph::PropertyGraph;

@@ -30,13 +30,13 @@ use property_graph::PropertyGraph;
 
 pub use filter::{eval as eval_expr, truth as expr_truth, Env};
 
-use crate::ast::GraphPattern;
+use crate::ast::{GraphPattern, PathPatternExpr};
 use crate::binding::{BoundValue, MatchRow, MatchSet, PathBinding};
 use crate::error::Result;
 use crate::plan::{prepare, ExistsPlans};
 
 /// Semantics variant (§3 comparison modes).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum MatchMode {
     /// The GPML semantics of the paper.
     #[default]
@@ -50,7 +50,7 @@ pub enum MatchMode {
 /// Match-isomorphism modes — the §7.1 language opportunity
 /// ("constraining a graph pattern through the introduction of isomorphic
 /// match modes").
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum MatchIso {
     /// The GPML default: different pattern positions may match the same
     /// graph element (homomorphic matching).
@@ -62,7 +62,10 @@ pub enum MatchIso {
 }
 
 /// Evaluation knobs and resource limits.
-#[derive(Clone, Debug)]
+///
+/// Options are `Eq + Hash` so hosts can key plan caches on
+/// `(query text, EvalOptions)`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct EvalOptions {
     /// Which of the §3 semantics to apply.
     pub mode: MatchMode,
@@ -74,6 +77,17 @@ pub struct EvalOptions {
     /// the EB8 ablation bench measures. Not meaningful together with
     /// selector-covered unbounded quantifiers.
     pub defer_restrictors: bool,
+    /// Cost-based optimizer knob: execute path-pattern stages in the
+    /// order chosen by the cardinality estimator over the graph's
+    /// statistics catalog instead of declaration order. Results are
+    /// order-insensitive (the cross-stage join is commutative); only cost
+    /// changes. Disable to measure the declaration-order baseline.
+    pub reorder_stages: bool,
+    /// Cost-based optimizer knob: merge stages through a hash join on the
+    /// shared singleton join keys instead of the all-pairs nested loop.
+    /// Semantics are identical; disable to measure the nested-loop
+    /// baseline.
+    pub hash_join: bool,
     /// Abort after this many raw matches for a single path pattern.
     pub max_matches: usize,
     /// Hard cap on the number of edges in any matched walk.
@@ -88,6 +102,8 @@ impl Default for EvalOptions {
             mode: MatchMode::Gpml,
             isomorphism: MatchIso::Homomorphism,
             defer_restrictors: false,
+            reorder_stages: true,
+            hash_join: true,
             max_matches: 1_000_000,
             max_path_length: 10_000,
             max_frontier: 1_000_000,
@@ -112,10 +128,13 @@ pub fn evaluate(
 }
 
 /// Cross product of the per-pattern match sets, joined on shared variables
-/// and filtered by the final `WHERE` (§6.5 "Multiple patterns"). Shared by
-/// the plan executor and the §6 baseline. `exists` carries any subplans
-/// prepared for the postfilter's `EXISTS` subqueries; patterns without a
-/// prepared subplan are prepared on the fly (the baseline's path).
+/// and filtered by the final `WHERE` (§6.5 "Multiple patterns") — the
+/// declaration-order nested-loop form used by the §6 spec-literal
+/// baseline. The plan executor drives a [`JoinState`] directly instead,
+/// feeding stages in cost order and joining through hash tables where the
+/// plan's join keys allow. `exists` carries any subplans prepared for the
+/// postfilter's `EXISTS` subqueries; patterns without a prepared subplan
+/// are prepared on the fly (the baseline's path).
 pub(crate) fn join_and_filter(
     graph: &PropertyGraph,
     normalized: &GraphPattern,
@@ -123,63 +142,197 @@ pub(crate) fn join_and_filter(
     opts: &EvalOptions,
     exists: &ExistsPlans,
 ) -> MatchSet {
-    let iso = opts.isomorphism;
-    // Rows carry the edges their constituent walks used so the
-    // edge-isomorphic mode (§7.1) can reject overlaps across patterns.
-    let mut rows: Vec<(MatchRow, Vec<property_graph::EdgeId>)> =
-        vec![(MatchRow::empty(), Vec::new())];
+    let mut join = JoinState::new(opts.isomorphism);
     for (expr, bindings) in normalized.paths.iter().zip(per_path) {
-        let mut next = Vec::new();
-        for (row, used) in &rows {
-            'binding: for pb in bindings {
-                if iso == MatchIso::EdgeIsomorphic {
-                    // The walk itself must not repeat an edge, nor reuse
-                    // one matched by an earlier path pattern.
-                    if !pb.path.is_trail() || pb.path.edges().iter().any(|e| used.contains(e)) {
-                        continue 'binding;
+        join.merge_stage(expr, bindings, &[], false);
+    }
+    join.finish(graph, normalized, opts, exists)
+}
+
+/// Incremental cross-stage join: the accumulated rows of all stages merged
+/// so far. Stages may be fed in any order (the merge is commutative up to
+/// row order); the executor feeds them in the cost-chosen order and stops
+/// early once the accumulation is empty.
+pub(crate) struct JoinState {
+    iso: MatchIso,
+    /// Rows carry the edges their constituent walks used so the
+    /// edge-isomorphic mode (§7.1) can reject overlaps across patterns.
+    rows: Vec<(MatchRow, Vec<property_graph::EdgeId>)>,
+}
+
+impl JoinState {
+    /// The unit of the join: one empty row.
+    pub(crate) fn new(iso: MatchIso) -> JoinState {
+        JoinState {
+            iso,
+            rows: vec![(MatchRow::empty(), Vec::new())],
+        }
+    }
+
+    /// True when no combination of the stages merged so far survives —
+    /// every further merge (and the postfilter) is then a no-op.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Merges one stage's bindings into the accumulation.
+    ///
+    /// `keys` are the stage's equi-join variables against the already
+    /// merged stages (shared unconditional singletons, from the plan's
+    /// join graph). With `use_hash` and non-empty keys the merge builds a
+    /// hash table on the smaller side and probes with the other; otherwise
+    /// it scans all pairs. Both paths run the same per-pair admission
+    /// check ([`JoinState::try_merge`]), so results — including the
+    /// edge-isomorphism overlap rejection and path-variable bindings — are
+    /// identical; the hash table only skips pairs that would fail the
+    /// equi-join anyway. Output row order is the nested loop's
+    /// (accumulated row outer, stage binding inner) in either case.
+    pub(crate) fn merge_stage(
+        &mut self,
+        expr: &PathPatternExpr,
+        bindings: &[PathBinding],
+        keys: &[String],
+        use_hash: bool,
+    ) {
+        // Join keys are unconditional singletons, so they are bound on
+        // both sides of every candidate pair; verify that before trusting
+        // the hash path (a missing key would make strict key equality
+        // drop pairs the nested loop admits).
+        let hashable = use_hash
+            && !keys.is_empty()
+            && self
+                .rows
+                .iter()
+                .all(|(row, _)| keys.iter().all(|k| row.values.contains_key(k)))
+            && bindings
+                .iter()
+                .all(|pb| keys.iter().all(|k| pb.bindings.contains_key(k)));
+        if !hashable {
+            let mut next = Vec::new();
+            for (row, used) in &self.rows {
+                for pb in bindings {
+                    if let Some(out) = self.try_merge(row, used, pb, expr) {
+                        next.push(out);
                     }
                 }
-                let mut merged = row.clone();
-                for (var, val) in &pb.bindings {
-                    match merged.values.get(var) {
-                        Some(existing) if existing != val => continue 'binding,
-                        Some(_) => {}
-                        None => {
-                            merged.values.insert(var.clone(), val.clone());
+            }
+            self.rows = next;
+            return;
+        }
+
+        let row_key = |row: &MatchRow| -> Vec<BoundValue> {
+            keys.iter().map(|k| row.values[k].clone()).collect()
+        };
+        let binding_key = |pb: &PathBinding| -> Vec<BoundValue> {
+            keys.iter().map(|k| pb.bindings[k].clone()).collect()
+        };
+
+        let mut next = Vec::new();
+        if self.rows.len() < bindings.len() {
+            // Build on the accumulated rows, probe with the stage
+            // bindings, then restore nested-loop output order by sorting
+            // the surviving (row, binding) index pairs.
+            let mut table: HashMap<Vec<BoundValue>, Vec<usize>> = HashMap::new();
+            for (i, (row, _)) in self.rows.iter().enumerate() {
+                table.entry(row_key(row)).or_default().push(i);
+            }
+            let mut pairs: Vec<(usize, usize)> = Vec::new();
+            for (j, pb) in bindings.iter().enumerate() {
+                if let Some(is) = table.get(&binding_key(pb)) {
+                    pairs.extend(is.iter().map(|&i| (i, j)));
+                }
+            }
+            pairs.sort_unstable();
+            for (i, j) in pairs {
+                let (row, used) = &self.rows[i];
+                if let Some(out) = self.try_merge(row, used, &bindings[j], expr) {
+                    next.push(out);
+                }
+            }
+        } else {
+            // Build on the stage bindings (bucket entries keep declaration
+            // order), probe with the accumulated rows.
+            let mut table: HashMap<Vec<BoundValue>, Vec<usize>> = HashMap::new();
+            for (j, pb) in bindings.iter().enumerate() {
+                table.entry(binding_key(pb)).or_default().push(j);
+            }
+            for (row, used) in &self.rows {
+                if let Some(js) = table.get(&row_key(row)) {
+                    for &j in js {
+                        if let Some(out) = self.try_merge(row, used, &bindings[j], expr) {
+                            next.push(out);
                         }
                     }
                 }
-                if let Some(pv) = &expr.path_var {
-                    merged
-                        .values
-                        .insert(pv.clone(), BoundValue::Path(pb.path.clone()));
-                }
-                let mut used = used.clone();
-                used.extend_from_slice(pb.path.edges());
-                next.push((merged, used));
             }
         }
-        rows = next;
+        self.rows = next;
     }
 
-    let mut rows: Vec<MatchRow> = rows.into_iter().map(|(r, _)| r).collect();
-    if let Some(post) = &normalized.where_clause {
-        // EXISTS subqueries are evaluated once per distinct subpattern
-        // and joined against each row on shared variable names.
-        let cache: RefCell<HashMap<GraphPattern, Option<MatchSet>>> = RefCell::new(HashMap::new());
-        rows.retain(|row| {
-            let env = RowEnv {
-                graph,
-                row,
-                opts,
-                exists,
-                cache: &cache,
-            };
-            filter::truth(graph, &env, post) == Some(true)
-        });
+    /// Admits one (accumulated row, stage binding) pair: the §7.1
+    /// edge-isomorphism overlap check, the per-variable equi-join on all
+    /// shared names, and the path-variable binding.
+    fn try_merge(
+        &self,
+        row: &MatchRow,
+        used: &[property_graph::EdgeId],
+        pb: &PathBinding,
+        expr: &PathPatternExpr,
+    ) -> Option<(MatchRow, Vec<property_graph::EdgeId>)> {
+        if self.iso == MatchIso::EdgeIsomorphic {
+            // The walk itself must not repeat an edge, nor reuse one
+            // matched by another path pattern.
+            if !pb.path.is_trail() || pb.path.edges().iter().any(|e| used.contains(e)) {
+                return None;
+            }
+        }
+        let mut merged = row.clone();
+        for (var, val) in &pb.bindings {
+            match merged.values.get(var) {
+                Some(existing) if existing != val => return None,
+                Some(_) => {}
+                None => {
+                    merged.values.insert(var.clone(), val.clone());
+                }
+            }
+        }
+        if let Some(pv) = &expr.path_var {
+            merged
+                .values
+                .insert(pv.clone(), BoundValue::Path(pb.path.clone()));
+        }
+        let mut used = used.to_vec();
+        used.extend_from_slice(pb.path.edges());
+        Some((merged, used))
     }
 
-    MatchSet { rows }
+    /// Applies the final `WHERE` postfilter and produces the result set.
+    pub(crate) fn finish(
+        self,
+        graph: &PropertyGraph,
+        normalized: &GraphPattern,
+        opts: &EvalOptions,
+        exists: &ExistsPlans,
+    ) -> MatchSet {
+        let mut rows: Vec<MatchRow> = self.rows.into_iter().map(|(r, _)| r).collect();
+        if let Some(post) = &normalized.where_clause {
+            // EXISTS subqueries are evaluated once per distinct subpattern
+            // and joined against each row on shared variable names.
+            let cache: RefCell<HashMap<GraphPattern, Option<MatchSet>>> =
+                RefCell::new(HashMap::new());
+            rows.retain(|row| {
+                let env = RowEnv {
+                    graph,
+                    row,
+                    opts,
+                    exists,
+                    cache: &cache,
+                };
+                filter::truth(graph, &env, post) == Some(true)
+            });
+        }
+        MatchSet { rows }
+    }
 }
 
 /// Postfilter environment: row lookups plus `EXISTS` subquery support

@@ -1,0 +1,195 @@
+//! A small LRU cache for prepared plans, keyed by `(query text,
+//! EvalOptions)`.
+//!
+//! Hosts that see the same query text repeatedly (the GQL session, the
+//! SQL/PGQ `GRAPH_TABLE` front-end, the CLI REPL) use one of these to skip
+//! parse, analysis, and compilation on replays without holding prepared
+//! handles themselves. The cache is generic over the host's prepared type
+//! (the front-ends wrap [`super::PreparedQuery`] in their own structs) and
+//! deliberately tiny: a `HashMap` with a logical clock, evicting the
+//! least-recently-used entry on overflow — exact LRU without the
+//! linked-list bookkeeping, fine at the capacities sessions use.
+
+use std::collections::HashMap;
+
+use crate::eval::EvalOptions;
+
+/// Default number of distinct (query, options) plans a session retains.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 128;
+
+/// Hit/miss counters and occupancy of a [`PlanLru`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (including lookups of never-inserted keys).
+    pub misses: u64,
+    /// Entries currently cached.
+    pub len: usize,
+    /// Maximum entries retained.
+    pub capacity: usize,
+}
+
+/// An LRU cache from `(query text, EvalOptions)` to a prepared plan.
+#[derive(Clone, Debug)]
+pub struct PlanLru<V> {
+    capacity: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    entries: HashMap<(String, EvalOptions), (V, u64)>,
+}
+
+impl<V> Default for PlanLru<V> {
+    fn default() -> PlanLru<V> {
+        PlanLru::new(DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+}
+
+impl<V> PlanLru<V> {
+    /// An empty cache retaining at most `capacity` plans (minimum 1).
+    pub fn new(capacity: usize) -> PlanLru<V> {
+        PlanLru {
+            capacity: capacity.max(1),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Looks up a plan, counting a hit or miss and refreshing recency.
+    pub fn get(&mut self, query: &str, opts: &EvalOptions) -> Option<&V> {
+        self.clock += 1;
+        // Owned key avoidance is not worth a borrowed-key wrapper here:
+        // lookups happen once per query execution, not per row.
+        match self.entries.get_mut(&(query.to_owned(), opts.clone())) {
+            Some((v, stamp)) => {
+                self.hits += 1;
+                *stamp = self.clock;
+                Some(v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) a plan, evicting the least recently used
+    /// entry when the cache is full.
+    pub fn insert(&mut self, query: String, opts: EvalOptions, plan: V) {
+        self.clock += 1;
+        let key = (query, opts);
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(key, (plan, self.clock));
+    }
+
+    /// Changes the capacity, evicting oldest entries if now over it.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        while self.entries.len() > self.capacity {
+            let oldest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+                .expect("nonempty while over capacity");
+            self.entries.remove(&oldest);
+        }
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Hit/miss counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            len: self.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> EvalOptions {
+        EvalOptions::default()
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let mut lru: PlanLru<u32> = PlanLru::new(4);
+        assert!(lru.get("q1", &opts()).is_none());
+        lru.insert("q1".into(), opts(), 1);
+        assert_eq!(lru.get("q1", &opts()), Some(&1));
+        let s = lru.stats();
+        assert_eq!((s.hits, s.misses, s.len, s.capacity), (1, 1, 1, 4));
+    }
+
+    #[test]
+    fn options_are_part_of_the_key() {
+        let mut lru: PlanLru<u32> = PlanLru::new(4);
+        lru.insert("q".into(), opts(), 1);
+        let other = EvalOptions {
+            hash_join: false,
+            ..opts()
+        };
+        assert!(lru.get("q", &other).is_none());
+        lru.insert("q".into(), other.clone(), 2);
+        assert_eq!(lru.get("q", &opts()), Some(&1));
+        assert_eq!(lru.get("q", &other), Some(&2));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru: PlanLru<u32> = PlanLru::new(2);
+        lru.insert("a".into(), opts(), 1);
+        lru.insert("b".into(), opts(), 2);
+        assert_eq!(lru.get("a", &opts()), Some(&1)); // refresh a
+        lru.insert("c".into(), opts(), 3); // evicts b
+        assert_eq!(lru.get("a", &opts()), Some(&1));
+        assert!(lru.get("b", &opts()).is_none());
+        assert_eq!(lru.get("c", &opts()), Some(&3));
+        assert_eq!(lru.stats().len, 2);
+    }
+
+    #[test]
+    fn capacity_knob_shrinks() {
+        let mut lru: PlanLru<u32> = PlanLru::new(8);
+        for i in 0..6 {
+            lru.insert(format!("q{i}"), opts(), i);
+        }
+        lru.set_capacity(2);
+        assert_eq!(lru.stats().len, 2);
+        assert_eq!(lru.stats().capacity, 2);
+        // Newest entries survive.
+        assert_eq!(lru.get("q5", &opts()), Some(&5));
+        assert_eq!(lru.get("q4", &opts()), Some(&4));
+    }
+
+    #[test]
+    fn replacing_does_not_evict() {
+        let mut lru: PlanLru<u32> = PlanLru::new(2);
+        lru.insert("a".into(), opts(), 1);
+        lru.insert("b".into(), opts(), 2);
+        lru.insert("a".into(), opts(), 10);
+        assert_eq!(lru.get("a", &opts()), Some(&10));
+        assert_eq!(lru.get("b", &opts()), Some(&2));
+    }
+}

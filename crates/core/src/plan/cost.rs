@@ -1,0 +1,605 @@
+//! Cardinality estimation and cost-based stage ordering.
+//!
+//! Given a graph's [`GraphStats`] catalog, [`estimates`] predicts how many
+//! bindings each compiled [`PathStage`](super::PathStage) produces by
+//! walking its label constraints, degree statistics, and predicate
+//! selectivity hints; [`greedy_order`] then picks a cheapest-first stage
+//! order that stays connected over the plan's explicit join graph, so the
+//! cross-stage join always shrinks the accumulation as early as possible
+//! and only falls back to a cartesian step when the pattern itself is
+//! disconnected.
+//!
+//! The model is deliberately classical (textbook System-R-style
+//! independence assumptions):
+//!
+//! * a node pattern keeps a *fraction* of candidates — its label
+//!   selectivity over the per-label node counts, times an equality hint
+//!   `1/distinct(key)` for `x.key = literal` prefilters;
+//! * an edge pattern multiplies by the expected *fan-out* per node — the
+//!   average number of adjacency steps admitted by its orientation and
+//!   label, from the per-edge-label directed/undirected tallies;
+//! * quantifiers sum the per-length products over their (truncated)
+//!   iteration range; unions sum branches; `?` adds the skip case.
+//!
+//! Estimates only need to be *relatively* right for ordering, and the
+//! whole walk is linear in pattern size, so it runs on every execution —
+//! there is nothing to invalidate when the graph changes.
+
+use std::fmt;
+
+use property_graph::GraphStats;
+
+use crate::ast::{
+    CmpOp, Direction, EdgePattern, Expr, LabelExpr, NodePattern, PathPattern, Quantifier,
+};
+
+use super::{ExecutablePlan, JoinEdge};
+
+/// How many further iterations beyond the minimum an unbounded quantifier
+/// is charged for. Selector/restrictor pruning keeps long walks from
+/// dominating real executions, so the estimator charges a short horizon
+/// instead of a divergent series.
+const UNBOUNDED_HORIZON: u32 = 2;
+
+/// Truncation of very wide bounded quantifier ranges, purely to bound the
+/// estimator's own work.
+const MAX_RANGE: u32 = 8;
+
+/// Selectivity assumed for predicates the model has no hint for.
+const DEFAULT_PREDICATE_SELECTIVITY: f64 = 0.5;
+
+/// Estimated result rows for every stage of `plan`, in declaration order.
+pub(crate) fn estimates(plan: &ExecutablePlan, stats: &GraphStats) -> Vec<f64> {
+    plan.stages
+        .iter()
+        .map(|s| stats.node_count as f64 * pattern_factor(&s.expr.pattern, stats))
+        .collect()
+}
+
+/// Greedy cheapest-connected-first ordering over the join graph: start at
+/// the cheapest stage, then repeatedly take the cheapest remaining stage
+/// that shares a join edge with the stages already placed (falling back to
+/// the cheapest remaining stage when none is connected — a cartesian step
+/// the pattern forces anyway). Ties break toward declaration order.
+pub(crate) fn greedy_order(est: &[f64], joins: &[JoinEdge]) -> Vec<usize> {
+    let n = est.len();
+    if n <= 1 {
+        return (0..n).collect();
+    }
+    let connected = |s: usize, placed: &[usize]| {
+        joins.iter().any(|j| {
+            (j.left == s && placed.contains(&j.right)) || (j.right == s && placed.contains(&j.left))
+        })
+    };
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut order = Vec::with_capacity(n);
+    while !remaining.is_empty() {
+        let candidates: Vec<usize> = if order.is_empty() {
+            remaining.clone()
+        } else {
+            let adjacent: Vec<usize> = remaining
+                .iter()
+                .copied()
+                .filter(|s| connected(*s, &order))
+                .collect();
+            if adjacent.is_empty() {
+                remaining.clone()
+            } else {
+                adjacent
+            }
+        };
+        let pick = candidates
+            .into_iter()
+            .min_by(|a, b| {
+                est[*a]
+                    .partial_cmp(&est[*b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(b))
+            })
+            .expect("candidates nonempty");
+        order.push(pick);
+        remaining.retain(|s| *s != pick);
+    }
+    order
+}
+
+/// The execution order for `plan` over a graph with `stats`: greedy
+/// cost-based when statistics are available, declaration order otherwise
+/// (an empty graph gives the estimator nothing to discriminate on).
+pub(crate) fn order(plan: &ExecutablePlan, stats: &GraphStats) -> Vec<usize> {
+    order_from(&estimates(plan, stats), plan, stats)
+}
+
+// ---------------------------------------------------------------------------
+// The estimator walk
+// ---------------------------------------------------------------------------
+
+/// Expected continuations contributed by `p`, composed multiplicatively
+/// along a concatenation: node patterns are fractions in `[0, 1]`, edge
+/// patterns are fan-outs in `[0, degree]`.
+fn pattern_factor(p: &PathPattern, stats: &GraphStats) -> f64 {
+    match p {
+        PathPattern::Node(np) => node_selectivity(np, stats),
+        PathPattern::Edge(ep) => edge_fanout(ep, stats),
+        PathPattern::Concat(parts) => parts.iter().map(|x| pattern_factor(x, stats)).product(),
+        PathPattern::Paren {
+            inner, predicate, ..
+        } => pattern_factor(inner, stats) * opt_predicate_selectivity(predicate, stats),
+        PathPattern::Quantified { inner, quantifier } => {
+            quantified_factor(pattern_factor(inner, stats), *quantifier)
+        }
+        PathPattern::Questioned(inner) => 1.0 + pattern_factor(inner, stats),
+        PathPattern::Union(bs) | PathPattern::Alternation(bs) => {
+            bs.iter().map(|x| pattern_factor(x, stats)).sum()
+        }
+    }
+}
+
+/// `sum_{k=min}^{horizon} body^k` — the expected walks through a
+/// quantifier whose one iteration multiplies the count by `body`.
+fn quantified_factor(body: f64, q: Quantifier) -> f64 {
+    let min = q.min;
+    let max = q
+        .max
+        .unwrap_or(min.saturating_add(UNBOUNDED_HORIZON))
+        .min(min.saturating_add(MAX_RANGE));
+    let mut total = 0.0;
+    let mut pow = body.powi(min as i32);
+    for _ in min..=max {
+        total += pow;
+        pow *= body;
+    }
+    total
+}
+
+/// Fraction of nodes admitted by a node pattern.
+fn node_selectivity(np: &NodePattern, stats: &GraphStats) -> f64 {
+    let label = match &np.label {
+        Some(l) => node_label_fraction(l, stats),
+        None => 1.0,
+    };
+    (label * opt_predicate_selectivity(&np.predicate, stats)).clamp(0.0, 1.0)
+}
+
+/// Fraction of nodes whose label set satisfies `l`, under independence
+/// (`&` takes the rarer side, `|` adds, `!` complements).
+fn node_label_fraction(l: &LabelExpr, stats: &GraphStats) -> f64 {
+    if stats.node_count == 0 {
+        return 0.0;
+    }
+    let n = stats.node_count as f64;
+    let frac = match l {
+        LabelExpr::Wildcard => stats.labeled_node_count as f64 / n,
+        LabelExpr::Label(name) => stats.nodes_with_label(name) as f64 / n,
+        LabelExpr::Not(e) => 1.0 - node_label_fraction(e, stats),
+        LabelExpr::And(a, b) => node_label_fraction(a, stats).min(node_label_fraction(b, stats)),
+        LabelExpr::Or(a, b) => node_label_fraction(a, stats) + node_label_fraction(b, stats),
+    };
+    frac.clamp(0.0, 1.0)
+}
+
+/// Expected adjacency steps per node admitted by an edge pattern: the
+/// matching directed/undirected edge tallies spread over all nodes, scaled
+/// by how many of an edge's incidences the orientation admits.
+fn edge_fanout(ep: &EdgePattern, stats: &GraphStats) -> f64 {
+    if stats.node_count == 0 {
+        return 0.0;
+    }
+    let n = stats.node_count as f64;
+    let (directed, undirected) = matching_edges(&ep.label, stats);
+    let per_node = match ep.direction {
+        // A directed edge is forward-traversable from exactly one node.
+        Direction::Right | Direction::Left => directed / n,
+        // An undirected edge is traversable from both ends.
+        Direction::Undirected => 2.0 * undirected / n,
+        Direction::LeftOrRight => 2.0 * directed / n,
+        Direction::LeftOrUndirected | Direction::UndirectedOrRight => {
+            directed / n + 2.0 * undirected / n
+        }
+        Direction::Any => 2.0 * (directed + undirected) / n,
+    };
+    per_node * opt_predicate_selectivity(&ep.predicate, stats)
+}
+
+/// Estimated `(directed, undirected)` edge counts matching a label
+/// constraint. Plain labels use the exact per-label tallies; compound
+/// expressions fall back to a fraction of the overall split (label
+/// distribution assumed independent of orientation).
+fn matching_edges(label: &Option<LabelExpr>, stats: &GraphStats) -> (f64, f64) {
+    match label {
+        None => (
+            stats.directed_edge_count as f64,
+            stats.undirected_edge_count as f64,
+        ),
+        Some(LabelExpr::Label(name)) => {
+            let tallies = stats.edges_with_label(name);
+            (tallies.directed as f64, tallies.undirected as f64)
+        }
+        Some(expr) => {
+            let frac = edge_label_fraction(expr, stats);
+            (
+                frac * stats.directed_edge_count as f64,
+                frac * stats.undirected_edge_count as f64,
+            )
+        }
+    }
+}
+
+/// Fraction of edges whose label set satisfies `l`.
+fn edge_label_fraction(l: &LabelExpr, stats: &GraphStats) -> f64 {
+    if stats.edge_count == 0 {
+        return 0.0;
+    }
+    let e = stats.edge_count as f64;
+    let frac = match l {
+        LabelExpr::Wildcard => stats.labeled_edge_count as f64 / e,
+        LabelExpr::Label(name) => stats.edges_with_label(name).total() as f64 / e,
+        LabelExpr::Not(x) => 1.0 - edge_label_fraction(x, stats),
+        LabelExpr::And(a, b) => edge_label_fraction(a, stats).min(edge_label_fraction(b, stats)),
+        LabelExpr::Or(a, b) => edge_label_fraction(a, stats) + edge_label_fraction(b, stats),
+    };
+    frac.clamp(0.0, 1.0)
+}
+
+fn opt_predicate_selectivity(e: &Option<Expr>, stats: &GraphStats) -> f64 {
+    e.as_ref().map_or(1.0, |e| predicate_selectivity(e, stats))
+}
+
+/// Selectivity of a prefilter. Equality against a literal uses the
+/// distinct-value hint for the property (`1/distinct`); boolean structure
+/// composes under independence; everything else gets the default.
+fn predicate_selectivity(e: &Expr, stats: &GraphStats) -> f64 {
+    let sel = match e {
+        Expr::Cmp(CmpOp::Eq, a, b) => match (a.as_ref(), b.as_ref()) {
+            (Expr::Property(_, key), Expr::Literal(_))
+            | (Expr::Literal(_), Expr::Property(_, key)) => match stats.distinct_values(key) {
+                Some(d) => 1.0 / d.max(1) as f64,
+                None => DEFAULT_PREDICATE_SELECTIVITY,
+            },
+            _ => DEFAULT_PREDICATE_SELECTIVITY,
+        },
+        Expr::And(a, b) => predicate_selectivity(a, stats) * predicate_selectivity(b, stats),
+        Expr::Or(a, b) => predicate_selectivity(a, stats) + predicate_selectivity(b, stats),
+        Expr::Not(a) => 1.0 - predicate_selectivity(a, stats),
+        Expr::Literal(_) => 1.0,
+        _ => DEFAULT_PREDICATE_SELECTIVITY,
+    };
+    sel.clamp(0.0, 1.0)
+}
+
+// ---------------------------------------------------------------------------
+// The cost report (EXPLAIN with statistics)
+// ---------------------------------------------------------------------------
+
+/// Which merge the executor runs for one stage of the chosen order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JoinAlgo {
+    /// The first stage: its bindings seed the accumulation.
+    Scan,
+    /// Equi-keys exist and hash joins are enabled.
+    Hash,
+    /// Equi-keys exist but hash joins are disabled.
+    NestedLoop,
+    /// No shared singleton variables with the stages merged so far.
+    Cartesian,
+}
+
+impl fmt::Display for JoinAlgo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinAlgo::Scan => write!(f, "scan"),
+            JoinAlgo::Hash => write!(f, "hash join"),
+            JoinAlgo::NestedLoop => write!(f, "nested-loop join"),
+            JoinAlgo::Cartesian => write!(f, "cartesian nested loop"),
+        }
+    }
+}
+
+/// One step of the chosen execution order.
+#[derive(Clone, Debug)]
+pub struct CostStep {
+    /// Declaration index of the stage executed at this step.
+    pub stage: usize,
+    /// Estimated bindings the stage produces.
+    pub estimate: f64,
+    /// Equi-join keys against the stages merged before it.
+    pub keys: Vec<String>,
+    /// How the merge runs.
+    pub algo: JoinAlgo,
+}
+
+/// The cost-based execution decision for one (plan, graph) pair: per-stage
+/// cardinality estimates, the chosen stage order, and the join algorithm
+/// per step. Surfaced by `--explain` in the CLI.
+#[derive(Clone, Debug)]
+pub struct CostReport {
+    /// `|N|` of the graph the report was computed against.
+    pub node_count: usize,
+    /// `|E|` of the graph the report was computed against.
+    pub edge_count: usize,
+    /// Whether the order below is cost-chosen or declaration order.
+    pub reordered: bool,
+    /// The execution steps, in chosen order.
+    pub steps: Vec<CostStep>,
+}
+
+impl CostReport {
+    /// Computes the report exactly the way `PreparedQuery::execute`
+    /// decides: same estimates, same greedy order, same join algorithm
+    /// selection under `opts`.
+    pub(crate) fn compute(
+        plan: &ExecutablePlan,
+        stats: &GraphStats,
+        opts: &crate::eval::EvalOptions,
+    ) -> CostReport {
+        let est = estimates(plan, stats);
+        let order = if opts.reorder_stages {
+            order_from(&est, plan, stats)
+        } else {
+            (0..plan.stages.len()).collect()
+        };
+        let mut steps = Vec::with_capacity(order.len());
+        let mut placed: Vec<usize> = Vec::new();
+        for &stage in &order {
+            let keys = plan.join_keys(stage, &placed);
+            let algo = if placed.is_empty() {
+                JoinAlgo::Scan
+            } else if keys.is_empty() {
+                JoinAlgo::Cartesian
+            } else if opts.hash_join {
+                JoinAlgo::Hash
+            } else {
+                JoinAlgo::NestedLoop
+            };
+            steps.push(CostStep {
+                stage,
+                estimate: est[stage],
+                keys,
+                algo,
+            });
+            placed.push(stage);
+        }
+        CostReport {
+            node_count: stats.node_count,
+            edge_count: stats.edge_count,
+            reordered: opts.reorder_stages,
+            steps,
+        }
+    }
+
+    /// The chosen stage order (declaration indices).
+    pub fn order(&self) -> Vec<usize> {
+        self.steps.iter().map(|s| s.stage).collect()
+    }
+}
+
+fn order_from(est: &[f64], plan: &ExecutablePlan, stats: &GraphStats) -> Vec<usize> {
+    if stats.node_count == 0 {
+        return (0..plan.stages.len()).collect();
+    }
+    greedy_order(est, &plan.joins)
+}
+
+/// Renders an estimate compactly: two decimals below ten, integral above.
+pub(crate) fn fmt_estimate(rows: f64) -> String {
+    if rows < 10.0 {
+        format!("{rows:.2}")
+    } else {
+        format!("{rows:.0}")
+    }
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "  cost model ({} nodes, {} edges, {}):",
+            self.node_count,
+            self.edge_count,
+            if self.reordered {
+                "cost-based order"
+            } else {
+                "declaration order"
+            }
+        )?;
+        for step in &self.steps {
+            write!(
+                f,
+                "    {} stage {} (est ~{} rows",
+                step.algo,
+                step.stage,
+                fmt_estimate(step.estimate)
+            )?;
+            if step.keys.is_empty() {
+                writeln!(f, ")")?;
+            } else {
+                writeln!(f, ") on {{{}}}", step.keys.join(", "))?;
+            }
+        }
+        let order: Vec<String> = self.order().iter().map(|i| i.to_string()).collect();
+        write!(f, "    order: {}", order.join(" \u{2192} "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{GraphPattern, NodePattern, PathPatternExpr};
+    use crate::eval::EvalOptions;
+    use crate::plan::prepare;
+    use property_graph::{Endpoints, PropertyGraph, Value};
+
+    fn node(v: &str) -> PathPattern {
+        PathPattern::Node(NodePattern::var(v))
+    }
+
+    fn labeled(v: &str, l: &str) -> PathPattern {
+        PathPattern::Node(NodePattern::var(v).with_label(LabelExpr::label(l)))
+    }
+
+    fn edge_r(v: &str) -> PathPattern {
+        PathPattern::Edge(EdgePattern::any(Direction::Right).with_var(v))
+    }
+
+    /// A hub graph: many `Big` spokes into the hub, two `Rare` nodes.
+    fn hub() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let h = g.add_node("hub", ["Hub"], []);
+        for i in 0..20 {
+            let s = g.add_node(&format!("s{i}"), ["Big"], []);
+            g.add_edge(&format!("e{i}"), Endpoints::directed(s, h), ["In"], []);
+        }
+        for i in 0..2 {
+            let r = g.add_node(&format!("r{i}"), ["Rare"], []);
+            g.add_edge(&format!("re{i}"), Endpoints::directed(h, r), ["Out"], []);
+        }
+        g
+    }
+
+    #[test]
+    fn rare_label_estimates_below_common_label() {
+        let gp = GraphPattern {
+            paths: vec![
+                PathPatternExpr::plain(PathPattern::concat(vec![
+                    labeled("x", "Big"),
+                    edge_r("e"),
+                    node("h"),
+                ])),
+                PathPatternExpr::plain(PathPattern::concat(vec![
+                    node("h"),
+                    edge_r("f"),
+                    labeled("y", "Rare"),
+                ])),
+            ],
+            where_clause: None,
+        };
+        let q = prepare(&gp, &EvalOptions::default()).unwrap();
+        let g = hub();
+        let est = estimates(q.plan(), g.stats());
+        assert!(
+            est[1] < est[0],
+            "rare stage must be cheaper: {est:?} (order should start there)"
+        );
+        let order = order(q.plan(), g.stats());
+        assert_eq!(order[0], 1, "cheapest stage first: {order:?}");
+    }
+
+    #[test]
+    fn greedy_order_prefers_connected_stages() {
+        // Estimates: stage 2 cheapest, but stage 1 is the only one joined
+        // to it; stage 0 is disconnected and must come last despite being
+        // cheaper than stage 1.
+        let est = [5.0, 50.0, 1.0];
+        let joins = vec![JoinEdge {
+            left: 1,
+            right: 2,
+            on: vec!["m".to_owned()],
+        }];
+        assert_eq!(greedy_order(&est, &joins), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn greedy_order_is_declaration_order_on_ties() {
+        let est = [1.0, 1.0, 1.0];
+        let joins = vec![
+            JoinEdge {
+                left: 0,
+                right: 1,
+                on: vec!["a".to_owned()],
+            },
+            JoinEdge {
+                left: 1,
+                right: 2,
+                on: vec!["b".to_owned()],
+            },
+        ];
+        assert_eq!(greedy_order(&est, &joins), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_graph_falls_back_to_declaration_order() {
+        let gp = GraphPattern {
+            paths: vec![
+                PathPatternExpr::plain(PathPattern::concat(vec![
+                    labeled("x", "Big"),
+                    edge_r("e"),
+                    node("h"),
+                ])),
+                PathPatternExpr::plain(labeled("y", "Rare")),
+            ],
+            where_clause: None,
+        };
+        let q = prepare(&gp, &EvalOptions::default()).unwrap();
+        let g = PropertyGraph::new();
+        assert_eq!(order(q.plan(), g.stats()), vec![0, 1]);
+    }
+
+    #[test]
+    fn equality_hint_uses_distinct_values() {
+        let mut g = PropertyGraph::new();
+        for i in 0..10 {
+            g.add_node(
+                &format!("n{i}"),
+                ["N"],
+                [("k", Value::Int(i)), ("c", Value::Int(i % 2))],
+            );
+        }
+        let stats = g.stats();
+        let eq = |key: &str| predicate_selectivity(&Expr::prop("x", key).eq(Expr::lit(1)), stats);
+        assert!((eq("k") - 0.1).abs() < 1e-9);
+        assert!((eq("c") - 0.5).abs() < 1e-9);
+        assert!((eq("missing") - DEFAULT_PREDICATE_SELECTIVITY).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantifier_factor_sums_lengths() {
+        // body fan-out 2, {1,3}: 2 + 4 + 8.
+        assert!((quantified_factor(2.0, Quantifier::range(1, Some(3))) - 14.0).abs() < 1e-9);
+        // Unbounded: truncated horizon of UNBOUNDED_HORIZON extra lengths.
+        let unbounded = quantified_factor(2.0, Quantifier::plus());
+        assert!((unbounded - 14.0).abs() < 1e-9);
+        // Zero-width bodies do not diverge.
+        assert!(quantified_factor(0.0, Quantifier::star()) >= 1.0);
+    }
+
+    #[test]
+    fn cost_report_mirrors_execution_choices() {
+        let gp = GraphPattern {
+            paths: vec![
+                PathPatternExpr::plain(PathPattern::concat(vec![
+                    labeled("x", "Big"),
+                    edge_r("e"),
+                    node("h"),
+                ])),
+                PathPatternExpr::plain(PathPattern::concat(vec![
+                    node("h"),
+                    edge_r("f"),
+                    labeled("y", "Rare"),
+                ])),
+            ],
+            where_clause: None,
+        };
+        let q = prepare(&gp, &EvalOptions::default()).unwrap();
+        let g = hub();
+        let report = CostReport::compute(q.plan(), g.stats(), &EvalOptions::default());
+        assert_eq!(report.order(), vec![1, 0]);
+        assert_eq!(report.steps[0].algo, JoinAlgo::Scan);
+        assert_eq!(report.steps[1].algo, JoinAlgo::Hash);
+        assert_eq!(report.steps[1].keys, vec!["h".to_owned()]);
+        let text = report.to_string();
+        assert!(text.contains("hash join"), "{text}");
+        assert!(text.contains("order: 1 \u{2192} 0"), "{text}");
+
+        let nested = CostReport::compute(
+            q.plan(),
+            g.stats(),
+            &EvalOptions {
+                hash_join: false,
+                reorder_stages: false,
+                ..EvalOptions::default()
+            },
+        );
+        assert_eq!(nested.order(), vec![0, 1]);
+        assert_eq!(nested.steps[1].algo, JoinAlgo::NestedLoop);
+    }
+}

@@ -22,18 +22,27 @@
 //!    postfilter is recursively prepared into its own subplan.
 //!
 //! Executing the plan then only performs the graph-dependent work: the
-//! product-automaton search per stage, §6.5 reduction/deduplication, §5.1
-//! selector application, the cross-stage join, and the postfilter.
+//! [`cost`] model consults the graph's statistics catalog to order the
+//! stages (cheapest connected stage first), each stage runs its
+//! product-automaton search, §6.5 reduction/deduplication, and §5.1
+//! selector application, the per-stage results merge through hash joins
+//! on the plan's join keys (see [`crate::eval::JoinState`]), and the
+//! postfilter runs last. Stages whose accumulated join is already empty
+//! are skipped entirely.
 //!
 //! [`eval::evaluate`](crate::eval::evaluate) is a thin wrapper over
 //! `prepare(..)?.execute(..)`; front-ends that see the same query text
 //! repeatedly (the GQL session, SQL/PGQ `GRAPH_TABLE`, the CLI REPL)
-//! retain the [`PreparedQuery`] and skip straight to execution.
+//! retain the [`PreparedQuery`] — and cache it in a [`cache::PlanLru`]
+//! keyed by `(query text, EvalOptions)` — to skip straight to execution.
 //!
 //! The plan structure is deliberately flat and inspectable (see the
-//! [`ExecutablePlan`] `Display` impl, surfaced as `--explain` in the CLI):
-//! it is the substrate later work hangs off — plan caching, statistics-
-//! driven join reordering, and parallel per-stage matching.
+//! [`ExecutablePlan`] `Display` impl and [`PreparedQuery::explain_for`],
+//! surfaced as `--explain` in the CLI). Remaining substrate work:
+//! parallel per-stage matching (see ROADMAP).
+
+pub mod cache;
+pub mod cost;
 
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
@@ -45,8 +54,11 @@ use crate::ast::{GraphPattern, PathPattern, PathPatternExpr, Selector};
 use crate::binding::{MatchSet, PathBinding};
 use crate::error::Result;
 use crate::eval::matcher::{self, Matcher, Nfa, PruneMode};
-use crate::eval::{selector, EvalOptions, MatchMode};
+use crate::eval::{selector, EvalOptions, JoinState, MatchMode};
 use crate::normalize::normalize;
+
+pub use cache::{CacheStats, PlanLru};
+pub use cost::{CostReport, CostStep, JoinAlgo};
 
 /// Lowers `pattern` into an executable plan under `opts`.
 ///
@@ -136,19 +148,38 @@ impl PreparedQuery {
     ///
     /// Only graph-dependent work happens here; the compiled stages are
     /// reused unchanged, and executions against different graphs are
-    /// fully independent.
+    /// fully independent. Per execution, the cost model consults the
+    /// graph's statistics catalog to pick the stage order (cheapest
+    /// connected stage first — see [`cost`]), each stage's bindings are
+    /// merged into the accumulated rows through a hash join on the plan's
+    /// join keys (nested loop when keys are absent or disabled), and the
+    /// remaining stages are skipped entirely once the accumulation is
+    /// empty. Results are identical to declaration-order nested-loop
+    /// execution up to row order.
     pub fn execute(&self, graph: &PropertyGraph) -> Result<MatchSet> {
-        let mut per_path: Vec<Vec<PathBinding>> = Vec::with_capacity(self.plan.stages.len());
-        for stage in &self.plan.stages {
-            per_path.push(stage.execute(graph, &self.opts)?);
+        let order = if self.opts.reorder_stages {
+            cost::order(&self.plan, graph.stats())
+        } else {
+            (0..self.plan.stages.len()).collect()
+        };
+        let mut join = JoinState::new(self.opts.isomorphism);
+        let mut placed: Vec<usize> = Vec::with_capacity(order.len());
+        for &i in &order {
+            if join.is_empty() && self.opts.reorder_stages {
+                // A cheaper stage already matched nothing: every later
+                // merge is empty, so the remaining searches are pure
+                // cost. Part of the optimizer (a skipped stage can no
+                // longer raise its resource-limit error), so the
+                // declaration-order baseline keeps executing every stage.
+                break;
+            }
+            let stage = &self.plan.stages[i];
+            let bindings = stage.execute(graph, &self.opts)?;
+            let keys = self.plan.join_keys(i, &placed);
+            join.merge_stage(&stage.expr, &bindings, &keys, self.opts.hash_join);
+            placed.push(i);
         }
-        Ok(crate::eval::join_and_filter(
-            graph,
-            &self.plan.normalized,
-            &per_path,
-            &self.opts,
-            &self.plan.exists,
-        ))
+        Ok(join.finish(graph, &self.plan.normalized, &self.opts, &self.plan.exists))
     }
 
     /// The lowered plan (inspect or `Display` it for an EXPLAIN view).
@@ -165,6 +196,21 @@ impl PreparedQuery {
     pub fn explain(&self) -> String {
         self.plan.to_string()
     }
+
+    /// The cost-based execution decision for this query over `graph`:
+    /// per-stage cardinality estimates, the chosen stage order, and the
+    /// join algorithm per step — computed exactly as [`execute`]
+    /// (`PreparedQuery::execute`) would.
+    pub fn cost_report(&self, graph: &PropertyGraph) -> CostReport {
+        CostReport::compute(&self.plan, graph.stats(), &self.opts)
+    }
+
+    /// The EXPLAIN rendering annotated with the cost model's decisions
+    /// for `graph` (the plan itself stays graph-independent; only the
+    /// annotation needs statistics).
+    pub fn explain_for(&self, graph: &PropertyGraph) -> String {
+        format!("{}\n{}", self.plan, self.cost_report(graph))
+    }
 }
 
 /// The flat, inspectable result of lowering a graph pattern: one compiled
@@ -180,10 +226,10 @@ pub struct ExecutablePlan {
     pub(crate) stages: Vec<PathStage>,
     /// Cross-stage equi-join keys (shared unconditional singletons).
     ///
-    /// Introspective today: the executor still merges rows on binding-name
-    /// agreement inside `join_and_filter` (which subsumes these keys); this
-    /// field is what EXPLAIN shows and what statistics-driven join
-    /// reordering will consume (see ROADMAP).
+    /// Consumed three ways: EXPLAIN shows them, the [`cost`] reorderer
+    /// keeps its greedy order connected along them, and the executor hash
+    /// joins on them (the per-pair merge still re-checks every shared
+    /// binding, so the keys are a filter, never a semantic widening).
     pub(crate) joins: Vec<JoinEdge>,
     /// Prepared subplans for the postfilter's `EXISTS` subqueries.
     pub(crate) exists: ExistsPlans,
@@ -205,6 +251,23 @@ impl ExecutablePlan {
         self.joins
             .iter()
             .map(|j| (j.left, j.right, j.on.as_slice()))
+    }
+
+    /// The equi-join variables between `stage` and the already-executed
+    /// `placed` stages: the union of the join-graph edges connecting them.
+    pub(crate) fn join_keys(&self, stage: usize, placed: &[usize]) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .joins
+            .iter()
+            .filter(|j| {
+                (j.left == stage && placed.contains(&j.right))
+                    || (j.right == stage && placed.contains(&j.left))
+            })
+            .flat_map(|j| j.on.iter().cloned())
+            .collect();
+        keys.sort();
+        keys.dedup();
+        keys
     }
 }
 

@@ -34,10 +34,11 @@
 pub mod json;
 
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 use gpml_core::binding::{BoundValue, MatchRow};
 use gpml_core::eval::{self, EvalOptions};
-use gpml_core::plan::{self, ExecutablePlan, PreparedQuery};
+use gpml_core::plan::{self, CacheStats, ExecutablePlan, PlanLru, PreparedQuery};
 use gpml_core::Expr;
 use gpml_parser::Parser;
 use property_graph::{ElementId, PropertyGraph, Value};
@@ -163,17 +164,30 @@ impl PreparedGqlQuery {
         self.query.plan()
     }
 
+    /// The EXPLAIN rendering annotated with the cost model's per-stage
+    /// cardinality estimates, stage order, and join algorithms for
+    /// `graph`.
+    pub fn explain_for(&self, graph: &PropertyGraph) -> String {
+        self.query.explain_for(graph)
+    }
+
     /// True when the statement has a `RETURN` clause (vs. a bare `MATCH`).
     pub fn has_return(&self) -> bool {
         self.projection.is_some()
     }
 }
 
-/// A GQL session: a catalog of graphs plus evaluation options.
+/// A GQL session: a catalog of graphs, evaluation options, and an LRU
+/// plan cache keyed by `(query text, EvalOptions)` so replayed statements
+/// skip parse, analysis, and compilation.
 #[derive(Default)]
 pub struct Session {
     catalog: BTreeMap<String, PropertyGraph>,
     options: EvalOptions,
+    /// A `Mutex` (not `RefCell`) so a read-only session stays shareable
+    /// across threads; lock scopes are per-lookup, never held across
+    /// execution.
+    plans: Mutex<PlanLru<PreparedGqlQuery>>,
 }
 
 impl Session {
@@ -187,7 +201,25 @@ impl Session {
         Session {
             catalog: BTreeMap::new(),
             options,
+            plans: Mutex::new(PlanLru::default()),
         }
+    }
+
+    /// The plan cache, surviving a poisoned lock (cache operations do not
+    /// panic, but a panicking sibling thread must not disable caching).
+    fn plans(&self) -> std::sync::MutexGuard<'_, PlanLru<PreparedGqlQuery>> {
+        self.plans.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Caps the number of distinct prepared plans the session retains
+    /// (evicting least-recently-used entries beyond it).
+    pub fn set_plan_cache_capacity(&mut self, capacity: usize) {
+        self.plans().set_capacity(capacity);
+    }
+
+    /// Hit/miss counters and occupancy of the session's plan cache.
+    pub fn plan_cache_stats(&self) -> CacheStats {
+        self.plans().stats()
     }
 
     /// Registers a graph under `name` (GQL's catalog).
@@ -203,9 +235,18 @@ impl Session {
     /// Parses and lowers a statement — `MATCH ... RETURN ...` or a bare
     /// `MATCH ...` — into a reusable [`PreparedGqlQuery`]. Preparation is
     /// graph-independent: prepare once, then execute against any graph in
-    /// the catalog, any number of times.
+    /// the catalog, any number of times. Successful preparations land in
+    /// the session's LRU plan cache, so a replayed statement (here, in
+    /// [`Session::execute`], or in [`Session::match_bindings`]) skips
+    /// parse, analysis, and compilation.
     pub fn prepare(&self, query: &str) -> Result<PreparedGqlQuery, GqlError> {
-        self.parse_statement(query, false)
+        if let Some(cached) = self.plans().get(query, &self.options) {
+            return Ok(cached.clone());
+        }
+        let prepared = self.parse_statement(query, false)?;
+        self.plans()
+            .insert(query.to_owned(), self.options.clone(), prepared.clone());
+        Ok(prepared)
     }
 
     /// Single-parse statement compiler behind [`Session::prepare`] and
@@ -353,10 +394,22 @@ impl Session {
         Ok(prepared.query.execute(g)?.rows)
     }
 
-    /// Runs `MATCH ... RETURN ...` against the named graph (one-shot:
-    /// [`Session::prepare`] + [`Session::execute_prepared`]).
+    /// Runs `MATCH ... RETURN ...` against the named graph, reusing the
+    /// session's cached plan for the statement when one exists.
     pub fn execute(&self, graph: &str, query: &str) -> Result<QueryResult, GqlError> {
-        let prepared = self.parse_statement(query, true)?;
+        let cached = self.plans().get(query, &self.options).cloned();
+        let prepared = match cached {
+            // A cached RETURN-less statement falls through to a fresh
+            // parse so the caller gets the parse error `execute` has
+            // always raised for bare MATCH.
+            Some(p) if p.has_return() => p,
+            _ => {
+                let p = self.parse_statement(query, true)?;
+                self.plans()
+                    .insert(query.to_owned(), self.options.clone(), p.clone());
+                p
+            }
+        };
         self.execute_prepared(graph, &prepared)
     }
 
@@ -456,9 +509,10 @@ impl Session {
     }
 
     /// Convenience: run a `MATCH` (no `RETURN`) and get the raw binding
-    /// rows, e.g. to feed [`Session::project_graph`].
+    /// rows, e.g. to feed [`Session::project_graph`]. Plans are cached
+    /// like in [`Session::execute`].
     pub fn match_bindings(&self, graph: &str, query: &str) -> Result<Vec<MatchRow>, GqlError> {
-        let prepared = self.parse_statement(query, false)?;
+        let prepared = self.prepare(query)?;
         if prepared.has_return() {
             return Err(GqlError::Host(
                 "match_bindings takes a bare MATCH; use execute for RETURN statements".to_owned(),
@@ -644,6 +698,48 @@ mod tests {
         // Properties survive the projection.
         let a6 = sub.node_by_name("a6").unwrap();
         assert_eq!(sub.node(a6).property("owner"), &Value::str("Dave"));
+    }
+
+    #[test]
+    fn session_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Session>();
+        // And usable from a scoped thread for read-only querying.
+        let s = session();
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| s.execute("bank", "MATCH (x:Account) RETURN x.owner AS o"));
+            assert_eq!(handle.join().unwrap().unwrap().len(), 6);
+        });
+    }
+
+    #[test]
+    fn plan_cache_hits_on_replay() {
+        let s = session();
+        let q = "MATCH (x:Account) RETURN x.owner AS o ORDER BY o";
+        let first = s.execute("bank", q).unwrap();
+        let second = s.execute("bank", q).unwrap();
+        assert_eq!(first, second);
+        let stats = s.plan_cache_stats();
+        assert!(stats.hits >= 1, "{stats:?}");
+        assert!(stats.misses >= 1, "{stats:?}");
+        assert_eq!(stats.len, 1, "{stats:?}");
+        // prepare() reuses the same cached plan.
+        let p = s.prepare(q).unwrap();
+        assert!(p.has_return());
+        assert!(s.plan_cache_stats().hits >= 2);
+    }
+
+    #[test]
+    fn plan_cache_capacity_is_bounded() {
+        let mut s = session();
+        s.set_plan_cache_capacity(2);
+        for i in 0..5 {
+            let q = format!("MATCH (x:Account WHERE x.owner='o{i}') RETURN x");
+            s.execute("bank", &q).unwrap();
+        }
+        let stats = s.plan_cache_stats();
+        assert_eq!(stats.len, 2, "{stats:?}");
+        assert_eq!(stats.capacity, 2, "{stats:?}");
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! The [`PropertyGraph`] container and its adjacency structure.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::OnceLock;
 
 use crate::ids::{EdgeId, ElementId, NodeId};
+use crate::stats::GraphStats;
 use crate::value::Value;
 
 /// Endpoint specification of an edge: `ρ(e)` in Definition 2.1.
@@ -139,6 +141,9 @@ pub struct PropertyGraph {
     /// and only once for undirected self loops).
     adjacency: Vec<Vec<Step>>,
     names: HashMap<String, ElementId>,
+    /// Lazily computed statistics catalog (see [`GraphStats`]); reset by
+    /// every mutation so planners always see numbers for the current graph.
+    stats: OnceLock<GraphStats>,
 }
 
 impl PropertyGraph {
@@ -168,6 +173,7 @@ impl PropertyGraph {
         L::Item: Into<String>,
         P: IntoIterator<Item = (&'static str, Value)>,
     {
+        self.stats.take();
         let id = NodeId(self.nodes.len() as u32);
         let prev = self.names.insert(name.to_owned(), id.into());
         assert!(prev.is_none(), "duplicate element name {name:?}");
@@ -202,6 +208,7 @@ impl PropertyGraph {
         let (a, b) = endpoints.pair();
         assert!(a.index() < self.nodes.len(), "endpoint {a:?} out of range");
         assert!(b.index() < self.nodes.len(), "endpoint {b:?} out of range");
+        self.stats.take();
         let id = EdgeId(self.edges.len() as u32);
         let prev = self.names.insert(name.to_owned(), id.into());
         assert!(prev.is_none(), "duplicate element name {name:?}");
@@ -321,6 +328,12 @@ impl PropertyGraph {
     /// Total number of incident traversal directions at `n`.
     pub fn degree(&self, n: NodeId) -> usize {
         self.adjacency[n.index()].len()
+    }
+
+    /// The statistics catalog for this graph, computed on first use and
+    /// cached until the next mutation. See [`GraphStats`].
+    pub fn stats(&self) -> &GraphStats {
+        self.stats.get_or_init(|| GraphStats::compute(self))
     }
 
     /// Checks internal consistency: adjacency mirrors `ρ`, names are unique

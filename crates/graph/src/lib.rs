@@ -35,9 +35,11 @@
 pub mod graph;
 pub mod ids;
 pub mod path;
+pub mod stats;
 pub mod value;
 
 pub use graph::{EdgeData, Endpoints, NodeData, PropertyGraph, Step, Traversal};
 pub use ids::{EdgeId, ElementId, NodeId};
 pub use path::Path;
+pub use stats::{EdgeLabelStats, GraphStats};
 pub use value::Value;

@@ -1,0 +1,293 @@
+//! The graph statistics catalog.
+//!
+//! [`GraphStats`] summarizes a [`PropertyGraph`] for cost-based query
+//! planning: element counts per label, the directed/undirected split of
+//! every edge label, average degrees, and distinct-value hints per
+//! property key. The catalog is computed once per graph on first use
+//! ([`PropertyGraph::stats`]), cached inside the graph, and invalidated by
+//! any mutation, so planners can consult it on every execution for the
+//! price of a pointer read.
+//!
+//! The numbers are *estimator inputs*, not exact query answers: a planner
+//! combines them under independence assumptions (e.g. label distribution
+//! independent of edge orientation), which is the classic trade-off of
+//! one-pass statistics catalogs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::graph::PropertyGraph;
+
+/// Per-edge-label tallies: how many matching edges are directed vs
+/// undirected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EdgeLabelStats {
+    /// Directed edges carrying the label.
+    pub directed: usize,
+    /// Undirected edges carrying the label.
+    pub undirected: usize,
+}
+
+impl EdgeLabelStats {
+    /// Total edges carrying the label.
+    pub fn total(&self) -> usize {
+        self.directed + self.undirected
+    }
+}
+
+/// A one-pass statistical summary of a property graph.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GraphStats {
+    /// `|N|`.
+    pub node_count: usize,
+    /// `|E|`.
+    pub edge_count: usize,
+    /// Directed edges overall.
+    pub directed_edge_count: usize,
+    /// Undirected edges overall.
+    pub undirected_edge_count: usize,
+    /// Nodes carrying at least one label (the `%` wildcard's domain).
+    pub labeled_node_count: usize,
+    /// Edges carrying at least one label.
+    pub labeled_edge_count: usize,
+    /// Nodes per label.
+    pub node_labels: BTreeMap<String, usize>,
+    /// Edges per label, split by orientation.
+    pub edge_labels: BTreeMap<String, EdgeLabelStats>,
+    /// Distinct values observed per property key, across nodes and edges —
+    /// the equality-predicate selectivity hint (`1 / distinct`).
+    pub distinct_property_values: BTreeMap<String, usize>,
+}
+
+impl GraphStats {
+    /// Computes the catalog with one pass over nodes and one over edges.
+    pub fn compute(g: &PropertyGraph) -> GraphStats {
+        let mut stats = GraphStats {
+            node_count: g.node_count(),
+            edge_count: g.edge_count(),
+            ..GraphStats::default()
+        };
+        let mut values: BTreeMap<String, std::collections::BTreeSet<&crate::value::Value>> =
+            BTreeMap::new();
+        for n in g.nodes() {
+            let data = g.node(n);
+            if !data.labels.is_empty() {
+                stats.labeled_node_count += 1;
+            }
+            for l in &data.labels {
+                *stats.node_labels.entry(l.clone()).or_insert(0) += 1;
+            }
+            for (k, v) in &data.properties {
+                values.entry(k.clone()).or_default().insert(v);
+            }
+        }
+        for e in g.edges() {
+            let data = g.edge(e);
+            let directed = data.endpoints.is_directed();
+            if directed {
+                stats.directed_edge_count += 1;
+            } else {
+                stats.undirected_edge_count += 1;
+            }
+            if !data.labels.is_empty() {
+                stats.labeled_edge_count += 1;
+            }
+            for l in &data.labels {
+                let entry = stats.edge_labels.entry(l.clone()).or_default();
+                if directed {
+                    entry.directed += 1;
+                } else {
+                    entry.undirected += 1;
+                }
+            }
+            for (k, v) in &data.properties {
+                values.entry(k.clone()).or_default().insert(v);
+            }
+        }
+        stats.distinct_property_values =
+            values.into_iter().map(|(k, set)| (k, set.len())).collect();
+        stats
+    }
+
+    /// Nodes carrying `label`.
+    pub fn nodes_with_label(&self, label: &str) -> usize {
+        self.node_labels.get(label).copied().unwrap_or(0)
+    }
+
+    /// Edge tallies for `label`.
+    pub fn edges_with_label(&self, label: &str) -> EdgeLabelStats {
+        self.edge_labels.get(label).copied().unwrap_or_default()
+    }
+
+    /// Average out-degree over all nodes, counting only directed edges
+    /// with `label` (or all directed edges when `None`). By symmetry this
+    /// is also the average in-degree.
+    pub fn avg_out_degree(&self, label: Option<&str>) -> f64 {
+        if self.node_count == 0 {
+            return 0.0;
+        }
+        let edges = match label {
+            Some(l) => self.edges_with_label(l).directed,
+            None => self.directed_edge_count,
+        };
+        edges as f64 / self.node_count as f64
+    }
+
+    /// Average number of undirected incidences per node for `label` (or
+    /// all undirected edges when `None`): each undirected edge is
+    /// traversable from both ends.
+    pub fn avg_undirected_degree(&self, label: Option<&str>) -> f64 {
+        if self.node_count == 0 {
+            return 0.0;
+        }
+        let edges = match label {
+            Some(l) => self.edges_with_label(l).undirected,
+            None => self.undirected_edge_count,
+        };
+        2.0 * edges as f64 / self.node_count as f64
+    }
+
+    /// Distinct values observed for property `key`, if any element has it.
+    pub fn distinct_values(&self, key: &str) -> Option<usize> {
+        self.distinct_property_values.get(key).copied()
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "graph statistics: {} nodes ({} labeled), {} edges ({} directed, {} undirected)",
+            self.node_count,
+            self.labeled_node_count,
+            self.edge_count,
+            self.directed_edge_count,
+            self.undirected_edge_count,
+        )?;
+        writeln!(f, "  node labels:")?;
+        if self.node_labels.is_empty() {
+            writeln!(f, "    (none)")?;
+        }
+        for (label, count) in &self.node_labels {
+            writeln!(f, "    :{label} \u{2192} {count}")?;
+        }
+        writeln!(f, "  edge labels:")?;
+        if self.edge_labels.is_empty() {
+            writeln!(f, "    (none)")?;
+        }
+        for (label, s) in &self.edge_labels {
+            writeln!(
+                f,
+                "    :{label} \u{2192} {} ({} directed, {} undirected, avg out-degree {:.3})",
+                s.total(),
+                s.directed,
+                s.undirected,
+                self.avg_out_degree(Some(label)),
+            )?;
+        }
+        writeln!(f, "  distinct property values:")?;
+        if self.distinct_property_values.is_empty() {
+            writeln!(f, "    (none)")?;
+        }
+        for (key, distinct) in &self.distinct_property_values {
+            writeln!(f, "    .{key} \u{2192} {distinct}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Endpoints;
+    use crate::value::Value;
+
+    fn sample() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let a = g.add_node("a", ["Account"], [("owner", Value::str("x"))]);
+        let b = g.add_node("b", ["Account"], [("owner", Value::str("y"))]);
+        let c = g.add_node("c", Vec::<String>::new(), []);
+        g.add_edge(
+            "t1",
+            Endpoints::directed(a, b),
+            ["Transfer"],
+            [("amount", Value::Int(1))],
+        );
+        g.add_edge(
+            "t2",
+            Endpoints::directed(b, a),
+            ["Transfer"],
+            [("amount", Value::Int(1))],
+        );
+        g.add_edge("u1", Endpoints::undirected(a, c), ["Knows"], []);
+        g
+    }
+
+    #[test]
+    fn counts_labels_and_orientations() {
+        let g = sample();
+        let s = g.stats();
+        assert_eq!(s.node_count, 3);
+        assert_eq!(s.edge_count, 3);
+        assert_eq!(s.labeled_node_count, 2);
+        assert_eq!(s.nodes_with_label("Account"), 2);
+        assert_eq!(s.nodes_with_label("Nope"), 0);
+        let t = s.edges_with_label("Transfer");
+        assert_eq!((t.directed, t.undirected, t.total()), (2, 0, 2));
+        let k = s.edges_with_label("Knows");
+        assert_eq!((k.directed, k.undirected), (0, 1));
+        assert_eq!(s.directed_edge_count, 2);
+        assert_eq!(s.undirected_edge_count, 1);
+    }
+
+    #[test]
+    fn degrees_and_distinct_hints() {
+        let g = sample();
+        let s = g.stats();
+        assert!((s.avg_out_degree(Some("Transfer")) - 2.0 / 3.0).abs() < 1e-9);
+        assert!((s.avg_undirected_degree(Some("Knows")) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.distinct_values("owner"), Some(2));
+        assert_eq!(s.distinct_values("amount"), Some(1));
+        assert_eq!(s.distinct_values("missing"), None);
+    }
+
+    #[test]
+    fn cache_is_invalidated_on_mutation() {
+        let mut g = sample();
+        assert_eq!(g.stats().node_count, 3);
+        let d = g.add_node("d", ["Account"], []);
+        let a = g.node_by_name("a").unwrap();
+        assert_eq!(g.stats().node_count, 4, "add_node must refresh stats");
+        assert_eq!(g.stats().nodes_with_label("Account"), 3);
+        g.add_edge("t3", Endpoints::directed(a, d), ["Transfer"], []);
+        assert_eq!(g.stats().edges_with_label("Transfer").directed, 3);
+    }
+
+    #[test]
+    fn clone_keeps_valid_stats() {
+        let g = sample();
+        let _ = g.stats();
+        let mut h = g.clone();
+        assert_eq!(h.stats(), g.stats());
+        h.add_node("z", ["Z"], []);
+        assert_eq!(h.stats().nodes_with_label("Z"), 1);
+        assert_eq!(g.stats().nodes_with_label("Z"), 0);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = PropertyGraph::new();
+        let s = g.stats();
+        assert_eq!(s.node_count, 0);
+        assert_eq!(s.avg_out_degree(None), 0.0);
+        assert!(s.to_string().contains("(none)"));
+    }
+
+    #[test]
+    fn display_mentions_labels() {
+        let g = sample();
+        let text = g.stats().to_string();
+        assert!(text.contains(":Transfer"), "{text}");
+        assert!(text.contains(".owner"), "{text}");
+    }
+}

@@ -16,9 +16,11 @@
 //! `path(a6,t5,a3,...)` rendering, group references as bracketed key
 //! lists (PGQL's `LISTAGG` style).
 
+use std::sync::Mutex;
+
 use gpml_core::binding::{BoundValue, MatchRow};
 use gpml_core::eval::{self, EvalOptions};
-use gpml_core::plan::{self, ExecutablePlan, PreparedQuery};
+use gpml_core::plan::{self, CacheStats, ExecutablePlan, PlanLru, PreparedQuery};
 use gpml_core::Expr;
 use gpml_parser::Parser;
 use property_graph::{PropertyGraph, Value};
@@ -78,6 +80,13 @@ impl PreparedGraphTable {
         self.query.plan()
     }
 
+    /// The EXPLAIN rendering annotated with the cost model's per-stage
+    /// cardinality estimates, stage order, and join algorithms for
+    /// `graph`.
+    pub fn explain_for(&self, graph: &PropertyGraph) -> String {
+        self.query.explain_for(graph)
+    }
+
     /// Runs the prepared body over `graph`, producing the projected table.
     pub fn execute(&self, graph: &PropertyGraph) -> Result<Table, PgqError> {
         let rows = self.query.execute(graph)?;
@@ -116,6 +125,65 @@ pub fn graph_table_with(
     opts: &EvalOptions,
 ) -> Result<Table, PgqError> {
     prepare_graph_table(body, opts)?.execute(graph)
+}
+
+/// An LRU cache over [`prepare_graph_table`], keyed by `(body text,
+/// EvalOptions)`: SQL hosts that replay `GRAPH_TABLE` bodies get plan
+/// reuse without holding [`PreparedGraphTable`] handles themselves
+/// (mirrors the GQL session's plan cache).
+pub struct GraphTableCache {
+    opts: EvalOptions,
+    /// A `Mutex` (not `RefCell`) so the cache is shareable across
+    /// threads like the rest of the read-only query surface.
+    plans: Mutex<PlanLru<PreparedGraphTable>>,
+}
+
+impl Default for GraphTableCache {
+    fn default() -> GraphTableCache {
+        GraphTableCache::new(EvalOptions::default())
+    }
+}
+
+impl GraphTableCache {
+    /// An empty cache preparing bodies under `opts`.
+    pub fn new(opts: EvalOptions) -> GraphTableCache {
+        GraphTableCache {
+            opts,
+            plans: Mutex::new(PlanLru::default()),
+        }
+    }
+
+    /// The cache, surviving a poisoned lock (cache operations do not
+    /// panic, but a panicking sibling thread must not disable caching).
+    fn plans(&self) -> std::sync::MutexGuard<'_, PlanLru<PreparedGraphTable>> {
+        self.plans.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Caps the number of distinct prepared bodies retained.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.plans().set_capacity(capacity);
+    }
+
+    /// Hit/miss counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        self.plans().stats()
+    }
+
+    /// The prepared plan for `body`, from the cache or freshly compiled.
+    pub fn prepare(&self, body: &str) -> Result<PreparedGraphTable, PgqError> {
+        if let Some(cached) = self.plans().get(body, &self.opts) {
+            return Ok(cached.clone());
+        }
+        let prepared = prepare_graph_table(body, &self.opts)?;
+        self.plans()
+            .insert(body.to_owned(), self.opts.clone(), prepared.clone());
+        Ok(prepared)
+    }
+
+    /// Runs `body` over `graph`, reusing its cached plan when present.
+    pub fn execute(&self, graph: &PropertyGraph, body: &str) -> Result<Table, PgqError> {
+        self.prepare(body)?.execute(graph)
+    }
 }
 
 /// `( expr (AS alias)? (, expr (AS alias)?)* )`
@@ -256,6 +324,29 @@ mod tests {
         assert_eq!(second.get(0, "sender"), Some(&Value::str("A")));
         // And re-executing over the first graph is unchanged.
         assert_eq!(prepared.execute(&g1).unwrap(), first);
+    }
+
+    #[test]
+    fn graph_table_cache_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphTableCache>();
+    }
+
+    #[test]
+    fn graph_table_cache_reuses_plans() {
+        let g = fig1();
+        let cache = GraphTableCache::default();
+        let body = "MATCH (x:Account)-[t:Transfer]->(y:Account) \
+                    COLUMNS (x.owner AS sender, y.owner AS receiver)";
+        let first = cache.execute(&g, body).unwrap();
+        let second = cache.execute(&g, body).unwrap();
+        assert_eq!(first, second);
+        let stats = cache.stats();
+        assert!(stats.hits >= 1, "{stats:?}");
+        assert_eq!(stats.len, 1, "{stats:?}");
+        // Parse errors are not cached.
+        assert!(cache.execute(&g, "MATCH (x COLUMNS (x)").is_err());
+        assert_eq!(cache.stats().len, 1);
     }
 
     #[test]

@@ -25,7 +25,8 @@ pub mod view;
 pub use csv::CsvError;
 pub use ddl::parse_ddl;
 pub use graph_table::{
-    graph_table, graph_table_with, prepare_graph_table, PgqError, PreparedGraphTable,
+    graph_table, graph_table_with, prepare_graph_table, GraphTableCache, PgqError,
+    PreparedGraphTable,
 };
 pub use table::{Database, Table};
 pub use view::{materialize_tabulation, tabulate, EdgeTable, GraphView, VertexTable, ViewError};

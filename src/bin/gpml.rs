@@ -20,12 +20,11 @@
 //! Modes: `gpml` (default), `sparql` (endpoint-only), `gsql` (implicit
 //! `ALL SHORTEST`).
 
-use std::collections::HashMap;
 use std::io::BufRead;
 
 use gpml_suite::core::eval::{EvalOptions, MatchMode};
 use gpml_suite::datagen::{chain, cycle, fig1, grid, transfer_network, TransferNetworkConfig};
-use gpml_suite::gql::{PreparedGqlQuery, Session};
+use gpml_suite::gql::Session;
 use property_graph::PropertyGraph;
 
 fn usage() -> ! {
@@ -33,8 +32,11 @@ fn usage() -> ! {
         "usage: gpml [--graph fig1|chain:N|cycle:N|grid:WxH|network:N,M,SEED|csv:DIR] \
          [--mode gpml|sparql|gsql] [--json] [--explain] [QUERY]\n\
          With no QUERY, reads one query per line from stdin; repeated\n\
-         queries reuse their compiled plan. --explain prints each query's\n\
-         lowered plan before the results."
+         queries reuse their compiled plan (the session's LRU plan cache).\n\
+         --explain prints each query's lowered plan — with per-stage\n\
+         estimated cardinality, the chosen stage order, and the join\n\
+         algorithm — before the results. REPL commands: :stats dumps the\n\
+         graph's statistics catalog, :cache the plan-cache counters."
     );
     std::process::exit(2)
 }
@@ -104,35 +106,47 @@ fn load_csv_dir(dir: &str) -> Result<PropertyGraph, String> {
     Ok(catalog.graph(&name).expect("just created").clone())
 }
 
-/// Compiled plans, keyed by query text: a REPL that replays a query skips
-/// parse, analysis, and compilation and goes straight to execution.
-type PlanCache = HashMap<String, PreparedGqlQuery>;
-
-/// Bound on distinct cached plans; past it the cache resets, so a piped
-/// stream of unique queries cannot grow memory without limit.
-const PLAN_CACHE_CAP: usize = 256;
-
-fn run_one(session: &Session, cache: &mut PlanCache, query: &str, json: bool, explain: bool) {
-    if !cache.contains_key(query) {
-        match session.prepare(query) {
-            Ok(p) => {
-                if cache.len() >= PLAN_CACHE_CAP {
-                    cache.clear();
-                }
-                cache.insert(query.to_owned(), p);
-            }
-            Err(e) => {
-                eprintln!("error: {e}");
-                return;
-            }
+/// Handles a `:command` REPL line; returns true when the line was one.
+fn run_command(session: &Session, line: &str) -> bool {
+    match line {
+        ":stats" => {
+            let g = session.graph("g").expect("registered");
+            eprint!("{}", g.stats());
+            true
         }
+        ":cache" => {
+            let s = session.plan_cache_stats();
+            eprintln!(
+                "plan cache: {} hits, {} misses, {}/{} entries",
+                s.hits, s.misses, s.len, s.capacity
+            );
+            true
+        }
+        _ if line.starts_with(':') => {
+            eprintln!("unknown command {line} (try :stats or :cache)");
+            true
+        }
+        _ => false,
     }
-    let prepared = &cache[query];
+}
+
+fn run_one(session: &Session, query: &str, json: bool, explain: bool) {
+    // Session::prepare consults the session's LRU plan cache: a replayed
+    // query skips parse, analysis, and compilation and goes straight to
+    // execution.
+    let prepared = match session.prepare(query) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return;
+        }
+    };
     if explain {
-        eprintln!("{}", prepared.plan());
+        let g = session.graph("g").expect("registered");
+        eprintln!("{}", prepared.explain_for(g));
     }
     if prepared.has_return() {
-        match session.execute_prepared("g", prepared) {
+        match session.execute_prepared("g", &prepared) {
             Ok(result) => {
                 if json {
                     println!("{}", result.to_json());
@@ -149,7 +163,7 @@ fn run_one(session: &Session, cache: &mut PlanCache, query: &str, json: bool, ex
         }
         return;
     }
-    match session.match_prepared("g", prepared) {
+    match session.match_prepared("g", &prepared) {
         Ok(rows) => {
             let g = session.graph("g").expect("registered");
             if json {
@@ -221,18 +235,23 @@ fn main() {
     });
     session.register("g", graph);
 
-    let mut cache = PlanCache::new();
     match query {
-        Some(q) => run_one(&session, &mut cache, &q, json, explain),
+        Some(q) => run_one(&session, &q, json, explain),
         None => {
-            eprintln!("reading queries from stdin (one per line; Ctrl-D to quit)");
+            eprintln!(
+                "reading queries from stdin (one per line; :stats dumps graph \
+                 statistics; Ctrl-D to quit)"
+            );
             for line in std::io::stdin().lock().lines() {
                 let Ok(line) = line else { break };
                 let line = line.trim();
                 if line.is_empty() {
                     continue;
                 }
-                run_one(&session, &mut cache, line, json, explain);
+                if run_command(&session, line) {
+                    continue;
+                }
+                run_one(&session, line, json, explain);
             }
         }
     }

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 
 use gpml_suite::core::ast::*;
 use gpml_suite::core::binding::MatchRow;
-use gpml_suite::core::eval::{evaluate, EvalOptions};
+use gpml_suite::core::eval::{evaluate, EvalOptions, MatchIso, MatchMode};
 use gpml_suite::core::plan::prepare;
 use gpml_suite::core::{baseline, GraphPattern};
 use gpml_suite::datagen::small_mixed;
@@ -17,6 +17,16 @@ fn opts() -> EvalOptions {
     EvalOptions {
         max_matches: 200_000,
         ..EvalOptions::default()
+    }
+}
+
+/// The cost-based optimizations off: declaration-order stages, all-pairs
+/// nested-loop merge.
+fn declaration_order(base: &EvalOptions) -> EvalOptions {
+    EvalOptions {
+        reorder_stages: false,
+        hash_join: false,
+        ..base.clone()
     }
 }
 
@@ -294,6 +304,44 @@ fn gql_prepared_statement_reuses_across_graphs() {
     assert_eq!(session.execute_prepared("small", &q).unwrap(), small);
 }
 
+/// Compares default execution (reordering + hash joins, the engine
+/// default) against the declaration-order nested-loop baseline under one
+/// (mode, isomorphism) combination: identical acceptance, identical row
+/// sets.
+fn check_cost_based_agreement(
+    g: &PropertyGraph,
+    pattern: &GraphPattern,
+    mode: MatchMode,
+    iso: MatchIso,
+) {
+    let optimized = EvalOptions {
+        mode,
+        isomorphism: iso,
+        ..opts()
+    };
+    assert!(optimized.reorder_stages && optimized.hash_join);
+    let a = evaluate(g, pattern, &optimized);
+    let b = evaluate(g, pattern, &declaration_order(&optimized));
+    match (a, b) {
+        (Ok(x), Ok(y)) => assert_eq!(
+            sorted(x),
+            sorted(y),
+            "cost-based and declaration-order execution disagree on {pattern} \
+             (mode {mode:?}, iso {iso:?})"
+        ),
+        (Err(_), Err(_)) => {}
+        (Ok(_), Err(e)) | (Err(e), Ok(_)) => {
+            // Stage reordering may move a resource-limit failure across
+            // the success boundary (a skipped stage never hits its
+            // limit); static rejections must agree.
+            assert!(
+                matches!(e, gpml_suite::core::Error::LimitExceeded { .. }),
+                "one-sided static failure on {pattern}: {e}"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -337,6 +385,55 @@ proptest! {
             where_clause: None,
         };
         check_agreement(&g, &gp);
+    }
+
+    #[test]
+    fn cost_based_execution_agrees_across_modes(
+        seed in 0u64..500,
+        p1 in chain_pattern(),
+        p2 in chain_pattern(),
+        p3 in chain_pattern(),
+        mode in proptest::sample::select(vec![
+            MatchMode::Gpml,
+            MatchMode::EndpointOnly,
+            MatchMode::GsqlDefault,
+        ]),
+        iso in proptest::sample::select(vec![
+            MatchIso::Homomorphism,
+            MatchIso::EdgeIsomorphic,
+        ]),
+    ) {
+        let g = small_mixed(seed, 4, 6);
+        let gp = GraphPattern {
+            paths: vec![
+                PathPatternExpr::plain(p1),
+                PathPatternExpr::plain(p2),
+                PathPatternExpr::plain(p3),
+            ],
+            where_clause: None,
+        };
+        check_cost_based_agreement(&g, &gp, mode, iso);
+    }
+
+    #[test]
+    fn cost_based_quantified_patterns_agree(
+        seed in 0u64..500,
+        (restrictor, selector, pattern) in quantified_pattern(),
+        p2 in chain_pattern(),
+        iso in proptest::sample::select(vec![
+            MatchIso::Homomorphism,
+            MatchIso::EdgeIsomorphic,
+        ]),
+    ) {
+        let g = small_mixed(seed, 4, 6);
+        let gp = GraphPattern {
+            paths: vec![
+                PathPatternExpr { selector, restrictor, path_var: Some("p".into()), pattern },
+                PathPatternExpr::plain(p2),
+            ],
+            where_clause: None,
+        };
+        check_cost_based_agreement(&g, &gp, MatchMode::Gpml, iso);
     }
 
     #[test]
