@@ -15,11 +15,22 @@
 //!
 //! `GPML_JOINS=cost` or `GPML_JOINS=baseline` restricts the run to one
 //! side.
+//!
+//! A second group (`EB11/scaling`) measures parallel per-stage matching:
+//! the same prepared plan run at `threads = 1` vs `2` vs `4` on workloads
+//! sized so the stage searches dominate. `GPML_THREADS=N` restricts the
+//! sweep to `{1, N}` (the CI smoke run uses `GPML_THREADS=2`). Results
+//! are asserted bit-for-bit identical across thread counts before any
+//! timing starts.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use gpml_bench::joins::{cost_based_opts, declaration_order_opts, sides_from_env, workloads};
+use gpml_bench::joins::{
+    cost_based_opts, declaration_order_opts, scaling_threads, scaling_workloads, sides_from_env,
+    workloads,
+};
 use gpml_bench::parse;
+use gpml_core::eval::EvalOptions;
 use gpml_core::plan::prepare;
 
 fn bench_joins(c: &mut Criterion) {
@@ -51,5 +62,43 @@ fn bench_joins(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_joins);
+fn bench_scaling(c: &mut Criterion) {
+    for w in scaling_workloads() {
+        let pattern = parse(w.query);
+        let sequential = prepare(
+            &pattern,
+            &EvalOptions {
+                threads: 1,
+                ..cost_based_opts()
+            },
+        )
+        .expect("prepare sequential");
+        let want = sequential.execute(&w.graph).expect("sequential");
+
+        let mut group = c.benchmark_group(format!("EB11/scaling/{}", w.name));
+        for threads in scaling_threads() {
+            let q = prepare(
+                &pattern,
+                &EvalOptions {
+                    threads,
+                    ..cost_based_opts()
+                },
+            )
+            .expect("prepare parallel");
+            // Determinism before timing: same rows, same order.
+            assert_eq!(
+                q.execute(&w.graph).expect("parallel"),
+                want,
+                "threads={threads} diverged on {}",
+                w.name
+            );
+            group.bench_function(format!("threads={threads}"), |b| {
+                b.iter(|| q.execute(&w.graph).expect("execute"))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_joins, bench_scaling);
 criterion_main!(benches);

@@ -157,6 +157,27 @@ pub fn workloads() -> Vec<JoinWorkload> {
     vec![chain(150), star(40, 40), clique(60, 3), cross(60)]
 }
 
+/// Workloads for the parallel-matching scaling comparison, sized up so
+/// the per-stage product-automaton searches (the part the thread pool
+/// partitions) dominate the cross-stage join.
+pub fn scaling_workloads() -> Vec<JoinWorkload> {
+    vec![chain(700), clique(260, 4)]
+}
+
+/// Thread counts the scaling bench sweeps: 1 (the sequential baseline)
+/// plus 2 and 4, or `{1, N}` when `GPML_THREADS=N` restricts the run
+/// (CI's smoke setting uses `N = 2`; `N = 1` runs only the baseline).
+pub fn scaling_threads() -> Vec<usize> {
+    match std::env::var("GPML_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        Some(1) => vec![1],
+        Some(n) if n > 1 => vec![1, n],
+        _ => vec![1, 2, 4],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

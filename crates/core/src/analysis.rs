@@ -33,8 +33,11 @@ use crate::normalize::is_anonymous;
 /// What sort of element a variable binds.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum VarKind {
+    /// Binds a node.
     Node,
+    /// Binds an edge.
     Edge,
+    /// Binds a whole path (a `p = ...` path variable).
     Path,
 }
 
@@ -54,7 +57,9 @@ pub enum VarClass {
 /// Everything the engines need to know about one variable.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct VarInfo {
+    /// What sort of element the variable binds.
     pub kind: VarKind,
+    /// Its singleton/conditional/group classification.
     pub class: VarClass,
 }
 

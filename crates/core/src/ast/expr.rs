@@ -19,11 +19,17 @@ use property_graph::Value;
 /// Comparison operators.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CmpOp {
+    /// `=`
     Eq,
+    /// `<>`
     Ne,
+    /// `<`
     Lt,
+    /// `<=`
     Le,
+    /// `>`
     Gt,
+    /// `>=`
     Ge,
 }
 
@@ -46,19 +52,28 @@ impl CmpOp {
 /// Binary arithmetic operators.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ArithOp {
+    /// `+`
     Add,
+    /// `-`
     Sub,
+    /// `*`
     Mul,
+    /// `/` (unknown on division by zero)
     Div,
 }
 
 /// Aggregate functions over group variables (§4.4, §5.3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AggFunc {
+    /// `COUNT(...)`
     Count,
+    /// `SUM(...)`
     Sum,
+    /// `AVG(...)`
     Avg,
+    /// `MIN(...)`
     Min,
+    /// `MAX(...)`
     Max,
 }
 
@@ -121,9 +136,19 @@ pub enum Expr {
     /// directed.
     IsDirected(String),
     /// `s IS SOURCE OF e` (§4.7).
-    IsSourceOf { node: String, edge: String },
+    IsSourceOf {
+        /// The node variable tested.
+        node: String,
+        /// The edge variable tested against.
+        edge: String,
+    },
     /// `d IS DESTINATION OF e` (§4.7).
-    IsDestinationOf { node: String, edge: String },
+    IsDestinationOf {
+        /// The node variable tested.
+        node: String,
+        /// The edge variable tested against.
+        edge: String,
+    },
     /// `SAME(p, q, ...)` (§4.7): all references bound to the same element.
     Same(Vec<String>),
     /// `ALL_DIFFERENT(p, q, ...)` (§4.7): pairwise distinct elements.
@@ -131,8 +156,11 @@ pub enum Expr {
     /// Aggregate over a group variable; `distinct` implements
     /// `COUNT(DISTINCT e)`.
     Aggregate {
+        /// The aggregate function applied.
         func: AggFunc,
+        /// What it ranges over (variable, `v.*`, or property).
         arg: AggArg,
+        /// `COUNT(DISTINCT e)`-style deduplication before aggregating.
         distinct: bool,
     },
     /// `EXISTS { pattern }` — true when the subpattern has at least one

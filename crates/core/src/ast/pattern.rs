@@ -76,8 +76,11 @@ impl Direction {
 /// so `()` is the simplest node pattern (§4.1).
 #[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
 pub struct NodePattern {
+    /// The variable the node binds to, if named.
     pub var: Option<String>,
+    /// The label expression the node must satisfy.
     pub label: Option<LabelExpr>,
+    /// The `WHERE` prefilter inside the parentheses.
     pub predicate: Option<Expr>,
 }
 
@@ -85,9 +88,13 @@ pub struct NodePattern {
 /// `var : labelExpr WHERE cond` spec.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct EdgePattern {
+    /// The variable the edge binds to, if named.
     pub var: Option<String>,
+    /// The label expression the edge must satisfy.
     pub label: Option<LabelExpr>,
+    /// The `WHERE` prefilter inside the brackets.
     pub predicate: Option<Expr>,
+    /// The Figure 5 orientation.
     pub direction: Direction,
 }
 
@@ -157,7 +164,9 @@ impl EdgePattern {
 /// `{0,}` and `+` is `{1,}` after normalization.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Quantifier {
+    /// Minimum iterations.
     pub min: u32,
+    /// Maximum iterations; `None` means unbounded.
     pub max: Option<u32>,
 }
 
@@ -221,9 +230,17 @@ pub enum Selector {
     ShortestKGroup(u32),
     /// `ANY CHEAPEST(prop)` — one minimum-cost path per partition (§7.1
     /// language opportunity; non-deterministic under cost ties).
-    AnyCheapest { weight: String },
+    AnyCheapest {
+        /// The numeric edge property summed as the path cost.
+        weight: String,
+    },
     /// `CHEAPEST k (prop)` — the k cheapest paths per partition.
-    CheapestK { k: u32, weight: String },
+    CheapestK {
+        /// How many paths to keep per partition.
+        k: u32,
+        /// The numeric edge property summed as the path cost.
+        weight: String,
+    },
 }
 
 impl Selector {
@@ -247,21 +264,28 @@ impl Selector {
 /// A path pattern (§4.2–§4.6).
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum PathPattern {
+    /// A node pattern `(x:Label WHERE ...)`.
     Node(NodePattern),
+    /// An edge pattern `-[e:Label WHERE ...]->` in any orientation.
     Edge(EdgePattern),
     /// Concatenation of factors, e.g. `(x)-[e]->(y)`.
     Concat(Vec<PathPattern>),
     /// A parenthesized path pattern `[ RESTRICTOR? inner WHERE cond? ]`,
     /// possibly quantified from outside.
     Paren {
+        /// The restrictor scoped to this parenthesized subpattern.
         restrictor: Option<Restrictor>,
+        /// The enclosed pattern.
         inner: Box<PathPattern>,
+        /// The per-iteration `WHERE` prefilter.
         predicate: Option<Expr>,
     },
     /// `inner { m, n }` — inner is an edge pattern or parenthesized path
     /// pattern; all variables inside are exposed as group variables.
     Quantified {
+        /// The repeated body.
         inner: Box<PathPattern>,
+        /// The repetition bounds.
         quantifier: Quantifier,
     },
     /// `inner ?` — like `{0,1}` but singletons inside stay *conditional
@@ -314,9 +338,13 @@ impl PathPattern {
 /// `MATCH ALL SHORTEST TRAIL p = (a)-[t:Transfer]->*(b)` has all four.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct PathPatternExpr {
+    /// The Figure 8 selector, if any.
     pub selector: Option<Selector>,
+    /// The Figure 7 restrictor, if any.
     pub restrictor: Option<Restrictor>,
+    /// The `p = ...` path variable, if declared.
     pub path_var: Option<String>,
+    /// The pattern body.
     pub pattern: PathPattern,
 }
 
@@ -336,7 +364,9 @@ impl PathPatternExpr {
 /// `MATCH`, plus the optional final `WHERE` postfilter (§4.3, §6.6).
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct GraphPattern {
+    /// The comma-separated path patterns.
     pub paths: Vec<PathPatternExpr>,
+    /// The final `WHERE` postfilter, if any.
     pub where_clause: Option<Expr>,
 }
 

@@ -182,6 +182,7 @@ impl fmt::Display for PathBindingDisplay<'_> {
 /// all path patterns, after the cross-pattern join.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MatchRow {
+    /// The bindings, keyed by variable name.
     pub values: BTreeMap<String, BoundValue>,
 }
 
@@ -203,6 +204,7 @@ impl MatchRow {
 /// multiplicity-preserving, for `|+|`) collection of rows.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MatchSet {
+    /// The result rows, in engine output order.
     pub rows: Vec<MatchRow>,
 }
 

@@ -7,30 +7,62 @@ use std::fmt;
 pub enum Error {
     /// An unbounded quantifier (`*`, `+`, `{m,}`) is not in the scope of a
     /// restrictor or selector, so the query might not terminate (§5).
-    UnboundedQuantifier { quantifier: String },
+    UnboundedQuantifier {
+        /// The quantifier's concrete syntax (`*`, `+`, `{m,}`).
+        quantifier: String,
+    },
     /// A prefilter aggregates a group variable that is effectively
     /// unbounded at that point (§5.3): the enclosing quantifier has no
     /// upper bound and no restrictor bounds it.
-    UnboundedAggregate { var: String },
+    UnboundedAggregate {
+        /// The aggregated group variable.
+        var: String,
+    },
     /// An implicit equi-join on a conditional singleton, which GPML forbids
     /// because it lacks intuitive semantics (§4.6).
-    ConditionalJoin { var: String },
+    ConditionalJoin {
+        /// The conditional singleton variable.
+        var: String,
+    },
     /// `SAME` / `ALL_DIFFERENT` applied to a variable that is not an
     /// unconditional singleton (§4.7).
-    ConditionalElementTest { var: String },
+    ConditionalElementTest {
+        /// The offending variable.
+        var: String,
+    },
     /// A group variable is shared between two elements that would join on
     /// it (across path patterns or across a quantifier boundary).
-    GroupJoin { var: String },
+    GroupJoin {
+        /// The shared group variable.
+        var: String,
+    },
     /// A group variable referenced outside an aggregate in a postfilter.
-    GroupAsSingleton { var: String },
+    GroupAsSingleton {
+        /// The group variable referenced as a singleton.
+        var: String,
+    },
     /// A reference to a variable no pattern declares.
-    UnknownVariable { var: String },
+    UnknownVariable {
+        /// The undeclared variable.
+        var: String,
+    },
     /// A path variable reused or colliding with an element variable.
-    PathVarConflict { var: String },
+    PathVarConflict {
+        /// The conflicting path variable.
+        var: String,
+    },
     /// A variable used both as node and as edge variable.
-    KindConflict { var: String },
+    KindConflict {
+        /// The variable with conflicting kinds.
+        var: String,
+    },
     /// An evaluation resource limit was exceeded.
-    LimitExceeded { what: &'static str, limit: usize },
+    LimitExceeded {
+        /// What overflowed (e.g. `"matches"`, `"frontier states"`).
+        what: &'static str,
+        /// The configured limit that was exceeded.
+        limit: usize,
+    },
     /// Feature outside the implemented GPML subset.
     Unsupported(String),
 }

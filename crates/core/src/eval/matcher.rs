@@ -535,15 +535,23 @@ impl<'a> Matcher<'a> {
         }
     }
 
-    /// Runs the search from every node of the graph, returning all raw
-    /// matches (not yet reduced/deduplicated/selected).
-    pub(crate) fn run(&self) -> Result<Vec<PathBinding>> {
+    /// Runs the search seeded only from `starts`.
+    ///
+    /// Searches from different start nodes are fully independent — the
+    /// dominance-pruning key carries the start node, so no pruning
+    /// decision ever crosses start nodes — which makes this the unit of
+    /// work for parallel partitioned matching (see [`super::pool`]).
+    /// Running disjoint partitions and concatenating their results yields
+    /// exactly the raw matches of one full [`Matcher::run`], up to an
+    /// order the per-stage reduce/dedup pass erases anyway. Resource
+    /// limits are enforced per call, i.e. per partition.
+    pub(crate) fn run_from(&self, starts: &[NodeId]) -> Result<Vec<PathBinding>> {
         let mut results: Vec<PathBinding> = Vec::new();
         let mut queue: VecDeque<RunState> = VecDeque::new();
         // Dominance bookkeeping: key → distinct arrival lengths seen.
         let mut seen: HashMap<String, BTreeSet<usize>> = HashMap::new();
 
-        for n in self.graph.nodes() {
+        for &n in starts {
             let mut init = RunState {
                 at: self.nfa.start,
                 path: Path::single(n),
@@ -1061,7 +1069,8 @@ mod tests {
         let nfa = compile(pattern);
         let prune = resolve_prune(&nfa, restrictor, selector_groups).unwrap();
         let m = Matcher::over(graph, &nfa, pattern, restrictor, prune, &o);
-        m.run().unwrap()
+        let starts: Vec<NodeId> = graph.nodes().collect();
+        m.run_from(&starts).unwrap()
     }
 
     fn node(v: &str) -> PathPattern {

@@ -21,6 +21,7 @@
 
 pub(crate) mod filter;
 pub(crate) mod matcher;
+pub(crate) mod pool;
 pub(crate) mod selector;
 
 use std::cell::RefCell;
@@ -65,6 +66,31 @@ pub enum MatchIso {
 ///
 /// Options are `Eq + Hash` so hosts can key plan caches on
 /// `(query text, EvalOptions)`.
+///
+/// ```
+/// use gpml_core::ast::*;
+/// use gpml_core::eval::{evaluate, EvalOptions};
+/// use property_graph::{Endpoints, PropertyGraph};
+///
+/// let mut g = PropertyGraph::new();
+/// let a = g.add_node("a", ["N"], []);
+/// let b = g.add_node("b", ["N"], []);
+/// g.add_edge("ab", Endpoints::directed(a, b), ["T"], []);
+/// let pattern = GraphPattern::single(PathPattern::concat(vec![
+///     PathPattern::Node(NodePattern::var("x")),
+///     PathPattern::Edge(EdgePattern::any(Direction::Right)),
+///     PathPattern::Node(NodePattern::var("y")),
+/// ]));
+///
+/// // Parallel matching is bit-for-bit identical to sequential.
+/// let sequential = EvalOptions { threads: 1, ..EvalOptions::default() };
+/// let parallel = EvalOptions { threads: 4, ..EvalOptions::default() };
+/// assert_eq!(
+///     evaluate(&g, &pattern, &sequential)?,
+///     evaluate(&g, &pattern, &parallel)?,
+/// );
+/// # Ok::<(), gpml_core::Error>(())
+/// ```
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct EvalOptions {
     /// Which of the §3 semantics to apply.
@@ -88,12 +114,53 @@ pub struct EvalOptions {
     /// Semantics are identical; disable to measure the nested-loop
     /// baseline.
     pub hash_join: bool,
+    /// Worker threads for parallel stage matching. `0` (the default)
+    /// resolves to the machine's available parallelism but stays
+    /// sequential on small graphs, where spawn cost would dominate; `1`
+    /// forces the sequential path; `n >= 2` always uses `n` workers.
+    ///
+    /// Results are **bit-for-bit identical** at every setting: per-stage
+    /// searches are partitioned by start node, spliced back in partition
+    /// order, and merged through the join in the same cost-chosen stage
+    /// order as the sequential executor. Only resource-limit *errors* may
+    /// differ — each partition enforces [`EvalOptions::max_frontier`] on
+    /// its own (smaller) frontier, so a parallel run can succeed where a
+    /// sequential run trips the limit.
+    pub threads: usize,
     /// Abort after this many raw matches for a single path pattern.
     pub max_matches: usize,
     /// Hard cap on the number of edges in any matched walk.
     pub max_path_length: usize,
     /// Abort when the search frontier exceeds this many states.
     pub max_frontier: usize,
+}
+
+/// Node count below which `threads = 0` (auto) stays sequential: spawning
+/// workers for a graph this small costs more than the whole search.
+const AUTO_PARALLEL_MIN_NODES: usize = 256;
+
+impl EvalOptions {
+    /// The worker count `threads` resolves to: the machine's available
+    /// parallelism for `0` (auto), the explicit count otherwise.
+    pub fn resolved_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+
+    /// The worker count the executor actually uses for a graph with
+    /// `node_count` nodes: an explicit `threads >= 1` is always honored,
+    /// while auto (`0`) falls back to sequential on small graphs.
+    pub(crate) fn effective_threads(&self, node_count: usize) -> usize {
+        if self.threads == 0 && node_count < AUTO_PARALLEL_MIN_NODES {
+            1
+        } else {
+            self.resolved_threads()
+        }
+    }
 }
 
 impl Default for EvalOptions {
@@ -104,6 +171,7 @@ impl Default for EvalOptions {
             defer_restrictors: false,
             reorder_stages: true,
             hash_join: true,
+            threads: 0,
             max_matches: 1_000_000,
             max_path_length: 10_000,
             max_frontier: 1_000_000,

@@ -1,0 +1,174 @@
+//! Scoped work-splitting for parallel stage matching.
+//!
+//! The product-automaton search of a [`PathStage`](crate::plan) is
+//! independent per start node: dominance-pruning keys carry the start
+//! node, so partitioning the start set never changes which states survive,
+//! and the per-stage reduce/dedup pass sorts its input, so the raw match
+//! order never changes the stage's bindings. That makes "split the start
+//! nodes into contiguous chunks and search each chunk on its own thread"
+//! a semantics-preserving parallelization — the executor only has to
+//! splice the per-chunk results back together in chunk order.
+//!
+//! This module provides the two pieces the executor needs, built on
+//! `std::thread::scope` (the build environment has no crates.io access,
+//! so no rayon):
+//!
+//! * [`chunks`] — the deterministic partition of `n` items into at most
+//!   `threads` contiguous ranges, with a minimum chunk size so tiny
+//!   graphs are not sliced into spawn-dominated confetti;
+//! * [`run_units`] — a tiny work-stealing pool: `unit_count` work items
+//!   are claimed off a shared atomic counter by up to `threads` scoped
+//!   workers, and results are delivered to a sink closure *on the
+//!   caller's thread* as they land, in completion order. The sink can
+//!   stop the run early (the executor does this when the accumulated
+//!   join is already empty), which cancels undelivered units at their
+//!   next claim.
+
+use std::ops::ControlFlow;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Minimum number of start nodes one worker chunk should carry. Below
+/// this the per-thread spawn cost dominates the search itself.
+pub(crate) const MIN_CHUNK: usize = 16;
+
+/// Partitions `0..items` into at most `threads` contiguous ranges of
+/// near-equal size (earlier ranges get the remainder), each at least
+/// [`MIN_CHUNK`] long where possible. Returns an empty vector for zero
+/// items and a single full range when splitting is not worth it.
+pub(crate) fn chunks(items: usize, threads: usize) -> Vec<Range<usize>> {
+    if items == 0 {
+        return Vec::new();
+    }
+    let parts = threads.min(items / MIN_CHUNK).max(1);
+    let base = items / parts;
+    let extra = items % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut at = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(at..at + len);
+        at += len;
+    }
+    debug_assert_eq!(at, items);
+    out
+}
+
+/// Runs `unit_count` work units on up to `threads` scoped worker threads,
+/// delivering `(unit index, result)` pairs to `sink` on the caller's
+/// thread as they complete (in completion order, not unit order).
+///
+/// Workers claim unit indices off a shared counter, so cheap units never
+/// idle a thread while an expensive one runs. When `sink` returns
+/// [`ControlFlow::Break`], delivery stops; workers finish the unit they
+/// are on, fail their next send, and exit. With `threads <= 1` (or a
+/// single unit) everything runs inline on the caller's thread — the
+/// sequential path stays allocation- and thread-free.
+pub(crate) fn run_units<R: Send>(
+    threads: usize,
+    unit_count: usize,
+    work: impl Fn(usize) -> R + Sync,
+    mut sink: impl FnMut(usize, R) -> ControlFlow<()>,
+) {
+    if threads <= 1 || unit_count <= 1 {
+        for u in 0..unit_count {
+            if sink(u, work(u)).is_break() {
+                return;
+            }
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(unit_count) {
+            let tx = tx.clone();
+            let next = &next;
+            let work = &work;
+            scope.spawn(move || loop {
+                let u = next.fetch_add(1, Ordering::Relaxed);
+                if u >= unit_count {
+                    break;
+                }
+                if tx.send((u, work(u))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (u, r) in rx {
+            if sink(u, r).is_break() {
+                // Dropping the receiver makes every later send fail, so
+                // workers wind down after at most one more unit each.
+                break;
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_and_do_not_overlap() {
+        for items in [0usize, 1, 5, 16, 17, 100, 1000] {
+            for threads in [1usize, 2, 4, 8] {
+                let cs = chunks(items, threads);
+                assert!(cs.len() <= threads.max(1));
+                let mut at = 0;
+                for c in &cs {
+                    assert_eq!(c.start, at, "{items} items / {threads} threads");
+                    assert!(!c.is_empty());
+                    at = c.end;
+                }
+                assert_eq!(at, items, "chunks must cover 0..{items}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_inputs_are_not_oversplit() {
+        // 20 items at MIN_CHUNK=16: at most 2 chunks however many threads.
+        assert!(chunks(20, 8).len() <= 2);
+        assert_eq!(chunks(5, 8).len(), 1);
+    }
+
+    #[test]
+    fn run_units_delivers_every_unit_once() {
+        for threads in [1usize, 2, 4] {
+            let mut seen = vec![0u32; 64];
+            run_units(
+                threads,
+                64,
+                |u| u * 3,
+                |u, r| {
+                    assert_eq!(r, u * 3);
+                    seen[u] += 1;
+                    ControlFlow::Continue(())
+                },
+            );
+            assert!(seen.iter().all(|&c| c == 1), "{threads} threads: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn run_units_stops_on_break() {
+        let delivered = std::cell::Cell::new(0usize);
+        run_units(
+            4,
+            1000,
+            |u| u,
+            |_, _| {
+                delivered.set(delivered.get() + 1);
+                if delivered.get() >= 5 {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            },
+        );
+        assert_eq!(delivered.get(), 5);
+    }
+}

@@ -56,6 +56,8 @@
 //! assert_eq!(result.len(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod analysis;
 pub mod ast;
 pub mod baseline;

@@ -31,6 +31,19 @@ pub struct CacheStats {
 }
 
 /// An LRU cache from `(query text, EvalOptions)` to a prepared plan.
+///
+/// ```
+/// use gpml_core::eval::EvalOptions;
+/// use gpml_core::plan::PlanLru;
+///
+/// let mut cache: PlanLru<String> = PlanLru::new(2);
+/// let opts = EvalOptions::default();
+/// assert!(cache.get("MATCH (x)", &opts).is_none()); // miss
+/// cache.insert("MATCH (x)".into(), opts.clone(), "a plan".into());
+/// assert!(cache.get("MATCH (x)", &opts).is_some()); // hit
+/// let stats = cache.stats();
+/// assert_eq!((stats.hits, stats.misses, stats.len), (1, 1, 1));
+/// ```
 #[derive(Clone, Debug)]
 pub struct PlanLru<V> {
     capacity: usize,

@@ -1,9 +1,9 @@
 //! Cardinality estimation and cost-based stage ordering.
 //!
-//! Given a graph's [`GraphStats`] catalog, [`estimates`] predicts how many
-//! bindings each compiled [`PathStage`](super::PathStage) produces by
+//! Given a graph's [`GraphStats`] catalog, `estimates` predicts how many
+//! bindings each compiled `PathStage` produces by
 //! walking its label constraints, degree statistics, and predicate
-//! selectivity hints; [`greedy_order`] then picks a cheapest-first stage
+//! selectivity hints; `greedy_order` then picks a cheapest-first stage
 //! order that stays connected over the plan's explicit join graph, so the
 //! cross-stage join always shrinks the accumulation as early as possible
 //! and only falls back to a cartesian step when the pattern itself is
@@ -49,10 +49,18 @@ const MAX_RANGE: u32 = 8;
 const DEFAULT_PREDICATE_SELECTIVITY: f64 = 0.5;
 
 /// Estimated result rows for every stage of `plan`, in declaration order.
-pub(crate) fn estimates(plan: &ExecutablePlan, stats: &GraphStats) -> Vec<f64> {
+///
+/// `skew_aware` selects between the plain average-degree model and the
+/// max-degree-capped model (see [`edge_fanout`]); the executor uses the
+/// skew-aware numbers, EXPLAIN shows both when they differ.
+pub(crate) fn estimates(plan: &ExecutablePlan, stats: &GraphStats, skew_aware: bool) -> Vec<f64> {
     plan.stages
         .iter()
-        .map(|s| stats.node_count as f64 * pattern_factor(&s.expr.pattern, stats))
+        .map(|s| {
+            let mut last_node_frac = 1.0;
+            stats.node_count as f64
+                * pattern_factor(&s.expr.pattern, stats, skew_aware, &mut last_node_frac)
+        })
         .collect()
 }
 
@@ -107,7 +115,7 @@ pub(crate) fn greedy_order(est: &[f64], joins: &[JoinEdge]) -> Vec<usize> {
 /// cost-based when statistics are available, declaration order otherwise
 /// (an empty graph gives the estimator nothing to discriminate on).
 pub(crate) fn order(plan: &ExecutablePlan, stats: &GraphStats) -> Vec<usize> {
-    order_from(&estimates(plan, stats), plan, stats)
+    order_from(&estimates(plan, stats, true), plan, stats)
 }
 
 // ---------------------------------------------------------------------------
@@ -117,20 +125,62 @@ pub(crate) fn order(plan: &ExecutablePlan, stats: &GraphStats) -> Vec<usize> {
 /// Expected continuations contributed by `p`, composed multiplicatively
 /// along a concatenation: node patterns are fractions in `[0, 1]`, edge
 /// patterns are fan-outs in `[0, degree]`.
-fn pattern_factor(p: &PathPattern, stats: &GraphStats) -> f64 {
+///
+/// `last_node_frac` threads the selectivity of the most recent node test
+/// through the walk — the skew-aware edge model needs to know how small
+/// the candidate source set is (see [`edge_fanout`]). Constructs that
+/// lose track of the current node (quantifier bodies, branch merges)
+/// reset it to the uninformative `1.0`.
+fn pattern_factor(
+    p: &PathPattern,
+    stats: &GraphStats,
+    skew_aware: bool,
+    last_node_frac: &mut f64,
+) -> f64 {
     match p {
-        PathPattern::Node(np) => node_selectivity(np, stats),
-        PathPattern::Edge(ep) => edge_fanout(ep, stats),
-        PathPattern::Concat(parts) => parts.iter().map(|x| pattern_factor(x, stats)).product(),
+        PathPattern::Node(np) => {
+            let s = node_selectivity(np, stats);
+            *last_node_frac = s;
+            s
+        }
+        PathPattern::Edge(ep) => {
+            let source_frac = if skew_aware { *last_node_frac } else { 1.0 };
+            *last_node_frac = 1.0;
+            edge_fanout(ep, stats, source_frac)
+        }
+        PathPattern::Concat(parts) => parts
+            .iter()
+            .map(|x| pattern_factor(x, stats, skew_aware, last_node_frac))
+            .product(),
         PathPattern::Paren {
             inner, predicate, ..
-        } => pattern_factor(inner, stats) * opt_predicate_selectivity(predicate, stats),
-        PathPattern::Quantified { inner, quantifier } => {
-            quantified_factor(pattern_factor(inner, stats), *quantifier)
+        } => {
+            pattern_factor(inner, stats, skew_aware, last_node_frac)
+                * opt_predicate_selectivity(predicate, stats)
         }
-        PathPattern::Questioned(inner) => 1.0 + pattern_factor(inner, stats),
+        PathPattern::Quantified { inner, quantifier } => {
+            let mut body_frac = 1.0;
+            let body = pattern_factor(inner, stats, skew_aware, &mut body_frac);
+            *last_node_frac = 1.0;
+            quantified_factor(body, *quantifier)
+        }
+        PathPattern::Questioned(inner) => {
+            let mut branch_frac = *last_node_frac;
+            let f = pattern_factor(inner, stats, skew_aware, &mut branch_frac);
+            *last_node_frac = 1.0;
+            1.0 + f
+        }
         PathPattern::Union(bs) | PathPattern::Alternation(bs) => {
-            bs.iter().map(|x| pattern_factor(x, stats)).sum()
+            let entry = *last_node_frac;
+            let sum = bs
+                .iter()
+                .map(|x| {
+                    let mut branch_frac = entry;
+                    pattern_factor(x, stats, skew_aware, &mut branch_frac)
+                })
+                .sum();
+            *last_node_frac = 1.0;
+            sum
         }
     }
 }
@@ -181,23 +231,52 @@ fn node_label_fraction(l: &LabelExpr, stats: &GraphStats) -> f64 {
 /// Expected adjacency steps per node admitted by an edge pattern: the
 /// matching directed/undirected edge tallies spread over all nodes, scaled
 /// by how many of an edge's incidences the orientation admits.
-fn edge_fanout(ep: &EdgePattern, stats: &GraphStats) -> f64 {
+///
+/// `source_frac` is the selectivity of the node test preceding the edge
+/// (`1.0` when unknown): the skewed-hub correction. A plain average
+/// assumes matching edges spread uniformly over *all* nodes, which
+/// collapses when a rare node label picks out exactly the hubs the edges
+/// concentrate on (the star workload of `benches/joins.rs`). The
+/// corrected model assumes the opposite extreme — every matching
+/// traversal is incident to the candidate set — but caps the resulting
+/// per-candidate fan-out with the *observed* per-label max degree from
+/// [`GraphStats::max_degrees`], which is an exact bound on any single
+/// node. The result is `min(traversals / candidates, max degree)`, never
+/// below the plain average.
+fn edge_fanout(ep: &EdgePattern, stats: &GraphStats, source_frac: f64) -> f64 {
     if stats.node_count == 0 {
         return 0.0;
     }
     let n = stats.node_count as f64;
     let (directed, undirected) = matching_edges(&ep.label, stats);
-    let per_node = match ep.direction {
+    let traversals = match ep.direction {
         // A directed edge is forward-traversable from exactly one node.
-        Direction::Right | Direction::Left => directed / n,
+        Direction::Right | Direction::Left => directed,
         // An undirected edge is traversable from both ends.
-        Direction::Undirected => 2.0 * undirected / n,
-        Direction::LeftOrRight => 2.0 * directed / n,
-        Direction::LeftOrUndirected | Direction::UndirectedOrRight => {
-            directed / n + 2.0 * undirected / n
-        }
-        Direction::Any => 2.0 * (directed + undirected) / n,
+        Direction::Undirected => 2.0 * undirected,
+        Direction::LeftOrRight => 2.0 * directed,
+        Direction::LeftOrUndirected | Direction::UndirectedOrRight => directed + 2.0 * undirected,
+        Direction::Any => 2.0 * (directed + undirected),
     };
+    let mut per_node = traversals / n;
+    if source_frac < 1.0 {
+        let label = match &ep.label {
+            Some(LabelExpr::Label(name)) => Some(name.as_str()),
+            _ => None, // compound constraints fall back to the overall bound
+        };
+        let max = stats.max_degrees(label);
+        let cap = match ep.direction {
+            Direction::Right => max.bound(true, false, false),
+            Direction::Left => max.bound(false, true, false),
+            Direction::Undirected => max.bound(false, false, true),
+            Direction::LeftOrRight => max.bound(true, true, false),
+            Direction::LeftOrUndirected => max.bound(false, true, true),
+            Direction::UndirectedOrRight => max.bound(true, false, true),
+            Direction::Any => max.bound(true, true, true),
+        } as f64;
+        let candidates = (n * source_frac).max(1.0);
+        per_node = per_node.max((traversals / candidates).min(cap));
+    }
     per_node * opt_predicate_selectivity(&ep.predicate, stats)
 }
 
@@ -300,8 +379,14 @@ impl fmt::Display for JoinAlgo {
 pub struct CostStep {
     /// Declaration index of the stage executed at this step.
     pub stage: usize,
-    /// Estimated bindings the stage produces.
+    /// Estimated bindings the stage produces (the skew-aware model the
+    /// executor orders by: per-label max degree caps the expansion
+    /// factor when edges may concentrate on a small candidate set).
     pub estimate: f64,
+    /// The same estimate under the plain average-degree model — shown by
+    /// EXPLAIN next to [`CostStep::estimate`] when the skew correction
+    /// changed the number.
+    pub avg_estimate: f64,
     /// Equi-join keys against the stages merged before it.
     pub keys: Vec<String>,
     /// How the merge runs.
@@ -311,6 +396,37 @@ pub struct CostStep {
 /// The cost-based execution decision for one (plan, graph) pair: per-stage
 /// cardinality estimates, the chosen stage order, and the join algorithm
 /// per step. Surfaced by `--explain` in the CLI.
+///
+/// ```
+/// use gpml_core::ast::*;
+/// use gpml_core::eval::EvalOptions;
+/// use gpml_core::plan::{prepare, JoinAlgo};
+/// use property_graph::{Endpoints, PropertyGraph};
+///
+/// // MATCH (x)-[e]->(m), (m)-[f]->(y) over a 3-chain.
+/// let stage = |a: &str, e: &str, b: &str| {
+///     PathPatternExpr::plain(PathPattern::concat(vec![
+///         PathPattern::Node(NodePattern::var(a)),
+///         PathPattern::Edge(EdgePattern::any(Direction::Right).with_var(e)),
+///         PathPattern::Node(NodePattern::var(b)),
+///     ]))
+/// };
+/// let pattern = GraphPattern {
+///     paths: vec![stage("x", "e", "m"), stage("m", "f", "y")],
+///     where_clause: None,
+/// };
+/// let mut g = PropertyGraph::new();
+/// let ids: Vec<_> = (0..3).map(|i| g.add_node(&format!("n{i}"), ["N"], [])).collect();
+/// g.add_edge("e0", Endpoints::directed(ids[0], ids[1]), ["T"], []);
+/// g.add_edge("e1", Endpoints::directed(ids[1], ids[2]), ["T"], []);
+///
+/// let query = prepare(&pattern, &EvalOptions::default())?;
+/// let report = query.cost_report(&g);
+/// assert_eq!(report.steps.len(), 2);
+/// assert_eq!(report.steps[0].algo, JoinAlgo::Scan);
+/// assert_eq!(report.steps[1].keys, vec!["m".to_owned()]);
+/// # Ok::<(), gpml_core::Error>(())
+/// ```
 #[derive(Clone, Debug)]
 pub struct CostReport {
     /// `|N|` of the graph the report was computed against.
@@ -332,7 +448,8 @@ impl CostReport {
         stats: &GraphStats,
         opts: &crate::eval::EvalOptions,
     ) -> CostReport {
-        let est = estimates(plan, stats);
+        let est = estimates(plan, stats, true);
+        let avg = estimates(plan, stats, false);
         let order = if opts.reorder_stages {
             order_from(&est, plan, stats)
         } else {
@@ -354,6 +471,7 @@ impl CostReport {
             steps.push(CostStep {
                 stage,
                 estimate: est[stage],
+                avg_estimate: avg[stage],
                 keys,
                 algo,
             });
@@ -410,6 +528,11 @@ impl fmt::Display for CostReport {
                 step.stage,
                 fmt_estimate(step.estimate)
             )?;
+            // Surface the skew correction: the plain average-degree
+            // number next to the max-degree-capped one it replaced.
+            if (step.estimate - step.avg_estimate).abs() > 0.005 {
+                write!(f, ", avg-degree model ~{}", fmt_estimate(step.avg_estimate))?;
+            }
             if step.keys.is_empty() {
                 writeln!(f, ")")?;
             } else {
@@ -475,13 +598,73 @@ mod tests {
         };
         let q = prepare(&gp, &EvalOptions::default()).unwrap();
         let g = hub();
-        let est = estimates(q.plan(), g.stats());
+        let est = estimates(q.plan(), g.stats(), true);
         assert!(
             est[1] < est[0],
             "rare stage must be cheaper: {est:?} (order should start there)"
         );
         let order = order(q.plan(), g.stats());
         assert_eq!(order[0], 1, "cheapest stage first: {order:?}");
+    }
+
+    #[test]
+    fn max_degree_cap_prices_skewed_hubs() {
+        // (h:Hub)<-[:In]-(x:Big): 20 spokes all enter the single hub. The
+        // average-degree model spreads the 20 In-edges over all 23 nodes
+        // and predicts ~1 row from the rare Hub start; the max-degree
+        // model knows a single node can absorb all 20.
+        let gp = GraphPattern::single(PathPattern::concat(vec![
+            labeled("h", "Hub"),
+            PathPattern::Edge(
+                EdgePattern::any(Direction::Left)
+                    .with_var("e")
+                    .with_label(LabelExpr::label("In")),
+            ),
+            labeled("x", "Big"),
+        ]));
+        let q = prepare(&gp, &EvalOptions::default()).unwrap();
+        let g = hub();
+        let skewed = estimates(q.plan(), g.stats(), true)[0];
+        let naive = estimates(q.plan(), g.stats(), false)[0];
+        // True cardinality is 20; the naive model is an order of
+        // magnitude short, the capped model lands on it.
+        assert!(naive < 2.0, "naive should underestimate: {naive}");
+        assert!(
+            (skewed - 20.0).abs() < 4.0,
+            "capped estimate should approach 20: {skewed}"
+        );
+
+        // And EXPLAIN surfaces the before/after pair.
+        let report = CostReport::compute(q.plan(), g.stats(), &EvalOptions::default());
+        let text = report.to_string();
+        assert!(text.contains("avg-degree model"), "{text}");
+    }
+
+    #[test]
+    fn uniform_graphs_are_unaffected_by_the_cap() {
+        // A 1:1 layered chain: no skew, so both models agree.
+        let mut g = PropertyGraph::new();
+        let mut prev = None;
+        for i in 0..10 {
+            let n = g.add_node(&format!("n{i}"), [if i % 2 == 0 { "A" } else { "B" }], []);
+            if let Some(p) = prev {
+                g.add_edge(&format!("e{i}"), Endpoints::directed(p, n), ["S"], []);
+            }
+            prev = Some(n);
+        }
+        let gp = GraphPattern::single(PathPattern::concat(vec![
+            labeled("a", "A"),
+            PathPattern::Edge(EdgePattern::any(Direction::Right).with_label(LabelExpr::label("S"))),
+            labeled("b", "B"),
+        ]));
+        let q = prepare(&gp, &EvalOptions::default()).unwrap();
+        let skewed = estimates(q.plan(), g.stats(), true)[0];
+        let naive = estimates(q.plan(), g.stats(), false)[0];
+        // max degree 1 caps the concentration assumption right back down.
+        assert!(
+            (skewed - naive).abs() <= naive + 1.0,
+            "cap must stay near the average on uniform graphs: {skewed} vs {naive}"
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! 3. **Analyze** (§4.4, §4.6, §5) — variables are classified, the join
 //!    discipline is enforced, and non-terminating patterns are rejected;
 //! 4. **Compile** — each path pattern is compiled into its NFA (one
-//!    [`PathStage`] per comma-separated path pattern) and its pruning mode
+//!    `PathStage` per comma-separated path pattern) and its pruning mode
 //!    (exhaustive vs. selector-driven dominance-pruned search) is resolved
 //!    graph-independently;
 //! 5. **Join / select / filter stages** — the explicit join graph over
@@ -26,7 +26,7 @@
 //! stages (cheapest connected stage first), each stage runs its
 //! product-automaton search, §6.5 reduction/deduplication, and §5.1
 //! selector application, the per-stage results merge through hash joins
-//! on the plan's join keys (see [`crate::eval::JoinState`]), and the
+//! on the plan's join keys (see `eval::JoinState`), and the
 //! postfilter runs last. Stages whose accumulated join is already empty
 //! are skipped entirely.
 //!
@@ -38,8 +38,14 @@
 //!
 //! The plan structure is deliberately flat and inspectable (see the
 //! [`ExecutablePlan`] `Display` impl and [`PreparedQuery::explain_for`],
-//! surfaced as `--explain` in the CLI). Remaining substrate work:
-//! parallel per-stage matching (see ROADMAP).
+//! surfaced as `--explain` in the CLI).
+//!
+//! With [`EvalOptions::threads`] ≥ 2 (or auto-detected parallelism on a
+//! large enough graph), execution runs the per-stage searches on a scoped
+//! worker pool — partitioned by start node, kicked off eagerly in cost
+//! order, merged deterministically as results land — and stays bit-for-bit
+//! identical to the sequential path (see `PreparedQuery::execute_parallel`
+//! internals and `eval::pool`).
 
 pub mod cache;
 pub mod cost;
@@ -54,7 +60,7 @@ use crate::ast::{GraphPattern, PathPattern, PathPatternExpr, Selector};
 use crate::binding::{MatchSet, PathBinding};
 use crate::error::Result;
 use crate::eval::matcher::{self, Matcher, Nfa, PruneMode};
-use crate::eval::{selector, EvalOptions, JoinState, MatchMode};
+use crate::eval::{pool, selector, EvalOptions, JoinState, MatchMode};
 use crate::normalize::normalize;
 
 pub use cache::{CacheStats, PlanLru};
@@ -67,6 +73,30 @@ pub use cost::{CostReport, CostStep, JoinAlgo};
 /// happens here, exactly once. The result is graph-independent: one
 /// [`PreparedQuery`] may be executed against any number of graphs, in any
 /// order, with independent results.
+///
+/// ```
+/// use gpml_core::ast::*;
+/// use gpml_core::eval::EvalOptions;
+/// use gpml_core::plan::prepare;
+/// use property_graph::{Endpoints, PropertyGraph};
+///
+/// // MATCH (x)-[e]->(y): prepare once ...
+/// let pattern = GraphPattern::single(PathPattern::concat(vec![
+///     PathPattern::Node(NodePattern::var("x")),
+///     PathPattern::Edge(EdgePattern::any(Direction::Right).with_var("e")),
+///     PathPattern::Node(NodePattern::var("y")),
+/// ]));
+/// let query = prepare(&pattern, &EvalOptions::default())?;
+///
+/// // ... execute against as many graphs as you like.
+/// let mut g = PropertyGraph::new();
+/// let a = g.add_node("a", ["N"], []);
+/// let b = g.add_node("b", ["N"], []);
+/// g.add_edge("ab", Endpoints::directed(a, b), ["T"], []);
+/// assert_eq!(query.execute(&g)?.len(), 1);
+/// assert_eq!(query.plan().stage_count(), 1);
+/// # Ok::<(), gpml_core::Error>(())
+/// ```
 pub fn prepare(pattern: &GraphPattern, opts: &EvalOptions) -> Result<PreparedQuery> {
     let mut pattern = pattern.clone();
     if opts.mode == MatchMode::GsqlDefault {
@@ -157,11 +187,15 @@ impl PreparedQuery {
     /// empty. Results are identical to declaration-order nested-loop
     /// execution up to row order.
     pub fn execute(&self, graph: &PropertyGraph) -> Result<MatchSet> {
-        let order = if self.opts.reorder_stages {
+        let order: Vec<usize> = if self.opts.reorder_stages {
             cost::order(&self.plan, graph.stats())
         } else {
             (0..self.plan.stages.len()).collect()
         };
+        let threads = self.opts.effective_threads(graph.node_count());
+        if threads > 1 && !order.is_empty() && graph.node_count() > 0 {
+            return self.execute_parallel(graph, &order, threads);
+        }
         let mut join = JoinState::new(self.opts.isomorphism);
         let mut placed: Vec<usize> = Vec::with_capacity(order.len());
         for &i in &order {
@@ -178,6 +212,122 @@ impl PreparedQuery {
             let keys = self.plan.join_keys(i, &placed);
             join.merge_stage(&stage.expr, &bindings, &keys, self.opts.hash_join);
             placed.push(i);
+        }
+        Ok(join.finish(graph, &self.plan.normalized, &self.opts, &self.plan.exists))
+    }
+
+    /// Parallel execution: every stage's search is kicked off eagerly on
+    /// a scoped worker pool, split into per-start-node partitions (see
+    /// [`crate::eval::pool`]), while the caller's thread merges completed
+    /// stages through the [`JoinState`] *in the same cost-chosen order*
+    /// as the sequential path. Determinism falls out of three facts:
+    ///
+    /// * partition results are spliced back in partition order before the
+    ///   stage's (sorting) reduce/dedup pass, so each stage's bindings
+    ///   are bit-for-bit the sequential stage's;
+    /// * stages merge strictly in `order`, however their searches finish,
+    ///   so the join accumulates exactly the sequential row order;
+    /// * the early exit fires on the same condition (empty accumulation
+    ///   under `reorder_stages`) at the same merge position — it cancels
+    ///   the not-yet-claimed work units of later stages and ignores
+    ///   whatever eager results (or resource-limit errors) those stages
+    ///   already produced, which is precisely the set of stages the
+    ///   sequential executor never runs.
+    ///
+    /// Errors surface in merge order: the first failing stage at or
+    /// before the merge frontier aborts the run, like the sequential
+    /// loop; failures of stages past an early exit are dropped with their
+    /// results.
+    fn execute_parallel(
+        &self,
+        graph: &PropertyGraph,
+        order: &[usize],
+        threads: usize,
+    ) -> Result<MatchSet> {
+        use std::ops::ControlFlow;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let starts: Vec<property_graph::NodeId> = graph.nodes().collect();
+        let chunks = pool::chunks(starts.len(), threads);
+        let per_stage = chunks.len();
+        let unit_count = order.len() * per_stage;
+
+        // Stage positions >= this are cancelled (early exit): workers
+        // return an empty result instead of searching.
+        let cancel_from = AtomicUsize::new(usize::MAX);
+
+        let mut pending: Vec<Option<Result<Vec<PathBinding>>>> =
+            (0..unit_count).map(|_| None).collect();
+        let mut received = vec![0usize; order.len()];
+        let mut join = JoinState::new(self.opts.isomorphism);
+        let mut placed: Vec<usize> = Vec::with_capacity(order.len());
+        let mut merge_pos = 0usize;
+        let mut failure: Option<crate::error::Error> = None;
+
+        pool::run_units(
+            threads,
+            unit_count,
+            |u| {
+                let pos = u / per_stage;
+                if pos >= cancel_from.load(Ordering::Relaxed) {
+                    return Ok(Vec::new());
+                }
+                let stage = &self.plan.stages[order[pos]];
+                stage.matches_from(graph, &self.opts, &starts[chunks[u % per_stage].clone()])
+            },
+            |u, out| {
+                let pos = u / per_stage;
+                pending[u] = Some(out);
+                received[pos] += 1;
+                while merge_pos < order.len() && received[merge_pos] == per_stage {
+                    let idx = order[merge_pos];
+                    let stage = &self.plan.stages[idx];
+                    let mut raw = Vec::new();
+                    for c in 0..per_stage {
+                        match pending[merge_pos * per_stage + c].take().expect("received") {
+                            Ok(mut part) => raw.append(&mut part),
+                            Err(e) => {
+                                // Abort: make every still-unclaimed unit
+                                // a no-op before winding down.
+                                cancel_from.store(0, Ordering::Relaxed);
+                                failure = Some(e);
+                                return ControlFlow::Break(());
+                            }
+                        }
+                    }
+                    match stage.finish_bindings(graph, &self.opts, raw) {
+                        Ok(bindings) => {
+                            let keys = self.plan.join_keys(idx, &placed);
+                            join.merge_stage(&stage.expr, &bindings, &keys, self.opts.hash_join);
+                            placed.push(idx);
+                        }
+                        Err(e) => {
+                            cancel_from.store(0, Ordering::Relaxed);
+                            failure = Some(e);
+                            return ControlFlow::Break(());
+                        }
+                    }
+                    merge_pos += 1;
+                    if join.is_empty() && self.opts.reorder_stages {
+                        // Same early exit as the sequential loop: nothing
+                        // can survive further merges, so later stages are
+                        // pure cost — cancel their unclaimed partitions
+                        // (immediately, without waiting for their searches
+                        // to land) and ignore what already ran.
+                        cancel_from.store(merge_pos, Ordering::Relaxed);
+                        return ControlFlow::Break(());
+                    }
+                }
+                if merge_pos == order.len() {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            },
+        );
+
+        if let Some(e) = failure {
+            return Err(e);
         }
         Ok(join.finish(graph, &self.plan.normalized, &self.opts, &self.plan.exists))
     }
@@ -199,8 +349,8 @@ impl PreparedQuery {
 
     /// The cost-based execution decision for this query over `graph`:
     /// per-stage cardinality estimates, the chosen stage order, and the
-    /// join algorithm per step — computed exactly as [`execute`]
-    /// (`PreparedQuery::execute`) would.
+    /// join algorithm per step — computed exactly as
+    /// [`PreparedQuery::execute`] would.
     pub fn cost_report(&self, graph: &PropertyGraph) -> CostReport {
         CostReport::compute(&self.plan, graph.stats(), &self.opts)
     }
@@ -314,6 +464,22 @@ impl PathStage {
         graph: &PropertyGraph,
         opts: &EvalOptions,
     ) -> Result<Vec<PathBinding>> {
+        let starts: Vec<property_graph::NodeId> = graph.nodes().collect();
+        let raw = self.matches_from(graph, opts, &starts)?;
+        self.finish_bindings(graph, opts, raw)
+    }
+
+    /// The raw product-automaton search seeded from `starts` only — the
+    /// per-partition half of stage execution. Partitions are independent
+    /// (see [`Matcher::run_from`]); splicing their results in partition
+    /// order and handing the whole to [`PathStage::finish_bindings`]
+    /// reproduces [`PathStage::execute`] exactly.
+    pub(crate) fn matches_from(
+        &self,
+        graph: &PropertyGraph,
+        opts: &EvalOptions,
+        starts: &[property_graph::NodeId],
+    ) -> Result<Vec<PathBinding>> {
         let m = Matcher::over(
             graph,
             &self.nfa,
@@ -322,7 +488,27 @@ impl PathStage {
             self.prune,
             opts,
         );
-        let raw = m.run()?;
+        m.run_from(starts)
+    }
+
+    /// The order-insensitive second half of stage execution: §6.5
+    /// reduction/deduplication (a sorted set, which is what makes the
+    /// partition splice order irrelevant), §5.1 selector application, and
+    /// the endpoint-only collapse. Re-checks the stage-wide
+    /// [`EvalOptions::max_matches`] limit so partitioned runs enforce the
+    /// same total budget as a sequential search.
+    pub(crate) fn finish_bindings(
+        &self,
+        graph: &PropertyGraph,
+        opts: &EvalOptions,
+        raw: Vec<PathBinding>,
+    ) -> Result<Vec<PathBinding>> {
+        if raw.len() > opts.max_matches {
+            return Err(crate::error::Error::LimitExceeded {
+                what: "matches",
+                limit: opts.max_matches,
+            });
+        }
 
         // Reduction and deduplication (§6.5).
         let deduped: BTreeSet<PathBinding> = raw.into_iter().map(PathBinding::reduce).collect();
@@ -620,6 +806,106 @@ mod tests {
         let g = chain(3);
         // n0 and n1 have outgoing edges; n2 does not.
         assert_eq!(q.execute(&g).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn plan_types_are_send_sync() {
+        // The parallel executor shares these across scoped worker
+        // threads; this affirmation is the compile-time audit.
+        fn check<T: Send + Sync>() {}
+        check::<PropertyGraph>();
+        check::<property_graph::GraphStats>();
+        check::<PreparedQuery>();
+        check::<ExecutablePlan>();
+        check::<PathStage>();
+        check::<Nfa>();
+        check::<EvalOptions>();
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential_bit_for_bit() {
+        let gp = two_stage_pattern();
+        let g = chain(300); // above the auto-parallel threshold
+        let sequential = prepare(
+            &gp,
+            &EvalOptions {
+                threads: 1,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap()
+        .execute(&g)
+        .unwrap();
+        for threads in [0, 2, 3, 4, 8] {
+            let q = prepare(
+                &gp,
+                &EvalOptions {
+                    threads,
+                    ..EvalOptions::default()
+                },
+            )
+            .unwrap();
+            // Not just the same set: the same rows in the same order.
+            assert_eq!(q.execute(&g).unwrap(), sequential, "threads={threads}");
+        }
+        assert_eq!(sequential.len(), 298);
+    }
+
+    #[test]
+    fn parallel_early_exit_on_empty_stage() {
+        // Stage `(x:Nope)` matches nothing; the other stages' eager
+        // results must be discarded without affecting the (empty) result.
+        let gp = GraphPattern {
+            paths: vec![
+                PathPatternExpr::plain(PathPattern::Node(
+                    NodePattern::var("x").with_label(LabelExpr::label("Nope")),
+                )),
+                PathPatternExpr::plain(PathPattern::concat(vec![
+                    node("s"),
+                    edge_r("e"),
+                    node("t"),
+                ])),
+            ],
+            where_clause: None,
+        };
+        let g = chain(300);
+        for threads in [1, 4] {
+            let q = prepare(
+                &gp,
+                &EvalOptions {
+                    threads,
+                    ..EvalOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(q.execute(&g).unwrap().is_empty(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_execution_propagates_stage_errors() {
+        let body = PathPattern::concat(vec![
+            PathPattern::Node(NodePattern::any()),
+            edge_r("t"),
+            PathPattern::Node(NodePattern::any()),
+        ])
+        .paren();
+        let gp = GraphPattern::single(PathPattern::concat(vec![
+            node("a"),
+            body.quantified(Quantifier::range(1, Some(6))),
+            node("b"),
+        ]));
+        let opts = EvalOptions {
+            threads: 4,
+            max_matches: 10, // far fewer than the chain's walks
+            ..EvalOptions::default()
+        };
+        let q = prepare(&gp, &opts).unwrap();
+        let g = chain(300);
+        assert!(matches!(
+            q.execute(&g),
+            Err(crate::error::Error::LimitExceeded { .. })
+        ));
     }
 
     #[test]

@@ -217,6 +217,20 @@ impl Session {
         self.plans().set_capacity(capacity);
     }
 
+    /// The evaluation options statements are prepared under.
+    pub fn options(&self) -> &EvalOptions {
+        &self.options
+    }
+
+    /// Sets the worker-thread count for parallel stage matching (`0` =
+    /// auto, `1` = sequential; see [`EvalOptions::threads`]). Takes
+    /// effect for subsequent statements: options are part of the plan
+    /// cache key, so plans prepared under the old setting are simply not
+    /// reused.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.options.threads = threads;
+    }
+
     /// Hit/miss counters and occupancy of the session's plan cache.
     pub fn plan_cache_stats(&self) -> CacheStats {
         self.plans().stats()

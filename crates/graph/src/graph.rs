@@ -14,7 +14,14 @@ use crate::value::Value;
 /// matches the mathematical definition (`{u, v} = {v, u}`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Endpoints {
-    Directed { src: NodeId, dst: NodeId },
+    /// An ordered pair: the edge points from `src` to `dst`.
+    Directed {
+        /// The edge's source node.
+        src: NodeId,
+        /// The edge's target node.
+        dst: NodeId,
+    },
+    /// An unordered pair (normalized: smaller id first).
     Undirected(NodeId, NodeId),
 }
 
@@ -80,8 +87,11 @@ pub enum Traversal {
 /// One entry of a node's adjacency list: take `edge` to reach `to`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Step {
+    /// The edge traversed by this step.
     pub edge: EdgeId,
+    /// The node the step arrives at.
     pub to: NodeId,
+    /// How the edge is traversed (forward, backward, or undirected).
     pub traversal: Traversal,
 }
 
@@ -89,17 +99,24 @@ pub struct Step {
 /// and `π` properties.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NodeData {
+    /// The unique external name (the paper's node identifier).
     pub name: String,
+    /// The node's label set `λ(n)`.
     pub labels: BTreeSet<String>,
+    /// The node's property map `π(n, ·)`.
     pub properties: BTreeMap<String, Value>,
 }
 
 /// Stored record for one edge: endpoints (`ρ`), labels (`λ`), properties (`π`).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EdgeData {
+    /// The unique external name (the paper's edge identifier).
     pub name: String,
+    /// The edge's endpoint pair `ρ(e)`.
     pub endpoints: Endpoints,
+    /// The edge's label set `λ(e)`.
     pub labels: BTreeSet<String>,
+    /// The edge's property map `π(e, ·)`.
     pub properties: BTreeMap<String, Value>,
 }
 

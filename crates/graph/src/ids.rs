@@ -21,7 +21,9 @@ pub struct EdgeId(pub u32);
 /// disjointness even though both sides use dense indices.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ElementId {
+    /// A node identifier.
     Node(NodeId),
+    /// An edge identifier.
     Edge(EdgeId),
 }
 

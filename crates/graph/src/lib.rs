@@ -32,6 +32,8 @@
 //! assert_eq!(g.out_degree(a1), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod graph;
 pub mod ids;
 pub mod path;
@@ -41,5 +43,5 @@ pub mod value;
 pub use graph::{EdgeData, Endpoints, NodeData, PropertyGraph, Step, Traversal};
 pub use ids::{EdgeId, ElementId, NodeId};
 pub use path::Path;
-pub use stats::{EdgeLabelStats, GraphStats};
+pub use stats::{DegreeStats, EdgeLabelStats, GraphStats};
 pub use value::Value;

@@ -16,7 +16,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use crate::graph::PropertyGraph;
+use crate::graph::{PropertyGraph, Traversal};
 
 /// Per-edge-label tallies: how many matching edges are directed vs
 /// undirected.
@@ -32,6 +32,47 @@ impl EdgeLabelStats {
     /// Total edges carrying the label.
     pub fn total(&self) -> usize {
         self.directed + self.undirected
+    }
+}
+
+/// Per-node degree maxima, split by how an incident edge is traversable.
+///
+/// Averages alone mis-price skewed graphs: a hub with a thousand
+/// incident edges disappears inside an average of one. The maxima are
+/// exact bounds on any single node's fan-out, which lets an estimator
+/// cap its expansion factor when it suspects edges concentrate on a
+/// small candidate set (see `gpml_core`'s cost model).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DegreeStats {
+    /// Largest number of matching directed edges leaving any one node.
+    pub max_out: usize,
+    /// Largest number of matching directed edges entering any one node.
+    pub max_in: usize,
+    /// Largest number of matching undirected incidences at any one node.
+    pub max_undirected: usize,
+}
+
+impl DegreeStats {
+    /// Bound on a single node's fan-out under an orientation that admits
+    /// the given traversal kinds.
+    pub fn bound(&self, forward: bool, backward: bool, undirected: bool) -> usize {
+        let mut b = 0;
+        if forward {
+            b += self.max_out;
+        }
+        if backward {
+            b += self.max_in;
+        }
+        if undirected {
+            b += self.max_undirected;
+        }
+        b
+    }
+
+    fn absorb(&mut self, out: usize, inc: usize, und: usize) {
+        self.max_out = self.max_out.max(out);
+        self.max_in = self.max_in.max(inc);
+        self.max_undirected = self.max_undirected.max(und);
     }
 }
 
@@ -57,6 +98,11 @@ pub struct GraphStats {
     /// Distinct values observed per property key, across nodes and edges —
     /// the equality-predicate selectivity hint (`1 / distinct`).
     pub distinct_property_values: BTreeMap<String, usize>,
+    /// Degree maxima over all edges regardless of label.
+    pub max_degree: DegreeStats,
+    /// Degree maxima counting only edges carrying each label — the
+    /// skewed-hub signal for per-label traversal estimates.
+    pub max_degree_per_label: BTreeMap<String, DegreeStats>,
 }
 
 impl GraphStats {
@@ -106,7 +152,54 @@ impl GraphStats {
         }
         stats.distinct_property_values =
             values.into_iter().map(|(k, set)| (k, set.len())).collect();
+        // Degree maxima: one pass over the adjacency lists, tallying each
+        // node's traversable steps overall and per edge label.
+        for n in g.nodes() {
+            let (mut out, mut inc, mut und) = (0usize, 0usize, 0usize);
+            let mut per_label: BTreeMap<&str, (usize, usize, usize)> = BTreeMap::new();
+            for step in g.steps(n) {
+                let slot = match step.traversal {
+                    Traversal::Forward => 0,
+                    Traversal::Backward => 1,
+                    Traversal::Undirected => 2,
+                };
+                match slot {
+                    0 => out += 1,
+                    1 => inc += 1,
+                    _ => und += 1,
+                }
+                for l in &g.edge(step.edge).labels {
+                    let e = per_label.entry(l).or_default();
+                    match slot {
+                        0 => e.0 += 1,
+                        1 => e.1 += 1,
+                        _ => e.2 += 1,
+                    }
+                }
+            }
+            stats.max_degree.absorb(out, inc, und);
+            for (l, (o, i, u)) in per_label {
+                stats
+                    .max_degree_per_label
+                    .entry(l.to_owned())
+                    .or_default()
+                    .absorb(o, i, u);
+            }
+        }
         stats
+    }
+
+    /// Degree maxima for edges carrying `label` (or all edges for
+    /// `None`). Labels never observed report zero maxima.
+    pub fn max_degrees(&self, label: Option<&str>) -> DegreeStats {
+        match label {
+            None => self.max_degree,
+            Some(l) => self
+                .max_degree_per_label
+                .get(l)
+                .copied()
+                .unwrap_or_default(),
+        }
     }
 
     /// Nodes carrying `label`.
@@ -176,13 +269,18 @@ impl fmt::Display for GraphStats {
             writeln!(f, "    (none)")?;
         }
         for (label, s) in &self.edge_labels {
+            let d = self.max_degrees(Some(label));
             writeln!(
                 f,
-                "    :{label} \u{2192} {} ({} directed, {} undirected, avg out-degree {:.3})",
+                "    :{label} \u{2192} {} ({} directed, {} undirected, avg out-degree {:.3}, \
+                 max out/in/undir {}/{}/{})",
                 s.total(),
                 s.directed,
                 s.undirected,
                 self.avg_out_degree(Some(label)),
+                d.max_out,
+                d.max_in,
+                d.max_undirected,
             )?;
         }
         writeln!(f, "  distinct property values:")?;
@@ -249,6 +347,43 @@ mod tests {
         assert_eq!(s.distinct_values("owner"), Some(2));
         assert_eq!(s.distinct_values("amount"), Some(1));
         assert_eq!(s.distinct_values("missing"), None);
+    }
+
+    #[test]
+    fn max_degrees_track_hubs() {
+        // A hub with 3 outgoing :T spokes, one incoming :T, one
+        // undirected :U — maxima must see the hub, not the average.
+        let mut g = PropertyGraph::new();
+        let hub = g.add_node("hub", ["H"], []);
+        for i in 0..3 {
+            let s = g.add_node(&format!("s{i}"), ["S"], []);
+            g.add_edge(&format!("out{i}"), Endpoints::directed(hub, s), ["T"], []);
+        }
+        let p = g.add_node("p", ["S"], []);
+        g.add_edge("in0", Endpoints::directed(p, hub), ["T"], []);
+        g.add_edge("u0", Endpoints::undirected(p, hub), ["U"], []);
+        let s = g.stats();
+
+        let t = s.max_degrees(Some("T"));
+        assert_eq!((t.max_out, t.max_in, t.max_undirected), (3, 1, 0));
+        let u = s.max_degrees(Some("U"));
+        assert_eq!((u.max_out, u.max_in, u.max_undirected), (0, 0, 1));
+        assert_eq!(s.max_degrees(None).max_out, 3);
+        assert_eq!(s.max_degrees(Some("Nope")), DegreeStats::default());
+        // Orientation bounds compose additively.
+        assert_eq!(t.bound(true, true, false), 4);
+        assert_eq!(t.bound(true, true, true), 4);
+        assert_eq!(u.bound(false, false, true), 1);
+    }
+
+    #[test]
+    fn max_degrees_count_self_loops_per_traversal() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_node("a", ["N"], []);
+        g.add_edge("loop", Endpoints::directed(a, a), ["T"], []);
+        let d = g.stats().max_degrees(Some("T"));
+        // A directed self loop is one forward and one backward step.
+        assert_eq!((d.max_out, d.max_in), (1, 1));
     }
 
     #[test]

@@ -22,9 +22,13 @@ use std::fmt;
 pub enum Value {
     /// Absent value: the result of accessing a property an element lacks.
     Null,
+    /// A boolean.
     Bool(bool),
+    /// A 64-bit signed integer.
     Int(i64),
+    /// A 64-bit float.
     Float(f64),
+    /// A string.
     Str(String),
 }
 

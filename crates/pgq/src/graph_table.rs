@@ -164,6 +164,18 @@ impl GraphTableCache {
         self.plans().set_capacity(capacity);
     }
 
+    /// The evaluation options bodies are prepared under.
+    pub fn options(&self) -> &EvalOptions {
+        &self.opts
+    }
+
+    /// Sets the worker-thread count for parallel stage matching (`0` =
+    /// auto, `1` = sequential). Options are part of the cache key, so
+    /// bodies prepared under the old setting are not reused.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.opts.threads = threads;
+    }
+
     /// Hit/miss counters and occupancy.
     pub fn stats(&self) -> CacheStats {
         self.plans().stats()

@@ -30,13 +30,16 @@ use property_graph::PropertyGraph;
 fn usage() -> ! {
     eprintln!(
         "usage: gpml [--graph fig1|chain:N|cycle:N|grid:WxH|network:N,M,SEED|csv:DIR] \
-         [--mode gpml|sparql|gsql] [--json] [--explain] [QUERY]\n\
+         [--mode gpml|sparql|gsql] [--threads N] [--json] [--explain] [QUERY]\n\
          With no QUERY, reads one query per line from stdin; repeated\n\
          queries reuse their compiled plan (the session's LRU plan cache).\n\
          --explain prints each query's lowered plan — with per-stage\n\
          estimated cardinality, the chosen stage order, and the join\n\
-         algorithm — before the results. REPL commands: :stats dumps the\n\
-         graph's statistics catalog, :cache the plan-cache counters."
+         algorithm — before the results. --threads N runs the per-stage\n\
+         matcher searches on N worker threads (0 = auto, 1 = sequential;\n\
+         results are identical either way). REPL commands: :stats dumps\n\
+         the graph's statistics catalog, :cache the plan-cache counters,\n\
+         :threads [N] shows or sets the worker-thread count."
     );
     std::process::exit(2)
 }
@@ -107,7 +110,7 @@ fn load_csv_dir(dir: &str) -> Result<PropertyGraph, String> {
 }
 
 /// Handles a `:command` REPL line; returns true when the line was one.
-fn run_command(session: &Session, line: &str) -> bool {
+fn run_command(session: &mut Session, line: &str) -> bool {
     match line {
         ":stats" => {
             let g = session.graph("g").expect("registered");
@@ -122,8 +125,30 @@ fn run_command(session: &Session, line: &str) -> bool {
             );
             true
         }
+        ":threads" => {
+            let opts = session.options();
+            eprintln!(
+                "threads: {} (resolves to {})",
+                opts.threads,
+                opts.resolved_threads()
+            );
+            true
+        }
+        _ if line.starts_with(":threads ") => {
+            match line[":threads ".len()..].trim().parse::<usize>() {
+                Ok(n) => {
+                    session.set_threads(n);
+                    eprintln!(
+                        "threads set to {n} (resolves to {})",
+                        session.options().resolved_threads()
+                    );
+                }
+                Err(e) => eprintln!("error: :threads wants a number (0 = auto): {e}"),
+            }
+            true
+        }
         _ if line.starts_with(':') => {
-            eprintln!("unknown command {line} (try :stats or :cache)");
+            eprintln!("unknown command {line} (try :stats, :cache, or :threads)");
             true
         }
         _ => false,
@@ -192,6 +217,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut graph_spec = "fig1".to_owned();
     let mut mode = MatchMode::Gpml;
+    let mut threads = 0usize;
     let mut json = false;
     let mut explain = false;
     let mut query: Option<String> = None;
@@ -207,6 +233,12 @@ fn main() {
                     Some("gsql") => MatchMode::GsqlDefault,
                     _ => usage(),
                 }
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--json" => json = true,
             "--explain" => explain = true,
@@ -231,6 +263,7 @@ fn main() {
 
     let mut session = Session::with_options(EvalOptions {
         mode,
+        threads,
         ..EvalOptions::default()
     });
     session.register("g", graph);
@@ -244,14 +277,14 @@ fn main() {
             );
             for line in std::io::stdin().lock().lines() {
                 let Ok(line) = line else { break };
-                let line = line.trim();
+                let line = line.trim().to_owned();
                 if line.is_empty() {
                     continue;
                 }
-                if run_command(&session, line) {
+                if run_command(&mut session, &line) {
                     continue;
                 }
-                run_one(&session, line, json, explain);
+                run_one(&session, &line, json, explain);
             }
         }
     }

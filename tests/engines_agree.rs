@@ -342,6 +342,87 @@ fn check_cost_based_agreement(
     }
 }
 
+/// Compares parallel execution (`threads >= 2`) against the sequential
+/// path (`threads = 1`) under one (mode, isomorphism) combination. The
+/// contract is stricter than set equality: the *same rows in the same
+/// order* (partition results are spliced deterministically and stages
+/// merge in the same cost order), so plain `assert_eq!` on the result.
+fn check_parallel_agreement(
+    g: &PropertyGraph,
+    pattern: &GraphPattern,
+    threads: usize,
+    mode: MatchMode,
+    iso: MatchIso,
+) {
+    let sequential = EvalOptions {
+        threads: 1,
+        mode,
+        isomorphism: iso,
+        ..opts()
+    };
+    let parallel = EvalOptions {
+        threads,
+        ..sequential.clone()
+    };
+    let a = evaluate(g, pattern, &sequential);
+    let b = evaluate(g, pattern, &parallel);
+    match (a, b) {
+        (Ok(x), Ok(y)) => assert_eq!(
+            x, y,
+            "parallel (threads={threads}) diverged from sequential on {pattern} \
+             (mode {mode:?}, iso {iso:?})"
+        ),
+        (Err(_), Err(_)) => {}
+        (Ok(_), Err(e)) | (Err(e), Ok(_)) => {
+            // Frontier limits are enforced per partition, so the success
+            // boundary of resource-limited searches may shift; static
+            // rejections must agree exactly.
+            assert!(
+                matches!(e, gpml_suite::core::Error::LimitExceeded { .. }),
+                "one-sided static failure on {pattern}: {e}"
+            );
+        }
+    }
+}
+
+/// `threads = 1` must stay on the sequential executor and behave exactly
+/// like the pre-parallelism engine; `threads = 0` (auto) must agree too.
+#[test]
+fn threads_one_is_the_sequential_regression_guard() {
+    let pattern = GraphPattern {
+        paths: vec![
+            PathPatternExpr::plain(PathPattern::concat(vec![
+                PathPattern::Node(NodePattern::var("s")),
+                PathPattern::Edge(EdgePattern::any(Direction::Right).with_var("e")),
+                PathPattern::Node(NodePattern::var("m")),
+            ])),
+            PathPatternExpr::plain(PathPattern::concat(vec![
+                PathPattern::Node(NodePattern::var("m")),
+                PathPattern::Edge(EdgePattern::any(Direction::Right).with_var("f")),
+                PathPattern::Node(NodePattern::var("t")),
+            ])),
+        ],
+        where_clause: None,
+    };
+    for seed in 0..8u64 {
+        let g = small_mixed(seed, 6, 10);
+        let default = evaluate(&g, &pattern, &opts()).unwrap();
+        let one = evaluate(
+            &g,
+            &pattern,
+            &EvalOptions {
+                threads: 1,
+                ..opts()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            one, default,
+            "threads=1 diverged from default on seed {seed}"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -434,6 +515,51 @@ proptest! {
             where_clause: None,
         };
         check_cost_based_agreement(&g, &gp, MatchMode::Gpml, iso);
+    }
+
+    #[test]
+    fn parallel_execution_is_bit_for_bit_sequential(
+        seed in 0u64..500,
+        p1 in chain_pattern(),
+        p2 in chain_pattern(),
+        threads in proptest::sample::select(vec![2usize, 4, 8]),
+        mode in proptest::sample::select(vec![
+            MatchMode::Gpml,
+            MatchMode::EndpointOnly,
+            MatchMode::GsqlDefault,
+        ]),
+        iso in proptest::sample::select(vec![
+            MatchIso::Homomorphism,
+            MatchIso::EdgeIsomorphic,
+        ]),
+    ) {
+        let g = small_mixed(seed, 5, 8);
+        let gp = GraphPattern {
+            paths: vec![
+                PathPatternExpr::plain(p1),
+                PathPatternExpr::plain(p2),
+            ],
+            where_clause: None,
+        };
+        check_parallel_agreement(&g, &gp, threads, mode, iso);
+    }
+
+    #[test]
+    fn parallel_quantified_patterns_are_bit_for_bit_sequential(
+        seed in 0u64..500,
+        (restrictor, selector, pattern) in quantified_pattern(),
+        threads in proptest::sample::select(vec![2usize, 4, 8]),
+        iso in proptest::sample::select(vec![
+            MatchIso::Homomorphism,
+            MatchIso::EdgeIsomorphic,
+        ]),
+    ) {
+        let g = small_mixed(seed, 4, 6);
+        let gp = GraphPattern {
+            paths: vec![PathPatternExpr { selector, restrictor, path_var: Some("p".into()), pattern }],
+            where_clause: None,
+        };
+        check_parallel_agreement(&g, &gp, threads, MatchMode::Gpml, iso);
     }
 
     #[test]
