@@ -1,4 +1,5 @@
-//! EB9 — Cold `evaluate` vs. warm `PreparedQuery::execute`.
+//! EB9 — Cold `evaluate` vs. warm `PreparedQuery::execute`; EB12 — warm
+//! parameterized `execute_with` vs. re-prepare-per-literal.
 //!
 //! The prepare/execute split exists so repeated traffic pays the per-query
 //! work (parse, mode rewrite, normalize, analyze, NFA compile, join-graph
@@ -7,12 +8,19 @@
 //! `PreparedQuery` and only executes. The gap between the two is the
 //! amortizable cost — widest for queries whose pattern is large relative
 //! to the data touched.
+//!
+//! EB12 measures the same economics for *parameterized* traffic: one
+//! `$owner` skeleton re-bound to 100 distinct values (the prepared-once
+//! path) against the literal-inlining workaround, which makes every
+//! binding a brand-new query text that must parse, analyze, and compile
+//! from scratch — exactly what a plan cache misses on.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use gpml_bench::parse;
 use gpml_core::eval::{evaluate, EvalOptions};
 use gpml_core::plan::prepare;
+use gpml_core::Params;
 use gpml_datagen::{chain, fig1, transfer_network, TransferNetworkConfig};
 
 const QUERIES: &[(&str, &str)] = &[
@@ -99,5 +107,63 @@ fn bench_prepared(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_prepared);
+/// EB12 — the parameterized-traffic comparison: one prepared skeleton
+/// re-bound 100 times vs. 100 literal-inlined one-shot queries (the
+/// no-parameters workaround, where every constant mints a new query text
+/// that must parse, analyze, and compile from scratch). Workload
+/// definitions are shared with `paper-report` via
+/// [`gpml_bench::prepared`].
+fn bench_param_bindings(c: &mut Criterion) {
+    use gpml_bench::prepared as eb12;
+
+    let opts = EvalOptions::default();
+    let network = eb12::network100();
+    let tiny = eb12::tiny_chain();
+    let workloads = [
+        ("network100_two_stage", &network, eb12::two_stage_skeleton()),
+        ("deep_pattern_chain3", &tiny, eb12::deep_skeleton()),
+    ];
+
+    for (name, g, skeleton) in &workloads {
+        let prepared = prepare(&parse(skeleton), &opts).expect("prepare skeleton");
+        let owners = eb12::owners();
+        let literals: Vec<String> = owners
+            .iter()
+            .map(|o| eb12::inline_owner(skeleton, o))
+            .collect();
+
+        // Sanity before timing: every binding must produce exactly the
+        // rows of its literal-inlined equivalent.
+        for (owner, literal) in owners.iter().zip(&literals) {
+            let params = Params::new().with("owner", owner.as_str());
+            let bound = prepared.execute_with(g, &params).expect("bound");
+            let inlined = evaluate(g, &parse(literal), &opts).expect("inlined");
+            assert_eq!(bound, inlined, "binding {owner} diverged on {name}");
+        }
+
+        let mut group = c.benchmark_group(format!("EB12/param_bindings/{name}"));
+        group.bench_function("warm_execute_with", |b| {
+            b.iter(|| {
+                let mut rows = 0usize;
+                for owner in &owners {
+                    let params = Params::new().with("owner", owner.as_str());
+                    rows += prepared.execute_with(g, &params).expect("bound").len();
+                }
+                rows
+            })
+        });
+        group.bench_function("reprepare_per_literal", |b| {
+            b.iter(|| {
+                let mut rows = 0usize;
+                for literal in &literals {
+                    rows += evaluate(g, &parse(literal), &opts).expect("inlined").len();
+                }
+                rows
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_prepared, bench_param_bindings);
 criterion_main!(benches);

@@ -446,6 +446,82 @@ fn main() {
         );
     }
 
+    // -- EB12: parameterized prepare → bind → execute ---------------------
+    heading(
+        "EB12",
+        "parameterized queries (prepare once, bind 100 times)",
+    );
+    {
+        use gpml_bench::prepared as eb12;
+        use gpml_core::Params;
+        let net = eb12::network100();
+        let skeleton = eb12::two_stage_skeleton();
+        let opts = EvalOptions::default();
+        let prepared = gpml_core::plan::prepare(&gpml_bench::parse(&skeleton), &opts)
+            .expect("prepare skeleton");
+        let owners = eb12::owners();
+
+        // Correctness: every binding equals its literal-inlined twin.
+        let mut agree = true;
+        for owner in &owners {
+            let bound = prepared
+                .execute_with(&net, &Params::new().with("owner", owner.as_str()))
+                .expect("bound");
+            let inlined = run_query(&net, &eb12::inline_owner(&skeleton, owner));
+            agree &= bound == inlined;
+        }
+        check("100 bindings equal inlined literals", "true", agree);
+
+        // Plan-cache economics: one skeleton, 100 bindings, ≥ 99 hits.
+        let mut session = gql::Session::new();
+        session.register("net", net.clone());
+        let gql_skeleton = format!("{skeleton} RETURN y.owner AS receiver");
+        for owner in &owners {
+            session
+                .execute_with_params(
+                    "net",
+                    &gql_skeleton,
+                    &Params::new().with("owner", owner.as_str()),
+                )
+                .expect("session binding");
+        }
+        let stats = session.plan_cache_stats();
+        check("plan cache entries after 100 bindings", 1, stats.len);
+        check("plan cache hits \u{2265} 99", "true", stats.hits >= 99);
+
+        // Amortization: warm re-binding vs re-prepare-per-literal on a
+        // compile-heavy skeleton (execution-dominated shapes tie; the
+        // compile-heavy regime is where parameters pay outright).
+        let tiny = eb12::tiny_chain();
+        let deep = eb12::deep_skeleton();
+        let deep_prepared =
+            gpml_core::plan::prepare(&gpml_bench::parse(&deep), &opts).expect("prepare deep");
+        let iters = 3;
+        let t = std::time::Instant::now();
+        for _ in 0..iters {
+            for owner in &owners {
+                let params = Params::new().with("owner", owner.as_str());
+                std::hint::black_box(deep_prepared.execute_with(&tiny, &params).expect("bound"));
+            }
+        }
+        let warm = t.elapsed().as_secs_f64() / iters as f64;
+        let t = std::time::Instant::now();
+        for _ in 0..iters {
+            for owner in &owners {
+                std::hint::black_box(run_query(&tiny, &eb12::inline_owner(&deep, owner)));
+            }
+        }
+        let cold = t.elapsed().as_secs_f64() / iters as f64;
+        println!(
+            "    deep skeleton, 100 bindings: warm execute_with {:.2} ms vs \
+             re-prepare-per-literal {:.2} ms ({:.1}x)",
+            warm * 1e3,
+            cold * 1e3,
+            cold / warm.max(1e-9),
+        );
+        check("warm beats re-prepare", "true", warm < cold);
+    }
+
     println!("\nAll experiments reproduced. See EXPERIMENTS.md for the index.");
 }
 

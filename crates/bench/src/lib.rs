@@ -9,6 +9,7 @@
 //! regenerates every figure and table verbatim.
 
 pub mod joins;
+pub mod prepared;
 
 use gpml_core::eval::{evaluate, EvalOptions};
 use gpml_core::{GraphPattern, MatchSet};

@@ -1,0 +1,56 @@
+//! Shared EB12 workload definitions — parameterized prepare → bind →
+//! execute traffic.
+//!
+//! Both consumers of EB12 (`benches/prepared.rs` and the `paper-report`
+//! binary) build their graphs, skeletons, and binding lists from here, so
+//! tuning the workload cannot silently make the two measure different
+//! things (mirrors how `joins.rs` backs EB10/EB11).
+
+use gpml_datagen::{chain, transfer_network, TransferNetworkConfig};
+use property_graph::PropertyGraph;
+
+/// The execution-dominated EB12 workload: a 100-account transfer network
+/// queried through [`two_stage_skeleton`].
+pub fn network100() -> PropertyGraph {
+    transfer_network(TransferNetworkConfig {
+        accounts: 100,
+        transfers: 200,
+        blocked_share: 0.1,
+        seed: 11,
+    })
+}
+
+/// The compile-dominated EB12 workload: a tiny chain whose `owner{i}`
+/// properties give [`deep_skeleton`] some matching bindings (the rest
+/// bind to nothing, like real traffic).
+pub fn tiny_chain() -> PropertyGraph {
+    chain(3)
+}
+
+/// A realistic two-stage skeleton with one `$owner` parameter.
+pub fn two_stage_skeleton() -> String {
+    "MATCH (x:Account WHERE x.owner = $owner)-[t:Transfer]->(y:Account)".to_owned()
+}
+
+/// A compile-heavy skeleton (30 chained quantifiers) with one `$owner`
+/// parameter — the regime where per-request compilation dominates and
+/// plan reuse pays outright.
+pub fn deep_skeleton() -> String {
+    let mut deep = String::from("MATCH (x WHERE x.owner = $owner)");
+    for _ in 0..30 {
+        deep.push_str("[->()]{1,2}");
+    }
+    deep
+}
+
+/// The 100 distinct `$owner` bindings every EB12 comparison replays.
+pub fn owners() -> Vec<String> {
+    (0..100).map(|i| format!("owner{i}")).collect()
+}
+
+/// The literal-inlining workaround under test: the skeleton with its
+/// `$owner` placeholder replaced by a quoted literal, minting a distinct
+/// query text per binding.
+pub fn inline_owner(skeleton: &str, owner: &str) -> String {
+    skeleton.replace("$owner", &format!("'{owner}'"))
+}

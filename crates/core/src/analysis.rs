@@ -773,6 +773,41 @@ mod tests {
     }
 
     #[test]
+    fn parameters_are_not_variable_references() {
+        // `$min` needs no declaration; the variable discipline still
+        // applies to the real references around it.
+        let g = GraphPattern {
+            paths: vec![PathPatternExpr::plain(seq(vec![
+                node("x"),
+                edge("e"),
+                node("y"),
+            ]))],
+            where_clause: Some(Expr::cmp(
+                CmpOp::Gt,
+                Expr::prop("x", "w"),
+                Expr::Parameter("min".into()),
+            )),
+        };
+        let a = analyze(&g).unwrap();
+        assert!(a.var("min").is_none(), "parameters are not variables");
+        // An undeclared *variable* beside a parameter is still caught.
+        let bad = GraphPattern {
+            paths: g.paths.clone(),
+            where_clause: Some(Expr::cmp(
+                CmpOp::Gt,
+                Expr::prop("ghost", "w"),
+                Expr::Parameter("min".into()),
+            )),
+        };
+        assert_eq!(
+            analyze(&bad),
+            Err(Error::UnknownVariable {
+                var: "ghost".into()
+            })
+        );
+    }
+
+    #[test]
     fn kind_conflict_rejected() {
         let g = single(seq(vec![node("x"), edge("x"), node("y")]));
         assert_eq!(analyze(&g), Err(Error::KindConflict { var: "x".into() }));

@@ -115,6 +115,12 @@ impl AggArg {
 pub enum Expr {
     /// A literal value such as `'no'`, `5M`, or `TRUE`.
     Literal(Value),
+    /// A `$name` query parameter: a placeholder for a value supplied at
+    /// execute time (see [`crate::Params`]). Parameters keep the query
+    /// text a reusable *skeleton* — one prepared plan serves every
+    /// binding — which is what makes plan caching effective under
+    /// parameterized traffic.
+    Parameter(String),
     /// A bare element variable reference (`x`), used in element equality
     /// (GQL permits `p = q`), `SAME`, and `ALL_DIFFERENT`.
     Var(String),
@@ -212,7 +218,7 @@ impl Expr {
     /// each occurs inside an aggregate.
     pub fn visit_vars<'a>(&'a self, f: &mut impl FnMut(&'a str, bool)) {
         match self {
-            Expr::Literal(_) => {}
+            Expr::Literal(_) | Expr::Parameter(_) => {}
             Expr::Var(v) => f(v, false),
             Expr::Property(v, _) => f(v, false),
             Expr::Not(e) | Expr::IsNull(e, _) => e.visit_vars(f),
@@ -295,6 +301,7 @@ impl Expr {
         matches!(
             self,
             Expr::Literal(_)
+                | Expr::Parameter(_)
                 | Expr::Var(_)
                 | Expr::Property(..)
                 | Expr::Aggregate { .. }
@@ -326,6 +333,7 @@ impl fmt::Display for Expr {
         match self {
             Expr::Literal(Value::Str(s)) => write!(f, "'{s}'"),
             Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Parameter(name) => write!(f, "${name}"),
             Expr::Var(v) => write!(f, "{v}"),
             Expr::Property(v, p) => write!(f, "{v}.{p}"),
             Expr::Not(e) => write!(f, "NOT ({e})"),

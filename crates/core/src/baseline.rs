@@ -144,8 +144,9 @@ fn rename_refs(e: &mut Expr, mapping: &BTreeMap<String, String>) {
     };
     match e {
         // EXISTS only occurs in postfilters (analysis guarantees it), so
-        // it never needs iteration renaming.
-        Expr::Literal(_) | Expr::Aggregate { .. } | Expr::Exists(_) => {}
+        // it never needs iteration renaming; parameters reference no
+        // variables at all.
+        Expr::Literal(_) | Expr::Parameter(_) | Expr::Aggregate { .. } | Expr::Exists(_) => {}
         Expr::Var(v) => rn(v),
         Expr::Property(v, _) => rn(v),
         Expr::Not(i) | Expr::IsNull(i, _) => rename_refs(i, mapping),
@@ -689,6 +690,16 @@ pub fn evaluate(
     let normalized = normalize(pattern);
     analyze(&normalized)?;
 
+    // The baseline takes no parameter bindings, so a `$name` placeholder
+    // can never be satisfied here: reject it up front instead of letting
+    // it evaluate as NULL and silently empty every predicate. (The plan
+    // layer is the parameter-aware path; the oracle stays literal-only.)
+    let mut slots = crate::plan::ParamSlots::new();
+    crate::plan::collect_graph_params(&normalized, &mut slots);
+    if let Some(name) = slots.into_keys().next() {
+        return Err(Error::UnboundParameter { name });
+    }
+
     let mut per_path = Vec::with_capacity(normalized.paths.len());
     for expr in &normalized.paths {
         per_path.push(match_one_path(graph, expr, opts)?);
@@ -888,6 +899,24 @@ mod tests {
         let gp = GraphPattern::single(PathPattern::Alternation(vec![branch("N"), branch("N")]));
         let x = evaluate(&g, &gp, &opts).unwrap();
         assert_eq!(x.len(), 6);
+    }
+
+    #[test]
+    fn baseline_rejects_parameterized_patterns() {
+        // The oracle takes no bindings; a `$name` must be a typed error,
+        // never a silent NULL that empties every predicate.
+        let g = chain(3);
+        let gp = GraphPattern::single(PathPattern::Node(NodePattern::var("x").with_predicate(
+            Expr::cmp(
+                crate::ast::CmpOp::Ge,
+                Expr::prop("x", "w"),
+                Expr::Parameter("min".into()),
+            ),
+        )));
+        assert_eq!(
+            evaluate(&g, &gp, &EvalOptions::default()),
+            Err(Error::UnboundParameter { name: "min".into() })
+        );
     }
 
     fn sorted(ms: MatchSet) -> Vec<crate::binding::MatchRow> {

@@ -63,6 +63,26 @@ pub enum Error {
         /// The configured limit that was exceeded.
         limit: usize,
     },
+    /// The query declares a `$name` parameter the execution did not bind.
+    UnboundParameter {
+        /// The unbound parameter's name (without the `$`).
+        name: String,
+    },
+    /// The execution bound a parameter no `$name` placeholder consumes.
+    UnusedParameter {
+        /// The superfluous parameter's name (without the `$`).
+        name: String,
+    },
+    /// A bound parameter value contradicts how the query uses it (e.g. a
+    /// string bound to a parameter used in arithmetic).
+    ParameterTypeMismatch {
+        /// The parameter's name (without the `$`).
+        name: String,
+        /// What the query's usage of the parameter requires.
+        expected: &'static str,
+        /// What was actually bound.
+        got: &'static str,
+    },
     /// Feature outside the implemented GPML subset.
     Unsupported(String),
 }
@@ -108,6 +128,26 @@ impl fmt::Display for Error {
             Error::LimitExceeded { what, limit } => {
                 write!(f, "evaluation limit exceeded: more than {limit} {what}")
             }
+            Error::UnboundParameter { name } => {
+                write!(
+                    f,
+                    "parameter ${name} is not bound; bind it before executing"
+                )
+            }
+            Error::UnusedParameter { name } => {
+                write!(
+                    f,
+                    "parameter ${name} is bound but the query declares no ${name}"
+                )
+            }
+            Error::ParameterTypeMismatch {
+                name,
+                expected,
+                got,
+            } => write!(
+                f,
+                "parameter ${name} is used as {expected} but {got} was bound"
+            ),
             Error::Unsupported(s) => write!(f, "unsupported: {s}"),
         }
     }

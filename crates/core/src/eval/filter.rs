@@ -27,6 +27,18 @@ pub trait Env {
         let _ = pattern;
         None
     }
+
+    /// The value bound to the `$name` query parameter, if any. The
+    /// default (`None`, evaluating to `NULL` → *unknown*) is used by
+    /// environments without parameter support; execution environments of
+    /// parameterized plans override it with the caller's
+    /// [`Params`](crate::Params) — which bind-time validation has already
+    /// checked for completeness, so a `None` never reaches a filter
+    /// through the plan executor.
+    fn param(&self, name: &str) -> Option<Value> {
+        let _ = name;
+        None
+    }
 }
 
 impl<F> Env for F
@@ -85,6 +97,7 @@ pub fn truth(graph: &PropertyGraph, env: &dyn Env, expr: &Expr) -> Option<bool> 
 pub fn eval(graph: &PropertyGraph, env: &dyn Env, expr: &Expr) -> Value {
     match expr {
         Expr::Literal(v) => v.clone(),
+        Expr::Parameter(name) => env.param(name).unwrap_or(Value::Null),
         Expr::Var(_) => Value::Null, // bare element refs have no scalar value
         Expr::Property(var, key) => match element(env, var) {
             Some(el) => graph.property(el, key).clone(),

@@ -32,6 +32,7 @@ use crate::error::{Error, Result};
 use crate::eval::filter;
 use crate::eval::EvalOptions;
 use crate::normalize::is_anonymous;
+use crate::params::Params;
 
 // ---------------------------------------------------------------------------
 // NFA representation
@@ -454,11 +455,18 @@ impl RunState {
     }
 }
 
-struct StateEnv<'a>(&'a RunState);
+struct StateEnv<'a> {
+    state: &'a RunState,
+    params: &'a Params,
+}
 
 impl filter::Env for StateEnv<'_> {
     fn lookup(&self, var: &str) -> Option<BoundValue> {
-        self.0.lookup(var).cloned()
+        self.state.lookup(var).cloned()
+    }
+
+    fn param(&self, name: &str) -> Option<property_graph::Value> {
+        self.params.get(name).cloned()
     }
 }
 
@@ -501,6 +509,8 @@ pub(crate) struct Matcher<'a> {
     graph: &'a PropertyGraph,
     nfa: &'a Nfa,
     opts: &'a EvalOptions,
+    /// Parameter bindings for `$name` placeholders in prefilters.
+    params: &'a Params,
     path_restrictor: Option<Restrictor>,
     prune: PruneMode,
     max_edges: usize,
@@ -520,6 +530,7 @@ impl<'a> Matcher<'a> {
         path_restrictor: Option<Restrictor>,
         prune: PruneMode,
         opts: &'a EvalOptions,
+        params: &'a Params,
     ) -> Matcher<'a> {
         let static_cap = static_edge_bound(pattern, graph, path_restrictor);
         let max_edges = static_cap.min(opts.max_path_length);
@@ -528,6 +539,7 @@ impl<'a> Matcher<'a> {
             graph,
             nfa,
             opts,
+            params,
             path_restrictor,
             prune,
             max_edges,
@@ -685,7 +697,11 @@ impl<'a> Matcher<'a> {
             state.deferred.push(pred.clone());
             return true;
         }
-        filter::truth(self.graph, &StateEnv(state), pred) == Some(true)
+        let env = StateEnv {
+            state,
+            params: self.params,
+        };
+        filter::truth(self.graph, &env, pred) == Some(true)
     }
 
     /// ε-closure with actions: explores all ε-reachable configurations,
@@ -928,7 +944,11 @@ impl<'a> Matcher<'a> {
             }
         }
         for pred in &state.deferred {
-            if filter::truth(self.graph, &StateEnv(state), pred) != Some(true) {
+            let env = StateEnv {
+                state,
+                params: self.params,
+            };
+            if filter::truth(self.graph, &env, pred) != Some(true) {
                 return None;
             }
         }
@@ -1068,7 +1088,8 @@ mod tests {
         let pattern = &normalized.paths[0].pattern;
         let nfa = compile(pattern);
         let prune = resolve_prune(&nfa, restrictor, selector_groups).unwrap();
-        let m = Matcher::over(graph, &nfa, pattern, restrictor, prune, &o);
+        let params = Params::new();
+        let m = Matcher::over(graph, &nfa, pattern, restrictor, prune, &o, &params);
         let starts: Vec<NodeId> = graph.nodes().collect();
         m.run_from(&starts).unwrap()
     }

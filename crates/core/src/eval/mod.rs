@@ -34,6 +34,7 @@ pub use filter::{eval as eval_expr, truth as expr_truth, Env};
 use crate::ast::{GraphPattern, PathPatternExpr};
 use crate::binding::{BoundValue, MatchRow, MatchSet, PathBinding};
 use crate::error::Result;
+use crate::params::Params;
 use crate::plan::{prepare, ExistsPlans};
 
 /// Semantics variant (§3 comparison modes).
@@ -214,7 +215,7 @@ pub(crate) fn join_and_filter(
     for (expr, bindings) in normalized.paths.iter().zip(per_path) {
         join.merge_stage(expr, bindings, &[], false);
     }
-    join.finish(graph, normalized, opts, exists)
+    join.finish(graph, normalized, opts, exists, &Params::new())
 }
 
 /// Incremental cross-stage join: the accumulated rows of all stages merged
@@ -375,12 +376,15 @@ impl JoinState {
     }
 
     /// Applies the final `WHERE` postfilter and produces the result set.
+    /// `params` supplies the values of any `$name` placeholders in the
+    /// postfilter (and in prepared `EXISTS` subplans).
     pub(crate) fn finish(
         self,
         graph: &PropertyGraph,
         normalized: &GraphPattern,
         opts: &EvalOptions,
         exists: &ExistsPlans,
+        params: &Params,
     ) -> MatchSet {
         let mut rows: Vec<MatchRow> = self.rows.into_iter().map(|(r, _)| r).collect();
         if let Some(post) = &normalized.where_clause {
@@ -394,12 +398,35 @@ impl JoinState {
                     row,
                     opts,
                     exists,
+                    params,
                     cache: &cache,
                 };
                 filter::truth(graph, &env, post) == Some(true)
             });
         }
         MatchSet { rows }
+    }
+}
+
+/// A host-side projection environment: variable lookups from a joined
+/// result row plus `$name` lookups from the execution's parameter
+/// bindings. The GQL `RETURN`/`ORDER BY` and SQL/PGQ `COLUMNS`
+/// projections evaluate through one of these, so host expressions see
+/// exactly the values the pattern predicates saw.
+pub struct RowParamEnv<'a> {
+    /// The joined result row providing variable bindings.
+    pub row: &'a MatchRow,
+    /// The execution's parameter bindings.
+    pub params: &'a Params,
+}
+
+impl filter::Env for RowParamEnv<'_> {
+    fn lookup(&self, var: &str) -> Option<BoundValue> {
+        self.row.get(var).cloned()
+    }
+
+    fn param(&self, name: &str) -> Option<property_graph::Value> {
+        self.params.get(name).cloned()
     }
 }
 
@@ -410,6 +437,7 @@ struct RowEnv<'a> {
     row: &'a MatchRow,
     opts: &'a EvalOptions,
     exists: &'a ExistsPlans,
+    params: &'a Params,
     cache: &'a RefCell<HashMap<GraphPattern, Option<MatchSet>>>,
 }
 
@@ -418,14 +446,23 @@ impl filter::Env for RowEnv<'_> {
         self.row.get(var).cloned()
     }
 
+    fn param(&self, name: &str) -> Option<property_graph::Value> {
+        self.params.get(name).cloned()
+    }
+
     fn exists(&self, pattern: &GraphPattern) -> Option<bool> {
         let mut cache = self.cache.borrow_mut();
         let sub = cache.entry(pattern.clone()).or_insert_with(|| {
             // Prefer the subplan prepared at prepare time; fall back to a
             // one-shot prepare for callers (the baseline) without one.
+            // Either way the *outer* execution's bindings flow in — the
+            // enclosing plan's bind-time validation covered the
+            // subpattern's parameters too.
             match self.exists.get(pattern) {
-                Some(subplan) => subplan.execute(self.graph).ok(),
-                None => evaluate(self.graph, pattern, self.opts).ok(),
+                Some(subplan) => subplan.execute_bound(self.graph, self.params).ok(),
+                None => prepare(pattern, self.opts)
+                    .ok()
+                    .and_then(|q| q.execute_bound(self.graph, self.params).ok()),
             }
         });
         let sub = sub.as_ref()?;

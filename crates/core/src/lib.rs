@@ -65,6 +65,7 @@ pub mod binding;
 pub mod error;
 pub mod eval;
 pub mod normalize;
+pub mod params;
 pub mod plan;
 
 pub use analysis::{analyze, Analysis, VarClass, VarKind};
@@ -75,4 +76,5 @@ pub use ast::{
 pub use binding::{BoundValue, MatchRow, MatchSet, PathBinding};
 pub use error::{Error, Result};
 pub use eval::{evaluate, EvalOptions, MatchMode};
+pub use params::{ParamType, Params};
 pub use plan::{prepare, ExecutablePlan, PreparedQuery};

@@ -1,0 +1,231 @@
+//! Query parameters — the *bind* step of prepare → bind → execute.
+//!
+//! A [`Params`] map carries the values for the `$name` placeholders of a
+//! parameterized query. The query text stays a *skeleton*: `$min` parses
+//! into [`Expr::Parameter`](crate::ast::Expr::Parameter), the skeleton is
+//! prepared (and plan-cached) once, and every execution binds a fresh
+//! `Params` — so a million requests that differ only in their constants
+//! share one compiled plan instead of missing the plan cache a million
+//! times.
+//!
+//! Binding is validated against the plan's parameter *slots* before
+//! execution: an unbound slot, a binding no slot consumes, or a value
+//! whose type contradicts how the parameter is used (e.g. a string bound
+//! to `$min` in `x.w > $min AND $min > 0`) each surface as a typed
+//! [`Error`](crate::Error) instead of silently matching nothing.
+//!
+//! ```
+//! use gpml_core::ast::*;
+//! use gpml_core::plan::prepare;
+//! use gpml_core::{EvalOptions, Params};
+//! use property_graph::{Endpoints, PropertyGraph, Value};
+//!
+//! let mut g = PropertyGraph::new();
+//! let a = g.add_node("a", ["N"], [("w", Value::Int(1))]);
+//! let b = g.add_node("b", ["N"], [("w", Value::Int(9))]);
+//! g.add_edge("ab", Endpoints::directed(a, b), ["T"], []);
+//!
+//! // MATCH (x WHERE x.w >= $min): prepare the skeleton once ...
+//! let pattern = GraphPattern::single(PathPattern::Node(
+//!     NodePattern::var("x").with_predicate(Expr::cmp(
+//!         CmpOp::Ge,
+//!         Expr::prop("x", "w"),
+//!         Expr::Parameter("min".into()),
+//!     )),
+//! ));
+//! let query = prepare(&pattern, &EvalOptions::default())?;
+//!
+//! // ... then re-bind and execute as often as needed.
+//! let strict = Params::new().with("min", 5);
+//! let loose = Params::new().with("min", 0);
+//! assert_eq!(query.execute_with(&g, &strict)?.len(), 1);
+//! assert_eq!(query.execute_with(&g, &loose)?.len(), 2);
+//! # Ok::<(), gpml_core::Error>(())
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use property_graph::Value;
+
+/// A named set of parameter bindings for one execution of a prepared
+/// query.
+///
+/// Build one with [`Params::new`] + [`Params::with`] (builder style) or
+/// [`Params::set`], or collect from an iterator of `(name, value)` pairs.
+/// Names are written without the `$` sigil.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Params {
+    values: BTreeMap<String, Value>,
+}
+
+impl Params {
+    /// An empty binding set.
+    pub fn new() -> Params {
+        Params::default()
+    }
+
+    /// Builder-style insertion: `Params::new().with("min", 5)`.
+    pub fn with(mut self, name: impl Into<String>, value: impl Into<Value>) -> Params {
+        self.values.insert(name.into(), value.into());
+        self
+    }
+
+    /// Binds (or re-binds) `name` to `value`.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<Value>) -> &mut Params {
+        self.values.insert(name.into(), value.into());
+        self
+    }
+
+    /// Removes a binding, returning its previous value.
+    pub fn unset(&mut self, name: &str) -> Option<Value> {
+        self.values.remove(name)
+    }
+
+    /// The value bound to `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.values.get(name)
+    }
+
+    /// True when `name` is bound.
+    pub fn contains(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+
+    /// Bound names, in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.values.keys().map(String::as_str)
+    }
+
+    /// `(name, value)` pairs, in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no parameter is bound.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl<N: Into<String>, V: Into<Value>> FromIterator<(N, V)> for Params {
+    fn from_iter<I: IntoIterator<Item = (N, V)>>(iter: I) -> Params {
+        Params {
+            values: iter
+                .into_iter()
+                .map(|(n, v)| (n.into(), v.into()))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Params {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (name, value)) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match value {
+                Value::Str(s) => write!(f, "${name}='{s}'")?,
+                other => write!(f, "${name}={other}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A usage-inferred expectation about a parameter's value type, collected
+/// at prepare time and checked at bind time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ParamType {
+    /// Used in arithmetic or compared against a numeric literal.
+    Number,
+    /// Compared against a string literal.
+    Text,
+    /// Compared against a boolean literal.
+    Boolean,
+}
+
+impl ParamType {
+    /// True when `value` is compatible with this expectation. `Null` is
+    /// compatible with everything (three-valued logic handles it).
+    pub fn admits(self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (_, Value::Null)
+                | (ParamType::Number, Value::Int(_) | Value::Float(_))
+                | (ParamType::Text, Value::Str(_))
+                | (ParamType::Boolean, Value::Bool(_))
+        )
+    }
+
+    /// Human-readable name for error messages.
+    pub fn describe(self) -> &'static str {
+        match self {
+            ParamType::Number => "a number",
+            ParamType::Text => "a string",
+            ParamType::Boolean => "a boolean",
+        }
+    }
+}
+
+/// Human-readable type name of a bound value, for mismatch errors.
+pub(crate) fn value_type_name(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "NULL",
+        Value::Bool(_) => "a boolean",
+        Value::Int(_) | Value::Float(_) => "a number",
+        Value::Str(_) => "a string",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let p = Params::new().with("min", 5).with("owner", "Dave");
+        assert_eq!(p.get("min"), Some(&Value::Int(5)));
+        assert_eq!(p.get("owner"), Some(&Value::str("Dave")));
+        assert!(p.get("missing").is_none());
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.names().collect::<Vec<_>>(), vec!["min", "owner"]);
+    }
+
+    #[test]
+    fn set_and_unset() {
+        let mut p = Params::new();
+        p.set("k", 1).set("k", 2);
+        assert_eq!(p.get("k"), Some(&Value::Int(2)));
+        assert_eq!(p.unset("k"), Some(Value::Int(2)));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn from_iterator_and_display() {
+        let p: Params = [("a", Value::Int(1)), ("b", Value::str("x"))]
+            .into_iter()
+            .collect();
+        assert_eq!(p.to_string(), "$a=1, $b='x'");
+    }
+
+    #[test]
+    fn type_expectations() {
+        assert!(ParamType::Number.admits(&Value::Int(1)));
+        assert!(ParamType::Number.admits(&Value::Float(1.5)));
+        assert!(!ParamType::Number.admits(&Value::str("x")));
+        assert!(ParamType::Text.admits(&Value::str("x")));
+        assert!(!ParamType::Text.admits(&Value::Bool(true)));
+        assert!(ParamType::Boolean.admits(&Value::Bool(true)));
+        // NULL is universally admissible.
+        assert!(ParamType::Number.admits(&Value::Null));
+        assert!(ParamType::Text.admits(&Value::Null));
+    }
+}

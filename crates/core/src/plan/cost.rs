@@ -32,6 +32,7 @@ use property_graph::GraphStats;
 use crate::ast::{
     CmpOp, Direction, EdgePattern, Expr, LabelExpr, NodePattern, PathPattern, Quantifier,
 };
+use crate::params::Params;
 
 use super::{ExecutablePlan, JoinEdge};
 
@@ -52,14 +53,31 @@ const DEFAULT_PREDICATE_SELECTIVITY: f64 = 0.5;
 ///
 /// `skew_aware` selects between the plain average-degree model and the
 /// max-degree-capped model (see [`edge_fanout`]); the executor uses the
-/// skew-aware numbers, EXPLAIN shows both when they differ.
-pub(crate) fn estimates(plan: &ExecutablePlan, stats: &GraphStats, skew_aware: bool) -> Vec<f64> {
+/// skew-aware numbers, EXPLAIN shows both when they differ. `params`
+/// carries the execute-time parameter bindings: an equality prefilter
+/// against a *bound* `$name` is priced like a literal (the
+/// distinct-value hint), while an unbound one falls back to the default
+/// selectivity — which is how parameterized plans keep benefiting from
+/// stage reordering even though their constants are unknown at prepare
+/// time.
+pub(crate) fn estimates(
+    plan: &ExecutablePlan,
+    stats: &GraphStats,
+    skew_aware: bool,
+    params: &Params,
+) -> Vec<f64> {
     plan.stages
         .iter()
         .map(|s| {
             let mut last_node_frac = 1.0;
             stats.node_count as f64
-                * pattern_factor(&s.expr.pattern, stats, skew_aware, &mut last_node_frac)
+                * pattern_factor(
+                    &s.expr.pattern,
+                    stats,
+                    skew_aware,
+                    params,
+                    &mut last_node_frac,
+                )
         })
         .collect()
 }
@@ -114,8 +132,10 @@ pub(crate) fn greedy_order(est: &[f64], joins: &[JoinEdge]) -> Vec<usize> {
 /// The execution order for `plan` over a graph with `stats`: greedy
 /// cost-based when statistics are available, declaration order otherwise
 /// (an empty graph gives the estimator nothing to discriminate on).
-pub(crate) fn order(plan: &ExecutablePlan, stats: &GraphStats) -> Vec<usize> {
-    order_from(&estimates(plan, stats, true), plan, stats)
+/// Estimates are computed under `params`, so re-binding a parameterized
+/// plan re-estimates with the actual constants.
+pub(crate) fn order(plan: &ExecutablePlan, stats: &GraphStats, params: &Params) -> Vec<usize> {
+    order_from(&estimates(plan, stats, true, params), plan, stats)
 }
 
 // ---------------------------------------------------------------------------
@@ -135,38 +155,39 @@ fn pattern_factor(
     p: &PathPattern,
     stats: &GraphStats,
     skew_aware: bool,
+    params: &Params,
     last_node_frac: &mut f64,
 ) -> f64 {
     match p {
         PathPattern::Node(np) => {
-            let s = node_selectivity(np, stats);
+            let s = node_selectivity(np, stats, params);
             *last_node_frac = s;
             s
         }
         PathPattern::Edge(ep) => {
             let source_frac = if skew_aware { *last_node_frac } else { 1.0 };
             *last_node_frac = 1.0;
-            edge_fanout(ep, stats, source_frac)
+            edge_fanout(ep, stats, source_frac, params)
         }
         PathPattern::Concat(parts) => parts
             .iter()
-            .map(|x| pattern_factor(x, stats, skew_aware, last_node_frac))
+            .map(|x| pattern_factor(x, stats, skew_aware, params, last_node_frac))
             .product(),
         PathPattern::Paren {
             inner, predicate, ..
         } => {
-            pattern_factor(inner, stats, skew_aware, last_node_frac)
-                * opt_predicate_selectivity(predicate, stats)
+            pattern_factor(inner, stats, skew_aware, params, last_node_frac)
+                * opt_predicate_selectivity(predicate, stats, params)
         }
         PathPattern::Quantified { inner, quantifier } => {
             let mut body_frac = 1.0;
-            let body = pattern_factor(inner, stats, skew_aware, &mut body_frac);
+            let body = pattern_factor(inner, stats, skew_aware, params, &mut body_frac);
             *last_node_frac = 1.0;
             quantified_factor(body, *quantifier)
         }
         PathPattern::Questioned(inner) => {
             let mut branch_frac = *last_node_frac;
-            let f = pattern_factor(inner, stats, skew_aware, &mut branch_frac);
+            let f = pattern_factor(inner, stats, skew_aware, params, &mut branch_frac);
             *last_node_frac = 1.0;
             1.0 + f
         }
@@ -176,7 +197,7 @@ fn pattern_factor(
                 .iter()
                 .map(|x| {
                     let mut branch_frac = entry;
-                    pattern_factor(x, stats, skew_aware, &mut branch_frac)
+                    pattern_factor(x, stats, skew_aware, params, &mut branch_frac)
                 })
                 .sum();
             *last_node_frac = 1.0;
@@ -203,12 +224,12 @@ fn quantified_factor(body: f64, q: Quantifier) -> f64 {
 }
 
 /// Fraction of nodes admitted by a node pattern.
-fn node_selectivity(np: &NodePattern, stats: &GraphStats) -> f64 {
+fn node_selectivity(np: &NodePattern, stats: &GraphStats, params: &Params) -> f64 {
     let label = match &np.label {
         Some(l) => node_label_fraction(l, stats),
         None => 1.0,
     };
-    (label * opt_predicate_selectivity(&np.predicate, stats)).clamp(0.0, 1.0)
+    (label * opt_predicate_selectivity(&np.predicate, stats, params)).clamp(0.0, 1.0)
 }
 
 /// Fraction of nodes whose label set satisfies `l`, under independence
@@ -243,7 +264,7 @@ fn node_label_fraction(l: &LabelExpr, stats: &GraphStats) -> f64 {
 /// [`GraphStats::max_degrees`], which is an exact bound on any single
 /// node. The result is `min(traversals / candidates, max degree)`, never
 /// below the plain average.
-fn edge_fanout(ep: &EdgePattern, stats: &GraphStats, source_frac: f64) -> f64 {
+fn edge_fanout(ep: &EdgePattern, stats: &GraphStats, source_frac: f64, params: &Params) -> f64 {
     if stats.node_count == 0 {
         return 0.0;
     }
@@ -277,7 +298,7 @@ fn edge_fanout(ep: &EdgePattern, stats: &GraphStats, source_frac: f64) -> f64 {
         let candidates = (n * source_frac).max(1.0);
         per_node = per_node.max((traversals / candidates).min(cap));
     }
-    per_node * opt_predicate_selectivity(&ep.predicate, stats)
+    per_node * opt_predicate_selectivity(&ep.predicate, stats, params)
 }
 
 /// Estimated `(directed, undirected)` edge counts matching a label
@@ -320,30 +341,51 @@ fn edge_label_fraction(l: &LabelExpr, stats: &GraphStats) -> f64 {
     frac.clamp(0.0, 1.0)
 }
 
-fn opt_predicate_selectivity(e: &Option<Expr>, stats: &GraphStats) -> f64 {
-    e.as_ref().map_or(1.0, |e| predicate_selectivity(e, stats))
+fn opt_predicate_selectivity(e: &Option<Expr>, stats: &GraphStats, params: &Params) -> f64 {
+    e.as_ref()
+        .map_or(1.0, |e| predicate_selectivity(e, stats, params))
 }
 
-/// Selectivity of a prefilter. Equality against a literal uses the
-/// distinct-value hint for the property (`1/distinct`); boolean structure
-/// composes under independence; everything else gets the default.
-fn predicate_selectivity(e: &Expr, stats: &GraphStats) -> f64 {
+/// Selectivity of a prefilter. Equality against a literal — or against a
+/// `$name` parameter whose value is bound in `params` — uses the
+/// distinct-value hint for the property (`1/distinct`); an equality
+/// against an *unbound* parameter, whose constant the planner cannot see,
+/// falls back to the default. Boolean structure composes under
+/// independence; everything else gets the default.
+fn predicate_selectivity(e: &Expr, stats: &GraphStats, params: &Params) -> f64 {
     let sel = match e {
         Expr::Cmp(CmpOp::Eq, a, b) => match (a.as_ref(), b.as_ref()) {
             (Expr::Property(_, key), Expr::Literal(_))
-            | (Expr::Literal(_), Expr::Property(_, key)) => match stats.distinct_values(key) {
-                Some(d) => 1.0 / d.max(1) as f64,
-                None => DEFAULT_PREDICATE_SELECTIVITY,
-            },
+            | (Expr::Literal(_), Expr::Property(_, key)) => distinct_hint(key, stats),
+            (Expr::Property(_, key), Expr::Parameter(name))
+            | (Expr::Parameter(name), Expr::Property(_, key)) => {
+                if params.contains(name) {
+                    // Bound at execute time: as informative as a literal.
+                    distinct_hint(key, stats)
+                } else {
+                    DEFAULT_PREDICATE_SELECTIVITY
+                }
+            }
             _ => DEFAULT_PREDICATE_SELECTIVITY,
         },
-        Expr::And(a, b) => predicate_selectivity(a, stats) * predicate_selectivity(b, stats),
-        Expr::Or(a, b) => predicate_selectivity(a, stats) + predicate_selectivity(b, stats),
-        Expr::Not(a) => 1.0 - predicate_selectivity(a, stats),
+        Expr::And(a, b) => {
+            predicate_selectivity(a, stats, params) * predicate_selectivity(b, stats, params)
+        }
+        Expr::Or(a, b) => {
+            predicate_selectivity(a, stats, params) + predicate_selectivity(b, stats, params)
+        }
+        Expr::Not(a) => 1.0 - predicate_selectivity(a, stats, params),
         Expr::Literal(_) => 1.0,
         _ => DEFAULT_PREDICATE_SELECTIVITY,
     };
     sel.clamp(0.0, 1.0)
+}
+
+fn distinct_hint(key: &str, stats: &GraphStats) -> f64 {
+    match stats.distinct_values(key) {
+        Some(d) => 1.0 / d.max(1) as f64,
+        None => DEFAULT_PREDICATE_SELECTIVITY,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -447,9 +489,10 @@ impl CostReport {
         plan: &ExecutablePlan,
         stats: &GraphStats,
         opts: &crate::eval::EvalOptions,
+        params: &Params,
     ) -> CostReport {
-        let est = estimates(plan, stats, true);
-        let avg = estimates(plan, stats, false);
+        let est = estimates(plan, stats, true, params);
+        let avg = estimates(plan, stats, false, params);
         let order = if opts.reorder_stages {
             order_from(&est, plan, stats)
         } else {
@@ -598,12 +641,12 @@ mod tests {
         };
         let q = prepare(&gp, &EvalOptions::default()).unwrap();
         let g = hub();
-        let est = estimates(q.plan(), g.stats(), true);
+        let est = estimates(q.plan(), g.stats(), true, &Params::new());
         assert!(
             est[1] < est[0],
             "rare stage must be cheaper: {est:?} (order should start there)"
         );
-        let order = order(q.plan(), g.stats());
+        let order = order(q.plan(), g.stats(), &Params::new());
         assert_eq!(order[0], 1, "cheapest stage first: {order:?}");
     }
 
@@ -624,8 +667,8 @@ mod tests {
         ]));
         let q = prepare(&gp, &EvalOptions::default()).unwrap();
         let g = hub();
-        let skewed = estimates(q.plan(), g.stats(), true)[0];
-        let naive = estimates(q.plan(), g.stats(), false)[0];
+        let skewed = estimates(q.plan(), g.stats(), true, &Params::new())[0];
+        let naive = estimates(q.plan(), g.stats(), false, &Params::new())[0];
         // True cardinality is 20; the naive model is an order of
         // magnitude short, the capped model lands on it.
         assert!(naive < 2.0, "naive should underestimate: {naive}");
@@ -635,7 +678,8 @@ mod tests {
         );
 
         // And EXPLAIN surfaces the before/after pair.
-        let report = CostReport::compute(q.plan(), g.stats(), &EvalOptions::default());
+        let report =
+            CostReport::compute(q.plan(), g.stats(), &EvalOptions::default(), &Params::new());
         let text = report.to_string();
         assert!(text.contains("avg-degree model"), "{text}");
     }
@@ -658,8 +702,8 @@ mod tests {
             labeled("b", "B"),
         ]));
         let q = prepare(&gp, &EvalOptions::default()).unwrap();
-        let skewed = estimates(q.plan(), g.stats(), true)[0];
-        let naive = estimates(q.plan(), g.stats(), false)[0];
+        let skewed = estimates(q.plan(), g.stats(), true, &Params::new())[0];
+        let naive = estimates(q.plan(), g.stats(), false, &Params::new())[0];
         // max degree 1 caps the concentration assumption right back down.
         assert!(
             (skewed - naive).abs() <= naive + 1.0,
@@ -714,7 +758,7 @@ mod tests {
         };
         let q = prepare(&gp, &EvalOptions::default()).unwrap();
         let g = PropertyGraph::new();
-        assert_eq!(order(q.plan(), g.stats()), vec![0, 1]);
+        assert_eq!(order(q.plan(), g.stats(), &Params::new()), vec![0, 1]);
     }
 
     #[test]
@@ -728,7 +772,13 @@ mod tests {
             );
         }
         let stats = g.stats();
-        let eq = |key: &str| predicate_selectivity(&Expr::prop("x", key).eq(Expr::lit(1)), stats);
+        let eq = |key: &str| {
+            predicate_selectivity(
+                &Expr::prop("x", key).eq(Expr::lit(1)),
+                stats,
+                &Params::new(),
+            )
+        };
         assert!((eq("k") - 0.1).abs() < 1e-9);
         assert!((eq("c") - 0.5).abs() < 1e-9);
         assert!((eq("missing") - DEFAULT_PREDICATE_SELECTIVITY).abs() < 1e-9);
@@ -764,7 +814,8 @@ mod tests {
         };
         let q = prepare(&gp, &EvalOptions::default()).unwrap();
         let g = hub();
-        let report = CostReport::compute(q.plan(), g.stats(), &EvalOptions::default());
+        let report =
+            CostReport::compute(q.plan(), g.stats(), &EvalOptions::default(), &Params::new());
         assert_eq!(report.order(), vec![1, 0]);
         assert_eq!(report.steps[0].algo, JoinAlgo::Scan);
         assert_eq!(report.steps[1].algo, JoinAlgo::Hash);
@@ -781,6 +832,7 @@ mod tests {
                 reorder_stages: false,
                 ..EvalOptions::default()
             },
+            &Params::new(),
         );
         assert_eq!(nested.order(), vec![0, 1]);
         assert_eq!(nested.steps[1].algo, JoinAlgo::NestedLoop);

@@ -50,18 +50,19 @@
 pub mod cache;
 pub mod cost;
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 use property_graph::PropertyGraph;
 
 use crate::analysis::{analyze, collect_exists, Analysis, VarClass};
-use crate::ast::{GraphPattern, PathPattern, PathPatternExpr, Selector};
+use crate::ast::{Expr, GraphPattern, PathPattern, PathPatternExpr, Selector};
 use crate::binding::{MatchSet, PathBinding};
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::eval::matcher::{self, Matcher, Nfa, PruneMode};
 use crate::eval::{pool, selector, EvalOptions, JoinState, MatchMode};
 use crate::normalize::normalize;
+use crate::params::{value_type_name, ParamType, Params};
 
 pub use cache::{CacheStats, PlanLru};
 pub use cost::{CostReport, CostStep, JoinAlgo};
@@ -153,6 +154,15 @@ pub fn prepare(pattern: &GraphPattern, opts: &EvalOptions) -> Result<PreparedQue
         }
     }
 
+    // Parameter slots: every `$name` placeholder in any predicate of the
+    // normalized pattern (prefilters, the postfilter, and EXISTS
+    // subpatterns), together with the value-type expectations its usage
+    // contexts imply. The slots are what makes the plan a reusable
+    // *skeleton*: executions bind values against them without touching
+    // the compiled stages.
+    let mut param_slots = BTreeMap::new();
+    collect_graph_params(&normalized, &mut param_slots);
+
     Ok(PreparedQuery {
         opts: opts.clone(),
         plan: ExecutablePlan {
@@ -161,8 +171,140 @@ pub fn prepare(pattern: &GraphPattern, opts: &EvalOptions) -> Result<PreparedQue
             stages,
             joins,
             exists,
+            params: param_slots,
         },
     })
+}
+
+// ---------------------------------------------------------------------------
+// Parameter slot collection
+// ---------------------------------------------------------------------------
+
+/// The slot map: parameter name → the type expectations its usages imply.
+pub(crate) type ParamSlots = BTreeMap<String, BTreeSet<ParamType>>;
+
+pub(crate) fn collect_graph_params(gp: &GraphPattern, out: &mut ParamSlots) {
+    for p in &gp.paths {
+        collect_path_params(&p.pattern, out);
+    }
+    if let Some(post) = &gp.where_clause {
+        collect_expr_params(post, out);
+    }
+}
+
+fn collect_path_params(p: &PathPattern, out: &mut ParamSlots) {
+    match p {
+        PathPattern::Node(n) => {
+            if let Some(pred) = &n.predicate {
+                collect_expr_params(pred, out);
+            }
+        }
+        PathPattern::Edge(e) => {
+            if let Some(pred) = &e.predicate {
+                collect_expr_params(pred, out);
+            }
+        }
+        PathPattern::Concat(parts) => parts.iter().for_each(|x| collect_path_params(x, out)),
+        PathPattern::Paren {
+            inner, predicate, ..
+        } => {
+            collect_path_params(inner, out);
+            if let Some(pred) = predicate {
+                collect_expr_params(pred, out);
+            }
+        }
+        PathPattern::Quantified { inner, .. } | PathPattern::Questioned(inner) => {
+            collect_path_params(inner, out)
+        }
+        PathPattern::Union(bs) | PathPattern::Alternation(bs) => {
+            bs.iter().for_each(|x| collect_path_params(x, out))
+        }
+    }
+}
+
+/// Records every `$name` in `e` into `out`, inferring type expectations
+/// from usage: arithmetic operands must be numbers, and a comparison
+/// against a literal expects the literal's type.
+pub(crate) fn collect_expr_params(e: &Expr, out: &mut ParamSlots) {
+    let mut note = |name: &str, t: Option<ParamType>| {
+        let entry = out.entry(name.to_owned()).or_default();
+        if let Some(t) = t {
+            entry.insert(t);
+        }
+    };
+    match e {
+        Expr::Parameter(name) => note(name, None),
+        Expr::Literal(_) | Expr::Var(_) | Expr::Property(..) => {}
+        Expr::Not(i) | Expr::IsNull(i, _) => collect_expr_params(i, out),
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            collect_expr_params(a, out);
+            collect_expr_params(b, out);
+        }
+        Expr::Cmp(_, a, b) => {
+            // A comparison against a literal pins the parameter's type.
+            if let (Expr::Parameter(name), Expr::Literal(v))
+            | (Expr::Literal(v), Expr::Parameter(name)) = (a.as_ref(), b.as_ref())
+            {
+                note(name, literal_expectation(v));
+            }
+            collect_expr_params(a, out);
+            collect_expr_params(b, out);
+        }
+        Expr::Arith(_, a, b) => {
+            for side in [a.as_ref(), b.as_ref()] {
+                if let Expr::Parameter(name) = side {
+                    note(name, Some(ParamType::Number));
+                }
+            }
+            collect_expr_params(a, out);
+            collect_expr_params(b, out);
+        }
+        Expr::IsDirected(_)
+        | Expr::IsSourceOf { .. }
+        | Expr::IsDestinationOf { .. }
+        | Expr::Same(_)
+        | Expr::AllDifferent(_)
+        | Expr::Aggregate { .. } => {}
+        Expr::Exists(gp) => collect_graph_params(gp, out),
+    }
+}
+
+fn literal_expectation(v: &property_graph::Value) -> Option<ParamType> {
+    use property_graph::Value;
+    match v {
+        Value::Int(_) | Value::Float(_) => Some(ParamType::Number),
+        Value::Str(_) => Some(ParamType::Text),
+        Value::Bool(_) => Some(ParamType::Boolean),
+        Value::Null => None,
+    }
+}
+
+/// Validates `params` against the slot map: every slot bound, no extra
+/// bindings, every value compatible with its slot's inferred type
+/// expectations.
+pub(crate) fn check_params(slots: &ParamSlots, params: &Params) -> Result<()> {
+    for (name, expects) in slots {
+        let Some(value) = params.get(name) else {
+            return Err(Error::UnboundParameter { name: name.clone() });
+        };
+        for t in expects {
+            if !t.admits(value) {
+                return Err(Error::ParameterTypeMismatch {
+                    name: name.clone(),
+                    expected: t.describe(),
+                    got: value_type_name(value),
+                });
+            }
+        }
+    }
+    for name in params.names() {
+        if !slots.contains_key(name) {
+            return Err(Error::UnusedParameter {
+                name: name.to_owned(),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// A compiled query: an [`ExecutablePlan`] plus the options it was
@@ -187,14 +329,40 @@ impl PreparedQuery {
     /// empty. Results are identical to declaration-order nested-loop
     /// execution up to row order.
     pub fn execute(&self, graph: &PropertyGraph) -> Result<MatchSet> {
+        self.execute_with(graph, &Params::new())
+    }
+
+    /// Runs the plan against `graph` with `params` bound to the query's
+    /// `$name` placeholders — the *bind* step of prepare → bind →
+    /// execute.
+    ///
+    /// Bindings are validated up front against the plan's parameter
+    /// slots: a declared-but-unbound parameter raises
+    /// [`Error::UnboundParameter`], a binding no placeholder consumes
+    /// raises [`Error::UnusedParameter`], and a value contradicting the
+    /// parameter's usage (e.g. a string where arithmetic needs a number)
+    /// raises [`Error::ParameterTypeMismatch`]. The compiled stages are
+    /// shared by every binding; with the statistics catalog available,
+    /// stage ordering re-estimates predicate selectivity using the bound
+    /// values, so the optimizer benefits from constants it could not see
+    /// at prepare time.
+    pub fn execute_with(&self, graph: &PropertyGraph, params: &Params) -> Result<MatchSet> {
+        check_params(&self.plan.params, params)?;
+        self.execute_bound(graph, params)
+    }
+
+    /// The unvalidated execution path shared by [`Self::execute_with`]
+    /// and prepared `EXISTS` subplans (whose parameters were validated as
+    /// part of the enclosing plan's slot set).
+    pub(crate) fn execute_bound(&self, graph: &PropertyGraph, params: &Params) -> Result<MatchSet> {
         let order: Vec<usize> = if self.opts.reorder_stages {
-            cost::order(&self.plan, graph.stats())
+            cost::order(&self.plan, graph.stats(), params)
         } else {
             (0..self.plan.stages.len()).collect()
         };
         let threads = self.opts.effective_threads(graph.node_count());
         if threads > 1 && !order.is_empty() && graph.node_count() > 0 {
-            return self.execute_parallel(graph, &order, threads);
+            return self.execute_parallel(graph, &order, threads, params);
         }
         let mut join = JoinState::new(self.opts.isomorphism);
         let mut placed: Vec<usize> = Vec::with_capacity(order.len());
@@ -208,12 +376,18 @@ impl PreparedQuery {
                 break;
             }
             let stage = &self.plan.stages[i];
-            let bindings = stage.execute(graph, &self.opts)?;
+            let bindings = stage.execute(graph, &self.opts, params)?;
             let keys = self.plan.join_keys(i, &placed);
             join.merge_stage(&stage.expr, &bindings, &keys, self.opts.hash_join);
             placed.push(i);
         }
-        Ok(join.finish(graph, &self.plan.normalized, &self.opts, &self.plan.exists))
+        Ok(join.finish(
+            graph,
+            &self.plan.normalized,
+            &self.opts,
+            &self.plan.exists,
+            params,
+        ))
     }
 
     /// Parallel execution: every stage's search is kicked off eagerly on
@@ -243,6 +417,7 @@ impl PreparedQuery {
         graph: &PropertyGraph,
         order: &[usize],
         threads: usize,
+        params: &Params,
     ) -> Result<MatchSet> {
         use std::ops::ControlFlow;
         use std::sync::atomic::{AtomicUsize, Ordering};
@@ -273,7 +448,12 @@ impl PreparedQuery {
                     return Ok(Vec::new());
                 }
                 let stage = &self.plan.stages[order[pos]];
-                stage.matches_from(graph, &self.opts, &starts[chunks[u % per_stage].clone()])
+                stage.matches_from(
+                    graph,
+                    &self.opts,
+                    params,
+                    &starts[chunks[u % per_stage].clone()],
+                )
             },
             |u, out| {
                 let pos = u / per_stage;
@@ -329,12 +509,27 @@ impl PreparedQuery {
         if let Some(e) = failure {
             return Err(e);
         }
-        Ok(join.finish(graph, &self.plan.normalized, &self.opts, &self.plan.exists))
+        Ok(join.finish(
+            graph,
+            &self.plan.normalized,
+            &self.opts,
+            &self.plan.exists,
+            params,
+        ))
     }
 
     /// The lowered plan (inspect or `Display` it for an EXPLAIN view).
     pub fn plan(&self) -> &ExecutablePlan {
         &self.plan
+    }
+
+    /// Registers the `$name` parameters of a host-side expression (a
+    /// `RETURN` item, `ORDER BY` key, or `COLUMNS` projection) as
+    /// additional slots of this plan, so bind-time validation covers the
+    /// whole statement — not just the pattern — and a binding consumed
+    /// only by a projection is not misreported as unused.
+    pub fn declare_params_in(&mut self, expr: &Expr) {
+        collect_expr_params(expr, &mut self.plan.params);
     }
 
     /// The options the query was prepared under.
@@ -352,7 +547,15 @@ impl PreparedQuery {
     /// join algorithm per step — computed exactly as
     /// [`PreparedQuery::execute`] would.
     pub fn cost_report(&self, graph: &PropertyGraph) -> CostReport {
-        CostReport::compute(&self.plan, graph.stats(), &self.opts)
+        self.cost_report_with(graph, &Params::new())
+    }
+
+    /// [`Self::cost_report`] with parameter bindings: predicate constants
+    /// unknown at prepare time are re-estimated from the bound values, so
+    /// the report shows the stage order an `execute_with` call with the
+    /// same bindings would use.
+    pub fn cost_report_with(&self, graph: &PropertyGraph, params: &Params) -> CostReport {
+        CostReport::compute(&self.plan, graph.stats(), &self.opts, params)
     }
 
     /// The EXPLAIN rendering annotated with the cost model's decisions
@@ -360,6 +563,11 @@ impl PreparedQuery {
     /// annotation needs statistics).
     pub fn explain_for(&self, graph: &PropertyGraph) -> String {
         format!("{}\n{}", self.plan, self.cost_report(graph))
+    }
+
+    /// [`Self::explain_for`] under the given parameter bindings.
+    pub fn explain_with(&self, graph: &PropertyGraph, params: &Params) -> String {
+        format!("{}\n{}", self.plan, self.cost_report_with(graph, params))
     }
 }
 
@@ -383,12 +591,22 @@ pub struct ExecutablePlan {
     pub(crate) joins: Vec<JoinEdge>,
     /// Prepared subplans for the postfilter's `EXISTS` subqueries.
     pub(crate) exists: ExistsPlans,
+    /// Parameter slots: every `$name` the statement consumes, with the
+    /// type expectations inferred from its usage contexts. Executions
+    /// bind values against these; the compiled stages never change.
+    pub(crate) params: ParamSlots,
 }
 
 impl ExecutablePlan {
     /// Number of compiled path stages.
     pub fn stage_count(&self) -> usize {
         self.stages.len()
+    }
+
+    /// Names of the `$name` parameter slots this plan declares, in
+    /// sorted order.
+    pub fn param_names(&self) -> impl Iterator<Item = &str> {
+        self.params.keys().map(String::as_str)
     }
 
     /// The variable analysis computed at prepare time.
@@ -463,9 +681,10 @@ impl PathStage {
         &self,
         graph: &PropertyGraph,
         opts: &EvalOptions,
+        params: &Params,
     ) -> Result<Vec<PathBinding>> {
         let starts: Vec<property_graph::NodeId> = graph.nodes().collect();
-        let raw = self.matches_from(graph, opts, &starts)?;
+        let raw = self.matches_from(graph, opts, params, &starts)?;
         self.finish_bindings(graph, opts, raw)
     }
 
@@ -478,6 +697,7 @@ impl PathStage {
         &self,
         graph: &PropertyGraph,
         opts: &EvalOptions,
+        params: &Params,
         starts: &[property_graph::NodeId],
     ) -> Result<Vec<PathBinding>> {
         let m = Matcher::over(
@@ -487,6 +707,7 @@ impl PathStage {
             self.expr.restrictor,
             self.prune,
             opts,
+            params,
         );
         m.run_from(starts)
     }
@@ -642,6 +863,10 @@ impl fmt::Display for ExecutablePlan {
                     j.on.join(", ")
                 )?;
             }
+        }
+        if !self.params.is_empty() {
+            let names: Vec<String> = self.params.keys().map(|n| format!("${n}")).collect();
+            writeln!(f, "  params: {}", names.join(", "))?;
         }
         if let Some(post) = &self.normalized.where_clause {
             write!(f, "  postfilter: WHERE {post}")?;
@@ -906,6 +1131,193 @@ mod tests {
             q.execute(&g),
             Err(crate::error::Error::LimitExceeded { .. })
         ));
+    }
+
+    /// `MATCH (x WHERE x.x >= $min)` as an AST.
+    fn param_pattern() -> GraphPattern {
+        GraphPattern::single(PathPattern::Node(NodePattern::var("x").with_predicate(
+            Expr::cmp(
+                CmpOp::Ge,
+                Expr::prop("x", "x"),
+                Expr::Parameter("min".into()),
+            ),
+        )))
+    }
+
+    #[test]
+    fn prepare_collects_parameter_slots() {
+        let q = prepare(&param_pattern(), &EvalOptions::default()).unwrap();
+        assert_eq!(q.plan().param_names().collect::<Vec<_>>(), vec!["min"]);
+        // Slots show up in EXPLAIN.
+        assert!(q.explain().contains("params: $min"), "{}", q.explain());
+    }
+
+    #[test]
+    fn execute_with_binds_and_rebinding_reuses_the_plan() {
+        let q = prepare(&param_pattern(), &EvalOptions::default()).unwrap();
+        let g = chain(5); // x property = 0..4
+        for min in 0..5 {
+            let params = crate::Params::new().with("min", min);
+            let got = q.execute_with(&g, &params).unwrap();
+            assert_eq!(got.len(), 5 - min as usize, "min={min}");
+        }
+    }
+
+    #[test]
+    fn parameterized_execution_matches_inlined_literal() {
+        let literal = GraphPattern::single(PathPattern::Node(
+            NodePattern::var("x").with_predicate(Expr::cmp(
+                CmpOp::Ge,
+                Expr::prop("x", "x"),
+                Expr::lit(2),
+            )),
+        ));
+        let g = chain(6);
+        let inlined = prepare(&literal, &EvalOptions::default())
+            .unwrap()
+            .execute(&g)
+            .unwrap();
+        let q = prepare(&param_pattern(), &EvalOptions::default()).unwrap();
+        let bound = q
+            .execute_with(&g, &crate::Params::new().with("min", 2))
+            .unwrap();
+        assert_eq!(bound, inlined);
+    }
+
+    #[test]
+    fn parameter_binding_errors_are_typed() {
+        let q = prepare(&param_pattern(), &EvalOptions::default()).unwrap();
+        let g = chain(3);
+        // Unbound: plain execute() and an empty map both fail.
+        assert_eq!(
+            q.execute(&g),
+            Err(crate::Error::UnboundParameter { name: "min".into() })
+        );
+        // Extra binding.
+        let extra = crate::Params::new().with("min", 1).with("ghost", 2);
+        assert_eq!(
+            q.execute_with(&g, &extra),
+            Err(crate::Error::UnusedParameter {
+                name: "ghost".into()
+            })
+        );
+        // Type mismatch: $min is compared against a numeric literal below.
+        let typed = GraphPattern {
+            paths: param_pattern().paths,
+            where_clause: Some(Expr::cmp(
+                CmpOp::Gt,
+                Expr::Parameter("min".into()),
+                Expr::lit(0),
+            )),
+        };
+        let q = prepare(&typed, &EvalOptions::default()).unwrap();
+        let err = q
+            .execute_with(&g, &crate::Params::new().with("min", "nope"))
+            .unwrap_err();
+        assert!(
+            matches!(err, crate::Error::ParameterTypeMismatch { ref name, .. } if name == "min"),
+            "{err}"
+        );
+        // NULL is always admissible (three-valued logic handles it).
+        let ok = q.execute_with(
+            &g,
+            &crate::Params::new().with("min", property_graph::Value::Null),
+        );
+        assert!(ok.unwrap().is_empty());
+    }
+
+    #[test]
+    fn parameters_reach_exists_subplans() {
+        // MATCH (x) WHERE EXISTS { (x)-[e]->(y WHERE y.x >= $min) }
+        let sub = GraphPattern::single(PathPattern::concat(vec![
+            node("x"),
+            edge_r("e"),
+            PathPattern::Node(NodePattern::var("y").with_predicate(Expr::cmp(
+                CmpOp::Ge,
+                Expr::prop("y", "x"),
+                Expr::Parameter("min".into()),
+            ))),
+        ]));
+        let gp = GraphPattern {
+            paths: vec![PathPatternExpr::plain(node("x"))],
+            where_clause: Some(Expr::Exists(Box::new(sub))),
+        };
+        let q = prepare(&gp, &EvalOptions::default()).unwrap();
+        assert_eq!(q.plan().param_names().collect::<Vec<_>>(), vec!["min"]);
+        let g = chain(4); // x: 0,1,2,3; edges i -> i+1
+        let all = q
+            .execute_with(&g, &crate::Params::new().with("min", 0))
+            .unwrap();
+        assert_eq!(all.len(), 3); // n0..n2 have successors
+        let some = q
+            .execute_with(&g, &crate::Params::new().with("min", 3))
+            .unwrap();
+        assert_eq!(some.len(), 1); // only n2 -> n3 satisfies y.x >= 3
+    }
+
+    #[test]
+    fn parallel_parameterized_execution_matches_sequential() {
+        let gp = GraphPattern::single(PathPattern::concat(vec![
+            PathPattern::Node(NodePattern::var("s").with_predicate(Expr::cmp(
+                CmpOp::Ge,
+                Expr::prop("s", "x"),
+                Expr::Parameter("min".into()),
+            ))),
+            edge_r("e"),
+            node("t"),
+        ]));
+        let g = chain(300);
+        let params = crate::Params::new().with("min", 7);
+        let sequential = prepare(
+            &gp,
+            &EvalOptions {
+                threads: 1,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap()
+        .execute_with(&g, &params)
+        .unwrap();
+        for threads in [2, 4] {
+            let q = prepare(
+                &gp,
+                &EvalOptions {
+                    threads,
+                    ..EvalOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                q.execute_with(&g, &params).unwrap(),
+                sequential,
+                "threads={threads}"
+            );
+        }
+        assert_eq!(sequential.len(), 292);
+    }
+
+    #[test]
+    fn bound_params_sharpen_the_cost_estimate() {
+        // Equality against a parameter: unbound → default selectivity,
+        // bound → the distinct-value hint, exactly like a literal.
+        let eq_param =
+            GraphPattern::single(PathPattern::Node(NodePattern::var("x").with_predicate(
+                Expr::cmp(CmpOp::Eq, Expr::prop("x", "x"), Expr::Parameter("v".into())),
+            )));
+        let q = prepare(&eq_param, &EvalOptions::default()).unwrap();
+        let g = chain(10); // 10 distinct x values
+        let unbound = cost::estimates(q.plan(), g.stats(), true, &crate::Params::new());
+        let bound = cost::estimates(
+            q.plan(),
+            g.stats(),
+            true,
+            &crate::Params::new().with("v", 3),
+        );
+        assert!(
+            bound[0] < unbound[0],
+            "bound {bound:?} must beat unbound {unbound:?}"
+        );
+        assert!((bound[0] - 1.0).abs() < 1e-9, "{bound:?}");
     }
 
     #[test]

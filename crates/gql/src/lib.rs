@@ -39,7 +39,7 @@ use std::sync::Mutex;
 use gpml_core::binding::{BoundValue, MatchRow};
 use gpml_core::eval::{self, EvalOptions};
 use gpml_core::plan::{self, CacheStats, ExecutablePlan, PlanLru, PreparedQuery};
-use gpml_core::Expr;
+use gpml_core::{Expr, Params};
 use gpml_parser::Parser;
 use property_graph::{ElementId, PropertyGraph, Value};
 
@@ -57,6 +57,45 @@ pub enum GqlValue {
     Path(String),
 }
 
+impl GqlValue {
+    /// The scalar value, for `Scalar` cells.
+    pub fn as_value(&self) -> Option<&Value> {
+        match self {
+            GqlValue::Scalar(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string content of a `Scalar(Str)` cell.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            GqlValue::Scalar(Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer content of a `Scalar(Int)` cell.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            GqlValue::Scalar(Value::Int(i)) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The boolean content of a `Scalar(Bool)` cell.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            GqlValue::Scalar(Value::Bool(b)) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The float content of a `Scalar` cell; integers widen.
+    pub fn as_f64(&self) -> Option<f64> {
+        self.as_value().and_then(Value::as_f64)
+    }
+}
+
 impl std::fmt::Display for GqlValue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -65,6 +104,46 @@ impl std::fmt::Display for GqlValue {
             GqlValue::Group(ns) => write!(f, "[{}]", ns.join(",")),
             GqlValue::Path(p) => write!(f, "{p}"),
         }
+    }
+}
+
+impl TryFrom<GqlValue> for i64 {
+    type Error = GqlError;
+
+    fn try_from(v: GqlValue) -> Result<i64, GqlError> {
+        v.as_int()
+            .ok_or_else(|| GqlError::Host(format!("expected an integer, got {v}")))
+    }
+}
+
+impl TryFrom<GqlValue> for bool {
+    type Error = GqlError;
+
+    fn try_from(v: GqlValue) -> Result<bool, GqlError> {
+        v.as_bool()
+            .ok_or_else(|| GqlError::Host(format!("expected a boolean, got {v}")))
+    }
+}
+
+impl TryFrom<GqlValue> for f64 {
+    type Error = GqlError;
+
+    fn try_from(v: GqlValue) -> Result<f64, GqlError> {
+        v.as_f64()
+            .ok_or_else(|| GqlError::Host(format!("expected a number, got {v}")))
+    }
+}
+
+impl TryFrom<GqlValue> for String {
+    type Error = GqlError;
+
+    /// Strings come out of `Scalar(Str)` cells; element, group, and path
+    /// references are *not* silently stringified — render those with
+    /// `Display` instead.
+    fn try_from(v: GqlValue) -> Result<String, GqlError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| GqlError::Host(format!("expected a string, got {v}")))
     }
 }
 
@@ -90,6 +169,20 @@ impl QueryResult {
     /// True when there are no rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
+    }
+}
+
+impl std::fmt::Display for QueryResult {
+    /// Renders the result as a compact `|`-separated table: a header
+    /// line, one line per row, and a trailing row count — the same shape
+    /// the `gpml` CLI prints.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.columns.join(" | "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(ToString::to_string).collect();
+            writeln!(f, "{}", cells.join(" | "))?;
+        }
+        write!(f, "({} rows)", self.rows.len())
     }
 }
 
@@ -169,6 +262,12 @@ impl PreparedGqlQuery {
     /// `graph`.
     pub fn explain_for(&self, graph: &PropertyGraph) -> String {
         self.query.explain_for(graph)
+    }
+
+    /// [`Self::explain_for`] under parameter bindings: estimates use the
+    /// bound constants, matching what `execute_prepared_with` would run.
+    pub fn explain_with(&self, graph: &PropertyGraph, params: &Params) -> String {
+        self.query.explain_with(graph, params)
     }
 
     /// True when the statement has a `RETURN` clause (vs. a bare `MATCH`).
@@ -322,7 +421,18 @@ impl Session {
         };
         p.expect_eof()?;
 
-        let query = plan::prepare(&pattern, &self.options)?;
+        let mut query = plan::prepare(&pattern, &self.options)?;
+        // Projection-side `$name` parameters (RETURN items, ORDER BY
+        // keys) become slots of the plan too, so bind-time validation
+        // covers the whole statement.
+        if let Some(proj) = &projection {
+            for item in &proj.items {
+                query.declare_params_in(&item.expr);
+            }
+            for key in &proj.order {
+                query.declare_params_in(&key.expr);
+            }
+        }
         Ok(PreparedGqlQuery { query, projection })
     }
 
@@ -331,6 +441,20 @@ impl Session {
         &self,
         graph: &str,
         prepared: &PreparedGqlQuery,
+    ) -> Result<QueryResult, GqlError> {
+        self.execute_prepared_with(graph, prepared, &Params::new())
+    }
+
+    /// Runs a prepared `MATCH ... RETURN ...` against the named graph
+    /// with `params` bound to the statement's `$name` placeholders — the
+    /// *bind* step of the prepare → bind → execute cycle. Unbound,
+    /// superfluous, and type-mismatched bindings surface as
+    /// [`GqlError::Eval`] before any matching happens.
+    pub fn execute_prepared_with(
+        &self,
+        graph: &str,
+        prepared: &PreparedGqlQuery,
+        params: &Params,
     ) -> Result<QueryResult, GqlError> {
         let g = self
             .catalog
@@ -347,14 +471,17 @@ impl Session {
             limit,
         } = projection;
 
-        let matches = prepared.query.execute(g)?;
+        let matches = prepared.query.execute_with(g, params)?;
 
         // Project.
         let mut rows: Vec<(Vec<GqlValue>, &MatchRow)> = matches
             .rows
             .iter()
             .map(|row| {
-                let cells = items.iter().map(|it| project(g, row, &it.expr)).collect();
+                let cells = items
+                    .iter()
+                    .map(|it| project(g, row, &it.expr, params))
+                    .collect();
                 (cells, row)
             })
             .collect();
@@ -364,8 +491,8 @@ impl Session {
         if !order.is_empty() {
             rows.sort_by(|(_, ra), (_, rb)| {
                 for key in order {
-                    let va = order_value(g, ra, &key.expr);
-                    let vb = order_value(g, rb, &key.expr);
+                    let va = order_value(g, ra, &key.expr, params);
+                    let vb = order_value(g, rb, &key.expr, params);
                     let ord = va.cmp(&vb);
                     let ord = if key.ascending { ord } else { ord.reverse() };
                     if ord != std::cmp::Ordering::Equal {
@@ -401,16 +528,58 @@ impl Session {
         graph: &str,
         prepared: &PreparedGqlQuery,
     ) -> Result<Vec<MatchRow>, GqlError> {
+        self.match_prepared_with(graph, prepared, &Params::new())
+    }
+
+    /// [`Session::match_prepared`] with `$name` parameter bindings.
+    pub fn match_prepared_with(
+        &self,
+        graph: &str,
+        prepared: &PreparedGqlQuery,
+        params: &Params,
+    ) -> Result<Vec<MatchRow>, GqlError> {
         let g = self
             .catalog
             .get(graph)
             .ok_or_else(|| GqlError::Host(format!("unknown graph {graph}")))?;
-        Ok(prepared.query.execute(g)?.rows)
+        Ok(prepared.query.execute_with(g, params)?.rows)
     }
 
     /// Runs `MATCH ... RETURN ...` against the named graph, reusing the
     /// session's cached plan for the statement when one exists.
     pub fn execute(&self, graph: &str, query: &str) -> Result<QueryResult, GqlError> {
+        self.execute_with_params(graph, query, &Params::new())
+    }
+
+    /// Runs a parameterized `MATCH ... RETURN ...` with `params` bound to
+    /// its `$name` placeholders. The statement text is the plan-cache key,
+    /// so replaying one skeleton with many different bindings compiles it
+    /// once and hits the cache on every re-bind — the prepare-once /
+    /// execute-many economics the session is built around.
+    ///
+    /// ```
+    /// use gql::Session;
+    /// use gpml_core::Params;
+    /// use gpml_datagen::fig1;
+    ///
+    /// let mut session = Session::new();
+    /// session.register("bank", fig1());
+    /// let skeleton = "MATCH (a:Account WHERE a.owner = $owner)-[t:Transfer]->(b) \
+    ///                 RETURN b.owner AS receiver ORDER BY receiver";
+    /// for owner in ["Dave", "Scott"] {
+    ///     let params = Params::new().with("owner", owner);
+    ///     let result = session.execute_with_params("bank", skeleton, &params).unwrap();
+    ///     assert!(!result.is_empty());
+    /// }
+    /// // One compiled plan served both bindings.
+    /// assert_eq!(session.plan_cache_stats().len, 1);
+    /// ```
+    pub fn execute_with_params(
+        &self,
+        graph: &str,
+        query: &str,
+        params: &Params,
+    ) -> Result<QueryResult, GqlError> {
         let cached = self.plans().get(query, &self.options).cloned();
         let prepared = match cached {
             // A cached RETURN-less statement falls through to a fresh
@@ -424,7 +593,7 @@ impl Session {
                 p
             }
         };
-        self.execute_prepared(graph, &prepared)
+        self.execute_prepared_with(graph, &prepared, params)
     }
 
     /// §6.6 graph projection: the subgraph of `graph` induced by all
@@ -565,7 +734,7 @@ fn resolve_alias(e: Expr, items: &[ReturnItem]) -> Expr {
     e
 }
 
-fn project(g: &PropertyGraph, row: &MatchRow, expr: &Expr) -> GqlValue {
+fn project(g: &PropertyGraph, row: &MatchRow, expr: &Expr, params: &Params) -> GqlValue {
     if let Expr::Var(v) = expr {
         return match row.get(v) {
             Some(b @ (BoundValue::Node(_) | BoundValue::Edge(_))) => {
@@ -581,12 +750,12 @@ fn project(g: &PropertyGraph, row: &MatchRow, expr: &Expr) -> GqlValue {
             None => GqlValue::Scalar(Value::Null),
         };
     }
-    let env = |var: &str| row.get(var).cloned();
+    let env = eval::RowParamEnv { row, params };
     GqlValue::Scalar(eval::eval_expr(g, &env, expr))
 }
 
-fn order_value(g: &PropertyGraph, row: &MatchRow, expr: &Expr) -> GqlValue {
-    project(g, row, expr)
+fn order_value(g: &PropertyGraph, row: &MatchRow, expr: &Expr, params: &Params) -> GqlValue {
+    project(g, row, expr, params)
 }
 
 /// Dynamic property keys for projected graphs (bounded by the source
@@ -754,6 +923,134 @@ mod tests {
         let stats = s.plan_cache_stats();
         assert_eq!(stats.len, 2, "{stats:?}");
         assert_eq!(stats.capacity, 2, "{stats:?}");
+    }
+
+    #[test]
+    fn parameterized_statement_rebinds_against_one_cached_plan() {
+        // The acceptance bar for parameterized traffic: 100 distinct
+        // bindings of one skeleton → one compiled plan, ≥ 99 cache hits.
+        let mut s = Session::new();
+        let mut g = PropertyGraph::new();
+        for i in 0..100 {
+            g.add_node(
+                &format!("n{i}"),
+                ["Account"],
+                [("idx", Value::Int(i as i64))],
+            );
+        }
+        s.register("g", g);
+        let skeleton = "MATCH (x:Account WHERE x.idx = $i) RETURN x.idx AS idx";
+        for i in 0..100i64 {
+            let params = Params::new().with("i", i);
+            let r = s.execute_with_params("g", skeleton, &params).unwrap();
+            assert_eq!(r.len(), 1, "binding i={i}");
+            assert_eq!(r.get(0, "idx").and_then(GqlValue::as_int), Some(i));
+        }
+        let stats = s.plan_cache_stats();
+        assert_eq!(stats.len, 1, "one skeleton, one plan: {stats:?}");
+        assert!(stats.hits >= 99, "{stats:?}");
+    }
+
+    #[test]
+    fn parameters_work_in_projections_and_order_keys() {
+        let s = session();
+        let r = s
+            .execute_with_params(
+                "bank",
+                "MATCH (x:Account) RETURN x.owner AS o, $tag AS tag ORDER BY o LIMIT 1",
+                &Params::new().with("tag", "run-7"),
+            )
+            .unwrap();
+        assert_eq!(
+            r.get(0, "tag"),
+            Some(&GqlValue::Scalar(Value::str("run-7")))
+        );
+    }
+
+    #[test]
+    fn parameter_errors_are_typed_gql_errors() {
+        let s = session();
+        let q = "MATCH (x:Account WHERE x.owner = $owner) RETURN x";
+        // Unbound.
+        assert!(matches!(
+            s.execute("bank", q),
+            Err(GqlError::Eval(gpml_core::Error::UnboundParameter { ref name })) if name == "owner"
+        ));
+        // Extra.
+        let extra = Params::new().with("owner", "Dave").with("ghost", 1);
+        assert!(matches!(
+            s.execute_with_params("bank", q, &extra),
+            Err(GqlError::Eval(gpml_core::Error::UnusedParameter { ref name })) if name == "ghost"
+        ));
+        // Type mismatch: $min is used as a number.
+        let qn = "MATCH (x:Account)-[t:Transfer]->(y) \
+                  WHERE t.amount > $min AND $min > 0 RETURN x";
+        assert!(matches!(
+            s.execute_with_params("bank", qn, &Params::new().with("min", "big")),
+            Err(GqlError::Eval(
+                gpml_core::Error::ParameterTypeMismatch { ref name, .. }
+            )) if name == "min"
+        ));
+    }
+
+    #[test]
+    fn prepared_statement_rebinds_across_executions() {
+        let s = session();
+        let prepared = s
+            .prepare(
+                "MATCH (a:Account WHERE a.owner = $owner)-[t:Transfer]->(b) \
+                 RETURN b.owner AS receiver ORDER BY receiver",
+            )
+            .unwrap();
+        let dave = s
+            .execute_prepared_with("bank", &prepared, &Params::new().with("owner", "Dave"))
+            .unwrap();
+        let scott = s
+            .execute_prepared_with("bank", &prepared, &Params::new().with("owner", "Scott"))
+            .unwrap();
+        assert!(!dave.is_empty());
+        assert!(!scott.is_empty());
+        assert_ne!(dave, scott);
+        // Equivalent to inlining the literal.
+        let inlined = s
+            .execute(
+                "bank",
+                "MATCH (a:Account WHERE a.owner = 'Dave')-[t:Transfer]->(b) \
+                 RETURN b.owner AS receiver ORDER BY receiver",
+            )
+            .unwrap();
+        assert_eq!(dave, inlined);
+    }
+
+    #[test]
+    fn typed_accessors_and_try_from() {
+        let int = GqlValue::Scalar(Value::Int(7));
+        let text = GqlValue::Scalar(Value::str("hi"));
+        let flag = GqlValue::Scalar(Value::Bool(true));
+        let el = GqlValue::Element("a1".into());
+        assert_eq!(int.as_int(), Some(7));
+        assert_eq!(int.as_f64(), Some(7.0));
+        assert_eq!(text.as_str(), Some("hi"));
+        assert_eq!(flag.as_bool(), Some(true));
+        assert_eq!(el.as_int(), None);
+        assert_eq!(el.as_str(), None);
+        assert_eq!(i64::try_from(int).unwrap(), 7);
+        assert_eq!(String::try_from(text).unwrap(), "hi");
+        assert!(bool::try_from(flag).unwrap());
+        assert!(i64::try_from(GqlValue::Scalar(Value::str("x"))).is_err());
+        assert!(String::try_from(el).is_err());
+    }
+
+    #[test]
+    fn query_result_display_renders_a_table() {
+        let s = session();
+        let r = s
+            .execute(
+                "bank",
+                "MATCH (x:Account WHERE x.owner='Dave') RETURN x.owner AS owner",
+            )
+            .unwrap();
+        assert_eq!(r.to_string(), "owner\nDave\n(1 rows)");
     }
 
     #[test]

@@ -190,7 +190,10 @@ impl PropertyGraph {
         L::Item: Into<String>,
         P: IntoIterator<Item = (&'static str, Value)>,
     {
-        self.stats.take();
+        // An already-computed catalog is maintained in place (tallies for
+        // one node are O(labels + properties)); a never-computed one
+        // stays lazy.
+        let cached = self.stats.take();
         let id = NodeId(self.nodes.len() as u32);
         let prev = self.names.insert(name.to_owned(), id.into());
         assert!(prev.is_none(), "duplicate element name {name:?}");
@@ -203,6 +206,15 @@ impl PropertyGraph {
                 .collect(),
         });
         self.adjacency.push(Vec::new());
+        if let Some(mut s) = cached {
+            s.apply_add_node(self.nodes.last().expect("just pushed"));
+            debug_assert_eq!(
+                s,
+                GraphStats::compute(self),
+                "incremental node stats diverged from full recompute"
+            );
+            let _ = self.stats.set(s);
+        }
         id
     }
 
@@ -225,7 +237,9 @@ impl PropertyGraph {
         let (a, b) = endpoints.pair();
         assert!(a.index() < self.nodes.len(), "endpoint {a:?} out of range");
         assert!(b.index() < self.nodes.len(), "endpoint {b:?} out of range");
-        self.stats.take();
+        // Maintained in place like in `add_node`; the degree refresh only
+        // touches the two endpoints.
+        let cached = self.stats.take();
         let id = EdgeId(self.edges.len() as u32);
         let prev = self.names.insert(name.to_owned(), id.into());
         assert!(prev.is_none(), "duplicate element name {name:?}");
@@ -265,6 +279,15 @@ impl PropertyGraph {
                     });
                 }
             }
+        }
+        if let Some(mut s) = cached {
+            s.apply_add_edge(self, &self.edges[id.index()]);
+            debug_assert_eq!(
+                s,
+                GraphStats::compute(self),
+                "incremental edge stats diverged from full recompute"
+            );
+            let _ = self.stats.set(s);
         }
         id
     }

@@ -12,11 +12,20 @@
 //! combines them under independence assumptions (e.g. label distribution
 //! independent of edge orientation), which is the classic trade-off of
 //! one-pass statistics catalogs.
+//!
+//! Mutations maintain the catalog *incrementally*: `add_node`/`add_edge`
+//! fold the new element's tallies into an already-computed catalog in
+//! O(labels + properties + endpoint degree) instead of dropping it and
+//! re-scanning the whole graph — the difference between O(1)-ish and
+//! O(|N| + |E|) per mutation on a growing graph. Debug builds
+//! cross-check every incremental update against a full recompute.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use crate::graph::{PropertyGraph, Traversal};
+use crate::graph::{EdgeData, NodeData, PropertyGraph, Traversal};
+use crate::ids::NodeId;
+use crate::value::Value;
 
 /// Per-edge-label tallies: how many matching edges are directed vs
 /// undirected.
@@ -103,6 +112,15 @@ pub struct GraphStats {
     /// Degree maxima counting only edges carrying each label — the
     /// skewed-hub signal for per-label traversal estimates.
     pub max_degree_per_label: BTreeMap<String, DegreeStats>,
+    /// Hashes of the observed values per property key, backing
+    /// `distinct_property_values`. Kept private: it lets incremental
+    /// maintenance decide whether a newly added value is distinct
+    /// without a full recompute, at 8 bytes per distinct value instead
+    /// of retaining a clone of every property value. Distinctness is
+    /// exact up to hash collisions — the estimator consumes the count as
+    /// a selectivity *hint*, so an astronomically rare collision only
+    /// nudges an estimate.
+    value_hashes: BTreeMap<String, BTreeSet<u64>>,
 }
 
 impl GraphStats {
@@ -113,8 +131,6 @@ impl GraphStats {
             edge_count: g.edge_count(),
             ..GraphStats::default()
         };
-        let mut values: BTreeMap<String, std::collections::BTreeSet<&crate::value::Value>> =
-            BTreeMap::new();
         for n in g.nodes() {
             let data = g.node(n);
             if !data.labels.is_empty() {
@@ -124,7 +140,7 @@ impl GraphStats {
                 *stats.node_labels.entry(l.clone()).or_insert(0) += 1;
             }
             for (k, v) in &data.properties {
-                values.entry(k.clone()).or_default().insert(v);
+                stats.record_value(k, v);
             }
         }
         for e in g.edges() {
@@ -147,46 +163,117 @@ impl GraphStats {
                 }
             }
             for (k, v) in &data.properties {
-                values.entry(k.clone()).or_default().insert(v);
+                stats.record_value(k, v);
             }
         }
-        stats.distinct_property_values =
-            values.into_iter().map(|(k, set)| (k, set.len())).collect();
         // Degree maxima: one pass over the adjacency lists, tallying each
         // node's traversable steps overall and per edge label.
         for n in g.nodes() {
-            let (mut out, mut inc, mut und) = (0usize, 0usize, 0usize);
-            let mut per_label: BTreeMap<&str, (usize, usize, usize)> = BTreeMap::new();
-            for step in g.steps(n) {
-                let slot = match step.traversal {
-                    Traversal::Forward => 0,
-                    Traversal::Backward => 1,
-                    Traversal::Undirected => 2,
-                };
-                match slot {
-                    0 => out += 1,
-                    1 => inc += 1,
-                    _ => und += 1,
-                }
-                for l in &g.edge(step.edge).labels {
-                    let e = per_label.entry(l).or_default();
-                    match slot {
-                        0 => e.0 += 1,
-                        1 => e.1 += 1,
-                        _ => e.2 += 1,
-                    }
-                }
-            }
-            stats.max_degree.absorb(out, inc, und);
-            for (l, (o, i, u)) in per_label {
-                stats
-                    .max_degree_per_label
-                    .entry(l.to_owned())
-                    .or_default()
-                    .absorb(o, i, u);
-            }
+            stats.absorb_node_degrees(g, n);
         }
         stats
+    }
+
+    /// Records one property value observation, keeping the distinct-count
+    /// hint in sync with the hash set.
+    fn record_value(&mut self, key: &str, v: &Value) {
+        use std::hash::{Hash, Hasher};
+        // `DefaultHasher::new()` uses fixed keys, so hashes are stable
+        // across the incremental path and the full-recompute oracle.
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        v.hash(&mut h);
+        let set = self.value_hashes.entry(key.to_owned()).or_default();
+        if set.insert(h.finish()) {
+            *self
+                .distinct_property_values
+                .entry(key.to_owned())
+                .or_insert(0) += 1;
+        }
+    }
+
+    /// Folds node `n`'s current traversable-step tallies (overall and per
+    /// edge label) into the degree maxima. Maxima only grow, so absorbing
+    /// a node's *complete* current tallies is sound both during the full
+    /// pass and after an incremental edge insertion at `n`.
+    fn absorb_node_degrees(&mut self, g: &PropertyGraph, n: NodeId) {
+        let (mut out, mut inc, mut und) = (0usize, 0usize, 0usize);
+        let mut per_label: BTreeMap<&str, (usize, usize, usize)> = BTreeMap::new();
+        for step in g.steps(n) {
+            let slot = match step.traversal {
+                Traversal::Forward => 0,
+                Traversal::Backward => 1,
+                Traversal::Undirected => 2,
+            };
+            match slot {
+                0 => out += 1,
+                1 => inc += 1,
+                _ => und += 1,
+            }
+            for l in &g.edge(step.edge).labels {
+                let e = per_label.entry(l).or_default();
+                match slot {
+                    0 => e.0 += 1,
+                    1 => e.1 += 1,
+                    _ => e.2 += 1,
+                }
+            }
+        }
+        self.max_degree.absorb(out, inc, und);
+        for (l, (o, i, u)) in per_label {
+            self.max_degree_per_label
+                .entry(l.to_owned())
+                .or_default()
+                .absorb(o, i, u);
+        }
+    }
+
+    /// Incremental maintenance for one appended node: bumps the counts
+    /// and label/property tallies in place. The node has no incident
+    /// edges yet, so degrees are untouched.
+    pub(crate) fn apply_add_node(&mut self, data: &NodeData) {
+        self.node_count += 1;
+        if !data.labels.is_empty() {
+            self.labeled_node_count += 1;
+        }
+        for l in &data.labels {
+            *self.node_labels.entry(l.clone()).or_insert(0) += 1;
+        }
+        for (k, v) in &data.properties {
+            self.record_value(k, v);
+        }
+    }
+
+    /// Incremental maintenance for one appended edge (`data` already in
+    /// the graph, adjacency updated): bumps counts and tallies, then
+    /// re-absorbs the two endpoints' degrees — the only nodes whose
+    /// fan-out can have grown.
+    pub(crate) fn apply_add_edge(&mut self, g: &PropertyGraph, data: &EdgeData) {
+        self.edge_count += 1;
+        let directed = data.endpoints.is_directed();
+        if directed {
+            self.directed_edge_count += 1;
+        } else {
+            self.undirected_edge_count += 1;
+        }
+        if !data.labels.is_empty() {
+            self.labeled_edge_count += 1;
+        }
+        for l in &data.labels {
+            let entry = self.edge_labels.entry(l.clone()).or_default();
+            if directed {
+                entry.directed += 1;
+            } else {
+                entry.undirected += 1;
+            }
+        }
+        for (k, v) in &data.properties {
+            self.record_value(k, v);
+        }
+        let (a, b) = data.endpoints.pair();
+        self.absorb_node_degrees(g, a);
+        if b != a {
+            self.absorb_node_degrees(g, b);
+        }
     }
 
     /// Degree maxima for edges carrying `label` (or all edges for
@@ -384,6 +471,60 @@ mod tests {
         let d = g.stats().max_degrees(Some("T"));
         // A directed self loop is one forward and one backward step.
         assert_eq!((d.max_out, d.max_in), (1, 1));
+    }
+
+    #[test]
+    fn incremental_maintenance_matches_full_recompute() {
+        // Force the catalog into existence, then mutate in every way the
+        // incremental path handles: labeled/unlabeled nodes, directed/
+        // undirected edges, self loops, repeated and fresh property
+        // values. After each mutation the in-place catalog must equal a
+        // from-scratch recompute (debug builds also assert this inside
+        // add_node/add_edge).
+        let mut g = sample();
+        let _ = g.stats();
+        let d = g.add_node("d", ["Account"], [("owner", Value::str("x"))]);
+        assert_eq!(*g.stats(), GraphStats::compute(&g));
+        // Repeated value "x" must not bump the distinct count.
+        assert_eq!(g.stats().distinct_values("owner"), Some(2));
+        let e = g.add_node("e", Vec::<String>::new(), [("owner", Value::str("z"))]);
+        assert_eq!(g.stats().distinct_values("owner"), Some(3));
+        g.add_edge(
+            "t3",
+            Endpoints::directed(d, e),
+            ["Transfer"],
+            [("amount", Value::Int(7))],
+        );
+        assert_eq!(*g.stats(), GraphStats::compute(&g));
+        g.add_edge("loop", Endpoints::directed(d, d), ["Transfer"], []);
+        assert_eq!(*g.stats(), GraphStats::compute(&g));
+        g.add_edge("uloop", Endpoints::undirected(e, e), ["Knows"], []);
+        assert_eq!(*g.stats(), GraphStats::compute(&g));
+        // Degree maxima tracked the new hub: d has 2 out (t3 + loop),
+        // 1 in (loop backward) on Transfer edges.
+        let t = g.stats().max_degrees(Some("Transfer"));
+        assert_eq!((t.max_out, t.max_in), (2, 1));
+    }
+
+    #[test]
+    fn incremental_maintenance_interleaves_with_reads() {
+        // Reads between mutations re-cache; further mutations keep
+        // updating in place.
+        let mut g = PropertyGraph::new();
+        let mut prev = None;
+        for i in 0..20 {
+            let n = g.add_node(&format!("n{i}"), ["N"], [("k", Value::Int(i % 4))]);
+            if let Some(p) = prev {
+                g.add_edge(&format!("e{i}"), Endpoints::directed(p, n), ["T"], []);
+            }
+            prev = Some(n);
+            if i % 3 == 0 {
+                assert_eq!(g.stats().node_count, i as usize + 1);
+            }
+        }
+        assert_eq!(*g.stats(), GraphStats::compute(&g));
+        assert_eq!(g.stats().distinct_values("k"), Some(4));
+        assert_eq!(g.stats().edges_with_label("T").directed, 19);
     }
 
     #[test]

@@ -838,6 +838,27 @@ impl<'a> Parser<'a> {
                 self.expect(")")?;
                 Ok(e)
             }
+            Some(b'$') => {
+                // `$name`: a query parameter, bound at execute time. The
+                // text stays a reusable skeleton, so one cached plan
+                // serves every binding of the parameter. The name must be
+                // byte-adjacent to the sigil — `$ min` is an error, and a
+                // stray `$` must not swallow the next keyword as a name.
+                self.pos += 1;
+                let start = self.pos;
+                let mut end = start;
+                while end < self.bytes.len()
+                    && (self.bytes[end].is_ascii_alphanumeric() || self.bytes[end] == b'_')
+                {
+                    end += 1;
+                }
+                if end == start || self.bytes[start].is_ascii_digit() {
+                    return self.err("expected a parameter name after $");
+                }
+                let name = self.src[start..end].to_owned();
+                self.pos = end;
+                Ok(Expr::Parameter(name))
+            }
             Some(b'\'') => Ok(Expr::Literal(Value::Str(self.string_literal()?))),
             Some(c) if c.is_ascii_digit() => self.number_literal(),
             _ => self.word_primary(),

@@ -454,6 +454,53 @@ fn multiple_path_patterns_and_final_where() {
 }
 
 #[test]
+fn parameters_parse_in_every_predicate_position() {
+    // Element prefilter.
+    let p = parse_one("(x WHERE x.owner = $owner)");
+    let PathPattern::Node(n) = p else { panic!() };
+    assert_eq!(
+        n.predicate,
+        Some(Expr::prop("x", "owner").eq(Expr::Parameter("owner".into())))
+    );
+    // Paren prefilter and final WHERE.
+    let g = parse(
+        "MATCH (a) [()-[t:Transfer WHERE t.amount > $min]->()]{1,3} (b) \
+         WHERE SUM(t.amount) > $total",
+    )
+    .unwrap();
+    assert!(g.where_clause.unwrap().to_string().contains("$total"));
+    // Arithmetic and standalone expressions.
+    assert_eq!(
+        parse_expr("$min + 1").unwrap(),
+        Expr::Arith(
+            ArithOp::Add,
+            Box::new(Expr::Parameter("min".into())),
+            Box::new(Expr::lit(1)),
+        )
+    );
+    // Display round-trips.
+    let e = parse_expr("x.w >= $min").unwrap();
+    assert_eq!(e.to_string(), "x.w>=$min");
+    assert_eq!(parse_expr(&e.to_string()).unwrap(), e);
+}
+
+#[test]
+fn parameter_names_share_the_identifier_shape() {
+    // Reserved words are fine as parameter names — separate namespace.
+    assert_eq!(
+        parse_expr("$count").unwrap(),
+        Expr::Parameter("count".into())
+    );
+    // A bare `$` is an error, not a panic — and the name must be
+    // byte-adjacent: a stray `$` never swallows the next token.
+    assert!(parse_expr("$").is_err());
+    assert!(parse_expr("$ 1").is_err());
+    assert!(parse_expr("$ min").is_err());
+    assert!(parse_expr("x.w >= $\nmin").is_err());
+    assert!(parse_expr("x = $").is_err());
+}
+
+#[test]
 fn parse_errors_carry_position() {
     let err = parse("MATCH (x").unwrap_err();
     assert!(err.pos >= 8, "{err:?}");

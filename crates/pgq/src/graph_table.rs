@@ -21,7 +21,7 @@ use std::sync::Mutex;
 use gpml_core::binding::{BoundValue, MatchRow};
 use gpml_core::eval::{self, EvalOptions};
 use gpml_core::plan::{self, CacheStats, ExecutablePlan, PlanLru, PreparedQuery};
-use gpml_core::Expr;
+use gpml_core::{Expr, Params};
 use gpml_parser::Parser;
 use property_graph::{PropertyGraph, Value};
 
@@ -87,12 +87,30 @@ impl PreparedGraphTable {
         self.query.explain_for(graph)
     }
 
+    /// [`Self::explain_for`] under parameter bindings: estimates use the
+    /// bound constants, matching what `execute_with` would run.
+    pub fn explain_with(&self, graph: &PropertyGraph, params: &Params) -> String {
+        self.query.explain_with(graph, params)
+    }
+
     /// Runs the prepared body over `graph`, producing the projected table.
     pub fn execute(&self, graph: &PropertyGraph) -> Result<Table, PgqError> {
-        let rows = self.query.execute(graph)?;
+        self.execute_with(graph, &Params::new())
+    }
+
+    /// Runs the prepared body over `graph` with `params` bound to its
+    /// `$name` placeholders — the *bind* step of prepare → bind →
+    /// execute. Unbound, superfluous, and type-mismatched bindings
+    /// surface as [`PgqError::Eval`] before any matching happens.
+    pub fn execute_with(&self, graph: &PropertyGraph, params: &Params) -> Result<Table, PgqError> {
+        let rows = self.query.execute_with(graph, params)?;
         let mut table = Table::new("GRAPH_TABLE", self.columns.iter().map(|c| c.alias.clone()));
         for row in rows.iter() {
-            table.push(self.columns.iter().map(|c| project(graph, row, &c.expr)));
+            table.push(
+                self.columns
+                    .iter()
+                    .map(|c| project(graph, row, &c.expr, params)),
+            );
         }
         Ok(table)
     }
@@ -107,7 +125,12 @@ pub fn prepare_graph_table(body: &str, opts: &EvalOptions) -> Result<PreparedGra
     p.expect_kw("COLUMNS")?;
     let columns = parse_columns(&mut p)?;
     p.expect_eof()?;
-    let query = plan::prepare(&pattern, opts)?;
+    let mut query = plan::prepare(&pattern, opts)?;
+    // `$name` parameters consumed only by COLUMNS projections become
+    // plan slots too, so bind-time validation covers the whole body.
+    for c in &columns {
+        query.declare_params_in(&c.expr);
+    }
     Ok(PreparedGraphTable { query, columns })
 }
 
@@ -196,6 +219,19 @@ impl GraphTableCache {
     pub fn execute(&self, graph: &PropertyGraph, body: &str) -> Result<Table, PgqError> {
         self.prepare(body)?.execute(graph)
     }
+
+    /// Runs a parameterized `body` with `params` bound to its `$name`
+    /// placeholders. The body text is the cache key, so one skeleton
+    /// replayed under many bindings compiles once and hits the cache on
+    /// every re-bind.
+    pub fn execute_with(
+        &self,
+        graph: &PropertyGraph,
+        body: &str,
+        params: &Params,
+    ) -> Result<Table, PgqError> {
+        self.prepare(body)?.execute_with(graph, params)
+    }
 }
 
 /// `( expr (AS alias)? (, expr (AS alias)?)* )`
@@ -225,7 +261,12 @@ fn parse_columns(p: &mut Parser<'_>) -> Result<Vec<Column>, PgqError> {
 /// Evaluates one projection item against a result row. Bare variables
 /// project element keys (or key lists / path renderings); anything else
 /// evaluates as a scalar.
-pub(crate) fn project(graph: &PropertyGraph, row: &MatchRow, expr: &Expr) -> Value {
+pub(crate) fn project(
+    graph: &PropertyGraph,
+    row: &MatchRow,
+    expr: &Expr,
+    params: &Params,
+) -> Value {
     if let Expr::Var(v) = expr {
         return match row.get(v) {
             Some(b @ (BoundValue::Node(_) | BoundValue::Edge(_))) => {
@@ -238,7 +279,7 @@ pub(crate) fn project(graph: &PropertyGraph, row: &MatchRow, expr: &Expr) -> Val
             None => Value::Null,
         };
     }
-    let env = |var: &str| row.get(var).cloned();
+    let env = eval::RowParamEnv { row, params };
     eval::eval_expr(graph, &env, expr)
 }
 
@@ -359,6 +400,80 @@ mod tests {
         // Parse errors are not cached.
         assert!(cache.execute(&g, "MATCH (x COLUMNS (x)").is_err());
         assert_eq!(cache.stats().len, 1);
+    }
+
+    #[test]
+    fn parameterized_body_rebinds_against_one_cached_plan() {
+        let g = fig1();
+        let cache = GraphTableCache::default();
+        let body = "MATCH (x:Account)-[t:Transfer WHERE t.amount >= $min]->(y:Account) \
+                    COLUMNS (x.owner AS sender, t.amount AS amount)";
+        // Inlined-literal oracle.
+        let inlined = graph_table(
+            &g,
+            "MATCH (x:Account)-[t:Transfer WHERE t.amount >= 10M]->(y:Account) \
+             COLUMNS (x.owner AS sender, t.amount AS amount)",
+        )
+        .unwrap();
+        let bound = cache
+            .execute_with(&g, body, &Params::new().with("min", 10_000_000))
+            .unwrap();
+        assert_eq!(bound.rows, inlined.rows);
+        // Re-binding hits the cache instead of recompiling.
+        let low = cache
+            .execute_with(&g, body, &Params::new().with("min", 0))
+            .unwrap();
+        assert_eq!(low.len(), 8); // every transfer in Figure 1
+        let stats = cache.stats();
+        assert_eq!(stats.len, 1, "{stats:?}");
+        assert!(stats.hits >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn parameters_work_in_columns_projections() {
+        let g = fig1();
+        let prepared = prepare_graph_table(
+            "MATCH (x:Account WHERE x.owner = $owner) \
+             COLUMNS (x.owner AS owner, $tag AS tag)",
+            &EvalOptions::default(),
+        )
+        .unwrap();
+        let t = prepared
+            .execute_with(&g, &Params::new().with("owner", "Dave").with("tag", 42))
+            .unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(0, "tag"), Some(&Value::Int(42)));
+    }
+
+    #[test]
+    fn parameter_errors_are_typed_pgq_errors() {
+        let g = fig1();
+        let body = "MATCH (x:Account WHERE x.owner = $owner) COLUMNS (x)";
+        // Unbound (plain execute of a parameterized body).
+        assert!(matches!(
+            graph_table(&g, body),
+            Err(PgqError::Eval(gpml_core::Error::UnboundParameter { ref name })) if name == "owner"
+        ));
+        // Extra.
+        let prepared = prepare_graph_table(body, &EvalOptions::default()).unwrap();
+        let extra = Params::new().with("owner", "Dave").with("ghost", true);
+        assert!(matches!(
+            prepared.execute_with(&g, &extra),
+            Err(PgqError::Eval(gpml_core::Error::UnusedParameter { ref name })) if name == "ghost"
+        ));
+        // Type mismatch: $min is used in arithmetic.
+        let numeric = prepare_graph_table(
+            "MATCH (x:Account)-[t:Transfer]->(y) \
+             WHERE t.amount > $min * 2 COLUMNS (x)",
+            &EvalOptions::default(),
+        )
+        .unwrap();
+        assert!(matches!(
+            numeric.execute_with(&g, &Params::new().with("min", "big")),
+            Err(PgqError::Eval(
+                gpml_core::Error::ParameterTypeMismatch { ref name, .. }
+            )) if name == "min"
+        ));
     }
 
     #[test]

@@ -23,25 +23,58 @@
 use std::io::BufRead;
 
 use gpml_suite::core::eval::{EvalOptions, MatchMode};
+use gpml_suite::core::{Expr, Params};
 use gpml_suite::datagen::{chain, cycle, fig1, grid, transfer_network, TransferNetworkConfig};
 use gpml_suite::gql::Session;
-use property_graph::PropertyGraph;
+use property_graph::{PropertyGraph, Value};
 
 fn usage() -> ! {
     eprintln!(
         "usage: gpml [--graph fig1|chain:N|cycle:N|grid:WxH|network:N,M,SEED|csv:DIR] \
-         [--mode gpml|sparql|gsql] [--threads N] [--json] [--explain] [QUERY]\n\
+         [--mode gpml|sparql|gsql] [--threads N] [--param NAME=VALUE]... \
+         [--json] [--explain] [QUERY]\n\
          With no QUERY, reads one query per line from stdin; repeated\n\
          queries reuse their compiled plan (the session's LRU plan cache).\n\
-         --explain prints each query's lowered plan — with per-stage\n\
-         estimated cardinality, the chosen stage order, and the join\n\
-         algorithm — before the results. --threads N runs the per-stage\n\
-         matcher searches on N worker threads (0 = auto, 1 = sequential;\n\
-         results are identical either way). REPL commands: :stats dumps\n\
-         the graph's statistics catalog, :cache the plan-cache counters,\n\
-         :threads [N] shows or sets the worker-thread count."
+         Queries may contain $name parameters; bind them with repeated\n\
+         --param name=value flags (values parse as literals: 5M, 'str',\n\
+         true; bare words are strings). --explain prints each query's\n\
+         lowered plan — with per-stage estimated cardinality, the chosen\n\
+         stage order, and the join algorithm — before the results.\n\
+         --threads N runs the per-stage matcher searches on N worker\n\
+         threads (0 = auto, 1 = sequential; results are identical either\n\
+         way). REPL commands: :stats dumps the graph's statistics\n\
+         catalog, :cache the plan-cache counters, :threads [N] shows or\n\
+         sets the worker-thread count, :let name = value binds a\n\
+         parameter, :unlet name unbinds one, :params lists bindings."
     );
     std::process::exit(2)
+}
+
+/// Parses a CLI/REPL parameter value: any GPML literal (`5M`, `1.5`,
+/// `'text'`, `true`, `null`) is typed, signed numbers (`-5`, `+1.5`)
+/// included; anything else is taken verbatim as a string, so
+/// `--param owner=Dave` and `--param city=Ankh-Morpork` work unquoted.
+/// Values that *start* like a quoted string or a number but fail to
+/// parse as one are errors, not silent strings — a mistyped number must
+/// not become a string that compares as NULL against every amount.
+fn parse_param_value(text: &str) -> Result<Value, String> {
+    let text = text.trim();
+    if let Some(rest) = text.strip_prefix('-').or_else(|| text.strip_prefix('+')) {
+        let negate = text.starts_with('-');
+        return match gpml_suite::parser::parse_expr(rest.trim()) {
+            Ok(Expr::Literal(Value::Int(i))) => Ok(Value::Int(if negate { -i } else { i })),
+            Ok(Expr::Literal(Value::Float(f))) => Ok(Value::Float(if negate { -f } else { f })),
+            _ => Err(format!("cannot parse signed number {text:?}")),
+        };
+    }
+    match gpml_suite::parser::parse_expr(text) {
+        Ok(Expr::Literal(v)) => Ok(v),
+        _ if text.starts_with('\'') => Err(format!("unterminated string literal {text:?}")),
+        _ if text.starts_with(|c: char| c.is_ascii_digit()) => {
+            Err(format!("cannot parse number {text:?}"))
+        }
+        _ => Ok(Value::Str(text.to_owned())),
+    }
 }
 
 fn build_graph(spec: &str) -> Result<PropertyGraph, String> {
@@ -110,8 +143,40 @@ fn load_csv_dir(dir: &str) -> Result<PropertyGraph, String> {
 }
 
 /// Handles a `:command` REPL line; returns true when the line was one.
-fn run_command(session: &mut Session, line: &str) -> bool {
+fn run_command(session: &mut Session, params: &mut Params, line: &str) -> bool {
     match line {
+        ":params" | ":let" => {
+            if params.is_empty() {
+                eprintln!("no parameters bound (use :let name = value)");
+            } else {
+                eprintln!("{params}");
+            }
+            true
+        }
+        _ if line.starts_with(":let ") => {
+            let rest = &line[":let ".len()..];
+            match rest.split_once('=') {
+                Some((name, value)) => {
+                    let name = name.trim().trim_start_matches('$').to_owned();
+                    match parse_param_value(value) {
+                        Ok(v) => {
+                            eprintln!("${name} = {v}");
+                            params.set(name, v);
+                        }
+                        Err(e) => eprintln!("error: {e}"),
+                    }
+                }
+                None => eprintln!("error: :let wants `name = value`"),
+            }
+            true
+        }
+        _ if line.starts_with(":unlet ") => {
+            let name = line[":unlet ".len()..].trim().trim_start_matches('$');
+            if params.unset(name).is_none() {
+                eprintln!("${name} was not bound");
+            }
+            true
+        }
         ":stats" => {
             let g = session.graph("g").expect("registered");
             eprint!("{}", g.stats());
@@ -148,16 +213,19 @@ fn run_command(session: &mut Session, line: &str) -> bool {
             true
         }
         _ if line.starts_with(':') => {
-            eprintln!("unknown command {line} (try :stats, :cache, or :threads)");
+            eprintln!(
+                "unknown command {line} (try :stats, :cache, :threads, :let, :unlet, or :params)"
+            );
             true
         }
         _ => false,
     }
 }
 
-fn run_one(session: &Session, query: &str, json: bool, explain: bool) {
+fn run_one(session: &Session, params: &Params, query: &str, json: bool, explain: bool) {
     // Session::prepare consults the session's LRU plan cache: a replayed
-    // query skips parse, analysis, and compilation and goes straight to
+    // query — including a parameterized skeleton under fresh bindings —
+    // skips parse, analysis, and compilation and goes straight to
     // execution.
     let prepared = match session.prepare(query) {
         Ok(p) => p,
@@ -166,12 +234,23 @@ fn run_one(session: &Session, query: &str, json: bool, explain: bool) {
             return;
         }
     };
+    // The REPL's `:let` bindings are ambient: a session may hold more
+    // bindings than any one query consumes, so narrow to the plan's
+    // declared slots here. The strict no-extra-bindings validation stays
+    // in the library API, where a superfluous binding means a caller bug.
+    let declared: std::collections::BTreeSet<&str> = prepared.plan().param_names().collect();
+    let params: Params = params
+        .iter()
+        .filter(|(name, _)| declared.contains(name))
+        .map(|(name, value)| (name.to_owned(), value.clone()))
+        .collect();
+    let params = &params;
     if explain {
         let g = session.graph("g").expect("registered");
-        eprintln!("{}", prepared.explain_for(g));
+        eprintln!("{}", prepared.explain_with(g, params));
     }
     if prepared.has_return() {
-        match session.execute_prepared("g", &prepared) {
+        match session.execute_prepared_with("g", &prepared, params) {
             Ok(result) => {
                 if json {
                     println!("{}", result.to_json());
@@ -188,7 +267,7 @@ fn run_one(session: &Session, query: &str, json: bool, explain: bool) {
         }
         return;
     }
-    match session.match_prepared("g", &prepared) {
+    match session.match_prepared_with("g", &prepared, params) {
         Ok(rows) => {
             let g = session.graph("g").expect("registered");
             if json {
@@ -220,6 +299,7 @@ fn main() {
     let mut threads = 0usize;
     let mut json = false;
     let mut explain = false;
+    let mut params = Params::new();
     let mut query: Option<String> = None;
 
     let mut it = args.into_iter();
@@ -239,6 +319,22 @@ fn main() {
                     .next()
                     .and_then(|n| n.parse().ok())
                     .unwrap_or_else(|| usage())
+            }
+            "--param" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                let Some((name, value)) = spec.split_once('=') else {
+                    eprintln!("error: --param wants NAME=VALUE, got {spec:?}");
+                    std::process::exit(2);
+                };
+                match parse_param_value(value) {
+                    Ok(v) => {
+                        params.set(name.trim().trim_start_matches('$'), v);
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(2);
+                    }
+                }
             }
             "--json" => json = true,
             "--explain" => explain = true,
@@ -269,11 +365,11 @@ fn main() {
     session.register("g", graph);
 
     match query {
-        Some(q) => run_one(&session, &q, json, explain),
+        Some(q) => run_one(&session, &params, &q, json, explain),
         None => {
             eprintln!(
                 "reading queries from stdin (one per line; :stats dumps graph \
-                 statistics; Ctrl-D to quit)"
+                 statistics; :let name = value binds a $parameter; Ctrl-D to quit)"
             );
             for line in std::io::stdin().lock().lines() {
                 let Ok(line) = line else { break };
@@ -281,10 +377,10 @@ fn main() {
                 if line.is_empty() {
                     continue;
                 }
-                if run_command(&mut session, &line) {
+                if run_command(&mut session, &mut params, &line) {
                     continue;
                 }
-                run_one(&session, &line, json, explain);
+                run_one(&session, &params, &line, json, explain);
             }
         }
     }

@@ -385,6 +385,148 @@ fn check_parallel_agreement(
     }
 }
 
+/// Lifts every literal inside the predicates of `gp` into a fresh `$p{i}`
+/// parameter, returning the skeleton and the bindings that restore the
+/// original constants. The pair (skeleton + bindings) must behave exactly
+/// like the literal query.
+fn lift_literals(gp: &GraphPattern) -> (GraphPattern, gpml_suite::core::Params) {
+    use gpml_suite::core::Params;
+
+    fn lift_expr(e: &Expr, params: &mut Params, counter: &mut usize) -> Expr {
+        match e {
+            Expr::Literal(v) => {
+                let name = format!("p{counter}");
+                *counter += 1;
+                params.set(name.clone(), v.clone());
+                Expr::Parameter(name)
+            }
+            Expr::Not(i) => Expr::Not(Box::new(lift_expr(i, params, counter))),
+            Expr::IsNull(i, want) => Expr::IsNull(Box::new(lift_expr(i, params, counter)), *want),
+            Expr::And(a, b) => Expr::And(
+                Box::new(lift_expr(a, params, counter)),
+                Box::new(lift_expr(b, params, counter)),
+            ),
+            Expr::Or(a, b) => Expr::Or(
+                Box::new(lift_expr(a, params, counter)),
+                Box::new(lift_expr(b, params, counter)),
+            ),
+            Expr::Cmp(op, a, b) => Expr::Cmp(
+                *op,
+                Box::new(lift_expr(a, params, counter)),
+                Box::new(lift_expr(b, params, counter)),
+            ),
+            Expr::Arith(op, a, b) => Expr::Arith(
+                *op,
+                Box::new(lift_expr(a, params, counter)),
+                Box::new(lift_expr(b, params, counter)),
+            ),
+            other => other.clone(),
+        }
+    }
+
+    fn lift_path(p: &PathPattern, params: &mut Params, counter: &mut usize) -> PathPattern {
+        match p {
+            PathPattern::Node(n) => {
+                let mut n = n.clone();
+                n.predicate = n.predicate.as_ref().map(|e| lift_expr(e, params, counter));
+                PathPattern::Node(n)
+            }
+            PathPattern::Edge(e) => {
+                let mut e = e.clone();
+                e.predicate = e.predicate.as_ref().map(|x| lift_expr(x, params, counter));
+                PathPattern::Edge(e)
+            }
+            PathPattern::Concat(parts) => PathPattern::Concat(
+                parts
+                    .iter()
+                    .map(|x| lift_path(x, params, counter))
+                    .collect(),
+            ),
+            PathPattern::Paren {
+                restrictor,
+                inner,
+                predicate,
+            } => PathPattern::Paren {
+                restrictor: *restrictor,
+                inner: Box::new(lift_path(inner, params, counter)),
+                predicate: predicate.as_ref().map(|e| lift_expr(e, params, counter)),
+            },
+            PathPattern::Quantified { inner, quantifier } => PathPattern::Quantified {
+                inner: Box::new(lift_path(inner, params, counter)),
+                quantifier: *quantifier,
+            },
+            PathPattern::Questioned(inner) => {
+                PathPattern::Questioned(Box::new(lift_path(inner, params, counter)))
+            }
+            PathPattern::Union(bs) => {
+                PathPattern::Union(bs.iter().map(|x| lift_path(x, params, counter)).collect())
+            }
+            PathPattern::Alternation(bs) => {
+                PathPattern::Alternation(bs.iter().map(|x| lift_path(x, params, counter)).collect())
+            }
+        }
+    }
+
+    let mut params = Params::new();
+    let mut counter = 0usize;
+    let lifted = GraphPattern {
+        paths: gp
+            .paths
+            .iter()
+            .map(|p| PathPatternExpr {
+                selector: p.selector.clone(),
+                restrictor: p.restrictor,
+                path_var: p.path_var.clone(),
+                pattern: lift_path(&p.pattern, &mut params, &mut counter),
+            })
+            .collect(),
+        where_clause: gp
+            .where_clause
+            .as_ref()
+            .map(|e| lift_expr(e, &mut params, &mut counter)),
+    };
+    (lifted, params)
+}
+
+/// A parameterized skeleton executed with bound `Params` must be
+/// *bit-for-bit* identical (same rows, same order) to the same query with
+/// the literals inlined: same plan shape, same cost decisions (bound
+/// parameters are estimated like literals), same execution.
+fn check_parameterized_agreement(
+    g: &PropertyGraph,
+    gp: &GraphPattern,
+    threads: usize,
+    mode: MatchMode,
+    iso: MatchIso,
+) {
+    let options = EvalOptions {
+        threads,
+        mode,
+        isomorphism: iso,
+        ..opts()
+    };
+    let (skeleton, params) = lift_literals(gp);
+    let literal = prepare(gp, &options);
+    let parameterized = prepare(&skeleton, &options);
+    match (literal, parameterized) {
+        (Ok(lq), Ok(pq)) => match (lq.execute(g), pq.execute_with(g, &params)) {
+            (Ok(a), Ok(b)) => assert_eq!(
+                a, b,
+                "bound params diverged from inlined literals on {gp} \
+                 (threads {threads}, mode {mode:?}, iso {iso:?}, params {params})"
+            ),
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!(
+                "literal/parameterized success split on {gp}: {:?} vs {:?}",
+                a.map(|r| r.len()),
+                b.map(|r| r.len())
+            ),
+        },
+        (Err(_), Err(_)) => {}
+        _ => panic!("prepare acceptance split on {gp}"),
+    }
+}
+
 /// `threads = 1` must stay on the sequential executor and behave exactly
 /// like the pre-parallelism engine; `threads = 0` (auto) must agree too.
 #[test]
@@ -560,6 +702,48 @@ proptest! {
             where_clause: None,
         };
         check_parallel_agreement(&g, &gp, threads, MatchMode::Gpml, iso);
+    }
+
+    #[test]
+    fn parameterized_chains_match_inlined_literals(
+        seed in 0u64..500,
+        p1 in chain_pattern(),
+        p2 in chain_pattern(),
+        threads in proptest::sample::select(vec![1usize, 2]),
+        mode in proptest::sample::select(vec![
+            MatchMode::Gpml,
+            MatchMode::EndpointOnly,
+            MatchMode::GsqlDefault,
+        ]),
+        iso in proptest::sample::select(vec![
+            MatchIso::Homomorphism,
+            MatchIso::EdgeIsomorphic,
+        ]),
+    ) {
+        let g = small_mixed(seed, 5, 8);
+        let gp = GraphPattern {
+            paths: vec![PathPatternExpr::plain(p1), PathPatternExpr::plain(p2)],
+            where_clause: None,
+        };
+        check_parameterized_agreement(&g, &gp, threads, mode, iso);
+    }
+
+    #[test]
+    fn parameterized_quantified_patterns_match_inlined_literals(
+        seed in 0u64..500,
+        (restrictor, selector, pattern) in quantified_pattern(),
+        threads in proptest::sample::select(vec![1usize, 2]),
+        iso in proptest::sample::select(vec![
+            MatchIso::Homomorphism,
+            MatchIso::EdgeIsomorphic,
+        ]),
+    ) {
+        let g = small_mixed(seed, 4, 6);
+        let gp = GraphPattern {
+            paths: vec![PathPatternExpr { selector, restrictor, path_var: None, pattern }],
+            where_clause: None,
+        };
+        check_parameterized_agreement(&g, &gp, threads, MatchMode::Gpml, iso);
     }
 
     #[test]
