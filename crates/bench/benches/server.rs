@@ -1,0 +1,177 @@
+//! EB13 — wire-protocol serving throughput: one-shot `QUERY` traffic vs
+//! `PREPARE`-once / `EXECUTE`-many, with 1 and 4 concurrent clients.
+//!
+//! One-shot traffic inlines a fresh literal per request, so every
+//! request is a distinct query text: a server-side parse + analysis +
+//! compile, and a plan-cache miss by construction. Prepared traffic
+//! ships the skeleton once and then streams bindings; the per-request
+//! cost is one frame round trip plus execution. The gap between the two
+//! is the amortizable compile cost — the reason the wire protocol has
+//! PREPARE at all. The concurrent variants drive the same totals
+//! through [`gpml_bench::server::WIRE_CLIENTS`] connections to show the
+//! shared plan cache and per-connection session threads together.
+//!
+//! Results are asserted equal across paths (and against an in-process
+//! session) before any timing, so the bench cannot quietly compare
+//! different answers. This dev container may be single-CPU; concurrent
+//! numbers then mostly show coordination overhead — compare shapes, and
+//! measure speedups on multi-core hardware.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gpml_bench::server as eb13;
+use gpml_server::client::Client;
+
+fn bench_wire(c: &mut Criterion) {
+    let server = eb13::start_server();
+    let owners = eb13::owners();
+    let skeleton = eb13::wire_skeleton();
+
+    // Pre-flight equality: one-shot == prepared == in-process, for every
+    // binding in the corpus.
+    {
+        let mut session = gql::Session::new();
+        session.register("g", gpml_bench::prepared::network100());
+        let prepared = session.prepare(&eb13::wire_skeleton()).expect("prepare");
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let handle = client.prepare(&eb13::wire_skeleton()).expect("prepare");
+        for owner in &owners {
+            let params = gpml_core::Params::new().with("owner", owner.clone());
+            let want = session
+                .execute_prepared_with("g", &prepared, &params)
+                .expect("in-process");
+            let shot = eb13::one_shot(&mut client, &skeleton, owner).expect("one-shot");
+            let bound = eb13::execute_bound(&mut client, handle.handle, owner).expect("execute");
+            assert_eq!(shot, want, "one-shot diverged on {owner}");
+            assert_eq!(bound, want, "prepared diverged on {owner}");
+        }
+    }
+
+    let mut group = c.benchmark_group("EB13/wire");
+    group.measurement_time(Duration::from_millis(400));
+
+    // -- single client ----------------------------------------------------
+    {
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let mut at = 0usize;
+        group.bench_function("one_shot/1client", |b| {
+            b.iter(|| {
+                let owner = &owners[at % owners.len()];
+                at += 1;
+                eb13::one_shot(&mut client, &skeleton, owner).expect("one-shot")
+            })
+        });
+    }
+    {
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let handle = client.prepare(&eb13::wire_skeleton()).expect("prepare");
+        let mut at = 0usize;
+        group.bench_function("prepared/1client", |b| {
+            b.iter(|| {
+                let owner = &owners[at % owners.len()];
+                at += 1;
+                eb13::execute_bound(&mut client, handle.handle, owner).expect("execute")
+            })
+        });
+    }
+
+    // -- concurrent clients ------------------------------------------------
+    // Each iteration pushes OPS_PER_CLIENT requests through every
+    // pre-connected client on its own thread (spawn cost amortized over
+    // the batch, identical for both paths).
+    const OPS_PER_CLIENT: usize = 8;
+    let clients: Vec<Mutex<Client>> = (0..eb13::WIRE_CLIENTS)
+        .map(|_| Mutex::new(Client::connect(server.addr()).expect("connect")))
+        .collect();
+    let label = format!("one_shot/{}clients", eb13::WIRE_CLIENTS);
+    let mut round = 0usize;
+    group.bench_function(label, |b| {
+        b.iter(|| {
+            round += 1;
+            std::thread::scope(|scope| {
+                for (i, slot) in clients.iter().enumerate() {
+                    let owners = &owners;
+                    let skeleton = &skeleton;
+                    scope.spawn(move || {
+                        let mut client = slot.lock().expect("client");
+                        for k in 0..OPS_PER_CLIENT {
+                            let owner = &owners[(round + i * OPS_PER_CLIENT + k) % owners.len()];
+                            eb13::one_shot(&mut client, skeleton, owner).expect("one-shot");
+                        }
+                    });
+                }
+            })
+        })
+    });
+    let handles: Vec<u64> = clients
+        .iter()
+        .map(|slot| {
+            slot.lock()
+                .expect("client")
+                .prepare(&eb13::wire_skeleton())
+                .expect("prepare")
+                .handle
+        })
+        .collect();
+    let label = format!("prepared/{}clients", eb13::WIRE_CLIENTS);
+    let mut round = 0usize;
+    group.bench_function(label, |b| {
+        b.iter(|| {
+            round += 1;
+            std::thread::scope(|scope| {
+                for (i, (slot, &handle)) in clients.iter().zip(&handles).enumerate() {
+                    let owners = &owners;
+                    scope.spawn(move || {
+                        let mut client = slot.lock().expect("client");
+                        for k in 0..OPS_PER_CLIENT {
+                            let owner = &owners[(round + i * OPS_PER_CLIENT + k) % owners.len()];
+                            eb13::execute_bound(&mut client, handle, owner).expect("execute");
+                        }
+                    });
+                }
+            })
+        })
+    });
+    group.finish();
+
+    // -- compile-dominated workload ---------------------------------------
+    // EB12's 30-quantifier skeleton over the tiny chain: execution is
+    // nearly free, so the one-shot path is almost pure per-request
+    // compile — the regime PREPARE exists for.
+    let deep_server = eb13::start_deep_server();
+    let deep = eb13::deep_wire_skeleton();
+    let mut group = c.benchmark_group("EB13/wire_deep");
+    group.measurement_time(Duration::from_millis(400));
+    {
+        let mut client = Client::connect(deep_server.addr()).expect("connect");
+        let handle = client.prepare(&deep).expect("prepare");
+        let want = eb13::one_shot(&mut client, &deep, "owner1").expect("one-shot");
+        let bound = eb13::execute_bound(&mut client, handle.handle, "owner1").expect("execute");
+        assert_eq!(bound, want, "deep workload diverged");
+        let mut at = 0usize;
+        group.bench_function("one_shot/1client", |b| {
+            b.iter(|| {
+                let owner = &owners[at % owners.len()];
+                at += 1;
+                eb13::one_shot(&mut client, &deep, owner).expect("one-shot")
+            })
+        });
+        let mut at = 0usize;
+        group.bench_function("prepared/1client", |b| {
+            b.iter(|| {
+                let owner = &owners[at % owners.len()];
+                at += 1;
+                eb13::execute_bound(&mut client, handle.handle, owner).expect("execute")
+            })
+        });
+    }
+    group.finish();
+    deep_server.stop();
+    server.stop();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

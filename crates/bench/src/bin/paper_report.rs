@@ -522,6 +522,90 @@ fn main() {
         check("warm beats re-prepare", "true", warm < cold);
     }
 
+    // -- EB13: prepared statements over the wire --------------------------
+    heading(
+        "EB13",
+        "gpmld wire protocol (one-shot vs prepared, shared plan cache)",
+    );
+    {
+        use gpml_bench::server as eb13;
+        use gpml_core::Params;
+        use gpml_server::client::Client;
+
+        let server = eb13::start_server();
+        let skeleton = eb13::wire_skeleton();
+        let owners = eb13::owners();
+
+        // Correctness: the wire path is bit-for-bit the in-process path.
+        let mut session = gql::Session::new();
+        session.register("net", gpml_bench::prepared::network100());
+        let prepared = session.prepare(&skeleton).expect("prepare");
+        let mut client = Client::connect(server.addr()).expect("connect gpmld");
+        let handle = client.prepare(&skeleton).expect("wire prepare");
+        let mut agree = true;
+        for owner in &owners {
+            let params = Params::new().with("owner", owner.as_str());
+            let want = session
+                .execute_prepared_with("net", &prepared, &params)
+                .expect("in-process");
+            let bound = eb13::execute_bound(&mut client, handle.handle, owner).expect("execute");
+            agree &= bound == want;
+        }
+        check("100 wire bindings equal in-process results", "true", agree);
+
+        // Shared-cache economics: the PREPARE above was the one compile;
+        // a second client preparing the same skeleton hits.
+        let mut second = Client::connect(server.addr()).expect("connect gpmld");
+        let h2 = second.prepare(&skeleton).expect("wire prepare");
+        let stats = second.stats().expect("stats");
+        let stat = |key: &str| gpml_server::client::stat(&stats, key).unwrap_or(0);
+        check("shared-cache compiles (misses)", 1, stat("cache.misses"));
+        check(
+            "second client's PREPARE hits",
+            "true",
+            stat("cache.hits") >= 1,
+        );
+        second.close(h2.handle).expect("close");
+
+        // Throughput: one-shot literal traffic vs prepared re-binding,
+        // on the compile-heavy deep skeleton (execution-dominated shapes
+        // tie — same story as EB12, now with a network in the loop).
+        let deep_server = eb13::start_deep_server();
+        let deep = eb13::deep_wire_skeleton();
+        let mut deep_client = Client::connect(deep_server.addr()).expect("connect gpmld");
+        let deep_handle = deep_client.prepare(&deep).expect("wire prepare");
+        let iters = 3;
+        let t = std::time::Instant::now();
+        for _ in 0..iters {
+            for owner in &owners {
+                std::hint::black_box(
+                    eb13::execute_bound(&mut deep_client, deep_handle.handle, owner)
+                        .expect("execute"),
+                );
+            }
+        }
+        let warm = t.elapsed().as_secs_f64() / iters as f64;
+        let t = std::time::Instant::now();
+        for _ in 0..iters {
+            for owner in &owners {
+                std::hint::black_box(
+                    eb13::one_shot(&mut deep_client, &deep, owner).expect("one-shot"),
+                );
+            }
+        }
+        let cold = t.elapsed().as_secs_f64() / iters as f64;
+        println!(
+            "    deep skeleton over TCP, 100 bindings: EXECUTE {:.2} ms vs \
+             one-shot QUERY {:.2} ms ({:.1}x)",
+            warm * 1e3,
+            cold * 1e3,
+            cold / warm.max(1e-9),
+        );
+        check("prepared-over-wire beats one-shot", "true", warm < cold);
+        deep_server.stop();
+        server.stop();
+    }
+
     println!("\nAll experiments reproduced. See EXPERIMENTS.md for the index.");
 }
 

@@ -1,0 +1,94 @@
+//! Shared EB13 workload definitions — wire-protocol serving throughput.
+//!
+//! Both consumers of EB13 (`benches/server.rs` and the `paper-report`
+//! binary) start their server and build their traffic from here, so the
+//! bench and the report always measure the same thing (mirrors how
+//! `prepared.rs` backs EB12).
+//!
+//! The comparison: **one-shot** traffic re-sends a distinct literal
+//! query text per request (each one a server-side parse + compile, and a
+//! plan-cache *miss* by construction), while **prepared** traffic sends
+//! the `$owner` skeleton once and then streams `EXECUTE handle
+//! owner=...` bindings. Run with 1 client and with [`WIRE_CLIENTS`]
+//! concurrent clients to see the shared cache and per-connection session
+//! threads together.
+
+use gpml_core::Params;
+use gpml_server::client::Client;
+use gpml_server::server::{serve, ServerConfig, ServerHandle};
+use gpml_server::ClientError;
+use gql::QueryResult;
+
+use crate::prepared;
+
+/// Concurrent-client count for the scaled EB13 variants.
+pub const WIRE_CLIENTS: usize = 4;
+
+/// Plan-cache capacity for the EB13 servers: deliberately smaller than
+/// the 100-text one-shot corpus, so cycling through the corpus always
+/// evicts a text long before it comes around again. Without this, 100
+/// rotating literals fit inside the default 128-entry cache and the
+/// "one-shot" lane silently measures cached-QUERY dispatch instead of
+/// the per-request compile it stands for (a million distinct users do
+/// not fit any cache).
+pub const BENCH_CACHE_CAPACITY: usize = 8;
+
+fn bench_config() -> ServerConfig {
+    ServerConfig {
+        cache_capacity: BENCH_CACHE_CAPACITY,
+        ..ServerConfig::default()
+    }
+}
+
+/// Starts a gpmld server over the EB12 100-account transfer network on
+/// an ephemeral loopback port (cache capacity [`BENCH_CACHE_CAPACITY`]).
+pub fn start_server() -> ServerHandle {
+    serve(prepared::network100(), bench_config()).expect("bind loopback server")
+}
+
+/// The EB13 skeleton: the EB12 two-stage join with a table-shaped
+/// `RETURN` (the wire protocol serves result tables, not raw bindings).
+pub fn wire_skeleton() -> String {
+    format!(
+        "{} RETURN y.owner AS receiver, t.amount AS amount \
+         ORDER BY receiver, amount",
+        prepared::two_stage_skeleton()
+    )
+}
+
+/// The 100 distinct `$owner` bindings EB13 replays (the EB12 list).
+pub fn owners() -> Vec<String> {
+    prepared::owners()
+}
+
+/// Starts a gpmld server over the EB12 compile-dominated tiny chain
+/// (for the deep-skeleton EB13 variant; cache capacity
+/// [`BENCH_CACHE_CAPACITY`]).
+pub fn start_deep_server() -> ServerHandle {
+    serve(prepared::tiny_chain(), bench_config()).expect("bind loopback server")
+}
+
+/// The compile-heavy EB13 skeleton: EB12's 30-quantifier chain with a
+/// minimal `RETURN` — the regime where per-request compilation dominates
+/// and PREPARE pays outright.
+pub fn deep_wire_skeleton() -> String {
+    format!("{} RETURN x", prepared::deep_skeleton())
+}
+
+/// One one-shot request: a distinct literal query text per owner.
+pub fn one_shot(
+    client: &mut Client,
+    skeleton: &str,
+    owner: &str,
+) -> Result<QueryResult, ClientError> {
+    client.query(&prepared::inline_owner(skeleton, owner))
+}
+
+/// One prepared request: re-bind the already-prepared handle.
+pub fn execute_bound(
+    client: &mut Client,
+    handle: u64,
+    owner: &str,
+) -> Result<QueryResult, ClientError> {
+    client.execute(handle, &Params::new().with("owner", owner.to_owned()))
+}

@@ -11,6 +11,7 @@
 //! linked-list bookkeeping, fine at the capacities sessions use.
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::eval::EvalOptions;
 
@@ -137,6 +138,95 @@ impl<V> PlanLru<V> {
     }
 }
 
+/// A thread-safe, clonable sharing layer over a [`PlanLru`].
+///
+/// Every clone refers to the *same* underlying cache, so any number of
+/// sessions (or server connection threads) preparing the same skeleton
+/// pay one compile between them: the first preparer misses and inserts,
+/// every later one — on any thread — hits. Lock scopes are per-operation
+/// and never held across parse or execution, and a poisoned lock is
+/// survived (cache operations do not panic, but a panicking sibling
+/// thread must not disable caching for everyone else).
+///
+/// ```
+/// use gpml_core::plan::SharedPlanLru;
+///
+/// let shared: SharedPlanLru<String> = SharedPlanLru::new(8);
+/// let opts = gpml_core::eval::EvalOptions::default();
+/// let sibling = shared.clone(); // same cache, different handle
+/// shared.insert("MATCH (x)".into(), opts.clone(), "a plan".into());
+/// assert_eq!(sibling.get_cloned("MATCH (x)", &opts).as_deref(), Some("a plan"));
+/// assert_eq!(shared.stats().hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct SharedPlanLru<V> {
+    inner: Arc<Mutex<PlanLru<V>>>,
+}
+
+impl<V> Clone for SharedPlanLru<V> {
+    fn clone(&self) -> SharedPlanLru<V> {
+        SharedPlanLru {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<V> Default for SharedPlanLru<V> {
+    fn default() -> SharedPlanLru<V> {
+        SharedPlanLru::new(DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+}
+
+impl<V> From<PlanLru<V>> for SharedPlanLru<V> {
+    fn from(cache: PlanLru<V>) -> SharedPlanLru<V> {
+        SharedPlanLru {
+            inner: Arc::new(Mutex::new(cache)),
+        }
+    }
+}
+
+impl<V> SharedPlanLru<V> {
+    /// A new shared cache retaining at most `capacity` plans (minimum 1).
+    pub fn new(capacity: usize) -> SharedPlanLru<V> {
+        PlanLru::new(capacity).into()
+    }
+
+    /// The locked underlying cache, surviving poisoning. Hold the guard
+    /// only for cache operations, never across compilation or execution.
+    pub fn lock(&self) -> MutexGuard<'_, PlanLru<V>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Looks up a plan by value, counting a hit or miss.
+    pub fn get_cloned(&self, query: &str, opts: &EvalOptions) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.lock().get(query, opts).cloned()
+    }
+
+    /// Inserts (or replaces) a plan, evicting the LRU entry when full.
+    pub fn insert(&self, query: String, opts: EvalOptions, plan: V) {
+        self.lock().insert(query, opts, plan);
+    }
+
+    /// Changes the capacity, evicting oldest entries if now over it.
+    pub fn set_capacity(&self, capacity: usize) {
+        self.lock().set_capacity(capacity);
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+
+    /// Hit/miss counters and occupancy, aggregated across every holder of
+    /// a clone of this cache.
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +284,26 @@ mod tests {
         // Newest entries survive.
         assert_eq!(lru.get("q5", &opts()), Some(&5));
         assert_eq!(lru.get("q4", &opts()), Some(&4));
+    }
+
+    #[test]
+    fn shared_cache_is_one_cache_across_clones_and_threads() {
+        let shared: SharedPlanLru<u32> = SharedPlanLru::new(4);
+        let clones: Vec<SharedPlanLru<u32>> = (0..8).map(|_| shared.clone()).collect();
+        std::thread::scope(|scope| {
+            for (i, c) in clones.iter().enumerate() {
+                scope.spawn(move || {
+                    // Everyone races to prepare the same "query".
+                    if c.get_cloned("q", &opts()).is_none() {
+                        c.insert("q".into(), opts(), i as u32);
+                    }
+                });
+            }
+        });
+        let stats = shared.stats();
+        assert_eq!(stats.len, 1, "{stats:?}");
+        assert_eq!(stats.hits + stats.misses, 8, "{stats:?}");
+        assert!(shared.get_cloned("q", &opts()).is_some());
     }
 
     #[test]

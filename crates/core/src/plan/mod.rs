@@ -64,7 +64,7 @@ use crate::eval::{pool, selector, EvalOptions, JoinState, MatchMode};
 use crate::normalize::normalize;
 use crate::params::{value_type_name, ParamType, Params};
 
-pub use cache::{CacheStats, PlanLru};
+pub use cache::{CacheStats, PlanLru, SharedPlanLru, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use cost::{CostReport, CostStep, JoinAlgo};
 
 /// Lowers `pattern` into an executable plan under `opts`.

@@ -31,14 +31,15 @@
 //! assert_eq!(result.rows.len(), 4);
 //! ```
 
+pub mod codec;
 pub mod json;
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::Arc;
 
 use gpml_core::binding::{BoundValue, MatchRow};
 use gpml_core::eval::{self, EvalOptions};
-use gpml_core::plan::{self, CacheStats, ExecutablePlan, PlanLru, PreparedQuery};
+use gpml_core::plan::{self, CacheStats, ExecutablePlan, PreparedQuery, SharedPlanLru};
 use gpml_core::{Expr, Params};
 use gpml_parser::Parser;
 use property_graph::{ElementId, PropertyGraph, Value};
@@ -279,14 +280,20 @@ impl PreparedGqlQuery {
 /// A GQL session: a catalog of graphs, evaluation options, and an LRU
 /// plan cache keyed by `(query text, EvalOptions)` so replayed statements
 /// skip parse, analysis, and compilation.
+///
+/// Graphs are held behind [`Arc`], so registering a shared graph (and
+/// building one session per server connection over it) costs a pointer,
+/// not a copy. The plan cache is a [`SharedPlanLru`] handle: by default
+/// each session gets its own, but [`Session::with_cache`] lets many
+/// sessions — e.g. the `gpmld` server's connection threads — share one,
+/// so the same skeleton prepared by a thousand sessions compiles once.
 #[derive(Default)]
 pub struct Session {
-    catalog: BTreeMap<String, PropertyGraph>,
+    catalog: BTreeMap<String, Arc<PropertyGraph>>,
     options: EvalOptions,
-    /// A `Mutex` (not `RefCell`) so a read-only session stays shareable
-    /// across threads; lock scopes are per-lookup, never held across
-    /// execution.
-    plans: Mutex<PlanLru<PreparedGqlQuery>>,
+    /// Thread-safe handle (possibly shared with sibling sessions); lock
+    /// scopes are per-lookup, never held across execution.
+    plans: SharedPlanLru<PreparedGqlQuery>,
 }
 
 impl Session {
@@ -300,14 +307,31 @@ impl Session {
         Session {
             catalog: BTreeMap::new(),
             options,
-            plans: Mutex::new(PlanLru::default()),
+            plans: SharedPlanLru::default(),
         }
     }
 
-    /// The plan cache, surviving a poisoned lock (cache operations do not
-    /// panic, but a panicking sibling thread must not disable caching).
-    fn plans(&self) -> std::sync::MutexGuard<'_, PlanLru<PreparedGqlQuery>> {
-        self.plans.lock().unwrap_or_else(|e| e.into_inner())
+    /// A session over an existing (possibly shared) plan cache. Sessions
+    /// built over clones of one [`SharedPlanLru`] share every cached
+    /// plan: whichever session prepares a statement first compiles it for
+    /// all of them.
+    pub fn with_cache(options: EvalOptions, cache: SharedPlanLru<PreparedGqlQuery>) -> Session {
+        Session {
+            catalog: BTreeMap::new(),
+            options,
+            plans: cache,
+        }
+    }
+
+    /// The locked plan cache.
+    fn plans(&self) -> std::sync::MutexGuard<'_, plan::PlanLru<PreparedGqlQuery>> {
+        self.plans.lock()
+    }
+
+    /// A handle to the session's plan cache; clone it into
+    /// [`Session::with_cache`] to build sibling sessions that share it.
+    pub fn plan_cache(&self) -> &SharedPlanLru<PreparedGqlQuery> {
+        &self.plans
     }
 
     /// Caps the number of distinct prepared plans the session retains
@@ -337,12 +361,25 @@ impl Session {
 
     /// Registers a graph under `name` (GQL's catalog).
     pub fn register(&mut self, name: impl Into<String>, graph: PropertyGraph) {
+        self.register_shared(name, Arc::new(graph));
+    }
+
+    /// Registers an already-shared graph under `name` without copying it.
+    /// This is the server entry point: every connection's session holds
+    /// the same `Arc<PropertyGraph>`, so a thousand sessions over one
+    /// graph cost a thousand pointers.
+    pub fn register_shared(&mut self, name: impl Into<String>, graph: Arc<PropertyGraph>) {
         self.catalog.insert(name.into(), graph);
     }
 
     /// The graph registered under `name`.
     pub fn graph(&self, name: &str) -> Option<&PropertyGraph> {
-        self.catalog.get(name)
+        self.catalog.get(name).map(Arc::as_ref)
+    }
+
+    /// A shared handle to the graph registered under `name`.
+    pub fn graph_shared(&self, name: &str) -> Option<Arc<PropertyGraph>> {
+        self.catalog.get(name).cloned()
     }
 
     /// Parses and lowers a statement — `MATCH ... RETURN ...` or a bare
@@ -459,6 +496,7 @@ impl Session {
         let g = self
             .catalog
             .get(graph)
+            .map(Arc::as_ref)
             .ok_or_else(|| GqlError::Host(format!("unknown graph {graph}")))?;
         let Some(projection) = &prepared.projection else {
             return Err(GqlError::Host("statement has no RETURN clause".to_owned()));
@@ -541,6 +579,7 @@ impl Session {
         let g = self
             .catalog
             .get(graph)
+            .map(Arc::as_ref)
             .ok_or_else(|| GqlError::Host(format!("unknown graph {graph}")))?;
         Ok(prepared.query.execute_with(g, params)?.rows)
     }
@@ -604,6 +643,7 @@ impl Session {
         let g = self
             .catalog
             .get(graph)
+            .map(Arc::as_ref)
             .ok_or_else(|| GqlError::Host(format!("unknown graph {graph}")))?;
         let mut nodes: Vec<property_graph::NodeId> = Vec::new();
         let mut edges: Vec<property_graph::EdgeId> = Vec::new();

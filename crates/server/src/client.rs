@@ -1,0 +1,191 @@
+//! A blocking gpmld client: one TCP connection, one request in flight.
+//!
+//! Used by the `gpml connect` REPL, the loopback test-suite, and the
+//! EB13 wire-throughput bench. The client is deliberately synchronous —
+//! the protocol is strict request/response, so a thread per connection
+//! is the whole story (spin up more clients for concurrency, as the
+//! bench does).
+
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use gpml_core::Params;
+use gql::QueryResult;
+use property_graph::Value;
+
+use crate::protocol::{read_frame, write_frame, ErrorCode, Request, Response};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection broke.
+    Io(io::Error),
+    /// The server sent something the protocol parser rejects.
+    Protocol(String),
+    /// The server answered with a typed `ERR` response.
+    Server {
+        /// The error class.
+        code: ErrorCode,
+        /// The server's one-line message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Server { code, message } => write!(f, "server [{code}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A prepared statement held by the server for this connection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PreparedHandle {
+    /// Pass to [`Client::execute`] / [`Client::close`].
+    pub handle: u64,
+    /// The skeleton's declared `$name` parameter slots, sorted.
+    pub params: Vec<String>,
+}
+
+/// A blocking connection to a gpmld server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends `HELLO` and returns the server's identity/census pairs.
+    pub fn hello(&mut self, client: &str) -> Result<Vec<(String, String)>, ClientError> {
+        match self.roundtrip(&Request::Hello {
+            client: client.to_owned(),
+        })? {
+            Response::Hello { info } => Ok(info),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// One-shot `QUERY`: the statement is prepared (through the server's
+    /// shared plan cache) and executed in one round trip.
+    pub fn query(&mut self, text: &str) -> Result<QueryResult, ClientError> {
+        match self.roundtrip(&Request::Query {
+            text: text.to_owned(),
+        })? {
+            Response::Result(r) => Ok(r),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// `PREPARE`: compiles (or cache-hits) a skeleton server-side and
+    /// returns the handle plus its declared parameter slots.
+    pub fn prepare(&mut self, text: &str) -> Result<PreparedHandle, ClientError> {
+        match self.roundtrip(&Request::Prepare {
+            text: text.to_owned(),
+        })? {
+            Response::Prepared { handle, params } => Ok(PreparedHandle { handle, params }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// `EXECUTE`: runs a prepared handle under `params`.
+    pub fn execute(&mut self, handle: u64, params: &Params) -> Result<QueryResult, ClientError> {
+        // Binding *names* travel unescaped (one `name⇥value` line per
+        // binding), so a name carrying the frame's structural characters
+        // could corrupt the request or smuggle in a second binding.
+        // Such a name can never match a `$name` slot anyway — the parser
+        // only produces identifiers — so reject it here, before it
+        // reaches the wire.
+        if let Some((bad, _)) = params
+            .iter()
+            .find(|(n, _)| n.contains(['\t', '\n', '\r']) || n.is_empty())
+        {
+            return Err(ClientError::Protocol(format!(
+                "parameter name {bad:?} cannot be sent over the wire \
+                 (names are identifiers; no tabs, newlines, or empties)"
+            )));
+        }
+        let params: Vec<(String, Value)> = params
+            .iter()
+            .map(|(n, v)| (n.to_owned(), v.clone()))
+            .collect();
+        match self.roundtrip(&Request::Execute { handle, params })? {
+            Response::Result(r) => Ok(r),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// `CLOSE`: drops a prepared handle server-side.
+    pub fn close(&mut self, handle: u64) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Close { handle })? {
+            Response::Closed { .. } => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// `STATS`: server, cache, and session counters as key/value pairs.
+    pub fn stats(&mut self) -> Result<Vec<(String, String)>, ClientError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats { stats } => Ok(stats),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Ships a raw frame payload and parses whatever comes back — the
+    /// hook the error-path tests use to send deliberately malformed
+    /// requests without tearing the connection down.
+    pub fn raw_request(&mut self, payload: &str) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, payload)?;
+        self.receive()
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.serialize())?;
+        let response = self.receive()?;
+        if let Response::Error { code, message } = response {
+            return Err(ClientError::Server { code, message });
+        }
+        Ok(response)
+    }
+
+    fn receive(&mut self) -> Result<Response, ClientError> {
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })?;
+        let text = std::str::from_utf8(&payload)
+            .map_err(|e| ClientError::Protocol(format!("non-UTF-8 response: {e}")))?;
+        Response::parse(text).map_err(ClientError::Protocol)
+    }
+}
+
+fn unexpected(r: Response) -> ClientError {
+    ClientError::Protocol(format!("unexpected response {r:?}"))
+}
+
+/// Looks a numeric counter up in a `STATS` (or `HELLO`) snapshot — the
+/// one lookup every consumer of [`Client::stats`] wants.
+pub fn stat(pairs: &[(String, String)], key: &str) -> Option<u64> {
+    pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| v.parse().ok())
+}

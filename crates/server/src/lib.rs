@@ -1,0 +1,49 @@
+//! `gpmld` — a concurrent TCP query server for the GPML engine.
+//!
+//! The paper's serving story needs plan reuse to survive a network
+//! boundary: a client sends a parameterized *skeleton* once (`PREPARE`),
+//! gets back a handle, and then streams cheap `EXECUTE handle
+//! [param=value…]` requests — the prepare → bind → execute economics of
+//! [`gpml_core::plan`], per connection, over TCP.
+//!
+//! The crate is std-only (the build environment has no crates.io access)
+//! and splits into three layers:
+//!
+//! * [`protocol`] — length-prefixed frames carrying a line-oriented
+//!   request/response text format (`HELLO`, `QUERY`, `PREPARE`,
+//!   `EXECUTE`, `CLOSE`, `STATS`), with result tables and parameter
+//!   values in the lossless [`gql::codec`] wire encoding;
+//! * [`server`] — the accept loop and per-connection session threads.
+//!   Every connection gets its own [`gql::Session`] over one shared
+//!   `Arc<PropertyGraph>` and one shared
+//!   [`SharedPlanLru`](gpml_core::plan::SharedPlanLru), so a thousand
+//!   clients preparing the same skeleton cost one compile;
+//! * [`client`] — a blocking [`Client`](client::Client) used by the
+//!   `gpml connect` REPL, the loopback tests, and the EB13 bench.
+//!
+//! ```
+//! use gpml_server::client::Client;
+//! use gpml_server::server::{serve, ServerConfig};
+//! use gpml_core::Params;
+//!
+//! let handle = serve(gpml_datagen::fig1(), ServerConfig::default()).unwrap();
+//! let mut c = Client::connect(handle.addr()).unwrap();
+//! let prepared = c
+//!     .prepare("MATCH (a:Account WHERE a.owner = $owner)-[t:Transfer]->(b) \
+//!               RETURN b.owner AS to ORDER BY to")
+//!     .unwrap();
+//! let rows = c
+//!     .execute(prepared.handle, &Params::new().with("owner", "Dave"))
+//!     .unwrap();
+//! assert!(!rows.is_empty());
+//! handle.stop();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, PreparedHandle};
+pub use server::{serve, serve_shared, ServerConfig, ServerHandle};

@@ -1,0 +1,541 @@
+//! The gpmld wire protocol: framing, requests, and responses.
+//!
+//! # Framing
+//!
+//! Every message — in both directions — is one *frame*: a 4-byte
+//! big-endian payload length followed by that many bytes of UTF-8 text.
+//! Frames longer than [`MAX_FRAME`] are rejected (the peer cannot be
+//! trusted to resynchronize after one, so the connection closes); any
+//! *decodable* frame with a malformed payload gets a typed `ERR`
+//! response and the connection survives.
+//!
+//! # Requests
+//!
+//! The first line of the payload is the command with space-separated
+//! arguments; everything after the first newline is the body.
+//!
+//! ```text
+//! HELLO [client-name]
+//! QUERY\n<statement text>              one-shot, RETURN required
+//! PREPARE\n<statement text>            compile → handle
+//! EXECUTE <handle>\nname\t<value>...   one tab-separated binding per line
+//! CLOSE <handle>                       drop a prepared handle
+//! STATS                                server/cache/session counters
+//! ```
+//!
+//! Parameter values use the [`gql::codec`] scalar tags (`N`, `B:`,
+//! `I:`, `F:`, `S:`).
+//!
+//! # Responses
+//!
+//! ```text
+//! OK HELLO\nkey=value...
+//! OK RESULT <nrows>\n<encoded result table>
+//! OK PREPARED <handle>\nparams=<name,name,...>
+//! OK CLOSED <handle>
+//! OK STATS\nkey=value...
+//! ERR <CODE> <one-line message>
+//! ```
+//!
+//! Result tables are the lossless [`gql::codec::encode_result`]
+//! encoding, so a client-side [`gql::codec::decode_result`] is
+//! bit-for-bit the server's in-process `QueryResult`.
+
+use std::io::{self, Read, Write};
+
+use gql::codec;
+use gql::QueryResult;
+use property_graph::Value;
+
+/// Hard cap on one frame's payload (16 MiB). A length prefix beyond it
+/// is treated as a framing failure, not an allocation request.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", bytes.len()),
+        ));
+    }
+    // One write for prefix + payload: a split write would leave the
+    // 4-byte prefix as its own segment and stall ~40ms per frame on
+    // loopback under Nagle + delayed ACK.
+    let mut frame = Vec::with_capacity(4 + bytes.len());
+    frame.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    frame.extend_from_slice(bytes);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` is a clean end-of-stream (the peer closed
+/// between frames); an oversized length prefix or a mid-frame EOF is an
+/// error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    // A clean EOF before any length byte means the peer hung up.
+    let mut filled = 0;
+    while filled < len.len() {
+        match r.read(&mut len[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame header",
+                ))
+            }
+            Ok(n) => filled += n,
+            // Retry EINTR like read_exact does below; a stray signal
+            // must not tear down a healthy connection.
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Typed error classes carried by `ERR` responses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Unknown command or malformed request payload.
+    Proto,
+    /// The statement failed to parse.
+    Parse,
+    /// Static analysis or evaluation failed.
+    Eval,
+    /// A parameter binding was rejected (unbound, unused, or mistyped).
+    Param,
+    /// The request named a prepared handle this connection does not hold.
+    Handle,
+    /// A host-level failure (unknown graph, RETURN-less statement, …).
+    Host,
+}
+
+impl ErrorCode {
+    /// The wire token (`PROTO`, `PARSE`, …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Proto => "PROTO",
+            ErrorCode::Parse => "PARSE",
+            ErrorCode::Eval => "EVAL",
+            ErrorCode::Param => "PARAM",
+            ErrorCode::Handle => "HANDLE",
+            ErrorCode::Host => "HOST",
+        }
+    }
+
+    /// Parses a wire token.
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "PROTO" => ErrorCode::Proto,
+            "PARSE" => ErrorCode::Parse,
+            "EVAL" => ErrorCode::Eval,
+            "PARAM" => ErrorCode::Param,
+            "HANDLE" => ErrorCode::Handle,
+            "HOST" => ErrorCode::Host,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Introduce the client; the server answers with its graph census.
+    Hello {
+        /// Free-form client name (may be empty).
+        client: String,
+    },
+    /// One-shot: prepare (through the shared plan cache) and execute.
+    Query {
+        /// The statement text (`MATCH ... RETURN ...`).
+        text: String,
+    },
+    /// Compile a skeleton into a connection-local prepared handle.
+    Prepare {
+        /// The statement text, usually containing `$name` parameters.
+        text: String,
+    },
+    /// Execute a prepared handle under parameter bindings.
+    Execute {
+        /// The handle from a `PREPARE` response.
+        handle: u64,
+        /// `(name, value)` bindings for the skeleton's `$name` slots.
+        params: Vec<(String, Value)>,
+    },
+    /// Drop a prepared handle.
+    Close {
+        /// The handle to drop.
+        handle: u64,
+    },
+    /// Server, cache, and session counters.
+    Stats,
+}
+
+impl Request {
+    /// Serializes the request into a frame payload.
+    pub fn serialize(&self) -> String {
+        match self {
+            Request::Hello { client } if client.is_empty() => "HELLO".to_owned(),
+            Request::Hello { client } => format!("HELLO {client}"),
+            Request::Query { text } => format!("QUERY\n{text}"),
+            Request::Prepare { text } => format!("PREPARE\n{text}"),
+            Request::Execute { handle, params } => {
+                let mut out = format!("EXECUTE {handle}");
+                for (name, value) in params {
+                    out.push('\n');
+                    out.push_str(name);
+                    out.push('\t');
+                    out.push_str(&codec::encode_scalar(value));
+                }
+                out
+            }
+            Request::Close { handle } => format!("CLOSE {handle}"),
+            Request::Stats => "STATS".to_owned(),
+        }
+    }
+
+    /// Parses a frame payload into a request. Failures carry the `PROTO`
+    /// code plus a message; the connection stays usable.
+    pub fn parse(payload: &str) -> Result<Request, (ErrorCode, String)> {
+        let (line, body) = match payload.split_once('\n') {
+            Some((l, b)) => (l, b),
+            None => (payload, ""),
+        };
+        let mut words = line.split(' ');
+        let cmd = words.next().unwrap_or("");
+        let proto = |msg: String| (ErrorCode::Proto, msg);
+        match cmd {
+            "HELLO" => Ok(Request::Hello {
+                client: words.collect::<Vec<_>>().join(" "),
+            }),
+            "QUERY" => Ok(Request::Query {
+                text: body.to_owned(),
+            }),
+            "PREPARE" => Ok(Request::Prepare {
+                text: body.to_owned(),
+            }),
+            "EXECUTE" => {
+                let handle = parse_handle(words.next()).map_err(proto)?;
+                let mut params = Vec::new();
+                for binding in body.split('\n').filter(|l| !l.is_empty()) {
+                    let Some((name, encoded)) = binding.split_once('\t') else {
+                        return Err(proto(format!(
+                            "EXECUTE binding {binding:?} wants name\\tvalue"
+                        )));
+                    };
+                    let value = codec::decode_scalar(encoded)
+                        .map_err(|e| proto(format!("EXECUTE binding {name}: {e}")))?;
+                    params.push((name.to_owned(), value));
+                }
+                Ok(Request::Execute { handle, params })
+            }
+            "CLOSE" => Ok(Request::Close {
+                handle: parse_handle(words.next()).map_err(proto)?,
+            }),
+            "STATS" => Ok(Request::Stats),
+            _ => Err(proto(format!("unknown command {cmd:?}"))),
+        }
+    }
+}
+
+fn parse_handle(word: Option<&str>) -> Result<u64, String> {
+    match word {
+        Some(w) => w.parse().map_err(|e| format!("bad handle {w:?}: {e}")),
+        None => Err("missing handle".to_owned()),
+    }
+}
+
+/// A parsed server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// `OK HELLO`: server identity and graph census as key/value pairs.
+    Hello {
+        /// `key=value` pairs (`server`, `version`, `graph`, `nodes`, …).
+        info: Vec<(String, String)>,
+    },
+    /// `OK RESULT`: a query result table.
+    Result(QueryResult),
+    /// `OK PREPARED`: a fresh handle plus the skeleton's parameter slots.
+    Prepared {
+        /// The connection-local prepared-statement handle.
+        handle: u64,
+        /// Declared `$name` slots, in sorted order.
+        params: Vec<String>,
+    },
+    /// `OK CLOSED`: the handle was dropped.
+    Closed {
+        /// The dropped handle.
+        handle: u64,
+    },
+    /// `OK STATS`: counters as key/value pairs.
+    Stats {
+        /// `key=value` pairs (`cache.hits`, `sessions.active`, …).
+        stats: Vec<(String, String)>,
+    },
+    /// `ERR`: a typed failure; the connection stays open.
+    Error {
+        /// The error class.
+        code: ErrorCode,
+        /// One-line human-readable detail.
+        message: String,
+    },
+}
+
+/// Flattens a message to one line so it cannot break the line-oriented
+/// response format.
+fn one_line(msg: &str) -> String {
+    msg.replace(['\n', '\r'], " ")
+}
+
+fn kv_lines(pairs: &[(String, String)]) -> String {
+    pairs
+        .iter()
+        .map(|(k, v)| format!("\n{k}={v}"))
+        .collect::<String>()
+}
+
+fn parse_kv_lines(body: &str) -> Vec<(String, String)> {
+    body.split('\n')
+        .filter(|l| !l.is_empty())
+        .filter_map(|l| l.split_once('='))
+        .map(|(k, v)| (k.to_owned(), v.to_owned()))
+        .collect()
+}
+
+impl Response {
+    /// Serializes the response into a frame payload.
+    pub fn serialize(&self) -> String {
+        match self {
+            Response::Hello { info } => format!("OK HELLO{}", kv_lines(info)),
+            Response::Result(result) => {
+                format!(
+                    "OK RESULT {}\n{}",
+                    result.len(),
+                    codec::encode_result(result)
+                )
+            }
+            Response::Prepared { handle, params } => {
+                format!("OK PREPARED {handle}\nparams={}", params.join(","))
+            }
+            Response::Closed { handle } => format!("OK CLOSED {handle}"),
+            Response::Stats { stats } => format!("OK STATS{}", kv_lines(stats)),
+            Response::Error { code, message } => format!("ERR {code} {}", one_line(message)),
+        }
+    }
+
+    /// Parses a frame payload into a response (the client side).
+    pub fn parse(payload: &str) -> Result<Response, String> {
+        let (line, body) = match payload.split_once('\n') {
+            Some((l, b)) => (l, b),
+            None => (payload, ""),
+        };
+        let mut words = line.split(' ');
+        match words.next() {
+            Some("OK") => match words.next() {
+                Some("HELLO") => Ok(Response::Hello {
+                    info: parse_kv_lines(body),
+                }),
+                Some("RESULT") => {
+                    let declared: usize = words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| format!("bad RESULT row count in {line:?}"))?;
+                    let result = codec::decode_result(body).map_err(|e| e.to_string())?;
+                    if result.len() != declared {
+                        return Err(format!(
+                            "RESULT declared {declared} rows but carried {}",
+                            result.len()
+                        ));
+                    }
+                    Ok(Response::Result(result))
+                }
+                Some("PREPARED") => {
+                    let handle = words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| format!("bad PREPARED handle in {line:?}"))?;
+                    let params = body
+                        .strip_prefix("params=")
+                        .ok_or_else(|| format!("PREPARED body {body:?} wants params="))?;
+                    let params = if params.is_empty() {
+                        Vec::new()
+                    } else {
+                        params.split(',').map(str::to_owned).collect()
+                    };
+                    Ok(Response::Prepared { handle, params })
+                }
+                Some("CLOSED") => Ok(Response::Closed {
+                    handle: words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| format!("bad CLOSED handle in {line:?}"))?,
+                }),
+                Some("STATS") => Ok(Response::Stats {
+                    stats: parse_kv_lines(body),
+                }),
+                other => Err(format!("unknown OK form {other:?}")),
+            },
+            Some("ERR") => {
+                let code = words
+                    .next()
+                    .and_then(ErrorCode::parse)
+                    .ok_or_else(|| format!("bad ERR code in {line:?}"))?;
+                Ok(Response::Error {
+                    code,
+                    message: words.collect::<Vec<_>>().join(" "),
+                })
+            }
+            other => Err(format!("unknown response head {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gql::GqlValue;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "HELLO bench").unwrap();
+        write_frame(&mut buf, "STATS").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"HELLO bench");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"STATS");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        assert!(read_frame(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_a_hang() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "STATS").unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(read_frame(&mut &buf[..]).is_err());
+    }
+
+    fn req_roundtrip(r: Request) {
+        assert_eq!(Request::parse(&r.serialize()), Ok(r));
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        req_roundtrip(Request::Hello {
+            client: String::new(),
+        });
+        req_roundtrip(Request::Hello {
+            client: "gpml connect 0.1".into(),
+        });
+        req_roundtrip(Request::Query {
+            text: "MATCH (x)\nRETURN x".into(),
+        });
+        req_roundtrip(Request::Prepare {
+            text: "MATCH (x WHERE x.owner = $o) RETURN x".into(),
+        });
+        req_roundtrip(Request::Execute {
+            handle: 7,
+            params: vec![
+                ("o".into(), Value::str("Ankh,\tMorpork")),
+                ("min".into(), Value::Float(f64::NAN)),
+                ("flag".into(), Value::Null),
+            ],
+        });
+        req_roundtrip(Request::Close { handle: 9 });
+        req_roundtrip(Request::Stats);
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_proto_errors() {
+        for bad in [
+            "FROBNICATE",
+            "EXECUTE",
+            "EXECUTE x",
+            "EXECUTE 1\nno-tab-here",
+            "EXECUTE 1\nname\tX:1",
+            "CLOSE",
+        ] {
+            let err = Request::parse(bad).unwrap_err();
+            assert_eq!(err.0, ErrorCode::Proto, "{bad:?}: {err:?}");
+        }
+    }
+
+    fn resp_roundtrip(r: Response) {
+        assert_eq!(Response::parse(&r.serialize()), Ok(r));
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        resp_roundtrip(Response::Hello {
+            info: vec![
+                ("server".into(), "gpmld".into()),
+                ("nodes".into(), "14".into()),
+            ],
+        });
+        resp_roundtrip(Response::Result(QueryResult {
+            columns: vec!["o".into()],
+            rows: vec![
+                vec![GqlValue::Scalar(Value::str("Dave"))],
+                vec![GqlValue::Path("path(a6,t5,a3)".into())],
+            ],
+        }));
+        resp_roundtrip(Response::Result(QueryResult::default()));
+        resp_roundtrip(Response::Prepared {
+            handle: 3,
+            params: vec!["min".into(), "owner".into()],
+        });
+        resp_roundtrip(Response::Prepared {
+            handle: 4,
+            params: vec![],
+        });
+        resp_roundtrip(Response::Closed { handle: 3 });
+        resp_roundtrip(Response::Stats {
+            stats: vec![("cache.hits".into(), "99".into())],
+        });
+        resp_roundtrip(Response::Error {
+            code: ErrorCode::Handle,
+            message: "unknown handle 12".into(),
+        });
+    }
+
+    #[test]
+    fn error_messages_stay_one_line() {
+        let r = Response::Error {
+            code: ErrorCode::Parse,
+            message: "expected RETURN\nat byte 12".into(),
+        };
+        let encoded = r.serialize();
+        assert!(!encoded.contains('\n'));
+        match Response::parse(&encoded).unwrap() {
+            Response::Error { code, message } => {
+                assert_eq!(code, ErrorCode::Parse);
+                assert_eq!(message, "expected RETURN at byte 12");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

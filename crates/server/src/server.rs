@@ -1,0 +1,435 @@
+//! The gpmld server: accept loop, per-connection session threads, and
+//! shared state.
+//!
+//! # Concurrency model
+//!
+//! One accept thread owns the listener; every accepted connection gets a
+//! named session thread (the same "cheap std threads + shared atomics"
+//! discipline as `core::eval::pool`, but with connection lifetimes
+//! instead of work units — intra-query parallelism still belongs to the
+//! executor via [`EvalOptions::threads`]). The threads share:
+//!
+//! * one `Arc<PropertyGraph>` — sessions register the pointer, never a
+//!   copy;
+//! * one [`SharedPlanLru`] — the **shared plan cache**. Whichever
+//!   connection prepares a skeleton first compiles it for every
+//!   connection, so 1000 clients preparing the same statement cost one
+//!   compile and 999 hits (visible in `STATS`);
+//! * one [`ServerStats`] block of atomic counters.
+//!
+//! Prepared *handles* are deliberately **not** shared: each connection
+//! maps its own `u64` handles to prepared statements, so handle
+//! lifecycle (PREPARE → EXECUTE* → CLOSE, or connection teardown) never
+//! needs cross-thread coordination — the cache underneath already
+//! de-duplicates the compiled plans the handles point to.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use gpml_core::eval::EvalOptions;
+use gpml_core::plan::{CacheStats, SharedPlanLru, DEFAULT_PLAN_CACHE_CAPACITY};
+use gpml_core::Params;
+use gql::{GqlError, PreparedGqlQuery, Session};
+use property_graph::PropertyGraph;
+
+use crate::protocol::{read_frame, write_frame, ErrorCode, Request, Response};
+
+/// Configuration for [`serve`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks an ephemeral port (see
+    /// [`ServerHandle::addr`] for the one chosen).
+    pub addr: String,
+    /// Catalog name the served graph is registered under.
+    pub graph_name: String,
+    /// Evaluation options every connection's session runs with
+    /// (`threads` here is *intra-query* parallelism).
+    pub options: EvalOptions,
+    /// Capacity of the shared plan cache.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            graph_name: "g".to_owned(),
+            options: EvalOptions::default(),
+            cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+        }
+    }
+}
+
+/// Monotonic server-wide counters, updated by connection threads and
+/// reported by `STATS`.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections ever accepted.
+    pub connections_total: AtomicU64,
+    /// Connections currently open.
+    pub connections_active: AtomicU64,
+    /// `QUERY` requests handled.
+    pub queries: AtomicU64,
+    /// `PREPARE` requests handled.
+    pub prepares: AtomicU64,
+    /// `EXECUTE` requests handled.
+    pub executes: AtomicU64,
+    /// `CLOSE` requests handled.
+    pub closes: AtomicU64,
+    /// Requests answered with an `ERR` response.
+    pub errors: AtomicU64,
+}
+
+/// Everything a connection thread needs, shared by `Arc`.
+struct Shared {
+    graph: Arc<PropertyGraph>,
+    graph_name: String,
+    options: EvalOptions,
+    cache: SharedPlanLru<PreparedGqlQuery>,
+    stats: ServerStats,
+    stopping: AtomicBool,
+}
+
+/// A running server. Dropping the handle stops it; prefer an explicit
+/// [`ServerHandle::stop`] so accept-thread teardown errors are not
+/// silently swallowed by drop glue.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server-wide counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.stats
+    }
+
+    /// Hit/miss counters of the shared plan cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// A handle to the shared plan cache (e.g. to warm it, or to share
+    /// it with an in-process session).
+    pub fn cache(&self) -> &SharedPlanLru<PreparedGqlQuery> {
+        &self.shared.cache
+    }
+
+    /// Stops accepting and joins the accept thread. Connections already
+    /// open are served until their clients hang up.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let Some(accept) = self.accept.take() else {
+            return;
+        };
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = accept.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `gpmld` over `graph` and starts serving in the background.
+pub fn serve(graph: PropertyGraph, config: ServerConfig) -> io::Result<ServerHandle> {
+    serve_shared(Arc::new(graph), config)
+}
+
+/// [`serve`] over an already-shared graph.
+pub fn serve_shared(graph: Arc<PropertyGraph>, config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener =
+        TcpListener::bind(
+            config.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address")
+            })?,
+        )?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        graph,
+        graph_name: config.graph_name,
+        options: config.options,
+        cache: SharedPlanLru::new(config.cache_capacity),
+        stats: ServerStats::default(),
+        stopping: AtomicBool::new(false),
+    });
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("gpmld-accept".to_owned())
+            .spawn(move || accept_loop(listener, shared))?
+    };
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut conn_id: u64 = 0;
+    loop {
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            // Persistent failures (fd exhaustion) must neither spin a
+            // core nor wedge stop(): back off, then re-check `stopping`
+            // at the top — the shutdown path does not depend on its
+            // wake-up connection being accepted.
+            Err(_) => {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                continue;
+            }
+        };
+        // Frames are small request/response pairs; never batch them.
+        let _ = stream.set_nodelay(true);
+        if shared.stopping.load(Ordering::SeqCst) {
+            return; // the wake-up connection, or a racer behind it
+        }
+        conn_id += 1;
+        let shared = Arc::clone(&shared);
+        shared
+            .stats
+            .connections_total
+            .fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .connections_active
+            .fetch_add(1, Ordering::Relaxed);
+        let name = format!("gpmld-conn-{conn_id}");
+        let spawned = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new().name(name).spawn(move || {
+                Connection::new(&shared).run(stream);
+                shared
+                    .stats
+                    .connections_active
+                    .fetch_sub(1, Ordering::Relaxed);
+            })
+        };
+        // Spawn failure (thread exhaustion) drops the stream — the
+        // client sees a clean close and can retry — but must undo the
+        // active count the thread will never decrement.
+        if spawned.is_err() {
+            shared
+                .stats
+                .connections_active
+                .fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Per-connection state: a session over the shared graph + cache, and
+/// the connection-local table of prepared handles.
+struct Connection<'s> {
+    shared: &'s Shared,
+    session: Session,
+    handles: HashMap<u64, PreparedGqlQuery>,
+    next_handle: u64,
+}
+
+impl<'s> Connection<'s> {
+    fn new(shared: &'s Shared) -> Connection<'s> {
+        let mut session = Session::with_cache(shared.options.clone(), shared.cache.clone());
+        session.register_shared(&shared.graph_name, Arc::clone(&shared.graph));
+        Connection {
+            shared,
+            session,
+            handles: HashMap::new(),
+            next_handle: 1,
+        }
+    }
+
+    fn run(mut self, mut stream: TcpStream) {
+        loop {
+            let payload = match read_frame(&mut stream) {
+                Ok(Some(payload)) => payload,
+                // Clean EOF, a mid-frame disconnect, or an oversized
+                // length prefix (no way to resynchronize): drop the
+                // connection. Open handles die with it.
+                Ok(None) | Err(_) => return,
+            };
+            let response = match std::str::from_utf8(&payload) {
+                Ok(text) => self.respond(text),
+                Err(_) => Response::Error {
+                    code: ErrorCode::Proto,
+                    message: "frame payload is not UTF-8".to_owned(),
+                },
+            };
+            let mut is_error = matches!(response, Response::Error { .. });
+            let mut encoded = response.serialize();
+            if encoded.len() > crate::protocol::MAX_FRAME {
+                // A result table too big for one frame is the *query's*
+                // problem, not the connection's: answer with a typed
+                // error (nothing of the oversized frame was written, so
+                // the stream is still in sync) and keep serving.
+                encoded = Response::Error {
+                    code: ErrorCode::Host,
+                    message: format!(
+                        "result of {} bytes exceeds the {} MiB frame cap \
+                         (narrow the query or add LIMIT)",
+                        encoded.len(),
+                        crate::protocol::MAX_FRAME >> 20
+                    ),
+                }
+                .serialize();
+                is_error = true;
+            }
+            if is_error {
+                self.shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            if write_frame(&mut stream, &encoded).is_err() {
+                return;
+            }
+        }
+    }
+
+    fn respond(&mut self, payload: &str) -> Response {
+        let request = match Request::parse(payload) {
+            Ok(r) => r,
+            Err((code, message)) => return Response::Error { code, message },
+        };
+        match request {
+            Request::Hello { client: _ } => self.hello(),
+            Request::Query { text } => {
+                self.shared.stats.queries.fetch_add(1, Ordering::Relaxed);
+                match self.session.execute(&self.shared.graph_name, &text) {
+                    Ok(result) => Response::Result(result),
+                    Err(e) => error_response(e),
+                }
+            }
+            Request::Prepare { text } => {
+                self.shared.stats.prepares.fetch_add(1, Ordering::Relaxed);
+                self.prepare(&text)
+            }
+            Request::Execute { handle, params } => {
+                self.shared.stats.executes.fetch_add(1, Ordering::Relaxed);
+                self.execute(handle, params)
+            }
+            Request::Close { handle } => {
+                self.shared.stats.closes.fetch_add(1, Ordering::Relaxed);
+                match self.handles.remove(&handle) {
+                    Some(_) => Response::Closed { handle },
+                    None => Response::Error {
+                        code: ErrorCode::Handle,
+                        message: format!("unknown handle {handle}"),
+                    },
+                }
+            }
+            Request::Stats => self.stats(),
+        }
+    }
+
+    fn hello(&self) -> Response {
+        let g = &self.shared.graph;
+        let info = vec![
+            ("server".to_owned(), "gpmld".to_owned()),
+            ("version".to_owned(), env!("CARGO_PKG_VERSION").to_owned()),
+            ("graph".to_owned(), self.shared.graph_name.clone()),
+            ("nodes".to_owned(), g.node_count().to_string()),
+            ("edges".to_owned(), g.edge_count().to_string()),
+            (
+                "threads".to_owned(),
+                self.shared.options.resolved_threads().to_string(),
+            ),
+        ];
+        Response::Hello { info }
+    }
+
+    fn prepare(&mut self, text: &str) -> Response {
+        let prepared = match self.session.prepare(text) {
+            Ok(p) => p,
+            Err(e) => return error_response(e),
+        };
+        if !prepared.has_return() {
+            return Response::Error {
+                code: ErrorCode::Host,
+                message: "PREPARE wants a RETURN statement (bare MATCH has no table shape)"
+                    .to_owned(),
+            };
+        }
+        let params: Vec<String> = prepared.plan().param_names().map(str::to_owned).collect();
+        let handle = self.next_handle;
+        self.next_handle += 1;
+        self.handles.insert(handle, prepared);
+        Response::Prepared { handle, params }
+    }
+
+    fn execute(&mut self, handle: u64, params: Vec<(String, property_graph::Value)>) -> Response {
+        let Some(prepared) = self.handles.get(&handle) else {
+            return Response::Error {
+                code: ErrorCode::Handle,
+                message: format!("unknown handle {handle} (PREPARE first, or already CLOSEd)"),
+            };
+        };
+        let params: Params = params.into_iter().collect();
+        match self
+            .session
+            .execute_prepared_with(&self.shared.graph_name, prepared, &params)
+        {
+            Ok(result) => Response::Result(result),
+            Err(e) => error_response(e),
+        }
+    }
+
+    fn stats(&self) -> Response {
+        let cache = self.shared.cache.stats();
+        let s = &self.shared.stats;
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed).to_string();
+        let stats = vec![
+            ("cache.hits".to_owned(), cache.hits.to_string()),
+            ("cache.misses".to_owned(), cache.misses.to_string()),
+            ("cache.len".to_owned(), cache.len.to_string()),
+            ("cache.capacity".to_owned(), cache.capacity.to_string()),
+            ("sessions.total".to_owned(), load(&s.connections_total)),
+            ("sessions.active".to_owned(), load(&s.connections_active)),
+            ("requests.query".to_owned(), load(&s.queries)),
+            ("requests.prepare".to_owned(), load(&s.prepares)),
+            ("requests.execute".to_owned(), load(&s.executes)),
+            ("requests.close".to_owned(), load(&s.closes)),
+            ("requests.errors".to_owned(), load(&s.errors)),
+            ("handles.open".to_owned(), self.handles.len().to_string()),
+        ];
+        Response::Stats { stats }
+    }
+}
+
+/// Maps a host error onto the wire's typed codes. Parameter-binding
+/// failures get their own code so clients can distinguish "fix your
+/// bindings" from "fix your query".
+fn error_response(e: GqlError) -> Response {
+    use gpml_core::Error;
+    let code = match &e {
+        GqlError::Parse(_) => ErrorCode::Parse,
+        GqlError::Eval(
+            Error::UnboundParameter { .. }
+            | Error::UnusedParameter { .. }
+            | Error::ParameterTypeMismatch { .. },
+        ) => ErrorCode::Param,
+        GqlError::Eval(_) => ErrorCode::Eval,
+        GqlError::Host(_) => ErrorCode::Host,
+    };
+    Response::Error {
+        code,
+        message: e.to_string(),
+    }
+}

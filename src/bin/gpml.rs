@@ -6,11 +6,15 @@
 //!     "MATCH (x:Account WHERE x.isBlocked='yes') RETURN x.owner AS owner"
 //!
 //! # JSON output, SPARQL endpoint-only semantics, synthetic graph:
-//! cargo run --bin gpml -- --graph network:40,100,7 --mode sparql --json \
+//! cargo run --bin gpml -- --graph network:40,100,7 --mode sparql --format json \
 //!     "MATCH ALL SHORTEST (a)-[t:Transfer]->*(b) RETURN a, b LIMIT 5"
 //!
 //! # No query argument: read one query per line from stdin (a mini REPL).
 //! cargo run --bin gpml -- --graph fig1
+//!
+//! # Serve a graph over TCP (gpmld), then talk to it from another shell:
+//! cargo run --bin gpml -- serve --graph fig1 --port 7878
+//! cargo run --bin gpml -- connect --addr 127.0.0.1:7878
 //! ```
 //!
 //! Graphs: `fig1` (the paper's Figure 1), `chain:N`, `cycle:N`,
@@ -20,19 +24,26 @@
 //! Modes: `gpml` (default), `sparql` (endpoint-only), `gsql` (implicit
 //! `ALL SHORTEST`).
 
+use std::collections::HashMap;
 use std::io::BufRead;
 
+use gpml_server::client::Client;
+use gpml_server::server::{serve_shared, ServerConfig};
 use gpml_suite::core::eval::{EvalOptions, MatchMode};
+use gpml_suite::core::plan::DEFAULT_PLAN_CACHE_CAPACITY;
 use gpml_suite::core::{Expr, Params};
 use gpml_suite::datagen::{chain, cycle, fig1, grid, transfer_network, TransferNetworkConfig};
-use gpml_suite::gql::Session;
+use gpml_suite::gql::{QueryResult, Session};
 use property_graph::{PropertyGraph, Value};
 
 fn usage() -> ! {
     eprintln!(
         "usage: gpml [--graph fig1|chain:N|cycle:N|grid:WxH|network:N,M,SEED|csv:DIR] \
          [--mode gpml|sparql|gsql] [--threads N] [--param NAME=VALUE]... \
-         [--json] [--explain] [QUERY]\n\
+         [--format table|json|csv] [--explain] [QUERY]\n\
+         \x20      gpml serve   [--graph ...] [--mode ...] [--threads N] \
+         [--addr HOST[:PORT]] [--port N] [--cache N]\n\
+         \x20      gpml connect [--addr HOST:PORT] [--format table|json|csv]\n\
          With no QUERY, reads one query per line from stdin; repeated\n\
          queries reuse their compiled plan (the session's LRU plan cache).\n\
          Queries may contain $name parameters; bind them with repeated\n\
@@ -45,9 +56,40 @@ fn usage() -> ! {
          way). REPL commands: :stats dumps the graph's statistics\n\
          catalog, :cache the plan-cache counters, :threads [N] shows or\n\
          sets the worker-thread count, :let name = value binds a\n\
-         parameter, :unlet name unbinds one, :params lists bindings."
+         parameter, :unlet name unbinds one, :params lists bindings.\n\
+         `serve` starts gpmld, a TCP server speaking the PREPARE/EXECUTE\n\
+         wire protocol over the graph; `connect` is a remote REPL against\n\
+         one (its :let bindings ride each query as EXECUTE parameters,\n\
+         :stats/:cache query the server, :close drops cached handles)."
     );
     std::process::exit(2)
+}
+
+/// Output shape for query results.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Table,
+    Json,
+    Csv,
+}
+
+impl Format {
+    fn parse(s: Option<String>) -> Format {
+        match s.as_deref() {
+            Some("table") => Format::Table,
+            Some("json") => Format::Json,
+            Some("csv") => Format::Csv,
+            _ => usage(),
+        }
+    }
+
+    fn print(self, result: &QueryResult) {
+        match self {
+            Format::Table => println!("{result}"),
+            Format::Json => println!("{}", result.to_json()),
+            Format::Csv => println!("{}", result.to_csv()),
+        }
+    }
 }
 
 /// Parses a CLI/REPL parameter value: any GPML literal (`5M`, `1.5`,
@@ -222,7 +264,7 @@ fn run_command(session: &mut Session, params: &mut Params, line: &str) -> bool {
     }
 }
 
-fn run_one(session: &Session, params: &Params, query: &str, json: bool, explain: bool) {
+fn run_one(session: &Session, params: &Params, query: &str, format: Format, explain: bool) {
     // Session::prepare consults the session's LRU plan cache: a replayed
     // query — including a parameterized skeleton under fresh bindings —
     // skips parse, analysis, and compilation and goes straight to
@@ -251,18 +293,7 @@ fn run_one(session: &Session, params: &Params, query: &str, json: bool, explain:
     }
     if prepared.has_return() {
         match session.execute_prepared_with("g", &prepared, params) {
-            Ok(result) => {
-                if json {
-                    println!("{}", result.to_json());
-                } else {
-                    println!("{}", result.columns.join(" | "));
-                    for row in &result.rows {
-                        let cells: Vec<String> = row.iter().map(|c| c.to_string()).collect();
-                        println!("{}", cells.join(" | "));
-                    }
-                    println!("({} rows)", result.rows.len());
-                }
-            }
+            Ok(result) => format.print(&result),
             Err(e) => eprintln!("error: {e}"),
         }
         return;
@@ -270,44 +301,58 @@ fn run_one(session: &Session, params: &Params, query: &str, json: bool, explain:
     match session.match_prepared_with("g", &prepared, params) {
         Ok(rows) => {
             let g = session.graph("g").expect("registered");
-            if json {
-                let items: Vec<String> = rows
-                    .iter()
-                    .map(|r| gpml_suite::gql::json::binding_to_json(g, r))
-                    .collect();
-                println!("[{}]", items.join(","));
-            } else {
-                for row in &rows {
-                    let cells: Vec<String> = row
-                        .values
+            match format {
+                Format::Json => {
+                    let items: Vec<String> = rows
                         .iter()
-                        .map(|(k, v)| format!("{k}={}", v.display(g)))
+                        .map(|r| gpml_suite::gql::json::binding_to_json(g, r))
                         .collect();
-                    println!("{}", cells.join(", "));
+                    println!("[{}]", items.join(","));
                 }
-                println!("({} bindings)", rows.len());
+                // Binding rows are not table-shaped; CSV falls back to
+                // the table rendering rather than inventing columns.
+                Format::Table | Format::Csv => {
+                    for row in &rows {
+                        let cells: Vec<String> = row
+                            .values
+                            .iter()
+                            .map(|(k, v)| format!("{k}={}", v.display(g)))
+                            .collect();
+                        println!("{}", cells.join(", "));
+                    }
+                    println!("({} bindings)", rows.len());
+                }
             }
         }
         Err(e) => eprintln!("error: {e}"),
     }
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut graph_spec = "fig1".to_owned();
-    let mut mode = MatchMode::Gpml;
-    let mut threads = 0usize;
-    let mut json = false;
-    let mut explain = false;
-    let mut params = Params::new();
-    let mut query: Option<String> = None;
+/// The engine flags `gpml` and `gpml serve` share. Both argument loops
+/// delegate here so a new mode or graph spec cannot land in one front
+/// end and silently diverge from the other.
+struct EngineArgs {
+    graph_spec: String,
+    mode: MatchMode,
+    threads: usize,
+}
 
-    let mut it = args.into_iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--graph" => graph_spec = it.next().unwrap_or_else(|| usage()),
+impl EngineArgs {
+    fn new() -> EngineArgs {
+        EngineArgs {
+            graph_spec: "fig1".to_owned(),
+            mode: MatchMode::Gpml,
+            threads: 0,
+        }
+    }
+
+    /// Consumes `arg` (and its value from `it`) when it is one of the
+    /// shared flags; returns false to let the caller try its own.
+    fn eat(&mut self, arg: &str, it: &mut impl Iterator<Item = String>) -> bool {
+        match arg {
+            "--graph" => self.graph_spec = it.next().unwrap_or_else(|| usage()),
             "--mode" => {
-                mode = match it.next().as_deref() {
+                self.mode = match it.next().as_deref() {
                     Some("gpml") => MatchMode::Gpml,
                     Some("sparql") => MatchMode::EndpointOnly,
                     Some("gsql") => MatchMode::GsqlDefault,
@@ -315,11 +360,265 @@ fn main() {
                 }
             }
             "--threads" => {
-                threads = it
+                self.threads = it
                     .next()
                     .and_then(|n| n.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            _ => return false,
+        }
+        true
+    }
+}
+
+/// `gpml serve`: bind gpmld over the chosen graph and serve until killed.
+fn serve_main(args: Vec<String>) -> ! {
+    let mut engine = EngineArgs::new();
+    let mut host = "127.0.0.1".to_owned();
+    let mut port = 7878u16;
+    let mut cache = DEFAULT_PLAN_CACHE_CAPACITY;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if engine.eat(&arg, &mut it) {
+            continue;
+        }
+        match arg.as_str() {
+            "--addr" => host = it.next().unwrap_or_else(|| usage()),
+            "--port" => {
+                port = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--cache" => {
+                cache = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    // `connect` takes HOST:PORT, so accept the same shape here: an
+    // --addr that already carries a port is used verbatim (and wins
+    // over --port) instead of producing a doubled-port bind error.
+    let bind_addr = if host.contains(':') {
+        host.clone()
+    } else {
+        format!("{host}:{port}")
+    };
+
+    let EngineArgs {
+        graph_spec,
+        mode,
+        threads,
+    } = engine;
+    let graph = match build_graph(&graph_spec) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let (nodes, edges) = (graph.node_count(), graph.edge_count());
+    let config = ServerConfig {
+        addr: bind_addr.clone(),
+        options: EvalOptions {
+            mode,
+            threads,
+            ..EvalOptions::default()
+        },
+        cache_capacity: cache,
+        ..ServerConfig::default()
+    };
+    let handle = match serve_shared(std::sync::Arc::new(graph), config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: cannot bind {bind_addr}: {e}");
+            std::process::exit(2);
+        }
+    };
+    // Scripts scrape this line for the (possibly ephemeral) port.
+    println!(
+        "gpmld listening on {} (graph {graph_spec}: {nodes} nodes, {edges} edges)",
+        handle.addr()
+    );
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Prints a server error without dropping the REPL.
+fn report_client_error(e: &gpml_server::ClientError) {
+    eprintln!("error: {e}");
+}
+
+/// `gpml connect`: a remote REPL speaking the wire protocol. Plain
+/// queries without bound parameters go out as one-shot `QUERY`s; once
+/// `:let` bindings exist, each query is `PREPARE`d once (handles are
+/// cached client-side by statement text) and `EXECUTE`d with the
+/// bindings narrowed to its declared slots.
+fn connect_main(args: Vec<String>) {
+    let mut addr = "127.0.0.1:7878".to_owned();
+    let mut format = Format::Table;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().unwrap_or_else(|| usage()),
+            "--format" => format = Format::parse(it.next()),
+            "--json" => format = Format::Json,
+            _ => usage(),
+        }
+    }
+
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match client.hello("gpml connect") {
+        Ok(info) => {
+            let line: Vec<String> = info.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            eprintln!("connected: {}", line.join(" "));
+        }
+        Err(e) => {
+            report_client_error(&e);
+            std::process::exit(2);
+        }
+    }
+
+    let mut params = Params::new();
+    let mut handles: HashMap<String, gpml_server::PreparedHandle> = HashMap::new();
+    eprintln!(
+        "remote REPL (one query per line; :let name = value binds an EXECUTE \
+         parameter; :stats asks the server; Ctrl-D to quit)"
+    );
+    for line in std::io::stdin().lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim().to_owned();
+        if line.is_empty() {
+            continue;
+        }
+        match line.as_str() {
+            ":quit" | ":q" => break,
+            ":stats" | ":cache" => {
+                match client.stats() {
+                    Ok(stats) => {
+                        for (k, v) in stats
+                            .iter()
+                            .filter(|(k, _)| line == ":stats" || k.starts_with("cache."))
+                        {
+                            println!("{k}={v}");
+                        }
+                    }
+                    Err(e) => report_client_error(&e),
+                }
+                continue;
+            }
+            ":params" | ":let" => {
+                if params.is_empty() {
+                    eprintln!("no parameters bound (use :let name = value)");
+                } else {
+                    eprintln!("{params}");
+                }
+                continue;
+            }
+            ":close" => {
+                for (_, h) in handles.drain() {
+                    if let Err(e) = client.close(h.handle) {
+                        report_client_error(&e);
+                    }
+                }
+                eprintln!("closed all prepared handles");
+                continue;
+            }
+            _ => {}
+        }
+        if let Some(rest) = line.strip_prefix(":let ") {
+            match rest.split_once('=') {
+                Some((name, value)) => {
+                    let name = name.trim().trim_start_matches('$').to_owned();
+                    match parse_param_value(value) {
+                        Ok(v) => {
+                            eprintln!("${name} = {v}");
+                            params.set(name, v);
+                        }
+                        Err(e) => eprintln!("error: {e}"),
+                    }
+                }
+                None => eprintln!("error: :let wants `name = value`"),
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(":unlet ") {
+            let name = rest.trim().trim_start_matches('$');
+            if params.unset(name).is_none() {
+                eprintln!("${name} was not bound");
+            }
+            continue;
+        }
+        if line.starts_with(':') {
+            eprintln!(
+                "unknown command {line} (try :stats, :cache, :close, :let, :unlet, \
+                 :params, or :quit)"
+            );
+            continue;
+        }
+        // A query. Parameter-free sessions use the one-shot path; with
+        // bindings, prepare once per statement text and re-EXECUTE.
+        let result = if params.is_empty() {
+            client.query(&line)
+        } else {
+            let prepared = match handles.get(&line) {
+                Some(h) => Ok(h.clone()),
+                None => client.prepare(&line).inspect(|h| {
+                    handles.insert(line.clone(), h.clone());
+                }),
+            };
+            prepared.and_then(|h| {
+                let narrowed: Params = params
+                    .iter()
+                    .filter(|(name, _)| h.params.iter().any(|p| p == name))
+                    .map(|(name, value)| (name.to_owned(), value.clone()))
+                    .collect();
+                client.execute(h.handle, &narrowed)
+            })
+        };
+        match result {
+            Ok(r) => format.print(&r),
+            Err(e @ gpml_server::ClientError::Io(_)) => {
+                report_client_error(&e);
+                std::process::exit(1);
+            }
+            Err(e) => report_client_error(&e),
+        }
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => serve_main(args.split_off(1)),
+        Some("connect") => return connect_main(args.split_off(1)),
+        _ => {}
+    }
+    let mut engine = EngineArgs::new();
+    let mut format = Format::Table;
+    let mut explain = false;
+    let mut params = Params::new();
+    let mut query: Option<String> = None;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if engine.eat(&arg, &mut it) {
+            continue;
+        }
+        match arg.as_str() {
             "--param" => {
                 let spec = it.next().unwrap_or_else(|| usage());
                 let Some((name, value)) = spec.split_once('=') else {
@@ -336,7 +635,8 @@ fn main() {
                     }
                 }
             }
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--format" => format = Format::parse(it.next()),
             "--explain" => explain = true,
             "--help" | "-h" => usage(),
             q if query.is_none() && !q.starts_with("--") => query = Some(q.to_owned()),
@@ -344,6 +644,11 @@ fn main() {
         }
     }
 
+    let EngineArgs {
+        graph_spec,
+        mode,
+        threads,
+    } = engine;
     let graph = match build_graph(&graph_spec) {
         Ok(g) => g,
         Err(e) => {
@@ -365,7 +670,7 @@ fn main() {
     session.register("g", graph);
 
     match query {
-        Some(q) => run_one(&session, &params, &q, json, explain),
+        Some(q) => run_one(&session, &params, &q, format, explain),
         None => {
             eprintln!(
                 "reading queries from stdin (one per line; :stats dumps graph \
@@ -380,7 +685,7 @@ fn main() {
                 if run_command(&mut session, &mut params, &line) {
                     continue;
                 }
-                run_one(&session, &params, &line, json, explain);
+                run_one(&session, &params, &line, format, explain);
             }
         }
     }

@@ -5,6 +5,9 @@
 
 use proptest::prelude::*;
 
+mod common;
+use common::{chain_pattern, quantified_pattern, union_pattern};
+
 use gpml_suite::core::ast::*;
 use gpml_suite::core::binding::MatchRow;
 use gpml_suite::core::eval::{evaluate, EvalOptions, MatchIso, MatchMode};
@@ -96,157 +99,6 @@ fn check_agreement(g: &PropertyGraph, pattern: &GraphPattern) {
             );
         }
     }
-}
-
-// -- Strategies --------------------------------------------------------------
-
-fn var() -> impl Strategy<Value = Option<String>> {
-    proptest::option::of(proptest::sample::select(vec![
-        "x".to_owned(),
-        "y".to_owned(),
-        "z".to_owned(),
-        "e".to_owned(),
-        "f".to_owned(),
-    ]))
-}
-
-fn label() -> impl Strategy<Value = Option<LabelExpr>> {
-    proptest::option::of(prop_oneof![
-        Just(LabelExpr::label("A")),
-        Just(LabelExpr::label("B")),
-        Just(LabelExpr::label("T")),
-        Just(LabelExpr::label("U")),
-        Just(LabelExpr::label("A").or(LabelExpr::label("B"))),
-    ])
-}
-
-fn node_pat(node_vars: bool) -> impl Strategy<Value = NodePattern> {
-    (
-        if node_vars {
-            var().boxed()
-        } else {
-            Just(None).boxed()
-        },
-        label(),
-    )
-        .prop_map(|(var, label)| {
-            let var = var.filter(|v| !v.starts_with('e') && !v.starts_with('f'));
-            NodePattern {
-                var,
-                label,
-                predicate: None,
-            }
-        })
-}
-
-fn edge_pat() -> impl Strategy<Value = EdgePattern> {
-    (
-        proptest::option::of(proptest::sample::select(vec![
-            "e".to_owned(),
-            "f".to_owned(),
-        ])),
-        label(),
-        proptest::sample::select(Direction::ALL.to_vec()),
-        proptest::option::of(0i64..4),
-    )
-        .prop_map(|(var, label, direction, weight)| {
-            // Per-edge weight prefilter exercises predicate paths; it
-            // references only the edge's own variable.
-            let predicate = match (&var, weight) {
-                (Some(v), Some(w)) => Some(Expr::cmp(
-                    CmpOp::Ge,
-                    Expr::prop(v.clone(), "w"),
-                    Expr::lit(w),
-                )),
-                _ => None,
-            };
-            EdgePattern {
-                var,
-                label,
-                predicate,
-                direction,
-            }
-        })
-}
-
-/// A step: edge or edge+node.
-fn step() -> impl Strategy<Value = Vec<PathPattern>> {
-    (edge_pat(), node_pat(true)).prop_map(|(e, n)| vec![PathPattern::Edge(e), PathPattern::Node(n)])
-}
-
-/// A linear chain pattern `(n) (step)*`.
-fn chain_pattern() -> impl Strategy<Value = PathPattern> {
-    (node_pat(true), proptest::collection::vec(step(), 0..3)).prop_map(|(first, steps)| {
-        let mut parts = vec![PathPattern::Node(first)];
-        for s in steps {
-            parts.extend(s);
-        }
-        PathPattern::concat(parts)
-    })
-}
-
-/// A pattern with one (bounded or restrictor-covered unbounded)
-/// quantifier in the middle.
-fn quantified_pattern() -> impl Strategy<Value = (Option<Restrictor>, Option<Selector>, PathPattern)>
-{
-    let body = (edge_pat(), node_pat(false)).prop_map(|(e, n)| {
-        PathPattern::concat(vec![
-            PathPattern::Node(NodePattern::any()),
-            PathPattern::Edge(e),
-            PathPattern::Node(n),
-        ])
-        .paren()
-    });
-    (
-        node_pat(true),
-        body,
-        prop_oneof![
-            // Bounded quantifiers need no cover.
-            (0u32..2, 1u32..3).prop_map(|(m, s)| (Quantifier::range(m, Some(m + s)), false)),
-            // Unbounded ones get one from the caller.
-            Just((Quantifier::plus(), true)),
-            Just((Quantifier::star(), true)),
-        ],
-        node_pat(true),
-        proptest::sample::select(vec![
-            Some(Restrictor::Trail),
-            Some(Restrictor::Acyclic),
-            Some(Restrictor::Simple),
-        ]),
-        proptest::option::of(proptest::sample::select(vec![
-            Selector::AnyShortest,
-            Selector::AllShortest,
-            Selector::ShortestK(2),
-            Selector::ShortestKGroup(2),
-            Selector::AnyK(2),
-            Selector::Any,
-        ])),
-    )
-        .prop_map(
-            |(first, body, (q, unbounded), last, restrictor, selector)| {
-                let pattern = PathPattern::concat(vec![
-                    PathPattern::Node(first),
-                    body.quantified(q),
-                    PathPattern::Node(last),
-                ]);
-                let restrictor = if unbounded { restrictor } else { None };
-                (restrictor, selector, pattern)
-            },
-        )
-}
-
-fn union_pattern() -> impl Strategy<Value = PathPattern> {
-    (
-        proptest::collection::vec(chain_pattern(), 2..4),
-        proptest::bool::ANY,
-    )
-        .prop_map(|(branches, multiset)| {
-            if multiset {
-                PathPattern::Alternation(branches)
-            } else {
-                PathPattern::Union(branches)
-            }
-        })
 }
 
 /// One `PreparedQuery`, many graphs: executions must be independent (no
