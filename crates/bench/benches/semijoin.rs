@@ -1,0 +1,54 @@
+//! EB14 — semi-join filter pushdown vs full per-stage matching.
+//!
+//! Every workload (see `gpml_bench::semijoin`) runs twice over the same
+//! graph: once with the engine defaults (semi-join pushdown on) and once
+//! with only `semi_join` off. Cost-based stage ordering and hash joins
+//! are identical on both sides, so the gap is purely the sideways
+//! information pass: the filtered side skips start nodes the
+//! accumulated join keys already rule out, the unfiltered side matches
+//! every stage in full and lets the join discard the orphans.
+//!
+//! Results are asserted bit-for-bit identical — same rows, same order —
+//! before any timing starts (the pushdown is an optimization, never a
+//! semantics change). The target on these high-selectivity shapes is
+//! ≥ 2× for the filtered side.
+//!
+//! `GPML_SEMIJOIN=on` or `GPML_SEMIJOIN=off` restricts the run to one
+//! side.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gpml_bench::parse;
+use gpml_bench::semijoin::{filtered_opts, sides_from_env, unfiltered_opts, workloads};
+use gpml_core::plan::prepare;
+
+fn bench_semijoin(c: &mut Criterion) {
+    let (run_filtered, run_unfiltered) = sides_from_env();
+    for w in workloads() {
+        let pattern = parse(w.query);
+        let filtered = prepare(&pattern, &filtered_opts()).expect("prepare filtered");
+        let unfiltered = prepare(&pattern, &unfiltered_opts()).expect("prepare unfiltered");
+
+        // Sanity before timing: the pushdown must be invisible in the
+        // output — same rows in the same order.
+        let want = unfiltered.execute(&w.graph).expect("unfiltered");
+        let got = filtered.execute(&w.graph).expect("filtered");
+        assert_eq!(got, want, "semi-join changed results on {}", w.name);
+
+        let mut group = c.benchmark_group(format!("EB14/semijoin/{}", w.name));
+        if run_filtered {
+            group.bench_function("filtered", |b| {
+                b.iter(|| filtered.execute(&w.graph).expect("filtered"))
+            });
+        }
+        if run_unfiltered {
+            group.bench_function("unfiltered", |b| {
+                b.iter(|| unfiltered.execute(&w.graph).expect("unfiltered"))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_semijoin);
+criterion_main!(benches);

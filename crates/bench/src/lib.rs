@@ -10,6 +10,7 @@
 
 pub mod joins;
 pub mod prepared;
+pub mod semijoin;
 pub mod server;
 
 use gpml_core::eval::{evaluate, EvalOptions};

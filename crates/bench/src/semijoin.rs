@@ -1,0 +1,181 @@
+//! High-selectivity multi-stage workloads for the semi-join pushdown
+//! bench (EB14).
+//!
+//! Each workload pairs a tiny *needle* stage with one or more huge
+//! stages sharing a singleton node variable. Cost-based ordering runs
+//! the needle first either way; what EB14 isolates is the **sideways
+//! information pass**: with `semi_join` on, the distinct join-key nodes
+//! accumulated so far become a filter the next stage's matcher checks at
+//! `NodeTest`, so the huge stage never expands start nodes that cannot
+//! join. With it off, every stage matches in full and the join discards
+//! the orphans afterwards. Both sides produce bit-for-bit identical
+//! results (rows *and* order) — only the work differs:
+//!
+//! * **chain** — a fan-out chain behind a single `Start` node: the
+//!   filter cascades, shrinking each of the two wide stages from
+//!   `width × fanout` traversals to a handful;
+//! * **star** — many hubs, each with a full complement of out-spokes,
+//!   but only one hub reachable from the `Rare` needle: the filter
+//!   prunes every other hub before its spokes are walked;
+//! * **cross** — the chain declared out of order, so the filter has to
+//!   follow the greedy join order (not declaration order) to land on
+//!   the right stage.
+
+use gpml_core::eval::EvalOptions;
+use property_graph::{Endpoints, PropertyGraph};
+
+use crate::joins::JoinWorkload;
+
+/// The optimized configuration: semi-join filter pushdown on (the
+/// engine default).
+pub fn filtered_opts() -> EvalOptions {
+    EvalOptions::default()
+}
+
+/// The baseline configuration: identical cost-based ordering and hash
+/// joins, but no sideways information passing.
+pub fn unfiltered_opts() -> EvalOptions {
+    EvalOptions {
+        semi_join: false,
+        ..EvalOptions::default()
+    }
+}
+
+/// Which sides of the comparison to run, from the `GPML_SEMIJOIN`
+/// environment variable: `on`, `off`, or anything else (both).
+pub fn sides_from_env() -> (bool, bool) {
+    match std::env::var("GPML_SEMIJOIN").as_deref() {
+        Ok("on") => (true, false),
+        Ok("off") => (false, true),
+        _ => (true, true),
+    }
+}
+
+/// One `Start` node fanning out into three layers of `width` nodes,
+/// `fanout` `:S` edges per node. Only the `fanout` L1 nodes behind
+/// `Start` (and their descendants) can ever join.
+pub fn chain(width: usize, fanout: usize) -> JoinWorkload {
+    let mut g = PropertyGraph::new();
+    let start = g.add_node("start", ["Start"], []);
+    let mut layers = Vec::new();
+    for l in 1..=3 {
+        let layer: Vec<_> = (0..width)
+            .map(|i| g.add_node(&format!("n{l}_{i}"), [format!("L{l}")], []))
+            .collect();
+        layers.push(layer);
+    }
+    for j in 0..fanout {
+        g.add_edge(
+            &format!("s0_{j}"),
+            Endpoints::directed(start, layers[0][j * 7 % width]),
+            ["S"],
+            [],
+        );
+    }
+    for l in 0..2 {
+        for i in 0..width {
+            for j in 0..fanout {
+                g.add_edge(
+                    &format!("s{}_{i}_{j}", l + 1),
+                    Endpoints::directed(layers[l][i], layers[l + 1][(i * 5 + j * 11) % width]),
+                    ["S"],
+                    [],
+                );
+            }
+        }
+    }
+    JoinWorkload {
+        name: "chain",
+        graph: g,
+        query: "MATCH (a:Start)-[:S]->(b:L1), (b:L1)-[:S]->(c:L2), (c:L2)-[:S]->(d:L3)",
+    }
+}
+
+/// `hubs` hub nodes with `spokes` `:Out` spokes each; exactly one hub is
+/// reachable from the single `Rare` node. The semi-join filter stops the
+/// spoke stage at every other hub's `NodeTest`, before its spokes are
+/// walked.
+pub fn star(hubs: usize, spokes: usize) -> JoinWorkload {
+    let mut g = PropertyGraph::new();
+    let rare = g.add_node("rare", ["Rare"], []);
+    for h in 0..hubs {
+        let hub = g.add_node(&format!("h{h}"), ["Hub"], []);
+        if h == 0 {
+            g.add_edge("to0", Endpoints::directed(rare, hub), ["To"], []);
+        }
+        for s in 0..spokes {
+            let spoke = g.add_node(&format!("b{h}_{s}"), ["Big"], []);
+            g.add_edge(
+                &format!("out{h}_{s}"),
+                Endpoints::directed(hub, spoke),
+                ["Out"],
+                [],
+            );
+        }
+    }
+    JoinWorkload {
+        name: "star",
+        graph: g,
+        query: "MATCH (r:Rare)-[:To]->(h:Hub), (h:Hub)-[:Out]->(y:Big)",
+    }
+}
+
+/// The chain workload with its two wide stages declared before the
+/// needle: the greedy join order still starts from the needle, and the
+/// filters must be routed by that order, not by declaration position.
+pub fn cross(width: usize, fanout: usize) -> JoinWorkload {
+    let chain = chain(width, fanout);
+    JoinWorkload {
+        name: "cross",
+        graph: chain.graph,
+        query: "MATCH (b:L1)-[:S]->(c:L2), (c:L2)-[:S]->(d:L3), (a:Start)-[:S]->(b:L1)",
+    }
+}
+
+/// The bench's standard workload set, sized so the unfiltered stage
+/// searches dominate but one measurement stays well under a second.
+pub fn workloads() -> Vec<JoinWorkload> {
+    vec![chain(1500, 3), star(60, 60), cross(1500, 3)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use gpml_core::eval::ExecProfile;
+    use gpml_core::plan::prepare;
+    use gpml_core::Params;
+
+    /// The EB14 precondition: filtered and unfiltered execution agree
+    /// bit-for-bit (rows *and* order), and the filter actually prunes —
+    /// a workload with zero pruned rows would time two identical runs.
+    #[test]
+    fn every_workload_prunes_without_changing_results() {
+        for w in workloads() {
+            let pattern = parse(w.query);
+            let filtered = prepare(&pattern, &filtered_opts()).unwrap();
+            let unfiltered = prepare(&pattern, &unfiltered_opts()).unwrap();
+            let want = unfiltered.execute(&w.graph).unwrap();
+
+            let profile = ExecProfile::new(filtered.plan().stage_count());
+            let got = filtered
+                .execute_with_profile(&w.graph, &Params::new(), &profile)
+                .unwrap();
+            assert_eq!(got, want, "semi-join changed results on {}", w.name);
+            assert!(!got.rows.is_empty(), "workload {} matched nothing", w.name);
+
+            let (_, edges_filtered, pruned) = profile.totals();
+            assert!(pruned > 0, "workload {} pruned nothing", w.name);
+            let profile = ExecProfile::new(unfiltered.plan().stage_count());
+            unfiltered
+                .execute_with_profile(&w.graph, &Params::new(), &profile)
+                .unwrap();
+            let (_, edges_unfiltered, _) = profile.totals();
+            assert!(
+                edges_filtered < edges_unfiltered,
+                "workload {}: filters saved no traversals ({edges_filtered} vs {edges_unfiltered})",
+                w.name
+            );
+        }
+    }
+}

@@ -22,6 +22,7 @@
 //! The matcher returns raw [`PathBinding`]s; reduction, deduplication, and
 //! selector application happen in [`super`].
 
+use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 use property_graph::{NodeId, Path, PropertyGraph, Step};
@@ -30,9 +31,16 @@ use crate::ast::{EdgePattern, Expr, NodePattern, PathPattern, Quantifier, Restri
 use crate::binding::{BoundValue, PathBinding};
 use crate::error::{Error, Result};
 use crate::eval::filter;
-use crate::eval::EvalOptions;
+use crate::eval::{EvalOptions, StageCounters};
 use crate::normalize::is_anonymous;
 use crate::params::Params;
+
+/// Semi-join endpoint filters (sideways information passing): for each
+/// unconditional singleton node variable, the set of nodes the
+/// accumulated join rows still admit. A search state whose `NodeTest`
+/// binds a filtered variable to a node outside its set can never join
+/// and is cut immediately.
+pub(crate) type SemiJoinFilters = BTreeMap<String, BTreeSet<NodeId>>;
 
 // ---------------------------------------------------------------------------
 // NFA representation
@@ -517,6 +525,13 @@ pub(crate) struct Matcher<'a> {
     /// Ablation: restrictors validated at completion instead of pruning
     /// in-search (see `EvalOptions::defer_restrictors`).
     defer: bool,
+    /// Semi-join endpoint filters pushed down by the executor, if any.
+    filters: Option<&'a SemiJoinFilters>,
+    /// Search-effort tallies (`Cell`: `run_from` takes `&self`), flushed
+    /// into a shared [`StageCounters`] via [`Matcher::flush_counters`].
+    nodes_expanded: Cell<u64>,
+    edges_traversed: Cell<u64>,
+    rows_pruned: Cell<u64>,
 }
 
 impl<'a> Matcher<'a> {
@@ -544,7 +559,28 @@ impl<'a> Matcher<'a> {
             prune,
             max_edges,
             defer,
+            filters: None,
+            nodes_expanded: Cell::new(0),
+            edges_traversed: Cell::new(0),
+            rows_pruned: Cell::new(0),
         }
+    }
+
+    /// Installs semi-join endpoint filters for this search. Filtering only
+    /// ever removes bindings the cross-stage join would reject, so — for
+    /// the stages the executor deems eligible — results are unchanged.
+    pub(crate) fn with_filters(mut self, filters: &'a SemiJoinFilters) -> Matcher<'a> {
+        self.filters = Some(filters);
+        self
+    }
+
+    /// Adds this matcher's search tallies into `counters` and resets them.
+    pub(crate) fn flush_counters(&self, counters: &StageCounters) {
+        counters.add(
+            self.nodes_expanded.take(),
+            self.edges_traversed.take(),
+            self.rows_pruned.take(),
+        );
     }
 
     /// Runs the search seeded only from `starts`.
@@ -588,6 +624,7 @@ impl<'a> Matcher<'a> {
         }
 
         while let Some(state) = queue.pop_front() {
+            self.nodes_expanded.set(self.nodes_expanded.get() + 1);
             if state.path.len() >= self.max_edges {
                 continue;
             }
@@ -596,6 +633,7 @@ impl<'a> Matcher<'a> {
                 let ep = &self.nfa.edge_pats[ep_idx];
                 let cur = state.current();
                 for step in self.graph.steps(cur) {
+                    self.edges_traversed.set(self.edges_traversed.get() + 1);
                     if let Some(next) = self.try_step(&state, target, ep, *step) {
                         self.advance_eps(next, &mut queue, &mut results, &mut seen)?;
                     }
@@ -799,6 +837,14 @@ impl<'a> Matcher<'a> {
                     }
                 }
                 if let Some(v) = &np.var {
+                    // The semi-join endpoint check: a node outside the
+                    // accumulated key set can never survive the join.
+                    if let Some(allowed) = self.filters.and_then(|f| f.get(v)) {
+                        if !allowed.contains(&n) {
+                            self.rows_pruned.set(self.rows_pruned.get() + 1);
+                            return None;
+                        }
+                    }
                     if !next.bind(v, BoundValue::Node(n)) {
                         return None;
                     }

@@ -25,9 +25,10 @@ pub(crate) mod pool;
 pub(crate) mod selector;
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use property_graph::PropertyGraph;
+use property_graph::{NodeId, PropertyGraph};
 
 pub use filter::{eval as eval_expr, truth as expr_truth, Env};
 
@@ -115,6 +116,19 @@ pub struct EvalOptions {
     /// Semantics are identical; disable to measure the nested-loop
     /// baseline.
     pub hash_join: bool,
+    /// Cost-based optimizer knob: sideways information passing. After each
+    /// cross-stage merge, the distinct join-key node sets of the
+    /// accumulated rows are pushed *into* later stages' matchers as
+    /// endpoint filters, so bindings that cannot join are never generated.
+    /// The estimator applies a filter only where its key-set estimate is
+    /// smaller than the stage being filtered (and never to stages whose
+    /// selector or match mode could observe the pruned bindings), keeping
+    /// results — rows *and* order — bit-for-bit identical. Only
+    /// resource-limit *errors* may differ: filtered searches generate
+    /// fewer raw matches, so a run with filters can succeed where the
+    /// unfiltered run trips [`EvalOptions::max_matches`]. Disable to
+    /// measure the unfiltered baseline (CLI `--no-semijoin`).
+    pub semi_join: bool,
     /// Worker threads for parallel stage matching. `0` (the default)
     /// resolves to the machine's available parallelism but stays
     /// sequential on small graphs, where spawn cost would dominate; `1`
@@ -172,11 +186,85 @@ impl Default for EvalOptions {
             defer_restrictors: false,
             reorder_stages: true,
             hash_join: true,
+            semi_join: true,
             threads: 0,
             max_matches: 1_000_000,
             max_path_length: 10_000,
             max_frontier: 1_000_000,
         }
+    }
+}
+
+/// Execution counters for one stage's product-automaton search,
+/// accumulated across all of the stage's partitions. Atomics, so parallel
+/// partition searches add concurrently without coordination; the numbers
+/// are exact because every partition is counted exactly once.
+#[derive(Debug, Default)]
+pub struct StageCounters {
+    nodes_expanded: AtomicU64,
+    edges_traversed: AtomicU64,
+    rows_pruned: AtomicU64,
+}
+
+impl StageCounters {
+    /// Folds one search's tallies in.
+    pub(crate) fn add(&self, nodes: u64, edges: u64, pruned: u64) {
+        self.nodes_expanded.fetch_add(nodes, Ordering::Relaxed);
+        self.edges_traversed.fetch_add(edges, Ordering::Relaxed);
+        self.rows_pruned.fetch_add(pruned, Ordering::Relaxed);
+    }
+
+    /// Search states dequeued and expanded.
+    pub fn nodes_expanded(&self) -> u64 {
+        self.nodes_expanded.load(Ordering::Relaxed)
+    }
+
+    /// Adjacency steps attempted from expanded states.
+    pub fn edges_traversed(&self) -> u64 {
+        self.edges_traversed.load(Ordering::Relaxed)
+    }
+
+    /// Partial bindings rejected by a pushed-down semi-join filter.
+    pub fn rows_pruned(&self) -> u64 {
+        self.rows_pruned.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-stage execution counters for one query run, collected by the
+/// matcher when the caller asks for a profiled execution (CLI `--explain`
+/// post-run output, the server's `STATS` accumulation).
+#[derive(Debug, Default)]
+pub struct ExecProfile {
+    stages: Vec<StageCounters>,
+}
+
+impl ExecProfile {
+    /// A profile with one counter block per plan stage.
+    pub fn new(stage_count: usize) -> ExecProfile {
+        ExecProfile {
+            stages: (0..stage_count).map(|_| StageCounters::default()).collect(),
+        }
+    }
+
+    /// The per-stage counter blocks, indexed by declaration stage index.
+    pub fn stages(&self) -> &[StageCounters] {
+        &self.stages
+    }
+
+    pub(crate) fn stage(&self, i: usize) -> Option<&StageCounters> {
+        self.stages.get(i)
+    }
+
+    /// Totals across all stages: `(nodes expanded, edges traversed, rows
+    /// pruned by semi-join)`.
+    pub fn totals(&self) -> (u64, u64, u64) {
+        self.stages.iter().fold((0, 0, 0), |(n, e, p), s| {
+            (
+                n + s.nodes_expanded(),
+                e + s.edges_traversed(),
+                p + s.rows_pruned(),
+            )
+        })
     }
 }
 
@@ -242,6 +330,24 @@ impl JoinState {
     /// every further merge (and the postfilter) is then a no-op.
     pub(crate) fn is_empty(&self) -> bool {
         self.rows.is_empty()
+    }
+
+    /// The distinct node ids the accumulated rows bind `var` to, or
+    /// `None` when any row lacks `var` or binds it to a non-node — the
+    /// semi-join key-set extraction of sideways information passing.
+    /// A later stage sharing `var` can only produce joinable bindings
+    /// with `var` inside this set.
+    pub(crate) fn distinct_key_nodes(&self, var: &str) -> Option<BTreeSet<NodeId>> {
+        let mut set = BTreeSet::new();
+        for (row, _) in &self.rows {
+            match row.values.get(var) {
+                Some(BoundValue::Node(n)) => {
+                    set.insert(*n);
+                }
+                _ => return None,
+            }
+        }
+        Some(set)
     }
 
     /// Merges one stage's bindings into the accumulation.

@@ -29,9 +29,11 @@ use std::fmt;
 
 use property_graph::GraphStats;
 
+use crate::analysis::VarKind;
 use crate::ast::{
     CmpOp, Direction, EdgePattern, Expr, LabelExpr, NodePattern, PathPattern, Quantifier,
 };
+use crate::eval::{EvalOptions, MatchMode};
 use crate::params::Params;
 
 use super::{ExecutablePlan, JoinEdge};
@@ -127,15 +129,6 @@ pub(crate) fn greedy_order(est: &[f64], joins: &[JoinEdge]) -> Vec<usize> {
         remaining.retain(|s| *s != pick);
     }
     order
-}
-
-/// The execution order for `plan` over a graph with `stats`: greedy
-/// cost-based when statistics are available, declaration order otherwise
-/// (an empty graph gives the estimator nothing to discriminate on).
-/// Estimates are computed under `params`, so re-binding a parameterized
-/// plan re-estimates with the actual constants.
-pub(crate) fn order(plan: &ExecutablePlan, stats: &GraphStats, params: &Params) -> Vec<usize> {
-    order_from(&estimates(plan, stats, true, params), plan, stats)
 }
 
 // ---------------------------------------------------------------------------
@@ -433,6 +426,11 @@ pub struct CostStep {
     pub keys: Vec<String>,
     /// How the merge runs.
     pub algo: JoinAlgo,
+    /// Semi-join pushdown decisions for this step: for each node-typed
+    /// join key, whether the accumulated key set is pushed into this
+    /// stage's search as a filter (see [`SemiJoinDecision`]). Empty when
+    /// pushdown is inadmissible for the stage.
+    pub semi_joins: Vec<SemiJoinDecision>,
 }
 
 /// The cost-based execution decision for one (plan, graph) pair: per-stage
@@ -488,7 +486,7 @@ impl CostReport {
     pub(crate) fn compute(
         plan: &ExecutablePlan,
         stats: &GraphStats,
-        opts: &crate::eval::EvalOptions,
+        opts: &EvalOptions,
         params: &Params,
     ) -> CostReport {
         let est = estimates(plan, stats, true, params);
@@ -511,12 +509,14 @@ impl CostReport {
             } else {
                 JoinAlgo::NestedLoop
             };
+            let semi_joins = semi_join_decisions(plan, stats, &est, stage, &placed, &keys, opts);
             steps.push(CostStep {
                 stage,
                 estimate: est[stage],
                 avg_estimate: avg[stage],
                 keys,
                 algo,
+                semi_joins,
             });
             placed.push(stage);
         }
@@ -534,11 +534,159 @@ impl CostReport {
     }
 }
 
-fn order_from(est: &[f64], plan: &ExecutablePlan, stats: &GraphStats) -> Vec<usize> {
+pub(crate) fn order_from(est: &[f64], plan: &ExecutablePlan, stats: &GraphStats) -> Vec<usize> {
     if stats.node_count == 0 {
         return (0..plan.stages.len()).collect();
     }
     greedy_order(est, &plan.joins)
+}
+
+// ---------------------------------------------------------------------------
+// Semi-join pushdown decisions (sideways information passing)
+// ---------------------------------------------------------------------------
+
+/// One semi-join pushdown decision: whether the distinct values a join key
+/// has accumulated so far should be pushed *into* the next stage's search
+/// as a node filter.
+///
+/// The executor and EXPLAIN both obtain their decisions from the same
+/// internal function (`semi_join_decisions`), so the report names
+/// exactly the filters an execution with the same options applies.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SemiJoinDecision {
+    /// The shared singleton node variable the filter keys on.
+    pub var: String,
+    /// Estimated distinct key nodes accumulated by the time this stage
+    /// runs: the cheapest already-placed stage binding the variable,
+    /// capped by the degree histogram (a key adjacent to an edge pattern
+    /// must have degree ≥ 1) and the node count.
+    pub keys_estimate: f64,
+    /// Whether the filter is pushed: the estimated key set must be
+    /// *smaller* than the stage it would prune — filtering the bigger
+    /// side with the smaller key set — otherwise the per-candidate set
+    /// probes cost more than the bindings they could save.
+    pub apply: bool,
+}
+
+/// The semi-join pushdown decisions for the stage at `stage` given the
+/// already-merged `placed` stages and their equi-join `keys`.
+///
+/// Returns one decision per *node-typed* join key when pushdown is
+/// admissible, and an empty vector when it is not: pushdown is disabled
+/// by [`EvalOptions::semi_join`], by a per-stage selector (selector
+/// application sees the stage's full binding set, so pre-join pruning
+/// could change which representatives survive), and by the endpoint-only
+/// SPARQL mode (whose collapse is likewise a whole-stage pass).
+pub(crate) fn semi_join_decisions(
+    plan: &ExecutablePlan,
+    stats: &GraphStats,
+    est: &[f64],
+    stage: usize,
+    placed: &[usize],
+    keys: &[String],
+    opts: &EvalOptions,
+) -> Vec<SemiJoinDecision> {
+    if !opts.semi_join
+        || opts.mode == MatchMode::EndpointOnly
+        || plan.stages[stage].expr.selector.is_some()
+        || placed.is_empty()
+    {
+        return Vec::new();
+    }
+    keys.iter()
+        .filter(|k| {
+            plan.analysis
+                .var(k)
+                .is_some_and(|info| info.kind == VarKind::Node)
+        })
+        .map(|k| {
+            let keys_estimate = key_count_estimate(plan, stats, est, stage, placed, k);
+            SemiJoinDecision {
+                var: k.clone(),
+                keys_estimate,
+                apply: keys_estimate < est[stage],
+            }
+        })
+        .collect()
+}
+
+/// Estimated distinct nodes bound to join key `k` across the accumulated
+/// rows when `stage` runs: at most the estimate of the cheapest placed
+/// stage binding `k`, refined by the statistics catalog's degree
+/// histograms — a key bound inside a stage that traverses edges must
+/// land on a node of degree ≥ 1, and a key whose node pattern carries a
+/// plain label can hold at most that label's (histogram-counted)
+/// population.
+fn key_count_estimate(
+    plan: &ExecutablePlan,
+    stats: &GraphStats,
+    est: &[f64],
+    stage: usize,
+    placed: &[usize],
+    k: &str,
+) -> f64 {
+    let mut keys_est = stats.node_count as f64;
+    let mut via_edges = false;
+    let mut label: Option<&str> = None;
+    for &j in placed {
+        let shares = plan.joins.iter().any(|je| {
+            ((je.left == stage && je.right == j) || (je.right == stage && je.left == j))
+                && je.on.iter().any(|v| v == k)
+        });
+        if !shares {
+            continue;
+        }
+        keys_est = keys_est.min(est[j]);
+        let pattern = &plan.stages[j].expr.pattern;
+        via_edges |= has_edge_pattern(pattern);
+        if label.is_none() {
+            label = plain_node_label(pattern, k);
+        }
+    }
+    let population = if via_edges {
+        // The histogram only records nodes with at least one adjacency
+        // step, which is exactly the set an edge-traversing binding can
+        // place the key on.
+        stats.histogram(label).nodes() as f64
+    } else if let Some(l) = label {
+        stats.nodes_with_label(l) as f64
+    } else {
+        stats.node_count as f64
+    };
+    keys_est.min(population)
+}
+
+/// Whether the pattern contains any edge traversal.
+fn has_edge_pattern(p: &PathPattern) -> bool {
+    match p {
+        PathPattern::Node(_) => false,
+        PathPattern::Edge(_) => true,
+        PathPattern::Concat(parts) => parts.iter().any(has_edge_pattern),
+        PathPattern::Paren { inner, .. }
+        | PathPattern::Quantified { inner, .. }
+        | PathPattern::Questioned(inner) => has_edge_pattern(inner),
+        PathPattern::Union(bs) | PathPattern::Alternation(bs) => bs.iter().any(has_edge_pattern),
+    }
+}
+
+/// The plain label constraint on the node pattern binding `var`, if it
+/// has exactly one (compound constraints fall back to the unlabeled
+/// population bound).
+fn plain_node_label<'a>(p: &'a PathPattern, var: &str) -> Option<&'a str> {
+    match p {
+        PathPattern::Node(np) => match (&np.var, &np.label) {
+            (Some(v), Some(LabelExpr::Label(name))) if v == var => Some(name),
+            _ => None,
+        },
+        PathPattern::Edge(_) => None,
+        PathPattern::Concat(parts) => parts.iter().find_map(|x| plain_node_label(x, var)),
+        PathPattern::Paren { inner, .. }
+        | PathPattern::Quantified { inner, .. }
+        | PathPattern::Questioned(inner) => plain_node_label(inner, var),
+        PathPattern::Union(bs) | PathPattern::Alternation(bs) => {
+            bs.iter().find_map(|x| plain_node_label(x, var))
+        }
+    }
 }
 
 /// Renders an estimate compactly: two decimals below ten, integral above.
@@ -580,6 +728,20 @@ impl fmt::Display for CostReport {
                 writeln!(f, ")")?;
             } else {
                 writeln!(f, ") on {{{}}}", step.keys.join(", "))?;
+            }
+            for d in &step.semi_joins {
+                writeln!(
+                    f,
+                    "      semi-join on {}: ~{} keys vs ~{} rows \u{2192} {}",
+                    d.var,
+                    fmt_estimate(d.keys_estimate),
+                    fmt_estimate(step.estimate),
+                    if d.apply {
+                        "push filter"
+                    } else {
+                        "skip (key set not smaller)"
+                    }
+                )?;
             }
         }
         let order: Vec<String> = self.order().iter().map(|i| i.to_string()).collect();
@@ -646,7 +808,7 @@ mod tests {
             est[1] < est[0],
             "rare stage must be cheaper: {est:?} (order should start there)"
         );
-        let order = order(q.plan(), g.stats(), &Params::new());
+        let order = order_from(&est, q.plan(), g.stats());
         assert_eq!(order[0], 1, "cheapest stage first: {order:?}");
     }
 
@@ -758,7 +920,8 @@ mod tests {
         };
         let q = prepare(&gp, &EvalOptions::default()).unwrap();
         let g = PropertyGraph::new();
-        assert_eq!(order(q.plan(), g.stats(), &Params::new()), vec![0, 1]);
+        let est = estimates(q.plan(), g.stats(), true, &Params::new());
+        assert_eq!(order_from(&est, q.plan(), g.stats()), vec![0, 1]);
     }
 
     #[test]
@@ -836,5 +999,103 @@ mod tests {
         );
         assert_eq!(nested.order(), vec![0, 1]);
         assert_eq!(nested.steps[1].algo, JoinAlgo::NestedLoop);
+    }
+
+    /// Two stages joined on `h`: a cheap rare-label stage and an
+    /// expensive big-label stage, over the hub graph.
+    fn semi_join_pattern() -> GraphPattern {
+        GraphPattern {
+            paths: vec![
+                PathPatternExpr::plain(PathPattern::concat(vec![
+                    labeled("x", "Big"),
+                    edge_r("e"),
+                    node("h"),
+                ])),
+                PathPatternExpr::plain(PathPattern::concat(vec![
+                    node("h"),
+                    edge_r("f"),
+                    labeled("y", "Rare"),
+                ])),
+            ],
+            where_clause: None,
+        }
+    }
+
+    #[test]
+    fn semi_join_filters_the_bigger_stage_with_the_smaller_key_set() {
+        let q = prepare(&semi_join_pattern(), &EvalOptions::default()).unwrap();
+        let g = hub();
+        let report =
+            CostReport::compute(q.plan(), g.stats(), &EvalOptions::default(), &Params::new());
+        // The rare stage scans first; its tiny key set is pushed into the
+        // big stage's search.
+        assert_eq!(report.order(), vec![1, 0]);
+        assert!(report.steps[0].semi_joins.is_empty(), "scan has no filter");
+        let decisions = &report.steps[1].semi_joins;
+        assert_eq!(decisions.len(), 1, "{decisions:?}");
+        assert_eq!(decisions[0].var, "h");
+        assert!(decisions[0].apply, "{decisions:?}");
+        assert!(
+            decisions[0].keys_estimate < report.steps[1].estimate,
+            "{decisions:?} vs {}",
+            report.steps[1].estimate
+        );
+        // EXPLAIN names the decision.
+        let text = report.to_string();
+        assert!(text.contains("semi-join on h"), "{text}");
+        assert!(text.contains("push filter"), "{text}");
+    }
+
+    #[test]
+    fn semi_join_is_disabled_by_option_mode_and_selector() {
+        let g = hub();
+        let q = prepare(&semi_join_pattern(), &EvalOptions::default()).unwrap();
+        let off = EvalOptions {
+            semi_join: false,
+            ..EvalOptions::default()
+        };
+        let report = CostReport::compute(q.plan(), g.stats(), &off, &Params::new());
+        assert!(report.steps.iter().all(|s| s.semi_joins.is_empty()));
+
+        let endpoint = EvalOptions {
+            mode: MatchMode::EndpointOnly,
+            ..EvalOptions::default()
+        };
+        let report = CostReport::compute(q.plan(), g.stats(), &endpoint, &Params::new());
+        assert!(report.steps.iter().all(|s| s.semi_joins.is_empty()));
+
+        // A per-stage selector sees the stage's full binding set, so the
+        // selected stage must not be pre-filtered.
+        let mut gp = semi_join_pattern();
+        gp.paths[0].selector = Some(crate::ast::Selector::AnyShortest);
+        let q = prepare(&gp, &EvalOptions::default()).unwrap();
+        let report =
+            CostReport::compute(q.plan(), g.stats(), &EvalOptions::default(), &Params::new());
+        let selected = report.steps.iter().find(|s| s.stage == 0).unwrap();
+        assert!(selected.semi_joins.is_empty(), "{:?}", selected.semi_joins);
+    }
+
+    #[test]
+    fn key_estimate_is_capped_by_the_degree_histogram() {
+        // The rare stage traverses edges, so its keys must have degree
+        // ≥ 1: the estimate can never exceed the histogram population.
+        let q = prepare(&semi_join_pattern(), &EvalOptions::default()).unwrap();
+        let g = hub();
+        let stats = g.stats();
+        let est = estimates(q.plan(), stats, true, &Params::new());
+        let d = semi_join_decisions(
+            q.plan(),
+            stats,
+            &est,
+            0,
+            &[1],
+            &["h".to_owned()],
+            &EvalOptions::default(),
+        );
+        assert_eq!(d.len(), 1);
+        assert!(
+            d[0].keys_estimate <= stats.histogram(None).nodes() as f64,
+            "{d:?}"
+        );
     }
 }

@@ -53,19 +53,19 @@ pub mod cost;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
-use property_graph::PropertyGraph;
+use property_graph::{GraphStats, PropertyGraph};
 
 use crate::analysis::{analyze, collect_exists, Analysis, VarClass};
 use crate::ast::{Expr, GraphPattern, PathPattern, PathPatternExpr, Selector};
 use crate::binding::{MatchSet, PathBinding};
 use crate::error::{Error, Result};
-use crate::eval::matcher::{self, Matcher, Nfa, PruneMode};
-use crate::eval::{pool, selector, EvalOptions, JoinState, MatchMode};
+use crate::eval::matcher::{self, Matcher, Nfa, PruneMode, SemiJoinFilters};
+use crate::eval::{pool, selector, EvalOptions, ExecProfile, JoinState, MatchMode, StageCounters};
 use crate::normalize::normalize;
 use crate::params::{value_type_name, ParamType, Params};
 
 pub use cache::{CacheStats, PlanLru, SharedPlanLru, DEFAULT_PLAN_CACHE_CAPACITY};
-pub use cost::{CostReport, CostStep, JoinAlgo};
+pub use cost::{CostReport, CostStep, JoinAlgo, SemiJoinDecision};
 
 /// Lowers `pattern` into an executable plan under `opts`.
 ///
@@ -351,18 +351,50 @@ impl PreparedQuery {
         self.execute_bound(graph, params)
     }
 
+    /// [`Self::execute_with`], additionally tallying per-stage execution
+    /// counters (nodes expanded, edges traversed, rows pruned by
+    /// semi-join filters) into `profile`.
+    ///
+    /// Create the profile with [`ExecProfile::new`] sized to
+    /// [`ExecutablePlan::stage_count`]; its slots are indexed by
+    /// *declaration* stage index, matching the EXPLAIN rendering, however
+    /// the cost model reorders execution. Counters are cumulative across
+    /// executions sharing a profile.
+    pub fn execute_with_profile(
+        &self,
+        graph: &PropertyGraph,
+        params: &Params,
+        profile: &ExecProfile,
+    ) -> Result<MatchSet> {
+        check_params(&self.plan.params, params)?;
+        self.execute_inner(graph, params, Some(profile))
+    }
+
     /// The unvalidated execution path shared by [`Self::execute_with`]
     /// and prepared `EXISTS` subplans (whose parameters were validated as
     /// part of the enclosing plan's slot set).
     pub(crate) fn execute_bound(&self, graph: &PropertyGraph, params: &Params) -> Result<MatchSet> {
+        self.execute_inner(graph, params, None)
+    }
+
+    fn execute_inner(
+        &self,
+        graph: &PropertyGraph,
+        params: &Params,
+        profile: Option<&ExecProfile>,
+    ) -> Result<MatchSet> {
+        let stats = graph.stats();
+        // One estimate pass feeds both the stage reorderer and the
+        // semi-join pushdown decisions.
+        let est = cost::estimates(&self.plan, stats, true, params);
         let order: Vec<usize> = if self.opts.reorder_stages {
-            cost::order(&self.plan, graph.stats(), params)
+            cost::order_from(&est, &self.plan, stats)
         } else {
             (0..self.plan.stages.len()).collect()
         };
         let threads = self.opts.effective_threads(graph.node_count());
         if threads > 1 && !order.is_empty() && graph.node_count() > 0 {
-            return self.execute_parallel(graph, &order, threads, params);
+            return self.execute_parallel(graph, &order, threads, params, &est, profile);
         }
         let mut join = JoinState::new(self.opts.isomorphism);
         let mut placed: Vec<usize> = Vec::with_capacity(order.len());
@@ -376,8 +408,19 @@ impl PreparedQuery {
                 break;
             }
             let stage = &self.plan.stages[i];
-            let bindings = stage.execute(graph, &self.opts, params)?;
             let keys = self.plan.join_keys(i, &placed);
+            // Sideways information passing: the distinct nodes the
+            // accumulated rows hold for each shared join key become
+            // start/endpoint filters inside the next stage's search, so
+            // bindings that cannot join are never generated.
+            let filters = self.semi_join_filters(&join, stats, &est, i, &placed, &keys);
+            let bindings = stage.execute(
+                graph,
+                &self.opts,
+                params,
+                filters.as_ref(),
+                profile.and_then(|p| p.stage(i)),
+            )?;
             join.merge_stage(&stage.expr, &bindings, &keys, self.opts.hash_join);
             placed.push(i);
         }
@@ -388,6 +431,56 @@ impl PreparedQuery {
             &self.plan.exists,
             params,
         ))
+    }
+
+    /// Builds the semi-join filter map for `stage` from the accumulated
+    /// join rows: the exact distinct node sets of every key whose
+    /// [`cost::semi_join_decisions`] verdict is *apply* and whose rows
+    /// all bind the key to a node. Returns `None` when no filter is
+    /// worth (or safe to) push.
+    fn semi_join_filters(
+        &self,
+        join: &JoinState,
+        stats: &GraphStats,
+        est: &[f64],
+        stage: usize,
+        placed: &[usize],
+        keys: &[String],
+    ) -> Option<SemiJoinFilters> {
+        let decisions =
+            cost::semi_join_decisions(&self.plan, stats, est, stage, placed, keys, &self.opts);
+        let mut filters = SemiJoinFilters::new();
+        for d in decisions.iter().filter(|d| d.apply) {
+            if let Some(set) = join.distinct_key_nodes(&d.var) {
+                filters.insert(d.var.clone(), set);
+            }
+        }
+        (!filters.is_empty()).then_some(filters)
+    }
+
+    /// The start-node partition for the worker pool, refined by degree
+    /// skew: when the statistics catalog's degree histogram shows nodes
+    /// far above the average degree, each such *hub* start node becomes
+    /// its own work unit (see [`pool::adaptive_chunks`]), so one
+    /// expensive start cannot serialize a whole chunk behind it. Uniform
+    /// graphs take the plain contiguous partition — the histogram check
+    /// costs a few bucket sums, not a per-node scan.
+    fn start_chunks(
+        &self,
+        graph: &PropertyGraph,
+        stats: &GraphStats,
+        starts: &[property_graph::NodeId],
+        threads: usize,
+    ) -> Vec<std::ops::Range<usize>> {
+        const HUB_FACTOR: usize = 8;
+        let avg_steps = (2 * stats.edge_count).div_ceil(stats.node_count.max(1));
+        let hub_threshold = avg_steps.max(1) * HUB_FACTOR;
+        if stats.degree_histogram.nodes_at_or_above(hub_threshold) == 0 {
+            return pool::chunks(starts.len(), threads);
+        }
+        pool::adaptive_chunks(starts.len(), threads, |i| {
+            graph.steps(starts[i]).len() >= hub_threshold
+        })
     }
 
     /// Parallel execution: every stage's search is kicked off eagerly on
@@ -412,24 +505,41 @@ impl PreparedQuery {
     /// before the merge frontier aborts the run, like the sequential
     /// loop; failures of stages past an early exit are dropped with their
     /// results.
+    ///
+    /// Semi-join filters reach the pool through per-position slots: after
+    /// each merge, the sink publishes the next position's filter map, and
+    /// a worker snapshots its position's slot *at claim time*. Units
+    /// claimed before publication simply run unfiltered — a filtered and
+    /// an unfiltered partition differ only in bindings the join rejects
+    /// anyway, and the per-stage reduce/dedup pass is a sorted set, so
+    /// the merged output stays bit-for-bit the sequential result.
     fn execute_parallel(
         &self,
         graph: &PropertyGraph,
         order: &[usize],
         threads: usize,
         params: &Params,
+        est: &[f64],
+        profile: Option<&ExecProfile>,
     ) -> Result<MatchSet> {
         use std::ops::ControlFlow;
         use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::{Arc, RwLock};
 
+        let stats = graph.stats();
         let starts: Vec<property_graph::NodeId> = graph.nodes().collect();
-        let chunks = pool::chunks(starts.len(), threads);
+        let chunks = self.start_chunks(graph, stats, &starts, threads);
         let per_stage = chunks.len();
         let unit_count = order.len() * per_stage;
 
         // Stage positions >= this are cancelled (early exit): workers
         // return an empty result instead of searching.
         let cancel_from = AtomicUsize::new(usize::MAX);
+
+        // One semi-join filter slot per order position, published by the
+        // merging (caller) thread, snapshot by workers at claim time.
+        let filter_slots: Vec<RwLock<Option<Arc<SemiJoinFilters>>>> =
+            (0..order.len()).map(|_| RwLock::new(None)).collect();
 
         let mut pending: Vec<Option<Result<Vec<PathBinding>>>> =
             (0..unit_count).map(|_| None).collect();
@@ -447,12 +557,16 @@ impl PreparedQuery {
                 if pos >= cancel_from.load(Ordering::Relaxed) {
                     return Ok(Vec::new());
                 }
-                let stage = &self.plan.stages[order[pos]];
+                let idx = order[pos];
+                let stage = &self.plan.stages[idx];
+                let filters = filter_slots[pos].read().expect("filter slot").clone();
                 stage.matches_from(
                     graph,
                     &self.opts,
                     params,
                     &starts[chunks[u % per_stage].clone()],
+                    filters.as_deref(),
+                    profile.and_then(|p| p.stage(idx)),
                 )
             },
             |u, out| {
@@ -496,6 +610,19 @@ impl PreparedQuery {
                         // to land) and ignore what already ran.
                         cancel_from.store(merge_pos, Ordering::Relaxed);
                         return ControlFlow::Break(());
+                    }
+                    if merge_pos < order.len() {
+                        // Publish the next position's semi-join filters:
+                        // units of that stage claimed from here on prune
+                        // against the now-complete accumulated key sets.
+                        let next = order[merge_pos];
+                        let keys = self.plan.join_keys(next, &placed);
+                        if let Some(f) =
+                            self.semi_join_filters(&join, stats, est, next, &placed, &keys)
+                        {
+                            *filter_slots[merge_pos].write().expect("filter slot") =
+                                Some(Arc::new(f));
+                        }
                     }
                 }
                 if merge_pos == order.len() {
@@ -677,14 +804,20 @@ impl PathStage {
     /// Matches this stage against `graph`: raw product-automaton search →
     /// §6.5 reduce → dedup → §5.1 selector. The SPARQL endpoint-only mode
     /// additionally collapses results to distinct endpoint bindings.
+    ///
+    /// `filters` carries the semi-join node sets pushed down from the
+    /// accumulated join (checked at every `NodeTest` the search takes);
+    /// `counters` receives the search's execution tallies when profiling.
     pub(crate) fn execute(
         &self,
         graph: &PropertyGraph,
         opts: &EvalOptions,
         params: &Params,
+        filters: Option<&SemiJoinFilters>,
+        counters: Option<&StageCounters>,
     ) -> Result<Vec<PathBinding>> {
         let starts: Vec<property_graph::NodeId> = graph.nodes().collect();
-        let raw = self.matches_from(graph, opts, params, &starts)?;
+        let raw = self.matches_from(graph, opts, params, &starts, filters, counters)?;
         self.finish_bindings(graph, opts, raw)
     }
 
@@ -699,6 +832,8 @@ impl PathStage {
         opts: &EvalOptions,
         params: &Params,
         starts: &[property_graph::NodeId],
+        filters: Option<&SemiJoinFilters>,
+        counters: Option<&StageCounters>,
     ) -> Result<Vec<PathBinding>> {
         let m = Matcher::over(
             graph,
@@ -709,7 +844,15 @@ impl PathStage {
             opts,
             params,
         );
-        m.run_from(starts)
+        let m = match filters {
+            Some(f) => m.with_filters(f),
+            None => m,
+        };
+        let out = m.run_from(starts);
+        if let Some(c) = counters {
+            m.flush_counters(c);
+        }
+        out
     }
 
     /// The order-insensitive second half of stage execution: §6.5
@@ -1318,6 +1461,121 @@ mod tests {
             "bound {bound:?} must beat unbound {unbound:?}"
         );
         assert!((bound[0] - 1.0).abs() < 1e-9, "{bound:?}");
+    }
+
+    /// Two hubs with identical fan-in, but only `h1` reaches the rare
+    /// node: the accumulated key set `{h1}` prunes every binding into
+    /// `h2` when pushed into the big stage's search.
+    fn double_hub() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let h1 = g.add_node("h1", ["Hub"], []);
+        let h2 = g.add_node("h2", ["Hub"], []);
+        for i in 0..20 {
+            let s = g.add_node(&format!("s{i}"), ["Big"], []);
+            g.add_edge(&format!("a{i}"), Endpoints::directed(s, h1), ["In"], []);
+            g.add_edge(&format!("b{i}"), Endpoints::directed(s, h2), ["In"], []);
+        }
+        let r = g.add_node("r", ["Rare"], []);
+        g.add_edge("out", Endpoints::directed(h1, r), ["Out"], []);
+        g
+    }
+
+    fn labeled(v: &str, l: &str) -> PathPattern {
+        PathPattern::Node(NodePattern::var(v).with_label(LabelExpr::label(l)))
+    }
+
+    fn semi_join_pattern() -> GraphPattern {
+        GraphPattern {
+            paths: vec![
+                PathPatternExpr::plain(PathPattern::concat(vec![
+                    labeled("x", "Big"),
+                    edge_r("e"),
+                    node("h"),
+                ])),
+                PathPatternExpr::plain(PathPattern::concat(vec![
+                    node("h"),
+                    edge_r("f"),
+                    labeled("y", "Rare"),
+                ])),
+            ],
+            where_clause: None,
+        }
+    }
+
+    #[test]
+    fn semi_join_filtered_execution_matches_unfiltered_bit_for_bit() {
+        let gp = semi_join_pattern();
+        let g = double_hub();
+        let baseline = prepare(
+            &gp,
+            &EvalOptions {
+                semi_join: false,
+                threads: 1,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap()
+        .execute(&g)
+        .unwrap();
+        assert_eq!(baseline.len(), 20);
+        for threads in [1, 2, 4] {
+            let q = prepare(
+                &gp,
+                &EvalOptions {
+                    threads,
+                    ..EvalOptions::default()
+                },
+            )
+            .unwrap();
+            // Same rows in the same order, filters on.
+            assert_eq!(q.execute(&g).unwrap(), baseline, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn profile_counts_semi_join_pruning() {
+        let q = prepare(
+            &semi_join_pattern(),
+            &EvalOptions {
+                threads: 1,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        let g = double_hub();
+        let profile = ExecProfile::new(q.plan().stage_count());
+        let got = q
+            .execute_with_profile(&g, &Params::new(), &profile)
+            .unwrap();
+        assert_eq!(got.len(), 20);
+        let (nodes, edges, pruned) = profile.totals();
+        assert!(nodes > 0, "start nodes are expanded");
+        assert!(edges > 0, "edges are traversed");
+        // The 20 spoke->h2 bindings die at the h NodeTest instead of
+        // surviving to the join.
+        assert_eq!(pruned, 20, "totals: {:?}", profile.totals());
+        // Counters are addressed by declaration stage index: the filtered
+        // big stage is stage 0 regardless of execution order.
+        assert_eq!(profile.stages()[0].rows_pruned(), 20);
+        assert_eq!(profile.stages()[1].rows_pruned(), 0);
+    }
+
+    #[test]
+    fn semi_join_off_produces_no_pruning() {
+        let q = prepare(
+            &semi_join_pattern(),
+            &EvalOptions {
+                semi_join: false,
+                threads: 1,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        let g = double_hub();
+        let profile = ExecProfile::new(q.plan().stage_count());
+        q.execute_with_profile(&g, &Params::new(), &profile)
+            .unwrap();
+        assert_eq!(profile.totals().2, 0);
     }
 
     #[test]

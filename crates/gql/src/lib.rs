@@ -38,7 +38,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use gpml_core::binding::{BoundValue, MatchRow};
-use gpml_core::eval::{self, EvalOptions};
+use gpml_core::eval::{self, EvalOptions, ExecProfile};
 use gpml_core::plan::{self, CacheStats, ExecutablePlan, PreparedQuery, SharedPlanLru};
 use gpml_core::{Expr, Params};
 use gpml_parser::Parser;
@@ -354,6 +354,15 @@ impl Session {
         self.options.threads = threads;
     }
 
+    /// Enables or disables semi-join filter pushdown (sideways
+    /// information passing; see [`EvalOptions::semi_join`] — on by
+    /// default). Takes effect for subsequent statements: options are
+    /// part of the plan cache key, so plans prepared under the old
+    /// setting are simply not reused.
+    pub fn set_semi_join(&mut self, on: bool) {
+        self.options.semi_join = on;
+    }
+
     /// Hit/miss counters and occupancy of the session's plan cache.
     pub fn plan_cache_stats(&self) -> CacheStats {
         self.plans().stats()
@@ -493,6 +502,32 @@ impl Session {
         prepared: &PreparedGqlQuery,
         params: &Params,
     ) -> Result<QueryResult, GqlError> {
+        self.execute_prepared_inner(graph, prepared, params, None)
+    }
+
+    /// [`Self::execute_prepared_with`], additionally tallying per-stage
+    /// execution counters (nodes expanded, edges traversed, rows pruned
+    /// by semi-join filters) into `profile` — see
+    /// [`PreparedQuery::execute_with_profile`]. Create the profile with
+    /// [`ExecProfile::new`] sized to the plan's stage count; counters
+    /// accumulate across executions sharing a profile.
+    pub fn execute_prepared_profiled(
+        &self,
+        graph: &str,
+        prepared: &PreparedGqlQuery,
+        params: &Params,
+        profile: &ExecProfile,
+    ) -> Result<QueryResult, GqlError> {
+        self.execute_prepared_inner(graph, prepared, params, Some(profile))
+    }
+
+    fn execute_prepared_inner(
+        &self,
+        graph: &str,
+        prepared: &PreparedGqlQuery,
+        params: &Params,
+        profile: Option<&ExecProfile>,
+    ) -> Result<QueryResult, GqlError> {
         let g = self
             .catalog
             .get(graph)
@@ -509,7 +544,10 @@ impl Session {
             limit,
         } = projection;
 
-        let matches = prepared.query.execute_with(g, params)?;
+        let matches = match profile {
+            Some(p) => prepared.query.execute_with_profile(g, params, p)?,
+            None => prepared.query.execute_with(g, params)?,
+        };
 
         // Project.
         let mut rows: Vec<(Vec<GqlValue>, &MatchRow)> = matches
@@ -1108,5 +1146,41 @@ mod tests {
             s.execute("bank", "MATCH (x)-[e]->*(y) RETURN x"),
             Err(GqlError::Eval(_))
         ));
+    }
+
+    #[test]
+    fn semi_join_toggle_preserves_results() {
+        let query = "MATCH (x:Account)-[e:Transfer]->(m), (m)-[f:Transfer]->(y:Account) \
+                     RETURN x.owner AS a, y.owner AS b ORDER BY a, b";
+        let s = session();
+        let on = s.execute("bank", query).unwrap();
+        assert!(!on.rows.is_empty());
+        let mut s = session();
+        s.set_semi_join(false);
+        assert!(!s.options().semi_join);
+        let off = s.execute("bank", query).unwrap();
+        assert_eq!(on, off);
+    }
+
+    #[test]
+    fn profiled_execution_tallies_stage_counters() {
+        let s = session();
+        let prepared = s
+            .prepare(
+                "MATCH (x:Account)-[e:Transfer]->(m), (m)-[f:Transfer]->(y:Account) \
+                 RETURN x.owner AS a ORDER BY a",
+            )
+            .unwrap();
+        let profile = ExecProfile::new(prepared.plan().stage_count());
+        let r = s
+            .execute_prepared_profiled("bank", &prepared, &Params::new(), &profile)
+            .unwrap();
+        assert_eq!(
+            r,
+            s.execute_prepared("bank", &prepared).unwrap(),
+            "profiling must not change results"
+        );
+        let (nodes, edges, _) = profile.totals();
+        assert!(nodes > 0 && edges > 0, "{:?}", profile.totals());
     }
 }

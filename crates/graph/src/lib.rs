@@ -43,5 +43,5 @@ pub mod value;
 pub use graph::{EdgeData, Endpoints, NodeData, PropertyGraph, Step, Traversal};
 pub use ids::{EdgeId, ElementId, NodeId};
 pub use path::Path;
-pub use stats::{DegreeStats, EdgeLabelStats, GraphStats};
+pub use stats::{DegreeHistogram, DegreeStats, EdgeLabelStats, GraphStats};
 pub use value::Value;

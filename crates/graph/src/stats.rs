@@ -85,6 +85,135 @@ impl DegreeStats {
     }
 }
 
+/// A log₂-bucketed histogram of per-node degrees.
+///
+/// Bucket `i` counts the nodes whose degree `d` (traversable steps,
+/// optionally restricted to one edge label) satisfies `2^i ≤ d < 2^(i+1)`;
+/// zero-degree nodes are not recorded. Where [`DegreeStats`] keeps only
+/// the maxima, the histogram shows how the mass is distributed between
+/// the average and the maximum — the signal an estimator needs to tell
+/// "one hub" from "everything is a hub", and the work splitter needs to
+/// size its units.
+///
+/// # Examples
+///
+/// ```
+/// use property_graph::DegreeHistogram;
+///
+/// let mut h = DegreeHistogram::default();
+/// h.record(1);
+/// h.record(5);
+/// h.record(6);
+/// assert_eq!(h.nodes(), 3);
+/// assert_eq!(h.to_string(), "1: 1, 4..7: 2");
+/// assert_eq!(h.nodes_at_or_above(4), 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DegreeHistogram {
+    /// `buckets[i]` counts nodes with `2^i ≤ degree < 2^(i+1)`. Trailing
+    /// zero buckets are trimmed so structural equality matches a
+    /// from-scratch recompute.
+    buckets: Vec<usize>,
+}
+
+impl DegreeHistogram {
+    fn bucket_of(degree: usize) -> usize {
+        debug_assert!(degree > 0);
+        degree.ilog2() as usize
+    }
+
+    /// Records one node observed at `degree` (no-op for degree zero).
+    pub fn record(&mut self, degree: usize) {
+        if degree == 0 {
+            return;
+        }
+        let b = DegreeHistogram::bucket_of(degree);
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+    }
+
+    /// Removes one previously recorded observation at `degree` (no-op for
+    /// degree zero), so a node whose degree grew can be moved between
+    /// buckets.
+    pub fn unrecord(&mut self, degree: usize) {
+        if degree == 0 {
+            return;
+        }
+        let b = DegreeHistogram::bucket_of(degree);
+        debug_assert!(
+            self.buckets.get(b).is_some_and(|c| *c > 0),
+            "unrecord({degree}) without a matching record"
+        );
+        if let Some(c) = self.buckets.get_mut(b) {
+            *c = c.saturating_sub(1);
+        }
+        while self.buckets.last() == Some(&0) {
+            self.buckets.pop();
+        }
+    }
+
+    /// Moves one observation from `old` to `new` in a single call.
+    pub fn shift(&mut self, old: usize, new: usize) {
+        self.record(new);
+        self.unrecord(old);
+    }
+
+    /// Total nodes recorded (i.e. nodes with degree ≥ 1).
+    pub fn nodes(&self) -> usize {
+        self.buckets.iter().sum()
+    }
+
+    /// Non-empty buckets as `(low, high_inclusive, count)` degree ranges,
+    /// in increasing degree order.
+    pub fn ranges(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (1 << i, (1 << (i + 1)) - 1, *c))
+    }
+
+    /// Upper bound on the number of nodes with degree ≥ `degree`: every
+    /// bucket whose range reaches `degree` counts in full.
+    pub fn nodes_at_or_above(&self, degree: usize) -> usize {
+        self.ranges()
+            .filter(|(_, hi, _)| *hi >= degree)
+            .map(|(_, _, c)| c)
+            .sum()
+    }
+}
+
+impl fmt::Display for DegreeHistogram {
+    /// Renders non-empty buckets as `low..high: count` (or `d: count` for
+    /// single-degree buckets), comma-separated; `(none)` when empty.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut any = false;
+        for (lo, hi, count) in self.ranges() {
+            if any {
+                write!(f, ", ")?;
+            }
+            any = true;
+            if lo == hi {
+                write!(f, "{lo}: {count}")?;
+            } else {
+                write!(f, "{lo}..{hi}: {count}")?;
+            }
+        }
+        if !any {
+            write!(f, "(none)")?;
+        }
+        Ok(())
+    }
+}
+
+/// The shared empty histogram [`GraphStats::histogram`] hands out for
+/// labels it has never observed.
+static EMPTY_HISTOGRAM: DegreeHistogram = DegreeHistogram {
+    buckets: Vec::new(),
+};
+
 /// A one-pass statistical summary of a property graph.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct GraphStats {
@@ -112,6 +241,13 @@ pub struct GraphStats {
     /// Degree maxima counting only edges carrying each label — the
     /// skewed-hub signal for per-label traversal estimates.
     pub max_degree_per_label: BTreeMap<String, DegreeStats>,
+    /// Degree histogram over all edges regardless of label: how node
+    /// fan-out is *distributed*, not just its maximum.
+    pub degree_histogram: DegreeHistogram,
+    /// Degree histograms counting only steps over edges carrying each
+    /// label — the distinct-endpoint and hub-population signal behind
+    /// semi-join and work-splitting decisions.
+    pub degree_histogram_per_label: BTreeMap<String, DegreeHistogram>,
     /// Hashes of the observed values per property key, backing
     /// `distinct_property_values`. Kept private: it lets incremental
     /// maintenance decide whether a newly added value is distinct
@@ -166,10 +302,12 @@ impl GraphStats {
                 stats.record_value(k, v);
             }
         }
-        // Degree maxima: one pass over the adjacency lists, tallying each
-        // node's traversable steps overall and per edge label.
+        // Degree maxima and histograms: one pass over the adjacency
+        // lists, tallying each node's traversable steps overall and per
+        // edge label.
         for n in g.nodes() {
             stats.absorb_node_degrees(g, n);
+            stats.record_node_histograms(g, n);
         }
         stats
     }
@@ -227,6 +365,54 @@ impl GraphStats {
         }
     }
 
+    /// Records node `n`'s current step tallies into the degree
+    /// histograms. Unlike the maxima (which may safely re-absorb a node),
+    /// a histogram records each node exactly once, so this runs only in
+    /// the full [`GraphStats::compute`] pass; the incremental path moves
+    /// nodes between buckets instead.
+    fn record_node_histograms(&mut self, g: &PropertyGraph, n: NodeId) {
+        self.degree_histogram.record(g.steps(n).len());
+        let mut per_label: BTreeMap<&str, usize> = BTreeMap::new();
+        for step in g.steps(n) {
+            for l in &g.edge(step.edge).labels {
+                *per_label.entry(l).or_default() += 1;
+            }
+        }
+        for (l, d) in per_label {
+            self.degree_histogram_per_label
+                .entry(l.to_owned())
+                .or_default()
+                .record(d);
+        }
+    }
+
+    /// Moves endpoint `n` between histogram buckets after one edge
+    /// insertion that added `contrib` steps at `n` (the graph already
+    /// contains the edge, so the node's *current* tallies are the new
+    /// ones and the old ones are `current - contrib`).
+    fn shift_node_histograms(&mut self, g: &PropertyGraph, n: NodeId, data: &EdgeData) {
+        let contrib = match data.endpoints.pair() {
+            // A directed self loop contributes a forward and a backward
+            // step at its single endpoint; every other case adds exactly
+            // one step at `n` (undirected self loops are listed once).
+            (a, b) if a == b && data.endpoints.is_directed() => 2,
+            _ => 1,
+        };
+        let total = g.steps(n).len();
+        self.degree_histogram.shift(total - contrib, total);
+        for l in &data.labels {
+            let labeled = g
+                .steps(n)
+                .iter()
+                .filter(|s| g.edge(s.edge).has_label(l))
+                .count();
+            self.degree_histogram_per_label
+                .entry(l.clone())
+                .or_default()
+                .shift(labeled - contrib, labeled);
+        }
+    }
+
     /// Incremental maintenance for one appended node: bumps the counts
     /// and label/property tallies in place. The node has no incident
     /// edges yet, so degrees are untouched.
@@ -271,8 +457,10 @@ impl GraphStats {
         }
         let (a, b) = data.endpoints.pair();
         self.absorb_node_degrees(g, a);
+        self.shift_node_histograms(g, a, data);
         if b != a {
             self.absorb_node_degrees(g, b);
+            self.shift_node_histograms(g, b, data);
         }
     }
 
@@ -286,6 +474,18 @@ impl GraphStats {
                 .get(l)
                 .copied()
                 .unwrap_or_default(),
+        }
+    }
+
+    /// Degree histogram for edges carrying `label` (or all edges for
+    /// `None`). Labels never observed report the empty histogram.
+    pub fn histogram(&self, label: Option<&str>) -> &DegreeHistogram {
+        match label {
+            None => &self.degree_histogram,
+            Some(l) => self
+                .degree_histogram_per_label
+                .get(l)
+                .unwrap_or(&EMPTY_HISTOGRAM),
         }
     }
 
@@ -369,6 +569,11 @@ impl fmt::Display for GraphStats {
                 d.max_in,
                 d.max_undirected,
             )?;
+        }
+        writeln!(f, "  degree histograms (bucket: nodes):")?;
+        writeln!(f, "    (all) \u{2192} {}", self.degree_histogram)?;
+        for (label, h) in &self.degree_histogram_per_label {
+            writeln!(f, "    :{label} \u{2192} {h}")?;
         }
         writeln!(f, "  distinct property values:")?;
         if self.distinct_property_values.is_empty() {
@@ -471,6 +676,55 @@ mod tests {
         let d = g.stats().max_degrees(Some("T"));
         // A directed self loop is one forward and one backward step.
         assert_eq!((d.max_out, d.max_in), (1, 1));
+    }
+
+    #[test]
+    fn histograms_bucket_by_log2_degree() {
+        // Hub with 3 out + 1 in + 1 undirected = 5 steps → bucket 4..7;
+        // spokes s0..s2 have 1 step, p has 2 (in0 + u0).
+        let mut g = PropertyGraph::new();
+        let hub = g.add_node("hub", ["H"], []);
+        for i in 0..3 {
+            let s = g.add_node(&format!("s{i}"), ["S"], []);
+            g.add_edge(&format!("out{i}"), Endpoints::directed(hub, s), ["T"], []);
+        }
+        let p = g.add_node("p", ["S"], []);
+        g.add_edge("in0", Endpoints::directed(p, hub), ["T"], []);
+        g.add_edge("u0", Endpoints::undirected(p, hub), ["U"], []);
+        let s = g.stats();
+
+        let all = s.histogram(None);
+        assert_eq!(all.nodes(), 5);
+        assert_eq!(
+            all.ranges().collect::<Vec<_>>(),
+            vec![(1, 1, 3), (2, 3, 1), (4, 7, 1)]
+        );
+        assert_eq!(all.nodes_at_or_above(4), 1);
+        assert_eq!(all.nodes_at_or_above(2), 2, "the 2..3 bucket counts");
+        // Per-label: only :T steps count toward the :T histogram — the
+        // spokes and `p` each take one, the hub 3 out + 1 in = 4.
+        let t = s.histogram(Some("T"));
+        assert_eq!(t.ranges().collect::<Vec<_>>(), vec![(1, 1, 4), (4, 7, 1)]);
+        assert_eq!(s.histogram(Some("U")).nodes(), 2);
+        assert_eq!(s.histogram(Some("Nope")).nodes(), 0);
+        assert_eq!(s.histogram(Some("Nope")).to_string(), "(none)");
+        // The REPL `:stats` dump renders per-label buckets.
+        let text = s.to_string();
+        assert!(text.contains("degree histograms"), "{text}");
+        assert!(text.contains(":T \u{2192} 1: 4, 4..7: 1"), "{text}");
+    }
+
+    #[test]
+    fn histogram_shift_moves_between_buckets() {
+        let mut h = DegreeHistogram::default();
+        h.record(3);
+        h.shift(3, 4);
+        assert_eq!(h.ranges().collect::<Vec<_>>(), vec![(4, 7, 1)]);
+        h.shift(4, 5);
+        assert_eq!(h.nodes(), 1, "shift within a bucket is a no-op");
+        h.unrecord(5);
+        assert_eq!(h.nodes(), 0);
+        assert_eq!(h, DegreeHistogram::default(), "trailing zeros trimmed");
     }
 
     #[test]

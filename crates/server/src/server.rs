@@ -30,10 +30,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use gpml_core::eval::EvalOptions;
+use gpml_core::eval::{EvalOptions, ExecProfile};
 use gpml_core::plan::{CacheStats, SharedPlanLru, DEFAULT_PLAN_CACHE_CAPACITY};
 use gpml_core::Params;
-use gql::{GqlError, PreparedGqlQuery, Session};
+use gql::{GqlError, PreparedGqlQuery, QueryResult, Session};
 use property_graph::PropertyGraph;
 
 use crate::protocol::{read_frame, write_frame, ErrorCode, Request, Response};
@@ -82,6 +82,13 @@ pub struct ServerStats {
     pub closes: AtomicU64,
     /// Requests answered with an `ERR` response.
     pub errors: AtomicU64,
+    /// Matcher states expanded across every `QUERY`/`EXECUTE` served.
+    pub exec_nodes_expanded: AtomicU64,
+    /// Edges traversed across every `QUERY`/`EXECUTE` served.
+    pub exec_edges_traversed: AtomicU64,
+    /// Candidate bindings pruned by semi-join filters across every
+    /// `QUERY`/`EXECUTE` served.
+    pub exec_rows_pruned: AtomicU64,
 }
 
 /// Everything a connection thread needs, shared by `Arc`.
@@ -312,7 +319,7 @@ impl<'s> Connection<'s> {
             Request::Hello { client: _ } => self.hello(),
             Request::Query { text } => {
                 self.shared.stats.queries.fetch_add(1, Ordering::Relaxed);
-                match self.session.execute(&self.shared.graph_name, &text) {
+                match self.query(&text) {
                     Ok(result) => Response::Result(result),
                     Err(e) => error_response(e),
                 }
@@ -374,6 +381,17 @@ impl<'s> Connection<'s> {
         Response::Prepared { handle, params }
     }
 
+    /// Serves a one-shot `QUERY`. Statements with a `RETURN` go through
+    /// the profiled path so their execution counters land in `STATS`;
+    /// `RETURN`-less text falls through to [`Session::execute`], which
+    /// raises the parse error that path has always raised.
+    fn query(&self, text: &str) -> Result<QueryResult, GqlError> {
+        match self.session.prepare(text) {
+            Ok(prepared) if prepared.has_return() => self.run_profiled(&prepared, &Params::new()),
+            _ => self.session.execute(&self.shared.graph_name, text),
+        }
+    }
+
     fn execute(&mut self, handle: u64, params: Vec<(String, property_graph::Value)>) -> Response {
         let Some(prepared) = self.handles.get(&handle) else {
             return Response::Error {
@@ -382,13 +400,34 @@ impl<'s> Connection<'s> {
             };
         };
         let params: Params = params.into_iter().collect();
-        match self
-            .session
-            .execute_prepared_with(&self.shared.graph_name, prepared, &params)
-        {
+        match self.run_profiled(prepared, &params) {
             Ok(result) => Response::Result(result),
             Err(e) => error_response(e),
         }
+    }
+
+    /// Executes `prepared` under a per-request [`ExecProfile`] and folds
+    /// its totals into the server-wide counters — win or lose, since a
+    /// failed execution (say, a result limit) still did the work its
+    /// counters tallied before the error.
+    fn run_profiled(
+        &self,
+        prepared: &PreparedGqlQuery,
+        params: &Params,
+    ) -> Result<QueryResult, GqlError> {
+        let profile = ExecProfile::new(prepared.plan().stage_count());
+        let result = self.session.execute_prepared_profiled(
+            &self.shared.graph_name,
+            prepared,
+            params,
+            &profile,
+        );
+        let (nodes, edges, pruned) = profile.totals();
+        let s = &self.shared.stats;
+        s.exec_nodes_expanded.fetch_add(nodes, Ordering::Relaxed);
+        s.exec_edges_traversed.fetch_add(edges, Ordering::Relaxed);
+        s.exec_rows_pruned.fetch_add(pruned, Ordering::Relaxed);
+        result
     }
 
     fn stats(&self) -> Response {
@@ -407,6 +446,15 @@ impl<'s> Connection<'s> {
             ("requests.execute".to_owned(), load(&s.executes)),
             ("requests.close".to_owned(), load(&s.closes)),
             ("requests.errors".to_owned(), load(&s.errors)),
+            (
+                "exec.nodes_expanded".to_owned(),
+                load(&s.exec_nodes_expanded),
+            ),
+            (
+                "exec.edges_traversed".to_owned(),
+                load(&s.exec_edges_traversed),
+            ),
+            ("exec.rows_pruned".to_owned(), load(&s.exec_rows_pruned)),
             ("handles.open".to_owned(), self.handles.len().to_string()),
         ];
         Response::Stats { stats }

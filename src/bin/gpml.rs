@@ -39,9 +39,9 @@ use property_graph::{PropertyGraph, Value};
 fn usage() -> ! {
     eprintln!(
         "usage: gpml [--graph fig1|chain:N|cycle:N|grid:WxH|network:N,M,SEED|csv:DIR] \
-         [--mode gpml|sparql|gsql] [--threads N] [--param NAME=VALUE]... \
+         [--mode gpml|sparql|gsql] [--threads N] [--no-semijoin] [--param NAME=VALUE]... \
          [--format table|json|csv] [--explain] [QUERY]\n\
-         \x20      gpml serve   [--graph ...] [--mode ...] [--threads N] \
+         \x20      gpml serve   [--graph ...] [--mode ...] [--threads N] [--no-semijoin] \
          [--addr HOST[:PORT]] [--port N] [--cache N]\n\
          \x20      gpml connect [--addr HOST:PORT] [--format table|json|csv]\n\
          With no QUERY, reads one query per line from stdin; repeated\n\
@@ -50,12 +50,16 @@ fn usage() -> ! {
          --param name=value flags (values parse as literals: 5M, 'str',\n\
          true; bare words are strings). --explain prints each query's\n\
          lowered plan — with per-stage estimated cardinality, the chosen\n\
-         stage order, and the join algorithm — before the results.\n\
+         stage order, the join algorithm, and each semi-join pushdown\n\
+         decision — before the results, and per-stage execution counters\n\
+         (nodes expanded, edges traversed, rows pruned) after them.\n\
          --threads N runs the per-stage matcher searches on N worker\n\
          threads (0 = auto, 1 = sequential; results are identical either\n\
-         way). REPL commands: :stats dumps the graph's statistics\n\
-         catalog, :cache the plan-cache counters, :threads [N] shows or\n\
-         sets the worker-thread count, :let name = value binds a\n\
+         way). --no-semijoin disables semi-join filter pushdown (results\n\
+         are identical; only work changes). REPL commands: :stats dumps\n\
+         the graph's statistics catalog (including per-label degree\n\
+         histograms), :cache the plan-cache counters, :threads [N] shows\n\
+         or sets the worker-thread count, :let name = value binds a\n\
          parameter, :unlet name unbinds one, :params lists bindings.\n\
          `serve` starts gpmld, a TCP server speaking the PREPARE/EXECUTE\n\
          wire protocol over the graph; `connect` is a remote REPL against\n\
@@ -292,6 +296,19 @@ fn run_one(session: &Session, params: &Params, query: &str, format: Format, expl
         eprintln!("{}", prepared.explain_with(g, params));
     }
     if prepared.has_return() {
+        if explain {
+            // Profile the run so the post-run counters line up with the
+            // semi-join decisions printed above.
+            let profile = gpml_suite::core::eval::ExecProfile::new(prepared.plan().stage_count());
+            match session.execute_prepared_profiled("g", &prepared, params, &profile) {
+                Ok(result) => {
+                    format.print(&result);
+                    print_profile(&profile);
+                }
+                Err(e) => eprintln!("error: {e}"),
+            }
+            return;
+        }
         match session.execute_prepared_with("g", &prepared, params) {
             Ok(result) => format.print(&result),
             Err(e) => eprintln!("error: {e}"),
@@ -328,6 +345,22 @@ fn run_one(session: &Session, params: &Params, query: &str, format: Format, expl
     }
 }
 
+/// Prints the per-stage execution counters an `--explain` run collected
+/// (stages indexed by declaration order, matching the plan rendering).
+fn print_profile(profile: &gpml_suite::core::eval::ExecProfile) {
+    eprintln!("  execution counters (by declaration stage):");
+    for (i, c) in profile.stages().iter().enumerate() {
+        eprintln!(
+            "    stage {i}: {} nodes expanded, {} edges traversed, {} rows pruned by semi-join",
+            c.nodes_expanded(),
+            c.edges_traversed(),
+            c.rows_pruned()
+        );
+    }
+    let (nodes, edges, pruned) = profile.totals();
+    eprintln!("    total: {nodes} nodes expanded, {edges} edges traversed, {pruned} rows pruned");
+}
+
 /// The engine flags `gpml` and `gpml serve` share. Both argument loops
 /// delegate here so a new mode or graph spec cannot land in one front
 /// end and silently diverge from the other.
@@ -335,6 +368,7 @@ struct EngineArgs {
     graph_spec: String,
     mode: MatchMode,
     threads: usize,
+    semi_join: bool,
 }
 
 impl EngineArgs {
@@ -343,6 +377,7 @@ impl EngineArgs {
             graph_spec: "fig1".to_owned(),
             mode: MatchMode::Gpml,
             threads: 0,
+            semi_join: true,
         }
     }
 
@@ -365,9 +400,19 @@ impl EngineArgs {
                     .and_then(|n| n.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--no-semijoin" => self.semi_join = false,
             _ => return false,
         }
         true
+    }
+
+    fn options(&self) -> EvalOptions {
+        EvalOptions {
+            mode: self.mode,
+            threads: self.threads,
+            semi_join: self.semi_join,
+            ..EvalOptions::default()
+        }
     }
 }
 
@@ -409,11 +454,7 @@ fn serve_main(args: Vec<String>) -> ! {
         format!("{host}:{port}")
     };
 
-    let EngineArgs {
-        graph_spec,
-        mode,
-        threads,
-    } = engine;
+    let graph_spec = engine.graph_spec.clone();
     let graph = match build_graph(&graph_spec) {
         Ok(g) => g,
         Err(e) => {
@@ -424,11 +465,7 @@ fn serve_main(args: Vec<String>) -> ! {
     let (nodes, edges) = (graph.node_count(), graph.edge_count());
     let config = ServerConfig {
         addr: bind_addr.clone(),
-        options: EvalOptions {
-            mode,
-            threads,
-            ..EvalOptions::default()
-        },
+        options: engine.options(),
         cache_capacity: cache,
         ..ServerConfig::default()
     };
@@ -644,11 +681,7 @@ fn main() {
         }
     }
 
-    let EngineArgs {
-        graph_spec,
-        mode,
-        threads,
-    } = engine;
+    let graph_spec = engine.graph_spec.clone();
     let graph = match build_graph(&graph_spec) {
         Ok(g) => g,
         Err(e) => {
@@ -662,11 +695,7 @@ fn main() {
         graph.edge_count()
     );
 
-    let mut session = Session::with_options(EvalOptions {
-        mode,
-        threads,
-        ..EvalOptions::default()
-    });
+    let mut session = Session::with_options(engine.options());
     session.register("g", graph);
 
     match query {

@@ -19,6 +19,10 @@ use property_graph::PropertyGraph;
 fn opts() -> EvalOptions {
     EvalOptions {
         max_matches: 200_000,
+        // `GPML_SEMIJOIN=off` flips the whole suite to unfiltered
+        // execution — CI runs the suite a second time that way as a
+        // differential check on the semi-join pushdown.
+        semi_join: std::env::var("GPML_SEMIJOIN").as_deref() != Ok("off"),
         ..EvalOptions::default()
     }
 }
@@ -233,6 +237,197 @@ fn check_parallel_agreement(
                 matches!(e, gpml_suite::core::Error::LimitExceeded { .. }),
                 "one-sided static failure on {pattern}: {e}"
             );
+        }
+    }
+}
+
+/// Compares semi-join-filtered execution (the engine default) against
+/// the same options with only `semi_join` off, under one
+/// (threads, mode, isomorphism) combination. The contract is stricter
+/// than set equality: a semi-join filter may only remove bindings the
+/// join was about to discard, and the survivors keep their relative
+/// order, so the full `MatchSet` — rows *and* order — must be
+/// bit-for-bit identical.
+fn check_semi_join_agreement(
+    g: &PropertyGraph,
+    pattern: &GraphPattern,
+    threads: usize,
+    mode: MatchMode,
+    iso: MatchIso,
+) {
+    let filtered = EvalOptions {
+        threads,
+        mode,
+        isomorphism: iso,
+        semi_join: true,
+        ..opts()
+    };
+    let unfiltered = EvalOptions {
+        semi_join: false,
+        ..filtered.clone()
+    };
+    let a = evaluate(g, pattern, &filtered);
+    let b = evaluate(g, pattern, &unfiltered);
+    match (a, b) {
+        (Ok(x), Ok(y)) => assert_eq!(
+            x, y,
+            "semi-join pushdown changed the result on {pattern} \
+             (threads {threads}, mode {mode:?}, iso {iso:?})"
+        ),
+        (Err(_), Err(_)) => {}
+        (Ok(_), Err(e)) | (Err(e), Ok(_)) => {
+            // Filters shrink raw per-stage binding counts, so the
+            // filtered side may stay under a resource limit the
+            // unfiltered side hits; static rejections must agree.
+            assert!(
+                matches!(e, gpml_suite::core::Error::LimitExceeded { .. }),
+                "one-sided static failure on {pattern}: {e}"
+            );
+        }
+    }
+}
+
+/// An early stage that matches nothing drains the join before later
+/// stages run. With the pushdown on, the executor then derives an
+/// *empty* key set for the next stage — the regression guarded here is
+/// that this early exit stays clean (no panic, no rows, no publishing
+/// into finished slots) on the sequential path and every parallel path.
+#[test]
+fn semi_join_filters_survive_early_exit_on_an_empty_stage() {
+    // (x:Missing)-[e]->(m), (m)-[f]->(t): nothing is labeled Missing.
+    let gp = GraphPattern {
+        paths: vec![
+            PathPatternExpr::plain(PathPattern::concat(vec![
+                PathPattern::Node(NodePattern::var("x").with_label(LabelExpr::label("Missing"))),
+                PathPattern::Edge(EdgePattern::any(Direction::Right).with_var("e")),
+                PathPattern::Node(NodePattern::var("m")),
+            ])),
+            PathPatternExpr::plain(PathPattern::concat(vec![
+                PathPattern::Node(NodePattern::var("m")),
+                PathPattern::Edge(EdgePattern::any(Direction::Right).with_var("f")),
+                PathPattern::Node(NodePattern::var("t")),
+            ])),
+        ],
+        where_clause: None,
+    };
+    for seed in 0..4u64 {
+        let g = small_mixed(seed, 6, 10);
+        for threads in [1usize, 2, 4] {
+            let options = EvalOptions { threads, ..opts() };
+            let r = evaluate(&g, &gp, &options).unwrap();
+            assert!(
+                r.rows.is_empty(),
+                "empty stage produced rows (seed {seed}, threads {threads})"
+            );
+            check_semi_join_agreement(&g, &gp, threads, MatchMode::Gpml, MatchIso::Homomorphism);
+        }
+    }
+}
+
+/// Early exit by `max_matches` while filters are mid-publication: once
+/// the parallel sink stops merging, no further filter slots may be
+/// written, and whatever was produced (or the limit error) must match
+/// the sequential filtered run bit-for-bit.
+#[test]
+fn semi_join_filters_respect_the_match_limit() {
+    let gp = GraphPattern {
+        paths: vec![
+            PathPatternExpr::plain(PathPattern::concat(vec![
+                PathPattern::Node(NodePattern::var("s")),
+                PathPattern::Edge(EdgePattern::any(Direction::Right).with_var("e")),
+                PathPattern::Node(NodePattern::var("m")),
+            ])),
+            PathPatternExpr::plain(PathPattern::concat(vec![
+                PathPattern::Node(NodePattern::var("m")),
+                PathPattern::Edge(EdgePattern::any(Direction::Right).with_var("f")),
+                PathPattern::Node(NodePattern::var("t")),
+            ])),
+        ],
+        where_clause: None,
+    };
+    for seed in 0..4u64 {
+        let g = small_mixed(seed, 6, 10);
+        for max_matches in [1usize, 3, 10] {
+            let sequential = EvalOptions {
+                threads: 1,
+                max_matches,
+                semi_join: true,
+                ..EvalOptions::default()
+            };
+            let want = evaluate(&g, &gp, &sequential);
+            for threads in [2usize, 4] {
+                let parallel = EvalOptions {
+                    threads,
+                    ..sequential.clone()
+                };
+                let got = evaluate(&g, &gp, &parallel);
+                match (&want, &got) {
+                    (Ok(x), Ok(y)) => {
+                        assert_eq!(x, y, "limit {max_matches}, threads {threads}, seed {seed}")
+                    }
+                    (Err(_), Err(_)) => {}
+                    (a, b) => panic!(
+                        "success split under limit {max_matches} (seed {seed}, \
+                         threads {threads}): {:?} vs {:?}",
+                        a.as_ref().map(|r| r.len()),
+                        b.as_ref().map(|r| r.len())
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Parameter bindings steer predicate selectivity, which steers the
+/// semi-join decisions — estimates treat bound parameters like
+/// literals. One prepared skeleton, re-bound across the selectivity
+/// range, must agree filtered vs unfiltered on every binding.
+#[test]
+fn semi_join_agrees_with_parameterized_queries_across_bindings() {
+    use gpml_suite::core::Params;
+
+    // (s)-[e WHERE e.w >= $t]->(m), (m)-[f]->(t): $t sweeps the edge
+    // weights, from everything-matches down to nothing-matches.
+    let gp = GraphPattern {
+        paths: vec![
+            PathPatternExpr::plain(PathPattern::concat(vec![
+                PathPattern::Node(NodePattern::var("s")),
+                PathPattern::Edge(EdgePattern {
+                    var: Some("e".into()),
+                    label: None,
+                    predicate: Some(Expr::cmp(
+                        CmpOp::Ge,
+                        Expr::prop("e", "w"),
+                        Expr::Parameter("t".into()),
+                    )),
+                    direction: Direction::Right,
+                }),
+                PathPattern::Node(NodePattern::var("m")),
+            ])),
+            PathPatternExpr::plain(PathPattern::concat(vec![
+                PathPattern::Node(NodePattern::var("m")),
+                PathPattern::Edge(EdgePattern::any(Direction::Right).with_var("f")),
+                PathPattern::Node(NodePattern::var("t2")),
+            ])),
+        ],
+        where_clause: None,
+    };
+    let filtered = prepare(&gp, &opts()).unwrap();
+    let unfiltered = prepare(
+        &gp,
+        &EvalOptions {
+            semi_join: false,
+            ..opts()
+        },
+    )
+    .unwrap();
+    for seed in 0..4u64 {
+        let g = small_mixed(seed, 6, 10);
+        for t in -1i64..=5 {
+            let params = Params::new().with("t", t);
+            let a = filtered.execute_with(&g, &params).unwrap();
+            let b = unfiltered.execute_with(&g, &params).unwrap();
+            assert_eq!(a, b, "binding t={t} diverged on seed {seed}");
         }
     }
 }
@@ -554,6 +749,33 @@ proptest! {
             where_clause: None,
         };
         check_parallel_agreement(&g, &gp, threads, MatchMode::Gpml, iso);
+    }
+
+    #[test]
+    fn semi_join_filtered_execution_is_bit_for_bit_unfiltered(
+        seed in 0u64..500,
+        p1 in chain_pattern(),
+        p2 in chain_pattern(),
+        threads in proptest::sample::select(vec![1usize, 2, 4]),
+        mode in proptest::sample::select(vec![
+            MatchMode::Gpml,
+            MatchMode::EndpointOnly,
+            MatchMode::GsqlDefault,
+        ]),
+        iso in proptest::sample::select(vec![
+            MatchIso::Homomorphism,
+            MatchIso::EdgeIsomorphic,
+        ]),
+    ) {
+        let g = small_mixed(seed, 5, 8);
+        let gp = GraphPattern {
+            paths: vec![
+                PathPatternExpr::plain(p1),
+                PathPatternExpr::plain(p2),
+            ],
+            where_clause: None,
+        };
+        check_semi_join_agreement(&g, &gp, threads, mode, iso);
     }
 
     #[test]

@@ -200,6 +200,58 @@ fn concurrent_clients_share_one_plan_cache() {
     server.stop();
 }
 
+/// `STATS` reports server-wide execution counters: matcher work done by
+/// `QUERY` and `EXECUTE` requests accumulates into `exec.*` lines, and a
+/// selective two-stage join drives the semi-join pruning counter.
+#[test]
+fn stats_reports_execution_counters() {
+    let server = serve_shared(Arc::new(fig1()), ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let exec_stats = |client: &mut Client| -> (u64, u64, u64) {
+        let stats = client.stats().expect("stats");
+        let get = |key: &str| -> u64 {
+            gpml_server::client::stat(&stats, key)
+                .unwrap_or_else(|| panic!("missing {key} in {stats:?}"))
+        };
+        (
+            get("exec.nodes_expanded"),
+            get("exec.edges_traversed"),
+            get("exec.rows_pruned"),
+        )
+    };
+
+    // The lines exist (zeroed) before any query runs.
+    assert_eq!(exec_stats(&mut client), (0, 0, 0));
+
+    // A one-shot QUERY tallies matcher work.
+    let r = client
+        .query("MATCH (x:Account)-[t:Transfer]->(y:Account) RETURN x.owner AS a, y.owner AS b")
+        .expect("query");
+    assert!(!r.is_empty());
+    let (nodes, edges, _) = exec_stats(&mut client);
+    assert!(nodes > 0, "QUERY expanded no nodes");
+    assert!(edges > 0, "QUERY traversed no edges");
+
+    // A selective second stage makes the semi-join filter prune rows,
+    // and EXECUTE feeds the same counters as QUERY.
+    let h = client
+        .prepare(
+            "MATCH (x:Account)-[e:Transfer]->(m), \
+             (m)-[f:Transfer]->(y:Account WHERE y.isBlocked = $b) \
+             RETURN x.owner AS a, y.owner AS c",
+        )
+        .expect("prepare");
+    let r = client
+        .execute(h.handle, &Params::new().with("b", "yes"))
+        .expect("execute");
+    assert!(!r.is_empty());
+    let (nodes2, edges2, pruned2) = exec_stats(&mut client);
+    assert!(nodes2 > nodes && edges2 > edges, "EXECUTE tallied nothing");
+    assert!(pruned2 > 0, "selective join pruned no rows over the wire");
+    server.stop();
+}
+
 /// Every error path answers with a typed `ERR` and the connection keeps
 /// working afterwards.
 #[test]
