@@ -1,0 +1,52 @@
+//! EB15 — the flat transition-array interpreter vs the legacy
+//! pointer-walking matcher.
+//!
+//! Every workload (see `gpml_bench::flatplan`) runs twice over the same
+//! graph with the same plan: once with the engine defaults (the flat
+//! interpreter) and once with only `flat` off (the legacy NFA walker).
+//! Planning, cost decisions, semi-join pushdown, and join execution are
+//! identical on both sides, so the gap is purely the inner matching
+//! loop: contiguous instruction dispatch with trail-based backtracking
+//! vs pointer-chasing state expansion with clone-per-ε-transition.
+//!
+//! Results are asserted bit-for-bit identical — same rows, same order —
+//! before any timing starts (the flat IR is an encoding change, never a
+//! semantics change). The target on these dispatch-heavy shapes is
+//! ≥ 1.5× for the flat side.
+//!
+//! `GPML_FLAT=on` or `GPML_FLAT=off` restricts the run to one side.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gpml_bench::flatplan::{flat_opts, legacy_opts, sides_from_env, workloads};
+use gpml_bench::parse;
+use gpml_core::plan::prepare;
+
+fn bench_flatplan(c: &mut Criterion) {
+    let (run_flat, run_legacy) = sides_from_env();
+    for w in workloads() {
+        let pattern = parse(w.query);
+        let flat = prepare(&pattern, &flat_opts()).expect("prepare flat");
+        let legacy = prepare(&pattern, &legacy_opts()).expect("prepare legacy");
+
+        // Sanity before timing: the interpreter swap must be invisible
+        // in the output — same rows in the same order.
+        let want = legacy.execute(&w.graph).expect("legacy");
+        let got = flat.execute(&w.graph).expect("flat");
+        assert_eq!(got, want, "flat interpreter changed results on {}", w.name);
+
+        let mut group = c.benchmark_group(format!("EB15/flatplan/{}", w.name));
+        if run_flat {
+            group.bench_function("flat", |b| b.iter(|| flat.execute(&w.graph).expect("flat")));
+        }
+        if run_legacy {
+            group.bench_function("legacy", |b| {
+                b.iter(|| legacy.execute(&w.graph).expect("legacy"))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_flatplan);
+criterion_main!(benches);

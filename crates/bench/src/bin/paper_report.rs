@@ -606,6 +606,42 @@ fn main() {
         server.stop();
     }
 
+    // -- EB15: flat transition-array interpreter --------------------------
+    heading(
+        "EB15",
+        "flat plan IR (transition-array interpreter vs legacy NFA walker)",
+    );
+    for w in gpml_bench::flatplan::workloads() {
+        let pattern = gpml_bench::parse(w.query);
+        let flat = gpml_core::plan::prepare(&pattern, &gpml_bench::flatplan::flat_opts())
+            .expect("prepare flat");
+        let legacy = gpml_core::plan::prepare(&pattern, &gpml_bench::flatplan::legacy_opts())
+            .expect("prepare legacy");
+        let flat_rows = flat.execute(&w.graph).expect("flat");
+        let legacy_rows = legacy.execute(&w.graph).expect("legacy");
+        check(
+            &format!("{}: engines agree ({} rows)", w.name, flat_rows.len()),
+            "true",
+            flat_rows == legacy_rows,
+        );
+        let time = |q: &gpml_core::plan::PreparedQuery| {
+            let iters = 5;
+            let t = std::time::Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(q.execute(&w.graph).expect("execute"));
+            }
+            t.elapsed().as_secs_f64() / iters as f64
+        };
+        let (tf, tl) = (time(&flat), time(&legacy));
+        println!(
+            "    {}: flat {:.2} ms vs legacy matcher {:.2} ms ({:.1}x)",
+            w.name,
+            tf * 1e3,
+            tl * 1e3,
+            tl / tf.max(1e-9),
+        );
+    }
+
     println!("\nAll experiments reproduced. See EXPERIMENTS.md for the index.");
 }
 

@@ -1,0 +1,191 @@
+//! Inner-loop-heavy single-stage workloads for the flat-plan bench
+//! (EB15).
+//!
+//! EB14's workloads live in the cross-stage join; these live in the
+//! opposite place — one path stage whose product-automaton search
+//! dominates — because that search is what the flat transition-array
+//! interpreter replaces. The legacy matcher walks a pointer-rich NFA and
+//! clones the whole run state (bindings, loop stack, frames, the path so
+//! far) for *every* ε-transition it explores; the flat interpreter runs
+//! the same search over a contiguous instruction array with one mutable
+//! state and an undo trail, cloning only when an edge is actually
+//! consumed. Results are bit-for-bit identical — same rows, same order —
+//! so the gap is pure interpretation overhead:
+//!
+//! * **chain** — a fixed 4-hop label chain over a layered fan-out graph:
+//!   long ε-free blocks, measuring plain dispatch + backtracking;
+//! * **quantified** — `-[:S]->{2,4}` over the same shape: every
+//!   iteration crosses the quantifier's enter/iterate/exit ε-machinery,
+//!   the legacy engine's clone-per-ε worst case;
+//! * **star** — a quantified hub walk `(r:Rare)-[:To]->(h)-[:Out]->{1,2}`
+//!   with a predicate on the tail, mixing ε-dispatch with dead-end
+//!   backtracking runs.
+
+use gpml_core::eval::EvalOptions;
+use property_graph::{Endpoints, PropertyGraph};
+
+use crate::joins::JoinWorkload;
+
+/// The optimized configuration: the flat transition-array interpreter
+/// (the engine default).
+pub fn flat_opts() -> EvalOptions {
+    EvalOptions::default()
+}
+
+/// The baseline configuration: identical planning and options, executed
+/// by the legacy pointer-walking matcher.
+pub fn legacy_opts() -> EvalOptions {
+    EvalOptions {
+        flat: false,
+        ..EvalOptions::default()
+    }
+}
+
+/// Which sides of the comparison to run, from the `GPML_FLAT`
+/// environment variable: `on`, `off`, or anything else (both).
+pub fn sides_from_env() -> (bool, bool) {
+    match std::env::var("GPML_FLAT").as_deref() {
+        Ok("on") => (true, false),
+        Ok("off") => (false, true),
+        _ => (true, true),
+    }
+}
+
+/// A layered DAG: `layers` layers of `width` nodes, every node fanning
+/// `fanout` `:S` edges into the next layer. Labels `L1..=layers` tag the
+/// layers so a fixed-length chain query walks exactly one hop per layer.
+fn layered(layers: usize, width: usize, fanout: usize) -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    let grid: Vec<Vec<_>> = (1..=layers)
+        .map(|l| {
+            (0..width)
+                .map(|i| g.add_node(&format!("n{l}_{i}"), [format!("L{l}")], []))
+                .collect()
+        })
+        .collect();
+    for l in 0..layers - 1 {
+        for i in 0..width {
+            for j in 0..fanout {
+                g.add_edge(
+                    &format!("s{l}_{i}_{j}"),
+                    Endpoints::directed(grid[l][i], grid[l + 1][(i * 5 + j * 11) % width]),
+                    ["S"],
+                    [],
+                );
+            }
+        }
+    }
+    g
+}
+
+/// A fixed 4-hop chain: one path stage, no quantifiers, dispatch and
+/// backtracking only.
+pub fn chain(width: usize, fanout: usize) -> JoinWorkload {
+    JoinWorkload {
+        name: "chain",
+        graph: layered(5, width, fanout),
+        query: "MATCH (a:L1)-[:S]->(b:L2)-[:S]->(c:L3)-[:S]->(d:L4)-[:S]->(e:L5)",
+    }
+}
+
+/// The same layered shape walked by a bounded quantifier: every step
+/// runs the enter/iterate/exit ε-machinery the flat interpreter turns
+/// into trail pushes instead of state clones.
+pub fn quantified(width: usize, fanout: usize) -> JoinWorkload {
+    JoinWorkload {
+        name: "quantified",
+        graph: layered(5, width, fanout),
+        query: "MATCH (a:L1) [()-[t:S]->()]{2,4} (b)",
+    }
+}
+
+/// Hubs with quantified spoke walks and a tail predicate: most
+/// explorations die at the predicate, exercising backtrack truncation.
+pub fn star(hubs: usize, spokes: usize) -> JoinWorkload {
+    let mut g = PropertyGraph::new();
+    let rare = g.add_node("rare", ["Rare"], []);
+    for h in 0..hubs {
+        let hub = g.add_node(&format!("h{h}"), ["Hub"], []);
+        g.add_edge(
+            &format!("to{h}"),
+            Endpoints::directed(rare, hub),
+            ["To"],
+            [],
+        );
+        for s in 0..spokes {
+            let spoke = g.add_node(
+                &format!("b{h}_{s}"),
+                ["Big"],
+                [("hot", property_graph::Value::Int((s % 16 == 0) as i64))],
+            );
+            g.add_edge(
+                &format!("out{h}_{s}"),
+                Endpoints::directed(hub, spoke),
+                ["Out"],
+                [],
+            );
+            // A second ring so the {1,2} walk has real two-step paths.
+            g.add_edge(
+                &format!("ring{h}_{s}"),
+                Endpoints::directed(spoke, hub),
+                ["Out"],
+                [],
+            );
+        }
+    }
+    JoinWorkload {
+        name: "star",
+        graph: g,
+        query: "MATCH (r:Rare)-[:To]->(h:Hub) [-[:Out]->(x)]{1,2} (y:Big WHERE y.hot = 1)",
+    }
+}
+
+/// The bench's standard workload set, sized so one measurement stays
+/// well under a second on either engine.
+pub fn workloads() -> Vec<JoinWorkload> {
+    vec![chain(250, 4), quantified(90, 4), star(32, 64)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use gpml_core::eval::ExecProfile;
+    use gpml_core::plan::prepare;
+    use gpml_core::Params;
+
+    /// The EB15 precondition: the two interpreters agree bit-for-bit
+    /// (rows *and* order) on every workload, the workloads actually
+    /// match something, and the flat side really is the flat side (it
+    /// dispatches instructions; the legacy side dispatches none).
+    #[test]
+    fn every_workload_agrees_bit_for_bit_across_engines() {
+        for w in workloads() {
+            let pattern = parse(w.query);
+            let flat = prepare(&pattern, &flat_opts()).unwrap();
+            let legacy = prepare(&pattern, &legacy_opts()).unwrap();
+
+            let profile = ExecProfile::new(flat.plan().stage_count());
+            let got = flat
+                .execute_with_profile(&w.graph, &Params::new(), &profile)
+                .unwrap();
+            let want = legacy.execute(&w.graph).unwrap();
+            assert_eq!(got, want, "flat engine changed results on {}", w.name);
+            assert!(!got.rows.is_empty(), "workload {} matched nothing", w.name);
+            let (_, _, _, instrs, _) = profile.totals();
+            assert!(instrs > 0, "workload {} ran on the legacy engine", w.name);
+
+            let profile = ExecProfile::new(legacy.plan().stage_count());
+            legacy
+                .execute_with_profile(&w.graph, &Params::new(), &profile)
+                .unwrap();
+            let (_, _, _, instrs, truncations) = profile.totals();
+            assert_eq!(
+                (instrs, truncations),
+                (0, 0),
+                "workload {} legacy side dispatched flat instructions",
+                w.name
+            );
+        }
+    }
+}

@@ -8,6 +8,7 @@
 //! throughput, and SQL/PGQ view overhead), while `paper-report`
 //! regenerates every figure and table verbatim.
 
+pub mod flatplan;
 pub mod joins;
 pub mod prepared;
 pub mod semijoin;

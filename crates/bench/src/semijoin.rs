@@ -164,13 +164,13 @@ mod tests {
             assert_eq!(got, want, "semi-join changed results on {}", w.name);
             assert!(!got.rows.is_empty(), "workload {} matched nothing", w.name);
 
-            let (_, edges_filtered, pruned) = profile.totals();
+            let (_, edges_filtered, pruned, _, _) = profile.totals();
             assert!(pruned > 0, "workload {} pruned nothing", w.name);
             let profile = ExecProfile::new(unfiltered.plan().stage_count());
             unfiltered
                 .execute_with_profile(&w.graph, &Params::new(), &profile)
                 .unwrap();
-            let (_, edges_unfiltered, _) = profile.totals();
+            let (_, edges_unfiltered, _, _, _) = profile.totals();
             assert!(
                 edges_filtered < edges_unfiltered,
                 "workload {}: filters saved no traversals ({edges_filtered} vs {edges_unfiltered})",

@@ -48,7 +48,7 @@ pub(crate) type SemiJoinFilters = BTreeMap<String, BTreeSet<NodeId>>;
 
 /// ε-transition actions.
 #[derive(Clone, Debug)]
-enum Action {
+pub(crate) enum Action {
     /// Plain ε.
     None,
     /// Test the current node against a node pattern; bind its variable.
@@ -70,71 +70,49 @@ enum Action {
 }
 
 #[derive(Clone, Debug)]
-struct EpsTrans {
-    to: usize,
-    action: Action,
+pub(crate) struct EpsTrans {
+    pub(crate) to: usize,
+    pub(crate) action: Action,
 }
 
 #[derive(Clone, Debug, Default)]
-struct StateData {
-    eps: Vec<EpsTrans>,
+pub(crate) struct StateData {
+    pub(crate) eps: Vec<EpsTrans>,
     /// Consuming transitions: `(target state, edge-pattern index)`.
-    edges: Vec<(usize, usize)>,
+    pub(crate) edges: Vec<(usize, usize)>,
 }
 
-#[derive(Clone, Debug)]
-struct QuantMeta {
-    min: u32,
-    max: Option<u32>,
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct QuantMeta {
+    pub(crate) min: u32,
+    pub(crate) max: Option<u32>,
     /// True for `?`: variables inside are exposed as conditional
     /// singletons instead of group variables (§4.6).
-    expose_conditional: bool,
+    pub(crate) expose_conditional: bool,
     /// All named variables declared in the body (with their kinds), used
     /// to bind empty groups when the quantifier iterates zero times.
-    body_vars: Vec<(String, bool /*is_edge*/)>,
+    pub(crate) body_vars: Vec<(String, bool /*is_edge*/)>,
 }
 
-#[derive(Clone, Debug)]
-struct ParenMeta {
-    restrictor: Option<Restrictor>,
-    predicate: Option<Expr>,
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct ParenMeta {
+    pub(crate) restrictor: Option<Restrictor>,
+    pub(crate) predicate: Option<Expr>,
 }
 
 /// A compiled path pattern.
 #[derive(Clone, Debug)]
 pub(crate) struct Nfa {
-    states: Vec<StateData>,
-    start: usize,
-    accept: usize,
-    node_pats: Vec<NodePattern>,
-    edge_pats: Vec<EdgePattern>,
-    quants: Vec<QuantMeta>,
-    parens: Vec<ParenMeta>,
+    pub(crate) states: Vec<StateData>,
+    pub(crate) start: usize,
+    pub(crate) accept: usize,
+    pub(crate) node_pats: Vec<NodePattern>,
+    pub(crate) edge_pats: Vec<EdgePattern>,
+    pub(crate) quants: Vec<QuantMeta>,
+    pub(crate) parens: Vec<ParenMeta>,
     /// True when some unbounded quantifier is not inside any restrictor
     /// scope — the case that needs selector-driven dominance pruning.
-    has_unrestricted_unbounded: bool,
-}
-
-impl Nfa {
-    /// Number of NFA states (for plan introspection).
-    pub(crate) fn state_count(&self) -> usize {
-        self.states.len()
-    }
-
-    /// Number of distinct node tests.
-    pub(crate) fn node_test_count(&self) -> usize {
-        self.node_pats.len()
-    }
-
-    /// Number of distinct consuming (edge) tests.
-    pub(crate) fn edge_test_count(&self) -> usize {
-        self.edge_pats.len()
-    }
-
-    /// Number of quantifier loops.
-    pub(crate) fn quantifier_count(&self) -> usize {
-        self.quants.len()
-    }
+    pub(crate) has_unrestricted_unbounded: bool,
 }
 
 struct Compiler {
@@ -317,60 +295,72 @@ pub(crate) fn compile(pattern: &PathPattern) -> Nfa {
 
 /// One iteration's variable frame.
 #[derive(Clone, Debug)]
-struct Frame {
-    qid: usize,
-    locals: BTreeMap<String, BoundValue>,
-    edges_at_start: usize,
+pub(crate) struct Frame {
+    pub(crate) qid: usize,
+    pub(crate) locals: BTreeMap<String, BoundValue>,
+    pub(crate) edges_at_start: usize,
 }
 
 /// A live restrictor scope over a suffix of the walk.
 #[derive(Clone, Debug)]
-struct Scope {
-    paren: usize,
-    restrictor: Restrictor,
-    node_start: usize,
-    edge_start: usize,
+pub(crate) struct Scope {
+    pub(crate) paren: usize,
+    pub(crate) restrictor: Restrictor,
+    pub(crate) node_start: usize,
+    pub(crate) edge_start: usize,
     /// SIMPLE scope that has returned to its start node: no further steps.
-    closed: bool,
+    pub(crate) closed: bool,
 }
 
 /// Loop bookkeeping for one active quantifier.
 #[derive(Clone, Debug)]
-struct Loop {
-    qid: usize,
-    count: u32,
+pub(crate) struct Loop {
+    pub(crate) qid: usize,
+    pub(crate) count: u32,
     /// The previous iteration consumed no edges; further iterations cannot
     /// make progress (bodies are homogeneous), so only run them while the
     /// minimum has not been met.
-    stalled: bool,
+    pub(crate) stalled: bool,
 }
 
 #[derive(Clone, Debug)]
-struct RunState {
-    at: usize,
-    path: Path,
-    globals: BTreeMap<String, BoundValue>,
-    frames: Vec<Frame>,
-    scopes: Vec<Scope>,
-    loops: Vec<Loop>,
-    alt_marks: Vec<u32>,
+pub(crate) struct RunState {
+    pub(crate) at: usize,
+    pub(crate) path: Path,
+    pub(crate) globals: BTreeMap<String, BoundValue>,
+    pub(crate) frames: Vec<Frame>,
+    pub(crate) scopes: Vec<Scope>,
+    pub(crate) loops: Vec<Loop>,
+    pub(crate) alt_marks: Vec<u32>,
     /// Prefilters whose variables were not yet bound when encountered;
     /// re-checked when the match completes.
-    deferred: Vec<Expr>,
+    pub(crate) deferred: Vec<Expr>,
     /// Completed restrictor scopes as `(restrictor, first node index,
     /// last node index)` — only recorded under the deferred-restrictor
     /// ablation, where they are validated at match completion instead of
     /// pruning the search.
-    spans: Vec<(Restrictor, usize, usize)>,
+    pub(crate) spans: Vec<(Restrictor, usize, usize)>,
+}
+
+/// Where [`RunState::bind_where`] landed a successful binding — the flat
+/// engine records this on its undo trail to reverse the bind exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BindSite {
+    /// Joined against an existing binding; nothing was inserted.
+    Existing,
+    /// Inserted fresh into the global map.
+    Globals,
+    /// Inserted fresh into the innermost frame's locals.
+    Frame,
 }
 
 impl RunState {
-    fn current(&self) -> NodeId {
+    pub(crate) fn current(&self) -> NodeId {
         self.path.end()
     }
 
     /// The innermost visible binding of `var`.
-    fn lookup(&self, var: &str) -> Option<&BoundValue> {
+    pub(crate) fn lookup(&self, var: &str) -> Option<&BoundValue> {
         for f in self.frames.iter().rev() {
             if let Some(v) = f.locals.get(var) {
                 return Some(v);
@@ -386,43 +376,52 @@ impl RunState {
     /// join partner: each quantifier iteration binds the variable afresh
     /// and the accumulation only collects the per-iteration values.
     fn bind(&mut self, var: &str, value: BoundValue) -> bool {
+        self.bind_where(var, value).is_some()
+    }
+
+    /// [`RunState::bind`] that additionally reports *where* a successful
+    /// bind landed, so callers that must undo the mutation (the flat
+    /// interpreter's trail) can reverse exactly what happened. `None`
+    /// means the implicit equi-join rejected the binding; rejection never
+    /// mutates the state.
+    pub(crate) fn bind_where(&mut self, var: &str, value: BoundValue) -> Option<BindSite> {
         if is_anonymous(var) {
-            return true;
+            return Some(BindSite::Existing);
         }
         let innermost = self.frames.len().wrapping_sub(1);
         for (i, f) in self.frames.iter().enumerate().rev() {
             if let Some(existing) = f.locals.get(var) {
                 if existing.is_singleton() || matches!(existing, BoundValue::Path(_)) {
-                    return *existing == value;
+                    return (*existing == value).then_some(BindSite::Existing);
                 }
                 // A group in the innermost frame means the variable was
                 // already consumed by an inner quantifier this iteration —
                 // re-binding it is a (rejected) cross-scope join.
                 if i == innermost {
-                    return false;
+                    return None;
                 }
                 break; // outer accumulation: shadow with a fresh local
             }
         }
         if self.frames.is_empty() {
             if let Some(existing) = self.globals.get(var) {
-                return *existing == value;
+                return (*existing == value).then_some(BindSite::Existing);
             }
         } else if let Some(existing) = self.globals.get(var) {
             if existing.is_singleton() {
                 // An outer singleton joins with inner references... but a
                 // singleton visible from inside a quantifier is the
                 // group/singleton conflict analysis rejects; treat as join.
-                return *existing == value;
+                return (*existing == value).then_some(BindSite::Existing);
             }
             // Outer group accumulation: shadow below.
         }
-        let target = match self.frames.last_mut() {
-            Some(f) => &mut f.locals,
-            None => &mut self.globals,
+        let (target, site) = match self.frames.last_mut() {
+            Some(f) => (&mut f.locals, BindSite::Frame),
+            None => (&mut self.globals, BindSite::Globals),
         };
         target.insert(var.to_owned(), value);
-        true
+        Some(site)
     }
 
     /// A stable fingerprint of everything except group accumulations and
@@ -580,6 +579,8 @@ impl<'a> Matcher<'a> {
             self.nodes_expanded.take(),
             self.edges_traversed.take(),
             self.rows_pruned.take(),
+            0,
+            0,
         );
     }
 
@@ -634,7 +635,15 @@ impl<'a> Matcher<'a> {
                 let cur = state.current();
                 for step in self.graph.steps(cur) {
                     self.edges_traversed.set(self.edges_traversed.get() + 1);
-                    if let Some(next) = self.try_step(&state, target, ep, *step) {
+                    if let Some(next) = try_step(
+                        self.graph,
+                        self.params,
+                        self.defer,
+                        &state,
+                        target,
+                        ep,
+                        *step,
+                    ) {
                         self.advance_eps(next, &mut queue, &mut results, &mut seen)?;
                     }
                 }
@@ -647,99 +656,6 @@ impl<'a> Matcher<'a> {
             }
         }
         Ok(results)
-    }
-
-    /// Attempts one graph step under an edge pattern, returning the
-    /// successor state if direction, labels, restrictors, bindings, and
-    /// prefilters all admit it.
-    fn try_step(
-        &self,
-        state: &RunState,
-        target: usize,
-        ep: &EdgePattern,
-        step: Step,
-    ) -> Option<RunState> {
-        if !ep.direction.permits(step.traversal) {
-            return None;
-        }
-        let edata = self.graph.edge(step.edge);
-        if let Some(l) = &ep.label {
-            if !l.matches(&edata.labels) {
-                return None;
-            }
-        }
-        // Restrictor scopes prune during the search (§5.1) — unless the
-        // deferred-restrictor ablation postpones the checks to finalize.
-        if !self.defer {
-            for scope in &state.scopes {
-                if scope.closed {
-                    return None;
-                }
-                match scope.restrictor {
-                    Restrictor::Trail => {
-                        if state.path.edges()[scope.edge_start..].contains(&step.edge) {
-                            return None;
-                        }
-                    }
-                    Restrictor::Acyclic => {
-                        if state.path.nodes()[scope.node_start..].contains(&step.to) {
-                            return None;
-                        }
-                    }
-                    Restrictor::Simple => {
-                        let nodes = &state.path.nodes()[scope.node_start..];
-                        if nodes.contains(&step.to) && step.to != nodes[0] {
-                            return None;
-                        }
-                    }
-                }
-            }
-        }
-
-        let mut next = state.clone();
-        next.at = target;
-        next.path.push(step.edge, step.to);
-        // Close SIMPLE scopes that returned to their start node.
-        if !self.defer {
-            for scope in &mut next.scopes {
-                if scope.restrictor == Restrictor::Simple
-                    && step.to == state.path.nodes()[scope.node_start]
-                {
-                    scope.closed = true;
-                }
-            }
-        }
-        if let Some(v) = &ep.var {
-            if !next.bind(v, BoundValue::Edge(step.edge)) {
-                return None;
-            }
-        }
-        if let Some(pred) = &ep.predicate {
-            if !self.check_prefilter(&mut next, pred) {
-                return None;
-            }
-        }
-        Some(next)
-    }
-
-    /// Evaluates a prefilter, deferring it when it references variables
-    /// that are not bound yet.
-    fn check_prefilter(&self, state: &mut RunState, pred: &Expr) -> bool {
-        let mut unbound = false;
-        pred.visit_vars(&mut |v, _| {
-            if !is_anonymous(v) && state.lookup(v).is_none() {
-                unbound = true;
-            }
-        });
-        if unbound {
-            state.deferred.push(pred.clone());
-            return true;
-        }
-        let env = StateEnv {
-            state,
-            params: self.params,
-        };
-        filter::truth(self.graph, &env, pred) == Some(true)
     }
 
     /// ε-closure with actions: explores all ε-reachable configurations,
@@ -772,7 +688,7 @@ impl<'a> Matcher<'a> {
                 continue;
             }
             if state.at == self.nfa.accept {
-                if let Some(b) = self.finalize(&state) {
+                if let Some(b) = finalize(self.graph, self.params, self.defer, &state) {
                     results.push(b);
                 }
             }
@@ -850,7 +766,7 @@ impl<'a> Matcher<'a> {
                     }
                 }
                 if let Some(pred) = &np.predicate {
-                    if !self.check_prefilter(&mut next, pred) {
+                    if !check_prefilter(self.graph, self.params, &mut next, pred) {
                         return None;
                     }
                 }
@@ -870,7 +786,7 @@ impl<'a> Matcher<'a> {
             }
             Action::CloseParen(id) => {
                 if let Some(pred) = &self.nfa.parens[*id].predicate {
-                    if !self.check_prefilter(&mut next, pred) {
+                    if !check_prefilter(self.graph, self.params, &mut next, pred) {
                         return None;
                     }
                 }
@@ -960,50 +876,172 @@ impl<'a> Matcher<'a> {
             }
         }
     }
+}
 
-    /// Turns an accepting state into a path binding, re-checking deferred
-    /// prefilters against the complete variable map (and, under the
-    /// deferred-restrictor ablation, the restrictor scopes).
-    fn finalize(&self, state: &RunState) -> Option<PathBinding> {
-        debug_assert!(state.frames.is_empty());
-        if self.defer {
-            let whole_end = state.path.nodes().len() - 1;
-            let spans = state.spans.iter().copied().chain(
-                state
-                    .scopes
-                    .iter()
-                    .map(|s| (s.restrictor, s.node_start, whole_end)),
-            );
-            for (r, s, e) in spans {
-                let sub = Path::new(
-                    state.path.nodes()[s..=e].to_vec(),
-                    state.path.edges()[s..e].to_vec(),
-                );
-                let ok = match r {
-                    Restrictor::Trail => sub.is_trail(),
-                    Restrictor::Acyclic => sub.is_acyclic(),
-                    Restrictor::Simple => sub.is_simple(),
-                };
-                if !ok {
-                    return None;
+/// Attempts one graph step under an edge pattern, returning the successor
+/// state if direction, labels, restrictors, bindings, and prefilters all
+/// admit it. Shared verbatim by the legacy [`Matcher`] and the flat
+/// interpreter so both engines take identical step decisions.
+pub(crate) fn try_step(
+    graph: &PropertyGraph,
+    params: &Params,
+    defer: bool,
+    state: &RunState,
+    target: usize,
+    ep: &EdgePattern,
+    step: Step,
+) -> Option<RunState> {
+    if !ep.direction.permits(step.traversal) {
+        return None;
+    }
+    let edata = graph.edge(step.edge);
+    if let Some(l) = &ep.label {
+        if !l.matches(&edata.labels) {
+            return None;
+        }
+    }
+    // Restrictor scopes prune during the search (§5.1) — unless the
+    // deferred-restrictor ablation postpones the checks to finalize.
+    if !defer {
+        for scope in &state.scopes {
+            if scope.closed {
+                return None;
+            }
+            match scope.restrictor {
+                Restrictor::Trail => {
+                    if state.path.edges()[scope.edge_start..].contains(&step.edge) {
+                        return None;
+                    }
+                }
+                Restrictor::Acyclic => {
+                    if state.path.nodes()[scope.node_start..].contains(&step.to) {
+                        return None;
+                    }
+                }
+                Restrictor::Simple => {
+                    let nodes = &state.path.nodes()[scope.node_start..];
+                    if nodes.contains(&step.to) && step.to != nodes[0] {
+                        return None;
+                    }
                 }
             }
         }
-        for pred in &state.deferred {
-            let env = StateEnv {
-                state,
-                params: self.params,
+    }
+
+    let mut next = state.clone();
+    next.at = target;
+    next.path.push(step.edge, step.to);
+    // Close SIMPLE scopes that returned to their start node.
+    if !defer {
+        for scope in &mut next.scopes {
+            if scope.restrictor == Restrictor::Simple
+                && step.to == state.path.nodes()[scope.node_start]
+            {
+                scope.closed = true;
+            }
+        }
+    }
+    if let Some(v) = &ep.var {
+        if !next.bind(v, BoundValue::Edge(step.edge)) {
+            return None;
+        }
+    }
+    if let Some(pred) = &ep.predicate {
+        if !check_prefilter(graph, params, &mut next, pred) {
+            return None;
+        }
+    }
+    Some(next)
+}
+
+/// Evaluates a prefilter, deferring it when it references variables that
+/// are not bound yet.
+pub(crate) fn check_prefilter(
+    graph: &PropertyGraph,
+    params: &Params,
+    state: &mut RunState,
+    pred: &Expr,
+) -> bool {
+    let mut unbound = false;
+    pred.visit_vars(&mut |v, _| {
+        if !is_anonymous(v) && state.lookup(v).is_none() {
+            unbound = true;
+        }
+    });
+    if unbound {
+        state.deferred.push(pred.clone());
+        return true;
+    }
+    let env = StateEnv { state, params };
+    filter::truth(graph, &env, pred) == Some(true)
+}
+
+/// Turns an accepting state into a path binding, re-checking deferred
+/// prefilters against the complete variable map (and, under the
+/// deferred-restrictor ablation, the restrictor scopes).
+pub(crate) fn finalize(
+    graph: &PropertyGraph,
+    params: &Params,
+    defer: bool,
+    state: &RunState,
+) -> Option<PathBinding> {
+    debug_assert!(state.frames.is_empty());
+    if defer {
+        let whole_end = state.path.nodes().len() - 1;
+        let spans = state.spans.iter().copied().chain(
+            state
+                .scopes
+                .iter()
+                .map(|s| (s.restrictor, s.node_start, whole_end)),
+        );
+        for (r, s, e) in spans {
+            let sub = Path::new(
+                state.path.nodes()[s..=e].to_vec(),
+                state.path.edges()[s..e].to_vec(),
+            );
+            let ok = match r {
+                Restrictor::Trail => sub.is_trail(),
+                Restrictor::Acyclic => sub.is_acyclic(),
+                Restrictor::Simple => sub.is_simple(),
             };
-            if filter::truth(self.graph, &env, pred) != Some(true) {
+            if !ok {
                 return None;
             }
         }
-        Some(PathBinding {
-            path: state.path.clone(),
-            bindings: state.globals.clone(),
-            alt_marks: state.alt_marks.clone(),
-        })
     }
+    for pred in &state.deferred {
+        let env = StateEnv { state, params };
+        if filter::truth(graph, &env, pred) != Some(true) {
+            return None;
+        }
+    }
+    Some(PathBinding {
+        path: state.path.clone(),
+        bindings: state.globals.clone(),
+        alt_marks: state.alt_marks.clone(),
+    })
+}
+
+/// What [`merge_binding_traced`] did to the merge target — reported even
+/// when the merge *rejects*, because a rejected merge may already have
+/// inserted a fresh (empty) group that the flat interpreter's trail must
+/// still undo.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum MergeEffect {
+    /// Target map untouched.
+    None,
+    /// A fresh entry for the variable was inserted.
+    Inserted {
+        /// Whether the target map was the globals (vs. a frame's locals).
+        global: bool,
+    },
+    /// An existing group entry was extended from `old_len` elements.
+    Extended {
+        /// Whether the target map was the globals (vs. a frame's locals).
+        global: bool,
+        /// Group length before the merge.
+        old_len: usize,
+    },
 }
 
 /// Merges one iteration-local binding outward at `IterEnd`.
@@ -1013,6 +1051,19 @@ fn merge_binding(
     val: BoundValue,
     expose_conditional: bool,
 ) -> bool {
+    merge_binding_traced(state, var, val, expose_conditional).1
+}
+
+/// [`merge_binding`] that also reports the mutation it performed, so the
+/// flat interpreter can record an exact undo entry. Note the effect is
+/// meaningful even when the merge returns `false`.
+pub(crate) fn merge_binding_traced(
+    state: &mut RunState,
+    var: &str,
+    val: BoundValue,
+    expose_conditional: bool,
+) -> (MergeEffect, bool) {
+    let global = state.frames.is_empty();
     let target = match state.frames.last_mut() {
         Some(f) => &mut f.locals,
         None => &mut state.globals,
@@ -1020,32 +1071,55 @@ fn merge_binding(
     if expose_conditional {
         // `?` exposes singletons as conditional singletons (§4.6).
         return match target.get(var) {
-            Some(existing) => *existing == val,
+            Some(existing) => (MergeEffect::None, *existing == val),
             None => {
                 target.insert(var.to_owned(), val);
-                true
+                (MergeEffect::Inserted { global }, true)
             }
         };
     }
+    let inserted = !target.contains_key(var);
     let entry = target.entry(var.to_owned()).or_insert_with(|| match val {
         BoundValue::Node(_) | BoundValue::NodeGroup(_) => BoundValue::NodeGroup(Vec::new()),
         BoundValue::Edge(_) | BoundValue::EdgeGroup(_) => BoundValue::EdgeGroup(Vec::new()),
         BoundValue::Path(_) => BoundValue::NodeGroup(Vec::new()),
     });
-    match (entry, val) {
-        (BoundValue::NodeGroup(g), BoundValue::Node(n)) => g.push(n),
-        (BoundValue::NodeGroup(g), BoundValue::NodeGroup(ns)) => g.extend(ns),
-        (BoundValue::EdgeGroup(g), BoundValue::Edge(e)) => g.push(e),
-        (BoundValue::EdgeGroup(g), BoundValue::EdgeGroup(es)) => g.extend(es),
-        _ => return false,
-    }
-    true
+    let old_len = match entry {
+        BoundValue::NodeGroup(g) => g.len(),
+        BoundValue::EdgeGroup(g) => g.len(),
+        _ => 0,
+    };
+    let effect = if inserted {
+        MergeEffect::Inserted { global }
+    } else {
+        MergeEffect::Extended { global, old_len }
+    };
+    let ok = match (entry, val) {
+        (BoundValue::NodeGroup(g), BoundValue::Node(n)) => {
+            g.push(n);
+            true
+        }
+        (BoundValue::NodeGroup(g), BoundValue::NodeGroup(ns)) => {
+            g.extend(ns);
+            true
+        }
+        (BoundValue::EdgeGroup(g), BoundValue::Edge(e)) => {
+            g.push(e);
+            true
+        }
+        (BoundValue::EdgeGroup(g), BoundValue::EdgeGroup(es)) => {
+            g.extend(es);
+            true
+        }
+        _ => false,
+    };
+    (effect, ok)
 }
 
 /// A conservative static bound on the number of edges any match can use;
 /// `usize::MAX / 4` stands for "unbounded" (then selector pruning bounds
 /// the search instead).
-fn static_edge_bound(
+pub(crate) fn static_edge_bound(
     pattern: &PathPattern,
     graph: &PropertyGraph,
     path_restrictor: Option<Restrictor>,

@@ -20,6 +20,7 @@
 //!   implicitly receives `ALL SHORTEST` instead of being rejected.
 
 pub(crate) mod filter;
+pub mod flat;
 pub(crate) mod matcher;
 pub(crate) mod pool;
 pub(crate) mod selector;
@@ -142,6 +143,13 @@ pub struct EvalOptions {
     /// its own (smaller) frontier, so a parallel run can succeed where a
     /// sequential run trips the limit.
     pub threads: usize,
+    /// Execute path stages with the flat transition-array interpreter
+    /// ([`flat::FlatProgram`]) instead of the pointer-chasing NFA walk.
+    /// Results are **bit-for-bit identical** (rows *and* order) either
+    /// way — the legacy engine is kept as the differential oracle
+    /// (CLI `--no-flat`, `GPML_FLAT=off` in the agreement suite); only
+    /// cost changes.
+    pub flat: bool,
     /// Abort after this many raw matches for a single path pattern.
     pub max_matches: usize,
     /// Hard cap on the number of edges in any matched walk.
@@ -187,6 +195,7 @@ impl Default for EvalOptions {
             reorder_stages: true,
             hash_join: true,
             semi_join: true,
+            flat: true,
             threads: 0,
             max_matches: 1_000_000,
             max_path_length: 10_000,
@@ -204,14 +213,19 @@ pub struct StageCounters {
     nodes_expanded: AtomicU64,
     edges_traversed: AtomicU64,
     rows_pruned: AtomicU64,
+    instrs_dispatched: AtomicU64,
+    backtrack_truncations: AtomicU64,
 }
 
 impl StageCounters {
     /// Folds one search's tallies in.
-    pub(crate) fn add(&self, nodes: u64, edges: u64, pruned: u64) {
+    pub(crate) fn add(&self, nodes: u64, edges: u64, pruned: u64, instrs: u64, truncations: u64) {
         self.nodes_expanded.fetch_add(nodes, Ordering::Relaxed);
         self.edges_traversed.fetch_add(edges, Ordering::Relaxed);
         self.rows_pruned.fetch_add(pruned, Ordering::Relaxed);
+        self.instrs_dispatched.fetch_add(instrs, Ordering::Relaxed);
+        self.backtrack_truncations
+            .fetch_add(truncations, Ordering::Relaxed);
     }
 
     /// Search states dequeued and expanded.
@@ -227,6 +241,18 @@ impl StageCounters {
     /// Partial bindings rejected by a pushed-down semi-join filter.
     pub fn rows_pruned(&self) -> u64 {
         self.rows_pruned.load(Ordering::Relaxed)
+    }
+
+    /// Flat-program instructions dispatched by the inner matching loop
+    /// (zero when the legacy NFA engine ran instead).
+    pub fn instrs_dispatched(&self) -> u64 {
+        self.instrs_dispatched.load(Ordering::Relaxed)
+    }
+
+    /// Backtracks that truncated the flat interpreter's undo trail to a
+    /// stack watermark (zero under the legacy engine).
+    pub fn backtrack_truncations(&self) -> u64 {
+        self.backtrack_truncations.load(Ordering::Relaxed)
     }
 }
 
@@ -256,15 +282,20 @@ impl ExecProfile {
     }
 
     /// Totals across all stages: `(nodes expanded, edges traversed, rows
-    /// pruned by semi-join)`.
-    pub fn totals(&self) -> (u64, u64, u64) {
-        self.stages.iter().fold((0, 0, 0), |(n, e, p), s| {
-            (
-                n + s.nodes_expanded(),
-                e + s.edges_traversed(),
-                p + s.rows_pruned(),
-            )
-        })
+    /// pruned by semi-join, flat instructions dispatched, backtrack
+    /// truncations)`.
+    pub fn totals(&self) -> (u64, u64, u64, u64, u64) {
+        self.stages
+            .iter()
+            .fold((0, 0, 0, 0, 0), |(n, e, p, i, b), s| {
+                (
+                    n + s.nodes_expanded(),
+                    e + s.edges_traversed(),
+                    p + s.rows_pruned(),
+                    i + s.instrs_dispatched(),
+                    b + s.backtrack_truncations(),
+                )
+            })
     }
 }
 

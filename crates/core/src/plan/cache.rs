@@ -127,6 +127,23 @@ impl<V> PlanLru<V> {
         self.entries.clear();
     }
 
+    /// A snapshot of every `(query, options, plan)` entry, most recently
+    /// used first. Does not count as a lookup: hit/miss counters and
+    /// recency stamps are untouched, so persistence sweeps do not skew
+    /// the statistics they run alongside.
+    pub fn entries(&self) -> Vec<(String, EvalOptions, V)>
+    where
+        V: Clone,
+    {
+        let mut snapshot: Vec<_> = self
+            .entries
+            .iter()
+            .map(|((q, o), (v, stamp))| (*stamp, q.clone(), o.clone(), v.clone()))
+            .collect();
+        snapshot.sort_by_key(|entry| std::cmp::Reverse(entry.0));
+        snapshot.into_iter().map(|(_, q, o, v)| (q, o, v)).collect()
+    }
+
     /// Hit/miss counters and occupancy.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -224,6 +241,15 @@ impl<V> SharedPlanLru<V> {
     /// a clone of this cache.
     pub fn stats(&self) -> CacheStats {
         self.lock().stats()
+    }
+
+    /// A snapshot of every `(query, options, plan)` entry, most recently
+    /// used first, without counting lookups or refreshing recency.
+    pub fn entries(&self) -> Vec<(String, EvalOptions, V)>
+    where
+        V: Clone,
+    {
+        self.lock().entries()
     }
 }
 

@@ -59,6 +59,7 @@ use crate::analysis::{analyze, collect_exists, Analysis, VarClass};
 use crate::ast::{Expr, GraphPattern, PathPattern, PathPatternExpr, Selector};
 use crate::binding::{MatchSet, PathBinding};
 use crate::error::{Error, Result};
+use crate::eval::flat::{FlatMatcher, FlatProgram};
 use crate::eval::matcher::{self, Matcher, Nfa, PruneMode, SemiJoinFilters};
 use crate::eval::{pool, selector, EvalOptions, ExecProfile, JoinState, MatchMode, StageCounters};
 use crate::normalize::normalize;
@@ -650,6 +651,12 @@ impl PreparedQuery {
         &self.plan
     }
 
+    /// Replaces the plan's stage programs with deserialized ones; see
+    /// [`ExecutablePlan::adopt_stage_programs`].
+    pub fn adopt_stage_programs(&mut self, progs: Vec<FlatProgram>) -> Result<()> {
+        self.plan.adopt_stage_programs(progs)
+    }
+
     /// Registers the `$name` parameters of a host-side expression (a
     /// `RETURN` item, `ORDER BY` key, or `COLUMNS` projection) as
     /// additional slots of this plan, so bind-time validation covers the
@@ -748,6 +755,40 @@ impl ExecutablePlan {
             .map(|j| (j.left, j.right, j.on.as_slice()))
     }
 
+    /// The flat programs of all stages, in declaration order — the unit
+    /// of plan serialization ([`FlatProgram::to_bytes`]).
+    pub fn stage_programs(&self) -> Vec<&FlatProgram> {
+        self.stages.iter().map(|s| &s.prog).collect()
+    }
+
+    /// Replaces the stages' flat programs with `progs` (e.g. programs
+    /// decoded from a persisted plan-cache file), after checking they are
+    /// shape-compatible with the freshly compiled stages. Used by hosts
+    /// that warm-start a plan cache: the adopted, deserialized programs
+    /// are what subsequently executes.
+    pub fn adopt_stage_programs(&mut self, progs: Vec<FlatProgram>) -> Result<()> {
+        if progs.len() != self.stages.len() {
+            return Err(Error::Unsupported(format!(
+                "adopted plan has {} stage program(s), expected {}",
+                progs.len(),
+                self.stages.len()
+            )));
+        }
+        for (stage, prog) in self.stages.iter().zip(&progs) {
+            if prog.instr_count() != stage.prog.instr_count()
+                || prog.table_sizes() != stage.prog.table_sizes()
+            {
+                return Err(Error::Unsupported(
+                    "adopted plan program does not match the compiled stage".to_owned(),
+                ));
+            }
+        }
+        for (stage, prog) in self.stages.iter_mut().zip(progs) {
+            stage.prog = prog;
+        }
+        Ok(())
+    }
+
     /// The equi-join variables between `stage` and the already-executed
     /// `placed` stages: the union of the join-graph edges connecting them.
     pub(crate) fn join_keys(&self, stage: usize, placed: &[usize]) -> Vec<String> {
@@ -773,8 +814,12 @@ pub(crate) struct PathStage {
     /// The normalized pattern (kept for the graph-dependent edge bound
     /// and for EXPLAIN rendering).
     pub(crate) expr: PathPatternExpr,
-    /// The compiled NFA.
+    /// The compiled NFA (the legacy interpreter's form, kept as the
+    /// differential oracle behind `EvalOptions::flat = false`).
     pub(crate) nfa: Nfa,
+    /// The NFA lowered into the flat transition-array IR — what actually
+    /// executes when `EvalOptions::flat` is on (the default).
+    pub(crate) prog: FlatProgram,
     /// Search mode, resolved graph-independently at prepare time.
     pub(crate) prune: PruneMode,
     /// Named (non-anonymous) variables this stage binds.
@@ -785,6 +830,7 @@ impl PathStage {
     /// Compiles one normalized path pattern into a stage.
     fn lower(expr: &PathPatternExpr) -> Result<PathStage> {
         let nfa = matcher::compile(&expr.pattern);
+        let prog = FlatProgram::from_nfa(&nfa);
         let selector_groups = expr.selector.as_ref().and_then(selector::length_groups);
         let prune = matcher::resolve_prune(&nfa, expr.restrictor, selector_groups)?;
         let mut var_list = Vec::new();
@@ -796,6 +842,7 @@ impl PathStage {
         Ok(PathStage {
             expr: expr.clone(),
             nfa,
+            prog,
             prune,
             vars,
         })
@@ -835,6 +882,26 @@ impl PathStage {
         filters: Option<&SemiJoinFilters>,
         counters: Option<&StageCounters>,
     ) -> Result<Vec<PathBinding>> {
+        if opts.flat {
+            let m = FlatMatcher::over(
+                graph,
+                &self.prog,
+                &self.expr.pattern,
+                self.expr.restrictor,
+                self.prune,
+                opts,
+                params,
+            );
+            let m = match filters {
+                Some(f) => m.with_filters(f),
+                None => m,
+            };
+            let out = m.run_from(starts);
+            if let Some(c) = counters {
+                m.flush_counters(c);
+            }
+            return out;
+        }
         let m = Matcher::over(
             graph,
             &self.nfa,
@@ -967,15 +1034,17 @@ impl fmt::Display for ExecutablePlan {
         writeln!(f, "ExecutablePlan ({} stages)", self.stages.len())?;
         for (i, stage) in self.stages.iter().enumerate() {
             writeln!(f, "  stage {i}: MATCH {}", stage.expr)?;
-            let (nodes, edges, quants) = (
-                stage.nfa.node_test_count(),
-                stage.nfa.edge_test_count(),
-                stage.nfa.quantifier_count(),
-            );
+            // Instruction count and program bytes are the user-facing
+            // plan-size metrics (identical for the flat and legacy
+            // engines, which execute the same lowered program); NFA
+            // state counts were compiler internals.
+            let (nodes, edges, quants) = stage.prog.table_sizes();
             writeln!(
                 f,
-                "    nfa: {} states, {nodes} node test{}, {edges} edge test{}, {quants} quantifier{}",
-                stage.nfa.state_count(),
+                "    program: {} instr{}, {} bytes, {nodes} node test{}, {edges} edge test{}, {quants} quantifier{}",
+                stage.prog.instr_count(),
+                plural(stage.prog.instr_count()),
+                stage.prog.encoded_len(),
                 plural(nodes),
                 plural(edges),
                 plural(quants),
@@ -990,6 +1059,9 @@ impl fmt::Display for ExecutablePlan {
             if !stage.vars.is_empty() {
                 let vars: Vec<&str> = stage.vars.iter().map(String::as_str).collect();
                 writeln!(f, "    binds: {}", vars.join(", "))?;
+            }
+            for line in stage.prog.to_string().lines() {
+                writeln!(f, "      {line}")?;
             }
         }
         if self.joins.is_empty() {
@@ -1187,6 +1259,7 @@ mod tests {
         check::<ExecutablePlan>();
         check::<PathStage>();
         check::<Nfa>();
+        check::<FlatProgram>();
         check::<EvalOptions>();
     }
 
@@ -1548,9 +1621,10 @@ mod tests {
             .execute_with_profile(&g, &Params::new(), &profile)
             .unwrap();
         assert_eq!(got.len(), 20);
-        let (nodes, edges, pruned) = profile.totals();
+        let (nodes, edges, pruned, instrs, _truncations) = profile.totals();
         assert!(nodes > 0, "start nodes are expanded");
         assert!(edges > 0, "edges are traversed");
+        assert!(instrs > 0, "the flat interpreter dispatched instructions");
         // The 20 spoke->h2 bindings die at the h NodeTest instead of
         // surviving to the join.
         assert_eq!(pruned, 20, "totals: {:?}", profile.totals());
@@ -1576,6 +1650,27 @@ mod tests {
         q.execute_with_profile(&g, &Params::new(), &profile)
             .unwrap();
         assert_eq!(profile.totals().2, 0);
+    }
+
+    #[test]
+    fn flat_and_legacy_engines_agree_bit_for_bit() {
+        let gp = two_stage_pattern();
+        let g = chain(40);
+        let flat_on = prepare(&gp, &EvalOptions::default())
+            .unwrap()
+            .execute(&g)
+            .unwrap();
+        let flat_off = prepare(
+            &gp,
+            &EvalOptions {
+                flat: false,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap()
+        .execute(&g)
+        .unwrap();
+        assert_eq!(flat_on, flat_off);
     }
 
     #[test]

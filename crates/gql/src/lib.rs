@@ -40,7 +40,7 @@ use std::sync::Arc;
 use gpml_core::binding::{BoundValue, MatchRow};
 use gpml_core::eval::{self, EvalOptions, ExecProfile};
 use gpml_core::plan::{self, CacheStats, ExecutablePlan, PreparedQuery, SharedPlanLru};
-use gpml_core::{Expr, Params};
+use gpml_core::{Expr, FlatProgram, Params};
 use gpml_parser::Parser;
 use property_graph::{ElementId, PropertyGraph, Value};
 
@@ -275,6 +275,23 @@ impl PreparedGqlQuery {
     pub fn has_return(&self) -> bool {
         self.projection.is_some()
     }
+
+    /// The flat program of each path stage, in declaration order — the
+    /// serializable half of the plan (see [`FlatProgram::to_bytes`]).
+    pub fn stage_programs(&self) -> Vec<&FlatProgram> {
+        self.query.plan().stage_programs()
+    }
+
+    /// Replaces this plan's per-stage flat programs with `progs`, e.g.
+    /// decoded from a persisted plan file. Fails (leaving the plan
+    /// untouched) unless every program structurally matches the stage it
+    /// replaces, so a stale file cannot smuggle in a mismatched program.
+    pub fn adopt_stage_programs(
+        &mut self,
+        progs: Vec<FlatProgram>,
+    ) -> Result<(), gpml_core::Error> {
+        self.query.adopt_stage_programs(progs)
+    }
 }
 
 /// A GQL session: a catalog of graphs, evaluation options, and an LRU
@@ -406,6 +423,15 @@ impl Session {
         self.plans()
             .insert(query.to_owned(), self.options.clone(), prepared.clone());
         Ok(prepared)
+    }
+
+    /// [`Session::prepare`] with the plan cache bypassed entirely: no
+    /// lookup (so no miss is counted) and no insertion. The server's
+    /// warm-start path compiles persisted statements through this, then
+    /// seeds the shared cache itself — keeping `cache.misses` an honest
+    /// count of compilations forced by client traffic.
+    pub fn prepare_uncached(&self, query: &str) -> Result<PreparedGqlQuery, GqlError> {
+        self.parse_statement(query, false)
     }
 
     /// Single-parse statement compiler behind [`Session::prepare`] and
@@ -1180,7 +1206,8 @@ mod tests {
             s.execute_prepared("bank", &prepared).unwrap(),
             "profiling must not change results"
         );
-        let (nodes, edges, _) = profile.totals();
+        let (nodes, edges, _, instrs, _) = profile.totals();
         assert!(nodes > 0 && edges > 0, "{:?}", profile.totals());
+        assert!(instrs > 0, "flat engine dispatched no instructions");
     }
 }

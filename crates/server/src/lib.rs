@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+mod persist;
 pub mod protocol;
 pub mod server;
 

@@ -26,6 +26,7 @@
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -36,6 +37,7 @@ use gpml_core::Params;
 use gql::{GqlError, PreparedGqlQuery, QueryResult, Session};
 use property_graph::PropertyGraph;
 
+use crate::persist;
 use crate::protocol::{read_frame, write_frame, ErrorCode, Request, Response};
 
 /// Configuration for [`serve`].
@@ -51,6 +53,11 @@ pub struct ServerConfig {
     pub options: EvalOptions,
     /// Capacity of the shared plan cache.
     pub cache_capacity: usize,
+    /// When set, the shared plan cache is warm-started from this file at
+    /// boot and saved back to it after new compiles and at shutdown, so
+    /// a restarted server replays its regulars with zero compile misses.
+    /// A missing, stale, or corrupt file is ignored, never an error.
+    pub plan_cache_file: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +67,7 @@ impl Default for ServerConfig {
             graph_name: "g".to_owned(),
             options: EvalOptions::default(),
             cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+            plan_cache_file: None,
         }
     }
 }
@@ -89,6 +97,12 @@ pub struct ServerStats {
     /// Candidate bindings pruned by semi-join filters across every
     /// `QUERY`/`EXECUTE` served.
     pub exec_rows_pruned: AtomicU64,
+    /// Flat-program instructions dispatched across every
+    /// `QUERY`/`EXECUTE` served (0 while the legacy engine is selected).
+    pub exec_instrs_dispatched: AtomicU64,
+    /// Backtracking trail truncations across every `QUERY`/`EXECUTE`
+    /// served (0 while the legacy engine is selected).
+    pub exec_backtrack_truncations: AtomicU64,
 }
 
 /// Everything a connection thread needs, shared by `Arc`.
@@ -99,6 +113,31 @@ struct Shared {
     cache: SharedPlanLru<PreparedGqlQuery>,
     stats: ServerStats,
     stopping: AtomicBool,
+    persist: Option<PersistState>,
+}
+
+/// Where the plan cache is persisted, plus the cache length at the last
+/// save so connection threads can skip the write when nothing compiled.
+struct PersistState {
+    path: PathBuf,
+    last_saved_len: AtomicU64,
+}
+
+impl Shared {
+    /// Saves the plan cache to the configured file if its length changed
+    /// since the last save (i.e. a connection just compiled something
+    /// new). Write-through rather than save-on-shutdown-only, so plans
+    /// survive even a `kill -9` — at worst the last compile is lost.
+    fn maybe_persist(&self) {
+        let Some(p) = &self.persist else { return };
+        let len = self.cache.stats().len as u64;
+        if p.last_saved_len.swap(len, Ordering::Relaxed) == len {
+            return;
+        }
+        if let Err(e) = persist::save(&p.path, &self.options, &self.cache) {
+            eprintln!("gpmld: plan cache save to {} failed: {e}", p.path.display());
+        }
+    }
 }
 
 /// A running server. Dropping the handle stops it; prefer an explicit
@@ -146,6 +185,14 @@ impl ServerHandle {
         // Wake the blocking accept with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         let _ = accept.join();
+        // Final save: catches replacements write-through skipped (same
+        // length, different plan) and runs after the accept loop is done
+        // admitting connections that could still compile.
+        if let Some(p) = &self.shared.persist {
+            if let Err(e) = persist::save(&p.path, &self.shared.options, &self.shared.cache) {
+                eprintln!("gpmld: plan cache save to {} failed: {e}", p.path.display());
+            }
+        }
     }
 }
 
@@ -176,7 +223,22 @@ pub fn serve_shared(graph: Arc<PropertyGraph>, config: ServerConfig) -> io::Resu
         cache: SharedPlanLru::new(config.cache_capacity),
         stats: ServerStats::default(),
         stopping: AtomicBool::new(false),
+        persist: config.plan_cache_file.map(|path| PersistState {
+            path,
+            last_saved_len: AtomicU64::new(0),
+        }),
     });
+    if let Some(p) = &shared.persist {
+        let seeded = persist::load(&p.path, &shared.options, &shared.cache);
+        p.last_saved_len
+            .store(shared.cache.stats().len as u64, Ordering::Relaxed);
+        if seeded > 0 {
+            eprintln!(
+                "gpmld: warm-started {seeded} plan(s) from {}",
+                p.path.display()
+            );
+        }
+    }
     let accept = {
         let shared = Arc::clone(&shared);
         std::thread::Builder::new()
@@ -282,6 +344,10 @@ impl<'s> Connection<'s> {
                     message: "frame payload is not UTF-8".to_owned(),
                 },
             };
+            // Any request may have compiled a new plan (QUERY and
+            // EXECUTE compile too, not just PREPARE); cheap no-op when
+            // the cache didn't grow.
+            self.shared.maybe_persist();
             let mut is_error = matches!(response, Response::Error { .. });
             let mut encoded = response.serialize();
             if encoded.len() > crate::protocol::MAX_FRAME {
@@ -422,16 +488,34 @@ impl<'s> Connection<'s> {
             params,
             &profile,
         );
-        let (nodes, edges, pruned) = profile.totals();
+        let (nodes, edges, pruned, instrs, truncations) = profile.totals();
         let s = &self.shared.stats;
         s.exec_nodes_expanded.fetch_add(nodes, Ordering::Relaxed);
         s.exec_edges_traversed.fetch_add(edges, Ordering::Relaxed);
         s.exec_rows_pruned.fetch_add(pruned, Ordering::Relaxed);
+        s.exec_instrs_dispatched
+            .fetch_add(instrs, Ordering::Relaxed);
+        s.exec_backtrack_truncations
+            .fetch_add(truncations, Ordering::Relaxed);
         result
     }
 
     fn stats(&self) -> Response {
         let cache = self.shared.cache.stats();
+        // Total encoded size of every cached flat program: what a
+        // `--plan-cache-file` save would write for the plans themselves.
+        let plan_bytes: usize = self
+            .shared
+            .cache
+            .entries()
+            .iter()
+            .map(|(_, _, plan)| {
+                plan.stage_programs()
+                    .iter()
+                    .map(|p| p.encoded_len())
+                    .sum::<usize>()
+            })
+            .sum();
         let s = &self.shared.stats;
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed).to_string();
         let stats = vec![
@@ -439,6 +523,7 @@ impl<'s> Connection<'s> {
             ("cache.misses".to_owned(), cache.misses.to_string()),
             ("cache.len".to_owned(), cache.len.to_string()),
             ("cache.capacity".to_owned(), cache.capacity.to_string()),
+            ("plans.bytes".to_owned(), plan_bytes.to_string()),
             ("sessions.total".to_owned(), load(&s.connections_total)),
             ("sessions.active".to_owned(), load(&s.connections_active)),
             ("requests.query".to_owned(), load(&s.queries)),
@@ -455,6 +540,14 @@ impl<'s> Connection<'s> {
                 load(&s.exec_edges_traversed),
             ),
             ("exec.rows_pruned".to_owned(), load(&s.exec_rows_pruned)),
+            (
+                "exec.instrs_dispatched".to_owned(),
+                load(&s.exec_instrs_dispatched),
+            ),
+            (
+                "exec.backtrack_truncations".to_owned(),
+                load(&s.exec_backtrack_truncations),
+            ),
             ("handles.open".to_owned(), self.handles.len().to_string()),
         ];
         Response::Stats { stats }

@@ -39,10 +39,10 @@ use property_graph::{PropertyGraph, Value};
 fn usage() -> ! {
     eprintln!(
         "usage: gpml [--graph fig1|chain:N|cycle:N|grid:WxH|network:N,M,SEED|csv:DIR] \
-         [--mode gpml|sparql|gsql] [--threads N] [--no-semijoin] [--param NAME=VALUE]... \
-         [--format table|json|csv] [--explain] [QUERY]\n\
+         [--mode gpml|sparql|gsql] [--threads N] [--no-semijoin] [--no-flat] \
+         [--param NAME=VALUE]... [--format table|json|csv] [--explain] [QUERY]\n\
          \x20      gpml serve   [--graph ...] [--mode ...] [--threads N] [--no-semijoin] \
-         [--addr HOST[:PORT]] [--port N] [--cache N]\n\
+         [--no-flat] [--addr HOST[:PORT]] [--port N] [--cache N] [--plan-cache-file PATH]\n\
          \x20      gpml connect [--addr HOST:PORT] [--format table|json|csv]\n\
          With no QUERY, reads one query per line from stdin; repeated\n\
          queries reuse their compiled plan (the session's LRU plan cache).\n\
@@ -56,7 +56,12 @@ fn usage() -> ! {
          --threads N runs the per-stage matcher searches on N worker\n\
          threads (0 = auto, 1 = sequential; results are identical either\n\
          way). --no-semijoin disables semi-join filter pushdown (results\n\
-         are identical; only work changes). REPL commands: :stats dumps\n\
+         are identical; only work changes). --no-flat falls back to the\n\
+         legacy pointer-walking matcher instead of the flat transition-\n\
+         array interpreter (results are identical; only speed changes).\n\
+         `serve --plan-cache-file PATH` persists compiled plans to PATH\n\
+         and warm-starts from it on the next boot (zero compile misses\n\
+         for replayed statements). REPL commands: :stats dumps\n\
          the graph's statistics catalog (including per-label degree\n\
          histograms), :cache the plan-cache counters, :threads [N] shows\n\
          or sets the worker-thread count, :let name = value binds a\n\
@@ -351,14 +356,20 @@ fn print_profile(profile: &gpml_suite::core::eval::ExecProfile) {
     eprintln!("  execution counters (by declaration stage):");
     for (i, c) in profile.stages().iter().enumerate() {
         eprintln!(
-            "    stage {i}: {} nodes expanded, {} edges traversed, {} rows pruned by semi-join",
+            "    stage {i}: {} nodes expanded, {} edges traversed, {} rows pruned by semi-join, \
+             {} instrs dispatched, {} backtrack truncations",
             c.nodes_expanded(),
             c.edges_traversed(),
-            c.rows_pruned()
+            c.rows_pruned(),
+            c.instrs_dispatched(),
+            c.backtrack_truncations()
         );
     }
-    let (nodes, edges, pruned) = profile.totals();
-    eprintln!("    total: {nodes} nodes expanded, {edges} edges traversed, {pruned} rows pruned");
+    let (nodes, edges, pruned, instrs, truncations) = profile.totals();
+    eprintln!(
+        "    total: {nodes} nodes expanded, {edges} edges traversed, {pruned} rows pruned, \
+         {instrs} instrs dispatched, {truncations} backtrack truncations"
+    );
 }
 
 /// The engine flags `gpml` and `gpml serve` share. Both argument loops
@@ -369,6 +380,7 @@ struct EngineArgs {
     mode: MatchMode,
     threads: usize,
     semi_join: bool,
+    flat: bool,
 }
 
 impl EngineArgs {
@@ -378,6 +390,7 @@ impl EngineArgs {
             mode: MatchMode::Gpml,
             threads: 0,
             semi_join: true,
+            flat: true,
         }
     }
 
@@ -401,6 +414,7 @@ impl EngineArgs {
                     .unwrap_or_else(|| usage())
             }
             "--no-semijoin" => self.semi_join = false,
+            "--no-flat" => self.flat = false,
             _ => return false,
         }
         true
@@ -411,6 +425,7 @@ impl EngineArgs {
             mode: self.mode,
             threads: self.threads,
             semi_join: self.semi_join,
+            flat: self.flat,
             ..EvalOptions::default()
         }
     }
@@ -422,6 +437,7 @@ fn serve_main(args: Vec<String>) -> ! {
     let mut host = "127.0.0.1".to_owned();
     let mut port = 7878u16;
     let mut cache = DEFAULT_PLAN_CACHE_CAPACITY;
+    let mut plan_cache_file = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -441,6 +457,11 @@ fn serve_main(args: Vec<String>) -> ! {
                     .next()
                     .and_then(|n| n.parse().ok())
                     .unwrap_or_else(|| usage())
+            }
+            "--plan-cache-file" => {
+                plan_cache_file = Some(std::path::PathBuf::from(
+                    it.next().unwrap_or_else(|| usage()),
+                ))
             }
             _ => usage(),
         }
@@ -467,6 +488,7 @@ fn serve_main(args: Vec<String>) -> ! {
         addr: bind_addr.clone(),
         options: engine.options(),
         cache_capacity: cache,
+        plan_cache_file,
         ..ServerConfig::default()
     };
     let handle = match serve_shared(std::sync::Arc::new(graph), config) {

@@ -23,6 +23,10 @@ fn opts() -> EvalOptions {
         // execution — CI runs the suite a second time that way as a
         // differential check on the semi-join pushdown.
         semi_join: std::env::var("GPML_SEMIJOIN").as_deref() != Ok("off"),
+        // `GPML_FLAT=off` flips the whole suite onto the legacy
+        // pointer-walking matcher — CI runs the suite that way as a
+        // differential check on the flat transition-array interpreter.
+        flat: std::env::var("GPML_FLAT").as_deref() != Ok("off"),
         ..EvalOptions::default()
     }
 }
@@ -284,6 +288,90 @@ fn check_semi_join_agreement(
                 "one-sided static failure on {pattern}: {e}"
             );
         }
+    }
+}
+
+/// Compares the flat transition-array interpreter (the engine default)
+/// against the legacy pointer-walking matcher with only `flat` off,
+/// under one (threads, mode, isomorphism, semi-join) combination. The
+/// contract is the strictest in this suite: the flat interpreter is a
+/// different encoding of the *same* search, so the full `MatchSet` —
+/// rows *and* order — must be bit-for-bit identical, and resource-limit
+/// failures must land on the same side (same traversal, same counts).
+fn check_flat_agreement(
+    g: &PropertyGraph,
+    pattern: &GraphPattern,
+    threads: usize,
+    mode: MatchMode,
+    iso: MatchIso,
+    semi_join: bool,
+) {
+    let flat_on = EvalOptions {
+        threads,
+        mode,
+        isomorphism: iso,
+        semi_join,
+        flat: true,
+        ..opts()
+    };
+    let flat_off = EvalOptions {
+        flat: false,
+        ..flat_on.clone()
+    };
+    let a = evaluate(g, pattern, &flat_on);
+    let b = evaluate(g, pattern, &flat_off);
+    match (a, b) {
+        (Ok(x), Ok(y)) => assert_eq!(
+            x, y,
+            "flat interpreter diverged from the legacy matcher on {pattern} \
+             (threads {threads}, mode {mode:?}, iso {iso:?}, semi_join {semi_join})"
+        ),
+        (Err(ea), Err(eb)) => assert_eq!(
+            ea.to_string(),
+            eb.to_string(),
+            "flat and legacy failed differently on {pattern}"
+        ),
+        (a, b) => panic!(
+            "flat/legacy success split on {pattern} (threads {threads}, mode {mode:?}, \
+             iso {iso:?}, semi_join {semi_join}): {:?} vs {:?}",
+            a.map(|r| r.len()),
+            b.map(|r| r.len())
+        ),
+    }
+}
+
+/// Round-trips every stage program of a prepared plan through the binary
+/// codec and checks (a) structural equality of the decoded programs and
+/// (b) bit-for-bit identical execution after the plan adopts them — the
+/// persistence path a `--plan-cache-file` warm start takes.
+fn check_serialized_plan_agreement(g: &PropertyGraph, pattern: &GraphPattern) {
+    use gpml_suite::core::FlatProgram;
+    let Ok(mut prepared) = prepare(pattern, &opts()) else {
+        return; // static rejections have nothing to serialize
+    };
+    let want = prepared.execute(g);
+    let decoded: Vec<FlatProgram> = prepared
+        .plan()
+        .stage_programs()
+        .iter()
+        .map(|p| {
+            let d = FlatProgram::from_bytes(&p.to_bytes()).expect("round-trip decodes");
+            assert_eq!(&d, *p, "decode(encode(p)) is not structural identity");
+            d
+        })
+        .collect();
+    prepared
+        .adopt_stage_programs(decoded)
+        .expect("round-tripped programs match their own plan");
+    let got = prepared.execute(g);
+    match (want, got) {
+        (Ok(x), Ok(y)) => assert_eq!(x, y, "deserialized plan diverged on {pattern}"),
+        (Err(ea), Err(eb)) => assert_eq!(ea.to_string(), eb.to_string()),
+        (a, b) => panic!(
+            "deserialized plan success split on {pattern}: {:?} vs {:?}",
+            a.map(|r| r.len()),
+            b.map(|r| r.len())
+        ),
     }
 }
 
@@ -818,6 +906,80 @@ proptest! {
             where_clause: None,
         };
         check_parameterized_agreement(&g, &gp, threads, MatchMode::Gpml, iso);
+    }
+
+    #[test]
+    fn flat_interpreter_is_bit_for_bit_legacy(
+        seed in 0u64..500,
+        p1 in chain_pattern(),
+        p2 in chain_pattern(),
+        threads in proptest::sample::select(vec![1usize, 2, 4]),
+        mode in proptest::sample::select(vec![
+            MatchMode::Gpml,
+            MatchMode::EndpointOnly,
+            MatchMode::GsqlDefault,
+        ]),
+        iso in proptest::sample::select(vec![
+            MatchIso::Homomorphism,
+            MatchIso::EdgeIsomorphic,
+        ]),
+        semi_join in proptest::bool::ANY,
+    ) {
+        let g = small_mixed(seed, 5, 8);
+        let gp = GraphPattern {
+            paths: vec![
+                PathPatternExpr::plain(p1),
+                PathPatternExpr::plain(p2),
+            ],
+            where_clause: None,
+        };
+        check_flat_agreement(&g, &gp, threads, mode, iso, semi_join);
+    }
+
+    #[test]
+    fn flat_interpreter_quantified_is_bit_for_bit_legacy(
+        seed in 0u64..500,
+        (restrictor, selector, pattern) in quantified_pattern(),
+        threads in proptest::sample::select(vec![1usize, 2, 4]),
+        iso in proptest::sample::select(vec![
+            MatchIso::Homomorphism,
+            MatchIso::EdgeIsomorphic,
+        ]),
+        semi_join in proptest::bool::ANY,
+    ) {
+        let g = small_mixed(seed, 4, 6);
+        let gp = GraphPattern {
+            paths: vec![PathPatternExpr { selector, restrictor, path_var: Some("p".into()), pattern }],
+            where_clause: None,
+        };
+        check_flat_agreement(&g, &gp, threads, MatchMode::Gpml, iso, semi_join);
+    }
+
+    #[test]
+    fn serialized_plans_execute_identically(
+        seed in 0u64..500,
+        p1 in chain_pattern(),
+        p2 in chain_pattern(),
+    ) {
+        let g = small_mixed(seed, 5, 8);
+        let gp = GraphPattern {
+            paths: vec![PathPatternExpr::plain(p1), PathPatternExpr::plain(p2)],
+            where_clause: None,
+        };
+        check_serialized_plan_agreement(&g, &gp);
+    }
+
+    #[test]
+    fn serialized_quantified_plans_execute_identically(
+        seed in 0u64..500,
+        (restrictor, selector, pattern) in quantified_pattern(),
+    ) {
+        let g = small_mixed(seed, 4, 6);
+        let gp = GraphPattern {
+            paths: vec![PathPatternExpr { selector, restrictor, path_var: None, pattern }],
+            where_clause: None,
+        };
+        check_serialized_plan_agreement(&g, &gp);
     }
 
     #[test]

@@ -208,30 +208,44 @@ fn stats_reports_execution_counters() {
     let server = serve_shared(Arc::new(fig1()), ServerConfig::default()).expect("bind");
     let mut client = Client::connect(server.addr()).expect("connect");
 
-    let exec_stats = |client: &mut Client| -> (u64, u64, u64) {
+    let exec_stats = |client: &mut Client| -> (u64, u64, u64, u64) {
         let stats = client.stats().expect("stats");
         let get = |key: &str| -> u64 {
             gpml_server::client::stat(&stats, key)
                 .unwrap_or_else(|| panic!("missing {key} in {stats:?}"))
         };
+        // The line exists even while zero (legacy engine, no backtracks).
+        get("exec.backtrack_truncations");
         (
             get("exec.nodes_expanded"),
             get("exec.edges_traversed"),
             get("exec.rows_pruned"),
+            get("exec.instrs_dispatched"),
         )
     };
 
-    // The lines exist (zeroed) before any query runs.
-    assert_eq!(exec_stats(&mut client), (0, 0, 0));
+    // The lines exist (zeroed) before any query runs, and an empty cache
+    // holds zero plan bytes.
+    assert_eq!(exec_stats(&mut client), (0, 0, 0, 0));
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        gpml_server::client::stat(&stats, "plans.bytes"),
+        Some(0),
+        "{stats:?}"
+    );
 
     // A one-shot QUERY tallies matcher work.
     let r = client
         .query("MATCH (x:Account)-[t:Transfer]->(y:Account) RETURN x.owner AS a, y.owner AS b")
         .expect("query");
     assert!(!r.is_empty());
-    let (nodes, edges, _) = exec_stats(&mut client);
+    let (nodes, edges, _, instrs) = exec_stats(&mut client);
     assert!(nodes > 0, "QUERY expanded no nodes");
     assert!(edges > 0, "QUERY traversed no edges");
+    assert!(instrs > 0, "flat interpreter dispatched no instructions");
+    let stats = client.stats().expect("stats");
+    let plan_bytes = gpml_server::client::stat(&stats, "plans.bytes").expect("plans.bytes");
+    assert!(plan_bytes > 0, "a cached plan reports no encoded bytes");
 
     // A selective second stage makes the semi-join filter prune rows,
     // and EXECUTE feeds the same counters as QUERY.
@@ -246,10 +260,61 @@ fn stats_reports_execution_counters() {
         .execute(h.handle, &Params::new().with("b", "yes"))
         .expect("execute");
     assert!(!r.is_empty());
-    let (nodes2, edges2, pruned2) = exec_stats(&mut client);
+    let (nodes2, edges2, pruned2, instrs2) = exec_stats(&mut client);
     assert!(nodes2 > nodes && edges2 > edges, "EXECUTE tallied nothing");
     assert!(pruned2 > 0, "selective join pruned no rows over the wire");
+    assert!(instrs2 > instrs, "EXECUTE dispatched no instructions");
     server.stop();
+}
+
+/// `--plan-cache-file` end to end: a server compiles plans, persists
+/// them, and a *restarted* server over the same file answers the same
+/// statements with **zero** compile misses — every plan is seeded into
+/// the cache at boot, before any client connects.
+#[test]
+fn plan_cache_file_warm_starts_with_zero_misses() {
+    let path = std::env::temp_dir().join(format!(
+        "gpml-warmstart-{}-{:?}.gpcf",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let config = || ServerConfig {
+        plan_cache_file: Some(path.clone()),
+        ..ServerConfig::default()
+    };
+    let statements = [
+        "MATCH (x:Account)-[t:Transfer]->(y:Account) RETURN x.owner AS a, y.owner AS b",
+        "MATCH (x:Account)-[e:Transfer]->(m), (m)-[f:Transfer]->(y:Account) \
+         RETURN x.owner AS a ORDER BY a",
+    ];
+
+    // First boot: cold cache, every statement compiles once.
+    let server = serve_shared(Arc::new(fig1()), config()).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let mut first = Vec::new();
+    for stmt in statements {
+        first.push(client.query(stmt).expect("query"));
+    }
+    assert_eq!(server.cache_stats().misses, statements.len() as u64);
+    drop(client);
+    server.stop(); // persists (write-through already did, this is the final save)
+    assert!(path.exists(), "no plan cache file was written");
+
+    // Second boot, same file: the cache is seeded before any client
+    // traffic, so replaying the same statements never compiles.
+    let server = serve_shared(Arc::new(fig1()), config()).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    for (stmt, want) in statements.iter().zip(&first) {
+        let got = client.query(stmt).expect("warm query");
+        assert_eq!(&got, want, "warm-started plan changed the result");
+    }
+    let stats = server.cache_stats();
+    assert_eq!(stats.misses, 0, "warm start still compiled: {stats:?}");
+    assert_eq!(stats.hits, statements.len() as u64, "{stats:?}");
+    drop(client);
+    server.stop();
+    let _ = std::fs::remove_file(&path);
 }
 
 /// Every error path answers with a typed `ERR` and the connection keeps
