@@ -1,0 +1,78 @@
+//! EB16 — serving-model concurrency: event loop vs thread-per-connection
+//! under mixed idle/active populations of 64 and 256 connections.
+//!
+//! The threaded model spends a parked OS thread per idle connection;
+//! the event loop spends a pollfd. This bench holds the *work* constant
+//! (8 active connections streaming prepared `EXECUTE`s) while growing
+//! the idle population around it, and reports total throughput plus
+//! p50/p99 request latencies for both models. Results are asserted
+//! equal against an in-process session before any timing.
+//!
+//! Under Criterion's `--test` smoke the populations shrink (16 conns, 4
+//! ops) so CI exercises the full path in milliseconds. This dev
+//! container may be single-CPU; compare shapes, and measure separations
+//! on multi-core hardware.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gpml_bench::server_concurrency as eb16;
+use gpml_server::server::ServeModel;
+
+fn bench_concurrency(c: &mut Criterion) {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let populations: Vec<(usize, usize)> = if smoke {
+        vec![(16, 4)]
+    } else {
+        eb16::POPULATIONS.to_vec()
+    };
+    let ops = if smoke { 4 } else { eb16::OPS_PER_ACTIVE };
+    let expect = eb16::oracle();
+
+    for model in [ServeModel::EventLoop, ServeModel::Threaded] {
+        let server = eb16::start_server(model);
+        for &(conns, active) in &populations {
+            let report = eb16::run_mix(&server, model, conns, active, ops, &expect);
+            println!("EB16 {}", report.line());
+        }
+        server.stop();
+    }
+
+    // A Criterion-timed slice of the same story: one request round trip
+    // on an active connection while an idle population sits on the same
+    // server, per model.
+    let idle_count = if smoke { 8 } else { 64 };
+    let mut group = c.benchmark_group("EB16/roundtrip_under_idle_load");
+    group.measurement_time(Duration::from_millis(400));
+    for model in [ServeModel::EventLoop, ServeModel::Threaded] {
+        let server = eb16::start_server(model);
+        let mut idle = Vec::with_capacity(idle_count);
+        for _ in 0..idle_count {
+            let mut c = gpml_server::client::Client::connect(server.addr()).expect("connect");
+            c.hello("eb16-idle").expect("hello");
+            idle.push(c);
+        }
+        let skeleton = gpml_bench::server::wire_skeleton();
+        let owners = gpml_bench::prepared::owners();
+        let mut client = gpml_server::client::Client::connect(server.addr()).expect("connect");
+        let handle = client.prepare(&skeleton).expect("prepare").handle;
+        let got = gpml_bench::server::execute_bound(&mut client, handle, &owners[0])
+            .expect("probe execute");
+        assert_eq!(got, expect, "{} model diverged", eb16::model_name(model));
+        let mut at = 0usize;
+        group.bench_function(eb16::model_name(model), |b| {
+            b.iter(|| {
+                let owner = &owners[at % owners.len()];
+                at += 1;
+                gpml_bench::server::execute_bound(&mut client, handle, owner).expect("execute")
+            })
+        });
+        drop(idle);
+        server.stop();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrency);
+criterion_main!(benches);

@@ -642,6 +642,38 @@ fn main() {
         );
     }
 
+    // -- EB16: serving-model concurrency -----------------------------------
+    heading(
+        "EB16",
+        "serving models under mixed idle/active connection populations",
+    );
+    {
+        use gpml_bench::server_concurrency as eb16;
+        use gpml_server::server::ServeModel;
+
+        let expect = eb16::oracle();
+        for model in [ServeModel::EventLoop, ServeModel::Threaded] {
+            let server = eb16::start_server(model);
+            for &(conns, active) in eb16::POPULATIONS {
+                // run_mix asserts wire == in-process before timing, so a
+                // completed report *is* the correctness check.
+                let report =
+                    eb16::run_mix(&server, model, conns, active, eb16::OPS_PER_ACTIVE, &expect);
+                println!("    {}", report.line());
+                check(
+                    &format!(
+                        "{} model, {} conns: wire equals in-process",
+                        eb16::model_name(model),
+                        conns
+                    ),
+                    "true",
+                    true,
+                );
+            }
+            server.stop();
+        }
+    }
+
     println!("\nAll experiments reproduced. See EXPERIMENTS.md for the index.");
 }
 

@@ -13,6 +13,7 @@ pub mod joins;
 pub mod prepared;
 pub mod semijoin;
 pub mod server;
+pub mod server_concurrency;
 
 use gpml_core::eval::{evaluate, EvalOptions};
 use gpml_core::{GraphPattern, MatchSet};

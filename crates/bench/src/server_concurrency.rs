@@ -1,0 +1,210 @@
+//! Shared EB16 workload definitions — serving-model concurrency.
+//!
+//! EB16 compares gpmld's two serving models under *mixed* connection
+//! populations — a few connections actively issuing `EXECUTE` traffic
+//! while many more sit idle — which is the regime the event loop
+//! exists for: the threaded model pays a parked thread per idle
+//! connection, the reactor pays a pollfd. Both consumers of EB16
+//! (`benches/server_concurrency.rs` and the `paper-report` binary)
+//! build their populations and measurements from here, so the bench
+//! and the report always measure the same thing (mirrors how
+//! `server.rs` backs EB13).
+//!
+//! Measured per (model × population): total throughput over the active
+//! connections, and the p50/p99 of individual request latencies.
+//! Results are asserted equal across both models against an in-process
+//! session before any timing, so the comparison cannot quietly time
+//! different answers.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use gpml_core::Params;
+use gpml_server::client::Client;
+use gpml_server::server::{serve, ServeModel, ServerConfig, ServerHandle};
+
+use crate::prepared;
+
+/// The (total connections, active connections) populations EB16 runs:
+/// 64 and 256 connections, most of them idle.
+pub const POPULATIONS: &[(usize, usize)] = &[(64, 8), (256, 8)];
+
+/// Requests each active connection issues per measurement.
+pub const OPS_PER_ACTIVE: usize = 40;
+
+/// One EB16 measurement.
+#[derive(Clone, Debug)]
+pub struct MixReport {
+    /// Which serving model ran.
+    pub model: ServeModel,
+    /// Total open connections during the measurement.
+    pub conns: usize,
+    /// How many of them were issuing requests.
+    pub active: usize,
+    /// Total requests completed.
+    pub ops: usize,
+    /// Wall-clock for the whole active batch.
+    pub elapsed: Duration,
+    /// Median request latency.
+    pub p50: Duration,
+    /// 99th-percentile request latency.
+    pub p99: Duration,
+}
+
+impl MixReport {
+    /// Requests per second over the batch.
+    pub fn throughput(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// A one-line rendering for bench/report output.
+    pub fn line(&self) -> String {
+        format!(
+            "{:9} {:4} conns ({} active): {:8.0} req/s, p50 {:7.1} us, p99 {:7.1} us",
+            model_name(self.model),
+            self.conns,
+            self.active,
+            self.throughput(),
+            self.p50.as_secs_f64() * 1e6,
+            self.p99.as_secs_f64() * 1e6,
+        )
+    }
+}
+
+/// Stable display name for a serving model.
+pub fn model_name(model: ServeModel) -> &'static str {
+    match model {
+        ServeModel::EventLoop => "event-loop",
+        ServeModel::Threaded => "threaded",
+    }
+}
+
+/// Starts an EB16 server over the EB12 100-account transfer network
+/// under the given serving model.
+pub fn start_server(model: ServeModel) -> ServerHandle {
+    serve(
+        prepared::network100(),
+        ServerConfig {
+            model,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback server")
+}
+
+/// Runs one EB16 measurement: `conns` open connections of which
+/// `active` issue `ops_per_active` prepared `EXECUTE`s each, with
+/// per-request latencies recorded. The first binding's result is
+/// asserted against `expect` (the in-process oracle) before timing.
+pub fn run_mix(
+    server: &ServerHandle,
+    model: ServeModel,
+    conns: usize,
+    active: usize,
+    ops_per_active: usize,
+    expect: &gql::QueryResult,
+) -> MixReport {
+    assert!(active > 0 && active <= conns);
+    let skeleton = crate::server::wire_skeleton();
+    let owners = prepared::owners();
+
+    // The idle population: connected, greeted, then silent.
+    let mut idle = Vec::with_capacity(conns - active);
+    for _ in 0..conns - active {
+        let mut c = Client::connect(server.addr()).expect("connect idle");
+        c.hello("eb16-idle").expect("hello");
+        idle.push(c);
+    }
+
+    // The active population, each with its own prepared handle.
+    let workers: Vec<Mutex<(Client, u64)>> = (0..active)
+        .map(|_| {
+            let mut c = Client::connect(server.addr()).expect("connect active");
+            let h = c.prepare(&skeleton).expect("prepare").handle;
+            Mutex::new((c, h))
+        })
+        .collect();
+
+    // Equality before timing: this model's wire answer is the oracle's.
+    {
+        let mut w = workers[0].lock().expect("worker");
+        let (client, handle) = &mut *w;
+        let got = client
+            .execute(*handle, &Params::new().with("owner", owners[0].clone()))
+            .expect("probe execute");
+        assert_eq!(
+            &got,
+            expect,
+            "{} model diverged from the in-process oracle",
+            model_name(model)
+        );
+    }
+
+    let start = Instant::now();
+    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = workers
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                let owners = &owners;
+                scope.spawn(move || {
+                    let mut w = slot.lock().expect("worker");
+                    let (client, handle) = &mut *w;
+                    let mut lat = Vec::with_capacity(ops_per_active);
+                    for k in 0..ops_per_active {
+                        let owner = &owners[(i * ops_per_active + k) % owners.len()];
+                        let t = Instant::now();
+                        client
+                            .execute(*handle, &Params::new().with("owner", owner.clone()))
+                            .expect("execute");
+                        lat.push(t.elapsed());
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker thread"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+
+    latencies.sort_unstable();
+    let report = MixReport {
+        model,
+        conns,
+        active,
+        ops: latencies.len(),
+        elapsed,
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+    };
+    drop(idle);
+    report
+}
+
+/// The in-process oracle result for the probe binding.
+pub fn oracle() -> gql::QueryResult {
+    let mut session = gql::Session::new();
+    session.register("net", prepared::network100());
+    let prepared = session
+        .prepare(&crate::server::wire_skeleton())
+        .expect("prepare");
+    session
+        .execute_prepared_with(
+            "net",
+            &prepared,
+            &Params::new().with("owner", prepared::owners()[0].clone()),
+        )
+        .expect("oracle execute")
+}
+
+/// Nearest-rank percentile over sorted latencies.
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}

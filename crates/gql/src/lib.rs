@@ -32,7 +32,10 @@
 //! ```
 
 pub mod codec;
+pub mod cursor;
 pub mod json;
+
+pub use cursor::ResultCursor;
 
 use std::collections::BTreeMap;
 use std::sync::Arc;

@@ -59,6 +59,29 @@ pub struct PreparedHandle {
     pub params: Vec<String>,
 }
 
+/// A server-side cursor parked over a finished result, drained with
+/// [`Client::fetch`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CursorHandle {
+    /// Pass to [`Client::fetch`] / [`Client::close_cursor`].
+    pub cursor: u64,
+    /// Total rows parked behind the cursor.
+    pub total: u64,
+    /// Result column names (every [`RowChunk`] repeats them).
+    pub columns: Vec<String>,
+}
+
+/// One `FETCH` chunk.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RowChunk {
+    /// The rows of this chunk (at most the `n` asked for; possibly
+    /// fewer when the byte budget under the frame cap bites first).
+    pub batch: QueryResult,
+    /// `true` while rows remain (`MORE`); `false` on the final chunk
+    /// (`DONE`), after which the server has already freed the cursor.
+    pub more: bool,
+}
+
 /// A blocking connection to a gpmld server.
 pub struct Client {
     stream: TcpStream,
@@ -106,27 +129,85 @@ impl Client {
 
     /// `EXECUTE`: runs a prepared handle under `params`.
     pub fn execute(&mut self, handle: u64, params: &Params) -> Result<QueryResult, ClientError> {
-        // Binding *names* travel unescaped (one `name⇥value` line per
-        // binding), so a name carrying the frame's structural characters
-        // could corrupt the request or smuggle in a second binding.
-        // Such a name can never match a `$name` slot anyway — the parser
-        // only produces identifiers — so reject it here, before it
-        // reaches the wire.
-        if let Some((bad, _)) = params
-            .iter()
-            .find(|(n, _)| n.contains(['\t', '\n', '\r']) || n.is_empty())
-        {
-            return Err(ClientError::Protocol(format!(
-                "parameter name {bad:?} cannot be sent over the wire \
-                 (names are identifiers; no tabs, newlines, or empties)"
-            )));
-        }
-        let params: Vec<(String, Value)> = params
-            .iter()
-            .map(|(n, v)| (n.to_owned(), v.clone()))
-            .collect();
+        let params = wire_params(params)?;
         match self.roundtrip(&Request::Execute { handle, params })? {
             Response::Result(r) => Ok(r),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// `QUERY CURSOR`: executes a one-shot statement but parks the
+    /// result server-side behind a cursor instead of shipping it whole —
+    /// the only way to read a result bigger than one frame.
+    pub fn query_cursor(&mut self, text: &str) -> Result<CursorHandle, ClientError> {
+        match self.roundtrip(&Request::QueryCursor {
+            text: text.to_owned(),
+        })? {
+            Response::Cursor {
+                cursor,
+                total,
+                columns,
+            } => Ok(CursorHandle {
+                cursor,
+                total,
+                columns,
+            }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// `EXECUTE … CURSOR`: runs a prepared handle and parks the result
+    /// behind a cursor (see [`Client::query_cursor`]).
+    pub fn execute_cursor(
+        &mut self,
+        handle: u64,
+        params: &Params,
+    ) -> Result<CursorHandle, ClientError> {
+        let params = wire_params(params)?;
+        match self.roundtrip(&Request::ExecuteCursor { handle, params })? {
+            Response::Cursor {
+                cursor,
+                total,
+                columns,
+            } => Ok(CursorHandle {
+                cursor,
+                total,
+                columns,
+            }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// `FETCH`: takes the next `n` rows (fewer if the frame-cap byte
+    /// budget bites first) off a cursor. A `more: false` chunk is the
+    /// last one — the cursor is gone, don't `CLOSE CURSOR` it.
+    pub fn fetch(&mut self, cursor: u64, n: u64) -> Result<RowChunk, ClientError> {
+        match self.roundtrip(&Request::Fetch { cursor, n })? {
+            Response::Rows { batch, more, .. } => Ok(RowChunk { batch, more }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Drains a cursor to completion with `FETCH n` round trips and
+    /// reassembles the full result.
+    pub fn fetch_all(&mut self, handle: &CursorHandle, n: u64) -> Result<QueryResult, ClientError> {
+        let mut result = QueryResult {
+            columns: handle.columns.clone(),
+            rows: Vec::new(),
+        };
+        loop {
+            let chunk = self.fetch(handle.cursor, n)?;
+            result.rows.extend(chunk.batch.rows);
+            if !chunk.more {
+                return Ok(result);
+            }
+        }
+    }
+
+    /// `CLOSE CURSOR`: frees a cursor early, discarding its unread rows.
+    pub fn close_cursor(&mut self, cursor: u64) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::CloseCursor { cursor })? {
+            Response::CursorClosed { .. } => Ok(()),
             other => Err(unexpected(other)),
         }
     }
@@ -179,6 +260,28 @@ impl Client {
 
 fn unexpected(r: Response) -> ClientError {
     ClientError::Protocol(format!("unexpected response {r:?}"))
+}
+
+/// Validates and clones parameter bindings for the wire. Binding
+/// *names* travel unescaped (one `name⇥value` line per binding), so a
+/// name carrying the frame's structural characters could corrupt the
+/// request or smuggle in a second binding. Such a name can never match
+/// a `$name` slot anyway — the parser only produces identifiers — so
+/// reject it here, before it reaches the wire.
+fn wire_params(params: &Params) -> Result<Vec<(String, Value)>, ClientError> {
+    if let Some((bad, _)) = params
+        .iter()
+        .find(|(n, _)| n.contains(['\t', '\n', '\r']) || n.is_empty())
+    {
+        return Err(ClientError::Protocol(format!(
+            "parameter name {bad:?} cannot be sent over the wire \
+             (names are identifiers; no tabs, newlines, or empties)"
+        )));
+    }
+    Ok(params
+        .iter()
+        .map(|(n, v)| (n.to_owned(), v.clone()))
+        .collect())
 }
 
 /// Looks a numeric counter up in a `STATS` (or `HELLO`) snapshot — the

@@ -1,0 +1,258 @@
+//! Per-connection protocol state, shared by both serving models.
+//!
+//! The event loop (`server::reactor`) and the legacy thread-per-
+//! connection model execute requests through the same three steps so
+//! their observable behavior cannot drift:
+//!
+//! 1. [`ConnState::classify`] — parse the frame and either answer
+//!    immediately (`HELLO`, `STATS`, `FETCH`, `CLOSE` — all cheap,
+//!    connection-local work) or produce a [`WorkItem`] for a worker;
+//! 2. [`Shared::run_work`] — the query/prepare/execute itself, safe to
+//!    run on any thread (it only touches the shared session);
+//! 3. [`ConnState::finish`] — fold the worker's output back into
+//!    connection-local state (assign prepared handles and cursor ids).
+//!
+//! Cursors live here, not in the worker: a cursor is connection-local
+//! exactly like a prepared handle, so its lifecycle (`OK CURSOR` →
+//! `FETCH`* → `DONE`/`CLOSE CURSOR`/teardown) needs no cross-thread
+//! coordination, and a dropped connection frees its cursors in
+//! [`ConnState::teardown`] the same way it frees its handles.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use gql::{PreparedGqlQuery, QueryResult, ResultCursor};
+use property_graph::Value;
+
+use crate::protocol::{ErrorCode, Request, Response, MAX_FRAME};
+use crate::server::Shared;
+
+/// Headroom reserved inside [`MAX_FRAME`] for a chunk frame's envelope
+/// (the `OK ROWS …` line and the header line). Chunk row bytes are
+/// budgeted against `MAX_FRAME - CHUNK_HEADROOM - header`, so a chunk
+/// can never need an oversized frame.
+const CHUNK_HEADROOM: usize = 4096;
+
+/// A request that needs real execution, dispatched to a worker.
+pub(crate) enum WorkItem {
+    /// `QUERY` / `QUERY CURSOR`.
+    Query { text: String, cursor: bool },
+    /// `PREPARE`.
+    Prepare { text: String },
+    /// `EXECUTE` / `EXECUTE … CURSOR` (the handle is resolved before
+    /// dispatch, so an unknown handle never costs a worker trip).
+    Execute {
+        prepared: Arc<PreparedGqlQuery>,
+        params: Vec<(String, Value)>,
+        cursor: bool,
+    },
+}
+
+/// What a worker hands back; handle/cursor assignment happens in
+/// [`ConnState::finish`] on the connection's own state.
+pub(crate) enum WorkOutput {
+    /// A ready response (results, and every error).
+    Response(Response),
+    /// A successful `PREPARE`: needs a handle. (`Arc`ed so the enum
+    /// stays small — the handle table wants an `Arc` anyway.)
+    Prepared(Arc<PreparedGqlQuery>),
+    /// A successful cursor-mode execution: needs a cursor id.
+    Cursor(QueryResult),
+}
+
+/// [`ConnState::classify`]'s verdict on one frame.
+pub(crate) enum Action {
+    /// Answer now, no worker involved.
+    Respond(Response),
+    /// Dispatch to the worker pool (or run inline, threaded model).
+    Work(WorkItem),
+}
+
+/// Connection-local request state: prepared handles and open cursors.
+#[derive(Default)]
+pub(crate) struct ConnState {
+    handles: HashMap<u64, Arc<PreparedGqlQuery>>,
+    next_handle: u64,
+    cursors: HashMap<u64, ResultCursor>,
+    next_cursor: u64,
+}
+
+impl ConnState {
+    pub(crate) fn new() -> ConnState {
+        ConnState {
+            next_handle: 1,
+            next_cursor: 1,
+            ..ConnState::default()
+        }
+    }
+
+    /// How many prepared handles this connection holds (for `STATS`).
+    fn handles_open(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Classifies one decoded frame payload: either an immediate
+    /// response or a work item. Request-class stats are counted here so
+    /// both serving models tally identically.
+    pub(crate) fn classify(&mut self, shared: &Shared, payload: &str) -> Action {
+        let request = match Request::parse(payload) {
+            Ok(r) => r,
+            Err((code, message)) => return Action::Respond(Response::Error { code, message }),
+        };
+        let s = shared.stats();
+        match request {
+            Request::Hello { client: _ } => Action::Respond(shared.hello()),
+            Request::Query { text } => {
+                s.queries.fetch_add(1, Ordering::Relaxed);
+                Action::Work(WorkItem::Query {
+                    text,
+                    cursor: false,
+                })
+            }
+            Request::QueryCursor { text } => {
+                s.queries.fetch_add(1, Ordering::Relaxed);
+                Action::Work(WorkItem::Query { text, cursor: true })
+            }
+            Request::Prepare { text } => {
+                s.prepares.fetch_add(1, Ordering::Relaxed);
+                Action::Work(WorkItem::Prepare { text })
+            }
+            Request::Execute { handle, params } => {
+                s.executes.fetch_add(1, Ordering::Relaxed);
+                self.dispatch_execute(handle, params, false)
+            }
+            Request::ExecuteCursor { handle, params } => {
+                s.executes.fetch_add(1, Ordering::Relaxed);
+                self.dispatch_execute(handle, params, true)
+            }
+            Request::Fetch { cursor, n } => {
+                s.fetches.fetch_add(1, Ordering::Relaxed);
+                Action::Respond(self.fetch(shared, cursor, n))
+            }
+            Request::Close { handle } => {
+                s.closes.fetch_add(1, Ordering::Relaxed);
+                Action::Respond(match self.handles.remove(&handle) {
+                    Some(_) => Response::Closed { handle },
+                    None => Response::Error {
+                        code: ErrorCode::Handle,
+                        message: format!("unknown handle {handle}"),
+                    },
+                })
+            }
+            Request::CloseCursor { cursor } => {
+                s.closes.fetch_add(1, Ordering::Relaxed);
+                Action::Respond(match self.cursors.remove(&cursor) {
+                    Some(_) => {
+                        s.cursors_open.fetch_sub(1, Ordering::Relaxed);
+                        Response::CursorClosed { cursor }
+                    }
+                    None => Response::Error {
+                        code: ErrorCode::Handle,
+                        message: format!("unknown cursor {cursor}"),
+                    },
+                })
+            }
+            Request::Stats => Action::Respond(shared.stats_response(self.handles_open())),
+        }
+    }
+
+    fn dispatch_execute(
+        &mut self,
+        handle: u64,
+        params: Vec<(String, Value)>,
+        cursor: bool,
+    ) -> Action {
+        match self.handles.get(&handle) {
+            Some(prepared) => Action::Work(WorkItem::Execute {
+                prepared: Arc::clone(prepared),
+                params,
+                cursor,
+            }),
+            None => Action::Respond(Response::Error {
+                code: ErrorCode::Handle,
+                message: format!("unknown handle {handle} (PREPARE first, or already CLOSEd)"),
+            }),
+        }
+    }
+
+    /// Serves one `FETCH`. The chunk is byte-budgeted under the frame
+    /// cap; an exhausted cursor is freed on its `DONE` chunk.
+    fn fetch(&mut self, shared: &Shared, cursor: u64, n: u64) -> Response {
+        let Some(cur) = self.cursors.get_mut(&cursor) else {
+            return Response::Error {
+                code: ErrorCode::Handle,
+                message: format!("unknown cursor {cursor} (opened with QUERY/EXECUTE … CURSOR?)"),
+            };
+        };
+        let header: usize = cur.columns().iter().map(|c| c.len() * 2 + 1).sum();
+        let budget = MAX_FRAME.saturating_sub(CHUNK_HEADROOM + header);
+        let n = usize::try_from(n).unwrap_or(usize::MAX);
+        let batch = cur.fetch_bounded(n, budget);
+        if batch.is_empty() && !cur.is_done() {
+            // The front row alone cannot fit one frame. The cursor stays
+            // open (nothing was lost); the row itself is unreadable.
+            return Response::Error {
+                code: ErrorCode::Host,
+                message: format!(
+                    "cursor {cursor}: next row exceeds the {} MiB frame cap on its own",
+                    MAX_FRAME >> 20
+                ),
+            };
+        }
+        let more = !cur.is_done();
+        if !more {
+            self.cursors.remove(&cursor);
+            shared.stats().cursors_open.fetch_sub(1, Ordering::Relaxed);
+        }
+        Response::Rows {
+            cursor,
+            batch,
+            more,
+        }
+    }
+
+    /// Folds a worker's output into connection state and produces the
+    /// response frame.
+    pub(crate) fn finish(&mut self, shared: &Shared, output: WorkOutput) -> Response {
+        match output {
+            WorkOutput::Response(r) => r,
+            WorkOutput::Prepared(prepared) => {
+                let params: Vec<String> =
+                    prepared.plan().param_names().map(str::to_owned).collect();
+                let handle = self.next_handle;
+                self.next_handle += 1;
+                self.handles.insert(handle, prepared);
+                Response::Prepared { handle, params }
+            }
+            WorkOutput::Cursor(result) => {
+                let cursor = self.next_cursor;
+                self.next_cursor += 1;
+                let total = result.len() as u64;
+                let columns = result.columns.clone();
+                self.cursors.insert(cursor, ResultCursor::new(result));
+                shared.stats().cursors_open.fetch_add(1, Ordering::Relaxed);
+                Response::Cursor {
+                    cursor,
+                    total,
+                    columns,
+                }
+            }
+        }
+    }
+
+    /// Releases everything the connection held. Must run exactly once
+    /// when a connection ends, in both serving models — it keeps the
+    /// `cursors.open` gauge honest after disconnects.
+    pub(crate) fn teardown(&mut self, shared: &Shared) {
+        self.handles.clear();
+        let open = self.cursors.len() as u64;
+        if open > 0 {
+            self.cursors.clear();
+            shared
+                .stats()
+                .cursors_open
+                .fetch_sub(open, Ordering::Relaxed);
+        }
+    }
+}

@@ -11,15 +11,25 @@
 //!
 //! * [`protocol`] — length-prefixed frames carrying a line-oriented
 //!   request/response text format (`HELLO`, `QUERY`, `PREPARE`,
-//!   `EXECUTE`, `CLOSE`, `STATS`), with result tables and parameter
-//!   values in the lossless [`gql::codec`] wire encoding;
-//! * [`server`] — the accept loop and per-connection session threads.
-//!   Every connection gets its own [`gql::Session`] over one shared
-//!   `Arc<PropertyGraph>` and one shared
+//!   `EXECUTE`, `FETCH`, `CLOSE`, `STATS`), with result tables and
+//!   parameter values in the lossless [`gql::codec`] wire encoding.
+//!   Results too large for one frame stream through cursors:
+//!   `QUERY CURSOR` / `EXECUTE … CURSOR` park the result server-side
+//!   and `FETCH` drains it in frame-sized chunks;
+//! * [`server`] — the serving core. The default model is a `poll(2)`
+//!   event loop (`server::reactor`, std-only via a thin syscall shim)
+//!   over non-blocking sockets with a fixed worker pool executing
+//!   queries, admission control (`--max-conns`), idle timeouts, and
+//!   bounded write queues with backpressure; the original
+//!   thread-per-connection model survives behind
+//!   [`ServeModel::Threaded`](server::ServeModel) for comparison.
+//!   Either way every connection shares one `Arc<PropertyGraph>`, one
+//!   [`gql::Session`], and one shared
 //!   [`SharedPlanLru`](gpml_core::plan::SharedPlanLru), so a thousand
 //!   clients preparing the same skeleton cost one compile;
 //! * [`client`] — a blocking [`Client`](client::Client) used by the
-//!   `gpml connect` REPL, the loopback tests, and the EB13 bench.
+//!   `gpml connect` REPL, the loopback tests, and the EB13/EB16
+//!   benches.
 //!
 //! ```
 //! use gpml_server::client::Client;
@@ -42,9 +52,11 @@
 #![warn(missing_docs)]
 
 pub mod client;
+mod conn;
 mod persist;
 pub mod protocol;
+mod reactor;
 pub mod server;
 
-pub use client::{Client, ClientError, PreparedHandle};
-pub use server::{serve, serve_shared, ServerConfig, ServerHandle};
+pub use client::{Client, ClientError, CursorHandle, PreparedHandle, RowChunk};
+pub use server::{serve, serve_shared, ServeModel, ServerConfig, ServerHandle};

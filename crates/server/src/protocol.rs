@@ -17,9 +17,13 @@
 //! ```text
 //! HELLO [client-name]
 //! QUERY\n<statement text>              one-shot, RETURN required
+//! QUERY CURSOR\n<statement text>       one-shot, result held in a cursor
 //! PREPARE\n<statement text>            compile → handle
 //! EXECUTE <handle>\nname\t<value>...   one tab-separated binding per line
+//! EXECUTE <handle> CURSOR\n...         as EXECUTE, result held in a cursor
+//! FETCH <cursor> <n>                   next ≤n rows of a cursor
 //! CLOSE <handle>                       drop a prepared handle
+//! CLOSE CURSOR <cursor>                drop a cursor early
 //! STATS                                server/cache/session counters
 //! ```
 //!
@@ -31,15 +35,22 @@
 //! ```text
 //! OK HELLO\nkey=value...
 //! OK RESULT <nrows>\n<encoded result table>
+//! OK CURSOR <cursor> <total>\n<encoded header-only table>
+//! OK ROWS <cursor> <nrows> MORE|DONE\n<encoded result table>
 //! OK PREPARED <handle>\nparams=<name,name,...>
 //! OK CLOSED <handle>
+//! OK CLOSED CURSOR <cursor>
 //! OK STATS\nkey=value...
 //! ERR <CODE> <one-line message>
 //! ```
 //!
 //! Result tables are the lossless [`gql::codec::encode_result`]
 //! encoding, so a client-side [`gql::codec::decode_result`] is
-//! bit-for-bit the server's in-process `QueryResult`.
+//! bit-for-bit the server's in-process `QueryResult`. A cursor's row
+//! chunks (`OK ROWS`) carry the table header in every frame and
+//! concatenate, in order, to exactly the single-frame `RESULT` the same
+//! statement would have produced; `DONE` on a chunk means the cursor is
+//! exhausted and already freed server-side.
 
 use std::io::{self, Read, Write};
 
@@ -120,6 +131,9 @@ pub enum ErrorCode {
     Handle,
     /// A host-level failure (unknown graph, RETURN-less statement, …).
     Host,
+    /// The server refused admission (`--max-conns` reached). Sent once
+    /// on the fresh connection, which then closes; retry later.
+    Busy,
 }
 
 impl ErrorCode {
@@ -132,6 +146,7 @@ impl ErrorCode {
             ErrorCode::Param => "PARAM",
             ErrorCode::Handle => "HANDLE",
             ErrorCode::Host => "HOST",
+            ErrorCode::Busy => "BUSY",
         }
     }
 
@@ -144,6 +159,7 @@ impl ErrorCode {
             "PARAM" => ErrorCode::Param,
             "HANDLE" => ErrorCode::Handle,
             "HOST" => ErrorCode::Host,
+            "BUSY" => ErrorCode::Busy,
             _ => return None,
         })
     }
@@ -168,6 +184,13 @@ pub enum Request {
         /// The statement text (`MATCH ... RETURN ...`).
         text: String,
     },
+    /// As [`Request::Query`], but the result is parked in a server-side
+    /// cursor and streamed out by `FETCH` — the only way to read a
+    /// result bigger than one frame.
+    QueryCursor {
+        /// The statement text (`MATCH ... RETURN ...`).
+        text: String,
+    },
     /// Compile a skeleton into a connection-local prepared handle.
     Prepare {
         /// The statement text, usually containing `$name` parameters.
@@ -180,10 +203,30 @@ pub enum Request {
         /// `(name, value)` bindings for the skeleton's `$name` slots.
         params: Vec<(String, Value)>,
     },
+    /// As [`Request::Execute`], but the result is parked in a cursor.
+    ExecuteCursor {
+        /// The handle from a `PREPARE` response.
+        handle: u64,
+        /// `(name, value)` bindings for the skeleton's `$name` slots.
+        params: Vec<(String, Value)>,
+    },
+    /// Take the next ≤ `n` rows off a cursor.
+    Fetch {
+        /// The cursor from an `OK CURSOR` response.
+        cursor: u64,
+        /// Maximum rows wanted (the server may send fewer to respect
+        /// the frame cap; `DONE` — not a short chunk — signals the end).
+        n: u64,
+    },
     /// Drop a prepared handle.
     Close {
         /// The handle to drop.
         handle: u64,
+    },
+    /// Drop a cursor before it is exhausted.
+    CloseCursor {
+        /// The cursor to drop.
+        cursor: u64,
     },
     /// Server, cache, and session counters.
     Stats,
@@ -196,18 +239,17 @@ impl Request {
             Request::Hello { client } if client.is_empty() => "HELLO".to_owned(),
             Request::Hello { client } => format!("HELLO {client}"),
             Request::Query { text } => format!("QUERY\n{text}"),
+            Request::QueryCursor { text } => format!("QUERY CURSOR\n{text}"),
             Request::Prepare { text } => format!("PREPARE\n{text}"),
             Request::Execute { handle, params } => {
-                let mut out = format!("EXECUTE {handle}");
-                for (name, value) in params {
-                    out.push('\n');
-                    out.push_str(name);
-                    out.push('\t');
-                    out.push_str(&codec::encode_scalar(value));
-                }
-                out
+                serialize_execute(&format!("EXECUTE {handle}"), params)
             }
+            Request::ExecuteCursor { handle, params } => {
+                serialize_execute(&format!("EXECUTE {handle} CURSOR"), params)
+            }
+            Request::Fetch { cursor, n } => format!("FETCH {cursor} {n}"),
             Request::Close { handle } => format!("CLOSE {handle}"),
+            Request::CloseCursor { cursor } => format!("CLOSE CURSOR {cursor}"),
             Request::Stats => "STATS".to_owned(),
         }
     }
@@ -226,14 +268,19 @@ impl Request {
             "HELLO" => Ok(Request::Hello {
                 client: words.collect::<Vec<_>>().join(" "),
             }),
-            "QUERY" => Ok(Request::Query {
-                text: body.to_owned(),
-            }),
+            "QUERY" => {
+                let text = body.to_owned();
+                match words.next() {
+                    Some("CURSOR") => Ok(Request::QueryCursor { text }),
+                    _ => Ok(Request::Query { text }),
+                }
+            }
             "PREPARE" => Ok(Request::Prepare {
                 text: body.to_owned(),
             }),
             "EXECUTE" => {
                 let handle = parse_handle(words.next()).map_err(proto)?;
+                let cursor = words.next() == Some("CURSOR");
                 let mut params = Vec::new();
                 for binding in body.split('\n').filter(|l| !l.is_empty()) {
                     let Some((name, encoded)) = binding.split_once('\t') else {
@@ -245,11 +292,25 @@ impl Request {
                         .map_err(|e| proto(format!("EXECUTE binding {name}: {e}")))?;
                     params.push((name.to_owned(), value));
                 }
-                Ok(Request::Execute { handle, params })
+                if cursor {
+                    Ok(Request::ExecuteCursor { handle, params })
+                } else {
+                    Ok(Request::Execute { handle, params })
+                }
             }
-            "CLOSE" => Ok(Request::Close {
-                handle: parse_handle(words.next()).map_err(proto)?,
-            }),
+            "FETCH" => {
+                let cursor = parse_handle(words.next()).map_err(proto)?;
+                let n = parse_handle(words.next()).map_err(proto)?;
+                Ok(Request::Fetch { cursor, n })
+            }
+            "CLOSE" => match words.next() {
+                Some("CURSOR") => Ok(Request::CloseCursor {
+                    cursor: parse_handle(words.next()).map_err(proto)?,
+                }),
+                word => Ok(Request::Close {
+                    handle: parse_handle(word).map_err(proto)?,
+                }),
+            },
             "STATS" => Ok(Request::Stats),
             _ => Err(proto(format!("unknown command {cmd:?}"))),
         }
@@ -263,6 +324,17 @@ fn parse_handle(word: Option<&str>) -> Result<u64, String> {
     }
 }
 
+fn serialize_execute(head: &str, params: &[(String, Value)]) -> String {
+    let mut out = head.to_owned();
+    for (name, value) in params {
+        out.push('\n');
+        out.push_str(name);
+        out.push('\t');
+        out.push_str(&codec::encode_scalar(value));
+    }
+    out
+}
+
 /// A parsed server response.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
@@ -273,6 +345,25 @@ pub enum Response {
     },
     /// `OK RESULT`: a query result table.
     Result(QueryResult),
+    /// `OK CURSOR`: the result is parked server-side; `FETCH` streams it.
+    Cursor {
+        /// The cursor handle to `FETCH` from.
+        cursor: u64,
+        /// Total rows parked behind the cursor.
+        total: u64,
+        /// The table's column names (chunks repeat them).
+        columns: Vec<String>,
+    },
+    /// `OK ROWS`: one chunk of a cursor's rows, in order.
+    Rows {
+        /// The cursor the chunk came from.
+        cursor: u64,
+        /// The chunk (same columns as the full table).
+        batch: QueryResult,
+        /// `true` (`MORE`) while rows remain; `false` (`DONE`) on the
+        /// final chunk, after which the cursor is already freed.
+        more: bool,
+    },
     /// `OK PREPARED`: a fresh handle plus the skeleton's parameter slots.
     Prepared {
         /// The connection-local prepared-statement handle.
@@ -284,6 +375,11 @@ pub enum Response {
     Closed {
         /// The dropped handle.
         handle: u64,
+    },
+    /// `OK CLOSED CURSOR`: the cursor was dropped early.
+    CursorClosed {
+        /// The dropped cursor.
+        cursor: u64,
     },
     /// `OK STATS`: counters as key/value pairs.
     Stats {
@@ -332,10 +428,37 @@ impl Response {
                     codec::encode_result(result)
                 )
             }
+            Response::Cursor {
+                cursor,
+                total,
+                columns,
+            } => {
+                let header = QueryResult {
+                    columns: columns.clone(),
+                    rows: Vec::new(),
+                };
+                format!(
+                    "OK CURSOR {cursor} {total}\n{}",
+                    codec::encode_result(&header)
+                )
+            }
+            Response::Rows {
+                cursor,
+                batch,
+                more,
+            } => {
+                format!(
+                    "OK ROWS {cursor} {} {}\n{}",
+                    batch.len(),
+                    if *more { "MORE" } else { "DONE" },
+                    codec::encode_result(batch)
+                )
+            }
             Response::Prepared { handle, params } => {
                 format!("OK PREPARED {handle}\nparams={}", params.join(","))
             }
             Response::Closed { handle } => format!("OK CLOSED {handle}"),
+            Response::CursorClosed { cursor } => format!("OK CLOSED CURSOR {cursor}"),
             Response::Stats { stats } => format!("OK STATS{}", kv_lines(stats)),
             Response::Error { code, message } => format!("ERR {code} {}", one_line(message)),
         }
@@ -367,6 +490,55 @@ impl Response {
                     }
                     Ok(Response::Result(result))
                 }
+                Some("CURSOR") => {
+                    let cursor = words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| format!("bad CURSOR handle in {line:?}"))?;
+                    let total = words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| format!("bad CURSOR row total in {line:?}"))?;
+                    let header = codec::decode_result(body).map_err(|e| e.to_string())?;
+                    if !header.rows.is_empty() {
+                        return Err(format!(
+                            "CURSOR response carried {} rows (wants header only)",
+                            header.rows.len()
+                        ));
+                    }
+                    Ok(Response::Cursor {
+                        cursor,
+                        total,
+                        columns: header.columns,
+                    })
+                }
+                Some("ROWS") => {
+                    let cursor = words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| format!("bad ROWS cursor in {line:?}"))?;
+                    let declared: usize = words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| format!("bad ROWS row count in {line:?}"))?;
+                    let more = match words.next() {
+                        Some("MORE") => true,
+                        Some("DONE") => false,
+                        other => return Err(format!("bad ROWS terminator {other:?} in {line:?}")),
+                    };
+                    let batch = codec::decode_result(body).map_err(|e| e.to_string())?;
+                    if batch.len() != declared {
+                        return Err(format!(
+                            "ROWS declared {declared} rows but carried {}",
+                            batch.len()
+                        ));
+                    }
+                    Ok(Response::Rows {
+                        cursor,
+                        batch,
+                        more,
+                    })
+                }
                 Some("PREPARED") => {
                     let handle = words
                         .next()
@@ -382,12 +554,19 @@ impl Response {
                     };
                     Ok(Response::Prepared { handle, params })
                 }
-                Some("CLOSED") => Ok(Response::Closed {
-                    handle: words
-                        .next()
-                        .and_then(|w| w.parse().ok())
-                        .ok_or_else(|| format!("bad CLOSED handle in {line:?}"))?,
-                }),
+                Some("CLOSED") => match words.next() {
+                    Some("CURSOR") => Ok(Response::CursorClosed {
+                        cursor: words
+                            .next()
+                            .and_then(|w| w.parse().ok())
+                            .ok_or_else(|| format!("bad CLOSED cursor in {line:?}"))?,
+                    }),
+                    word => Ok(Response::Closed {
+                        handle: word
+                            .and_then(|w| w.parse().ok())
+                            .ok_or_else(|| format!("bad CLOSED handle in {line:?}"))?,
+                    }),
+                },
                 Some("STATS") => Ok(Response::Stats {
                     stats: parse_kv_lines(body),
                 }),
@@ -470,6 +649,46 @@ mod tests {
     }
 
     #[test]
+    fn cursor_requests_roundtrip() {
+        req_roundtrip(Request::QueryCursor {
+            text: "MATCH (x)\nRETURN x".into(),
+        });
+        req_roundtrip(Request::ExecuteCursor {
+            handle: 7,
+            params: vec![("o".into(), Value::str("Dave"))],
+        });
+        req_roundtrip(Request::ExecuteCursor {
+            handle: 2,
+            params: vec![],
+        });
+        req_roundtrip(Request::Fetch { cursor: 3, n: 64 });
+        req_roundtrip(Request::CloseCursor { cursor: 3 });
+    }
+
+    #[test]
+    fn legacy_request_encodings_are_unchanged() {
+        // The pre-cursor wire strings, byte for byte: an old client must
+        // keep working against a new server and vice versa.
+        assert_eq!(
+            Request::Query {
+                text: "MATCH (x) RETURN x".into()
+            }
+            .serialize(),
+            "QUERY\nMATCH (x) RETURN x"
+        );
+        assert_eq!(
+            Request::Execute {
+                handle: 7,
+                params: vec![("o".into(), Value::str("D"))]
+            }
+            .serialize(),
+            "EXECUTE 7\no\tS:D"
+        );
+        assert_eq!(Request::Close { handle: 9 }.serialize(), "CLOSE 9");
+        assert_eq!(Response::Closed { handle: 9 }.serialize(), "OK CLOSED 9");
+    }
+
+    #[test]
     fn malformed_requests_are_typed_proto_errors() {
         for bad in [
             "FROBNICATE",
@@ -513,6 +732,37 @@ mod tests {
             params: vec![],
         });
         resp_roundtrip(Response::Closed { handle: 3 });
+        resp_roundtrip(Response::Cursor {
+            cursor: 5,
+            total: 120,
+            columns: vec!["owner".into(), "tab\there".into()],
+        });
+        resp_roundtrip(Response::Cursor {
+            cursor: 6,
+            total: 0,
+            columns: vec![],
+        });
+        resp_roundtrip(Response::Rows {
+            cursor: 5,
+            batch: QueryResult {
+                columns: vec!["o".into()],
+                rows: vec![vec![GqlValue::Scalar(Value::str("Dave"))]],
+            },
+            more: true,
+        });
+        resp_roundtrip(Response::Rows {
+            cursor: 5,
+            batch: QueryResult {
+                columns: vec!["o".into()],
+                rows: vec![],
+            },
+            more: false,
+        });
+        resp_roundtrip(Response::CursorClosed { cursor: 5 });
+        resp_roundtrip(Response::Error {
+            code: ErrorCode::Busy,
+            message: "server at --max-conns".into(),
+        });
         resp_roundtrip(Response::Stats {
             stats: vec![("cache.hits".into(), "99".into())],
         });

@@ -1,0 +1,728 @@
+//! The readiness-based event loop behind gpmld's default serving model.
+//!
+//! # Shape
+//!
+//! One reactor thread owns the listener and every connection's socket,
+//! all non-blocking, multiplexed with `poll(2)` through a thin
+//! `cfg(unix)` syscall shim (std already links libc; no crates needed).
+//! Query execution never runs on the reactor: a classified request
+//! becomes a [`WorkItem`] on an mpsc channel drained by a fixed pool of
+//! worker threads (sized to cores, the same cheap-std-threads
+//! discipline as `core::eval::pool`), and completions come back over a
+//! second channel paired with a self-pipe [`Waker`] that drops the
+//! reactor out of `poll`.
+//!
+//! # Per-connection discipline
+//!
+//! The protocol is strict request/response, which the loop exploits for
+//! backpressure:
+//!
+//! * **read interest is off** while a request is in flight (`busy`) or
+//!   a response is still unflushed — a client cannot buy more than one
+//!   request's worth of server memory, and a pipelined burst simply
+//!   waits in the socket;
+//! * the **write queue is bounded** at one serialized response; if the
+//!   peer stops reading, the frame sits half-written under `POLLOUT`
+//!   interest and the connection makes no further progress — other
+//!   connections are unaffected (they have their own sockets and the
+//!   workers their own threads);
+//! * a connection with neither progress nor an in-flight request for
+//!   longer than `--idle-timeout` is reaped, which is also what ends
+//!   slow-loris dribbles and never-reading receivers.
+//!
+//! # Shutdown
+//!
+//! `stop()` flips the shared `stopping` flag and wakes the loop. The
+//! loop immediately closes idle connections, stops accepting and
+//! reading, but keeps polling until in-flight queries have completed
+//! and their responses flushed (bounded by [`DRAIN_WINDOW`]), so a
+//! client never loses an answered query to a graceful shutdown.
+//!
+//! On non-unix targets the same loop runs without `poll(2)`: it sleeps
+//! briefly each iteration and treats every socket as ready, relying on
+//! `WouldBlock` from the non-blocking sockets for correctness (a
+//! busy-poll fallback, not a performance path).
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::conn::{Action, ConnState, WorkItem, WorkOutput};
+use crate::protocol::{ErrorCode, Response, MAX_FRAME};
+use crate::server::Shared;
+
+/// How long a graceful shutdown waits for in-flight queries to finish
+/// and their responses to flush before closing connections anyway.
+const DRAIN_WINDOW: Duration = Duration::from_secs(5);
+
+/// Upper bound on one `poll` sleep, so the loop re-checks `stopping`
+/// and idle deadlines even with no traffic.
+const POLL_CAP_MS: i32 = 500;
+
+/// The `poll(2)` shim.
+#[cfg(unix)]
+mod sys {
+    use std::io;
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+    pub const POLLNVAL: i16 = 0x020;
+
+    /// `struct pollfd` as the kernel expects it.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    #[cfg(target_os = "linux")]
+    type NfdsT = std::os::raw::c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    type NfdsT = std::os::raw::c_uint;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: i32) -> i32;
+    }
+
+    /// `poll(2)` with EINTR retry — a stray signal must not look like
+    /// readiness or an error.
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+    pub const POLLNVAL: i16 = 0x020;
+}
+
+/// Wakes the reactor out of `poll` from another thread (workers after a
+/// completion, `stop()` from the handle). A self-pipe: one byte down a
+/// non-blocking `UnixStream` pair whose read end the reactor polls.
+#[cfg(unix)]
+pub(crate) struct Waker {
+    tx: std::os::unix::net::UnixStream,
+    rx: std::os::unix::net::UnixStream,
+}
+
+#[cfg(unix)]
+impl Waker {
+    pub(crate) fn new() -> io::Result<Waker> {
+        let (tx, rx) = std::os::unix::net::UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok(Waker { tx, rx })
+    }
+
+    /// Queues a wake-up. `WouldBlock` means wake-ups are already
+    /// pending, which is just as good as one more.
+    pub(crate) fn wake(&self) {
+        let _ = (&self.tx).write(&[1]);
+    }
+
+    fn drain(&self) {
+        let mut sink = [0u8; 64];
+        while matches!((&self.rx).read(&mut sink), Ok(n) if n > 0) {}
+    }
+
+    fn fd(&self) -> i32 {
+        std::os::unix::io::AsRawFd::as_raw_fd(&self.rx)
+    }
+}
+
+/// Non-unix fallback: the loop never blocks longer than a tick, so
+/// there is nothing to wake.
+#[cfg(not(unix))]
+pub(crate) struct Waker;
+
+#[cfg(not(unix))]
+impl Waker {
+    pub(crate) fn new() -> io::Result<Waker> {
+        Ok(Waker)
+    }
+    pub(crate) fn wake(&self) {}
+    fn drain(&self) {}
+}
+
+/// One connection as the reactor sees it.
+struct Conn {
+    stream: TcpStream,
+    state: ConnState,
+    /// Bytes read but not yet consumed as frames.
+    read_buf: Vec<u8>,
+    /// The (single) serialized response being written, if any.
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// A request is with the workers; no reads until it completes.
+    busy: bool,
+    /// Close as soon as the write buffer flushes (BUSY rejections).
+    closing: bool,
+    /// The peer vanished while `busy`; discard the completion.
+    dead: bool,
+    /// The peer half-closed: no more requests will arrive, but frames
+    /// already buffered (a pipelined burst ending in FIN) still get
+    /// served — same behavior as the blocking model's frame-by-frame
+    /// reads.
+    eof: bool,
+    /// Whether this connection occupies an admission slot
+    /// (`sessions.active`); BUSY rejections do not.
+    counted: bool,
+    /// Last time a full frame arrived or response bytes moved — the
+    /// idle-timeout clock.
+    last_progress: Instant,
+}
+
+impl Conn {
+    /// Read interest: only between requests, with nothing buffered to
+    /// write. This single predicate *is* the backpressure discipline.
+    fn wants_read(&self) -> bool {
+        !self.busy && self.write_buf.is_empty() && !self.closing
+    }
+
+    /// Serializes a response into the bounded write queue, downgrading
+    /// oversized results to the typed frame-cap error exactly like the
+    /// threaded model.
+    fn queue_response(&mut self, shared: &Shared, response: Response) {
+        let encoded = shared.encode_response(response);
+        self.write_buf
+            .extend_from_slice(&(encoded.len() as u32).to_be_bytes());
+        self.write_buf.extend_from_slice(encoded.as_bytes());
+    }
+
+    /// Writes as much of the pending response as the socket accepts.
+    /// `Ok(true)` once the buffer is empty.
+    fn try_flush(&mut self) -> io::Result<bool> {
+        while self.write_pos < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.write_pos += n;
+                    self.last_progress = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.write_buf.clear();
+        self.write_pos = 0;
+        Ok(true)
+    }
+}
+
+/// Whether a connection survives the event that was just handled.
+#[derive(PartialEq)]
+enum Verdict {
+    Keep,
+    Close,
+}
+
+/// One readiness event.
+enum Event {
+    Accept,
+    Conn(u64, i16),
+}
+
+/// Runs the event loop until `stop()`. Owns the listener, every
+/// connection, and the worker pool.
+pub(crate) fn run(listener: TcpListener, shared: Arc<Shared>, waker: Arc<Waker>) {
+    let _ = listener.set_nonblocking(true);
+    let (job_tx, job_rx) = mpsc::channel::<(u64, WorkItem)>();
+    let (done_tx, done_rx) = mpsc::channel::<(u64, WorkOutput)>();
+    let workers = spawn_workers(&shared, job_rx, done_tx, &waker);
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_id: u64 = 0;
+    let mut scratch = vec![0u8; 64 * 1024];
+    let mut drain_deadline: Option<Instant> = None;
+    let idle_timeout = shared.idle_timeout();
+
+    loop {
+        let stopping = shared.is_stopping();
+        if stopping {
+            if drain_deadline.is_none() {
+                drain_deadline = Some(Instant::now() + DRAIN_WINDOW);
+                // Connections with nothing in flight have nothing to
+                // drain; everything else gets the window.
+                let idle: Vec<u64> = conns
+                    .iter()
+                    .filter(|(_, c)| !c.busy && c.write_buf.is_empty())
+                    .map(|(&id, _)| id)
+                    .collect();
+                for id in idle {
+                    close_conn(&shared, &mut conns, id);
+                }
+            }
+            if conns.is_empty() || Instant::now() >= drain_deadline.expect("just set") {
+                break;
+            }
+        }
+
+        let events = poll_once(&shared, &waker, &listener, &conns);
+        for event in events {
+            match event {
+                Event::Accept => {
+                    if !shared.is_stopping() {
+                        accept_ready(&shared, &listener, &mut conns, &mut next_id);
+                    }
+                }
+                Event::Conn(id, revents) => {
+                    let verdict = match conns.get_mut(&id) {
+                        Some(conn) => conn_event(&shared, conn, id, revents, &mut scratch, &job_tx),
+                        None => continue,
+                    };
+                    if verdict == Verdict::Close {
+                        close_conn(&shared, &mut conns, id);
+                    }
+                }
+            }
+        }
+
+        // Completions: fold worker output back into connection state.
+        while let Ok((id, output)) = done_rx.try_recv() {
+            let verdict = match conns.get_mut(&id) {
+                Some(conn) => complete(&shared, conn, id, output, &job_tx),
+                None => continue, // closed during drain; no reader
+            };
+            if verdict == Verdict::Close {
+                close_conn(&shared, &mut conns, id);
+            }
+        }
+
+        if idle_timeout > Duration::ZERO && !shared.is_stopping() {
+            let now = Instant::now();
+            let expired: Vec<u64> = conns
+                .iter()
+                .filter(|(_, c)| !c.busy && now.duration_since(c.last_progress) >= idle_timeout)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in expired {
+                close_conn(&shared, &mut conns, id);
+            }
+        }
+    }
+
+    let ids: Vec<u64> = conns.keys().copied().collect();
+    for id in ids {
+        close_conn(&shared, &mut conns, id);
+    }
+    drop(job_tx);
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+/// Polls every registered fd once and collects readiness. On non-unix
+/// targets this sleeps a tick and reports everything as ready.
+fn poll_once(
+    shared: &Shared,
+    waker: &Waker,
+    listener: &TcpListener,
+    conns: &HashMap<u64, Conn>,
+) -> Vec<Event> {
+    let accepting = !shared.is_stopping();
+    let idle_timeout = shared.idle_timeout();
+    let mut events = Vec::new();
+    #[cfg(unix)]
+    {
+        use std::os::unix::io::AsRawFd;
+        let mut fds = Vec::with_capacity(conns.len() + 2);
+        let mut ids: Vec<Option<u64>> = Vec::with_capacity(conns.len() + 2);
+        fds.push(sys::PollFd {
+            fd: waker.fd(),
+            events: sys::POLLIN,
+            revents: 0,
+        });
+        ids.push(None);
+        if accepting {
+            fds.push(sys::PollFd {
+                fd: listener.as_raw_fd(),
+                events: sys::POLLIN,
+                revents: 0,
+            });
+            ids.push(None);
+        }
+        let listener_slot = if accepting { 1 } else { usize::MAX };
+        let mut timeout = POLL_CAP_MS;
+        for (&id, conn) in conns.iter() {
+            if conn.dead {
+                // Already condemned; re-reporting its POLLERR every
+                // iteration until the in-flight query completes would
+                // turn the loop into a busy-spin.
+                continue;
+            }
+            let mut interest = 0i16;
+            if conn.wants_read() && accepting {
+                interest |= sys::POLLIN;
+            }
+            if !conn.write_buf.is_empty() {
+                interest |= sys::POLLOUT;
+            }
+            // interest == 0 still registers the fd: POLLERR/POLLHUP are
+            // reported regardless, so a fully-dead peer is noticed.
+            fds.push(sys::PollFd {
+                fd: conn.stream.as_raw_fd(),
+                events: interest,
+                revents: 0,
+            });
+            ids.push(Some(id));
+            if idle_timeout > Duration::ZERO && !conn.busy {
+                let left = idle_timeout.saturating_sub(conn.last_progress.elapsed());
+                let left_ms = left.as_millis().min(POLL_CAP_MS as u128) as i32;
+                timeout = timeout.min(left_ms + 1);
+            }
+        }
+        if sys::poll_fds(&mut fds, timeout).is_err() {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        waker.drain();
+        for (slot, fd) in fds.iter().enumerate() {
+            if fd.revents == 0 {
+                continue;
+            }
+            match ids[slot] {
+                Some(id) => events.push(Event::Conn(id, fd.revents)),
+                None if slot == listener_slot => events.push(Event::Accept),
+                None => {} // the waker, already drained
+            }
+        }
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = idle_timeout;
+        std::thread::sleep(Duration::from_millis(2));
+        waker.drain();
+        if accepting {
+            events.push(Event::Accept);
+        }
+        for (&id, conn) in conns.iter() {
+            let mut revents = 0i16;
+            if conn.wants_read() && accepting {
+                revents |= sys::POLLIN;
+            }
+            if !conn.write_buf.is_empty() {
+                revents |= sys::POLLOUT;
+            }
+            if revents != 0 {
+                events.push(Event::Conn(id, revents));
+            }
+        }
+    }
+    events
+}
+
+/// Accepts every pending connection, applying `--max-conns` admission:
+/// over the cap, the connection gets one typed `ERR BUSY` frame and is
+/// closed after it flushes, without ever occupying a session slot.
+fn accept_ready(
+    shared: &Shared,
+    listener: &TcpListener,
+    conns: &mut HashMap<u64, Conn>,
+    next_id: &mut u64,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            // Persistent failure (fd exhaustion): back off rather than
+            // spin on a level-triggered POLLIN.
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(5));
+                return;
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        let stats = shared.stats();
+        let max = shared.max_conns();
+        let admitted =
+            max == 0 || (stats.connections_active.load(Ordering::Relaxed) as usize) < max;
+        *next_id += 1;
+        let id = *next_id;
+        let mut conn = Conn {
+            stream,
+            state: ConnState::new(),
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            busy: false,
+            closing: !admitted,
+            dead: false,
+            eof: false,
+            counted: admitted,
+            last_progress: Instant::now(),
+        };
+        if admitted {
+            stats.connections_total.fetch_add(1, Ordering::Relaxed);
+            stats.connections_active.fetch_add(1, Ordering::Relaxed);
+            conns.insert(id, conn);
+        } else {
+            stats.conns_rejected.fetch_add(1, Ordering::Relaxed);
+            conn.queue_response(
+                shared,
+                Response::Error {
+                    code: ErrorCode::Busy,
+                    message: format!("server is at --max-conns ({max}); retry later"),
+                },
+            );
+            // Flush opportunistically; most rejections fit the socket
+            // buffer and close right here.
+            let verdict = flush_verdict(&mut conn);
+            if verdict == Verdict::Keep {
+                conns.insert(id, conn);
+            }
+        }
+    }
+}
+
+/// Handles one connection's readiness bits.
+fn conn_event(
+    shared: &Shared,
+    conn: &mut Conn,
+    id: u64,
+    revents: i16,
+    scratch: &mut [u8],
+    job_tx: &mpsc::Sender<(u64, WorkItem)>,
+) -> Verdict {
+    if revents & (sys::POLLERR | sys::POLLNVAL) != 0 {
+        if conn.busy {
+            conn.dead = true; // reap at completion
+            return Verdict::Keep;
+        }
+        return Verdict::Close;
+    }
+    if !conn.write_buf.is_empty() && revents & (sys::POLLOUT | sys::POLLHUP) != 0 {
+        if flush_verdict(conn) == Verdict::Close {
+            return Verdict::Close;
+        }
+        // A finished flush re-enables reads; buffered pipelined frames
+        // can proceed immediately rather than waiting for more bytes.
+        if conn.write_buf.is_empty() && !shared.is_stopping() {
+            return advance(shared, conn, id, job_tx);
+        }
+        return Verdict::Keep;
+    }
+    if conn.wants_read() && !shared.is_stopping() && revents & (sys::POLLIN | sys::POLLHUP) != 0 {
+        return read_ready(shared, conn, id, scratch, job_tx);
+    }
+    if revents & sys::POLLHUP != 0 && !conn.busy && conn.write_buf.is_empty() {
+        return Verdict::Close;
+    }
+    Verdict::Keep
+}
+
+/// Reads until `WouldBlock` (bounded by one max frame of buffer), then
+/// consumes complete frames.
+fn read_ready(
+    shared: &Shared,
+    conn: &mut Conn,
+    id: u64,
+    scratch: &mut [u8],
+    job_tx: &mpsc::Sender<(u64, WorkItem)>,
+) -> Verdict {
+    loop {
+        if conn.read_buf.len() >= 4 + MAX_FRAME {
+            break; // one full frame buffered; parse before reading more
+        }
+        match conn.stream.read(scratch) {
+            // EOF — clean between frames, a pipelined burst ending in
+            // FIN, or a mid-frame disconnect. Buffered complete frames
+            // are still served below; then the connection is over
+            // (handles and cursors are freed by close_conn).
+            Ok(0) => {
+                conn.eof = true;
+                break;
+            }
+            Ok(n) => conn.read_buf.extend_from_slice(&scratch[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Verdict::Close,
+        }
+    }
+    advance(shared, conn, id, job_tx)
+}
+
+/// Consumes buffered frames until the connection goes busy, has a
+/// response pending, or runs out of complete frames. At most one
+/// request is ever in flight — the protocol is strict request/response.
+fn advance(
+    shared: &Shared,
+    conn: &mut Conn,
+    id: u64,
+    job_tx: &mpsc::Sender<(u64, WorkItem)>,
+) -> Verdict {
+    while conn.wants_read() {
+        if conn.read_buf.len() < 4 {
+            break;
+        }
+        let len = u32::from_be_bytes([
+            conn.read_buf[0],
+            conn.read_buf[1],
+            conn.read_buf[2],
+            conn.read_buf[3],
+        ]) as usize;
+        if len > MAX_FRAME {
+            // No way to resynchronize past a lying length prefix; same
+            // hard close as the blocking read_frame path.
+            return Verdict::Close;
+        }
+        if conn.read_buf.len() < 4 + len {
+            break;
+        }
+        let payload = conn.read_buf[4..4 + len].to_vec();
+        conn.read_buf.drain(..4 + len);
+        conn.last_progress = Instant::now();
+        match std::str::from_utf8(&payload) {
+            Ok(text) => match conn.state.classify(shared, text) {
+                Action::Respond(response) => {
+                    conn.queue_response(shared, response);
+                    if flush_verdict(conn) == Verdict::Close {
+                        return Verdict::Close;
+                    }
+                }
+                Action::Work(item) => {
+                    conn.busy = true;
+                    if job_tx.send((id, item)).is_err() {
+                        return Verdict::Close; // workers gone: shutting down
+                    }
+                }
+            },
+            Err(_) => {
+                conn.queue_response(
+                    shared,
+                    Response::Error {
+                        code: ErrorCode::Proto,
+                        message: "frame payload is not UTF-8".to_owned(),
+                    },
+                );
+                if flush_verdict(conn) == Verdict::Close {
+                    return Verdict::Close;
+                }
+            }
+        }
+    }
+    // A half-closed peer's connection ends once everything it pipelined
+    // has been served (a trailing partial frame can never complete).
+    if conn.eof && !conn.busy && conn.write_buf.is_empty() {
+        return Verdict::Close;
+    }
+    Verdict::Keep
+}
+
+/// Flushes and folds the outcome into a keep/close verdict (a finished
+/// flush on a `closing` connection means its goodbye frame is out).
+fn flush_verdict(conn: &mut Conn) -> Verdict {
+    match conn.try_flush() {
+        Ok(true) if conn.closing => Verdict::Close,
+        Ok(_) => Verdict::Keep,
+        Err(_) => Verdict::Close,
+    }
+}
+
+/// Folds a worker completion back into its connection.
+fn complete(
+    shared: &Shared,
+    conn: &mut Conn,
+    id: u64,
+    output: WorkOutput,
+    job_tx: &mpsc::Sender<(u64, WorkItem)>,
+) -> Verdict {
+    conn.busy = false;
+    if conn.dead {
+        return Verdict::Close;
+    }
+    let response = conn.state.finish(shared, output);
+    conn.queue_response(shared, response);
+    if flush_verdict(conn) == Verdict::Close {
+        return Verdict::Close;
+    }
+    if conn.write_buf.is_empty() {
+        if shared.is_stopping() {
+            // Drained: the in-flight query was answered in full.
+            return Verdict::Close;
+        }
+        return advance(shared, conn, id, job_tx);
+    }
+    Verdict::Keep
+}
+
+/// Closes a connection and releases everything it held.
+fn close_conn(shared: &Shared, conns: &mut HashMap<u64, Conn>, id: u64) {
+    let Some(mut conn) = conns.remove(&id) else {
+        return;
+    };
+    conn.state.teardown(shared);
+    if conn.counted {
+        shared
+            .stats()
+            .connections_active
+            .fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The fixed execution pool: workers block on the job channel, run the
+/// query, post the completion, and wake the reactor.
+fn spawn_workers(
+    shared: &Arc<Shared>,
+    job_rx: mpsc::Receiver<(u64, WorkItem)>,
+    done_tx: mpsc::Sender<(u64, WorkOutput)>,
+    waker: &Arc<Waker>,
+) -> Vec<JoinHandle<()>> {
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    (0..shared.worker_count())
+        .map(|k| {
+            let shared = Arc::clone(shared);
+            let job_rx = Arc::clone(&job_rx);
+            let done_tx = done_tx.clone();
+            let waker = Arc::clone(waker);
+            std::thread::Builder::new()
+                .name(format!("gpmld-worker-{k}"))
+                .spawn(move || loop {
+                    let job = match job_rx.lock() {
+                        Ok(rx) => rx.recv(),
+                        Err(_) => return,
+                    };
+                    let Ok((id, item)) = job else { return };
+                    // A panicking query must not take the pool (and
+                    // every connection behind it) down with it.
+                    let output = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        shared.run_work(item)
+                    }))
+                    .unwrap_or_else(|_| {
+                        WorkOutput::Response(Response::Error {
+                            code: ErrorCode::Host,
+                            message: "internal error: query execution panicked".to_owned(),
+                        })
+                    });
+                    if done_tx.send((id, output)).is_err() {
+                        return;
+                    }
+                    waker.wake();
+                })
+                .expect("spawn gpmld worker thread")
+        })
+        .collect()
+}

@@ -1,35 +1,48 @@
-//! The gpmld server: accept loop, per-connection session threads, and
-//! shared state.
+//! The gpmld server: serving models, shared state, and lifecycle.
 //!
-//! # Concurrency model
+//! # Serving models
 //!
-//! One accept thread owns the listener; every accepted connection gets a
-//! named session thread (the same "cheap std threads + shared atomics"
-//! discipline as `core::eval::pool`, but with connection lifetimes
-//! instead of work units — intra-query parallelism still belongs to the
-//! executor via [`EvalOptions::threads`]). The threads share:
+//! Two models serve the same protocol through the same per-request
+//! logic ([`crate::conn`]), selected by [`ServerConfig::model`]:
 //!
-//! * one `Arc<PropertyGraph>` — sessions register the pointer, never a
-//!   copy;
+//! * [`ServeModel::EventLoop`] (default) — one reactor thread
+//!   multiplexes every non-blocking socket with `poll(2)`
+//!   ([`crate::reactor`]) and dispatches query execution to a fixed
+//!   worker pool sized to cores. Thousands of mostly-idle connections
+//!   cost a pollfd each, not a thread; results can be streamed through
+//!   cursors; `--max-conns`, `--idle-timeout`, and bounded write queues
+//!   with backpressure apply.
+//! * [`ServeModel::Threaded`] — the original thread-per-connection
+//!   model (kept for comparison benchmarks and as a fallback): every
+//!   accepted connection gets a blocking session thread. Admission
+//!   control and idle timeouts apply here too; backpressure is the
+//!   blocking `write` itself.
+//!
+//! Both models share:
+//!
+//! * one `Arc<PropertyGraph>` behind one [`gql::Session`] — sessions
+//!   only carry the catalog pointer, options, and the cache, so a
+//!   single shared session serves every connection concurrently;
 //! * one [`SharedPlanLru`] — the **shared plan cache**. Whichever
 //!   connection prepares a skeleton first compiles it for every
 //!   connection, so 1000 clients preparing the same statement cost one
 //!   compile and 999 hits (visible in `STATS`);
 //! * one [`ServerStats`] block of atomic counters.
 //!
-//! Prepared *handles* are deliberately **not** shared: each connection
-//! maps its own `u64` handles to prepared statements, so handle
-//! lifecycle (PREPARE → EXECUTE* → CLOSE, or connection teardown) never
-//! needs cross-thread coordination — the cache underneath already
+//! Prepared *handles* and *cursors* are deliberately **not** shared:
+//! each connection maps its own `u64` handles to prepared statements
+//! and parked results, so their lifecycle (PREPARE → EXECUTE* → CLOSE,
+//! OK CURSOR → FETCH* → DONE, or connection teardown) never needs
+//! cross-connection coordination — the cache underneath already
 //! de-duplicates the compiled plans the handles point to.
 
-use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use gpml_core::eval::{EvalOptions, ExecProfile};
 use gpml_core::plan::{CacheStats, SharedPlanLru, DEFAULT_PLAN_CACHE_CAPACITY};
@@ -37,8 +50,23 @@ use gpml_core::Params;
 use gql::{GqlError, PreparedGqlQuery, QueryResult, Session};
 use property_graph::PropertyGraph;
 
+use crate::conn::{Action, ConnState, WorkItem, WorkOutput};
 use crate::persist;
-use crate::protocol::{read_frame, write_frame, ErrorCode, Request, Response};
+use crate::protocol::{read_frame, write_frame, ErrorCode, Response, MAX_FRAME};
+use crate::reactor::{self, Waker};
+
+/// Which concurrency model serves connections.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ServeModel {
+    /// A `poll(2)` event loop over non-blocking sockets plus a fixed
+    /// worker pool — the default, and the only model that holds large
+    /// connection counts cheaply.
+    #[default]
+    EventLoop,
+    /// One blocking thread per connection (the original model; kept for
+    /// old-vs-new benchmarks and as a fallback).
+    Threaded,
+}
 
 /// Configuration for [`serve`].
 #[derive(Clone, Debug)]
@@ -58,6 +86,19 @@ pub struct ServerConfig {
     /// a restarted server replays its regulars with zero compile misses.
     /// A missing, stale, or corrupt file is ignored, never an error.
     pub plan_cache_file: Option<PathBuf>,
+    /// Serving model; see [`ServeModel`].
+    pub model: ServeModel,
+    /// Admission cap on concurrently served connections; `0` means
+    /// unlimited. A connection over the cap receives one typed
+    /// `ERR BUSY` frame and is closed (it never occupies a session).
+    pub max_conns: usize,
+    /// Close a connection with no in-flight request and no progress for
+    /// this long; [`Duration::ZERO`] disables the timeout.
+    pub idle_timeout: Duration,
+    /// Worker threads executing queries in the event-loop model; `0`
+    /// sizes the pool to the host (`max(2, cores)`). Ignored by
+    /// [`ServeModel::Threaded`].
+    pub workers: usize,
 }
 
 impl Default for ServerConfig {
@@ -68,28 +109,40 @@ impl Default for ServerConfig {
             options: EvalOptions::default(),
             cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
             plan_cache_file: None,
+            model: ServeModel::default(),
+            max_conns: 0,
+            idle_timeout: Duration::ZERO,
+            workers: 0,
         }
     }
 }
 
-/// Monotonic server-wide counters, updated by connection threads and
-/// reported by `STATS`.
+/// Monotonic server-wide counters (plus two gauges), updated by the
+/// serving threads and reported by `STATS`.
 #[derive(Debug, Default)]
 pub struct ServerStats {
-    /// Connections ever accepted.
+    /// Connections ever admitted (BUSY rejections not included).
     pub connections_total: AtomicU64,
-    /// Connections currently open.
+    /// Connections currently open (gauge).
     pub connections_active: AtomicU64,
-    /// `QUERY` requests handled.
+    /// Connections refused with `ERR BUSY` by `--max-conns` admission.
+    pub conns_rejected: AtomicU64,
+    /// `QUERY` requests handled (cursor-mode included).
     pub queries: AtomicU64,
     /// `PREPARE` requests handled.
     pub prepares: AtomicU64,
-    /// `EXECUTE` requests handled.
+    /// `EXECUTE` requests handled (cursor-mode included).
     pub executes: AtomicU64,
-    /// `CLOSE` requests handled.
+    /// `CLOSE` / `CLOSE CURSOR` requests handled.
     pub closes: AtomicU64,
+    /// `FETCH` requests handled.
+    pub fetches: AtomicU64,
     /// Requests answered with an `ERR` response.
     pub errors: AtomicU64,
+    /// Cursors currently holding a parked result (gauge).
+    pub cursors_open: AtomicU64,
+    /// Response frames sent (every response, every model).
+    pub frames_out: AtomicU64,
     /// Matcher states expanded across every `QUERY`/`EXECUTE` served.
     pub exec_nodes_expanded: AtomicU64,
     /// Edges traversed across every `QUERY`/`EXECUTE` served.
@@ -105,25 +158,62 @@ pub struct ServerStats {
     pub exec_backtrack_truncations: AtomicU64,
 }
 
-/// Everything a connection thread needs, shared by `Arc`.
-struct Shared {
+/// Everything the serving threads need, shared by `Arc`.
+pub(crate) struct Shared {
     graph: Arc<PropertyGraph>,
     graph_name: String,
     options: EvalOptions,
+    /// One session for every connection: it only carries the catalog
+    /// pointer, the options, and the shared cache, and its query
+    /// methods take `&self`.
+    session: Session,
     cache: SharedPlanLru<PreparedGqlQuery>,
     stats: ServerStats,
     stopping: AtomicBool,
     persist: Option<PersistState>,
+    waker: Arc<Waker>,
+    max_conns: usize,
+    idle_timeout: Duration,
+    workers: usize,
 }
 
 /// Where the plan cache is persisted, plus the cache length at the last
-/// save so connection threads can skip the write when nothing compiled.
+/// save so serving threads can skip the write when nothing compiled.
 struct PersistState {
     path: PathBuf,
     last_saved_len: AtomicU64,
 }
 
 impl Shared {
+    pub(crate) fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    pub(crate) fn is_stopping(&self) -> bool {
+        self.stopping.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn max_conns(&self) -> usize {
+        self.max_conns
+    }
+
+    pub(crate) fn idle_timeout(&self) -> Duration {
+        self.idle_timeout
+    }
+
+    /// Worker-pool size for the event loop: configured, or
+    /// `max(2, cores)` so even a single-core box overlaps execution
+    /// with socket readiness.
+    pub(crate) fn worker_count(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .max(2)
+    }
+
     /// Saves the plan cache to the configured file if its length changed
     /// since the last save (i.e. a connection just compiled something
     /// new). Write-through rather than save-on-shutdown-only, so plans
@@ -138,15 +228,193 @@ impl Shared {
             eprintln!("gpmld: plan cache save to {} failed: {e}", p.path.display());
         }
     }
+
+    /// Serves `HELLO`: server identity plus the graph census.
+    pub(crate) fn hello(&self) -> Response {
+        let g = &self.graph;
+        let info = vec![
+            ("server".to_owned(), "gpmld".to_owned()),
+            ("version".to_owned(), env!("CARGO_PKG_VERSION").to_owned()),
+            ("graph".to_owned(), self.graph_name.clone()),
+            ("nodes".to_owned(), g.node_count().to_string()),
+            ("edges".to_owned(), g.edge_count().to_string()),
+            (
+                "threads".to_owned(),
+                self.options.resolved_threads().to_string(),
+            ),
+        ];
+        Response::Hello { info }
+    }
+
+    /// Serves `STATS`. `handles_open` is the asking connection's own
+    /// prepared-handle count (handles are connection-local).
+    pub(crate) fn stats_response(&self, handles_open: usize) -> Response {
+        let cache = self.cache.stats();
+        // Total encoded size of every cached flat program: what a
+        // `--plan-cache-file` save would write for the plans themselves.
+        let plan_bytes: usize = self
+            .cache
+            .entries()
+            .iter()
+            .map(|(_, _, plan)| {
+                plan.stage_programs()
+                    .iter()
+                    .map(|p| p.encoded_len())
+                    .sum::<usize>()
+            })
+            .sum();
+        let s = &self.stats;
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed).to_string();
+        let stats = vec![
+            ("cache.hits".to_owned(), cache.hits.to_string()),
+            ("cache.misses".to_owned(), cache.misses.to_string()),
+            ("cache.len".to_owned(), cache.len.to_string()),
+            ("cache.capacity".to_owned(), cache.capacity.to_string()),
+            ("plans.bytes".to_owned(), plan_bytes.to_string()),
+            ("sessions.total".to_owned(), load(&s.connections_total)),
+            ("sessions.active".to_owned(), load(&s.connections_active)),
+            ("conns.active".to_owned(), load(&s.connections_active)),
+            ("conns.rejected".to_owned(), load(&s.conns_rejected)),
+            ("cursors.open".to_owned(), load(&s.cursors_open)),
+            ("frames.out".to_owned(), load(&s.frames_out)),
+            ("requests.query".to_owned(), load(&s.queries)),
+            ("requests.prepare".to_owned(), load(&s.prepares)),
+            ("requests.execute".to_owned(), load(&s.executes)),
+            ("requests.close".to_owned(), load(&s.closes)),
+            ("requests.fetch".to_owned(), load(&s.fetches)),
+            ("requests.errors".to_owned(), load(&s.errors)),
+            (
+                "exec.nodes_expanded".to_owned(),
+                load(&s.exec_nodes_expanded),
+            ),
+            (
+                "exec.edges_traversed".to_owned(),
+                load(&s.exec_edges_traversed),
+            ),
+            ("exec.rows_pruned".to_owned(), load(&s.exec_rows_pruned)),
+            (
+                "exec.instrs_dispatched".to_owned(),
+                load(&s.exec_instrs_dispatched),
+            ),
+            (
+                "exec.backtrack_truncations".to_owned(),
+                load(&s.exec_backtrack_truncations),
+            ),
+            ("handles.open".to_owned(), handles_open.to_string()),
+        ];
+        Response::Stats { stats }
+    }
+
+    /// Executes one [`WorkItem`] — the request classes that do real
+    /// work. Runs on a pool worker (event loop) or the connection's own
+    /// thread (threaded model); only touches shared state.
+    pub(crate) fn run_work(&self, item: WorkItem) -> WorkOutput {
+        let output = match item {
+            WorkItem::Query { text, cursor } => match self.query(&text) {
+                Ok(result) if cursor => WorkOutput::Cursor(result),
+                Ok(result) => WorkOutput::Response(Response::Result(result)),
+                Err(e) => WorkOutput::Response(error_response(e)),
+            },
+            WorkItem::Prepare { text } => match self.session.prepare(&text) {
+                Ok(prepared) if !prepared.has_return() => WorkOutput::Response(Response::Error {
+                    code: ErrorCode::Host,
+                    message: "PREPARE wants a RETURN statement (bare MATCH has no table shape)"
+                        .to_owned(),
+                }),
+                Ok(prepared) => WorkOutput::Prepared(Arc::new(prepared)),
+                Err(e) => WorkOutput::Response(error_response(e)),
+            },
+            WorkItem::Execute {
+                prepared,
+                params,
+                cursor,
+            } => {
+                let params: Params = params.into_iter().collect();
+                match self.run_profiled(&prepared, &params) {
+                    Ok(result) if cursor => WorkOutput::Cursor(result),
+                    Ok(result) => WorkOutput::Response(Response::Result(result)),
+                    Err(e) => WorkOutput::Response(error_response(e)),
+                }
+            }
+        };
+        // Any request may have compiled a new plan (QUERY and EXECUTE
+        // compile too, not just PREPARE); cheap no-op when the cache
+        // didn't grow.
+        self.maybe_persist();
+        output
+    }
+
+    /// Serves a one-shot `QUERY`. Statements with a `RETURN` go through
+    /// the profiled path so their execution counters land in `STATS`;
+    /// `RETURN`-less text falls through to [`Session::execute`], which
+    /// raises the parse error that path has always raised.
+    fn query(&self, text: &str) -> Result<QueryResult, GqlError> {
+        match self.session.prepare(text) {
+            Ok(prepared) if prepared.has_return() => self.run_profiled(&prepared, &Params::new()),
+            _ => self.session.execute(&self.graph_name, text),
+        }
+    }
+
+    /// Executes `prepared` under a per-request [`ExecProfile`] and folds
+    /// its totals into the server-wide counters — win or lose, since a
+    /// failed execution (say, a result limit) still did the work its
+    /// counters tallied before the error.
+    fn run_profiled(
+        &self,
+        prepared: &PreparedGqlQuery,
+        params: &Params,
+    ) -> Result<QueryResult, GqlError> {
+        let profile = ExecProfile::new(prepared.plan().stage_count());
+        let result =
+            self.session
+                .execute_prepared_profiled(&self.graph_name, prepared, params, &profile);
+        let (nodes, edges, pruned, instrs, truncations) = profile.totals();
+        let s = &self.stats;
+        s.exec_nodes_expanded.fetch_add(nodes, Ordering::Relaxed);
+        s.exec_edges_traversed.fetch_add(edges, Ordering::Relaxed);
+        s.exec_rows_pruned.fetch_add(pruned, Ordering::Relaxed);
+        s.exec_instrs_dispatched
+            .fetch_add(instrs, Ordering::Relaxed);
+        s.exec_backtrack_truncations
+            .fetch_add(truncations, Ordering::Relaxed);
+        result
+    }
+
+    /// Serializes a response for the wire, enforcing the frame cap (an
+    /// oversized result becomes the typed `HOST` error — nothing of the
+    /// oversized frame is ever written, so the stream stays in sync)
+    /// and counting `errors` / `frames.out` uniformly for both models.
+    pub(crate) fn encode_response(&self, response: Response) -> String {
+        let mut is_error = matches!(response, Response::Error { .. });
+        let mut encoded = response.serialize();
+        if encoded.len() > MAX_FRAME {
+            encoded = Response::Error {
+                code: ErrorCode::Host,
+                message: format!(
+                    "result of {} bytes exceeds the {} MiB frame cap \
+                     (narrow the query, add LIMIT, or stream it with QUERY CURSOR + FETCH)",
+                    encoded.len(),
+                    MAX_FRAME >> 20
+                ),
+            }
+            .serialize();
+            is_error = true;
+        }
+        if is_error {
+            self.stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.stats.frames_out.fetch_add(1, Ordering::Relaxed);
+        encoded
+    }
 }
 
 /// A running server. Dropping the handle stops it; prefer an explicit
-/// [`ServerHandle::stop`] so accept-thread teardown errors are not
+/// [`ServerHandle::stop`] so serving-thread teardown errors are not
 /// silently swallowed by drop glue.
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    serve_thread: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -171,23 +439,25 @@ impl ServerHandle {
         &self.shared.cache
     }
 
-    /// Stops accepting and joins the accept thread. Connections already
-    /// open are served until their clients hang up.
+    /// Stops the server gracefully: no new connections, in-flight
+    /// queries drain (bounded), idle connections close.
     pub fn stop(mut self) {
         self.shutdown();
     }
 
     fn shutdown(&mut self) {
-        let Some(accept) = self.accept.take() else {
+        let Some(thread) = self.serve_thread.take() else {
             return;
         };
         self.shared.stopping.store(true, Ordering::SeqCst);
-        // Wake the blocking accept with a throwaway connection.
+        // Wake both models: the reactor via its self-pipe, a blocking
+        // threaded accept with a throwaway connection.
+        self.shared.waker.wake();
         let _ = TcpStream::connect(self.addr);
-        let _ = accept.join();
+        let _ = thread.join();
         // Final save: catches replacements write-through skipped (same
-        // length, different plan) and runs after the accept loop is done
-        // admitting connections that could still compile.
+        // length, different plan) and runs after the serving thread is
+        // done admitting connections that could still compile.
         if let Some(p) = &self.shared.persist {
             if let Err(e) = persist::save(&p.path, &self.shared.options, &self.shared.cache) {
                 eprintln!("gpmld: plan cache save to {} failed: {e}", p.path.display());
@@ -216,17 +486,26 @@ pub fn serve_shared(graph: Arc<PropertyGraph>, config: ServerConfig) -> io::Resu
             })?,
         )?;
     let addr = listener.local_addr()?;
+    let cache = SharedPlanLru::new(config.cache_capacity);
+    let mut session = Session::with_cache(config.options.clone(), cache.clone());
+    session.register_shared(&config.graph_name, Arc::clone(&graph));
+    let waker = Arc::new(Waker::new()?);
     let shared = Arc::new(Shared {
         graph,
         graph_name: config.graph_name,
         options: config.options,
-        cache: SharedPlanLru::new(config.cache_capacity),
+        session,
+        cache,
         stats: ServerStats::default(),
         stopping: AtomicBool::new(false),
         persist: config.plan_cache_file.map(|path| PersistState {
             path,
             last_saved_len: AtomicU64::new(0),
         }),
+        waker: Arc::clone(&waker),
+        max_conns: config.max_conns,
+        idle_timeout: config.idle_timeout,
+        workers: config.workers,
     });
     if let Some(p) = &shared.persist {
         let seeded = persist::load(&p.path, &shared.options, &shared.cache);
@@ -239,23 +518,32 @@ pub fn serve_shared(graph: Arc<PropertyGraph>, config: ServerConfig) -> io::Resu
             );
         }
     }
-    let accept = {
+    let serve_thread = {
         let shared = Arc::clone(&shared);
+        let name = match config.model {
+            ServeModel::EventLoop => "gpmld-reactor",
+            ServeModel::Threaded => "gpmld-accept",
+        };
         std::thread::Builder::new()
-            .name("gpmld-accept".to_owned())
-            .spawn(move || accept_loop(listener, shared))?
+            .name(name.to_owned())
+            .spawn(move || match config.model {
+                ServeModel::EventLoop => reactor::run(listener, shared, waker),
+                ServeModel::Threaded => accept_loop(listener, shared),
+            })?
     };
     Ok(ServerHandle {
         addr,
         shared,
-        accept: Some(accept),
+        serve_thread: Some(serve_thread),
     })
 }
 
+/// The threaded model's accept loop: one blocking session thread per
+/// admitted connection.
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     let mut conn_id: u64 = 0;
     loop {
-        if shared.stopping.load(Ordering::SeqCst) {
+        if shared.is_stopping() {
             return;
         }
         let stream = match listener.accept() {
@@ -265,14 +553,26 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             // at the top — the shutdown path does not depend on its
             // wake-up connection being accepted.
             Err(_) => {
-                std::thread::sleep(std::time::Duration::from_millis(10));
+                std::thread::sleep(Duration::from_millis(10));
                 continue;
             }
         };
         // Frames are small request/response pairs; never batch them.
         let _ = stream.set_nodelay(true);
-        if shared.stopping.load(Ordering::SeqCst) {
+        if shared.is_stopping() {
             return; // the wake-up connection, or a racer behind it
+        }
+        let stats = shared.stats();
+        let max = shared.max_conns();
+        if max > 0 && stats.connections_active.load(Ordering::Relaxed) as usize >= max {
+            stats.conns_rejected.fetch_add(1, Ordering::Relaxed);
+            let mut stream = stream;
+            let goodbye = shared.encode_response(Response::Error {
+                code: ErrorCode::Busy,
+                message: format!("server is at --max-conns ({max}); retry later"),
+            });
+            let _ = write_frame(&mut stream, &goodbye);
+            continue; // drop closes it
         }
         conn_id += 1;
         let shared = Arc::clone(&shared);
@@ -288,7 +588,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         let spawned = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new().name(name).spawn(move || {
-                Connection::new(&shared).run(stream);
+                run_threaded_conn(&shared, stream);
                 shared
                     .stats
                     .connections_active
@@ -307,251 +607,39 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
-/// Per-connection state: a session over the shared graph + cache, and
-/// the connection-local table of prepared handles.
-struct Connection<'s> {
-    shared: &'s Shared,
-    session: Session,
-    handles: HashMap<u64, PreparedGqlQuery>,
-    next_handle: u64,
-}
-
-impl<'s> Connection<'s> {
-    fn new(shared: &'s Shared) -> Connection<'s> {
-        let mut session = Session::with_cache(shared.options.clone(), shared.cache.clone());
-        session.register_shared(&shared.graph_name, Arc::clone(&shared.graph));
-        Connection {
-            shared,
-            session,
-            handles: HashMap::new(),
-            next_handle: 1,
-        }
+/// One blocking connection: read a frame, classify, execute inline,
+/// respond — the same [`ConnState`] steps the event loop takes, on one
+/// thread.
+fn run_threaded_conn(shared: &Shared, mut stream: TcpStream) {
+    let mut state = ConnState::new();
+    let idle = shared.idle_timeout();
+    if idle > Duration::ZERO {
+        let _ = stream.set_read_timeout(Some(idle));
     }
-
-    fn run(mut self, mut stream: TcpStream) {
-        loop {
-            let payload = match read_frame(&mut stream) {
-                Ok(Some(payload)) => payload,
-                // Clean EOF, a mid-frame disconnect, or an oversized
-                // length prefix (no way to resynchronize): drop the
-                // connection. Open handles die with it.
-                Ok(None) | Err(_) => return,
-            };
-            let response = match std::str::from_utf8(&payload) {
-                Ok(text) => self.respond(text),
-                Err(_) => Response::Error {
-                    code: ErrorCode::Proto,
-                    message: "frame payload is not UTF-8".to_owned(),
-                },
-            };
-            // Any request may have compiled a new plan (QUERY and
-            // EXECUTE compile too, not just PREPARE); cheap no-op when
-            // the cache didn't grow.
-            self.shared.maybe_persist();
-            let mut is_error = matches!(response, Response::Error { .. });
-            let mut encoded = response.serialize();
-            if encoded.len() > crate::protocol::MAX_FRAME {
-                // A result table too big for one frame is the *query's*
-                // problem, not the connection's: answer with a typed
-                // error (nothing of the oversized frame was written, so
-                // the stream is still in sync) and keep serving.
-                encoded = Response::Error {
-                    code: ErrorCode::Host,
-                    message: format!(
-                        "result of {} bytes exceeds the {} MiB frame cap \
-                         (narrow the query or add LIMIT)",
-                        encoded.len(),
-                        crate::protocol::MAX_FRAME >> 20
-                    ),
+    // Reads end on clean EOF, a mid-frame disconnect, an oversized
+    // length prefix (no way to resynchronize), or an idle timeout
+    // (read_timeout elapsed): drop the connection. Open handles and
+    // cursors die with it, in teardown below.
+    while let Ok(Some(payload)) = read_frame(&mut stream) {
+        let response = match std::str::from_utf8(&payload) {
+            Ok(text) => match state.classify(shared, text) {
+                Action::Respond(response) => response,
+                Action::Work(item) => {
+                    let output = shared.run_work(item);
+                    state.finish(shared, output)
                 }
-                .serialize();
-                is_error = true;
-            }
-            if is_error {
-                self.shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-            }
-            if write_frame(&mut stream, &encoded).is_err() {
-                return;
-            }
-        }
-    }
-
-    fn respond(&mut self, payload: &str) -> Response {
-        let request = match Request::parse(payload) {
-            Ok(r) => r,
-            Err((code, message)) => return Response::Error { code, message },
+            },
+            Err(_) => Response::Error {
+                code: ErrorCode::Proto,
+                message: "frame payload is not UTF-8".to_owned(),
+            },
         };
-        match request {
-            Request::Hello { client: _ } => self.hello(),
-            Request::Query { text } => {
-                self.shared.stats.queries.fetch_add(1, Ordering::Relaxed);
-                match self.query(&text) {
-                    Ok(result) => Response::Result(result),
-                    Err(e) => error_response(e),
-                }
-            }
-            Request::Prepare { text } => {
-                self.shared.stats.prepares.fetch_add(1, Ordering::Relaxed);
-                self.prepare(&text)
-            }
-            Request::Execute { handle, params } => {
-                self.shared.stats.executes.fetch_add(1, Ordering::Relaxed);
-                self.execute(handle, params)
-            }
-            Request::Close { handle } => {
-                self.shared.stats.closes.fetch_add(1, Ordering::Relaxed);
-                match self.handles.remove(&handle) {
-                    Some(_) => Response::Closed { handle },
-                    None => Response::Error {
-                        code: ErrorCode::Handle,
-                        message: format!("unknown handle {handle}"),
-                    },
-                }
-            }
-            Request::Stats => self.stats(),
+        let encoded = shared.encode_response(response);
+        if write_frame(&mut stream, &encoded).is_err() {
+            break;
         }
     }
-
-    fn hello(&self) -> Response {
-        let g = &self.shared.graph;
-        let info = vec![
-            ("server".to_owned(), "gpmld".to_owned()),
-            ("version".to_owned(), env!("CARGO_PKG_VERSION").to_owned()),
-            ("graph".to_owned(), self.shared.graph_name.clone()),
-            ("nodes".to_owned(), g.node_count().to_string()),
-            ("edges".to_owned(), g.edge_count().to_string()),
-            (
-                "threads".to_owned(),
-                self.shared.options.resolved_threads().to_string(),
-            ),
-        ];
-        Response::Hello { info }
-    }
-
-    fn prepare(&mut self, text: &str) -> Response {
-        let prepared = match self.session.prepare(text) {
-            Ok(p) => p,
-            Err(e) => return error_response(e),
-        };
-        if !prepared.has_return() {
-            return Response::Error {
-                code: ErrorCode::Host,
-                message: "PREPARE wants a RETURN statement (bare MATCH has no table shape)"
-                    .to_owned(),
-            };
-        }
-        let params: Vec<String> = prepared.plan().param_names().map(str::to_owned).collect();
-        let handle = self.next_handle;
-        self.next_handle += 1;
-        self.handles.insert(handle, prepared);
-        Response::Prepared { handle, params }
-    }
-
-    /// Serves a one-shot `QUERY`. Statements with a `RETURN` go through
-    /// the profiled path so their execution counters land in `STATS`;
-    /// `RETURN`-less text falls through to [`Session::execute`], which
-    /// raises the parse error that path has always raised.
-    fn query(&self, text: &str) -> Result<QueryResult, GqlError> {
-        match self.session.prepare(text) {
-            Ok(prepared) if prepared.has_return() => self.run_profiled(&prepared, &Params::new()),
-            _ => self.session.execute(&self.shared.graph_name, text),
-        }
-    }
-
-    fn execute(&mut self, handle: u64, params: Vec<(String, property_graph::Value)>) -> Response {
-        let Some(prepared) = self.handles.get(&handle) else {
-            return Response::Error {
-                code: ErrorCode::Handle,
-                message: format!("unknown handle {handle} (PREPARE first, or already CLOSEd)"),
-            };
-        };
-        let params: Params = params.into_iter().collect();
-        match self.run_profiled(prepared, &params) {
-            Ok(result) => Response::Result(result),
-            Err(e) => error_response(e),
-        }
-    }
-
-    /// Executes `prepared` under a per-request [`ExecProfile`] and folds
-    /// its totals into the server-wide counters — win or lose, since a
-    /// failed execution (say, a result limit) still did the work its
-    /// counters tallied before the error.
-    fn run_profiled(
-        &self,
-        prepared: &PreparedGqlQuery,
-        params: &Params,
-    ) -> Result<QueryResult, GqlError> {
-        let profile = ExecProfile::new(prepared.plan().stage_count());
-        let result = self.session.execute_prepared_profiled(
-            &self.shared.graph_name,
-            prepared,
-            params,
-            &profile,
-        );
-        let (nodes, edges, pruned, instrs, truncations) = profile.totals();
-        let s = &self.shared.stats;
-        s.exec_nodes_expanded.fetch_add(nodes, Ordering::Relaxed);
-        s.exec_edges_traversed.fetch_add(edges, Ordering::Relaxed);
-        s.exec_rows_pruned.fetch_add(pruned, Ordering::Relaxed);
-        s.exec_instrs_dispatched
-            .fetch_add(instrs, Ordering::Relaxed);
-        s.exec_backtrack_truncations
-            .fetch_add(truncations, Ordering::Relaxed);
-        result
-    }
-
-    fn stats(&self) -> Response {
-        let cache = self.shared.cache.stats();
-        // Total encoded size of every cached flat program: what a
-        // `--plan-cache-file` save would write for the plans themselves.
-        let plan_bytes: usize = self
-            .shared
-            .cache
-            .entries()
-            .iter()
-            .map(|(_, _, plan)| {
-                plan.stage_programs()
-                    .iter()
-                    .map(|p| p.encoded_len())
-                    .sum::<usize>()
-            })
-            .sum();
-        let s = &self.shared.stats;
-        let load = |c: &AtomicU64| c.load(Ordering::Relaxed).to_string();
-        let stats = vec![
-            ("cache.hits".to_owned(), cache.hits.to_string()),
-            ("cache.misses".to_owned(), cache.misses.to_string()),
-            ("cache.len".to_owned(), cache.len.to_string()),
-            ("cache.capacity".to_owned(), cache.capacity.to_string()),
-            ("plans.bytes".to_owned(), plan_bytes.to_string()),
-            ("sessions.total".to_owned(), load(&s.connections_total)),
-            ("sessions.active".to_owned(), load(&s.connections_active)),
-            ("requests.query".to_owned(), load(&s.queries)),
-            ("requests.prepare".to_owned(), load(&s.prepares)),
-            ("requests.execute".to_owned(), load(&s.executes)),
-            ("requests.close".to_owned(), load(&s.closes)),
-            ("requests.errors".to_owned(), load(&s.errors)),
-            (
-                "exec.nodes_expanded".to_owned(),
-                load(&s.exec_nodes_expanded),
-            ),
-            (
-                "exec.edges_traversed".to_owned(),
-                load(&s.exec_edges_traversed),
-            ),
-            ("exec.rows_pruned".to_owned(), load(&s.exec_rows_pruned)),
-            (
-                "exec.instrs_dispatched".to_owned(),
-                load(&s.exec_instrs_dispatched),
-            ),
-            (
-                "exec.backtrack_truncations".to_owned(),
-                load(&s.exec_backtrack_truncations),
-            ),
-            ("handles.open".to_owned(), self.handles.len().to_string()),
-        ];
-        Response::Stats { stats }
-    }
+    state.teardown(shared);
 }
 
 /// Maps a host error onto the wire's typed codes. Parameter-binding

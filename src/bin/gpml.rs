@@ -42,7 +42,8 @@ fn usage() -> ! {
          [--mode gpml|sparql|gsql] [--threads N] [--no-semijoin] [--no-flat] \
          [--param NAME=VALUE]... [--format table|json|csv] [--explain] [QUERY]\n\
          \x20      gpml serve   [--graph ...] [--mode ...] [--threads N] [--no-semijoin] \
-         [--no-flat] [--addr HOST[:PORT]] [--port N] [--cache N] [--plan-cache-file PATH]\n\
+         [--no-flat] [--addr HOST[:PORT]] [--port N] [--cache N] [--plan-cache-file PATH] \
+         [--max-conns N] [--idle-timeout SECS] [--workers N] [--threaded]\n\
          \x20      gpml connect [--addr HOST:PORT] [--format table|json|csv]\n\
          With no QUERY, reads one query per line from stdin; repeated\n\
          queries reuse their compiled plan (the session's LRU plan cache).\n\
@@ -67,9 +68,16 @@ fn usage() -> ! {
          or sets the worker-thread count, :let name = value binds a\n\
          parameter, :unlet name unbinds one, :params lists bindings.\n\
          `serve` starts gpmld, a TCP server speaking the PREPARE/EXECUTE\n\
-         wire protocol over the graph; `connect` is a remote REPL against\n\
+         wire protocol over the graph — by default a poll(2) event loop\n\
+         with a worker pool (--workers N; 0 = cores), connection\n\
+         admission (--max-conns N; 0 = unlimited), and idle reaping\n\
+         (--idle-timeout SECS; 0 = off); --threaded restores the old\n\
+         thread-per-connection model. `connect` is a remote REPL against\n\
          one (its :let bindings ride each query as EXECUTE parameters,\n\
-         :stats/:cache query the server, :close drops cached handles)."
+         :stats/:cache query the server, :close drops cached handles,\n\
+         :cursor <query> parks the result server-side and :fetch\n\
+         <cursor> <n> drains it in frame-sized chunks — the only way to\n\
+         read a result bigger than one 16 MiB frame)."
     );
     std::process::exit(2)
 }
@@ -438,6 +446,10 @@ fn serve_main(args: Vec<String>) -> ! {
     let mut port = 7878u16;
     let mut cache = DEFAULT_PLAN_CACHE_CAPACITY;
     let mut plan_cache_file = None;
+    let mut max_conns = 0usize;
+    let mut idle_timeout = std::time::Duration::ZERO;
+    let mut workers = 0usize;
+    let mut model = gpml_server::ServeModel::default();
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -463,6 +475,27 @@ fn serve_main(args: Vec<String>) -> ! {
                     it.next().unwrap_or_else(|| usage()),
                 ))
             }
+            "--max-conns" => {
+                max_conns = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--idle-timeout" => {
+                idle_timeout = it
+                    .next()
+                    .and_then(|n| n.parse::<f64>().ok())
+                    .filter(|s| s.is_finite() && *s >= 0.0)
+                    .map(std::time::Duration::from_secs_f64)
+                    .unwrap_or_else(|| usage())
+            }
+            "--workers" => {
+                workers = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--threaded" => model = gpml_server::ServeModel::Threaded,
             _ => usage(),
         }
     }
@@ -489,6 +522,10 @@ fn serve_main(args: Vec<String>) -> ! {
         options: engine.options(),
         cache_capacity: cache,
         plan_cache_file,
+        model,
+        max_conns,
+        idle_timeout,
+        workers,
         ..ServerConfig::default()
     };
     let handle = match serve_shared(std::sync::Arc::new(graph), config) {
@@ -553,9 +590,11 @@ fn connect_main(args: Vec<String>) {
 
     let mut params = Params::new();
     let mut handles: HashMap<String, gpml_server::PreparedHandle> = HashMap::new();
+    let mut cursors: HashMap<u64, gpml_server::CursorHandle> = HashMap::new();
     eprintln!(
         "remote REPL (one query per line; :let name = value binds an EXECUTE \
-         parameter; :stats asks the server; Ctrl-D to quit)"
+         parameter; :cursor <query> streams via FETCH; :stats asks the server; \
+         Ctrl-D to quit)"
     );
     for line in std::io::stdin().lock().lines() {
         let Ok(line) = line else { break };
@@ -614,6 +653,62 @@ fn connect_main(args: Vec<String>) {
             }
             continue;
         }
+        if let Some(rest) = line.strip_prefix(":cursor ") {
+            match client.query_cursor(rest.trim()) {
+                Ok(h) => {
+                    eprintln!(
+                        "cursor {} open: {} row(s) parked ({}); drain with :fetch {} <n>",
+                        h.cursor,
+                        h.total,
+                        if h.columns.is_empty() {
+                            "no columns".to_owned()
+                        } else {
+                            h.columns.join(", ")
+                        },
+                        h.cursor
+                    );
+                    cursors.insert(h.cursor, h);
+                }
+                Err(e) => report_client_error(&e),
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(":fetch ") {
+            let mut words = rest.split_whitespace();
+            let (Some(Ok(cursor)), Some(Ok(n))) = (
+                words.next().map(str::parse::<u64>),
+                words.next().map(str::parse::<u64>),
+            ) else {
+                eprintln!("error: :fetch wants `:fetch <cursor> <n>`");
+                continue;
+            };
+            match client.fetch(cursor, n) {
+                Ok(chunk) => {
+                    format.print(&chunk.batch);
+                    if chunk.more {
+                        eprintln!("MORE ({} row(s) this chunk)", chunk.batch.len());
+                    } else {
+                        cursors.remove(&cursor);
+                        eprintln!("DONE (cursor {cursor} freed)");
+                    }
+                }
+                Err(e) => report_client_error(&e),
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(":close-cursor ") {
+            match rest.trim().parse::<u64>() {
+                Ok(cursor) => match client.close_cursor(cursor) {
+                    Ok(()) => {
+                        cursors.remove(&cursor);
+                        eprintln!("cursor {cursor} closed");
+                    }
+                    Err(e) => report_client_error(&e),
+                },
+                Err(_) => eprintln!("error: :close-cursor wants a cursor id"),
+            }
+            continue;
+        }
         if let Some(rest) = line.strip_prefix(":unlet ") {
             let name = rest.trim().trim_start_matches('$');
             if params.unset(name).is_none() {
@@ -623,8 +718,8 @@ fn connect_main(args: Vec<String>) {
         }
         if line.starts_with(':') {
             eprintln!(
-                "unknown command {line} (try :stats, :cache, :close, :let, :unlet, \
-                 :params, or :quit)"
+                "unknown command {line} (try :stats, :cache, :close, :cursor, :fetch, \
+                 :close-cursor, :let, :unlet, :params, or :quit)"
             );
             continue;
         }

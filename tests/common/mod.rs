@@ -10,6 +10,8 @@
 // uses a different subset of it.
 #![allow(dead_code)]
 
+pub mod abuse;
+
 use proptest::prelude::*;
 
 use gpml_suite::core::ast::*;

@@ -1,0 +1,109 @@
+//! Cursor-semantics proptests for the gpmld wire path.
+//!
+//! The contract: a cursor is a *window* onto the same result the
+//! one-shot `QUERY` path produces — never a different computation. For
+//! any generated pattern and any chunk size, concatenating `FETCH`
+//! chunks yields exactly the single-frame result (same rows, same
+//! order, same float bits), including when two cursors on one
+//! connection are drained interleaved.
+
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+
+mod common;
+use common::{chain_pattern, union_pattern};
+
+use gpml_server::client::Client;
+use gpml_server::server::{serve_shared, ServerConfig, ServerHandle};
+use gpml_suite::core::ast::{GraphPattern, PathPattern, PathPatternExpr};
+use gpml_suite::datagen::small_mixed;
+
+/// One server over the same corpus graph `server_wire.rs` uses, shared
+/// by every proptest case.
+fn corpus_server() -> &'static ServerHandle {
+    static SERVER: OnceLock<ServerHandle> = OnceLock::new();
+    SERVER.get_or_init(|| {
+        serve_shared(Arc::new(small_mixed(11, 12, 20)), ServerConfig::default()).expect("bind")
+    })
+}
+
+fn render(pattern: PathPattern) -> String {
+    let gp = GraphPattern {
+        paths: vec![PathPatternExpr::plain(pattern)],
+        where_clause: None,
+    };
+    format!("MATCH {gp} RETURN x, y, z, e, f")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For n ∈ {1, 3, 64}: FETCH-chunked rows concatenate to exactly
+    /// the one-shot result — rows, order, and the declared total.
+    #[test]
+    fn fetch_chunks_concatenate_to_the_one_shot_result(
+        pattern in chain_pattern(),
+    ) {
+        let text = render(pattern);
+        let mut client = Client::connect(corpus_server().addr()).expect("connect");
+        match client.query(&text) {
+            Ok(whole) => {
+                for n in [1u64, 3, 64] {
+                    let cursor = client.query_cursor(&text).expect("open cursor");
+                    prop_assert_eq!(cursor.total, whole.len() as u64);
+                    prop_assert_eq!(&cursor.columns, &whole.columns);
+                    let streamed = client.fetch_all(&cursor, n).expect("drain");
+                    prop_assert_eq!(&streamed, &whole, "n={} on {}", n, text);
+                }
+            }
+            Err(_) => {
+                // Invalid statements must fail identically on the cursor
+                // path (and open no cursor).
+                prop_assert!(client.query_cursor(&text).is_err());
+            }
+        }
+    }
+
+    /// Two cursors on one connection, fetched interleaved with unequal
+    /// strides, each still reassemble their own result exactly.
+    #[test]
+    fn interleaved_cursors_do_not_cross_contaminate(
+        p1 in chain_pattern(),
+        p2 in union_pattern(),
+    ) {
+        let (t1, t2) = (render(p1), render(p2));
+        let mut client = Client::connect(corpus_server().addr()).expect("connect");
+        if let (Ok(whole1), Ok(whole2)) = (client.query(&t1), client.query(&t2)) {
+        let c1 = client.query_cursor(&t1).expect("cursor 1");
+        let c2 = client.query_cursor(&t2).expect("cursor 2");
+        prop_assert_ne!(c1.cursor, c2.cursor);
+
+        // Alternate strides 3 and 1 until both run dry.
+        let mut got1 = whole1.clone();
+        got1.rows.clear();
+        let mut got2 = whole2.clone();
+        got2.rows.clear();
+        let (mut more1, mut more2) = (true, true);
+        while more1 || more2 {
+            if more1 {
+                let chunk = client.fetch(c1.cursor, 3).expect("fetch 1");
+                got1.rows.extend(chunk.batch.rows);
+                more1 = chunk.more;
+            }
+            if more2 {
+                let chunk = client.fetch(c2.cursor, 1).expect("fetch 2");
+                got2.rows.extend(chunk.batch.rows);
+                more2 = chunk.more;
+            }
+        }
+        prop_assert_eq!(&got1, &whole1, "cursor 1 on {}", t1);
+        prop_assert_eq!(&got2, &whole2, "cursor 2 on {}", t2);
+
+        // Both cursors were freed by their DONE chunks: a further FETCH
+        // is a typed unknown-cursor error.
+        prop_assert!(client.fetch(c1.cursor, 1).is_err());
+        prop_assert!(client.fetch(c2.cursor, 1).is_err());
+        }
+    }
+}
