@@ -1,0 +1,100 @@
+//! EB17 — the durable storage engine: mixed read/write throughput over
+//! the wire, and recovery time vs WAL length with and without periodic
+//! snapshots.
+//!
+//! The mixed workload holds the *read* traffic constant (4 reader
+//! connections streaming prepared `EXECUTE`s) while growing the writer
+//! population committing through the WAL; every read is asserted equal
+//! to the in-process oracle, so the measurement doubles as an isolation
+//! check. The recovery workload commits `n` batches, "crashes" (drops
+//! the journal with no shutdown), and times `GraphJournal::open` —
+//! once with the WAL holding everything, once with compaction folding
+//! the log into the snapshot as it grows.
+//!
+//! Under Criterion's `--test` smoke the populations shrink so CI
+//! exercises the full path in milliseconds. This dev container may be
+//! single-CPU and tmpfs-backed; compare shapes, and measure real fsync
+//! costs on durable media.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gpml_bench::storage as eb17;
+use gpml_server::client::Client;
+use property_graph::Value;
+
+fn bench_storage(c: &mut Criterion) {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let (reads_per, writes_per) = if smoke {
+        (6, 4)
+    } else {
+        (eb17::READS_PER_READER, eb17::WRITES_PER_WRITER)
+    };
+    let recovery_commits: Vec<usize> = if smoke {
+        vec![50]
+    } else {
+        eb17::RECOVERY_COMMITS.to_vec()
+    };
+
+    // Mixed read/write throughput, one durable server per mix so each
+    // measurement starts from the same epoch-0 on-disk state.
+    let expect = eb17::oracles();
+    for &(readers, writers) in eb17::MIXES {
+        let dir = eb17::scratch_dir("mixed");
+        let server = eb17::start_durable_server(&dir);
+        let report = eb17::run_mixed(&server, readers, writers, reads_per, writes_per, &expect);
+        println!("EB17 {}", report.line());
+        server.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Recovery time vs WAL length, with and without compaction.
+    for &commits in &recovery_commits {
+        for every in [u64::MAX, eb17::RECOVERY_SNAPSHOT_EVERY] {
+            let report = eb17::run_recovery(commits, every);
+            println!("EB17 {}", report.line());
+        }
+    }
+
+    // Criterion-timed slices of the same story: one committed write
+    // round trip (WAL append + fsync + epoch swap + ack) and one read
+    // round trip on the same durable server.
+    let dir = eb17::scratch_dir("timed");
+    let server = eb17::start_durable_server(&dir);
+    let mut writer = Client::connect(server.addr()).expect("connect");
+    let mut reader = Client::connect(server.addr()).expect("connect");
+    let skeleton = gpml_bench::server::wire_skeleton();
+    let owners = gpml_bench::prepared::owners();
+    let handle = reader.prepare(&skeleton).expect("prepare").handle;
+
+    let mut group = c.benchmark_group("EB17/durable_roundtrip");
+    group.measurement_time(Duration::from_millis(400));
+    let mut at = 0usize;
+    group.bench_function("commit", |b| {
+        b.iter(|| {
+            at += 1;
+            writer
+                .insert_node(
+                    &format!("timed{at}"),
+                    &["Account"],
+                    &[("owner", Value::str("T"))],
+                )
+                .expect("commit")
+        })
+    });
+    let mut k = 0usize;
+    group.bench_function("read", |b| {
+        b.iter(|| {
+            let owner = &owners[k % owners.len()];
+            k += 1;
+            gpml_bench::server::execute_bound(&mut reader, handle, owner).expect("execute")
+        })
+    });
+    group.finish();
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

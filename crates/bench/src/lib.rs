@@ -14,6 +14,7 @@ pub mod prepared;
 pub mod semijoin;
 pub mod server;
 pub mod server_concurrency;
+pub mod storage;
 
 use gpml_core::eval::{evaluate, EvalOptions};
 use gpml_core::{GraphPattern, MatchSet};

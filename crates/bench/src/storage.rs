@@ -1,0 +1,338 @@
+//! Shared EB17 workload definitions — the durable storage engine.
+//!
+//! Both consumers of EB17 (`benches/storage.rs` and the `paper-report`
+//! binary) build their traffic and their recovery workloads from here,
+//! so the bench and the report always measure the same thing (mirrors
+//! how `server.rs` backs EB13 and `server_concurrency.rs` backs EB16).
+//!
+//! Two questions, two workloads:
+//!
+//! * **Mixed read/write throughput over the wire.** Reader connections
+//!   stream prepared `EXECUTE`s against the EB12 100-account transfer
+//!   network while writer connections commit `INSERT NODE` batches
+//!   through the WAL. The writers only add *isolated* accounts, so
+//!   every read — before, during, and after the write storm — must
+//!   equal the in-process oracle: epoch snapshot isolation means
+//!   readers never observe a half-applied batch, and the skeleton's
+//!   rows never change. The reports show what the writers cost the
+//!   readers (and vice versa), not just that they coexist.
+//! * **Recovery time vs WAL length, with and without snapshots.**
+//!   Commit `n` batches into a fresh journal, drop it with no graceful
+//!   shutdown, and time `GraphJournal::open`. Without compaction the
+//!   WAL holds all `n` records and recovery replays every one; with a
+//!   small `snapshot_every_bytes` the journal folds the log into the
+//!   snapshot as it grows and recovery replays only the tail.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use gpml_core::Params;
+use gpml_server::client::Client;
+use gpml_server::server::{serve, ServerConfig, ServerHandle};
+use gpml_server::MutateAck;
+use gpml_storage::{GraphJournal, Mutation};
+use property_graph::{PropertyGraph, Value};
+
+use crate::prepared;
+
+/// The (readers, writers) populations EB17 runs: reads alone, reads
+/// with a single writer, and reads against a write-heavy mix.
+pub const MIXES: &[(usize, usize)] = &[(4, 0), (4, 1), (4, 4)];
+
+/// Prepared `EXECUTE`s each reader issues per measurement.
+pub const READS_PER_READER: usize = 60;
+
+/// `INSERT NODE` commits each writer issues per measurement.
+pub const WRITES_PER_WRITER: usize = 40;
+
+/// WAL lengths (commits) the recovery workload replays.
+pub const RECOVERY_COMMITS: &[usize] = &[200, 1000];
+
+/// `snapshot_every_bytes` for the compacting recovery variant: small
+/// enough that every few dozen commits fold into the snapshot (a
+/// single-insert WAL record is ~70 bytes).
+pub const RECOVERY_SNAPSHOT_EVERY: u64 = 4 * 1024;
+
+/// A fresh scratch directory under the system tempdir, unique per call.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("gpml-eb17-{tag}-{}-{seq}", std::process::id()))
+}
+
+/// Starts a *durable* EB17 server over the EB12 100-account transfer
+/// network, journaling into `dir`.
+pub fn start_durable_server(dir: &std::path::Path) -> ServerHandle {
+    serve(
+        prepared::network100(),
+        ServerConfig {
+            data_dir: Some(dir.to_path_buf()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback server")
+}
+
+/// In-process oracle results for the read skeleton, one per
+/// [`prepared::owners`] binding in order — what every wire read must
+/// return no matter how many commits land around it.
+pub fn oracles() -> Vec<gql::QueryResult> {
+    let mut session = gql::Session::new();
+    session.register("net", prepared::network100());
+    let prepared = session
+        .prepare(&crate::server::wire_skeleton())
+        .expect("prepare");
+    prepared::owners()
+        .iter()
+        .map(|owner| {
+            session
+                .execute_prepared_with(
+                    "net",
+                    &prepared,
+                    &Params::new().with("owner", owner.clone()),
+                )
+                .expect("oracle execute")
+        })
+        .collect()
+}
+
+/// One EB17 mixed-workload measurement.
+#[derive(Clone, Debug)]
+pub struct MixedReport {
+    /// Reader connections streaming prepared `EXECUTE`s.
+    pub readers: usize,
+    /// Writer connections committing through the WAL.
+    pub writers: usize,
+    /// Total reads completed.
+    pub reads: usize,
+    /// Total write commits completed.
+    pub writes: usize,
+    /// Wall-clock for the whole mixed batch.
+    pub elapsed: Duration,
+    /// Median read latency.
+    pub read_p50: Duration,
+    /// 99th-percentile read latency.
+    pub read_p99: Duration,
+    /// Median commit latency (ack after the WAL write).
+    pub write_p50: Duration,
+    /// 99th-percentile commit latency.
+    pub write_p99: Duration,
+}
+
+impl MixedReport {
+    /// Reads per second over the batch.
+    pub fn read_throughput(&self) -> f64 {
+        self.reads as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Commits per second over the batch.
+    pub fn write_throughput(&self) -> f64 {
+        self.writes as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// A one-line rendering for bench/report output.
+    pub fn line(&self) -> String {
+        format!(
+            "{}r/{}w: {:7.0} reads/s (p50 {:6.1} us, p99 {:6.1} us), \
+             {:6.0} commits/s (p50 {:6.1} us, p99 {:6.1} us)",
+            self.readers,
+            self.writers,
+            self.read_throughput(),
+            self.read_p50.as_secs_f64() * 1e6,
+            self.read_p99.as_secs_f64() * 1e6,
+            self.write_throughput(),
+            self.write_p50.as_secs_f64() * 1e6,
+            self.write_p99.as_secs_f64() * 1e6,
+        )
+    }
+}
+
+/// Runs one EB17 mixed measurement: `readers` connections issue
+/// `reads_per_reader` prepared `EXECUTE`s each while `writers`
+/// connections commit `writes_per_writer` isolated-account inserts
+/// each. Every read is asserted equal to its binding's entry in
+/// `expect` (from [`oracles`]) — the writers must never perturb a
+/// reader's rows.
+pub fn run_mixed(
+    server: &ServerHandle,
+    readers: usize,
+    writers: usize,
+    reads_per_reader: usize,
+    writes_per_writer: usize,
+    expect: &[gql::QueryResult],
+) -> MixedReport {
+    static ROUND: AtomicU64 = AtomicU64::new(0);
+    let round = ROUND.fetch_add(1, Ordering::Relaxed);
+    let skeleton = crate::server::wire_skeleton();
+    let owners = prepared::owners();
+
+    let reader_conns: Vec<Mutex<(Client, u64)>> = (0..readers)
+        .map(|_| {
+            let mut c = Client::connect(server.addr()).expect("connect reader");
+            let h = c.prepare(&skeleton).expect("prepare").handle;
+            Mutex::new((c, h))
+        })
+        .collect();
+    let writer_conns: Vec<Mutex<Client>> = (0..writers)
+        .map(|_| Mutex::new(Client::connect(server.addr()).expect("connect writer")))
+        .collect();
+
+    let start = Instant::now();
+    let (mut read_lat, mut write_lat) = std::thread::scope(|scope| {
+        let read_handles: Vec<_> = reader_conns
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                let owners = &owners;
+                scope.spawn(move || {
+                    let mut w = slot.lock().expect("reader");
+                    let (client, handle) = &mut *w;
+                    let mut lat = Vec::with_capacity(reads_per_reader);
+                    for k in 0..reads_per_reader {
+                        let bind = (i * reads_per_reader + k) % owners.len();
+                        let t = Instant::now();
+                        let got = client
+                            .execute(*handle, &Params::new().with("owner", owners[bind].clone()))
+                            .expect("execute");
+                        lat.push(t.elapsed());
+                        assert_eq!(got, expect[bind], "a concurrent commit leaked into a read");
+                    }
+                    lat
+                })
+            })
+            .collect();
+        let write_handles: Vec<_> = writer_conns
+            .iter()
+            .enumerate()
+            .map(|(w, slot)| {
+                scope.spawn(move || {
+                    let mut client = slot.lock().expect("writer");
+                    let mut lat = Vec::with_capacity(writes_per_writer);
+                    for k in 0..writes_per_writer {
+                        let name = format!("eb17_{round}_{w}_{k}");
+                        let t = Instant::now();
+                        let ack = client
+                            .insert_node(&name, &["Account"], &[("owner", Value::str("EB17"))])
+                            .expect("commit");
+                        lat.push(t.elapsed());
+                        assert!(matches!(ack, MutateAck::Committed(_)));
+                    }
+                    lat
+                })
+            })
+            .collect();
+        let reads: Vec<Duration> = read_handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("reader thread"))
+            .collect();
+        let writes: Vec<Duration> = write_handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("writer thread"))
+            .collect();
+        (reads, writes)
+    });
+    let elapsed = start.elapsed();
+
+    read_lat.sort_unstable();
+    write_lat.sort_unstable();
+    MixedReport {
+        readers,
+        writers,
+        reads: read_lat.len(),
+        writes: write_lat.len(),
+        elapsed,
+        read_p50: percentile(&read_lat, 0.50),
+        read_p99: percentile(&read_lat, 0.99),
+        write_p50: percentile(&write_lat, 0.50),
+        write_p99: percentile(&write_lat, 0.99),
+    }
+}
+
+/// One EB17 recovery measurement.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// Commits written before the simulated crash.
+    pub commits: usize,
+    /// Whether periodic compaction was on.
+    pub compacting: bool,
+    /// WAL bytes on disk at the crash.
+    pub wal_bytes: u64,
+    /// WAL records replayed by recovery.
+    pub wal_records: u64,
+    /// Snapshots the journal folded the log into before the crash.
+    pub snapshots: u64,
+    /// Wall-clock of `GraphJournal::open` on the crashed directory.
+    pub reopen: Duration,
+}
+
+impl RecoveryReport {
+    /// A one-line rendering for bench/report output.
+    pub fn line(&self) -> String {
+        format!(
+            "{:5} commits, {:9}: {:8} WAL bytes, {:5} records replayed, \
+             {:2} snapshots, reopen {:7.2} ms",
+            self.commits,
+            if self.compacting {
+                "compacted"
+            } else {
+                "wal-only"
+            },
+            self.wal_bytes,
+            self.wal_records,
+            self.snapshots,
+            self.reopen.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+/// Commits `commits` single-insert batches into a fresh durable
+/// journal, drops it with **no** graceful shutdown (the crash), then
+/// times recovery and verifies the recovered epoch and node count.
+/// `snapshot_every_bytes = u64::MAX` disables compaction so the WAL
+/// holds everything.
+pub fn run_recovery(commits: usize, snapshot_every_bytes: u64) -> RecoveryReport {
+    let dir = scratch_dir("recovery");
+    let (wal_bytes, wal_records, snapshots) = {
+        let journal = GraphJournal::open(&dir, PropertyGraph::new(), false, snapshot_every_bytes)
+            .expect("open fresh dir");
+        for i in 0..commits {
+            journal
+                .commit(&[Mutation::AddNode {
+                    name: format!("n{i}"),
+                    labels: vec!["Account".to_owned()],
+                    properties: vec![("seq".to_owned(), Value::Int(i as i64))],
+                }])
+                .expect("commit");
+        }
+        let s = journal.stats();
+        (s.wal_bytes, s.wal_records, s.snapshots_taken)
+        // dropped without force_snapshot: the crash
+    };
+    let t = Instant::now();
+    let recovered = GraphJournal::open(&dir, PropertyGraph::new(), false, snapshot_every_bytes)
+        .expect("reopen");
+    let reopen = t.elapsed();
+    assert_eq!(recovered.epoch(), commits as u64, "recovery lost commits");
+    assert_eq!(recovered.snapshot().node_count(), commits);
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+    RecoveryReport {
+        commits,
+        compacting: snapshot_every_bytes != u64::MAX,
+        wal_bytes,
+        wal_records,
+        snapshots,
+        reopen,
+    }
+}
+
+/// Nearest-rank percentile over sorted latencies.
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}

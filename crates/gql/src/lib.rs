@@ -314,6 +314,10 @@ pub struct Session {
     /// Thread-safe handle (possibly shared with sibling sessions); lock
     /// scopes are per-lookup, never held across execution.
     plans: SharedPlanLru<PreparedGqlQuery>,
+    /// The graph epoch plans are cached under. Immutable-graph hosts
+    /// leave it at 0; the server bumps it on every committed mutation
+    /// batch so stale-catalog plans are never replayed.
+    epoch: std::sync::atomic::AtomicU64,
 }
 
 impl Session {
@@ -328,6 +332,7 @@ impl Session {
             catalog: BTreeMap::new(),
             options,
             plans: SharedPlanLru::default(),
+            epoch: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -340,7 +345,23 @@ impl Session {
             catalog: BTreeMap::new(),
             options,
             plans: cache,
+            epoch: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// The graph epoch this session caches plans under (see
+    /// [`Session::set_epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Moves the session to a new graph epoch. Plans are cached under
+    /// `(statement, options, epoch)`, so after a bump every statement
+    /// recompiles once against the new catalog and old-epoch entries age
+    /// out of the LRU. Takes `&self`: the server bumps one shared
+    /// session's epoch from its commit path.
+    pub fn set_epoch(&self, epoch: u64) {
+        self.epoch.store(epoch, std::sync::atomic::Ordering::SeqCst);
     }
 
     /// The locked plan cache.
@@ -419,12 +440,17 @@ impl Session {
     /// [`Session::execute`], or in [`Session::match_bindings`]) skips
     /// parse, analysis, and compilation.
     pub fn prepare(&self, query: &str) -> Result<PreparedGqlQuery, GqlError> {
-        if let Some(cached) = self.plans().get(query, &self.options) {
+        let epoch = self.epoch();
+        if let Some(cached) = self.plans().get_at(query, &self.options, epoch) {
             return Ok(cached.clone());
         }
         let prepared = self.parse_statement(query, false)?;
-        self.plans()
-            .insert(query.to_owned(), self.options.clone(), prepared.clone());
+        self.plans().insert_at(
+            query.to_owned(),
+            self.options.clone(),
+            epoch,
+            prepared.clone(),
+        );
         Ok(prepared)
     }
 
@@ -550,6 +576,22 @@ impl Session {
         self.execute_prepared_inner(graph, prepared, params, Some(profile))
     }
 
+    /// [`Self::execute_prepared_profiled`] against a graph the caller
+    /// already holds, bypassing the catalog. This is the server's
+    /// snapshot-pinned read path: the caller pins an epoch's
+    /// `Arc<PropertyGraph>` from its journal and evaluates against that
+    /// exact graph, no matter how many commits land meanwhile. Pass
+    /// `profile = None` for unprofiled execution.
+    pub fn execute_prepared_profiled_on(
+        &self,
+        g: &PropertyGraph,
+        prepared: &PreparedGqlQuery,
+        params: &Params,
+        profile: Option<&ExecProfile>,
+    ) -> Result<QueryResult, GqlError> {
+        self.execute_prepared_on_inner(g, prepared, params, profile)
+    }
+
     fn execute_prepared_inner(
         &self,
         graph: &str,
@@ -562,6 +604,16 @@ impl Session {
             .get(graph)
             .map(Arc::as_ref)
             .ok_or_else(|| GqlError::Host(format!("unknown graph {graph}")))?;
+        self.execute_prepared_on_inner(g, prepared, params, profile)
+    }
+
+    fn execute_prepared_on_inner(
+        &self,
+        g: &PropertyGraph,
+        prepared: &PreparedGqlQuery,
+        params: &Params,
+        profile: Option<&ExecProfile>,
+    ) -> Result<QueryResult, GqlError> {
         let Some(projection) = &prepared.projection else {
             return Err(GqlError::Host("statement has no RETURN clause".to_owned()));
         };
@@ -686,7 +738,8 @@ impl Session {
         query: &str,
         params: &Params,
     ) -> Result<QueryResult, GqlError> {
-        let cached = self.plans().get(query, &self.options).cloned();
+        let epoch = self.epoch();
+        let cached = self.plans().get_at(query, &self.options, epoch).cloned();
         let prepared = match cached {
             // A cached RETURN-less statement falls through to a fresh
             // parse so the caller gets the parse error `execute` has
@@ -695,11 +748,35 @@ impl Session {
             _ => {
                 let p = self.parse_statement(query, true)?;
                 self.plans()
-                    .insert(query.to_owned(), self.options.clone(), p.clone());
+                    .insert_at(query.to_owned(), self.options.clone(), epoch, p.clone());
                 p
             }
         };
         self.execute_prepared_with(graph, &prepared, params)
+    }
+
+    /// [`Session::execute_with_params`] against a graph the caller
+    /// already holds (a pinned epoch snapshot), bypassing the catalog.
+    /// Caching behaves identically: the statement is keyed by
+    /// `(text, options, epoch)`.
+    pub fn execute_with_params_on(
+        &self,
+        g: &PropertyGraph,
+        query: &str,
+        params: &Params,
+    ) -> Result<QueryResult, GqlError> {
+        let epoch = self.epoch();
+        let cached = self.plans().get_at(query, &self.options, epoch).cloned();
+        let prepared = match cached {
+            Some(p) if p.has_return() => p,
+            _ => {
+                let p = self.parse_statement(query, true)?;
+                self.plans()
+                    .insert_at(query.to_owned(), self.options.clone(), epoch, p.clone());
+                p
+            }
+        };
+        self.execute_prepared_on_inner(g, &prepared, params, None)
     }
 
     /// §6.6 graph projection: the subgraph of `graph` induced by all

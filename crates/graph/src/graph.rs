@@ -7,6 +7,35 @@ use crate::ids::{EdgeId, ElementId, NodeId};
 use crate::stats::GraphStats;
 use crate::value::Value;
 
+/// A rejected graph mutation. The graph is unchanged when any variant is
+/// returned — mutations are all-or-nothing at the single-element level.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// The external name is already used by another element.
+    DuplicateName(String),
+    /// An edge endpoint does not name an existing node.
+    UnknownNode(String),
+    /// The named element does not exist.
+    UnknownElement(String),
+    /// A node cannot be removed while edges are still incident to it.
+    NodeHasEdges(String),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::DuplicateName(name) => write!(f, "duplicate element name {name:?}"),
+            GraphError::UnknownNode(name) => write!(f, "unknown node {name:?}"),
+            GraphError::UnknownElement(name) => write!(f, "unknown element {name:?}"),
+            GraphError::NodeHasEdges(name) => {
+                write!(f, "node {name:?} still has incident edges")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
 /// Endpoint specification of an edge: `ρ(e)` in Definition 2.1.
 ///
 /// Directed edges are *ordered* pairs `(src, dst)`; undirected edges are
@@ -190,20 +219,37 @@ impl PropertyGraph {
         L::Item: Into<String>,
         P: IntoIterator<Item = (&'static str, Value)>,
     {
+        match self.try_add_node(
+            name,
+            labels.into_iter().map(Into::into),
+            properties.into_iter().map(|(k, v)| (k.to_owned(), v)),
+        ) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Adds a node, returning [`GraphError::DuplicateName`] instead of
+    /// panicking when the external name is already taken.
+    pub fn try_add_node(
+        &mut self,
+        name: &str,
+        labels: impl IntoIterator<Item = String>,
+        properties: impl IntoIterator<Item = (String, Value)>,
+    ) -> Result<NodeId, GraphError> {
+        if self.names.contains_key(name) {
+            return Err(GraphError::DuplicateName(name.to_owned()));
+        }
         // An already-computed catalog is maintained in place (tallies for
         // one node are O(labels + properties)); a never-computed one
         // stays lazy.
         let cached = self.stats.take();
         let id = NodeId(self.nodes.len() as u32);
-        let prev = self.names.insert(name.to_owned(), id.into());
-        assert!(prev.is_none(), "duplicate element name {name:?}");
+        self.names.insert(name.to_owned(), id.into());
         self.nodes.push(NodeData {
             name: name.to_owned(),
-            labels: labels.into_iter().map(Into::into).collect(),
-            properties: properties
-                .into_iter()
-                .map(|(k, v)| (k.to_owned(), v))
-                .collect(),
+            labels: labels.into_iter().collect(),
+            properties: properties.into_iter().collect(),
         });
         self.adjacency.push(Vec::new());
         if let Some(mut s) = cached {
@@ -215,7 +261,7 @@ impl PropertyGraph {
             );
             let _ = self.stats.set(s);
         }
-        id
+        Ok(id)
     }
 
     /// Adds an edge with a unique external `name`.
@@ -237,20 +283,46 @@ impl PropertyGraph {
         let (a, b) = endpoints.pair();
         assert!(a.index() < self.nodes.len(), "endpoint {a:?} out of range");
         assert!(b.index() < self.nodes.len(), "endpoint {b:?} out of range");
-        // Maintained in place like in `add_node`; the degree refresh only
-        // touches the two endpoints.
+        match self.try_add_edge(
+            name,
+            endpoints,
+            labels.into_iter().map(Into::into),
+            properties.into_iter().map(|(k, v)| (k.to_owned(), v)),
+        ) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Adds an edge, returning a [`GraphError`] instead of panicking on a
+    /// duplicate name or an out-of-range endpoint.
+    pub fn try_add_edge(
+        &mut self,
+        name: &str,
+        endpoints: Endpoints,
+        labels: impl IntoIterator<Item = String>,
+        properties: impl IntoIterator<Item = (String, Value)>,
+    ) -> Result<EdgeId, GraphError> {
+        let (a, b) = endpoints.pair();
+        if a.index() >= self.nodes.len() {
+            return Err(GraphError::UnknownNode(format!("{a:?}")));
+        }
+        if b.index() >= self.nodes.len() {
+            return Err(GraphError::UnknownNode(format!("{b:?}")));
+        }
+        if self.names.contains_key(name) {
+            return Err(GraphError::DuplicateName(name.to_owned()));
+        }
+        // Maintained in place like in `try_add_node`; the degree refresh
+        // only touches the two endpoints.
         let cached = self.stats.take();
         let id = EdgeId(self.edges.len() as u32);
-        let prev = self.names.insert(name.to_owned(), id.into());
-        assert!(prev.is_none(), "duplicate element name {name:?}");
+        self.names.insert(name.to_owned(), id.into());
         self.edges.push(EdgeData {
             name: name.to_owned(),
             endpoints,
-            labels: labels.into_iter().map(Into::into).collect(),
-            properties: properties
-                .into_iter()
-                .map(|(k, v)| (k.to_owned(), v))
-                .collect(),
+            labels: labels.into_iter().collect(),
+            properties: properties.into_iter().collect(),
         });
         match endpoints {
             Endpoints::Directed { src, dst } => {
@@ -289,7 +361,122 @@ impl PropertyGraph {
             );
             let _ = self.stats.set(s);
         }
-        id
+        Ok(id)
+    }
+
+    /// Sets `π(el, key) = value`; a [`Value::Null`] removes the property
+    /// (restoring π's partiality at that key). The cached statistics
+    /// catalog is invalidated and recomputed lazily on next use.
+    pub fn set_property(&mut self, el: ElementId, key: &str, value: Value) {
+        // Property edits can retarget planner-visible selectivities in
+        // ways the incremental add path never models, so drop the cache.
+        let _ = self.stats.take();
+        let props = match el {
+            ElementId::Node(n) => &mut self.nodes[n.index()].properties,
+            ElementId::Edge(e) => &mut self.edges[e.index()].properties,
+        };
+        if value == Value::Null {
+            props.remove(key);
+        } else {
+            props.insert(key.to_owned(), value);
+        }
+    }
+
+    /// Removes an element. Edges are always removable; a node is removable
+    /// only once no edges are incident to it ([`GraphError::NodeHasEdges`]
+    /// otherwise). Ids stay dense: every element with a higher id of the
+    /// same kind is shifted down by one, in adjacency and the name index
+    /// alike. The cached statistics catalog is invalidated.
+    pub fn remove_element(&mut self, el: ElementId) -> Result<(), GraphError> {
+        match el {
+            ElementId::Edge(e) => {
+                if e.index() >= self.edges.len() {
+                    return Err(GraphError::UnknownElement(format!("{e:?}")));
+                }
+                let _ = self.stats.take();
+                let data = self.edges.remove(e.index());
+                self.names.remove(&data.name);
+                for adj in &mut self.adjacency {
+                    adj.retain(|s| s.edge != e);
+                    for s in adj.iter_mut() {
+                        if s.edge.0 > e.0 {
+                            s.edge.0 -= 1;
+                        }
+                    }
+                }
+                for (i, ed) in self.edges.iter().enumerate().skip(e.index()) {
+                    self.names.insert(ed.name.clone(), EdgeId(i as u32).into());
+                }
+                Ok(())
+            }
+            ElementId::Node(n) => {
+                if n.index() >= self.nodes.len() {
+                    return Err(GraphError::UnknownElement(format!("{n:?}")));
+                }
+                if !self.adjacency[n.index()].is_empty() {
+                    return Err(GraphError::NodeHasEdges(self.nodes[n.index()].name.clone()));
+                }
+                let _ = self.stats.take();
+                let data = self.nodes.remove(n.index());
+                self.adjacency.remove(n.index());
+                self.names.remove(&data.name);
+                // The removed node had degree 0, so no endpoint equals `n`;
+                // only higher ids shift (which preserves the normalized
+                // order of undirected pairs).
+                for ed in &mut self.edges {
+                    ed.endpoints = match ed.endpoints {
+                        Endpoints::Directed { mut src, mut dst } => {
+                            if src.0 > n.0 {
+                                src.0 -= 1;
+                            }
+                            if dst.0 > n.0 {
+                                dst.0 -= 1;
+                            }
+                            Endpoints::Directed { src, dst }
+                        }
+                        Endpoints::Undirected(mut u, mut v) => {
+                            if u.0 > n.0 {
+                                u.0 -= 1;
+                            }
+                            if v.0 > n.0 {
+                                v.0 -= 1;
+                            }
+                            Endpoints::Undirected(u, v)
+                        }
+                    };
+                }
+                for adj in &mut self.adjacency {
+                    for s in adj.iter_mut() {
+                        if s.to.0 > n.0 {
+                            s.to.0 -= 1;
+                        }
+                    }
+                }
+                for (i, nd) in self.nodes.iter().enumerate().skip(n.index()) {
+                    self.names.insert(nd.name.clone(), NodeId(i as u32).into());
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The full-recompute statistics oracle, promoted from the
+    /// `debug_assert` inside the add paths: compares the cached
+    /// incrementally-maintained catalog (if any) against
+    /// [`GraphStats::compute`]. `Ok` when no catalog is cached — there is
+    /// nothing stale to diverge.
+    pub fn verify_stats(&self) -> Result<(), String> {
+        let Some(cached) = self.stats.get() else {
+            return Ok(());
+        };
+        let full = GraphStats::compute(self);
+        if *cached == full {
+            Ok(())
+        } else {
+            Err(format!(
+                "cached stats diverged from full recompute:\n cached: {cached:?}\n   full: {full:?}"
+            ))
+        }
     }
 
     /// The record of node `n`.
@@ -498,6 +685,76 @@ mod tests {
         let mut g = PropertyGraph::new();
         g.add_node("a", ["L"], []);
         g.add_node("a", ["L"], []);
+    }
+
+    #[test]
+    fn try_variants_report_typed_errors() {
+        let (mut g, [a, ..], _) = diamond();
+        assert_eq!(
+            g.try_add_node("a", [], []),
+            Err(GraphError::DuplicateName("a".to_owned()))
+        );
+        assert_eq!(
+            g.try_add_edge("zz", Endpoints::directed(a, NodeId(99)), [], []),
+            Err(GraphError::UnknownNode(format!("{:?}", NodeId(99))))
+        );
+        assert_eq!(
+            g.try_add_edge("e1", Endpoints::directed(a, a), [], []),
+            Err(GraphError::DuplicateName("e1".to_owned()))
+        );
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn set_property_inserts_updates_and_null_removes() {
+        let (mut g, [a, ..], [e1, ..]) = diamond();
+        g.stats(); // prime the cache so invalidation is exercised
+        g.set_property(a.into(), "x", Value::Int(7));
+        assert_eq!(g.node(a).property("x"), &Value::Int(7));
+        g.set_property(a.into(), "x", Value::Null);
+        assert_eq!(g.node(a).property("x"), &Value::Null);
+        g.set_property(e1.into(), "w", Value::str("hi"));
+        assert_eq!(g.edge(e1).property("w"), &Value::str("hi"));
+        g.verify_stats().unwrap();
+        g.stats();
+        g.verify_stats().unwrap();
+    }
+
+    #[test]
+    fn remove_edge_shifts_higher_ids_densely() {
+        let (mut g, [a, b, c], [e1, _, e3, e4]) = diamond();
+        g.remove_element(ElementId::Edge(EdgeId(1))).unwrap(); // e2
+        assert_eq!(g.edge_count(), 3);
+        // e3/e4 shifted down by one; names still resolve.
+        assert_eq!(g.edge_by_name("e1"), Some(e1));
+        assert_eq!(g.edge_by_name("e3"), Some(EdgeId(1)));
+        assert_eq!(g.edge_by_name("e4"), Some(EdgeId(2)));
+        assert_eq!(g.edge_by_name("e2"), None);
+        assert_eq!(g.out_degree(a), 1);
+        assert_eq!(
+            g.edge(g.edge_by_name("e3").unwrap()).endpoints,
+            g.edge(EdgeId(1)).endpoints
+        );
+        let _ = (b, c, e3, e4);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn remove_node_requires_degree_zero_and_compacts() {
+        let (mut g, [_, b, _], _) = diamond();
+        assert_eq!(
+            g.remove_element(ElementId::Node(b)),
+            Err(GraphError::NodeHasEdges("b".to_owned()))
+        );
+        let d = g.add_node("d", ["L"], []);
+        let e = g.add_node("e", Vec::<String>::new(), []);
+        g.remove_element(ElementId::Node(d)).unwrap();
+        // `e` shifted into d's slot; adjacency and names stay coherent.
+        assert_eq!(g.node_by_name("e"), Some(d));
+        assert_eq!(g.node_by_name("d"), None);
+        assert_eq!(g.node_count(), 4);
+        let _ = e;
+        g.validate().unwrap();
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod path;
 pub mod stats;
 pub mod value;
 
-pub use graph::{EdgeData, Endpoints, NodeData, PropertyGraph, Step, Traversal};
+pub use graph::{EdgeData, Endpoints, GraphError, NodeData, PropertyGraph, Step, Traversal};
 pub use ids::{EdgeId, ElementId, NodeId};
 pub use path::Path;
 pub use stats::{DegreeHistogram, DegreeStats, EdgeLabelStats, GraphStats};

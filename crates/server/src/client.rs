@@ -11,6 +11,7 @@ use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 
 use gpml_core::Params;
+use gpml_storage::Mutation;
 use gql::QueryResult;
 use property_graph::Value;
 
@@ -69,6 +70,32 @@ pub struct CursorHandle {
     pub total: u64,
     /// Result column names (every [`RowChunk`] repeats them).
     pub columns: Vec<String>,
+}
+
+/// A commit's acknowledgement (`OK MUTATED`). When the server runs
+/// with `--data-dir`, the batch is in the WAL — and `fsync`ed unless
+/// `--no-fsync` — *before* this ack exists, so an acknowledged commit
+/// survives `kill -9`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommitAck {
+    /// The graph epoch the commit produced.
+    pub epoch: u64,
+    /// How many mutations the batch applied.
+    pub applied: u64,
+}
+
+/// What a single mutation request came back as.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MutateAck {
+    /// No transaction was open: the mutation committed as a batch of
+    /// one.
+    Committed(CommitAck),
+    /// A transaction is open: the mutation is buffered server-side
+    /// (`pending` queued so far) until [`Client::commit`].
+    Queued {
+        /// Mutations buffered in the transaction, including this one.
+        pending: u64,
+    },
 }
 
 /// One `FETCH` chunk.
@@ -228,6 +255,112 @@ impl Client {
         }
     }
 
+    /// Ships one mutation. Outside a transaction it commits
+    /// immediately; inside one it queues. Names, labels, and property
+    /// keys are validated against the wire grammar before anything is
+    /// sent.
+    pub fn mutate(&mut self, mutation: Mutation) -> Result<MutateAck, ClientError> {
+        validate_mutation(&mutation)?;
+        match self.roundtrip(&Request::Mutate { mutation })? {
+            Response::Mutated { epoch, applied } => {
+                Ok(MutateAck::Committed(CommitAck { epoch, applied }))
+            }
+            Response::Queued { pending } => Ok(MutateAck::Queued { pending }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// `INSERT NODE`: adds a node with labels and properties.
+    pub fn insert_node(
+        &mut self,
+        name: &str,
+        labels: &[&str],
+        properties: &[(&str, Value)],
+    ) -> Result<MutateAck, ClientError> {
+        self.mutate(Mutation::AddNode {
+            name: name.to_owned(),
+            labels: labels.iter().map(|s| s.to_string()).collect(),
+            properties: properties
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        })
+    }
+
+    /// `INSERT EDGE`: adds an edge between two named nodes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert_edge(
+        &mut self,
+        name: &str,
+        src: &str,
+        dst: &str,
+        directed: bool,
+        labels: &[&str],
+        properties: &[(&str, Value)],
+    ) -> Result<MutateAck, ClientError> {
+        self.mutate(Mutation::AddEdge {
+            name: name.to_owned(),
+            src: src.to_owned(),
+            dst: dst.to_owned(),
+            directed,
+            labels: labels.iter().map(|s| s.to_string()).collect(),
+            properties: properties
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        })
+    }
+
+    /// `SET`: sets a property on a named element ([`Value::Null`]
+    /// removes the key).
+    pub fn set_property(
+        &mut self,
+        element: &str,
+        key: &str,
+        value: Value,
+    ) -> Result<MutateAck, ClientError> {
+        self.mutate(Mutation::SetProperty {
+            element: element.to_owned(),
+            key: key.to_owned(),
+            value,
+        })
+    }
+
+    /// `DELETE`: removes a named edge, or a node with no incident
+    /// edges.
+    pub fn delete(&mut self, element: &str) -> Result<MutateAck, ClientError> {
+        self.mutate(Mutation::Delete {
+            element: element.to_owned(),
+        })
+    }
+
+    /// `BEGIN`: opens a transaction; subsequent mutations buffer
+    /// server-side until [`Client::commit`] or [`Client::rollback`].
+    pub fn begin(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Begin)? {
+            Response::Begun => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// `COMMIT`: applies the open transaction's buffer as one
+    /// all-or-nothing batch (one WAL record).
+    pub fn commit(&mut self) -> Result<CommitAck, ClientError> {
+        match self.roundtrip(&Request::Commit)? {
+            Response::Mutated { epoch, applied } => Ok(CommitAck { epoch, applied }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// `ROLLBACK`: drops the open transaction; returns how many
+    /// buffered mutations were discarded.
+    pub fn rollback(&mut self) -> Result<u64, ClientError> {
+        match self.roundtrip(&Request::Rollback)? {
+            Response::RolledBack { dropped } => Ok(dropped),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Ships a raw frame payload and parses whatever comes back — the
     /// hook the error-path tests use to send deliberately malformed
     /// requests without tearing the connection down.
@@ -282,6 +415,60 @@ fn wire_params(params: &Params) -> Result<Vec<(String, Value)>, ClientError> {
         .iter()
         .map(|(n, v)| (n.to_owned(), v.clone()))
         .collect())
+}
+
+/// Mutation first-line tokens (names, labels) travel bare, so anything
+/// `split(' ')` would tear must be rejected before it reaches the wire;
+/// property keys travel as `key⇥value` lines, so they only need to keep
+/// clear of the line structure itself.
+fn validate_mutation(m: &Mutation) -> Result<(), ClientError> {
+    let token = |what: &str, s: &str| {
+        if s.is_empty() || s.chars().any(|c| c.is_whitespace() || c.is_control()) {
+            return Err(ClientError::Protocol(format!(
+                "{what} {s:?} cannot be sent over the wire (wants a bare non-empty token)"
+            )));
+        }
+        Ok(())
+    };
+    let key = |s: &str| {
+        if s.is_empty() || s.contains(['\t', '\n', '\r']) {
+            return Err(ClientError::Protocol(format!(
+                "property key {s:?} cannot be sent over the wire \
+                 (no tabs, newlines, or empties)"
+            )));
+        }
+        Ok(())
+    };
+    match m {
+        Mutation::AddNode {
+            name,
+            labels,
+            properties,
+        } => {
+            token("node name", name)?;
+            labels.iter().try_for_each(|l| token("label", l))?;
+            properties.iter().try_for_each(|(k, _)| key(k))
+        }
+        Mutation::AddEdge {
+            name,
+            src,
+            dst,
+            labels,
+            properties,
+            ..
+        } => {
+            token("edge name", name)?;
+            token("source node", src)?;
+            token("destination node", dst)?;
+            labels.iter().try_for_each(|l| token("label", l))?;
+            properties.iter().try_for_each(|(k, _)| key(k))
+        }
+        Mutation::SetProperty { element, key, .. } => {
+            token("element name", element)?;
+            token("property key", key)
+        }
+        Mutation::Delete { element } => token("element name", element),
+    }
 }
 
 /// Looks a numeric counter up in a `STATS` (or `HELLO`) snapshot — the

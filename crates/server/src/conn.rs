@@ -22,6 +22,7 @@ use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+use gpml_storage::Mutation;
 use gql::{PreparedGqlQuery, QueryResult, ResultCursor};
 use property_graph::Value;
 
@@ -47,6 +48,11 @@ pub(crate) enum WorkItem {
         params: Vec<(String, Value)>,
         cursor: bool,
     },
+    /// A mutation batch ready to commit — one bare mutation, or the
+    /// whole buffer of an open transaction at its `COMMIT`. The journal
+    /// serializes writers, so commits ride the same worker path as
+    /// queries without extra coordination.
+    Commit { mutations: Vec<Mutation> },
 }
 
 /// What a worker hands back; handle/cursor assignment happens in
@@ -76,6 +82,11 @@ pub(crate) struct ConnState {
     next_handle: u64,
     cursors: HashMap<u64, ResultCursor>,
     next_cursor: u64,
+    /// `Some(buffer)` while a `BEGIN` transaction is open. Mutations
+    /// buffer here (connection-local, invisible to readers) until
+    /// `COMMIT` ships them as one all-or-nothing batch; `ROLLBACK` or
+    /// teardown drops them.
+    txn: Option<Vec<Mutation>>,
 }
 
 impl ConnState {
@@ -154,6 +165,49 @@ impl ConnState {
                 })
             }
             Request::Stats => Action::Respond(shared.stats_response(self.handles_open())),
+            Request::Mutate { mutation } => {
+                s.mutations.fetch_add(1, Ordering::Relaxed);
+                match &mut self.txn {
+                    Some(buffer) => {
+                        buffer.push(mutation);
+                        Action::Respond(Response::Queued {
+                            pending: buffer.len() as u64,
+                        })
+                    }
+                    None => Action::Work(WorkItem::Commit {
+                        mutations: vec![mutation],
+                    }),
+                }
+            }
+            Request::Begin => Action::Respond(match self.txn {
+                Some(_) => Response::Error {
+                    code: ErrorCode::Mutate,
+                    message: "transaction already open (COMMIT or ROLLBACK first)".to_owned(),
+                },
+                None => {
+                    self.txn = Some(Vec::new());
+                    Response::Begun
+                }
+            }),
+            Request::Commit => match self.txn.take() {
+                Some(mutations) => {
+                    s.mutations.fetch_add(1, Ordering::Relaxed);
+                    Action::Work(WorkItem::Commit { mutations })
+                }
+                None => Action::Respond(Response::Error {
+                    code: ErrorCode::Mutate,
+                    message: "no open transaction (BEGIN first)".to_owned(),
+                }),
+            },
+            Request::Rollback => Action::Respond(match self.txn.take() {
+                Some(buffer) => Response::RolledBack {
+                    dropped: buffer.len() as u64,
+                },
+                None => Response::Error {
+                    code: ErrorCode::Mutate,
+                    message: "no open transaction (BEGIN first)".to_owned(),
+                },
+            }),
         }
     }
 
@@ -246,6 +300,7 @@ impl ConnState {
     /// `cursors.open` gauge honest after disconnects.
     pub(crate) fn teardown(&mut self, shared: &Shared) {
         self.handles.clear();
+        self.txn = None; // an uncommitted transaction dies with its connection
         let open = self.cursors.len() as u64;
         if open > 0 {
             self.cursors.clear();

@@ -27,7 +27,7 @@
 //!   [`gql::Session`], and one shared
 //!   [`SharedPlanLru`](gpml_core::plan::SharedPlanLru), so a thousand
 //!   clients preparing the same skeleton cost one compile;
-//! * [`client`] — a blocking [`Client`](client::Client) used by the
+//! * [`client`] — a blocking [`Client`] used by the
 //!   `gpml connect` REPL, the loopback tests, and the EB13/EB16
 //!   benches.
 //!
@@ -58,5 +58,7 @@ pub mod protocol;
 mod reactor;
 pub mod server;
 
-pub use client::{Client, ClientError, CursorHandle, PreparedHandle, RowChunk};
+pub use client::{
+    Client, ClientError, CommitAck, CursorHandle, MutateAck, PreparedHandle, RowChunk,
+};
 pub use server::{serve, serve_shared, ServeModel, ServerConfig, ServerHandle};

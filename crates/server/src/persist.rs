@@ -9,6 +9,7 @@
 //! magic   b"GPCF"
 //! version u32                       — FORMAT_VERSION; others are ignored
 //! fprint  u32 len + bytes           — Debug rendering of the EvalOptions
+//! epoch   u64                       — the graph epoch the plans saw
 //! count   u32
 //! entry*  stmt: u32 len + utf8
 //!         stages: u32 count
@@ -18,11 +19,15 @@
 //! The options fingerprint is byte-compared on load: a file written under
 //! different evaluation options describes plans this server would never
 //! have compiled, so it is silently ignored (plans stay keyed by
-//! `(statement, options)` exactly as live compiles are). Any other
-//! mismatch — stale version, foreign magic, truncation, a statement the
-//! current parser rejects, a program that fails its checksum or no longer
-//! matches the freshly compiled plan's shape — skips the file or entry
-//! without erroring: a cache file is a hint, never a source of truth.
+//! `(statement, options, epoch)` exactly as live compiles are). The graph
+//! epoch is compared the same way: a warm start must never replay plans
+//! optimized against a catalog the WAL has since rewritten, so a file
+//! whose epoch differs from the recovering server's is ignored wholesale.
+//! Any other mismatch — stale version, foreign magic, truncation, a
+//! statement the current parser rejects, a program that fails its
+//! checksum or no longer matches the freshly compiled plan's shape —
+//! skips the file or entry without erroring: a cache file is a hint,
+//! never a source of truth.
 //!
 //! Saves are atomic (write a sibling `.tmp`, then rename) so a crash
 //! mid-save leaves the previous file intact. Statements are re-parsed on
@@ -44,8 +49,8 @@ use gql::{PreparedGqlQuery, Session};
 const MAGIC: &[u8; 4] = b"GPCF";
 
 /// Bumped whenever the file layout changes; files written under any
-/// other version are ignored on load.
-const FORMAT_VERSION: u32 = 1;
+/// other version are ignored on load. Version 2 added the graph epoch.
+const FORMAT_VERSION: u32 = 2;
 
 /// The byte-compared options identity. `Debug` is exhaustive over the
 /// struct's fields, so any option that affects compilation (mode,
@@ -71,19 +76,21 @@ fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
 pub(crate) fn save(
     path: &Path,
     opts: &EvalOptions,
+    epoch: u64,
     cache: &SharedPlanLru<PreparedGqlQuery>,
 ) -> io::Result<()> {
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
     put_u32(&mut out, FORMAT_VERSION);
     put_bytes(&mut out, fingerprint(opts).as_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
     let entries: Vec<_> = cache
-        .entries()
+        .entries_full()
         .into_iter()
-        .filter(|(_, o, _)| o == opts)
+        .filter(|(_, o, e, _)| o == opts && *e == epoch)
         .collect();
     put_u32(&mut out, entries.len() as u32);
-    for (stmt, _, plan) in &entries {
+    for (stmt, _, _, plan) in &entries {
         put_bytes(&mut out, stmt.as_bytes());
         let progs = plan.stage_programs();
         put_u32(&mut out, progs.len() as u32);
@@ -106,6 +113,7 @@ pub(crate) fn save(
 pub(crate) fn load(
     path: &Path,
     opts: &EvalOptions,
+    epoch: u64,
     cache: &SharedPlanLru<PreparedGqlQuery>,
 ) -> usize {
     let Ok(buf) = fs::read(path) else { return 0 };
@@ -114,7 +122,8 @@ pub(crate) fn load(
         Some(
             r.take(4)? == MAGIC
                 && r.u32()? == FORMAT_VERSION
-                && r.bytes()? == fingerprint(opts).as_bytes(),
+                && r.bytes()? == fingerprint(opts).as_bytes()
+                && r.u64()? == epoch,
         )
     })();
     if header_ok != Some(true) {
@@ -143,7 +152,7 @@ pub(crate) fn load(
         if prepared.adopt_stage_programs(decoded).is_err() {
             continue;
         }
-        cache.insert(stmt, opts.clone(), prepared);
+        cache.insert_at(stmt, opts.clone(), epoch, prepared);
         seeded += 1;
     }
     seeded
@@ -179,6 +188,10 @@ impl<'a> Reader<'a> {
         Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
     }
 
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
     fn bytes(&mut self) -> Option<&'a [u8]> {
         let len = self.u32()? as usize;
         self.take(len)
@@ -210,10 +223,10 @@ mod tests {
         let opts = EvalOptions::default();
         let path = tmp("roundtrip");
         let cache = seeded_cache(&opts);
-        save(&path, &opts, &cache).expect("save");
+        save(&path, &opts, 0, &cache).expect("save");
 
         let restored = SharedPlanLru::new(8);
-        assert_eq!(load(&path, &opts, &restored), 1);
+        assert_eq!(load(&path, &opts, 0, &restored), 1);
         let stats = restored.stats();
         assert_eq!((stats.len, stats.hits, stats.misses), (1, 0, 0));
         assert!(
@@ -227,15 +240,43 @@ mod tests {
     fn options_fingerprint_gates_the_file() {
         let opts = EvalOptions::default();
         let path = tmp("fingerprint");
-        save(&path, &opts, &seeded_cache(&opts)).expect("save");
+        save(&path, &opts, 0, &seeded_cache(&opts)).expect("save");
 
         let other = EvalOptions {
             semi_join: false,
             ..EvalOptions::default()
         };
         let restored = SharedPlanLru::new(8);
-        assert_eq!(load(&path, &other, &restored), 0);
+        assert_eq!(load(&path, &other, 0, &restored), 0);
         assert_eq!(restored.stats().len, 0);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn graph_epoch_gates_the_file() {
+        let opts = EvalOptions::default();
+        let path = tmp("epoch");
+        save(&path, &opts, 3, &seeded_cache(&opts)).expect("save");
+
+        // A server that recovered to a different epoch must cold-start.
+        let restored = SharedPlanLru::new(8);
+        assert_eq!(load(&path, &opts, 4, &restored), 0);
+        assert_eq!(restored.stats().len, 0);
+
+        // Note: seeded_cache primes at epoch 0, so a save at epoch 3
+        // writes zero entries; the matching-epoch path is covered by
+        // round_trips_through_a_file (epoch 0 on both sides).
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn save_skips_entries_from_other_epochs() {
+        let opts = EvalOptions::default();
+        let path = tmp("epoch-filter");
+        let cache = seeded_cache(&opts); // one entry at epoch 0
+        save(&path, &opts, 7, &cache).expect("save");
+        let restored = SharedPlanLru::new(8);
+        assert_eq!(load(&path, &opts, 7, &restored), 0, "no epoch-7 plans");
         let _ = fs::remove_file(&path);
     }
 
@@ -246,19 +287,19 @@ mod tests {
         let cache = SharedPlanLru::new(8);
 
         fs::write(&path, b"not a cache file").unwrap();
-        assert_eq!(load(&path, &opts, &cache), 0);
+        assert_eq!(load(&path, &opts, 0, &cache), 0);
 
-        save(&path, &opts, &seeded_cache(&opts)).expect("save");
+        save(&path, &opts, 0, &seeded_cache(&opts)).expect("save");
         let mut bytes = fs::read(&path).unwrap();
         bytes[4..8].copy_from_slice(&99u32.to_le_bytes()); // future version
         fs::write(&path, &bytes).unwrap();
-        assert_eq!(load(&path, &opts, &cache), 0);
+        assert_eq!(load(&path, &opts, 0, &cache), 0);
 
         let mut truncated = fs::read(&path).unwrap();
         truncated[4..8].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
         truncated.truncate(truncated.len() - 5);
         fs::write(&path, &truncated).unwrap();
-        assert_eq!(load(&path, &opts, &cache), 0, "payload cut mid-entry");
+        assert_eq!(load(&path, &opts, 0, &cache), 0, "payload cut mid-entry");
 
         assert_eq!(cache.stats().len, 0);
         let _ = fs::remove_file(&path);
@@ -271,6 +312,7 @@ mod tests {
             load(
                 Path::new("/nonexistent/gpml.gpcf"),
                 &EvalOptions::default(),
+                0,
                 &cache
             ),
             0

@@ -25,10 +25,17 @@
 //! CLOSE <handle>                       drop a prepared handle
 //! CLOSE CURSOR <cursor>                drop a cursor early
 //! STATS                                server/cache/session counters
+//! INSERT NODE <name> [l1,l2]\nk\t<v>…  add a node (labels, prop lines)
+//! INSERT EDGE <name> <src> -> <dst> [l1,l2]\nk\t<v>…
+//!                                      add an edge (`--` = undirected)
+//! SET <element> <key>\n<value>         set (or N: remove) a property
+//! DELETE <element>                     remove an edge or isolated node
+//! BEGIN / COMMIT / ROLLBACK            batch mutations atomically
 //! ```
 //!
-//! Parameter values use the [`gql::codec`] scalar tags (`N`, `B:`,
-//! `I:`, `F:`, `S:`).
+//! Parameter values — and mutation property values — use the
+//! [`gql::codec`] scalar tags (`N`, `B:`, `I:`, `F:`, `S:`). Element
+//! names and labels are bare tokens: non-empty, no whitespace.
 //!
 //! # Responses
 //!
@@ -41,6 +48,10 @@
 //! OK CLOSED <handle>
 //! OK CLOSED CURSOR <cursor>
 //! OK STATS\nkey=value...
+//! OK MUTATED <epoch> <applied>         commit durable; graph at <epoch>
+//! OK QUEUED <pending>                  buffered in the open transaction
+//! OK BEGUN                             transaction opened
+//! OK ROLLEDBACK <dropped>              transaction dropped unapplied
 //! ERR <CODE> <one-line message>
 //! ```
 //!
@@ -54,6 +65,7 @@
 
 use std::io::{self, Read, Write};
 
+use gpml_storage::Mutation;
 use gql::codec;
 use gql::QueryResult;
 use property_graph::Value;
@@ -131,6 +143,9 @@ pub enum ErrorCode {
     Handle,
     /// A host-level failure (unknown graph, RETURN-less statement, …).
     Host,
+    /// A mutation was rejected (duplicate name, unknown element, node
+    /// with incident edges, transaction misuse) and nothing changed.
+    Mutate,
     /// The server refused admission (`--max-conns` reached). Sent once
     /// on the fresh connection, which then closes; retry later.
     Busy,
@@ -146,6 +161,7 @@ impl ErrorCode {
             ErrorCode::Param => "PARAM",
             ErrorCode::Handle => "HANDLE",
             ErrorCode::Host => "HOST",
+            ErrorCode::Mutate => "MUTATE",
             ErrorCode::Busy => "BUSY",
         }
     }
@@ -159,6 +175,7 @@ impl ErrorCode {
             "PARAM" => ErrorCode::Param,
             "HANDLE" => ErrorCode::Handle,
             "HOST" => ErrorCode::Host,
+            "MUTATE" => ErrorCode::Mutate,
             "BUSY" => ErrorCode::Busy,
             _ => return None,
         })
@@ -230,6 +247,19 @@ pub enum Request {
     },
     /// Server, cache, and session counters.
     Stats,
+    /// One graph write (`INSERT NODE` / `INSERT EDGE` / `SET` /
+    /// `DELETE`). Outside a transaction it commits as a batch of one;
+    /// inside one it is buffered until `COMMIT`.
+    Mutate {
+        /// The write to apply.
+        mutation: Mutation,
+    },
+    /// Open a transaction: subsequent mutations buffer server-side.
+    Begin,
+    /// Commit the open transaction as one all-or-nothing WAL record.
+    Commit,
+    /// Drop the open transaction without applying anything.
+    Rollback,
 }
 
 impl Request {
@@ -251,6 +281,10 @@ impl Request {
             Request::Close { handle } => format!("CLOSE {handle}"),
             Request::CloseCursor { cursor } => format!("CLOSE CURSOR {cursor}"),
             Request::Stats => "STATS".to_owned(),
+            Request::Mutate { mutation } => serialize_mutation(mutation),
+            Request::Begin => "BEGIN".to_owned(),
+            Request::Commit => "COMMIT".to_owned(),
+            Request::Rollback => "ROLLBACK".to_owned(),
         }
     }
 
@@ -312,8 +346,152 @@ impl Request {
                 }),
             },
             "STATS" => Ok(Request::Stats),
+            "INSERT" => match words.next() {
+                Some("NODE") => {
+                    let name = mut_token(words.next(), "node name").map_err(proto)?;
+                    let labels = parse_labels(words.next()).map_err(proto)?;
+                    let properties = parse_props(body).map_err(proto)?;
+                    Ok(Request::Mutate {
+                        mutation: Mutation::AddNode {
+                            name,
+                            labels,
+                            properties,
+                        },
+                    })
+                }
+                Some("EDGE") => {
+                    let name = mut_token(words.next(), "edge name").map_err(proto)?;
+                    let src = mut_token(words.next(), "source node").map_err(proto)?;
+                    let directed = match words.next() {
+                        Some("->") => true,
+                        Some("--") => false,
+                        other => {
+                            return Err(proto(format!(
+                                "bad edge connector {other:?}: wants -> or --"
+                            )))
+                        }
+                    };
+                    let dst = mut_token(words.next(), "destination node").map_err(proto)?;
+                    let labels = parse_labels(words.next()).map_err(proto)?;
+                    let properties = parse_props(body).map_err(proto)?;
+                    Ok(Request::Mutate {
+                        mutation: Mutation::AddEdge {
+                            name,
+                            src,
+                            dst,
+                            directed,
+                            labels,
+                            properties,
+                        },
+                    })
+                }
+                other => Err(proto(format!("INSERT wants NODE or EDGE, got {other:?}"))),
+            },
+            "SET" => {
+                let element = mut_token(words.next(), "element name").map_err(proto)?;
+                let key = mut_token(words.next(), "property key").map_err(proto)?;
+                let value =
+                    codec::decode_scalar(body).map_err(|e| proto(format!("SET value: {e}")))?;
+                Ok(Request::Mutate {
+                    mutation: Mutation::SetProperty {
+                        element,
+                        key,
+                        value,
+                    },
+                })
+            }
+            "DELETE" => Ok(Request::Mutate {
+                mutation: Mutation::Delete {
+                    element: mut_token(words.next(), "element name").map_err(proto)?,
+                },
+            }),
+            "BEGIN" => Ok(Request::Begin),
+            "COMMIT" => Ok(Request::Commit),
+            "ROLLBACK" => Ok(Request::Rollback),
             _ => Err(proto(format!("unknown command {cmd:?}"))),
         }
+    }
+}
+
+/// A mutation's first-line tokens must survive `split(' ')` untouched:
+/// non-empty, no whitespace, no control characters.
+fn mut_token(word: Option<&str>, what: &str) -> Result<String, String> {
+    match word {
+        Some(w) if !w.is_empty() && !w.chars().any(|c| c.is_whitespace() || c.is_control()) => {
+            Ok(w.to_owned())
+        }
+        Some(w) => Err(format!("bad {what} {w:?}: wants a bare token")),
+        None => Err(format!("missing {what}")),
+    }
+}
+
+/// An optional comma-separated labels token (`Person,Account`).
+fn parse_labels(word: Option<&str>) -> Result<Vec<String>, String> {
+    let Some(w) = word else { return Ok(Vec::new()) };
+    w.split(',').map(|l| mut_token(Some(l), "label")).collect()
+}
+
+/// `key\t<encoded scalar>` property lines, one per line of the body.
+fn parse_props(body: &str) -> Result<Vec<(String, Value)>, String> {
+    let mut props = Vec::new();
+    for line in body.split('\n').filter(|l| !l.is_empty()) {
+        let Some((key, encoded)) = line.split_once('\t') else {
+            return Err(format!("property line {line:?} wants key\\tvalue"));
+        };
+        let value = codec::decode_scalar(encoded).map_err(|e| format!("property {key}: {e}"))?;
+        props.push((key.to_owned(), value));
+    }
+    Ok(props)
+}
+
+fn serialize_mutation(m: &Mutation) -> String {
+    match m {
+        Mutation::AddNode {
+            name,
+            labels,
+            properties,
+        } => {
+            let mut out = format!("INSERT NODE {name}");
+            push_labels(&mut out, labels);
+            push_prop_lines(&mut out, properties);
+            out
+        }
+        Mutation::AddEdge {
+            name,
+            src,
+            dst,
+            directed,
+            labels,
+            properties,
+        } => {
+            let arrow = if *directed { "->" } else { "--" };
+            let mut out = format!("INSERT EDGE {name} {src} {arrow} {dst}");
+            push_labels(&mut out, labels);
+            push_prop_lines(&mut out, properties);
+            out
+        }
+        Mutation::SetProperty {
+            element,
+            key,
+            value,
+        } => format!("SET {element} {key}\n{}", codec::encode_scalar(value)),
+        Mutation::Delete { element } => format!("DELETE {element}"),
+    }
+}
+
+fn push_labels(out: &mut String, labels: &[String]) {
+    if !labels.is_empty() {
+        out.push(' ');
+        out.push_str(&labels.join(","));
+    }
+}
+
+fn push_prop_lines(out: &mut String, props: &[(String, Value)]) {
+    for (key, value) in props {
+        out.push('\n');
+        out.push_str(key);
+        out.push('\t');
+        out.push_str(&codec::encode_scalar(value));
     }
 }
 
@@ -385,6 +563,27 @@ pub enum Response {
     Stats {
         /// `key=value` pairs (`cache.hits`, `sessions.active`, …).
         stats: Vec<(String, String)>,
+    },
+    /// `OK MUTATED`: the commit was applied (and, under `--data-dir`,
+    /// is durable in the WAL before this frame is sent).
+    Mutated {
+        /// The graph epoch the commit produced; readers from here on
+        /// see the new graph.
+        epoch: u64,
+        /// How many mutations the batch applied.
+        applied: u64,
+    },
+    /// `OK QUEUED`: the mutation was buffered in the open transaction.
+    Queued {
+        /// Mutations buffered so far, including this one.
+        pending: u64,
+    },
+    /// `OK BEGUN`: a transaction is now open on this connection.
+    Begun,
+    /// `OK ROLLEDBACK`: the open transaction was dropped unapplied.
+    RolledBack {
+        /// How many buffered mutations were discarded.
+        dropped: u64,
     },
     /// `ERR`: a typed failure; the connection stays open.
     Error {
@@ -460,6 +659,10 @@ impl Response {
             Response::Closed { handle } => format!("OK CLOSED {handle}"),
             Response::CursorClosed { cursor } => format!("OK CLOSED CURSOR {cursor}"),
             Response::Stats { stats } => format!("OK STATS{}", kv_lines(stats)),
+            Response::Mutated { epoch, applied } => format!("OK MUTATED {epoch} {applied}"),
+            Response::Queued { pending } => format!("OK QUEUED {pending}"),
+            Response::Begun => "OK BEGUN".to_owned(),
+            Response::RolledBack { dropped } => format!("OK ROLLEDBACK {dropped}"),
             Response::Error { code, message } => format!("ERR {code} {}", one_line(message)),
         }
     }
@@ -570,6 +773,30 @@ impl Response {
                 Some("STATS") => Ok(Response::Stats {
                     stats: parse_kv_lines(body),
                 }),
+                Some("MUTATED") => {
+                    let epoch = words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| format!("bad MUTATED epoch in {line:?}"))?;
+                    let applied = words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| format!("bad MUTATED count in {line:?}"))?;
+                    Ok(Response::Mutated { epoch, applied })
+                }
+                Some("QUEUED") => Ok(Response::Queued {
+                    pending: words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| format!("bad QUEUED count in {line:?}"))?,
+                }),
+                Some("BEGUN") => Ok(Response::Begun),
+                Some("ROLLEDBACK") => Ok(Response::RolledBack {
+                    dropped: words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| format!("bad ROLLEDBACK count in {line:?}"))?,
+                }),
                 other => Err(format!("unknown OK form {other:?}")),
             },
             Some("ERR") => {
@@ -663,6 +890,103 @@ mod tests {
         });
         req_roundtrip(Request::Fetch { cursor: 3, n: 64 });
         req_roundtrip(Request::CloseCursor { cursor: 3 });
+    }
+
+    #[test]
+    fn mutation_requests_roundtrip() {
+        req_roundtrip(Request::Mutate {
+            mutation: Mutation::AddNode {
+                name: "a9".into(),
+                labels: vec!["Account".into(), "Vip".into()],
+                properties: vec![
+                    ("owner".into(), Value::str("tab\tnewline\nok")),
+                    ("isBlocked".into(), Value::Bool(false)),
+                ],
+            },
+        });
+        req_roundtrip(Request::Mutate {
+            mutation: Mutation::AddNode {
+                name: "bare".into(),
+                labels: vec![],
+                properties: vec![],
+            },
+        });
+        req_roundtrip(Request::Mutate {
+            mutation: Mutation::AddEdge {
+                name: "t9".into(),
+                src: "a1".into(),
+                dst: "a2".into(),
+                directed: true,
+                labels: vec!["Transfer".into()],
+                properties: vec![("amount".into(), Value::Float(1e6))],
+            },
+        });
+        req_roundtrip(Request::Mutate {
+            mutation: Mutation::AddEdge {
+                name: "knows1".into(),
+                src: "a1".into(),
+                dst: "a2".into(),
+                directed: false,
+                labels: vec![],
+                properties: vec![],
+            },
+        });
+        req_roundtrip(Request::Mutate {
+            mutation: Mutation::SetProperty {
+                element: "a1".into(),
+                key: "owner".into(),
+                value: Value::str("Granny"),
+            },
+        });
+        req_roundtrip(Request::Mutate {
+            mutation: Mutation::SetProperty {
+                element: "a1".into(),
+                key: "owner".into(),
+                value: Value::Null, // removal
+            },
+        });
+        req_roundtrip(Request::Mutate {
+            mutation: Mutation::Delete {
+                element: "t9".into(),
+            },
+        });
+        req_roundtrip(Request::Begin);
+        req_roundtrip(Request::Commit);
+        req_roundtrip(Request::Rollback);
+    }
+
+    #[test]
+    fn malformed_mutations_are_typed_proto_errors() {
+        for bad in [
+            "INSERT",
+            "INSERT GRAPH g",
+            "INSERT NODE",
+            "INSERT NODE a b,,c",         // empty label
+            "INSERT NODE a\nno-tab-here", // bad property line
+            "INSERT EDGE e a => b",       // bad connector
+            "INSERT EDGE e a ->",         // missing dst
+            "SET a1",                     // missing key
+            "SET a1 owner\nX:1",          // bad scalar tag
+            "DELETE",
+        ] {
+            let err = Request::parse(bad).unwrap_err();
+            assert_eq!(err.0, ErrorCode::Proto, "{bad:?}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn mutation_responses_roundtrip() {
+        resp_roundtrip(Response::Mutated {
+            epoch: 12,
+            applied: 3,
+        });
+        resp_roundtrip(Response::Queued { pending: 5 });
+        resp_roundtrip(Response::Begun);
+        resp_roundtrip(Response::RolledBack { dropped: 2 });
+        resp_roundtrip(Response::Error {
+            code: ErrorCode::Mutate,
+            message: "duplicate element name \"a1\"".into(),
+        });
     }
 
     #[test]

@@ -3,11 +3,12 @@
 //! # Serving models
 //!
 //! Two models serve the same protocol through the same per-request
-//! logic ([`crate::conn`]), selected by [`ServerConfig::model`]:
+//! logic (the private `conn` module), selected by
+//! [`ServerConfig::model`]:
 //!
 //! * [`ServeModel::EventLoop`] (default) — one reactor thread
 //!   multiplexes every non-blocking socket with `poll(2)`
-//!   ([`crate::reactor`]) and dispatches query execution to a fixed
+//!   (the private `reactor` module) and dispatches query execution to a fixed
 //!   worker pool sized to cores. Thousands of mostly-idle connections
 //!   cost a pollfd each, not a thread; results can be streamed through
 //!   cursors; `--max-conns`, `--idle-timeout`, and bounded write queues
@@ -20,9 +21,12 @@
 //!
 //! Both models share:
 //!
-//! * one `Arc<PropertyGraph>` behind one [`gql::Session`] — sessions
-//!   only carry the catalog pointer, options, and the cache, so a
-//!   single shared session serves every connection concurrently;
+//! * one [`GraphJournal`] behind one [`gql::Session`] — every read
+//!   pins the journal's current epoch (`Arc` clone, no lock held
+//!   across execution) and every commit builds the next epoch, so
+//!   readers never block behind writers; under
+//!   [`ServerConfig::data_dir`] commits are WAL-durable before they
+//!   are acknowledged;
 //! * one [`SharedPlanLru`] — the **shared plan cache**. Whichever
 //!   connection prepares a skeleton first compiles it for every
 //!   connection, so 1000 clients preparing the same statement cost one
@@ -47,6 +51,7 @@ use std::time::Duration;
 use gpml_core::eval::{EvalOptions, ExecProfile};
 use gpml_core::plan::{CacheStats, SharedPlanLru, DEFAULT_PLAN_CACHE_CAPACITY};
 use gpml_core::Params;
+use gpml_storage::{CommitError, GraphJournal, DEFAULT_SNAPSHOT_EVERY_BYTES};
 use gql::{GqlError, PreparedGqlQuery, QueryResult, Session};
 use property_graph::PropertyGraph;
 
@@ -99,6 +104,22 @@ pub struct ServerConfig {
     /// sizes the pool to the host (`max(2, cores)`). Ignored by
     /// [`ServeModel::Threaded`].
     pub workers: usize,
+    /// When set, mutations are durable: commits append to a WAL under
+    /// this directory before they are acknowledged, and boot recovers
+    /// the graph from the directory's snapshot plus WAL tail. Without
+    /// it the mutation verbs still work, but writes die with the
+    /// process. [`ServerConfig::default`] honors the `GPML_DATA_DIR`
+    /// environment variable (a unique per-server subdirectory is
+    /// created under it), so existing harnesses can be re-run durably
+    /// without code changes.
+    pub data_dir: Option<PathBuf>,
+    /// `fsync` the WAL on every commit (the default). Turning it off
+    /// trades the durability of the latest commits for write speed —
+    /// the log stays *ordered*, so recovery still replays a prefix.
+    pub fsync_on_commit: bool,
+    /// Compact (snapshot + truncate the WAL) when the WAL exceeds this
+    /// many bytes. `0` keeps the built-in default.
+    pub snapshot_every_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -113,6 +134,16 @@ impl Default for ServerConfig {
             max_conns: 0,
             idle_timeout: Duration::ZERO,
             workers: 0,
+            data_dir: std::env::var_os("GPML_DATA_DIR").map(|root| {
+                // Many servers (tests, benches) share one process and
+                // one env var; each gets its own subdirectory so their
+                // WALs never interleave.
+                static SEQ: AtomicU64 = AtomicU64::new(0);
+                let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+                PathBuf::from(root).join(format!("srv-{}-{seq}", std::process::id()))
+            }),
+            fsync_on_commit: true,
+            snapshot_every_bytes: 0,
         }
     }
 }
@@ -137,6 +168,9 @@ pub struct ServerStats {
     pub closes: AtomicU64,
     /// `FETCH` requests handled.
     pub fetches: AtomicU64,
+    /// Mutation requests handled (`INSERT`/`SET`/`DELETE` plus each
+    /// `COMMIT` of a transaction; `BEGIN`/`ROLLBACK` not included).
+    pub mutations: AtomicU64,
     /// Requests answered with an `ERR` response.
     pub errors: AtomicU64,
     /// Cursors currently holding a parked result (gauge).
@@ -160,7 +194,9 @@ pub struct ServerStats {
 
 /// Everything the serving threads need, shared by `Arc`.
 pub(crate) struct Shared {
-    graph: Arc<PropertyGraph>,
+    /// The mutable graph: reads pin `journal.snapshot()`, commits go
+    /// through `journal.commit`.
+    journal: Arc<GraphJournal>,
     graph_name: String,
     options: EvalOptions,
     /// One session for every connection: it only carries the catalog
@@ -224,20 +260,23 @@ impl Shared {
         if p.last_saved_len.swap(len, Ordering::Relaxed) == len {
             return;
         }
-        if let Err(e) = persist::save(&p.path, &self.options, &self.cache) {
+        if let Err(e) = persist::save(&p.path, &self.options, self.session.epoch(), &self.cache) {
             eprintln!("gpmld: plan cache save to {} failed: {e}", p.path.display());
         }
     }
 
-    /// Serves `HELLO`: server identity plus the graph census.
+    /// Serves `HELLO`: server identity plus the graph census (of the
+    /// current epoch).
     pub(crate) fn hello(&self) -> Response {
-        let g = &self.graph;
+        let g = self.journal.snapshot();
         let info = vec![
             ("server".to_owned(), "gpmld".to_owned()),
             ("version".to_owned(), env!("CARGO_PKG_VERSION").to_owned()),
             ("graph".to_owned(), self.graph_name.clone()),
             ("nodes".to_owned(), g.node_count().to_string()),
             ("edges".to_owned(), g.edge_count().to_string()),
+            ("epoch".to_owned(), self.journal.epoch().to_string()),
+            ("durable".to_owned(), self.journal.is_durable().to_string()),
             (
                 "threads".to_owned(),
                 self.options.resolved_threads().to_string(),
@@ -282,6 +321,7 @@ impl Shared {
             ("requests.execute".to_owned(), load(&s.executes)),
             ("requests.close".to_owned(), load(&s.closes)),
             ("requests.fetch".to_owned(), load(&s.fetches)),
+            ("requests.mutations".to_owned(), load(&s.mutations)),
             ("requests.errors".to_owned(), load(&s.errors)),
             (
                 "exec.nodes_expanded".to_owned(),
@@ -302,6 +342,19 @@ impl Shared {
             ),
             ("handles.open".to_owned(), handles_open.to_string()),
         ];
+        let j = self.journal.stats();
+        let mut stats = stats;
+        stats.extend([
+            ("storage.epoch".to_owned(), j.epoch.to_string()),
+            (
+                "storage.durable".to_owned(),
+                self.journal.is_durable().to_string(),
+            ),
+            ("wal.bytes".to_owned(), j.wal_bytes.to_string()),
+            ("wal.records".to_owned(), j.wal_records.to_string()),
+            ("writes.applied".to_owned(), j.writes_applied.to_string()),
+            ("snapshots.taken".to_owned(), j.snapshots_taken.to_string()),
+        ]);
         Response::Stats { stats }
     }
 
@@ -336,6 +389,26 @@ impl Shared {
                     Err(e) => WorkOutput::Response(error_response(e)),
                 }
             }
+            WorkItem::Commit { mutations } => {
+                match self.journal.commit(&mutations) {
+                    Ok((epoch, applied)) => {
+                        let applied = applied as u64;
+                        // Readers from here on pin the new epoch; plans
+                        // compiled against older epochs stop being
+                        // cache keys and age out of the LRU.
+                        self.session.set_epoch(epoch);
+                        WorkOutput::Response(Response::Mutated { epoch, applied })
+                    }
+                    Err(CommitError::Graph(e)) => WorkOutput::Response(Response::Error {
+                        code: ErrorCode::Mutate,
+                        message: e.to_string(),
+                    }),
+                    Err(CommitError::Io(e)) => WorkOutput::Response(Response::Error {
+                        code: ErrorCode::Host,
+                        message: format!("commit not durable: {e}"),
+                    }),
+                }
+            }
         };
         // Any request may have compiled a new plan (QUERY and EXECUTE
         // compile too, not just PREPARE); cheap no-op when the cache
@@ -346,12 +419,18 @@ impl Shared {
 
     /// Serves a one-shot `QUERY`. Statements with a `RETURN` go through
     /// the profiled path so their execution counters land in `STATS`;
-    /// `RETURN`-less text falls through to [`Session::execute`], which
-    /// raises the parse error that path has always raised.
+    /// `RETURN`-less text falls through to
+    /// [`Session::execute_with_params_on`], which raises the parse
+    /// error that path has always raised. Both paths run against the
+    /// epoch pinned when the request started executing.
     fn query(&self, text: &str) -> Result<QueryResult, GqlError> {
         match self.session.prepare(text) {
             Ok(prepared) if prepared.has_return() => self.run_profiled(&prepared, &Params::new()),
-            _ => self.session.execute(&self.graph_name, text),
+            _ => {
+                let g = self.journal.snapshot();
+                self.session
+                    .execute_with_params_on(&g, text, &Params::new())
+            }
         }
     }
 
@@ -365,9 +444,12 @@ impl Shared {
         params: &Params,
     ) -> Result<QueryResult, GqlError> {
         let profile = ExecProfile::new(prepared.plan().stage_count());
+        // Pin the epoch for the whole execution: a commit landing
+        // mid-query swaps the journal's Arc but cannot touch this one.
+        let g = self.journal.snapshot();
         let result =
             self.session
-                .execute_prepared_profiled(&self.graph_name, prepared, params, &profile);
+                .execute_prepared_profiled_on(&g, prepared, params, Some(&profile));
         let (nodes, edges, pruned, instrs, truncations) = profile.totals();
         let s = &self.stats;
         s.exec_nodes_expanded.fetch_add(nodes, Ordering::Relaxed);
@@ -439,6 +521,11 @@ impl ServerHandle {
         &self.shared.cache
     }
 
+    /// The storage journal serving this server's reads and writes.
+    pub fn journal(&self) -> &Arc<GraphJournal> {
+        &self.shared.journal
+    }
+
     /// Stops the server gracefully: no new connections, in-flight
     /// queries drain (bounded), idle connections close.
     pub fn stop(mut self) {
@@ -459,9 +546,20 @@ impl ServerHandle {
         // length, different plan) and runs after the serving thread is
         // done admitting connections that could still compile.
         if let Some(p) = &self.shared.persist {
-            if let Err(e) = persist::save(&p.path, &self.shared.options, &self.shared.cache) {
+            if let Err(e) = persist::save(
+                &p.path,
+                &self.shared.options,
+                self.shared.session.epoch(),
+                &self.shared.cache,
+            ) {
                 eprintln!("gpmld: plan cache save to {} failed: {e}", p.path.display());
             }
+        }
+        // Compact on the way out: the next boot replays a snapshot
+        // instead of the whole WAL. Failure is not fatal — the WAL
+        // alone still recovers.
+        if let Err(e) = self.shared.journal.force_snapshot() {
+            eprintln!("gpmld: shutdown snapshot failed: {e}");
         }
     }
 }
@@ -488,10 +586,33 @@ pub fn serve_shared(graph: Arc<PropertyGraph>, config: ServerConfig) -> io::Resu
     let addr = listener.local_addr()?;
     let cache = SharedPlanLru::new(config.cache_capacity);
     let mut session = Session::with_cache(config.options.clone(), cache.clone());
-    session.register_shared(&config.graph_name, Arc::clone(&graph));
+    // Boot the journal: a data directory recovers snapshot + WAL tail
+    // (the passed graph only seeds a brand-new directory); without one
+    // the graph lives in memory and mutations are process-lifetime.
+    let journal = match &config.data_dir {
+        Some(dir) => {
+            let every = if config.snapshot_every_bytes > 0 {
+                config.snapshot_every_bytes
+            } else {
+                DEFAULT_SNAPSHOT_EVERY_BYTES
+            };
+            Arc::new(GraphJournal::open(
+                dir,
+                (*graph).clone(),
+                config.fsync_on_commit,
+                every,
+            )?)
+        }
+        None => Arc::new(GraphJournal::in_memory((*graph).clone())),
+    };
+    // Register the *recovered* graph (it may be epochs ahead of the
+    // seed) and start the session at the journal's epoch so plan-cache
+    // keys and `--plan-cache-file` gating line up with recovery.
+    session.register_shared(&config.graph_name, journal.snapshot());
+    session.set_epoch(journal.epoch());
     let waker = Arc::new(Waker::new()?);
     let shared = Arc::new(Shared {
-        graph,
+        journal,
         graph_name: config.graph_name,
         options: config.options,
         session,
@@ -508,7 +629,12 @@ pub fn serve_shared(graph: Arc<PropertyGraph>, config: ServerConfig) -> io::Resu
         workers: config.workers,
     });
     if let Some(p) = &shared.persist {
-        let seeded = persist::load(&p.path, &shared.options, &shared.cache);
+        let seeded = persist::load(
+            &p.path,
+            &shared.options,
+            shared.session.epoch(),
+            &shared.cache,
+        );
         p.last_saved_len
             .store(shared.cache.stats().len as u64, Ordering::Relaxed);
         if seeded > 0 {

@@ -1,0 +1,57 @@
+//! Durable storage for the GPML server: WAL-backed graph mutations with
+//! epoch snapshot isolation.
+//!
+//! The paper (Deutsch et al., SIGMOD 2022) describes pattern matching
+//! over a property graph that, in this reproduction, was frozen at boot.
+//! This crate makes the graph mutable and durable without giving up the
+//! matcher's freedom to read without coordination:
+//!
+//! * [`Mutation`] — the write vocabulary (`AddNode` / `AddEdge` /
+//!   `SetProperty` / `Delete`), name-addressed so logs replay
+//!   independently of id assignment;
+//! * [`Wal`] — an append-only log of commit batches with per-record
+//!   FNV-1a checksums and torn-tail-tolerant replay;
+//! * [`snapshot`] — canonical whole-graph images with atomic
+//!   temp+rename writes, making "bit-identical recovery" a byte
+//!   comparison ([`graph_digest`]);
+//! * [`GraphJournal`] — epochs: readers pin an `Arc` of the current
+//!   graph and never block behind writers; a commit builds the next
+//!   epoch on a clone, makes it durable, then swaps the `Arc`.
+//!
+//! Everything is `std`-only, mirroring the rest of the workspace.
+//!
+//! # Example
+//!
+//! ```
+//! use gpml_storage::{GraphJournal, Mutation};
+//! use property_graph::{PropertyGraph, Value};
+//!
+//! let journal = GraphJournal::in_memory(PropertyGraph::new());
+//! let reader = journal.snapshot(); // pinned at epoch 0
+//! let (epoch, applied) = journal
+//!     .commit(&[Mutation::AddNode {
+//!         name: "a1".into(),
+//!         labels: vec!["Account".into()],
+//!         properties: vec![("owner".into(), Value::str("Scott"))],
+//!     }])
+//!     .unwrap();
+//! assert_eq!((epoch, applied), (1, 1));
+//! assert_eq!(reader.node_count(), 0); // old epoch, still consistent
+//! assert_eq!(journal.snapshot().node_count(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod journal;
+pub mod mutation;
+pub mod snapshot;
+pub mod wal;
+
+pub use codec::{fnv1a64, DecodeError};
+pub use journal::{
+    CommitError, GraphJournal, JournalStats, DEFAULT_SNAPSHOT_EVERY_BYTES, SNAPSHOT_FILE, WAL_FILE,
+};
+pub use mutation::Mutation;
+pub use snapshot::{decode_graph, encode_graph, graph_digest, load_snapshot, save_snapshot};
+pub use wal::{CommitRecord, Wal};

@@ -29,11 +29,13 @@ use std::io::BufRead;
 
 use gpml_server::client::Client;
 use gpml_server::server::{serve_shared, ServerConfig};
+use gpml_server::MutateAck;
 use gpml_suite::core::eval::{EvalOptions, MatchMode};
 use gpml_suite::core::plan::DEFAULT_PLAN_CACHE_CAPACITY;
 use gpml_suite::core::{Expr, Params};
 use gpml_suite::datagen::{chain, cycle, fig1, grid, transfer_network, TransferNetworkConfig};
 use gpml_suite::gql::{QueryResult, Session};
+use gpml_suite::storage::Mutation;
 use property_graph::{PropertyGraph, Value};
 
 fn usage() -> ! {
@@ -43,7 +45,8 @@ fn usage() -> ! {
          [--param NAME=VALUE]... [--format table|json|csv] [--explain] [QUERY]\n\
          \x20      gpml serve   [--graph ...] [--mode ...] [--threads N] [--no-semijoin] \
          [--no-flat] [--addr HOST[:PORT]] [--port N] [--cache N] [--plan-cache-file PATH] \
-         [--max-conns N] [--idle-timeout SECS] [--workers N] [--threaded]\n\
+         [--max-conns N] [--idle-timeout SECS] [--workers N] [--threaded] \
+         [--data-dir DIR] [--no-fsync] [--snapshot-every BYTES]\n\
          \x20      gpml connect [--addr HOST:PORT] [--format table|json|csv]\n\
          With no QUERY, reads one query per line from stdin; repeated\n\
          queries reuse their compiled plan (the session's LRU plan cache).\n\
@@ -72,12 +75,20 @@ fn usage() -> ! {
          with a worker pool (--workers N; 0 = cores), connection\n\
          admission (--max-conns N; 0 = unlimited), and idle reaping\n\
          (--idle-timeout SECS; 0 = off); --threaded restores the old\n\
-         thread-per-connection model. `connect` is a remote REPL against\n\
-         one (its :let bindings ride each query as EXECUTE parameters,\n\
-         :stats/:cache query the server, :close drops cached handles,\n\
-         :cursor <query> parks the result server-side and :fetch\n\
-         <cursor> <n> drains it in frame-sized chunks — the only way to\n\
-         read a result bigger than one 16 MiB frame)."
+         thread-per-connection model. `serve --data-dir DIR` makes the\n\
+         graph durable: commits append to a write-ahead log under DIR\n\
+         (fsynced unless --no-fsync) and boot recovers snapshot + WAL\n\
+         tail; --snapshot-every BYTES tunes compaction. `connect` is a\n\
+         remote REPL against one (its :let bindings ride each query as\n\
+         EXECUTE parameters, :stats/:cache query the server, :close\n\
+         drops cached handles, :cursor <query> parks the result\n\
+         server-side and :fetch <cursor> <n> drains it in frame-sized\n\
+         chunks — the only way to read a result bigger than one 16 MiB\n\
+         frame). Writes from the remote REPL: :insert node NAME\n\
+         [l1,l2] [k=v ...], :insert edge NAME SRC -> DST [l1,l2]\n\
+         [k=v ...] (-- for undirected), :set EL KEY VALUE (null\n\
+         removes), :delete EL, and :begin/:commit/:rollback batch them\n\
+         into one atomic commit."
     );
     std::process::exit(2)
 }
@@ -450,6 +461,9 @@ fn serve_main(args: Vec<String>) -> ! {
     let mut idle_timeout = std::time::Duration::ZERO;
     let mut workers = 0usize;
     let mut model = gpml_server::ServeModel::default();
+    let mut data_dir: Option<std::path::PathBuf> = None;
+    let mut fsync_on_commit = true;
+    let mut snapshot_every_bytes = 0u64;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -496,6 +510,18 @@ fn serve_main(args: Vec<String>) -> ! {
                     .unwrap_or_else(|| usage())
             }
             "--threaded" => model = gpml_server::ServeModel::Threaded,
+            "--data-dir" => {
+                data_dir = Some(std::path::PathBuf::from(
+                    it.next().unwrap_or_else(|| usage()),
+                ))
+            }
+            "--no-fsync" => fsync_on_commit = false,
+            "--snapshot-every" => {
+                snapshot_every_bytes = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             _ => usage(),
         }
     }
@@ -517,7 +543,7 @@ fn serve_main(args: Vec<String>) -> ! {
         }
     };
     let (nodes, edges) = (graph.node_count(), graph.edge_count());
-    let config = ServerConfig {
+    let mut config = ServerConfig {
         addr: bind_addr.clone(),
         options: engine.options(),
         cache_capacity: cache,
@@ -526,8 +552,14 @@ fn serve_main(args: Vec<String>) -> ! {
         max_conns,
         idle_timeout,
         workers,
+        fsync_on_commit,
+        snapshot_every_bytes,
         ..ServerConfig::default()
     };
+    // An explicit --data-dir wins over the GPML_DATA_DIR default.
+    if let Some(dir) = data_dir {
+        config.data_dir = Some(dir);
+    }
     let handle = match serve_shared(std::sync::Arc::new(graph), config) {
         Ok(h) => h,
         Err(e) => {
@@ -536,9 +568,20 @@ fn serve_main(args: Vec<String>) -> ! {
         }
     };
     // Scripts scrape this line for the (possibly ephemeral) port.
+    let j = handle.journal();
     println!(
-        "gpmld listening on {} (graph {graph_spec}: {nodes} nodes, {edges} edges)",
-        handle.addr()
+        "gpmld listening on {} (graph {graph_spec}: {nodes} nodes, {edges} edges{})",
+        handle.addr(),
+        if j.is_durable() {
+            format!(
+                "; durable, recovered to epoch {} with {} nodes, {} edges",
+                j.epoch(),
+                j.snapshot().node_count(),
+                j.snapshot().edge_count()
+            )
+        } else {
+            String::new()
+        }
     );
     use std::io::Write;
     let _ = std::io::stdout().flush();
@@ -550,6 +593,84 @@ fn serve_main(args: Vec<String>) -> ! {
 /// Prints a server error without dropping the REPL.
 fn report_client_error(e: &gpml_server::ClientError) {
     eprintln!("error: {e}");
+}
+
+/// Prints a mutation's acknowledgement.
+fn report_mutate(r: Result<MutateAck, gpml_server::ClientError>) {
+    match r {
+        Ok(MutateAck::Committed(ack)) => {
+            eprintln!("committed: epoch {}, {} applied", ack.epoch, ack.applied)
+        }
+        Ok(MutateAck::Queued { pending }) => {
+            eprintln!("queued ({pending} pending; :commit applies, :rollback drops)")
+        }
+        Err(e) => report_client_error(&e),
+    }
+}
+
+/// Parses `:insert node NAME [l1,l2] [k=v ...]` or `:insert edge NAME
+/// SRC -> DST [l1,l2] [k=v ...]` (`--` for undirected). Labels are one
+/// comma-separated token right after the names; everything else is
+/// `key=value` with values parsed like `--param` (so `amount=5M`,
+/// `owner='Granny'`, `flag=true`).
+fn parse_insert(rest: &str) -> Result<Mutation, String> {
+    let mut words = rest.split_whitespace();
+    match words.next() {
+        Some("node") => {
+            let name = words.next().ok_or("missing node name")?.to_owned();
+            let (labels, properties) = parse_labels_and_props(words)?;
+            Ok(Mutation::AddNode {
+                name,
+                labels,
+                properties,
+            })
+        }
+        Some("edge") => {
+            let name = words.next().ok_or("missing edge name")?.to_owned();
+            let src = words.next().ok_or("missing source node")?.to_owned();
+            let directed = match words.next() {
+                Some("->") => true,
+                Some("--") => false,
+                other => return Err(format!("wanted -> or -- after the source, got {other:?}")),
+            };
+            let dst = words.next().ok_or("missing destination node")?.to_owned();
+            let (labels, properties) = parse_labels_and_props(words)?;
+            Ok(Mutation::AddEdge {
+                name,
+                src,
+                dst,
+                directed,
+                labels,
+                properties,
+            })
+        }
+        other => Err(format!(":insert wants node or edge, got {other:?}")),
+    }
+}
+
+/// Labels plus `key=value` properties, as parsed from an `:insert` tail.
+type LabelsAndProps = (Vec<String>, Vec<(String, Value)>);
+
+/// The tail of an `:insert`: an optional bare labels token, then
+/// `key=value` properties.
+fn parse_labels_and_props<'a>(
+    words: impl Iterator<Item = &'a str>,
+) -> Result<LabelsAndProps, String> {
+    let mut labels = Vec::new();
+    let mut properties = Vec::new();
+    for (i, word) in words.enumerate() {
+        if let Some((key, value)) = word.split_once('=') {
+            properties.push((key.to_owned(), parse_param_value(value)?));
+        } else if i == 0 {
+            labels = word.split(',').map(str::to_owned).collect();
+        } else {
+            return Err(format!(
+                "unexpected token {word:?} (labels go right after the name; \
+                 properties are key=value)"
+            ));
+        }
+    }
+    Ok((labels, properties))
 }
 
 /// `gpml connect`: a remote REPL speaking the wire protocol. Plain
@@ -635,6 +756,27 @@ fn connect_main(args: Vec<String>) {
                 eprintln!("closed all prepared handles");
                 continue;
             }
+            ":begin" => {
+                match client.begin() {
+                    Ok(()) => eprintln!("transaction open (mutations queue until :commit)"),
+                    Err(e) => report_client_error(&e),
+                }
+                continue;
+            }
+            ":commit" => {
+                match client.commit() {
+                    Ok(ack) => eprintln!("committed: epoch {}, {} applied", ack.epoch, ack.applied),
+                    Err(e) => report_client_error(&e),
+                }
+                continue;
+            }
+            ":rollback" => {
+                match client.rollback() {
+                    Ok(dropped) => eprintln!("rolled back ({dropped} dropped)"),
+                    Err(e) => report_client_error(&e),
+                }
+                continue;
+            }
             _ => {}
         }
         if let Some(rest) = line.strip_prefix(":let ") {
@@ -716,10 +858,33 @@ fn connect_main(args: Vec<String>) {
             }
             continue;
         }
+        if let Some(rest) = line.strip_prefix(":insert ") {
+            match parse_insert(rest) {
+                Ok(mutation) => report_mutate(client.mutate(mutation)),
+                Err(e) => eprintln!("error: {e}"),
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(":set ") {
+            let mut words = rest.trim().splitn(3, char::is_whitespace);
+            match (words.next(), words.next(), words.next()) {
+                (Some(element), Some(key), Some(value)) => match parse_param_value(value) {
+                    Ok(v) => report_mutate(client.set_property(element, key, v)),
+                    Err(e) => eprintln!("error: {e}"),
+                },
+                _ => eprintln!("error: :set wants `:set ELEMENT KEY VALUE` (null removes)"),
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(":delete ") {
+            report_mutate(client.delete(rest.trim()));
+            continue;
+        }
         if line.starts_with(':') {
             eprintln!(
                 "unknown command {line} (try :stats, :cache, :close, :cursor, :fetch, \
-                 :close-cursor, :let, :unlet, :params, or :quit)"
+                 :close-cursor, :insert, :set, :delete, :begin, :commit, :rollback, \
+                 :let, :unlet, :params, or :quit)"
             );
             continue;
         }

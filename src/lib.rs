@@ -31,6 +31,7 @@
 pub use gpml_core as core;
 pub use gpml_datagen as datagen;
 pub use gpml_parser as parser;
+pub use gpml_storage as storage;
 pub use gql;
 pub use property_graph as graph;
 pub use sql_pgq as pgq;
