@@ -1,0 +1,73 @@
+//! EB18 — observability overhead: the EB16 mixed-traffic workload with
+//! the tracing layer fully armed vs fully off.
+//!
+//! Tracing-on builds a complete span tree per request (classify →
+//! prepare → per-stage execute → encode) and checks the slow-log gate;
+//! tracing-off pays one branch plus the always-on lane histograms. The
+//! bench reports both throughput lines and the p50 delta against the 3%
+//! budget. Functional assertions run in both modes: results equal the
+//! in-process oracle before timing, the traced server's ring drains
+//! span trees afterwards, and the untraced server's ring stays empty.
+//!
+//! Under Criterion's `--test` smoke the population shrinks (16 conns, 4
+//! ops) so CI exercises the full path in milliseconds; the overhead
+//! budget is reported, not asserted — a loaded CI box is not a
+//! benchmark.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gpml_bench::observability as eb18;
+use gpml_bench::server_concurrency as eb16;
+
+fn bench_observability(c: &mut Criterion) {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let (conns, active) = if smoke { (16, 4) } else { eb18::POPULATION };
+    let ops = if smoke { 4 } else { eb18::OPS_PER_ACTIVE };
+    let expect = eb16::oracle();
+
+    let mut reports = Vec::new();
+    for tracing in [false, true] {
+        let server = eb18::start_server(tracing);
+        let report = eb18::run(&server, conns, active, ops, &expect);
+        println!("EB18 {:11} {}", eb18::state_name(tracing), report.line());
+        eb18::verify_observability(&server, tracing);
+        reports.push(report);
+        server.stop();
+    }
+    let overhead = eb18::overhead(&reports[1], &reports[0]);
+    println!(
+        "EB18 tracing overhead: {:+.2}% p50 (budget {:.0}%)",
+        overhead * 100.0,
+        eb18::OVERHEAD_BUDGET * 100.0
+    );
+
+    // A Criterion-timed slice of the same story: one prepared EXECUTE
+    // round trip per observability state.
+    let mut group = c.benchmark_group("EB18/roundtrip");
+    group.measurement_time(Duration::from_millis(400));
+    for tracing in [false, true] {
+        let server = eb18::start_server(tracing);
+        let skeleton = gpml_bench::server::wire_skeleton();
+        let owners = gpml_bench::prepared::owners();
+        let mut client = gpml_server::client::Client::connect(server.addr()).expect("connect");
+        let handle = client.prepare(&skeleton).expect("prepare").handle;
+        let got = gpml_bench::server::execute_bound(&mut client, handle, &owners[0])
+            .expect("probe execute");
+        assert_eq!(got, expect, "{} diverged", eb18::state_name(tracing));
+        let mut at = 0usize;
+        group.bench_function(eb18::state_name(tracing), |b| {
+            b.iter(|| {
+                let owner = &owners[at % owners.len()];
+                at += 1;
+                gpml_bench::server::execute_bound(&mut client, handle, owner).expect("execute")
+            })
+        });
+        server.stop();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_observability);
+criterion_main!(benches);

@@ -728,6 +728,45 @@ fn main() {
         }
     }
 
+    // -- EB18: observability overhead ---------------------------------------
+    heading(
+        "EB18",
+        "observability overhead: tracing-on vs tracing-off on the EB16 mix",
+    );
+    {
+        use gpml_bench::observability as eb18;
+        use gpml_bench::server_concurrency as eb16;
+
+        let expect = eb16::oracle();
+        let (conns, active) = eb18::POPULATION;
+        let mut reports = Vec::new();
+        for tracing in [false, true] {
+            let server = eb18::start_server(tracing);
+            // run asserts wire == in-process before timing, and
+            // verify_observability asserts the ring/histograms behave
+            // per state, so a completed pass *is* the correctness check.
+            let report = eb18::run(&server, conns, active, eb18::OPS_PER_ACTIVE, &expect);
+            println!("    {:11} {}", eb18::state_name(tracing), report.line());
+            eb18::verify_observability(&server, tracing);
+            check(
+                &format!(
+                    "{}: wire equals in-process, ring/histograms consistent",
+                    eb18::state_name(tracing)
+                ),
+                "true",
+                true,
+            );
+            reports.push(report);
+            server.stop();
+        }
+        let overhead = eb18::overhead(&reports[1], &reports[0]);
+        println!(
+            "    tracing overhead: {:+.2}% p50 (budget {:.0}% on quiet hardware)",
+            overhead * 100.0,
+            eb18::OVERHEAD_BUDGET * 100.0
+        );
+    }
+
     println!("\nAll experiments reproduced. See EXPERIMENTS.md for the index.");
 }
 

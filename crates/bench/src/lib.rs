@@ -10,6 +10,7 @@
 
 pub mod flatplan;
 pub mod joins;
+pub mod observability;
 pub mod prepared;
 pub mod semijoin;
 pub mod server;

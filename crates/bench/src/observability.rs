@@ -1,0 +1,128 @@
+//! Shared EB18 workload definitions — observability overhead.
+//!
+//! EB18 answers the question every always-on tracing layer must answer:
+//! what does it cost when it is on, and is it actually free when it is
+//! off? The workload is EB16's mixed-traffic shape (8 active
+//! connections streaming prepared `EXECUTE`s while an idle population
+//! sits on the same server), run twice against the event-loop model:
+//!
+//! * **tracing off** — `--trace-ring 0`, no slow-query log. The request
+//!   path pays the always-on lane histograms (a handful of relaxed
+//!   atomic adds) and one `enabled()` branch, nothing else;
+//! * **tracing on** — the default trace ring plus a slow-query log armed
+//!   at a threshold no request crosses, so every request builds its full
+//!   span tree and checks the slow-log gate without log I/O muddying the
+//!   timing.
+//!
+//! Both consumers of EB18 (`benches/observability.rs` and the
+//! `paper-report` binary) build from here, so the bench and the report
+//! measure the same thing (mirrors how `server_concurrency.rs` backs
+//! EB16). Correctness is asserted before timing exactly as in EB16, and
+//! [`verify_observability`] additionally checks that the traced server
+//! really traced (ring drains spans, lane histograms counted) and the
+//! untraced server really didn't.
+
+use gpml_server::client::Client;
+use gpml_server::server::{serve, ServeModel, ServerConfig, ServerHandle};
+
+use crate::prepared;
+use crate::server_concurrency::{self as eb16, MixReport};
+
+/// The EB18 population: EB16's large mix — 256 connections, 8 active.
+pub const POPULATION: (usize, usize) = (256, 8);
+
+/// Requests each active connection issues per measurement (more than
+/// EB16's default: the measured effect is small, so the batch is long).
+pub const OPS_PER_ACTIVE: usize = 80;
+
+/// The overhead budget tracing must stay inside on quiet multi-core
+/// hardware, as a fraction (0.03 = 3%). Reports compare against this;
+/// smoke runs do not assert it (a loaded CI box is not a benchmark).
+pub const OVERHEAD_BUDGET: f64 = 0.03;
+
+/// Starts an EB18 server over the EB16 graph, with the observability
+/// layer fully armed (`tracing = true`) or fully off (`tracing = false`).
+pub fn start_server(tracing: bool) -> ServerHandle {
+    let config = if tracing {
+        ServerConfig {
+            // Slow log armed but never crossed: requests pay the
+            // threshold check, not the log write.
+            slow_query_ms: Some(60_000),
+            ..ServerConfig::default()
+        }
+    } else {
+        ServerConfig {
+            trace_ring: 0,
+            slow_query_ms: None,
+            ..ServerConfig::default()
+        }
+    };
+    serve(prepared::network100(), config).expect("bind loopback server")
+}
+
+/// Stable display name for a tracing state.
+pub fn state_name(tracing: bool) -> &'static str {
+    if tracing {
+        "tracing-on"
+    } else {
+        "tracing-off"
+    }
+}
+
+/// Runs one EB18 measurement — EB16's `run_mix` against a server whose
+/// observability state is baked into `server`.
+pub fn run(
+    server: &ServerHandle,
+    conns: usize,
+    active: usize,
+    ops_per_active: usize,
+    expect: &gql::QueryResult,
+) -> MixReport {
+    eb16::run_mix(
+        server,
+        ServeModel::EventLoop,
+        conns,
+        active,
+        ops_per_active,
+        expect,
+    )
+}
+
+/// Post-measurement functional check: a traced server's ring drains
+/// span trees and its execute lane counted every request; an untraced
+/// server's ring stays empty while the lane histograms still count.
+/// Panics on violation — this is the EB18 `--test` assertion.
+pub fn verify_observability(server: &ServerHandle, tracing: bool) {
+    let mut c = Client::connect(server.addr()).expect("connect verifier");
+    let metrics = c.metrics().expect("metrics");
+    let count: u64 = metrics
+        .lines()
+        .find(|l| l.starts_with("gpmld_execute_latency_us_count "))
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|v| v.parse().ok())
+        .expect("execute lane count in METRICS");
+    assert!(
+        count > 0,
+        "lane histograms must record regardless of tracing state"
+    );
+    let traces = c.trace_last(8).expect("trace last");
+    if tracing {
+        assert!(
+            traces.iter().any(|t| t.contains("\"name\":\"execute\"")),
+            "traced server produced no execute spans: {traces:?}"
+        );
+    } else {
+        assert!(
+            traces.is_empty(),
+            "tracing-off server retained traces: {traces:?}"
+        );
+    }
+}
+
+/// Relative cost of tracing: `(on - off) / off` over a throughput-equal
+/// pair of reports, using per-request p50 as the stable signal.
+pub fn overhead(on: &MixReport, off: &MixReport) -> f64 {
+    let on_us = on.p50.as_secs_f64();
+    let off_us = off.p50.as_secs_f64();
+    (on_us - off_us) / off_us.max(1e-9)
+}

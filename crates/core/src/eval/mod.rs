@@ -215,6 +215,7 @@ pub struct StageCounters {
     rows_pruned: AtomicU64,
     instrs_dispatched: AtomicU64,
     backtrack_truncations: AtomicU64,
+    micros: AtomicU64,
 }
 
 impl StageCounters {
@@ -253,6 +254,18 @@ impl StageCounters {
     /// stack watermark (zero under the legacy engine).
     pub fn backtrack_truncations(&self) -> u64 {
         self.backtrack_truncations.load(Ordering::Relaxed)
+    }
+
+    /// Folds in wall time spent matching this stage. Under parallel
+    /// execution each partition's worker adds its own share, so this is
+    /// *work* time: it can exceed the stage's wall-clock span.
+    pub(crate) fn add_micros(&self, micros: u64) {
+        self.micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Microseconds spent matching this stage, summed over partitions.
+    pub fn micros(&self) -> u64 {
+        self.micros.load(Ordering::Relaxed)
     }
 }
 

@@ -415,13 +415,12 @@ impl PreparedQuery {
             // start/endpoint filters inside the next stage's search, so
             // bindings that cannot join are never generated.
             let filters = self.semi_join_filters(&join, stats, &est, i, &placed, &keys);
-            let bindings = stage.execute(
-                graph,
-                &self.opts,
-                params,
-                filters.as_ref(),
-                profile.and_then(|p| p.stage(i)),
-            )?;
+            let counters = profile.and_then(|p| p.stage(i));
+            let started = counters.map(|_| std::time::Instant::now());
+            let bindings = stage.execute(graph, &self.opts, params, filters.as_ref(), counters)?;
+            if let (Some(c), Some(t)) = (counters, started) {
+                c.add_micros(t.elapsed().as_micros() as u64);
+            }
             join.merge_stage(&stage.expr, &bindings, &keys, self.opts.hash_join);
             placed.push(i);
         }
@@ -561,14 +560,20 @@ impl PreparedQuery {
                 let idx = order[pos];
                 let stage = &self.plan.stages[idx];
                 let filters = filter_slots[pos].read().expect("filter slot").clone();
-                stage.matches_from(
+                let counters = profile.and_then(|p| p.stage(idx));
+                let started = counters.map(|_| std::time::Instant::now());
+                let out = stage.matches_from(
                     graph,
                     &self.opts,
                     params,
                     &starts[chunks[u % per_stage].clone()],
                     filters.as_deref(),
-                    profile.and_then(|p| p.stage(idx)),
-                )
+                    counters,
+                );
+                if let (Some(c), Some(t)) = (counters, started) {
+                    c.add_micros(t.elapsed().as_micros() as u64);
+                }
+                out
             },
             |u, out| {
                 let pos = u / per_stage;

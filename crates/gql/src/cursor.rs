@@ -25,6 +25,7 @@ use crate::{GqlValue, QueryResult};
 pub struct ResultCursor {
     columns: Vec<String>,
     rows: VecDeque<Vec<GqlValue>>,
+    origin: u64,
 }
 
 /// The exact number of bytes `row` occupies inside an encoded result
@@ -43,7 +44,21 @@ impl ResultCursor {
         ResultCursor {
             columns: result.columns,
             rows: result.rows.into(),
+            origin: 0,
         }
+    }
+
+    /// Tags the cursor with an opaque caller token (gpmld stores the
+    /// originating request's trace id here, so later `FETCH` drains can
+    /// credit their encode/stream time back to the request that produced
+    /// the table). 0 means untagged.
+    pub fn set_origin(&mut self, origin: u64) {
+        self.origin = origin;
+    }
+
+    /// The opaque origin tag set by [`ResultCursor::set_origin`].
+    pub fn origin(&self) -> u64 {
+        self.origin
     }
 
     /// The table's column names (every chunk carries the same header).

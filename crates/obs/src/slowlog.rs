@@ -1,0 +1,124 @@
+//! Slow-query log: one structured JSONL line per request that exceeds a
+//! latency threshold.
+//!
+//! The line is exactly [`Trace::to_json`] — trace id, label, skeleton
+//! text, binding count, cache hit/miss (as tags), and the span tree with
+//! per-stage counters and per-span micros — so the slow log and the
+//! `TRACE LAST n` wire verb speak the same schema.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::trace::Trace;
+
+/// Where slow-query lines go.
+#[derive(Debug)]
+pub enum SlowLogSink {
+    /// Write to the server process's stderr.
+    Stderr,
+    /// Append to a JSONL file (`--trace-file`).
+    File(Mutex<File>),
+}
+
+/// The slow-query log: a threshold in microseconds plus a sink.
+#[derive(Debug)]
+pub struct SlowLog {
+    threshold_us: u64,
+    sink: SlowLogSink,
+}
+
+impl SlowLog {
+    /// A slow log that emits traces slower than `threshold_ms`
+    /// milliseconds (0 logs every traced request) to stderr, or to
+    /// `path` as append-only JSONL when given.
+    pub fn new(threshold_ms: u64, path: Option<&Path>) -> io::Result<SlowLog> {
+        let sink = match path {
+            None => SlowLogSink::Stderr,
+            Some(p) => SlowLogSink::File(Mutex::new(
+                OpenOptions::new().create(true).append(true).open(p)?,
+            )),
+        };
+        Ok(SlowLog {
+            threshold_us: threshold_ms.saturating_mul(1000),
+            sink,
+        })
+    }
+
+    /// The threshold in microseconds.
+    pub fn threshold_us(&self) -> u64 {
+        self.threshold_us
+    }
+
+    /// Emits one JSONL line for `trace` if it crossed the threshold.
+    /// Write errors are swallowed: losing a log line must never fail a
+    /// request.
+    pub fn maybe_log(&self, trace: &Trace) {
+        if trace.total_us < self.threshold_us {
+            return;
+        }
+        let line = trace.to_json();
+        match &self.sink {
+            SlowLogSink::Stderr => {
+                let _ = writeln!(io::stderr().lock(), "SLOW {line}");
+            }
+            SlowLogSink::File(f) => {
+                if let Ok(mut f) = f.lock() {
+                    let _ = writeln!(f, "{line}");
+                }
+            }
+        }
+    }
+}
+
+/// Escapes a string for embedding inside a JSON string literal: quotes,
+/// backslashes, and control characters (as `\u00XX`).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    #[test]
+    fn escape_handles_quotes_and_control() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn threshold_gates_file_lines() {
+        let dir = std::env::temp_dir().join(format!("gpml_obs_slow_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("slow.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let log = SlowLog::new(1, Some(&path)).unwrap(); // 1ms threshold
+        let mut fast = TraceBuilder::new(1, "QUERY").finish();
+        fast.total_us = 10;
+        log.maybe_log(&fast);
+        let mut slow = TraceBuilder::new(2, "QUERY").finish();
+        slow.total_us = 5_000;
+        log.maybe_log(&slow);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"trace_id\":2"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

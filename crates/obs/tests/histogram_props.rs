@@ -1,0 +1,168 @@
+//! Property tests for the log₂ latency histogram: merge algebra,
+//! quantile sanity, and loss-free concurrent recording.
+//!
+//! These are the guarantees the server leans on: worker-local histograms
+//! can be folded in any grouping/order (merge is associative and
+//! commutative), quantiles derived from a snapshot are monotone and
+//! bracket the recorded samples, and recording from many threads drops
+//! nothing.
+
+use proptest::prelude::*;
+
+use gpml_obs::metrics::{bucket_upper_bound, Histogram, HistogramSnapshot, BUCKETS};
+
+/// Latency-shaped samples: mostly small values with a heavy tail, so the
+/// cases exercise the low buckets, the middle, and the `+Inf` overflow.
+fn sample() -> impl Strategy<Value = u64> {
+    prop_oneof![0u64..16, 0u64..4_096, 0u64..10_000_000, 0u64..=u64::MAX,]
+}
+
+fn filled(samples: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// Reference aggregates computed the slow way, straight from the samples.
+fn reference(samples: &[u64]) -> (u64, u64, u64) {
+    (
+        samples.iter().copied().fold(0u64, u64::wrapping_add),
+        samples.len() as u64,
+        samples.iter().copied().max().unwrap_or(0),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)` and `a ⊕ b == b ⊕ a`, snapshot for
+    /// snapshot — the property that makes per-worker histograms foldable
+    /// into one scrape in any order.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in proptest::collection::vec(sample(), 0..40),
+        b in proptest::collection::vec(sample(), 0..40),
+        c in proptest::collection::vec(sample(), 0..40),
+    ) {
+        let left = filled(&a);
+        left.merge(&filled(&b));
+        left.merge(&filled(&c));
+
+        let bc = filled(&b);
+        bc.merge(&filled(&c));
+        let right = filled(&a);
+        right.merge(&bc);
+
+        prop_assert_eq!(left.snapshot(), right.snapshot());
+
+        let ab = filled(&a);
+        ab.merge(&filled(&b));
+        let ba = filled(&b);
+        ba.merge(&filled(&a));
+        prop_assert_eq!(ab.snapshot(), ba.snapshot());
+
+        // Merging equals recording the concatenation.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        let direct = filled(&all);
+        prop_assert_eq!(direct.snapshot(), ab.snapshot());
+    }
+
+    /// Quantiles are monotone in `q`, bracket the true extremes, and the
+    /// p100 estimate never exceeds one bucket's rounding above the max.
+    #[test]
+    fn quantiles_are_monotone_and_bracket_samples(
+        samples in proptest::collection::vec(sample(), 1..120),
+        qs in proptest::collection::vec(0u64..=100, 2..8),
+    ) {
+        let snap = filled(&samples).snapshot();
+        let mut qs: Vec<f64> = qs.iter().map(|&q| q as f64 / 100.0).collect();
+        qs.sort_by(f64::total_cmp);
+        for pair in qs.windows(2) {
+            prop_assert!(
+                snap.quantile(pair[0]) <= snap.quantile(pair[1]),
+                "quantile({}) > quantile({})", pair[0], pair[1]
+            );
+        }
+        let lo = *samples.iter().min().unwrap();
+        let hi = *samples.iter().max().unwrap();
+        // Every quantile is >= the smallest sample (bucket upper bounds
+        // only round up) and <= the p100 estimate, which itself is at
+        // most the recorded max rounded up to its bucket bound.
+        let p100 = snap.quantile(1.0);
+        for &q in &qs {
+            let v = snap.quantile(q);
+            prop_assert!(v >= lo, "quantile({q}) = {v} < min {lo}");
+            prop_assert!(v <= p100);
+        }
+        prop_assert!(p100 >= hi);
+        let cap = if hi.leading_zeros() == 0 || (BUCKETS - 1) as u32 <= 64 - hi.leading_zeros() {
+            snap.max // overflow bucket reports the exact max
+        } else {
+            bucket_upper_bound((64 - hi.leading_zeros()) as usize)
+        };
+        prop_assert!(p100 <= cap.max(hi), "p100 {p100} above bucket cap {cap}");
+    }
+
+    /// Snapshot aggregates equal the slow-path reference computed from
+    /// the raw samples, and the bucket counts total the sample count.
+    #[test]
+    fn snapshot_matches_reference(
+        samples in proptest::collection::vec(sample(), 0..120),
+    ) {
+        let snap = filled(&samples).snapshot();
+        let (sum, count, max) = reference(&samples);
+        prop_assert_eq!(snap.sum, sum);
+        prop_assert_eq!(snap.count, count);
+        prop_assert_eq!(snap.max, max);
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), count);
+    }
+
+    /// Concurrent recording from 2, 4, and 8 threads loses nothing: the
+    /// final snapshot is identical to recording the same samples from
+    /// one thread.
+    #[test]
+    fn concurrent_recording_is_loss_free(
+        samples in proptest::collection::vec(sample(), 8..160),
+    ) {
+        let expected = filled(&samples).snapshot();
+        for threads in [2usize, 4, 8] {
+            let h = Histogram::new();
+            let chunk = samples.len().div_ceil(threads);
+            let h = &h;
+            std::thread::scope(|scope| {
+                for shard in samples.chunks(chunk) {
+                    scope.spawn(move || {
+                        for &v in shard {
+                            h.record(v);
+                        }
+                    });
+                }
+            });
+            prop_assert_eq!(
+                h.snapshot(),
+                expected.clone(),
+                "{} threads diverged", threads
+            );
+        }
+    }
+}
+
+/// The cumulative-bucket invariant Prometheus consumers rely on, checked
+/// against a deterministic spread of one sample per finite bucket.
+#[test]
+fn one_sample_per_bucket_is_cumulative() {
+    let h = Histogram::new();
+    h.record(0);
+    for i in 0..BUCKETS - 2 {
+        h.record(1u64 << i); // smallest value of bucket i + 1
+    }
+    h.record(u64::MAX); // overflow bucket
+    let snap: HistogramSnapshot = h.snapshot();
+    assert!(snap.buckets.iter().all(|&c| c == 1));
+    assert_eq!(snap.count, BUCKETS as u64);
+    assert_eq!(snap.quantile(0.0), 0);
+    assert_eq!(snap.quantile(1.0), u64::MAX);
+}

@@ -255,6 +255,28 @@ impl Client {
         }
     }
 
+    /// `METRICS`: the server's metrics registry in Prometheus text
+    /// exposition — counters, gauges, and the log₂-bucket latency
+    /// histograms (`…_bucket{le=…}` / `…_sum` / `…_count` lines).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.roundtrip(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// `TRACE LAST n`: drains up to `n` of the server's most recent
+    /// request traces, oldest first, one JSON document per entry.
+    /// Draining is destructive — a second call returns only traces that
+    /// completed in between. Empty when the server runs with
+    /// `--trace-ring 0`.
+    pub fn trace_last(&mut self, n: u64) -> Result<Vec<String>, ClientError> {
+        match self.roundtrip(&Request::TraceLast { n })? {
+            Response::Traces { traces } => Ok(traces),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Ships one mutation. Outside a transaction it commits
     /// immediately; inside one it queues. Names, labels, and property
     /// keys are validated against the wire grammar before anything is

@@ -21,13 +21,14 @@
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 
 use gpml_storage::Mutation;
 use gql::{PreparedGqlQuery, QueryResult, ResultCursor};
 use property_graph::Value;
 
 use crate::protocol::{ErrorCode, Request, Response, MAX_FRAME};
-use crate::server::Shared;
+use crate::server::{Lane, ObsCtx, Shared};
 
 /// Headroom reserved inside [`MAX_FRAME`] for a chunk frame's envelope
 /// (the `OK ROWS …` line and the header line). Chunk row bytes are
@@ -67,12 +68,16 @@ pub(crate) enum WorkOutput {
     Cursor(QueryResult),
 }
 
-/// [`ConnState::classify`]'s verdict on one frame.
+/// [`ConnState::classify`]'s verdict on one frame. Each arm carries the
+/// request's observability context (lane clock + optional span builder);
+/// the serving model threads it to [`Shared::encode_response_ctx`] —
+/// through the worker channels for dispatched work — so every response
+/// lands in its latency lane and traced requests retire into the ring.
 pub(crate) enum Action {
     /// Answer now, no worker involved.
-    Respond(Response),
+    Respond(Response, Option<ObsCtx>),
     /// Dispatch to the worker pool (or run inline, threaded model).
-    Work(WorkItem),
+    Work(WorkItem, Option<ObsCtx>),
 }
 
 /// Connection-local request state: prepared handles and open cursors.
@@ -109,136 +114,213 @@ impl ConnState {
     pub(crate) fn classify(&mut self, shared: &Shared, payload: &str) -> Action {
         let request = match Request::parse(payload) {
             Ok(r) => r,
-            Err((code, message)) => return Action::Respond(Response::Error { code, message }),
+            Err((code, message)) => {
+                return Action::Respond(Response::Error { code, message }, None)
+            }
         };
         let s = shared.stats();
         match request {
-            Request::Hello { client: _ } => Action::Respond(shared.hello()),
+            Request::Hello { client: _ } => Action::Respond(shared.hello(), None),
             Request::Query { text } => {
                 s.queries.fetch_add(1, Ordering::Relaxed);
-                Action::Work(WorkItem::Query {
-                    text,
-                    cursor: false,
-                })
+                let mut ctx = shared.begin_request(Lane::Query, "QUERY");
+                if let Some(tb) = ctx.trace_mut() {
+                    tb.tag("skeleton", text.clone());
+                }
+                Action::Work(
+                    WorkItem::Query {
+                        text,
+                        cursor: false,
+                    },
+                    Some(ctx),
+                )
             }
             Request::QueryCursor { text } => {
                 s.queries.fetch_add(1, Ordering::Relaxed);
-                Action::Work(WorkItem::Query { text, cursor: true })
+                let mut ctx = shared.begin_request(Lane::Query, "QUERY CURSOR");
+                if let Some(tb) = ctx.trace_mut() {
+                    tb.tag("skeleton", text.clone());
+                }
+                Action::Work(WorkItem::Query { text, cursor: true }, Some(ctx))
             }
             Request::Prepare { text } => {
                 s.prepares.fetch_add(1, Ordering::Relaxed);
-                Action::Work(WorkItem::Prepare { text })
+                let mut ctx = shared.begin_request(Lane::Prepare, "PREPARE");
+                if let Some(tb) = ctx.trace_mut() {
+                    tb.tag("skeleton", text.clone());
+                }
+                Action::Work(WorkItem::Prepare { text }, Some(ctx))
             }
             Request::Execute { handle, params } => {
                 s.executes.fetch_add(1, Ordering::Relaxed);
-                self.dispatch_execute(handle, params, false)
+                self.dispatch_execute(shared, handle, params, false)
             }
             Request::ExecuteCursor { handle, params } => {
                 s.executes.fetch_add(1, Ordering::Relaxed);
-                self.dispatch_execute(handle, params, true)
+                self.dispatch_execute(shared, handle, params, true)
             }
             Request::Fetch { cursor, n } => {
                 s.fetches.fetch_add(1, Ordering::Relaxed);
-                Action::Respond(self.fetch(shared, cursor, n))
+                let started = Instant::now();
+                let (response, origin, rows) = self.fetch(shared, cursor, n);
+                Action::Respond(
+                    response,
+                    Some(ObsCtx::Fetch {
+                        origin,
+                        rows,
+                        started,
+                    }),
+                )
             }
             Request::Close { handle } => {
                 s.closes.fetch_add(1, Ordering::Relaxed);
-                Action::Respond(match self.handles.remove(&handle) {
-                    Some(_) => Response::Closed { handle },
-                    None => Response::Error {
-                        code: ErrorCode::Handle,
-                        message: format!("unknown handle {handle}"),
+                Action::Respond(
+                    match self.handles.remove(&handle) {
+                        Some(_) => Response::Closed { handle },
+                        None => Response::Error {
+                            code: ErrorCode::Handle,
+                            message: format!("unknown handle {handle}"),
+                        },
                     },
-                })
+                    None,
+                )
             }
             Request::CloseCursor { cursor } => {
                 s.closes.fetch_add(1, Ordering::Relaxed);
-                Action::Respond(match self.cursors.remove(&cursor) {
-                    Some(_) => {
-                        s.cursors_open.fetch_sub(1, Ordering::Relaxed);
-                        Response::CursorClosed { cursor }
-                    }
-                    None => Response::Error {
-                        code: ErrorCode::Handle,
-                        message: format!("unknown cursor {cursor}"),
+                Action::Respond(
+                    match self.cursors.remove(&cursor) {
+                        Some(_) => {
+                            s.cursors_open.fetch_sub(1, Ordering::Relaxed);
+                            Response::CursorClosed { cursor }
+                        }
+                        None => Response::Error {
+                            code: ErrorCode::Handle,
+                            message: format!("unknown cursor {cursor}"),
+                        },
                     },
-                })
+                    None,
+                )
             }
-            Request::Stats => Action::Respond(shared.stats_response(self.handles_open())),
+            Request::Stats => Action::Respond(shared.stats_response(self.handles_open()), None),
+            Request::Metrics => Action::Respond(shared.metrics_response(), None),
+            Request::TraceLast { n } => Action::Respond(shared.traces_response(n), None),
             Request::Mutate { mutation } => {
                 s.mutations.fetch_add(1, Ordering::Relaxed);
                 match &mut self.txn {
                     Some(buffer) => {
                         buffer.push(mutation);
-                        Action::Respond(Response::Queued {
-                            pending: buffer.len() as u64,
-                        })
+                        Action::Respond(
+                            Response::Queued {
+                                pending: buffer.len() as u64,
+                            },
+                            None,
+                        )
                     }
-                    None => Action::Work(WorkItem::Commit {
-                        mutations: vec![mutation],
-                    }),
+                    None => Action::Work(
+                        WorkItem::Commit {
+                            mutations: vec![mutation],
+                        },
+                        Some(shared.begin_request(Lane::Commit, "MUTATE")),
+                    ),
                 }
             }
-            Request::Begin => Action::Respond(match self.txn {
-                Some(_) => Response::Error {
-                    code: ErrorCode::Mutate,
-                    message: "transaction already open (COMMIT or ROLLBACK first)".to_owned(),
+            Request::Begin => Action::Respond(
+                match self.txn {
+                    Some(_) => Response::Error {
+                        code: ErrorCode::Mutate,
+                        message: "transaction already open (COMMIT or ROLLBACK first)".to_owned(),
+                    },
+                    None => {
+                        self.txn = Some(Vec::new());
+                        Response::Begun
+                    }
                 },
-                None => {
-                    self.txn = Some(Vec::new());
-                    Response::Begun
-                }
-            }),
+                None,
+            ),
             Request::Commit => match self.txn.take() {
                 Some(mutations) => {
                     s.mutations.fetch_add(1, Ordering::Relaxed);
-                    Action::Work(WorkItem::Commit { mutations })
+                    Action::Work(
+                        WorkItem::Commit { mutations },
+                        Some(shared.begin_request(Lane::Commit, "COMMIT")),
+                    )
                 }
-                None => Action::Respond(Response::Error {
-                    code: ErrorCode::Mutate,
-                    message: "no open transaction (BEGIN first)".to_owned(),
-                }),
+                None => Action::Respond(
+                    Response::Error {
+                        code: ErrorCode::Mutate,
+                        message: "no open transaction (BEGIN first)".to_owned(),
+                    },
+                    None,
+                ),
             },
-            Request::Rollback => Action::Respond(match self.txn.take() {
-                Some(buffer) => Response::RolledBack {
-                    dropped: buffer.len() as u64,
+            Request::Rollback => Action::Respond(
+                match self.txn.take() {
+                    Some(buffer) => Response::RolledBack {
+                        dropped: buffer.len() as u64,
+                    },
+                    None => Response::Error {
+                        code: ErrorCode::Mutate,
+                        message: "no open transaction (BEGIN first)".to_owned(),
+                    },
                 },
-                None => Response::Error {
-                    code: ErrorCode::Mutate,
-                    message: "no open transaction (BEGIN first)".to_owned(),
-                },
-            }),
+                None,
+            ),
         }
     }
 
     fn dispatch_execute(
         &mut self,
+        shared: &Shared,
         handle: u64,
         params: Vec<(String, Value)>,
         cursor: bool,
     ) -> Action {
         match self.handles.get(&handle) {
-            Some(prepared) => Action::Work(WorkItem::Execute {
-                prepared: Arc::clone(prepared),
-                params,
-                cursor,
-            }),
-            None => Action::Respond(Response::Error {
-                code: ErrorCode::Handle,
-                message: format!("unknown handle {handle} (PREPARE first, or already CLOSEd)"),
-            }),
+            Some(prepared) => {
+                let label = if cursor { "EXECUTE CURSOR" } else { "EXECUTE" };
+                let mut ctx = shared.begin_request(Lane::Execute, label);
+                if let Some(tb) = ctx.trace_mut() {
+                    tb.tag("handle", handle.to_string());
+                    tb.tag("bindings", params.len().to_string());
+                }
+                Action::Work(
+                    WorkItem::Execute {
+                        prepared: Arc::clone(prepared),
+                        params,
+                        cursor,
+                    },
+                    Some(ctx),
+                )
+            }
+            None => Action::Respond(
+                Response::Error {
+                    code: ErrorCode::Handle,
+                    message: format!("unknown handle {handle} (PREPARE first, or already CLOSEd)"),
+                },
+                None,
+            ),
         }
     }
 
     /// Serves one `FETCH`. The chunk is byte-budgeted under the frame
-    /// cap; an exhausted cursor is freed on its `DONE` chunk.
-    fn fetch(&mut self, shared: &Shared, cursor: u64, n: u64) -> Response {
+    /// cap; an exhausted cursor is freed on its `DONE` chunk. Also
+    /// returns the cursor's origin tag (the parking request's trace id;
+    /// 0 if untraced or unknown) and the rows drained, so the drain can
+    /// be credited back to the originating trace.
+    fn fetch(&mut self, shared: &Shared, cursor: u64, n: u64) -> (Response, u64, u64) {
         let Some(cur) = self.cursors.get_mut(&cursor) else {
-            return Response::Error {
-                code: ErrorCode::Handle,
-                message: format!("unknown cursor {cursor} (opened with QUERY/EXECUTE … CURSOR?)"),
-            };
+            return (
+                Response::Error {
+                    code: ErrorCode::Handle,
+                    message: format!(
+                        "unknown cursor {cursor} (opened with QUERY/EXECUTE … CURSOR?)"
+                    ),
+                },
+                0,
+                0,
+            );
         };
+        let origin = cur.origin();
         let header: usize = cur.columns().iter().map(|c| c.len() * 2 + 1).sum();
         let budget = MAX_FRAME.saturating_sub(CHUNK_HEADROOM + header);
         let n = usize::try_from(n).unwrap_or(usize::MAX);
@@ -246,29 +328,45 @@ impl ConnState {
         if batch.is_empty() && !cur.is_done() {
             // The front row alone cannot fit one frame. The cursor stays
             // open (nothing was lost); the row itself is unreadable.
-            return Response::Error {
-                code: ErrorCode::Host,
-                message: format!(
-                    "cursor {cursor}: next row exceeds the {} MiB frame cap on its own",
-                    MAX_FRAME >> 20
-                ),
-            };
+            return (
+                Response::Error {
+                    code: ErrorCode::Host,
+                    message: format!(
+                        "cursor {cursor}: next row exceeds the {} MiB frame cap on its own",
+                        MAX_FRAME >> 20
+                    ),
+                },
+                origin,
+                0,
+            );
         }
         let more = !cur.is_done();
         if !more {
             self.cursors.remove(&cursor);
             shared.stats().cursors_open.fetch_sub(1, Ordering::Relaxed);
         }
-        Response::Rows {
-            cursor,
-            batch,
-            more,
-        }
+        let rows = batch.len() as u64;
+        (
+            Response::Rows {
+                cursor,
+                batch,
+                more,
+            },
+            origin,
+            rows,
+        )
     }
 
     /// Folds a worker's output into connection state and produces the
-    /// response frame.
-    pub(crate) fn finish(&mut self, shared: &Shared, output: WorkOutput) -> Response {
+    /// response frame. The request's [`ObsCtx`] rides along so a parked
+    /// cursor can be tagged with its originating trace id (`FETCH`
+    /// drains look the tag up to credit their time back).
+    pub(crate) fn finish(
+        &mut self,
+        shared: &Shared,
+        output: WorkOutput,
+        mut ctx: Option<&mut ObsCtx>,
+    ) -> Response {
         match output {
             WorkOutput::Response(r) => r,
             WorkOutput::Prepared(prepared) => {
@@ -284,7 +382,12 @@ impl ConnState {
                 self.next_cursor += 1;
                 let total = result.len() as u64;
                 let columns = result.columns.clone();
-                self.cursors.insert(cursor, ResultCursor::new(result));
+                let mut parked = ResultCursor::new(result);
+                if let Some(tb) = ctx.as_mut().and_then(|c| c.trace_mut()) {
+                    parked.set_origin(tb.id());
+                    tb.tag("cursor", "true");
+                }
+                self.cursors.insert(cursor, parked);
                 shared.stats().cursors_open.fetch_add(1, Ordering::Relaxed);
                 Response::Cursor {
                     cursor,

@@ -61,4 +61,4 @@ pub mod server;
 pub use client::{
     Client, ClientError, CommitAck, CursorHandle, MutateAck, PreparedHandle, RowChunk,
 };
-pub use server::{serve, serve_shared, ServeModel, ServerConfig, ServerHandle};
+pub use server::{serve, serve_shared, ServeModel, ServerConfig, ServerHandle, DEFAULT_TRACE_RING};

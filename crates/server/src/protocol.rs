@@ -25,6 +25,8 @@
 //! CLOSE <handle>                       drop a prepared handle
 //! CLOSE CURSOR <cursor>                drop a cursor early
 //! STATS                                server/cache/session counters
+//! METRICS                              Prometheus text exposition
+//! TRACE LAST <n>                       drain ≤n recent request traces
 //! INSERT NODE <name> [l1,l2]\nk\t<v>…  add a node (labels, prop lines)
 //! INSERT EDGE <name> <src> -> <dst> [l1,l2]\nk\t<v>…
 //!                                      add an edge (`--` = undirected)
@@ -48,6 +50,8 @@
 //! OK CLOSED <handle>
 //! OK CLOSED CURSOR <cursor>
 //! OK STATS\nkey=value...
+//! OK METRICS\n<Prometheus text exposition>
+//! OK TRACES <count>\n<one JSON trace per line>
 //! OK MUTATED <epoch> <applied>         commit durable; graph at <epoch>
 //! OK QUEUED <pending>                  buffered in the open transaction
 //! OK BEGUN                             transaction opened
@@ -247,6 +251,13 @@ pub enum Request {
     },
     /// Server, cache, and session counters.
     Stats,
+    /// Metrics registry contents as Prometheus text exposition.
+    Metrics,
+    /// Drain up to `n` of the most recent request traces.
+    TraceLast {
+        /// Maximum traces wanted (the ring may hold fewer).
+        n: u64,
+    },
     /// One graph write (`INSERT NODE` / `INSERT EDGE` / `SET` /
     /// `DELETE`). Outside a transaction it commits as a batch of one;
     /// inside one it is buffered until `COMMIT`.
@@ -281,6 +292,8 @@ impl Request {
             Request::Close { handle } => format!("CLOSE {handle}"),
             Request::CloseCursor { cursor } => format!("CLOSE CURSOR {cursor}"),
             Request::Stats => "STATS".to_owned(),
+            Request::Metrics => "METRICS".to_owned(),
+            Request::TraceLast { n } => format!("TRACE LAST {n}"),
             Request::Mutate { mutation } => serialize_mutation(mutation),
             Request::Begin => "BEGIN".to_owned(),
             Request::Commit => "COMMIT".to_owned(),
@@ -346,6 +359,13 @@ impl Request {
                 }),
             },
             "STATS" => Ok(Request::Stats),
+            "METRICS" => Ok(Request::Metrics),
+            "TRACE" => match words.next() {
+                Some("LAST") => Ok(Request::TraceLast {
+                    n: parse_handle(words.next()).map_err(proto)?,
+                }),
+                other => Err(proto(format!("TRACE wants LAST <n>, got {other:?}"))),
+            },
             "INSERT" => match words.next() {
                 Some("NODE") => {
                     let name = mut_token(words.next(), "node name").map_err(proto)?;
@@ -564,6 +584,16 @@ pub enum Response {
         /// `key=value` pairs (`cache.hits`, `sessions.active`, …).
         stats: Vec<(String, String)>,
     },
+    /// `OK METRICS`: the metrics registry in Prometheus text exposition.
+    Metrics {
+        /// The exposition body (`# HELP`/`# TYPE` lines, samples).
+        text: String,
+    },
+    /// `OK TRACES`: drained request traces, newest last.
+    Traces {
+        /// One JSON-encoded trace per entry (the slow-log line schema).
+        traces: Vec<String>,
+    },
     /// `OK MUTATED`: the commit was applied (and, under `--data-dir`,
     /// is durable in the WAL before this frame is sent).
     Mutated {
@@ -659,6 +689,15 @@ impl Response {
             Response::Closed { handle } => format!("OK CLOSED {handle}"),
             Response::CursorClosed { cursor } => format!("OK CLOSED CURSOR {cursor}"),
             Response::Stats { stats } => format!("OK STATS{}", kv_lines(stats)),
+            Response::Metrics { text } => format!("OK METRICS\n{text}"),
+            Response::Traces { traces } => {
+                let mut out = format!("OK TRACES {}", traces.len());
+                for t in traces {
+                    out.push('\n');
+                    out.push_str(t);
+                }
+                out
+            }
             Response::Mutated { epoch, applied } => format!("OK MUTATED {epoch} {applied}"),
             Response::Queued { pending } => format!("OK QUEUED {pending}"),
             Response::Begun => "OK BEGUN".to_owned(),
@@ -773,6 +812,27 @@ impl Response {
                 Some("STATS") => Ok(Response::Stats {
                     stats: parse_kv_lines(body),
                 }),
+                Some("METRICS") => Ok(Response::Metrics {
+                    text: body.to_owned(),
+                }),
+                Some("TRACES") => {
+                    let declared: usize = words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| format!("bad TRACES count in {line:?}"))?;
+                    let traces: Vec<String> = body
+                        .split('\n')
+                        .filter(|l| !l.is_empty())
+                        .map(str::to_owned)
+                        .collect();
+                    if traces.len() != declared {
+                        return Err(format!(
+                            "TRACES declared {declared} but carried {}",
+                            traces.len()
+                        ));
+                    }
+                    Ok(Response::Traces { traces })
+                }
                 Some("MUTATED") => {
                     let epoch = words
                         .next()
@@ -873,6 +933,29 @@ mod tests {
         });
         req_roundtrip(Request::Close { handle: 9 });
         req_roundtrip(Request::Stats);
+    }
+
+    #[test]
+    fn observability_verbs_roundtrip() {
+        req_roundtrip(Request::Metrics);
+        req_roundtrip(Request::TraceLast { n: 16 });
+        assert_eq!(Request::Metrics.serialize(), "METRICS");
+        assert_eq!(Request::TraceLast { n: 5 }.serialize(), "TRACE LAST 5");
+        assert_eq!(
+            Request::parse("TRACE").unwrap_err().0,
+            ErrorCode::Proto,
+            "TRACE without LAST is a typed error"
+        );
+        resp_roundtrip(Response::Metrics {
+            text: "# TYPE q histogram\nq_bucket{le=\"+Inf\"} 3\nq_sum 9\nq_count 3\n".into(),
+        });
+        resp_roundtrip(Response::Traces { traces: vec![] });
+        resp_roundtrip(Response::Traces {
+            traces: vec![
+                "{\"trace_id\":1,\"label\":\"QUERY\",\"total_us\":9,\"spans\":[]}".into(),
+                "{\"trace_id\":2,\"label\":\"EXECUTE\",\"total_us\":4,\"spans\":[]}".into(),
+            ],
+        });
     }
 
     #[test]

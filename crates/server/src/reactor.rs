@@ -54,7 +54,7 @@ use std::time::{Duration, Instant};
 
 use crate::conn::{Action, ConnState, WorkItem, WorkOutput};
 use crate::protocol::{ErrorCode, Response, MAX_FRAME};
-use crate::server::Shared;
+use crate::server::{ObsCtx, Shared};
 
 /// How long a graceful shutdown waits for in-flight queries to finish
 /// and their responses to flush before closing connections anyway.
@@ -203,9 +203,11 @@ impl Conn {
 
     /// Serializes a response into the bounded write queue, downgrading
     /// oversized results to the typed frame-cap error exactly like the
-    /// threaded model.
-    fn queue_response(&mut self, shared: &Shared, response: Response) {
-        let encoded = shared.encode_response(response);
+    /// threaded model. The request's observability context (if any) is
+    /// consumed here — response-ready is where the lane latency record
+    /// and the trace retire.
+    fn queue_response(&mut self, shared: &Shared, response: Response, ctx: Option<ObsCtx>) {
+        let encoded = shared.encode_response_ctx(response, ctx);
         self.write_buf
             .extend_from_slice(&(encoded.len() as u32).to_be_bytes());
         self.write_buf.extend_from_slice(encoded.as_bytes());
@@ -249,8 +251,8 @@ enum Event {
 /// connection, and the worker pool.
 pub(crate) fn run(listener: TcpListener, shared: Arc<Shared>, waker: Arc<Waker>) {
     let _ = listener.set_nonblocking(true);
-    let (job_tx, job_rx) = mpsc::channel::<(u64, WorkItem)>();
-    let (done_tx, done_rx) = mpsc::channel::<(u64, WorkOutput)>();
+    let (job_tx, job_rx) = mpsc::channel::<(u64, WorkItem, Option<ObsCtx>)>();
+    let (done_tx, done_rx) = mpsc::channel::<(u64, WorkOutput, Option<ObsCtx>)>();
     let workers = spawn_workers(&shared, job_rx, done_tx, &waker);
     let mut conns: HashMap<u64, Conn> = HashMap::new();
     let mut next_id: u64 = 0;
@@ -300,9 +302,9 @@ pub(crate) fn run(listener: TcpListener, shared: Arc<Shared>, waker: Arc<Waker>)
         }
 
         // Completions: fold worker output back into connection state.
-        while let Ok((id, output)) = done_rx.try_recv() {
+        while let Ok((id, output, ctx)) = done_rx.try_recv() {
             let verdict = match conns.get_mut(&id) {
-                Some(conn) => complete(&shared, conn, id, output, &job_tx),
+                Some(conn) => complete(&shared, conn, id, output, ctx, &job_tx),
                 None => continue, // closed during drain; no reader
             };
             if verdict == Verdict::Close {
@@ -487,6 +489,7 @@ fn accept_ready(
                     code: ErrorCode::Busy,
                     message: format!("server is at --max-conns ({max}); retry later"),
                 },
+                None,
             );
             // Flush opportunistically; most rejections fit the socket
             // buffer and close right here.
@@ -505,7 +508,7 @@ fn conn_event(
     id: u64,
     revents: i16,
     scratch: &mut [u8],
-    job_tx: &mpsc::Sender<(u64, WorkItem)>,
+    job_tx: &mpsc::Sender<(u64, WorkItem, Option<ObsCtx>)>,
 ) -> Verdict {
     if revents & (sys::POLLERR | sys::POLLNVAL) != 0 {
         if conn.busy {
@@ -541,7 +544,7 @@ fn read_ready(
     conn: &mut Conn,
     id: u64,
     scratch: &mut [u8],
-    job_tx: &mpsc::Sender<(u64, WorkItem)>,
+    job_tx: &mpsc::Sender<(u64, WorkItem, Option<ObsCtx>)>,
 ) -> Verdict {
     loop {
         if conn.read_buf.len() >= 4 + MAX_FRAME {
@@ -572,7 +575,7 @@ fn advance(
     shared: &Shared,
     conn: &mut Conn,
     id: u64,
-    job_tx: &mpsc::Sender<(u64, WorkItem)>,
+    job_tx: &mpsc::Sender<(u64, WorkItem, Option<ObsCtx>)>,
 ) -> Verdict {
     while conn.wants_read() {
         if conn.read_buf.len() < 4 {
@@ -597,15 +600,15 @@ fn advance(
         conn.last_progress = Instant::now();
         match std::str::from_utf8(&payload) {
             Ok(text) => match conn.state.classify(shared, text) {
-                Action::Respond(response) => {
-                    conn.queue_response(shared, response);
+                Action::Respond(response, ctx) => {
+                    conn.queue_response(shared, response, ctx);
                     if flush_verdict(conn) == Verdict::Close {
                         return Verdict::Close;
                     }
                 }
-                Action::Work(item) => {
+                Action::Work(item, ctx) => {
                     conn.busy = true;
-                    if job_tx.send((id, item)).is_err() {
+                    if job_tx.send((id, item, ctx)).is_err() {
                         return Verdict::Close; // workers gone: shutting down
                     }
                 }
@@ -617,6 +620,7 @@ fn advance(
                         code: ErrorCode::Proto,
                         message: "frame payload is not UTF-8".to_owned(),
                     },
+                    None,
                 );
                 if flush_verdict(conn) == Verdict::Close {
                     return Verdict::Close;
@@ -648,14 +652,15 @@ fn complete(
     conn: &mut Conn,
     id: u64,
     output: WorkOutput,
-    job_tx: &mpsc::Sender<(u64, WorkItem)>,
+    mut ctx: Option<ObsCtx>,
+    job_tx: &mpsc::Sender<(u64, WorkItem, Option<ObsCtx>)>,
 ) -> Verdict {
     conn.busy = false;
     if conn.dead {
         return Verdict::Close;
     }
-    let response = conn.state.finish(shared, output);
-    conn.queue_response(shared, response);
+    let response = conn.state.finish(shared, output, ctx.as_mut());
+    conn.queue_response(shared, response, ctx);
     if flush_verdict(conn) == Verdict::Close {
         return Verdict::Close;
     }
@@ -687,8 +692,8 @@ fn close_conn(shared: &Shared, conns: &mut HashMap<u64, Conn>, id: u64) {
 /// query, post the completion, and wake the reactor.
 fn spawn_workers(
     shared: &Arc<Shared>,
-    job_rx: mpsc::Receiver<(u64, WorkItem)>,
-    done_tx: mpsc::Sender<(u64, WorkOutput)>,
+    job_rx: mpsc::Receiver<(u64, WorkItem, Option<ObsCtx>)>,
+    done_tx: mpsc::Sender<(u64, WorkOutput, Option<ObsCtx>)>,
     waker: &Arc<Waker>,
 ) -> Vec<JoinHandle<()>> {
     let job_rx = Arc::new(Mutex::new(job_rx));
@@ -705,11 +710,11 @@ fn spawn_workers(
                         Ok(rx) => rx.recv(),
                         Err(_) => return,
                     };
-                    let Ok((id, item)) = job else { return };
+                    let Ok((id, item, mut ctx)) = job else { return };
                     // A panicking query must not take the pool (and
                     // every connection behind it) down with it.
                     let output = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        shared.run_work(item)
+                        shared.run_work(item, ctx.as_mut().and_then(ObsCtx::trace_mut))
                     }))
                     .unwrap_or_else(|_| {
                         WorkOutput::Response(Response::Error {
@@ -717,7 +722,7 @@ fn spawn_workers(
                             message: "internal error: query execution panicked".to_owned(),
                         })
                     });
-                    if done_tx.send((id, output)).is_err() {
+                    if done_tx.send((id, output, ctx)).is_err() {
                         return;
                     }
                     waker.wake();

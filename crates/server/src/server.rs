@@ -46,11 +46,12 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use gpml_core::eval::{EvalOptions, ExecProfile};
 use gpml_core::plan::{CacheStats, SharedPlanLru, DEFAULT_PLAN_CACHE_CAPACITY};
 use gpml_core::Params;
+use gpml_obs::{Histogram, Registry, SlowLog, TraceBuilder, TraceRing};
 use gpml_storage::{CommitError, GraphJournal, DEFAULT_SNAPSHOT_EVERY_BYTES};
 use gql::{GqlError, PreparedGqlQuery, QueryResult, Session};
 use property_graph::PropertyGraph;
@@ -120,7 +121,21 @@ pub struct ServerConfig {
     /// Compact (snapshot + truncate the WAL) when the WAL exceeds this
     /// many bytes. `0` keeps the built-in default.
     pub snapshot_every_bytes: u64,
+    /// How many completed request traces the in-memory ring retains for
+    /// `TRACE LAST n`. `0` disables span tracing entirely (lane latency
+    /// histograms stay on — they are a handful of atomic adds).
+    pub trace_ring: usize,
+    /// When set, requests slower than this many milliseconds emit one
+    /// JSON slow-query line (`0` logs every request). `None` disables
+    /// the slow-query log.
+    pub slow_query_ms: Option<u64>,
+    /// Where slow-query lines go: a JSONL file, or (when `None`) the
+    /// server's stderr.
+    pub trace_file: Option<PathBuf>,
 }
+
+/// Default [`ServerConfig::trace_ring`] capacity.
+pub const DEFAULT_TRACE_RING: usize = 64;
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
@@ -144,6 +159,9 @@ impl Default for ServerConfig {
             }),
             fsync_on_commit: true,
             snapshot_every_bytes: 0,
+            trace_ring: DEFAULT_TRACE_RING,
+            slow_query_ms: None,
+            trace_file: None,
         }
     }
 }
@@ -192,6 +210,79 @@ pub struct ServerStats {
     pub exec_backtrack_truncations: AtomicU64,
 }
 
+/// Which latency lane a request belongs to; each lane has its own
+/// log₂-bucket histogram in the metrics registry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Lane {
+    /// One-shot `QUERY` / `QUERY CURSOR`.
+    Query,
+    /// `PREPARE`.
+    Prepare,
+    /// `EXECUTE` / `EXECUTE … CURSOR`.
+    Execute,
+    /// A commit (bare mutation or transaction `COMMIT`).
+    Commit,
+}
+
+/// Per-request observability context, created at classify time and
+/// consumed when the response is encoded. Carries the request's lane,
+/// its wall clock, and (when tracing is on) the span builder — the
+/// builder travels to the worker and back through the job channels.
+pub(crate) enum ObsCtx {
+    /// A worked request: `QUERY`/`PREPARE`/`EXECUTE`/commit.
+    Request {
+        /// Latency lane for the histogram record at completion.
+        lane: Lane,
+        /// Classify-time clock; completion time includes worker queueing.
+        started: Instant,
+        /// The span builder, when tracing or slow-logging is on.
+        trace: Option<TraceBuilder>,
+    },
+    /// A `FETCH` drain: credited back to the originating request's trace.
+    Fetch {
+        /// Trace id of the request that parked the cursor (0 = untraced).
+        origin: u64,
+        /// Rows this drain took off the cursor.
+        rows: u64,
+        /// Drain start clock.
+        started: Instant,
+    },
+}
+
+impl ObsCtx {
+    /// The traveling span builder, if this request carries one.
+    pub(crate) fn trace_mut(&mut self) -> Option<&mut TraceBuilder> {
+        match self {
+            ObsCtx::Request { trace, .. } => trace.as_mut(),
+            ObsCtx::Fetch { .. } => None,
+        }
+    }
+}
+
+/// The server's observability surface: the metrics registry, the lane
+/// latency histograms, the trace ring, and the slow-query log.
+pub(crate) struct ServerObs {
+    registry: Registry,
+    lane_query: Arc<Histogram>,
+    lane_prepare: Arc<Histogram>,
+    lane_execute: Arc<Histogram>,
+    lane_fetch: Arc<Histogram>,
+    lane_commit: Arc<Histogram>,
+    ring: TraceRing,
+    slow: Option<SlowLog>,
+}
+
+impl ServerObs {
+    fn lane(&self, lane: Lane) -> &Histogram {
+        match lane {
+            Lane::Query => &self.lane_query,
+            Lane::Prepare => &self.lane_prepare,
+            Lane::Execute => &self.lane_execute,
+            Lane::Commit => &self.lane_commit,
+        }
+    }
+}
+
 /// Everything the serving threads need, shared by `Arc`.
 pub(crate) struct Shared {
     /// The mutable graph: reads pin `journal.snapshot()`, commits go
@@ -204,7 +295,8 @@ pub(crate) struct Shared {
     /// methods take `&self`.
     session: Session,
     cache: SharedPlanLru<PreparedGqlQuery>,
-    stats: ServerStats,
+    stats: Arc<ServerStats>,
+    obs: ServerObs,
     stopping: AtomicBool,
     persist: Option<PersistState>,
     waker: Arc<Waker>,
@@ -223,6 +315,40 @@ struct PersistState {
 impl Shared {
     pub(crate) fn stats(&self) -> &ServerStats {
         &self.stats
+    }
+
+    /// Opens the observability context for one worked request: always a
+    /// lane clock, plus a span builder when tracing or slow-logging is
+    /// enabled. With both off the cost is one branch and an `Instant`.
+    pub(crate) fn begin_request(&self, lane: Lane, label: &str) -> ObsCtx {
+        let trace = (self.obs.ring.enabled() || self.obs.slow.is_some())
+            .then(|| TraceBuilder::new(self.obs.ring.next_id(), label));
+        ObsCtx::Request {
+            lane,
+            started: Instant::now(),
+            trace,
+        }
+    }
+
+    /// Serves `METRICS`: the registry in Prometheus text exposition.
+    pub(crate) fn metrics_response(&self) -> Response {
+        Response::Metrics {
+            text: self.obs.registry.render(),
+        }
+    }
+
+    /// Serves `TRACE LAST n`: drains up to `n` recent traces as JSON.
+    pub(crate) fn traces_response(&self, n: u64) -> Response {
+        let n = usize::try_from(n).unwrap_or(usize::MAX);
+        Response::Traces {
+            traces: self
+                .obs
+                .ring
+                .take_last(n)
+                .iter()
+                .map(|t| t.to_json())
+                .collect(),
+        }
     }
 
     pub(crate) fn is_stopping(&self) -> bool {
@@ -360,15 +486,21 @@ impl Shared {
 
     /// Executes one [`WorkItem`] — the request classes that do real
     /// work. Runs on a pool worker (event loop) or the connection's own
-    /// thread (threaded model); only touches shared state.
-    pub(crate) fn run_work(&self, item: WorkItem) -> WorkOutput {
+    /// thread (threaded model); only touches shared state. When the
+    /// request carries a span builder, this is where its prepare /
+    /// per-stage execute / WAL spans are recorded.
+    pub(crate) fn run_work(
+        &self,
+        item: WorkItem,
+        mut trace: Option<&mut TraceBuilder>,
+    ) -> WorkOutput {
         let output = match item {
-            WorkItem::Query { text, cursor } => match self.query(&text) {
+            WorkItem::Query { text, cursor } => match self.query(&text, trace.as_deref_mut()) {
                 Ok(result) if cursor => WorkOutput::Cursor(result),
                 Ok(result) => WorkOutput::Response(Response::Result(result)),
                 Err(e) => WorkOutput::Response(error_response(e)),
             },
-            WorkItem::Prepare { text } => match self.session.prepare(&text) {
+            WorkItem::Prepare { text } => match self.prepare_traced(&text, trace.as_deref_mut()) {
                 Ok(prepared) if !prepared.has_return() => WorkOutput::Response(Response::Error {
                     code: ErrorCode::Host,
                     message: "PREPARE wants a RETURN statement (bare MATCH has no table shape)"
@@ -383,20 +515,44 @@ impl Shared {
                 cursor,
             } => {
                 let params: Params = params.into_iter().collect();
-                match self.run_profiled(&prepared, &params) {
+                match self.run_profiled(&prepared, &params, trace.as_deref_mut()) {
                     Ok(result) if cursor => WorkOutput::Cursor(result),
                     Ok(result) => WorkOutput::Response(Response::Result(result)),
                     Err(e) => WorkOutput::Response(error_response(e)),
                 }
             }
             WorkItem::Commit { mutations } => {
-                match self.journal.commit(&mutations) {
-                    Ok((epoch, applied)) => {
+                if let Some(tb) = trace.as_deref_mut() {
+                    tb.tag("mutations", mutations.len().to_string());
+                }
+                match self.journal.commit_timed(&mutations) {
+                    Ok((epoch, applied, timings)) => {
                         let applied = applied as u64;
                         // Readers from here on pin the new epoch; plans
                         // compiled against older epochs stop being
                         // cache keys and age out of the LRU.
                         self.session.set_epoch(epoch);
+                        if let Some(tb) = trace {
+                            let total = timings.apply_us
+                                + timings.append_us
+                                + timings.fsync_us
+                                + timings.swap_us
+                                + timings.compact_us;
+                            let start = tb.elapsed_us().saturating_sub(total);
+                            let root = tb.span("commit", None, start, total);
+                            let mut at = start;
+                            for (name, dur) in [
+                                ("wal.apply", timings.apply_us),
+                                ("wal.append", timings.append_us),
+                                ("wal.fsync", timings.fsync_us),
+                                ("wal.swap", timings.swap_us),
+                                ("wal.compact", timings.compact_us),
+                            ] {
+                                tb.span(name, Some(root), at, dur);
+                                at += dur;
+                            }
+                            tb.span_stat(root, "applied", applied);
+                        }
                         WorkOutput::Response(Response::Mutated { epoch, applied })
                     }
                     Err(CommitError::Graph(e)) => WorkOutput::Response(Response::Error {
@@ -417,15 +573,44 @@ impl Shared {
         output
     }
 
+    /// `Session::prepare` with a `prepare` span (cache lookup included)
+    /// and a best-effort cache hit/miss tag. The tag diffs the shared
+    /// cache's miss counter around the lookup, so under concurrent
+    /// traffic it can misattribute — it is a label on a trace, not a
+    /// counted metric (those come from the cache's own counters).
+    fn prepare_traced(
+        &self,
+        text: &str,
+        trace: Option<&mut TraceBuilder>,
+    ) -> Result<PreparedGqlQuery, GqlError> {
+        let Some(tb) = trace else {
+            return self.session.prepare(text);
+        };
+        let misses_before = self.cache.stats().misses;
+        let start = tb.elapsed_us();
+        let prepared = self.session.prepare(text);
+        let idx = tb.span("prepare", None, start, tb.elapsed_us() - start);
+        let hit = self.cache.stats().misses == misses_before;
+        tb.span_stat(idx, "cache_hit", hit as u64);
+        tb.tag("cache", if hit { "hit" } else { "miss" });
+        prepared
+    }
+
     /// Serves a one-shot `QUERY`. Statements with a `RETURN` go through
     /// the profiled path so their execution counters land in `STATS`;
     /// `RETURN`-less text falls through to
     /// [`Session::execute_with_params_on`], which raises the parse
     /// error that path has always raised. Both paths run against the
     /// epoch pinned when the request started executing.
-    fn query(&self, text: &str) -> Result<QueryResult, GqlError> {
-        match self.session.prepare(text) {
-            Ok(prepared) if prepared.has_return() => self.run_profiled(&prepared, &Params::new()),
+    fn query(
+        &self,
+        text: &str,
+        mut trace: Option<&mut TraceBuilder>,
+    ) -> Result<QueryResult, GqlError> {
+        match self.prepare_traced(text, trace.as_deref_mut()) {
+            Ok(prepared) if prepared.has_return() => {
+                self.run_profiled(&prepared, &Params::new(), trace)
+            }
             _ => {
                 let g = self.journal.snapshot();
                 self.session
@@ -437,19 +622,41 @@ impl Shared {
     /// Executes `prepared` under a per-request [`ExecProfile`] and folds
     /// its totals into the server-wide counters — win or lose, since a
     /// failed execution (say, a result limit) still did the work its
-    /// counters tallied before the error.
+    /// counters tallied before the error. With a span builder, the
+    /// profile also becomes the trace's `execute` span tree: one child
+    /// span per plan stage carrying that stage's counters, so `TRACE
+    /// LAST n` shows exactly what `--explain` would for the same query.
     fn run_profiled(
         &self,
         prepared: &PreparedGqlQuery,
         params: &Params,
+        trace: Option<&mut TraceBuilder>,
     ) -> Result<QueryResult, GqlError> {
         let profile = ExecProfile::new(prepared.plan().stage_count());
         // Pin the epoch for the whole execution: a commit landing
         // mid-query swaps the journal's Arc but cannot touch this one.
         let g = self.journal.snapshot();
+        let exec_start = trace.as_ref().map(|tb| tb.elapsed_us());
         let result =
             self.session
                 .execute_prepared_profiled_on(&g, prepared, params, Some(&profile));
+        if let (Some(tb), Some(start)) = (trace, exec_start) {
+            let root = tb.span("execute", None, start, tb.elapsed_us() - start);
+            if let Ok(r) = &result {
+                tb.span_stat(root, "rows", r.len() as u64);
+            }
+            for (i, stage) in profile.stages().iter().enumerate() {
+                // Stage wall offsets are not tracked (stages may run in
+                // cost order or in parallel); dur_us is the stage's
+                // summed work time from the profile.
+                let idx = tb.span(format!("stage[{i}]"), Some(root), start, stage.micros());
+                tb.span_stat(idx, "nodes_expanded", stage.nodes_expanded());
+                tb.span_stat(idx, "edges_traversed", stage.edges_traversed());
+                tb.span_stat(idx, "rows_pruned", stage.rows_pruned());
+                tb.span_stat(idx, "instrs_dispatched", stage.instrs_dispatched());
+                tb.span_stat(idx, "backtrack_truncations", stage.backtrack_truncations());
+            }
+        }
         let (nodes, edges, pruned, instrs, truncations) = profile.totals();
         let s = &self.stats;
         s.exec_nodes_expanded.fetch_add(nodes, Ordering::Relaxed);
@@ -467,7 +674,17 @@ impl Shared {
     /// oversized frame is ever written, so the stream stays in sync)
     /// and counting `errors` / `frames.out` uniformly for both models.
     pub(crate) fn encode_response(&self, response: Response) -> String {
+        self.encode_response_ctx(response, None)
+    }
+
+    /// [`Shared::encode_response`] plus request completion: the encode
+    /// time lands in the trace's `encode` span, the request's total
+    /// latency in its lane histogram, the finished trace in the ring
+    /// and (over threshold) the slow-query log. `FETCH` contexts credit
+    /// their drain + encode time back to the originating trace instead.
+    pub(crate) fn encode_response_ctx(&self, response: Response, ctx: Option<ObsCtx>) -> String {
         let mut is_error = matches!(response, Response::Error { .. });
+        let encode_started = Instant::now();
         let mut encoded = response.serialize();
         if encoded.len() > MAX_FRAME {
             encoded = Response::Error {
@@ -486,7 +703,56 @@ impl Shared {
             self.stats.errors.fetch_add(1, Ordering::Relaxed);
         }
         self.stats.frames_out.fetch_add(1, Ordering::Relaxed);
+        if let Some(ctx) = ctx {
+            let encode_us = encode_started.elapsed().as_micros() as u64;
+            self.observe(ctx, encode_us, encoded.len() as u64, is_error);
+        }
         encoded
+    }
+
+    /// Completes one request's observability context.
+    fn observe(&self, ctx: ObsCtx, encode_us: u64, bytes: u64, is_error: bool) {
+        match ctx {
+            ObsCtx::Request {
+                lane,
+                started,
+                trace,
+            } => {
+                self.obs
+                    .lane(lane)
+                    .record(started.elapsed().as_micros() as u64);
+                if let Some(mut tb) = trace {
+                    let start = tb.elapsed_us().saturating_sub(encode_us);
+                    let idx = tb.span("encode", None, start, encode_us);
+                    tb.span_stat(idx, "bytes", bytes);
+                    if is_error {
+                        tb.tag("error", "true");
+                    }
+                    let t = tb.finish();
+                    if let Some(slow) = &self.obs.slow {
+                        slow.maybe_log(&t);
+                    }
+                    self.obs.ring.push(t);
+                }
+            }
+            ObsCtx::Fetch {
+                origin,
+                rows,
+                started,
+            } => {
+                let total_us = started.elapsed().as_micros() as u64;
+                self.obs.lane_fetch.record(total_us);
+                // Satellite of the cursor-streaming design: a drain's
+                // encode/stream time belongs to the request that parked
+                // the result, not to nobody.
+                self.obs.ring.attribute(
+                    origin,
+                    "fetch",
+                    total_us,
+                    vec![("rows", rows), ("bytes", bytes)],
+                );
+            }
+        }
     }
 }
 
@@ -513,6 +779,13 @@ impl ServerHandle {
     /// Hit/miss counters of the shared plan cache.
     pub fn cache_stats(&self) -> CacheStats {
         self.shared.cache.stats()
+    }
+
+    /// The metrics registry rendered as Prometheus text exposition —
+    /// exactly what the `METRICS` wire verb returns, without a
+    /// connection.
+    pub fn metrics_text(&self) -> String {
+        self.shared.obs.registry.render()
     }
 
     /// A handle to the shared plan cache (e.g. to warm it, or to share
@@ -611,13 +884,16 @@ pub fn serve_shared(graph: Arc<PropertyGraph>, config: ServerConfig) -> io::Resu
     session.register_shared(&config.graph_name, journal.snapshot());
     session.set_epoch(journal.epoch());
     let waker = Arc::new(Waker::new()?);
+    let stats = Arc::new(ServerStats::default());
+    let obs = build_obs(&config, &stats, &journal, &cache)?;
     let shared = Arc::new(Shared {
         journal,
         graph_name: config.graph_name,
         options: config.options,
         session,
         cache,
-        stats: ServerStats::default(),
+        stats,
+        obs,
         stopping: AtomicBool::new(false),
         persist: config.plan_cache_file.map(|path| PersistState {
             path,
@@ -661,6 +937,225 @@ pub fn serve_shared(graph: Arc<PropertyGraph>, config: ServerConfig) -> io::Resu
         addr,
         shared,
         serve_thread: Some(serve_thread),
+    })
+}
+
+/// Reads one per-verb counter out of [`ServerStats`].
+type VerbSource = fn(&ServerStats) -> &AtomicU64;
+
+/// Builds the server's observability surface: the metrics registry with
+/// every counter/gauge *sourced* from the existing atomics (the registry
+/// holds closures, not copies — `STATS` and `METRICS` can never
+/// disagree), the five lane latency histograms, the trace ring, and the
+/// slow-query log. Fails only if `--trace-file` cannot be opened.
+fn build_obs(
+    config: &ServerConfig,
+    stats: &Arc<ServerStats>,
+    journal: &Arc<GraphJournal>,
+    cache: &SharedPlanLru<PreparedGqlQuery>,
+) -> io::Result<ServerObs> {
+    let registry = Registry::new();
+    // Request counters, sourced from the per-verb atomics.
+    let src = |s: &Arc<ServerStats>, f: fn(&ServerStats) -> &AtomicU64| {
+        let s = Arc::clone(s);
+        move || f(&s).load(Ordering::Relaxed)
+    };
+    registry.counter(
+        "gpmld_requests_total",
+        "Requests handled (all verbs that do work, errors included)",
+        {
+            let s = Arc::clone(stats);
+            move || {
+                [
+                    &s.queries,
+                    &s.prepares,
+                    &s.executes,
+                    &s.closes,
+                    &s.fetches,
+                    &s.mutations,
+                ]
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .sum()
+            }
+        },
+    );
+    let verbs: [(&'static str, &'static str, VerbSource); 7] = [
+        (
+            "gpmld_requests_query_total",
+            "QUERY requests handled",
+            |s| &s.queries,
+        ),
+        (
+            "gpmld_requests_prepare_total",
+            "PREPARE requests handled",
+            |s| &s.prepares,
+        ),
+        (
+            "gpmld_requests_execute_total",
+            "EXECUTE requests handled",
+            |s| &s.executes,
+        ),
+        (
+            "gpmld_requests_fetch_total",
+            "FETCH requests handled",
+            |s| &s.fetches,
+        ),
+        (
+            "gpmld_requests_close_total",
+            "CLOSE / CLOSE CURSOR requests handled",
+            |s| &s.closes,
+        ),
+        (
+            "gpmld_requests_mutation_total",
+            "Mutation commits handled (INSERT/SET/DELETE/COMMIT)",
+            |s| &s.mutations,
+        ),
+        (
+            "gpmld_requests_error_total",
+            "Requests answered with a typed ERR frame",
+            |s| &s.errors,
+        ),
+    ];
+    for (name, help, f) in verbs {
+        registry.counter(name, help, src(stats, f));
+    }
+    registry.counter(
+        "gpmld_frames_out_total",
+        "Response frames written (every response, every model)",
+        src(stats, |s| &s.frames_out),
+    );
+    registry.counter(
+        "gpmld_connections_total",
+        "Connections ever admitted",
+        src(stats, |s| &s.connections_total),
+    );
+    registry.gauge(
+        "gpmld_connections_active",
+        "Connections currently open",
+        src(stats, |s| &s.connections_active),
+    );
+    registry.counter(
+        "gpmld_conns_rejected_total",
+        "Connections refused with ERR BUSY by --max-conns admission",
+        src(stats, |s| &s.conns_rejected),
+    );
+    registry.gauge(
+        "gpmld_cursors_open",
+        "Cursors currently holding a parked result",
+        src(stats, |s| &s.cursors_open),
+    );
+    // Plan cache, sourced from the shared LRU's own counters.
+    let cache_src = |cache: &SharedPlanLru<PreparedGqlQuery>, f: fn(&CacheStats) -> u64| {
+        let cache = cache.clone();
+        move || f(&cache.stats())
+    };
+    registry.counter(
+        "gpmld_plan_cache_hits_total",
+        "Shared plan cache hits",
+        cache_src(cache, |c| c.hits),
+    );
+    registry.counter(
+        "gpmld_plan_cache_misses_total",
+        "Shared plan cache misses (each one compiled a plan)",
+        cache_src(cache, |c| c.misses),
+    );
+    registry.gauge(
+        "gpmld_plan_cache_len",
+        "Plans currently cached",
+        cache_src(cache, |c| c.len as u64),
+    );
+    registry.gauge(
+        "gpmld_plan_cache_capacity",
+        "Plan cache capacity",
+        cache_src(cache, |c| c.capacity as u64),
+    );
+    // Executor work counters.
+    registry.counter(
+        "gpmld_exec_nodes_expanded_total",
+        "Matcher states expanded across every QUERY/EXECUTE",
+        src(stats, |s| &s.exec_nodes_expanded),
+    );
+    registry.counter(
+        "gpmld_exec_edges_traversed_total",
+        "Edges traversed across every QUERY/EXECUTE",
+        src(stats, |s| &s.exec_edges_traversed),
+    );
+    registry.counter(
+        "gpmld_exec_rows_pruned_total",
+        "Candidate bindings pruned by semi-join filters",
+        src(stats, |s| &s.exec_rows_pruned),
+    );
+    registry.counter(
+        "gpmld_exec_instrs_dispatched_total",
+        "Flat-program instructions dispatched",
+        src(stats, |s| &s.exec_instrs_dispatched),
+    );
+    registry.counter(
+        "gpmld_exec_backtrack_truncations_total",
+        "Backtracking trail truncations",
+        src(stats, |s| &s.exec_backtrack_truncations),
+    );
+    // Storage, sourced from the journal.
+    let j_src = |journal: &Arc<GraphJournal>, f: fn(&gpml_storage::JournalStats) -> u64| {
+        let journal = Arc::clone(journal);
+        move || f(&journal.stats())
+    };
+    registry.gauge(
+        "gpmld_storage_epoch",
+        "Current journal epoch (one per committed batch)",
+        j_src(journal, |j| j.epoch),
+    );
+    registry.gauge(
+        "gpmld_wal_bytes",
+        "Bytes in the write-ahead log since the last compaction",
+        j_src(journal, |j| j.wal_bytes),
+    );
+    registry.gauge(
+        "gpmld_wal_records",
+        "Commit records in the write-ahead log",
+        j_src(journal, |j| j.wal_records),
+    );
+    registry.counter(
+        "gpmld_writes_applied_total",
+        "Individual mutations applied across every commit",
+        j_src(journal, |j| j.writes_applied),
+    );
+    registry.counter(
+        "gpmld_snapshots_taken_total",
+        "Snapshot compactions taken",
+        j_src(journal, |j| j.snapshots_taken),
+    );
+    // Latency lanes: log₂-bucket histograms in microseconds.
+    let lane_query = registry.histogram(
+        "gpmld_query_latency_us",
+        "One-shot QUERY latency (classify to response ready), microseconds",
+    );
+    let lane_prepare =
+        registry.histogram("gpmld_prepare_latency_us", "PREPARE latency, microseconds");
+    let lane_execute =
+        registry.histogram("gpmld_execute_latency_us", "EXECUTE latency, microseconds");
+    let lane_fetch = registry.histogram(
+        "gpmld_fetch_latency_us",
+        "FETCH drain latency, microseconds",
+    );
+    let lane_commit = registry.histogram(
+        "gpmld_commit_latency_us",
+        "Commit latency (mutation verbs and COMMIT), microseconds",
+    );
+    let slow = config
+        .slow_query_ms
+        .map(|ms| SlowLog::new(ms, config.trace_file.as_deref()))
+        .transpose()?;
+    Ok(ServerObs {
+        registry,
+        lane_query,
+        lane_prepare,
+        lane_execute,
+        lane_fetch,
+        lane_commit,
+        ring: TraceRing::new(config.trace_ring),
+        slow,
     })
 }
 
@@ -747,20 +1242,23 @@ fn run_threaded_conn(shared: &Shared, mut stream: TcpStream) {
     // (read_timeout elapsed): drop the connection. Open handles and
     // cursors die with it, in teardown below.
     while let Ok(Some(payload)) = read_frame(&mut stream) {
-        let response = match std::str::from_utf8(&payload) {
+        let (response, ctx) = match std::str::from_utf8(&payload) {
             Ok(text) => match state.classify(shared, text) {
-                Action::Respond(response) => response,
-                Action::Work(item) => {
-                    let output = shared.run_work(item);
-                    state.finish(shared, output)
+                Action::Respond(response, ctx) => (response, ctx),
+                Action::Work(item, mut ctx) => {
+                    let output = shared.run_work(item, ctx.as_mut().and_then(ObsCtx::trace_mut));
+                    (state.finish(shared, output, ctx.as_mut()), ctx)
                 }
             },
-            Err(_) => Response::Error {
-                code: ErrorCode::Proto,
-                message: "frame payload is not UTF-8".to_owned(),
-            },
+            Err(_) => (
+                Response::Error {
+                    code: ErrorCode::Proto,
+                    message: "frame payload is not UTF-8".to_owned(),
+                },
+                None,
+            ),
         };
-        let encoded = shared.encode_response(response);
+        let encoded = shared.encode_response_ctx(response, ctx);
         if write_frame(&mut stream, &encoded).is_err() {
             break;
         }

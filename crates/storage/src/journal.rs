@@ -97,6 +97,23 @@ pub struct JournalStats {
     pub snapshots_taken: u64,
 }
 
+/// Where one committed batch's time went, in microseconds. Filled by
+/// [`GraphJournal::commit_timed`] so the server can hang WAL spans off a
+/// commit's trace without the journal knowing anything about tracing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommitTimings {
+    /// Cloning the current graph and applying the batch to the clone.
+    pub apply_us: u64,
+    /// Writing the WAL record, *excluding* the fsync (0 when in-memory).
+    pub append_us: u64,
+    /// The fsync itself (0 when in-memory or the fsync knob is off).
+    pub fsync_us: u64,
+    /// Swapping the `Arc` and bumping the epoch.
+    pub swap_us: u64,
+    /// Snapshot compaction, when this commit crossed the WAL threshold.
+    pub compact_us: u64,
+}
+
 /// Durable state, present only when the journal has a data directory.
 struct Durable {
     wal: Wal,
@@ -219,35 +236,54 @@ impl GraphJournal {
     /// an empty batch commits vacuously at the current epoch with no
     /// WAL record. On `Err` nothing changed, in memory or on disk.
     pub fn commit(&self, mutations: &[Mutation]) -> Result<(u64, usize), CommitError> {
+        self.commit_timed(mutations).map(|(e, n, _)| (e, n))
+    }
+
+    /// [`GraphJournal::commit`] plus a per-phase timing breakdown, for
+    /// the server's commit trace spans and latency histograms.
+    pub fn commit_timed(
+        &self,
+        mutations: &[Mutation],
+    ) -> Result<(u64, usize, CommitTimings), CommitError> {
+        let mut timings = CommitTimings::default();
         let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
         if mutations.is_empty() {
-            return Ok((self.epoch(), 0));
+            return Ok((self.epoch(), 0, timings));
         }
+        let started = std::time::Instant::now();
         let base = self.snapshot();
         let mut next = (*base).clone();
         for m in mutations {
             m.apply(&mut next)?;
         }
+        timings.apply_us = started.elapsed().as_micros() as u64;
         let next_epoch = self.epoch() + 1;
         if let Some(durable) = writer.durable.as_mut() {
-            durable.wal.append(next_epoch, mutations)?;
+            let started = std::time::Instant::now();
+            timings.fsync_us = durable.wal.append(next_epoch, mutations)?;
+            timings.append_us =
+                (started.elapsed().as_micros() as u64).saturating_sub(timings.fsync_us);
         }
+        let started = std::time::Instant::now();
         {
             let mut cur = self.current.lock().unwrap_or_else(|e| e.into_inner());
             *cur = Arc::new(next);
         }
         self.epoch.store(next_epoch, Ordering::SeqCst);
+        timings.swap_us = started.elapsed().as_micros() as u64;
         self.writes_applied
             .fetch_add(mutations.len() as u64, Ordering::Relaxed);
         if let Some(durable) = writer.durable.as_mut() {
             if durable.wal.bytes() >= durable.snapshot_every {
+                let started = std::time::Instant::now();
                 self.compact(durable)?;
+                timings.compact_us = started.elapsed().as_micros() as u64;
             }
             self.wal_bytes.store(durable.wal.bytes(), Ordering::Relaxed);
             self.wal_records
                 .store(durable.wal.records(), Ordering::Relaxed);
         }
-        Ok((next_epoch, mutations.len()))
+        Ok((next_epoch, mutations.len(), timings))
     }
 
     /// Writes a snapshot of the current epoch and truncates the WAL.

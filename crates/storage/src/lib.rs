@@ -50,7 +50,8 @@ pub mod wal;
 
 pub use codec::{fnv1a64, DecodeError};
 pub use journal::{
-    CommitError, GraphJournal, JournalStats, DEFAULT_SNAPSHOT_EVERY_BYTES, SNAPSHOT_FILE, WAL_FILE,
+    CommitError, CommitTimings, GraphJournal, JournalStats, DEFAULT_SNAPSHOT_EVERY_BYTES,
+    SNAPSHOT_FILE, WAL_FILE,
 };
 pub use mutation::Mutation;
 pub use snapshot::{decode_graph, encode_graph, graph_digest, load_snapshot, save_snapshot};

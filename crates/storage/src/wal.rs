@@ -105,8 +105,10 @@ impl Wal {
     }
 
     /// Appends one commit record; with the fsync knob on, the data is on
-    /// disk when this returns.
-    pub fn append(&mut self, epoch: u64, mutations: &[Mutation]) -> io::Result<()> {
+    /// disk when this returns. Returns the microseconds the fsync itself
+    /// took (0 when the knob is off), so callers can report append vs
+    /// fsync time separately.
+    pub fn append(&mut self, epoch: u64, mutations: &[Mutation]) -> io::Result<u64> {
         let mut payload = Vec::new();
         put_u64(&mut payload, epoch);
         put_u32(&mut payload, mutations.len() as u32);
@@ -118,12 +120,15 @@ impl Wal {
         put_u64(&mut frame, fnv1a64(&payload));
         frame.extend_from_slice(&payload);
         self.file.write_all(&frame)?;
+        let mut fsync_us = 0;
         if self.fsync {
+            let started = std::time::Instant::now();
             self.file.sync_data()?;
+            fsync_us = started.elapsed().as_micros() as u64;
         }
         self.bytes += frame.len() as u64;
         self.records += 1;
-        Ok(())
+        Ok(fsync_us)
     }
 
     /// Truncates the log back to its header (after a snapshot has made

@@ -46,7 +46,8 @@ fn usage() -> ! {
          \x20      gpml serve   [--graph ...] [--mode ...] [--threads N] [--no-semijoin] \
          [--no-flat] [--addr HOST[:PORT]] [--port N] [--cache N] [--plan-cache-file PATH] \
          [--max-conns N] [--idle-timeout SECS] [--workers N] [--threaded] \
-         [--data-dir DIR] [--no-fsync] [--snapshot-every BYTES]\n\
+         [--data-dir DIR] [--no-fsync] [--snapshot-every BYTES] \
+         [--trace-ring N] [--slow-query-ms MS] [--trace-file PATH]\n\
          \x20      gpml connect [--addr HOST:PORT] [--format table|json|csv]\n\
          With no QUERY, reads one query per line from stdin; repeated\n\
          queries reuse their compiled plan (the session's LRU plan cache).\n\
@@ -78,9 +79,16 @@ fn usage() -> ! {
          thread-per-connection model. `serve --data-dir DIR` makes the\n\
          graph durable: commits append to a write-ahead log under DIR\n\
          (fsynced unless --no-fsync) and boot recovers snapshot + WAL\n\
-         tail; --snapshot-every BYTES tunes compaction. `connect` is a\n\
+         tail; --snapshot-every BYTES tunes compaction. Observability:\n\
+         --trace-ring N keeps the last N request traces for TRACE LAST\n\
+         (default 64; 0 disables span tracing), --slow-query-ms MS logs\n\
+         requests over MS milliseconds as JSON (0 logs everything) to\n\
+         stderr or, with --trace-file PATH, to a JSONL file; METRICS\n\
+         serves Prometheus-style counters and log2-bucket latency\n\
+         histograms. `connect` is a\n\
          remote REPL against one (its :let bindings ride each query as\n\
-         EXECUTE parameters, :stats/:cache query the server, :close\n\
+         EXECUTE parameters, :stats/:cache query the server, :metrics\n\
+         dumps the Prometheus text, :trace [n] drains recent traces, :close\n\
          drops cached handles, :cursor <query> parks the result\n\
          server-side and :fetch <cursor> <n> drains it in frame-sized\n\
          chunks — the only way to read a result bigger than one 16 MiB\n\
@@ -464,6 +472,9 @@ fn serve_main(args: Vec<String>) -> ! {
     let mut data_dir: Option<std::path::PathBuf> = None;
     let mut fsync_on_commit = true;
     let mut snapshot_every_bytes = 0u64;
+    let mut trace_ring = gpml_server::DEFAULT_TRACE_RING;
+    let mut slow_query_ms: Option<u64> = None;
+    let mut trace_file: Option<std::path::PathBuf> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -522,6 +533,24 @@ fn serve_main(args: Vec<String>) -> ! {
                     .and_then(|n| n.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--trace-ring" => {
+                trace_ring = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--slow-query-ms" => {
+                slow_query_ms = Some(
+                    it.next()
+                        .and_then(|n| n.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--trace-file" => {
+                trace_file = Some(std::path::PathBuf::from(
+                    it.next().unwrap_or_else(|| usage()),
+                ))
+            }
             _ => usage(),
         }
     }
@@ -554,6 +583,9 @@ fn serve_main(args: Vec<String>) -> ! {
         workers,
         fsync_on_commit,
         snapshot_every_bytes,
+        trace_ring,
+        slow_query_ms,
+        trace_file,
         ..ServerConfig::default()
     };
     // An explicit --data-dir wins over the GPML_DATA_DIR default.
@@ -715,6 +747,7 @@ fn connect_main(args: Vec<String>) {
     eprintln!(
         "remote REPL (one query per line; :let name = value binds an EXECUTE \
          parameter; :cursor <query> streams via FETCH; :stats asks the server; \
+         :metrics and :trace [n] show latency histograms and request traces; \
          Ctrl-D to quit)"
     );
     for line in std::io::stdin().lock().lines() {
@@ -735,6 +768,13 @@ fn connect_main(args: Vec<String>) {
                             println!("{k}={v}");
                         }
                     }
+                    Err(e) => report_client_error(&e),
+                }
+                continue;
+            }
+            ":metrics" => {
+                match client.metrics() {
+                    Ok(text) => print!("{text}"),
                     Err(e) => report_client_error(&e),
                 }
                 continue;
@@ -778,6 +818,33 @@ fn connect_main(args: Vec<String>) {
                 continue;
             }
             _ => {}
+        }
+        if line == ":trace" || line.starts_with(":trace ") {
+            let n = match line.strip_prefix(":trace").unwrap_or("").trim() {
+                "" => 10,
+                rest => match rest.parse::<u64>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("error: :trace wants `:trace [n]` (a trace count)");
+                        continue;
+                    }
+                },
+            };
+            match client.trace_last(n) {
+                Ok(traces) if traces.is_empty() => {
+                    eprintln!(
+                        "no traces buffered (server running with --trace-ring 0, \
+                               or none completed since the last drain)"
+                    );
+                }
+                Ok(traces) => {
+                    for t in traces {
+                        println!("{t}");
+                    }
+                }
+                Err(e) => report_client_error(&e),
+            }
+            continue;
         }
         if let Some(rest) = line.strip_prefix(":let ") {
             match rest.split_once('=') {
@@ -882,9 +949,9 @@ fn connect_main(args: Vec<String>) {
         }
         if line.starts_with(':') {
             eprintln!(
-                "unknown command {line} (try :stats, :cache, :close, :cursor, :fetch, \
-                 :close-cursor, :insert, :set, :delete, :begin, :commit, :rollback, \
-                 :let, :unlet, :params, or :quit)"
+                "unknown command {line} (try :stats, :cache, :metrics, :trace, :close, \
+                 :cursor, :fetch, :close-cursor, :insert, :set, :delete, :begin, :commit, \
+                 :rollback, :let, :unlet, :params, or :quit)"
             );
             continue;
         }

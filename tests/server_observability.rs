@@ -1,0 +1,360 @@
+//! End-to-end observability: the `METRICS` and `TRACE LAST n` wire
+//! verbs, the slow-query log, `FETCH` attribution, and the stability of
+//! the `STATS` key namespace.
+//!
+//! The load-bearing assertion is `trace_spans_match_explain_profile`:
+//! the per-stage counters inside a served request's span tree must equal
+//! the [`ExecProfile`] an in-process `--explain`-style execution of the
+//! same statement produces — the trace is the profile, not a lookalike.
+
+use std::sync::Arc;
+
+use gpml_server::client::Client;
+use gpml_server::server::{serve_shared, ServeModel, ServerConfig};
+use gpml_suite::core::eval::{EvalOptions, ExecProfile};
+use gpml_suite::core::Params;
+use gpml_suite::datagen::fig1;
+use gpml_suite::gql::Session;
+
+/// A two-stage join over the Fig. 1 graph — enough structure for a
+/// multi-span `execute` tree with nonzero counters in both stages.
+const TWO_STAGE: &str = "MATCH (x:Account)-[e:Transfer]->(m), \
+                         (m)-[f:Transfer]->(y:Account) \
+                         RETURN x.owner AS a, y.owner AS c";
+
+/// Sequential options so matcher work counters are bit-deterministic
+/// between the server and the in-process oracle.
+fn sequential() -> EvalOptions {
+    EvalOptions {
+        threads: 1,
+        ..EvalOptions::default()
+    }
+}
+
+/// Pulls the numeric value of `"key":N` out of a JSON fragment.
+fn json_u64(fragment: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let at = fragment
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {key} in {fragment}"));
+    fragment[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric {key} in {fragment}"))
+}
+
+/// The span object (braces to braces) named `name` inside a trace line.
+fn span_of<'a>(trace: &'a str, name: &str) -> &'a str {
+    let needle = format!("{{\"name\":\"{name}\"");
+    let start = trace
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no span {name} in {trace}"));
+    let end = trace[start..].find('}').expect("span closes") + start;
+    &trace[start..=end]
+}
+
+#[test]
+fn metrics_exposes_counters_and_histograms() {
+    let server = serve_shared(Arc::new(fig1()), ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let before = client.metrics().expect("metrics");
+    // All three metric kinds render, HELP/TYPE lines included.
+    assert!(
+        before.contains("# TYPE gpmld_requests_total counter"),
+        "{before}"
+    );
+    assert!(
+        before.contains("# TYPE gpmld_connections_active gauge"),
+        "{before}"
+    );
+    assert!(
+        before.contains("# TYPE gpmld_query_latency_us histogram"),
+        "{before}"
+    );
+    // Histograms expose the full Prometheus triple, overflow bucket
+    // included, for every lane.
+    for lane in ["query", "prepare", "execute", "fetch", "commit"] {
+        assert!(
+            before.contains(&format!("gpmld_{lane}_latency_us_bucket{{le=\"+Inf\"}}")),
+            "missing {lane} lane in {before}"
+        );
+        assert!(before.contains(&format!("gpmld_{lane}_latency_us_sum")));
+        assert!(before.contains(&format!("gpmld_{lane}_latency_us_count")));
+    }
+
+    let parse = |text: &str, name: &str| -> u64 {
+        text.lines()
+            .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+            .and_then(|l| l.split(' ').nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("no sample {name} in {text}"))
+    };
+    let queries_before = parse(&before, "gpmld_requests_query_total");
+    let total_before = parse(&before, "gpmld_requests_total");
+    let count_before = parse(&before, "gpmld_query_latency_us_count");
+
+    client.query(TWO_STAGE).expect("query");
+
+    let after = client.metrics().expect("metrics");
+    assert_eq!(
+        parse(&after, "gpmld_requests_query_total"),
+        queries_before + 1
+    );
+    assert_eq!(parse(&after, "gpmld_requests_total"), total_before + 1);
+    assert_eq!(
+        parse(&after, "gpmld_query_latency_us_count"),
+        count_before + 1,
+        "the QUERY did not land in its latency lane"
+    );
+    assert!(parse(&after, "gpmld_exec_nodes_expanded_total") > 0);
+    // METRICS and STATS read the *same* atomics; spot-check agreement.
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        gpml_server::client::stat(&stats, "requests.query"),
+        Some(parse(&after, "gpmld_requests_query_total"))
+    );
+    server.stop();
+}
+
+/// Satellite: the `STATS` key namespace is frozen. Renaming or dropping
+/// a key is a wire-compatibility break; this is the tripwire.
+#[test]
+fn stats_key_namespace_is_stable() {
+    let server = serve_shared(Arc::new(fig1()), ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let stats = client.stats().expect("stats");
+    let keys: Vec<&str> = stats.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(
+        keys,
+        [
+            "cache.hits",
+            "cache.misses",
+            "cache.len",
+            "cache.capacity",
+            "plans.bytes",
+            "sessions.total",
+            "sessions.active",
+            "conns.active",
+            "conns.rejected",
+            "cursors.open",
+            "frames.out",
+            "requests.query",
+            "requests.prepare",
+            "requests.execute",
+            "requests.close",
+            "requests.fetch",
+            "requests.mutations",
+            "requests.errors",
+            "exec.nodes_expanded",
+            "exec.edges_traversed",
+            "exec.rows_pruned",
+            "exec.instrs_dispatched",
+            "exec.backtrack_truncations",
+            "handles.open",
+            "storage.epoch",
+            "storage.durable",
+            "wal.bytes",
+            "wal.records",
+            "writes.applied",
+            "snapshots.taken",
+        ],
+        "STATS keys changed — documented in ARCHITECTURE.md as stable"
+    );
+    server.stop();
+}
+
+#[test]
+fn trace_spans_match_explain_profile() {
+    let config = ServerConfig {
+        options: sequential(),
+        ..ServerConfig::default()
+    };
+    let server = serve_shared(Arc::new(fig1()), config).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let result = client.query(TWO_STAGE).expect("query");
+    assert!(!result.rows.is_empty());
+    let traces = client.trace_last(10).expect("trace");
+    let trace = traces
+        .iter()
+        .find(|t| t.contains("\"label\":\"QUERY\""))
+        .unwrap_or_else(|| panic!("no QUERY trace in {traces:?}"));
+
+    // The span tree has the full request anatomy.
+    assert!(trace.contains("\"trace_id\":"), "{trace}");
+    assert!(trace.contains("\"skeleton\":"), "{trace}");
+    for name in ["prepare", "execute", "stage[0]", "stage[1]", "encode"] {
+        span_of(trace, name);
+    }
+    assert_eq!(
+        json_u64(span_of(trace, "execute"), "rows"),
+        result.rows.len() as u64
+    );
+
+    // The per-stage counters are the ExecProfile an in-process profiled
+    // execution of the same statement produces — stage for stage.
+    let mut session = Session::with_options(sequential());
+    session.register("g", fig1());
+    let prepared = session.prepare(TWO_STAGE).expect("prepare");
+    let profile = ExecProfile::new(prepared.plan().stage_count());
+    session
+        .execute_prepared_profiled("g", &prepared, &Params::new(), &profile)
+        .expect("profiled execute");
+    let stages = profile.stages();
+    assert_eq!(stages.len(), 2);
+    for (i, stage) in stages.iter().enumerate() {
+        let span = span_of(trace, &format!("stage[{i}]"));
+        assert_eq!(
+            json_u64(span, "nodes_expanded"),
+            stage.nodes_expanded(),
+            "stage {i} nodes diverge: {span}"
+        );
+        assert_eq!(json_u64(span, "edges_traversed"), stage.edges_traversed());
+        assert_eq!(json_u64(span, "rows_pruned"), stage.rows_pruned());
+        assert_eq!(
+            json_u64(span, "instrs_dispatched"),
+            stage.instrs_dispatched()
+        );
+        assert_eq!(
+            json_u64(span, "backtrack_truncations"),
+            stage.backtrack_truncations()
+        );
+    }
+    server.stop();
+}
+
+/// Satellite: a cursor-streamed request's `FETCH` drains credit their
+/// time (and rows/bytes) back to the originating request's trace.
+#[test]
+fn fetch_drains_attribute_to_their_origin_trace() {
+    let server = serve_shared(Arc::new(fig1()), ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let h = client.query_cursor(TWO_STAGE).expect("cursor");
+    assert!(h.total > 1, "want at least two rows to drain in chunks");
+    let all = client.fetch_all(&h, 1).expect("drain");
+    assert_eq!(all.rows.len() as u64, h.total);
+
+    let traces = client.trace_last(10).expect("trace");
+    let trace = traces
+        .iter()
+        .find(|t| t.contains("\"label\":\"QUERY CURSOR\""))
+        .unwrap_or_else(|| panic!("no QUERY CURSOR trace in {traces:?}"));
+    assert!(trace.contains("\"cursor\":\"true\""), "{trace}");
+    // Every drain appended one root-level fetch span; their rows sum to
+    // the parked total.
+    let fetched: u64 = trace
+        .match_indices("{\"name\":\"fetch\"")
+        .map(|(at, _)| {
+            let end = trace[at..].find('}').expect("span closes") + at;
+            json_u64(&trace[at..=end], "rows")
+        })
+        .sum();
+    assert_eq!(fetched, h.total, "{trace}");
+    server.stop();
+}
+
+/// `--slow-query-ms 0 --trace-file` logs every request as one JSONL
+/// line, and the lines match the `TRACE LAST` JSON shape.
+#[test]
+fn slow_query_log_writes_jsonl() {
+    let path = std::env::temp_dir().join(format!(
+        "gpml-slowlog-{}-{:?}.jsonl",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let config = ServerConfig {
+        slow_query_ms: Some(0),
+        trace_file: Some(path.clone()),
+        ..ServerConfig::default()
+    };
+    let server = serve_shared(Arc::new(fig1()), config).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client.query(TWO_STAGE).expect("query");
+    server.stop();
+
+    let log = std::fs::read_to_string(&path).expect("slow-query log exists");
+    let line = log
+        .lines()
+        .find(|l| l.contains("\"label\":\"QUERY\""))
+        .unwrap_or_else(|| panic!("no QUERY line in {log:?}"));
+    assert!(line.starts_with("{\"trace_id\":"), "{line}");
+    assert!(line.contains("\"total_us\":"), "{line}");
+    assert!(line.contains("\"spans\":["), "{line}");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// `--trace-ring 0` disables span tracing; the latency histograms stay
+/// on (they are always-on atomics, not trace machinery).
+#[test]
+fn trace_ring_zero_disables_tracing_not_metrics() {
+    let config = ServerConfig {
+        trace_ring: 0,
+        ..ServerConfig::default()
+    };
+    let server = serve_shared(Arc::new(fig1()), config).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client.query(TWO_STAGE).expect("query");
+    assert!(client.trace_last(10).expect("trace").is_empty());
+    let metrics = client.metrics().expect("metrics");
+    assert!(
+        metrics.contains("gpmld_query_latency_us_count 1"),
+        "histograms must record with tracing off: {metrics}"
+    );
+    server.stop();
+}
+
+/// Both serving models answer the observability verbs through the same
+/// conn state machine.
+#[test]
+fn threaded_model_serves_metrics_and_traces() {
+    let config = ServerConfig {
+        model: ServeModel::Threaded,
+        ..ServerConfig::default()
+    };
+    let server = serve_shared(Arc::new(fig1()), config).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client.query(TWO_STAGE).expect("query");
+    let metrics = client.metrics().expect("metrics");
+    assert!(
+        metrics.contains("gpmld_requests_query_total 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("gpmld_query_latency_us_count 1"),
+        "{metrics}"
+    );
+    let traces = client.trace_last(10).expect("trace");
+    assert!(
+        traces.iter().any(|t| t.contains("\"label\":\"QUERY\"")),
+        "{traces:?}"
+    );
+    // TRACE LAST drains: a second ask returns only what completed since
+    // (the TRACE request itself is not traced).
+    assert!(client.trace_last(10).expect("trace").is_empty());
+    server.stop();
+}
+
+/// Commits are traced with their WAL anatomy.
+#[test]
+fn commit_traces_carry_wal_spans() {
+    let server = serve_shared(Arc::new(fig1()), ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client
+        .insert_node("obs1", &["Account"], &[])
+        .expect("insert");
+    let traces = client.trace_last(10).expect("trace");
+    let trace = traces
+        .iter()
+        .find(|t| t.contains("\"label\":\"MUTATE\""))
+        .unwrap_or_else(|| panic!("no MUTATE trace in {traces:?}"));
+    for name in ["commit", "wal.apply", "wal.swap", "encode"] {
+        span_of(trace, name);
+    }
+    assert_eq!(json_u64(span_of(trace, "commit"), "applied"), 1);
+    server.stop();
+}
